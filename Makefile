@@ -1,0 +1,40 @@
+# mindetail — Minimizing Detail Data in Data Warehouses (EDBT 1998), in Go.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench harness examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverpkg=./internal/...,. -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure and the ablations.
+harness:
+	$(GO) run ./cmd/benchharness -scale 20000 -deltas 300
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/retail -scale 20000 -deltas 200
+	$(GO) run ./examples/snowflake
+	$(GO) run ./examples/minmax
+	$(GO) run ./examples/evolution
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

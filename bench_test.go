@@ -1,0 +1,354 @@
+// Benchmarks regenerating the paper's tables and figures and timing the
+// ablations of DESIGN.md. One benchmark per artifact:
+//
+//	Table 1 / Table 2  — aggregate classification (E1, E2)
+//	Table 3 / Table 4  — smart duplicate compression instances (E3, E4)
+//	Figure 2           — extended join graph construction (E5)
+//	Section 1.1        — storage sizing, analytic and materialized (E6)
+//	A1–A7              — ablations (compression sweep, maintenance
+//	                     strategies, elimination, Need sets, selectivity,
+//	                     append-only, shared classes)
+//
+// Run with: go test -bench=. -benchmem
+package mindetail_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mindetail/internal/aggregates"
+	"mindetail/internal/core"
+	"mindetail/internal/experiments"
+	"mindetail/internal/maintain"
+	"mindetail/internal/ra"
+	"mindetail/internal/sizing"
+	"mindetail/internal/workload"
+)
+
+// benchScale keeps materialized benchmarks laptop-sized; the analytic
+// models extrapolate to the paper's 13.14e9-tuple scale.
+const benchScale = 20000
+
+// BenchmarkTable1Classification regenerates Table 1 (E1).
+func BenchmarkTable1Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := aggregates.FormatTable1(); len(rows) != 4 {
+			b.Fatal("bad table 1")
+		}
+	}
+}
+
+// BenchmarkTable2Replacement regenerates Table 2 (E2).
+func BenchmarkTable2Replacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := aggregates.FormatTable2(); len(rows) != 4 {
+			b.Fatal("bad table 2")
+		}
+	}
+}
+
+// BenchmarkTable3AuxViewCountStar regenerates Table 3 (E3): the sale
+// auxiliary view instance after adding COUNT(*).
+func BenchmarkTable3AuxViewCountStar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4DuplicateCompression regenerates Table 4 (E4): the same
+// instance after smart duplicate compression.
+func BenchmarkTable4DuplicateCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2JoinGraph regenerates Figure 2 (E5): building and
+// annotating the extended join graph and deriving the auxiliary views.
+func BenchmarkFigure2JoinGraph(b *testing.B) {
+	env, err := experiments.NewEnv(workload.RetailParams{
+		Days: 2, Stores: 1, Products: 2, ProductsSoldPerDay: 1,
+		TransactionsPerProduct: 1, Brands: 1, SelectYear: 1997, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := env.View("product_sales", workload.ProductSalesSQL(1997))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := core.Derive(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Graph.Root != "sale" {
+			b.Fatal("wrong root")
+		}
+	}
+}
+
+// BenchmarkSizingSection11Analytic evaluates the paper's storage arithmetic
+// (E6, analytic part).
+func BenchmarkSizingSection11Analytic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fact := sizing.PaperFactTable()
+		aux := sizing.PaperAuxView()
+		if fact.Bytes() != 262_800_000_000 || aux.Bytes() != 175_200_000 {
+			b.Fatal("paper numbers drifted")
+		}
+	}
+}
+
+// BenchmarkSizingSection11Materialized measures the E6 validation run: load
+// the scaled retail workload and materialize the minimal auxiliary views.
+func BenchmarkSizingSection11Materialized(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env, err := experiments.NewEnv(workload.ScaledDown(benchScale))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := env.MinimalEngine(workload.ProductSalesSQL(1997))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if eng.Aux("sale").Len() == 0 {
+			b.Fatal("empty aux view")
+		}
+	}
+}
+
+// maintenanceBench streams deltas through an engine, measuring per-delta
+// cost. The engine initializes before the timer starts.
+func maintenanceBench(b *testing.B, build func(*experiments.Env) (func(maintain.Delta) error, error), mix workload.Mix) {
+	env, err := experiments.NewEnv(workload.ScaledDown(benchScale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	apply, err := build(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mut := workload.NewMutator(env.DB, env.Params)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d, err := mut.Next(mix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := apply(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaintainMinimal measures the paper's engine on the default mix
+// (A2, minimal strategy).
+func BenchmarkMaintainMinimal(b *testing.B) {
+	maintenanceBench(b, func(env *experiments.Env) (func(maintain.Delta) error, error) {
+		eng, err := env.MinimalEngine(workload.CSMASOnlySQL(1997))
+		if err != nil {
+			return nil, err
+		}
+		return eng.Apply, nil
+	}, workload.DefaultMix())
+}
+
+// BenchmarkMaintainPSJ measures the Quass-style PSJ baseline (A2).
+func BenchmarkMaintainPSJ(b *testing.B) {
+	maintenanceBench(b, func(env *experiments.Env) (func(maintain.Delta) error, error) {
+		eng, err := env.PSJEngine(workload.CSMASOnlySQL(1997))
+		if err != nil {
+			return nil, err
+		}
+		return eng.Apply, nil
+	}, workload.DefaultMix())
+}
+
+// BenchmarkMaintainRecompute measures per-batch recomputation over a full
+// replica (A2). Expected to lose to both incremental engines by orders of
+// magnitude.
+func BenchmarkMaintainRecompute(b *testing.B) {
+	maintenanceBench(b, func(env *experiments.Env) (func(maintain.Delta) error, error) {
+		rep, err := env.Replica(workload.CSMASOnlySQL(1997), true)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Apply, nil
+	}, workload.DefaultMix())
+}
+
+// BenchmarkMaintainPaperViewWithDistinct measures the full paper view,
+// whose COUNT(DISTINCT brand) forces partial recomputation from the
+// auxiliary views on deletions and brand renames.
+func BenchmarkMaintainPaperViewWithDistinct(b *testing.B) {
+	maintenanceBench(b, func(env *experiments.Env) (func(maintain.Delta) error, error) {
+		eng, err := env.MinimalEngine(workload.ProductSalesSQL(1997))
+		if err != nil {
+			return nil, err
+		}
+		return eng.Apply, nil
+	}, workload.DefaultMix())
+}
+
+// BenchmarkMaintainEliminatedRoot measures maintenance with the fact
+// auxiliary view omitted (A3): inserts and deletes self-maintain from the
+// deltas alone.
+func BenchmarkMaintainEliminatedRoot(b *testing.B) {
+	maintenanceBench(b, func(env *experiments.Env) (func(maintain.Delta) error, error) {
+		eng, err := env.MinimalEngine(workload.EliminationSQL())
+		if err != nil {
+			return nil, err
+		}
+		if eng.Aux("sale") != nil {
+			return nil, fmt.Errorf("sale aux should be omitted")
+		}
+		return eng.Apply, nil
+	}, workload.InsertOnlyMix())
+}
+
+// needSetsBench measures A4 with the Need-set optimization toggled.
+func needSetsBench(b *testing.B, use bool) {
+	viewSQL := `SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount
+		FROM sale, time, product, store
+		WHERE time.year = 1997 AND sale.timeid = time.id
+		  AND sale.productid = product.id AND sale.storeid = store.id
+		GROUP BY time.month`
+	maintenanceBench(b, func(env *experiments.Env) (func(maintain.Delta) error, error) {
+		v, err := env.View("v", viewSQL)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.Derive(v)
+		if err != nil {
+			return nil, err
+		}
+		eng := maintain.NewEngine(p)
+		eng.UseNeedSets = use
+		if err := eng.Init(env.Src); err != nil {
+			return nil, err
+		}
+		return eng.Apply, nil
+	}, workload.DefaultMix())
+}
+
+// BenchmarkMaintainNeedSetsOn measures Need-set-restricted delta joins (A4).
+func BenchmarkMaintainNeedSetsOn(b *testing.B) { needSetsBench(b, true) }
+
+// BenchmarkMaintainNeedSetsOff measures joining every auxiliary view (A4).
+func BenchmarkMaintainNeedSetsOff(b *testing.B) { needSetsBench(b, false) }
+
+// BenchmarkCompressionSweep measures the A1 sweep end to end (load +
+// derive + materialize at several duplication factors).
+func BenchmarkCompressionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationCompression([]int{1, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[1].Ratio <= pts[0].Ratio {
+			b.Fatal("compression did not scale with duplication")
+		}
+	}
+}
+
+// BenchmarkSelectivitySweep measures the A5 local-reduction sweep.
+func BenchmarkSelectivitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSelectivity([]float64{0.25, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconstruction measures rebuilding V from the auxiliary views
+// alone (the Section 3.2 reconstruction query).
+func BenchmarkReconstruction(b *testing.B) {
+	env, err := experiments.NewEnv(workload.ScaledDown(benchScale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := env.View("v", workload.ProductSalesSQL(1997))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.Derive(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aux, err := p.Materialize(env.Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := p.Reconstruction()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var out *ra.Relation
+	for i := 0; i < b.N; i++ {
+		out, err = rec.Eval(aux)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if out.Len() == 0 {
+		b.Fatal("empty reconstruction")
+	}
+}
+
+// BenchmarkDeriveAlgorithm32 measures the derivation itself — parsing,
+// normalization, join graph, Need sets, Algorithm 3.1/3.2.
+func BenchmarkDeriveAlgorithm32(b *testing.B) {
+	env, err := experiments.NewEnv(workload.RetailParams{
+		Days: 2, Stores: 1, Products: 2, ProductsSoldPerDay: 1,
+		TransactionsPerProduct: 1, Brands: 1, SelectYear: 1997, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := env.View("product_sales", workload.ProductSalesSQL(1997))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Derive(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendOnlyDerivation measures the A6 ablation end to end.
+func BenchmarkAppendOnlyDerivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationAppendOnly(5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.RelaxedRows >= r.StandardRows {
+			b.Fatal("append-only compression ineffective")
+		}
+	}
+}
+
+// BenchmarkSharedDerivation measures the A7 class derivation and
+// materialization end to end.
+func BenchmarkSharedDerivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.AblationSharing(5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs) != 2 {
+			b.Fatal("bad sharing result")
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Command benchharness regenerates every table and figure of the paper and
+// the DESIGN.md ablations, printing paper-reported values next to what this
+// implementation produces.
+//
+//	benchharness                 # run everything
+//	benchharness -exp table1     # one experiment: table1 table2 table3
+//	                             # table4 fig2 sizing maintenance
+//	                             # compression elimination needsets
+//	                             # selectivity
+//	benchharness -scale 20000    # fact tuples for the measured runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mindetail/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, table3, table4, fig2, sizing, maintenance, compression, elimination, needsets, appendonly, sharing, selectivity)")
+	scale := flag.Int("scale", 20000, "approximate fact-table tuples for measured runs")
+	deltas := flag.Int("deltas", 200, "delta-stream length for maintenance experiments")
+	flag.Parse()
+
+	if err := run(os.Stdout, *exp, *scale, *deltas); err != nil {
+		fmt.Fprintln(os.Stderr, "benchharness:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, scale, deltas int) error {
+	want := func(name string) bool { return exp == "all" || exp == name }
+	section := func(id, title string) {
+		fmt.Fprintf(w, "\n=== %s: %s ===\n", id, title)
+	}
+
+	if want("table1") {
+		section("E1 / Table 1", "SMA and SMAS classification of the SQL aggregates")
+		fmt.Fprint(w, experiments.Table1())
+	}
+	if want("table2") {
+		section("E2 / Table 2", "CSMAS classification and replacement rules")
+		fmt.Fprint(w, experiments.Table2())
+	}
+	if want("table3") {
+		section("E3 / Table 3", "sale auxiliary view after adding COUNT(*)")
+		out, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
+	}
+	if want("table4") {
+		section("E4 / Table 4", "sale auxiliary view after smart duplicate compression")
+		out, err := experiments.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
+	}
+	if want("fig2") {
+		section("E5 / Figure 2", "extended join graph of product_sales")
+		out, err := experiments.Figure2()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
+	}
+	if want("sizing") {
+		section("E6 / Section 1.1", "fact table vs auxiliary view storage")
+		r, err := experiments.Sizing(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, r.Format())
+	}
+	if want("maintenance") {
+		section("A2", "maintenance cost: minimal vs PSJ vs recompute")
+		rs, err := experiments.AblationMaintenance(scale, deltas)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.FormatMaintenance(rs))
+	}
+	if want("compression") {
+		section("A1", "compression ratio vs duplication factor")
+		pts, err := experiments.AblationCompression([]int{1, 2, 5, 10, 20, 50})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-14s %10s %10s %10s\n", "txns/product", "fact rows", "aux rows", "ratio")
+		for _, p := range pts {
+			fmt.Fprintf(w, "  %-14d %10d %10d %9.1fx\n",
+				p.TransactionsPerProduct, p.FactRows, p.AuxRows, p.Ratio)
+		}
+	}
+	if want("elimination") {
+		section("A3", "auxiliary view elimination (Section 3.3)")
+		r, err := experiments.AblationElimination(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  omitted: %s\n", strings.Join(r.OmittedTables, ", "))
+		fmt.Fprintf(w, "  detail bytes with elimination:    %d\n", r.WithElimination)
+		fmt.Fprintf(w, "  detail bytes without elimination: %d\n", r.WithoutElimination)
+		fmt.Fprintf(w, "  reduction: %.1fx\n", float64(r.WithoutElimination)/float64(max(1, r.WithElimination)))
+	}
+	if want("needsets") {
+		section("A4", "Need-set-restricted delta joins")
+		rs, err := experiments.AblationNeedSets(scale, deltas)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			fmt.Fprintf(w, "  need sets=%-5v  elapsed=%-12s aux lookups=%d\n",
+				r.UseNeedSets, r.Elapsed.Round(1000), r.AuxLookups)
+		}
+	}
+	if want("appendonly") {
+		section("A6", "append-only relaxation (Section 4 future work)")
+		r, err := experiments.AblationAppendOnly(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  standard derivation: %8d aux rows, %10d bytes (MIN/MAX argument stays plain)\n", r.StandardRows, r.StandardBytes)
+		fmt.Fprintf(w, "  append-only:         %8d aux rows, %10d bytes (MIN/MAX compressed)\n", r.RelaxedRows, r.RelaxedBytes)
+		fmt.Fprintf(w, "  reduction: %.1fx\n", float64(r.StandardBytes)/float64(max(1, r.RelaxedBytes)))
+	}
+	if want("sharing") {
+		section("A7", "shared detail data for a class of views (Section 4 future work)")
+		rs, err := experiments.AblationSharing(scale)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			fmt.Fprintf(w, "  class %q (%d views):\n", r.Class, r.Views)
+			fmt.Fprintf(w, "    separate auxiliary sets: %8d rows, %10d bytes\n", r.PerViewRows, r.PerViewBytes)
+			fmt.Fprintf(w, "    one shared set:          %8d rows, %10d bytes\n", r.SharedRows, r.SharedBytes)
+			fmt.Fprintf(w, "    sharing factor: %.2fx\n", float64(r.PerViewBytes)/float64(max(1, r.SharedBytes)))
+		}
+	}
+	if want("selectivity") {
+		section("A5", "local reduction vs selection selectivity")
+		pts, err := experiments.AblationSelectivity([]float64{0.1, 0.25, 0.5, 0.75, 1.0})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-10s %10s %10s %12s\n", "fraction", "fact rows", "aux rows", "aux bytes")
+		for _, p := range pts {
+			fmt.Fprintf(w, "  %-10.2f %10d %10d %12d\n", p.YearFraction, p.FactRows, p.AuxRows, p.AuxBytes)
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

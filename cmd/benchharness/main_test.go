@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	cases := []struct {
+		exp  string
+		want string
+	}{
+		{"table1", "SMA/SMAS classification"},
+		{"table2", "CSMAS classification"},
+		{"table3", "after adding COUNT(*)"},
+		{"table4", "smart duplicate compression"},
+		{"fig2", "digraph"},
+		{"sizing", "245 GBytes"},
+		{"maintenance", "minimal (paper)"},
+		{"compression", "txns/product"},
+		{"elimination", "omitted: sale"},
+		{"needsets", "aux lookups"},
+		{"appendonly", "append-only"},
+		{"sharing", "sharing factor"},
+		{"selectivity", "fraction"},
+	}
+	for _, c := range cases {
+		var b strings.Builder
+		if err := run(&b, c.exp, 2000, 20); err != nil {
+			t.Fatalf("%s: %v", c.exp, err)
+		}
+		if !strings.Contains(b.String(), c.want) {
+			t.Errorf("%s: output missing %q:\n%s", c.exp, c.want, b.String())
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "all", 2000, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "A1", "A2", "A3", "A4", "A5", "A6", "A7"} {
+		if !strings.Contains(out, "=== "+want) {
+			t.Errorf("missing section %s", want)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Command dwshell is an interactive warehouse shell: a small psql-style
+// REPL over the mindetail engine. SQL statements terminated by ';' execute
+// against the warehouse; backslash commands inspect the derivations.
+//
+//	$ go run ./cmd/dwshell
+//	dw> CREATE TABLE sale (id INTEGER PRIMARY KEY, price FLOAT);
+//	dw> CREATE MATERIALIZED VIEW t AS SELECT SUM(price) AS total, COUNT(*) AS cnt FROM sale;
+//	dw> INSERT INTO sale VALUES (1, 9.5);
+//	dw> SELECT total, cnt FROM t;
+//	dw> \plan t
+//	dw> \report
+//	dw> \q
+//
+// An initial SQL script can be loaded with -f.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mindetail/internal/csvload"
+	"mindetail/internal/persist"
+	"mindetail/internal/warehouse"
+)
+
+func main() {
+	file := flag.String("f", "", "SQL script to execute before the prompt")
+	flag.Parse()
+
+	w := warehouse.New()
+	if *file != "" {
+		sql, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dwshell:", err)
+			os.Exit(1)
+		}
+		if _, err := w.Exec(string(sql)); err != nil {
+			fmt.Fprintln(os.Stderr, "dwshell:", err)
+			os.Exit(1)
+		}
+	}
+	sh := &shell{w: w, out: os.Stdout, prompt: true}
+	sh.run(os.Stdin)
+}
+
+// shell holds the REPL state; it is separate from main so tests can drive
+// it with string input.
+type shell struct {
+	w      *warehouse.Warehouse
+	out    io.Writer
+	prompt bool
+	buf    strings.Builder
+}
+
+func (s *shell) printf(format string, args ...any) {
+	fmt.Fprintf(s.out, format, args...)
+}
+
+// run reads input until EOF or \q.
+func (s *shell) run(in io.Reader) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if s.prompt {
+		s.printf("mindetail warehouse shell — \\help for commands\n")
+	}
+	for {
+		if s.prompt {
+			if s.buf.Len() == 0 {
+				s.printf("dw> ")
+			} else {
+				s.printf("..> ")
+			}
+		}
+		if !sc.Scan() {
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if s.buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if quit := s.meta(trimmed); quit {
+				return
+			}
+			continue
+		}
+		s.buf.WriteString(line)
+		s.buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			sql := s.buf.String()
+			s.buf.Reset()
+			s.exec(sql)
+		}
+	}
+}
+
+func (s *shell) exec(sql string) {
+	rel, err := s.w.Exec(sql)
+	if err != nil {
+		s.printf("error: %v\n", err)
+		return
+	}
+	if rel != nil {
+		s.printf("%s", rel.Format())
+	} else {
+		s.printf("ok\n")
+	}
+}
+
+// meta executes a backslash command; it reports whether the shell should
+// exit.
+func (s *shell) meta(cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\q`, `\quit`:
+		return true
+	case `\help`, `\?`:
+		s.printf(`commands:
+  <sql>;           execute SQL (multi-line until ';')
+  \views           list materialized views
+  \plan VIEW       show the derivation (join graph, Need sets, auxiliary views)
+  \graph VIEW      show the extended join graph in Graphviz DOT
+  \report          storage report for all views
+  \verify          check every view against recomputation
+  \import TABLE F  bulk-load CSV file F into TABLE (positional columns)
+  \export VIEW F   write a view's contents to CSV file F
+  \save FILE       snapshot warehouse state (views + auxiliary data)
+  \load FILE       replace the session with a restored snapshot
+  \detach          sever the sources (self-maintainability mode)
+  \q               quit
+`)
+	case `\views`:
+		names := s.w.ViewNames()
+		if len(names) == 0 {
+			s.printf("(no materialized views)\n")
+			break
+		}
+		for _, n := range names {
+			s.printf("%s\n", n)
+		}
+	case `\plan`, `\graph`:
+		if len(fields) != 2 {
+			s.printf("usage: %s VIEW\n", fields[0])
+			break
+		}
+		mv := s.w.View(fields[1])
+		if mv == nil {
+			s.printf("error: unknown view %s\n", fields[1])
+			break
+		}
+		if fields[0] == `\plan` {
+			s.printf("%s", mv.Plan.Text())
+		} else {
+			s.printf("%s", mv.Plan.Graph.Dot())
+		}
+	case `\report`:
+		s.printf("%s", warehouse.FormatReport(s.w.Report()))
+	case `\verify`:
+		if err := s.w.Verify(); err != nil {
+			s.printf("error: %v\n", err)
+		} else {
+			s.printf("all views match recomputation\n")
+		}
+	case `\detach`:
+		s.w.DetachSources()
+		s.printf("sources detached; views remain maintainable via deltas\n")
+	case `\import`:
+		if len(fields) != 3 {
+			s.printf("usage: \\import TABLE FILE\n")
+			break
+		}
+		f, err := os.Open(fields[2])
+		if err != nil {
+			s.printf("error: %v\n", err)
+			break
+		}
+		n, err := s.w.ImportCSV(fields[1], f, false)
+		f.Close()
+		if err != nil {
+			s.printf("error after %d rows: %v\n", n, err)
+			break
+		}
+		s.printf("imported %d rows into %s\n", n, fields[1])
+	case `\export`:
+		if len(fields) != 3 {
+			s.printf("usage: \\export VIEW FILE\n")
+			break
+		}
+		rel, err := s.w.Query(fields[1])
+		if err != nil {
+			s.printf("error: %v\n", err)
+			break
+		}
+		f, err := os.Create(fields[2])
+		if err != nil {
+			s.printf("error: %v\n", err)
+			break
+		}
+		err = csvload.Export(rel, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			s.printf("error: %v\n", err)
+			break
+		}
+		s.printf("exported %s to %s\n", fields[1], fields[2])
+	case `\save`:
+		if len(fields) != 2 {
+			s.printf("usage: \\save FILE\n")
+			break
+		}
+		f, err := os.Create(fields[1])
+		if err != nil {
+			s.printf("error: %v\n", err)
+			break
+		}
+		err = persist.Save(s.w, f, !s.w.Detached())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			s.printf("error: %v\n", err)
+			break
+		}
+		s.printf("saved to %s\n", fields[1])
+	case `\load`:
+		if len(fields) != 2 {
+			s.printf("usage: \\load FILE\n")
+			break
+		}
+		f, err := os.Open(fields[1])
+		if err != nil {
+			s.printf("error: %v\n", err)
+			break
+		}
+		w, err := persist.Load(f)
+		f.Close()
+		if err != nil {
+			s.printf("error: %v\n", err)
+			break
+		}
+		s.w = w
+		s.printf("restored from %s (%d views)\n", fields[1], len(w.ViewNames()))
+	default:
+		s.printf("unknown command %s (\\help for help)\n", fields[0])
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSimulator(t *testing.T) {
+	for _, view := range []string{"paper", "csmas", "elimination"} {
+		var b strings.Builder
+		if err := run(&b, 1500, 30, "default", view); err != nil {
+			t.Fatalf("%s: %v", view, err)
+		}
+		out := b.String()
+		for _, want := range []string{"loading retail workload", "streamed 30 deltas", "view groups"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s: output missing %q:\n%s", view, want, out)
+			}
+		}
+	}
+}
+
+func TestRunInsertOnlyMix(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 1500, 20, "insert-only", "csmas"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "group adjusts") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 1000, 10, "bogus", "paper"); err == nil {
+		t.Error("bad mix accepted")
+	}
+	if err := run(&b, 1000, 10, "default", "bogus"); err == nil {
+		t.Error("bad view accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Command mindetail derives the minimal auxiliary views for GPSJ views.
+//
+// It reads a SQL script (stdin or -f file) containing CREATE TABLE
+// statements and one or more CREATE [MATERIALIZED] VIEW statements, and for
+// every view prints the extended join graph, Need sets, dependencies, the
+// derived auxiliary views in SQL, and the elimination decisions — the
+// output of the paper's Algorithm 3.2.
+//
+//	mindetail -f schema.sql          # full derivation report
+//	mindetail -f schema.sql -dot     # extended join graphs in Graphviz DOT
+//	mindetail -f schema.sql -fields  # field counts for the 4-byte model
+//	mindetail -f schema.sql -shared  # one shared auxiliary-view set for all views
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mindetail/internal/core"
+	"mindetail/internal/gpsj"
+	"mindetail/internal/schema"
+	"mindetail/internal/sqlparse"
+)
+
+func main() {
+	file := flag.String("f", "", "SQL script (default: stdin)")
+	dot := flag.Bool("dot", false, "print extended join graphs in Graphviz DOT")
+	fields := flag.Bool("fields", false, "print per-view field counts (4-byte storage model)")
+	shared := flag.Bool("shared", false, "derive one shared auxiliary-view set for ALL views in the script")
+	flag.Parse()
+
+	src := os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	sql, err := io.ReadAll(src)
+	if err != nil {
+		fatal(err)
+	}
+	if err := run(os.Stdout, string(sql), *dot, *fields, *shared); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mindetail:", err)
+	os.Exit(1)
+}
+
+func run(w io.Writer, sql string, dot, fields, shared bool) error {
+	stmts, err := sqlparse.ParseAll(sql)
+	if err != nil {
+		return err
+	}
+	cat := schema.NewCatalog()
+	var fks []schema.ForeignKey
+	var views []*sqlparse.CreateView
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *sqlparse.CreateTable:
+			if err := cat.AddTable(st.Table); err != nil {
+				return err
+			}
+			fks = append(fks, st.FKs...)
+		case *sqlparse.CreateView:
+			views = append(views, st)
+		default:
+			return fmt.Errorf("only CREATE TABLE and CREATE VIEW statements are supported, got %T", s)
+		}
+	}
+	for _, fk := range fks {
+		if err := cat.AddForeignKey(fk); err != nil {
+			return err
+		}
+	}
+	if len(views) == 0 {
+		return fmt.Errorf("no CREATE VIEW statements in input")
+	}
+	if shared {
+		var vs []*gpsj.View
+		for _, cv := range views {
+			v, err := gpsj.FromSelect(cat, cv.Name, cv.Query)
+			if err != nil {
+				return err
+			}
+			vs = append(vs, v)
+		}
+		sp, err := core.DeriveShared(vs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, sp.Text())
+		sharedFields, perView := sp.FieldTotals()
+		fmt.Fprintf(w, "field totals: shared=%d, sum of per-view=%d\n", sharedFields, perView)
+		return nil
+	}
+	for _, cv := range views {
+		v, err := gpsj.FromSelect(cat, cv.Name, cv.Query)
+		if err != nil {
+			return err
+		}
+		plan, err := core.Derive(v)
+		if err != nil {
+			return err
+		}
+		switch {
+		case dot:
+			fmt.Fprint(w, plan.Graph.Dot())
+		case fields:
+			fmt.Fprintf(w, "view %s:\n", cv.Name)
+			for _, t := range plan.View.Tables {
+				x := plan.Aux[t]
+				if x.Omitted {
+					fmt.Fprintf(w, "  %-16s omitted\n", x.Name)
+					continue
+				}
+				fmt.Fprintf(w, "  %-16s %d fields\n", x.Name, x.FieldCount())
+			}
+		default:
+			fmt.Fprint(w, plan.Text())
+		}
+	}
+	return nil
+}

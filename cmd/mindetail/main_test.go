@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const schemaSQL = `
+CREATE TABLE time (id INTEGER PRIMARY KEY, day INTEGER, month INTEGER, year INTEGER);
+CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR, category VARCHAR);
+CREATE TABLE sale (id INTEGER PRIMARY KEY,
+	timeid INTEGER REFERENCES time,
+	productid INTEGER REFERENCES product,
+	price FLOAT);
+CREATE VIEW product_sales AS
+SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount
+FROM sale, time, product
+WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id
+GROUP BY time.month;
+`
+
+func TestRunDerivation(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, schemaSQL, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"sale_dtl", "time_dtl", "product_dtl", "Need(sale)", "GROUP BY"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, schemaSQL, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "digraph") {
+		t.Errorf("dot output missing digraph:\n%s", b.String())
+	}
+}
+
+func TestRunFields(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, schemaSQL, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "sale_dtl") || !strings.Contains(out, "fields") {
+		t.Errorf("fields output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []string{
+		``, // no views
+		`CREATE TABLE t (id INTEGER PRIMARY KEY);`,                     // no views
+		`INSERT INTO t VALUES (1);`,                                    // unsupported statement
+		`CREATE VIEW v AS SELECT nope, COUNT(*) FROM t GROUP BY nope;`, // unknown table
+		`CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER REFERENCES nosuch);
+		 CREATE VIEW v AS SELECT t.x, COUNT(*) FROM t GROUP BY t.x;`, // bad FK
+		`CREATE TABLE t (id INTEGER PRIMARY KEY);
+		 CREATE TABLE t (id INTEGER PRIMARY KEY);`, // duplicate table
+		`syntax error here`,
+	}
+	for _, src := range cases {
+		var b strings.Builder
+		if err := run(&b, src, false, false, false); err == nil {
+			t.Errorf("run(%q) should fail", src)
+		}
+	}
+}
+
+func TestRunShared(t *testing.T) {
+	src := schemaSQL + `
+CREATE VIEW store_max AS
+SELECT sale.productid, MAX(price) AS hi, COUNT(*) AS cnt
+FROM sale GROUP BY sale.productid;
+`
+	var b strings.Builder
+	if err := run(&b, src, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"shared minimal detail data for 2 views", "field totals"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shared output missing %q:\n%s", want, out)
+		}
+	}
+}

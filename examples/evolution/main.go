@@ -1,0 +1,140 @@
+// Evolution: the Section 4 extensions working together.
+//
+//  1. A HAVING-restricted view over a live warehouse.
+//
+//  2. An append-only warehouse where MIN/MAX compress into the auxiliary
+//     views and the fact table's view is omitted.
+//
+//  3. The class-of-views derivation: one shared auxiliary-view set.
+//
+//  4. Persistence: snapshot the warehouse, restore it, and keep
+//     maintaining against detached sources.
+//
+//     go run ./examples/evolution
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mindetail"
+)
+
+const ddl = `
+CREATE TABLE time (id INTEGER PRIMARY KEY, day INTEGER, month INTEGER, year INTEGER);
+CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR MUTABLE, category VARCHAR);
+CREATE TABLE sale (id INTEGER PRIMARY KEY,
+	timeid INTEGER REFERENCES time,
+	productid INTEGER REFERENCES product,
+	price FLOAT);
+
+INSERT INTO time VALUES (1, 5, 1, 1997), (2, 20, 1, 1997), (3, 7, 2, 1997);
+INSERT INTO product VALUES (100, 'acme', 'tools'), (101, 'bolt', 'food');
+INSERT INTO sale VALUES
+	(1, 1, 100, 12.50), (2, 1, 100, 12.50), (3, 1, 101, 3.00),
+	(4, 2, 100, 8.25),  (5, 3, 101, 3.00);
+`
+
+func main() {
+	havingDemo()
+	appendOnlyDemo()
+	sharedDemo()
+	persistenceDemo()
+}
+
+func havingDemo() {
+	fmt.Println("=== 1. HAVING: restrictions on groups ===")
+	w := mindetail.New()
+	w.MustExec(ddl)
+	w.MustExec(`
+		CREATE MATERIALIZED VIEW busy_months AS
+		SELECT time.month, COUNT(*) AS cnt, SUM(price) AS total
+		FROM sale, time WHERE sale.timeid = time.id AND time.year = 1997
+		GROUP BY time.month
+		HAVING cnt >= 3`)
+	show(w, "busy_months", "only month 1 qualifies")
+	// Month 2 (timeid 3) crosses the threshold as data arrives.
+	w.MustExec(`INSERT INTO sale VALUES (6, 3, 101, 1), (7, 3, 101, 2)`)
+	show(w, "busy_months", "month 2 crossed the threshold")
+}
+
+func appendOnlyDemo() {
+	fmt.Println("=== 2. append-only: MIN/MAX compress, fact detail vanishes ===")
+	w := mindetail.New()
+	w.AppendOnly = true
+	w.MustExec(ddl)
+	w.MustExec(`
+		CREATE MATERIALIZED VIEW price_range AS
+		SELECT product.id, MIN(price) AS lo, MAX(price) AS hi, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.id`)
+	plan := w.View("price_range").Plan
+	fmt.Println(plan.Aux["sale"].SQL())
+	fmt.Println()
+	fmt.Print(mindetail.FormatReport(w.Report()))
+	w.MustExec(`INSERT INTO sale VALUES (8, 1, 100, 99.99)`)
+	show(w, "price_range", "after inserting a new maximum")
+}
+
+func sharedDemo() {
+	fmt.Println("=== 3. classes of summary data: one shared auxiliary set ===")
+	w := mindetail.New()
+	w.MustExec(ddl)
+	sp, err := mindetail.DeriveShared(w.Catalog(), map[string]string{
+		"sales_1997": `SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+			FROM sale, time WHERE time.year = 1997 AND sale.timeid = time.id
+			GROUP BY time.month`,
+		"sales_1998": `SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+			FROM sale, time WHERE time.year = 1998 AND sale.timeid = time.id
+			GROUP BY time.month`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sp.Text())
+	shared, perView := sp.FieldTotals()
+	fmt.Printf("field totals: shared=%d vs separate=%d\n\n", shared, perView)
+}
+
+func persistenceDemo() {
+	fmt.Println("=== 4. persistence: snapshot, restore, keep maintaining ===")
+	w := mindetail.New()
+	w.MustExec(ddl)
+	w.MustExec(`
+		CREATE MATERIALIZED VIEW totals AS
+		SELECT product.brand, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.brand`)
+
+	var snapshot strings.Builder
+	if err := mindetail.Save(w, &snapshot, false); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot: %d bytes (warehouse-resident state only)\n", snapshot.Len())
+
+	restored, err := mindetail.Load(strings.NewReader(snapshot.String()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored: detached=%v, views=%v\n", restored.Detached(), restored.ViewNames())
+	// Maintenance continues from deltas alone.
+	err = restored.ApplyDelta(mindetail.Delta{
+		Table: "sale",
+		Inserts: []mindetail.Tuple{{
+			mindetail.Int(9), mindetail.Int(1), mindetail.Int(101), mindetail.Float(7),
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(restored, "totals", "after a delta against the restored, detached warehouse")
+}
+
+func show(w *mindetail.Warehouse, view, when string) {
+	rel, err := w.Query(view)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- %s (%s) ---\n%s\n", view, when, rel.Format())
+}

@@ -1,0 +1,74 @@
+// MinMax: the paper's Section 3.2 product_sales_max example — non-CSMAS
+// aggregates under smart duplicate compression.
+//
+// MAX(price) is not completely self-maintainable (Table 1: deletions may
+// remove the extremum), so price must stay a plain attribute of the
+// auxiliary view; SUM(price) over the same attribute is then reconstructed
+// as SUM(price * SaleCount) — the f(a·cnt0) rule. Insertions use the SMA
+// fast path; deleting the extremum repairs the group from the auxiliary
+// view alone.
+//
+//	go run ./examples/minmax
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mindetail"
+)
+
+func main() {
+	w := mindetail.New()
+	w.MustExec(`
+		CREATE TABLE sale (id INTEGER PRIMARY KEY, productid INTEGER, price FLOAT MUTABLE);
+		INSERT INTO sale VALUES
+			(1, 100, 10), (2, 100, 10), (3, 100, 25),
+			(4, 101, 5),  (5, 101, 5);
+	`)
+
+	const viewSQL = `
+		SELECT sale.productid, MAX(sale.price) AS MaxPrice,
+		       SUM(sale.price) AS TotalPrice, COUNT(*) AS TotalCount
+		FROM sale GROUP BY sale.productid`
+
+	plan, err := mindetail.Derive(w.Catalog(), "product_sales_max", viewSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== derivation (Section 3.2 example) ===")
+	fmt.Println(plan.Text())
+	fmt.Println("note: price stays plain (it feeds MAX); duplicates compress per (productid, price).")
+	fmt.Println()
+
+	w.MustExec(`CREATE MATERIALIZED VIEW product_sales_max AS ` + viewSQL)
+	show(w, "initially")
+
+	// Insertion: MAX is self-maintainable for insertions (Table 1) — the
+	// engine raises the extremum without touching the auxiliary views.
+	w.MustExec(`INSERT INTO sale VALUES (6, 100, 40)`)
+	show(w, "after inserting a new maximum (40)")
+
+	// Deleting the extremum: MAX cannot be adjusted incrementally; the
+	// group is recomputed from the auxiliary view — never from the base
+	// table.
+	w.MustExec(`DELETE FROM sale WHERE id = 6`)
+	show(w, "after deleting the maximum again")
+
+	// An update that moves the extremum.
+	w.MustExec(`UPDATE sale SET price = 1 WHERE id = 3`)
+	show(w, "after updating the old maximum down to 1")
+
+	if err := w.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified against full recomputation.")
+}
+
+func show(w *mindetail.Warehouse, when string) {
+	rel, err := w.Query("product_sales_max")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- product_sales_max %s ---\n%s\n", when, rel.Format())
+}

@@ -1,0 +1,3 @@
+module mindetail
+
+go 1.22

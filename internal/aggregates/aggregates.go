@@ -1,0 +1,241 @@
+// Package aggregates implements the aggregate classification of the paper's
+// Section 3.1: self-maintainable aggregates (SMA), self-maintainable
+// aggregate sets (SMAS), and completely self-maintainable aggregate sets
+// (CSMAS), together with the replacement rules of Table 2.
+//
+// An aggregate f(a) is an SMA w.r.t. a change class if its new value can be
+// computed from its old value and the change alone; it is part of an SMAS
+// if a set of companion aggregates makes that possible. A CSMAS is
+// self-maintainable under both insertions and deletions (Definition 1).
+// Using DISTINCT makes any aggregate non-distributive and therefore a
+// non-CSMAS.
+package aggregates
+
+import (
+	"fmt"
+
+	"mindetail/internal/ra"
+)
+
+// Properties reproduces one row of the paper's Table 1: whether the
+// aggregate is an SMA (alone) or an SMAS (with companions) with respect to
+// insertions and deletions, and which companion aggregates the SMAS needs.
+type Properties struct {
+	Func AggDesc
+
+	SMAInsert  bool
+	SMADelete  bool
+	SMASInsert bool
+	SMASDelete bool
+
+	// Companions lists the aggregates that must accompany Func for the
+	// SMAS columns to hold (e.g. SUM needs COUNT for deletions).
+	Companions []ra.AggFunc
+}
+
+// AggDesc names an aggregate for classification: the function and whether
+// DISTINCT is applied.
+type AggDesc struct {
+	Func     ra.AggFunc
+	Distinct bool
+}
+
+// String renders the descriptor, e.g. "SUM" or "COUNT(DISTINCT)".
+func (d AggDesc) String() string {
+	if d.Distinct {
+		return string(d.Func) + "(DISTINCT)"
+	}
+	return string(d.Func)
+}
+
+// Classify reproduces Table 1 for the five SQL aggregates without DISTINCT.
+// DISTINCT aggregates are not SMAs for deletions and not SMASs for
+// deletions either (duplicate information is lost), so they classify like
+// MIN/MAX but are additionally non-distributive.
+func Classify(d AggDesc) Properties {
+	p := Properties{Func: d}
+	if d.Distinct {
+		// A DISTINCT aggregate can absorb insertions only if the set of
+		// distinct values is known, which the aggregate value alone does
+		// not provide; it is not an SMA/SMAS in either direction.
+		return p
+	}
+	switch d.Func {
+	case ra.FuncCount:
+		p.SMAInsert, p.SMADelete = true, true
+		p.SMASInsert, p.SMASDelete = true, true
+	case ra.FuncSum:
+		// SUM is an SMA for insertions; for deletions it needs COUNT to
+		// detect when the group becomes empty (Table 1).
+		p.SMAInsert = true
+		p.SMASInsert, p.SMASDelete = true, true
+		p.Companions = []ra.AggFunc{ra.FuncCount}
+	case ra.FuncAvg:
+		// AVG is never an SMA; with SUM and COUNT it is an SMAS for both
+		// change classes.
+		p.SMASInsert, p.SMASDelete = true, true
+		p.Companions = []ra.AggFunc{ra.FuncSum, ra.FuncCount}
+	case ra.FuncMin, ra.FuncMax:
+		// MIN/MAX absorb insertions but deletions may remove the extremum.
+		p.SMAInsert = true
+		p.SMASInsert = true
+	}
+	return p
+}
+
+// IsCSMAS reproduces Table 2: COUNT, SUM, and AVG (without DISTINCT) form
+// completely self-maintainable aggregate sets after replacement; MIN/MAX
+// and every DISTINCT aggregate do not.
+func IsCSMAS(a *ra.Aggregate) bool {
+	if a.Distinct {
+		return false
+	}
+	switch a.Func {
+	case ra.FuncCount, ra.FuncSum, ra.FuncAvg:
+		return true
+	default:
+		return false
+	}
+}
+
+// Replacement reproduces the "Replaced By" column of Table 2: the set of
+// distributive aggregates that maintain a CSMAS. COUNT becomes COUNT(*)
+// (valid because base tables contain no nulls, Section 3.1); SUM and AVG
+// become {SUM, COUNT(*)}. Non-CSMAS aggregates are not replaced and are
+// returned unchanged.
+func Replacement(a *ra.Aggregate) []ra.Aggregate {
+	if !IsCSMAS(a) {
+		return []ra.Aggregate{*a}
+	}
+	switch a.Func {
+	case ra.FuncCount:
+		return []ra.Aggregate{{Func: ra.FuncCount}}
+	case ra.FuncSum:
+		return []ra.Aggregate{
+			{Func: ra.FuncSum, Arg: a.Arg},
+			{Func: ra.FuncCount},
+		}
+	case ra.FuncAvg:
+		return []ra.Aggregate{
+			{Func: ra.FuncSum, Arg: a.Arg},
+			{Func: ra.FuncCount},
+		}
+	default:
+		return []ra.Aggregate{*a}
+	}
+}
+
+// Distributive reports whether the aggregate function (without DISTINCT)
+// can be computed by partitioning its input, aggregating each partition,
+// and combining — the property smart duplicate compression relies on
+// (Section 3.2). All five SQL aggregates except AVG are distributive; AVG
+// is not but is replaceable by distributive ones.
+func Distributive(d AggDesc) bool {
+	if d.Distinct {
+		return false
+	}
+	switch d.Func {
+	case ra.FuncCount, ra.FuncSum, ra.FuncMin, ra.FuncMax:
+		return true
+	default:
+		return false
+	}
+}
+
+// Table1Row is a formatted row of the paper's Table 1, produced by
+// FormatTable1 for the benchmark harness.
+type Table1Row struct {
+	Aggregate string
+	SMA       string // "+/+", "+/-", ...
+	SMAS      string
+	Note      string
+}
+
+// FormatTable1 regenerates the contents of the paper's Table 1.
+func FormatTable1() []Table1Row {
+	mk := func(ins, del bool) string {
+		s := ""
+		if ins {
+			s += "+"
+		} else {
+			s += "-"
+		}
+		s += "/"
+		if del {
+			s += "+"
+		} else {
+			s += "-"
+		}
+		return s
+	}
+	rows := []Table1Row{}
+	for _, f := range []ra.AggFunc{ra.FuncCount, ra.FuncSum, ra.FuncAvg, ra.FuncMin} {
+		p := Classify(AggDesc{Func: f})
+		name := string(f)
+		note := ""
+		switch f {
+		case ra.FuncSum:
+			note = "SMAS needs COUNT for deletions"
+		case ra.FuncAvg:
+			note = "not an SMA; SMAS with COUNT and SUM"
+		case ra.FuncMin:
+			name = "MAX/MIN"
+			note = "deletion may remove the extremum"
+		}
+		rows = append(rows, Table1Row{
+			Aggregate: name,
+			SMA:       mk(p.SMAInsert, p.SMADelete),
+			SMAS:      mk(p.SMASInsert, p.SMASDelete),
+			Note:      note,
+		})
+	}
+	return rows
+}
+
+// Table2Row is a formatted row of the paper's Table 2.
+type Table2Row struct {
+	Aggregate  string
+	ReplacedBy string
+	Class      string // "CSMAS" or "non-CSMAS"
+}
+
+// FormatTable2 regenerates the contents of the paper's Table 2.
+func FormatTable2() []Table2Row {
+	arg := ra.ColRef{Name: "a"}
+	describe := func(a ra.Aggregate) Table2Row {
+		row := Table2Row{Aggregate: a.String()}
+		if IsCSMAS(&a) {
+			row.Class = "CSMAS"
+			parts := Replacement(&a)
+			for i, p := range parts {
+				if i > 0 {
+					row.ReplacedBy += ", "
+				}
+				row.ReplacedBy += p.String()
+			}
+		} else {
+			row.Class = "non-CSMAS"
+			row.ReplacedBy = "Not replaced"
+		}
+		return row
+	}
+	rows := []Table2Row{
+		describe(ra.Aggregate{Func: ra.FuncCount, Arg: arg}),
+		describe(ra.Aggregate{Func: ra.FuncSum, Arg: arg}),
+		describe(ra.Aggregate{Func: ra.FuncAvg, Arg: arg}),
+	}
+	minmax := describe(ra.Aggregate{Func: ra.FuncMax, Arg: arg})
+	minmax.Aggregate = "MAX/MIN"
+	rows = append(rows, minmax)
+	return rows
+}
+
+// ValidateSupported rejects aggregate functions outside the paper's five.
+func ValidateSupported(a *ra.Aggregate) error {
+	switch a.Func {
+	case ra.FuncCount, ra.FuncSum, ra.FuncAvg, ra.FuncMin, ra.FuncMax:
+		return nil
+	default:
+		return fmt.Errorf("aggregates: unsupported aggregate function %q", a.Func)
+	}
+}

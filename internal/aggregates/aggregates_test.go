@@ -1,0 +1,175 @@
+package aggregates
+
+import (
+	"testing"
+
+	"mindetail/internal/ra"
+)
+
+func TestClassifyTable1(t *testing.T) {
+	// The exact content of the paper's Table 1.
+	cases := []struct {
+		f                                ra.AggFunc
+		smaIns, smaDel, smasIns, smasDel bool
+		companions                       int
+	}{
+		{ra.FuncCount, true, true, true, true, 0},
+		{ra.FuncSum, true, false, true, true, 1},
+		{ra.FuncAvg, false, false, true, true, 2},
+		{ra.FuncMin, true, false, true, false, 0},
+		{ra.FuncMax, true, false, true, false, 0},
+	}
+	for _, c := range cases {
+		p := Classify(AggDesc{Func: c.f})
+		if p.SMAInsert != c.smaIns || p.SMADelete != c.smaDel ||
+			p.SMASInsert != c.smasIns || p.SMASDelete != c.smasDel {
+			t.Errorf("%s: got %+v", c.f, p)
+		}
+		if len(p.Companions) != c.companions {
+			t.Errorf("%s: companions = %v", c.f, p.Companions)
+		}
+	}
+}
+
+func TestClassifyDistinct(t *testing.T) {
+	for _, f := range []ra.AggFunc{ra.FuncCount, ra.FuncSum, ra.FuncAvg, ra.FuncMin, ra.FuncMax} {
+		p := Classify(AggDesc{Func: f, Distinct: true})
+		if p.SMAInsert || p.SMADelete || p.SMASInsert || p.SMASDelete {
+			t.Errorf("%s DISTINCT should not be self-maintainable: %+v", f, p)
+		}
+	}
+}
+
+func TestIsCSMASTable2(t *testing.T) {
+	arg := ra.ColRef{Name: "a"}
+	cases := []struct {
+		agg  ra.Aggregate
+		want bool
+	}{
+		{ra.Aggregate{Func: ra.FuncCount, Arg: arg}, true},
+		{ra.Aggregate{Func: ra.FuncCount}, true}, // COUNT(*)
+		{ra.Aggregate{Func: ra.FuncSum, Arg: arg}, true},
+		{ra.Aggregate{Func: ra.FuncAvg, Arg: arg}, true},
+		{ra.Aggregate{Func: ra.FuncMin, Arg: arg}, false},
+		{ra.Aggregate{Func: ra.FuncMax, Arg: arg}, false},
+		{ra.Aggregate{Func: ra.FuncCount, Arg: arg, Distinct: true}, false},
+		{ra.Aggregate{Func: ra.FuncSum, Arg: arg, Distinct: true}, false},
+	}
+	for _, c := range cases {
+		if got := IsCSMAS(&c.agg); got != c.want {
+			t.Errorf("IsCSMAS(%s) = %v, want %v", c.agg.String(), got, c.want)
+		}
+	}
+}
+
+func TestReplacement(t *testing.T) {
+	arg := ra.ColRef{Name: "price"}
+	// COUNT(a) -> COUNT(*).
+	r := Replacement(&ra.Aggregate{Func: ra.FuncCount, Arg: arg})
+	if len(r) != 1 || !r[0].IsCountStar() {
+		t.Errorf("COUNT replacement = %v", r)
+	}
+	// SUM(a) -> SUM(a), COUNT(*).
+	r = Replacement(&ra.Aggregate{Func: ra.FuncSum, Arg: arg})
+	if len(r) != 2 || r[0].Func != ra.FuncSum || !r[1].IsCountStar() {
+		t.Errorf("SUM replacement = %v", r)
+	}
+	// AVG(a) -> SUM(a), COUNT(*).
+	r = Replacement(&ra.Aggregate{Func: ra.FuncAvg, Arg: arg})
+	if len(r) != 2 || r[0].Func != ra.FuncSum || !r[1].IsCountStar() {
+		t.Errorf("AVG replacement = %v", r)
+	}
+	// MIN not replaced.
+	r = Replacement(&ra.Aggregate{Func: ra.FuncMin, Arg: arg})
+	if len(r) != 1 || r[0].Func != ra.FuncMin {
+		t.Errorf("MIN replacement = %v", r)
+	}
+	// DISTINCT never replaced (paper Section 3.1).
+	r = Replacement(&ra.Aggregate{Func: ra.FuncSum, Arg: arg, Distinct: true})
+	if len(r) != 1 || !r[0].Distinct {
+		t.Errorf("SUM(DISTINCT) replacement = %v", r)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	cases := []struct {
+		d    AggDesc
+		want bool
+	}{
+		{AggDesc{Func: ra.FuncCount}, true},
+		{AggDesc{Func: ra.FuncSum}, true},
+		{AggDesc{Func: ra.FuncMin}, true},
+		{AggDesc{Func: ra.FuncMax}, true},
+		{AggDesc{Func: ra.FuncAvg}, false},
+		{AggDesc{Func: ra.FuncCount, Distinct: true}, false},
+	}
+	for _, c := range cases {
+		if got := Distributive(c.d); got != c.want {
+			t.Errorf("Distributive(%s) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	rows := FormatTable1()
+	if len(rows) != 4 {
+		t.Fatalf("Table 1 rows = %d", len(rows))
+	}
+	want := map[string][2]string{
+		"COUNT":   {"+/+", "+/+"},
+		"SUM":     {"+/-", "+/+"},
+		"AVG":     {"-/-", "+/+"},
+		"MAX/MIN": {"+/-", "+/-"},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Aggregate]
+		if !ok {
+			t.Errorf("unexpected row %q", r.Aggregate)
+			continue
+		}
+		if r.SMA != w[0] || r.SMAS != w[1] {
+			t.Errorf("%s: SMA=%s SMAS=%s, want %v", r.Aggregate, r.SMA, r.SMAS, w)
+		}
+	}
+}
+
+func TestFormatTable2(t *testing.T) {
+	rows := FormatTable2()
+	if len(rows) != 4 {
+		t.Fatalf("Table 2 rows = %d", len(rows))
+	}
+	want := map[string][2]string{
+		"COUNT(a)": {"COUNT(*)", "CSMAS"},
+		"SUM(a)":   {"SUM(a), COUNT(*)", "CSMAS"},
+		"AVG(a)":   {"SUM(a), COUNT(*)", "CSMAS"},
+		"MAX/MIN":  {"Not replaced", "non-CSMAS"},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Aggregate]
+		if !ok {
+			t.Errorf("unexpected row %q", r.Aggregate)
+			continue
+		}
+		if r.ReplacedBy != w[0] || r.Class != w[1] {
+			t.Errorf("%s: got (%q, %q), want %v", r.Aggregate, r.ReplacedBy, r.Class, w)
+		}
+	}
+}
+
+func TestValidateSupported(t *testing.T) {
+	if err := ValidateSupported(&ra.Aggregate{Func: ra.FuncSum, Arg: ra.ColRef{Name: "a"}}); err != nil {
+		t.Errorf("SUM rejected: %v", err)
+	}
+	if err := ValidateSupported(&ra.Aggregate{Func: "MEDIAN"}); err == nil {
+		t.Error("MEDIAN accepted")
+	}
+}
+
+func TestAggDescString(t *testing.T) {
+	if got := (AggDesc{Func: ra.FuncSum}).String(); got != "SUM" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (AggDesc{Func: ra.FuncCount, Distinct: true}).String(); got != "COUNT(DISTINCT)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,267 @@
+// Package answer implements an aggregate navigator in the spirit of the
+// query tools the paper targets (Kimball's Star Tracker, cited in
+// Section 4): it answers ad hoc GPSJ queries from a materialized view's
+// auxiliary detail data instead of the base tables — which keeps such
+// queries answerable even after the sources are detached.
+//
+// A query Q is answerable from a plan P's auxiliary views when
+//
+//   - Q references a subset of P's tables that forms a connected subtree
+//     containing P's root (so the join multiplicities match: every extra
+//     table P joins is reached through a key join with referential
+//     integrity and multiplies nothing);
+//   - every attribute Q needs raw — group-by attributes, selection
+//     attributes, and non-CSMAS aggregate arguments — is stored plain;
+//   - every selection condition of Q either already holds in the auxiliary
+//     views (it is one of P's conditions) or can be re-applied because its
+//     attributes are stored;
+//   - Q's CSMAS aggregates are computable: COUNT from cnt0, SUM from the
+//     compressed SUM column or from a·cnt0, AVG from both.
+package answer
+
+import (
+	"fmt"
+
+	"mindetail/internal/core"
+	"mindetail/internal/gpsj"
+	"mindetail/internal/ra"
+)
+
+// Answerable checks whether the query can be answered from the plan's
+// auxiliary views, returning a human-readable reason when it cannot.
+func Answerable(p *core.Plan, q *gpsj.View) (bool, string) {
+	if !p.Reconstructable() {
+		return false, "the plan's root auxiliary view is omitted"
+	}
+	inPlan := make(map[string]bool, len(p.View.Tables))
+	for _, t := range p.View.Tables {
+		inPlan[t] = true
+	}
+	qTables := make(map[string]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		if !inPlan[t] {
+			return false, fmt.Sprintf("table %s is not covered by the plan", t)
+		}
+		qTables[t] = true
+	}
+	if !qTables[p.Graph.Root] {
+		return false, fmt.Sprintf("query does not include the plan's root table %s", p.Graph.Root)
+	}
+	// Connected subtree: every query table's parent chain to the root must
+	// stay inside the query tables.
+	for t := range qTables {
+		for _, anc := range p.Graph.PathToRoot(t) {
+			if !qTables[anc] {
+				return false, fmt.Sprintf("query tables are not a connected subtree (missing %s)", anc)
+			}
+		}
+	}
+	// Every extra plan table below the query subtree must join 1:1 so the
+	// multiplicities of the joined auxiliary detail match the query's own
+	// join: that holds exactly when the plan applied a join reduction (RI
+	// and no exposed updates) AND the table carries no conditions in the
+	// plan (its auxiliary view drops no rows the query would keep).
+	// Conservative and simple: require every plan table outside the query
+	// to be non-filtering and reached by a depends edge.
+	cat := p.View.Catalog()
+	for _, t := range p.View.Tables {
+		if qTables[t] {
+			continue
+		}
+		j, ok := p.Graph.EdgeTo[t]
+		if !ok {
+			return false, fmt.Sprintf("plan table %s has no join edge", t)
+		}
+		if !cat.HasRI(j.Left, j.LeftAttr, j.Right) {
+			return false, fmt.Sprintf("plan joins extra table %s without referential integrity; multiplicities may differ", t)
+		}
+		if len(p.View.Local[t]) > 0 {
+			return false, fmt.Sprintf("plan filters extra table %s; the auxiliary detail is narrower than the query", t)
+		}
+		if p.View.HasExposedUpdates(t) {
+			return false, fmt.Sprintf("extra table %s has exposed updates", t)
+		}
+	}
+
+	// Plan conditions must be a subset of the query's semantics: every
+	// local condition the plan pushed down must also be required by the
+	// query, or the auxiliary data is missing rows the query needs.
+	qConds := make(map[string]bool)
+	for _, t := range q.Tables {
+		for _, c := range q.Local[t] {
+			qConds[c.String()] = true
+		}
+	}
+	for _, t := range q.Tables {
+		for _, c := range p.View.Local[t] {
+			if !qConds[c.String()] {
+				return false, fmt.Sprintf("the plan's condition %q filtered the detail; the query does not require it", c)
+			}
+		}
+	}
+
+	// Attribute availability.
+	root := p.Aux[p.Graph.Root]
+	stored := func(t, a string) (plain bool, summed bool) {
+		x := p.Aux[t]
+		if x == nil {
+			return false, false
+		}
+		for _, pa := range x.PlainAttrs {
+			if pa == a {
+				return true, false
+			}
+		}
+		if _, ok := x.SumName[a]; ok {
+			return false, true
+		}
+		return false, false
+	}
+	needPlain := func(t, a, why string) (bool, string) {
+		if plain, _ := stored(t, a); !plain {
+			return false, fmt.Sprintf("attribute %s.%s (%s) is not stored plain", t, a, why)
+		}
+		return true, ""
+	}
+	for _, a := range q.GroupBy() {
+		if ok, why := needPlain(a.Table, a.Name, "group-by"); !ok {
+			return false, why
+		}
+	}
+	for _, t := range q.Tables {
+		for _, c := range q.Local[t] {
+			if qCondHeldByPlan(p, t, c) {
+				continue // already enforced by the auxiliary views
+			}
+			for _, col := range c.Cols(nil) {
+				if ok, why := needPlain(col.Table, col.Name, "selection"); !ok {
+					return false, why
+				}
+			}
+		}
+	}
+	for _, agg := range q.Aggregates() {
+		if agg.Arg == nil {
+			continue // COUNT(*) from cnt0
+		}
+		c := agg.Arg.(ra.ColRef)
+		plain, summed := stored(c.Table, c.Name)
+		switch {
+		case agg.Distinct, agg.Func == ra.FuncMin, agg.Func == ra.FuncMax:
+			if !plain {
+				return false, fmt.Sprintf("non-CSMAS aggregate %s needs %s plain", agg, c)
+			}
+		default: // COUNT/SUM/AVG
+			if !plain && !(summed && c.Table == root.Base) {
+				return false, fmt.Sprintf("aggregate %s: %s is neither plain nor compressed", agg, c)
+			}
+		}
+	}
+	return true, ""
+}
+
+// qCondHeldByPlan reports whether the query condition is one the plan
+// already pushed into table t's auxiliary view.
+func qCondHeldByPlan(p *core.Plan, t string, c ra.Comparison) bool {
+	for _, pc := range p.View.Local[t] {
+		if pc.String() == c.String() {
+			return true
+		}
+	}
+	return false
+}
+
+// Answer evaluates the query from the plan's materialized auxiliary views.
+// It fails with the Answerable reason when the query is not covered.
+func Answer(p *core.Plan, q *gpsj.View, aux map[string]*ra.Relation) (*ra.Relation, error) {
+	if ok, why := Answerable(p, q); !ok {
+		return nil, fmt.Errorf("answer: query %s not answerable from plan %s: %s", q.Name, p.View.Name, why)
+	}
+	node, err := p.JoinAux(aux)
+	if err != nil {
+		return nil, err
+	}
+	// Residual conditions: the query's conditions not already enforced.
+	var residual []ra.Comparison
+	for _, t := range q.Tables {
+		for _, c := range q.Local[t] {
+			if !qCondHeldByPlan(p, t, c) {
+				residual = append(residual, c)
+			}
+		}
+	}
+	if len(residual) > 0 {
+		node = ra.Select(node, residual...)
+	}
+
+	// Two-stage aggregation over the (possibly compressed) detail: the
+	// same f(a·cnt0) machinery as reconstruction, but for the query's
+	// projection list.
+	root := p.Aux[p.Graph.Root]
+	var cntExpr ra.Expr
+	if root.HasCount {
+		cntExpr = ra.ColRef{Table: root.Base, Name: root.CountName}
+	}
+	weighted := func(e ra.Expr) ra.Expr {
+		if cntExpr == nil {
+			return e
+		}
+		return ra.Arith{Op: "*", L: e, R: cntExpr}
+	}
+	rowCount := func() *ra.Aggregate {
+		if cntExpr == nil {
+			return &ra.Aggregate{Func: ra.FuncCount}
+		}
+		return &ra.Aggregate{Func: ra.FuncSum, Arg: cntExpr}
+	}
+
+	var stage1 []ra.ProjItem
+	var stage2 []ra.OutExpr
+	helperN := 0
+	helper := func(agg *ra.Aggregate) string {
+		name := fmt.Sprintf("q%d", helperN)
+		helperN++
+		stage1 = append(stage1, ra.ProjItem{Name: name, Agg: agg})
+		return name
+	}
+	for _, it := range q.Items {
+		if !it.IsAggregate() {
+			stage1 = append(stage1, ra.ProjItem{Name: it.Name, Expr: it.Expr})
+			stage2 = append(stage2, ra.OutExpr{Name: it.Name, Expr: ra.ColRef{Name: it.Name}})
+			continue
+		}
+		agg := it.Agg
+		switch {
+		case agg.Distinct, agg.Func == ra.FuncMin, agg.Func == ra.FuncMax:
+			h := helper(&ra.Aggregate{Func: agg.Func, Arg: agg.Arg, Distinct: agg.Distinct})
+			stage2 = append(stage2, ra.OutExpr{Name: it.Name, Expr: ra.ColRef{Name: h}})
+		case agg.Func == ra.FuncCount:
+			h := helper(rowCount())
+			stage2 = append(stage2, ra.OutExpr{Name: it.Name, Expr: ra.ColRef{Name: h}})
+		default: // SUM / AVG
+			arg := agg.Arg.(ra.ColRef)
+			var sumAgg *ra.Aggregate
+			if name, compressed := root.SumName[arg.Name]; compressed && arg.Table == root.Base {
+				sumAgg = &ra.Aggregate{Func: ra.FuncSum, Arg: ra.ColRef{Table: root.Base, Name: name}}
+			} else {
+				sumAgg = &ra.Aggregate{Func: ra.FuncSum, Arg: weighted(agg.Arg)}
+			}
+			hs := helper(sumAgg)
+			if agg.Func == ra.FuncSum {
+				stage2 = append(stage2, ra.OutExpr{Name: it.Name, Expr: ra.ColRef{Name: hs}})
+			} else {
+				hc := helper(rowCount())
+				stage2 = append(stage2, ra.OutExpr{
+					Name: it.Name,
+					Expr: ra.Arith{Op: "/", L: ra.ColRef{Name: hs}, R: ra.ColRef{Name: hc}},
+				})
+			}
+		}
+	}
+	node = ra.GProject(node, stage1...)
+	out, err := ra.Project(node, stage2...).Eval()
+	if err != nil {
+		return nil, err
+	}
+	return q.ApplyHaving(out)
+}

@@ -1,0 +1,234 @@
+package answer
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/core"
+	"mindetail/internal/gpsj"
+	"mindetail/internal/ra"
+	"mindetail/internal/schema"
+	"mindetail/internal/sqlparse"
+	"mindetail/internal/storage"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+func catalogFromDDL(t *testing.T, ddl string) *schema.Catalog {
+	t.Helper()
+	stmts, err := sqlparse.ParseAll(ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := schema.NewCatalog()
+	var fks []schema.ForeignKey
+	for _, s := range stmts {
+		ct := s.(*sqlparse.CreateTable)
+		if err := cat.AddTable(ct.Table); err != nil {
+			t.Fatal(err)
+		}
+		fks = append(fks, ct.FKs...)
+	}
+	for _, fk := range fks {
+		if err := cat.AddForeignKey(fk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+const retailDDL = `
+	CREATE TABLE time (id INTEGER PRIMARY KEY, day INTEGER, month INTEGER, year INTEGER);
+	CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR, category VARCHAR);
+	CREATE TABLE sale (id INTEGER PRIMARY KEY,
+		timeid INTEGER REFERENCES time,
+		productid INTEGER REFERENCES product,
+		price FLOAT);`
+
+// The plan's view: grouped finer than the queries below, price plain
+// because of MAX, brand plain because of DISTINCT.
+const planSQL = `
+	SELECT time.month, product.category, SUM(price) AS total, COUNT(*) AS cnt,
+	       MAX(price) AS hi, COUNT(DISTINCT brand) AS brands
+	FROM sale, time, product
+	WHERE sale.timeid = time.id AND sale.productid = product.id
+	GROUP BY time.month, product.category`
+
+type fixture struct {
+	cat  *schema.Catalog
+	db   *storage.DB
+	plan *core.Plan
+	aux  map[string]*ra.Relation
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	cat := catalogFromDDL(t, retailDDL)
+	db := storage.NewDB(cat)
+	ins := func(table string, vals ...types.Value) {
+		t.Helper()
+		if err := db.Insert(table, tuple.Tuple(vals)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("time", types.Int(1), types.Int(5), types.Int(1), types.Int(1997))
+	ins("time", types.Int(2), types.Int(6), types.Int(2), types.Int(1997))
+	ins("product", types.Int(100), types.Str("acme"), types.Str("tools"))
+	ins("product", types.Int(101), types.Str("bolt"), types.Str("tools"))
+	ins("product", types.Int(102), types.Str("cask"), types.Str("food"))
+	ins("sale", types.Int(1), types.Int(1), types.Int(100), types.Float(10))
+	ins("sale", types.Int(2), types.Int(1), types.Int(100), types.Float(10))
+	ins("sale", types.Int(3), types.Int(1), types.Int(101), types.Float(4))
+	ins("sale", types.Int(4), types.Int(2), types.Int(102), types.Float(7))
+	ins("sale", types.Int(5), types.Int(2), types.Int(100), types.Float(3))
+
+	v := mustView(t, cat, planSQL)
+	plan, err := core.Derive(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux, err := plan.Materialize(func(tb string) *ra.Relation {
+		return ra.FromTable(db.Table(tb), tb)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{cat: cat, db: db, plan: plan, aux: aux}
+}
+
+func mustView(t *testing.T, cat *schema.Catalog, sql string) *gpsj.View {
+	t.Helper()
+	s, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := gpsj.FromSelect(cat, "q", s.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestAnswerableQueries: queries the navigator must answer exactly.
+func TestAnswerableQueries(t *testing.T) {
+	f := setup(t)
+	queries := []string{
+		// Coarser grouping over the same tables.
+		`SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+		 FROM sale, time, product
+		 WHERE sale.timeid = time.id AND sale.productid = product.id
+		 GROUP BY time.month`,
+		// A subtree of the plan's tables (product joins 1:1 via RI).
+		`SELECT time.month, COUNT(*) AS cnt, AVG(price) AS ap
+		 FROM sale, time WHERE sale.timeid = time.id GROUP BY time.month`,
+		// Root only, global aggregation.
+		`SELECT SUM(price) AS total, COUNT(*) AS cnt, MAX(price) AS hi FROM sale`,
+		// Residual conditions on stored attributes.
+		`SELECT product.category, COUNT(*) AS cnt, COUNT(DISTINCT brand) AS b
+		 FROM sale, time, product
+		 WHERE sale.timeid = time.id AND sale.productid = product.id AND time.month = 1
+		 GROUP BY product.category`,
+		// HAVING over the answered groups.
+		`SELECT product.category, COUNT(*) AS cnt
+		 FROM sale, product WHERE sale.productid = product.id
+		 GROUP BY product.category HAVING cnt >= 4`,
+	}
+	for _, sql := range queries {
+		q := mustView(t, f.cat, sql)
+		if ok, why := Answerable(f.plan, q); !ok {
+			t.Errorf("%q should be answerable: %s", sql, why)
+			continue
+		}
+		got, err := Answer(f.plan, q, f.aux)
+		if err != nil {
+			t.Errorf("%q: %v", sql, err)
+			continue
+		}
+		want, err := q.Evaluate(f.db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ra.EqualBag(got, want) {
+			t.Errorf("%q diverged:\nfrom aux:\n%s\ndirect:\n%s", sql, got.Format(), want.Format())
+		}
+	}
+}
+
+// TestNotAnswerable: rejections with their reasons.
+func TestNotAnswerable(t *testing.T) {
+	f := setup(t)
+	cases := []struct {
+		sql, why string
+	}{
+		{`SELECT time.day, COUNT(*) AS cnt FROM sale, time
+		  WHERE sale.timeid = time.id GROUP BY time.day`, "not stored plain"},
+		{`SELECT time.month, MIN(sale.id) AS lo FROM sale, time
+		  WHERE sale.timeid = time.id GROUP BY time.month`, "needs sale.id plain"},
+		{`SELECT time.month, COUNT(*) AS cnt FROM sale, time
+		  WHERE sale.timeid = time.id AND time.year = 1997 GROUP BY time.month`, "selection"},
+		{`SELECT product.category, COUNT(*) AS cnt FROM product GROUP BY product.category`, "root table"},
+	}
+	for _, c := range cases {
+		q := mustView(t, f.cat, c.sql)
+		ok, why := Answerable(f.plan, q)
+		if ok {
+			t.Errorf("%q should not be answerable", c.sql)
+			continue
+		}
+		if !strings.Contains(why, c.why) {
+			t.Errorf("%q: reason %q, want fragment %q", c.sql, why, c.why)
+		}
+		if _, err := Answer(f.plan, q, f.aux); err == nil {
+			t.Errorf("%q: Answer should fail", c.sql)
+		}
+	}
+}
+
+// TestNotAnswerableFromFilteredPlan: a plan that filtered the detail
+// (year=1997) cannot answer a query over all years, and a plan over
+// filtered extra tables cannot drop them.
+func TestNotAnswerableFromFilteredPlan(t *testing.T) {
+	cat := catalogFromDDL(t, retailDDL)
+	v := mustView(t, cat, `
+		SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale, time WHERE time.year = 1997 AND sale.timeid = time.id
+		GROUP BY time.month`)
+	plan, err := core.Derive(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustView(t, cat, `
+		SELECT time.month, COUNT(*) AS cnt FROM sale, time
+		WHERE sale.timeid = time.id GROUP BY time.month`)
+	if ok, why := Answerable(plan, q); ok {
+		t.Error("query over all years answerable from a 1997-filtered plan")
+	} else if !strings.Contains(why, "filtered the detail") {
+		t.Errorf("reason = %q", why)
+	}
+	// But the matching-condition query is answerable.
+	q2 := mustView(t, cat, `
+		SELECT time.month, COUNT(*) AS cnt FROM sale, time
+		WHERE time.year = 1997 AND sale.timeid = time.id GROUP BY time.month`)
+	if ok, why := Answerable(plan, q2); !ok {
+		t.Errorf("matching-condition query should be answerable: %s", why)
+	}
+}
+
+// TestNotAnswerableEliminatedRoot: with the root auxiliary view omitted
+// there is no detail to answer from.
+func TestNotAnswerableEliminatedRoot(t *testing.T) {
+	cat := catalogFromDDL(t, retailDDL)
+	v := mustView(t, cat, `
+		SELECT product.id, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id GROUP BY product.id`)
+	plan, err := core.Derive(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustView(t, cat, `SELECT COUNT(*) AS cnt FROM sale`)
+	if ok, why := Answerable(plan, q); ok {
+		t.Error("answerable from an omitted root")
+	} else if !strings.Contains(why, "omitted") {
+		t.Errorf("reason = %q", why)
+	}
+}

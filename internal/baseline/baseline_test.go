@@ -1,0 +1,292 @@
+package baseline
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mindetail/internal/core"
+	"mindetail/internal/gpsj"
+	"mindetail/internal/maintain"
+	"mindetail/internal/ra"
+	"mindetail/internal/schema"
+	"mindetail/internal/sqlparse"
+	"mindetail/internal/storage"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+const retailDDL = `
+	CREATE TABLE time (id INTEGER PRIMARY KEY, day INTEGER, month INTEGER, year INTEGER);
+	CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR MUTABLE, category VARCHAR);
+	CREATE TABLE sale (id INTEGER PRIMARY KEY,
+		timeid INTEGER REFERENCES time,
+		productid INTEGER REFERENCES product,
+		price FLOAT MUTABLE);`
+
+const productSalesSQL = `
+	SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount
+	FROM sale, time, product
+	WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id
+	GROUP BY time.month`
+
+func setup(t *testing.T) (*schema.Catalog, *gpsj.View, *storage.DB) {
+	t.Helper()
+	stmts, err := sqlparse.ParseAll(retailDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := schema.NewCatalog()
+	var fks []schema.ForeignKey
+	for _, s := range stmts {
+		ct := s.(*sqlparse.CreateTable)
+		if err := cat.AddTable(ct.Table); err != nil {
+			t.Fatal(err)
+		}
+		fks = append(fks, ct.FKs...)
+	}
+	for _, fk := range fks {
+		if err := cat.AddForeignKey(fk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := sqlparse.Parse(productSalesSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := gpsj.FromSelect(cat, "product_sales", s.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB(cat)
+	ins := func(table string, vals ...types.Value) {
+		t.Helper()
+		if err := db.Insert(table, tuple.Tuple(vals)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := 1; id <= 4; id++ {
+		ins("time", types.Int(int64(id)), types.Int(int64(id)), types.Int(int64((id-1)%2+1)), types.Int(1997))
+	}
+	ins("product", types.Int(100), types.Str("acme"), types.Str("tools"))
+	ins("product", types.Int(101), types.Str("bolt"), types.Str("tools"))
+	for id := 1; id <= 12; id++ {
+		ins("sale", types.Int(int64(id)), types.Int(int64((id-1)%4+1)),
+			types.Int(int64(100+(id%2))), types.Float(float64(id)))
+	}
+	return cat, v, db
+}
+
+func srcOf(db *storage.DB) func(string) *ra.Relation {
+	return func(tb string) *ra.Relation { return ra.FromTable(db.Table(tb), tb) }
+}
+
+func TestDerivePSJShape(t *testing.T) {
+	_, v, _ := setup(t)
+	p, err := DerivePSJ(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sale := p.Aux["sale"]
+	if sale.Omitted || !sale.IsPSJ || sale.HasCount || len(sale.SumAttrs) != 0 {
+		t.Errorf("PSJ sale aux = %+v", sale)
+	}
+	if got := strings.Join(sale.PlainAttrs, ","); got != "id,price,productid,timeid" {
+		t.Errorf("PSJ sale plain = %s (the key and raw price must be kept)", got)
+	}
+	if len(sale.SemiJoins) != 2 {
+		t.Errorf("PSJ join reductions missing: %v", sale.SemiJoins)
+	}
+}
+
+func TestDerivePSJUnomitsRoot(t *testing.T) {
+	cat, _, _ := setup(t)
+	s, err := sqlparse.Parse(`SELECT product.id, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id GROUP BY product.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := gpsj.FromSelect(cat, "v", s.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minimal, err := core.Derive(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !minimal.Aux["sale"].Omitted {
+		t.Fatal("minimal derivation should omit sale")
+	}
+	psj, err := DerivePSJ(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sale := psj.Aux["sale"]
+	if sale.Omitted || !contains(sale.PlainAttrs, "id") || !contains(sale.PlainAttrs, "price") {
+		t.Errorf("PSJ must keep the fact detail: %+v", sale)
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPSJEngineEquivalence drives the PSJ baseline with a random stream and
+// checks it maintains the same view as brute force — it is correct, just
+// bigger and slower than the compressed minimal derivation.
+func TestPSJEngineEquivalence(t *testing.T) {
+	_, v, db := setup(t)
+	eng, err := PSJEngine(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Init(srcOf(db)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	nextID := int64(100)
+	live := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	for step := 0; step < 40; step++ {
+		var d maintain.Delta
+		switch rng.Intn(3) {
+		case 0:
+			nextID++
+			row := tuple.Tuple{types.Int(nextID), types.Int(int64(rng.Intn(4) + 1)),
+				types.Int(int64(100 + rng.Intn(2))), types.Float(float64(rng.Intn(50)))}
+			if err := db.Insert("sale", row); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, nextID)
+			d = maintain.Delta{Table: "sale", Inserts: []tuple.Tuple{row}}
+		case 1:
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			row, err := db.Delete("sale", types.Int(live[i]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+			d = maintain.Delta{Table: "sale", Deletes: []tuple.Tuple{row}}
+		case 2:
+			if len(live) == 0 {
+				continue
+			}
+			id := live[rng.Intn(len(live))]
+			old, upd, err := db.Update("sale", types.Int(id),
+				map[string]types.Value{"price": types.Float(float64(rng.Intn(90)))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d = maintain.Delta{Table: "sale", Updates: []maintain.Update{{Old: old, New: upd}}}
+		}
+		if err := eng.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+		want, err := v.Evaluate(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ra.EqualBag(eng.Snapshot(), want) {
+			t.Fatalf("PSJ baseline diverged at step %d", step)
+		}
+	}
+}
+
+// TestCompressionBeatsPSJOnStorage checks the headline storage shape: with
+// duplicate rows per (timeid, productid) group, the compressed auxiliary
+// data is strictly smaller than the PSJ auxiliary data, which is itself no
+// larger than full replication.
+func TestCompressionBeatsPSJOnStorage(t *testing.T) {
+	cat, v, db := setup(t)
+
+	minPlan, err := core.Derive(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minEng := maintain.NewEngine(minPlan)
+	if err := minEng.Init(srcOf(db)); err != nil {
+		t.Fatal(err)
+	}
+	psjEng, err := PSJEngine(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := psjEng.Init(srcOf(db)); err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplica(v, cat)
+	if err := rep.Init(srcOf(db)); err != nil {
+		t.Fatal(err)
+	}
+
+	minB, psjB, repB := minEng.AuxBytes(), psjEng.AuxBytes(), rep.Bytes()
+	if !(minB < psjB && psjB <= repB) {
+		t.Errorf("storage ordering violated: minimal=%d psj=%d replica=%d", minB, psjB, repB)
+	}
+	// 12 sales collapse into 8 (timeid, productid) groups here.
+	if minEng.Aux("sale").Len() >= psjEng.Aux("sale").Len() {
+		t.Errorf("compression did not reduce rows: %d vs %d",
+			minEng.Aux("sale").Len(), psjEng.Aux("sale").Len())
+	}
+}
+
+func TestReplicaMaintenance(t *testing.T) {
+	cat, v, db := setup(t)
+	rep := NewReplica(v, cat)
+	rep.RecomputePerBatch = true
+	if err := rep.Init(srcOf(db)); err != nil {
+		t.Fatal(err)
+	}
+	row := tuple.Tuple{types.Int(99), types.Int(1), types.Int(100), types.Float(5)}
+	if err := db.Insert("sale", row); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Apply(maintain.Delta{Table: "sale", Inserts: []tuple.Tuple{row}}); err != nil {
+		t.Fatal(err)
+	}
+	old, upd, err := db.Update("product", types.Int(100), map[string]types.Value{"brand": types.Str("z")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Apply(maintain.Delta{Table: "product", Updates: []maintain.Update{{Old: old, New: upd}}}); err != nil {
+		t.Fatal(err)
+	}
+	del, err := db.Delete("sale", types.Int(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Apply(maintain.Delta{Table: "sale", Deletes: []tuple.Tuple{del}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := v.Evaluate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ra.EqualBag(got, want) {
+		t.Error("replica snapshot diverged")
+	}
+	if rep.Recomputes < 3 {
+		t.Errorf("per-batch mode should recompute every batch: %d", rep.Recomputes)
+	}
+	if rep.Rows() == 0 {
+		t.Error("replica empty")
+	}
+	// Delta for a table outside the view is ignored.
+	if err := rep.Apply(maintain.Delta{Table: "time", Inserts: nil}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Apply(maintain.Delta{Table: "nosuch"}); err == nil {
+		t.Error("unknown table accepted")
+	}
+}

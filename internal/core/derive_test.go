@@ -1,0 +1,447 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/gpsj"
+	"mindetail/internal/ra"
+	"mindetail/internal/schema"
+	"mindetail/internal/sqlparse"
+	"mindetail/internal/storage"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+func catalogFromDDL(t *testing.T, ddl string) *schema.Catalog {
+	t.Helper()
+	stmts, err := sqlparse.ParseAll(ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := schema.NewCatalog()
+	var fks []schema.ForeignKey
+	for _, s := range stmts {
+		ct := s.(*sqlparse.CreateTable)
+		if err := cat.AddTable(ct.Table); err != nil {
+			t.Fatal(err)
+		}
+		fks = append(fks, ct.FKs...)
+	}
+	for _, fk := range fks {
+		if err := cat.AddForeignKey(fk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func retailCatalog(t *testing.T) *schema.Catalog {
+	return catalogFromDDL(t, `
+	CREATE TABLE time (id INTEGER PRIMARY KEY, day INTEGER, month INTEGER, year INTEGER);
+	CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR MUTABLE, category VARCHAR);
+	CREATE TABLE store (id INTEGER PRIMARY KEY, city VARCHAR, manager VARCHAR MUTABLE);
+	CREATE TABLE sale (id INTEGER PRIMARY KEY,
+		timeid INTEGER REFERENCES time,
+		productid INTEGER REFERENCES product,
+		storeid INTEGER REFERENCES store,
+		price FLOAT);`)
+}
+
+func mustDerive(t *testing.T, cat *schema.Catalog, sql string) *Plan {
+	t.Helper()
+	s, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := gpsj.FromSelect(cat, "v", s.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Derive(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const productSalesSQL = `
+	SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount,
+	       COUNT(DISTINCT brand) AS DifferentBrands
+	FROM sale, time, product
+	WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id
+	GROUP BY time.month`
+
+// TestDeriveProductSales checks the derivation against the paper's
+// Section 1.1 worked example: timeDTL(id, month | year=1997),
+// productDTL(id, brand), and saleDTL(timeid, productid, SUM(price),
+// COUNT(*)) semijoined with both dimension views.
+func TestDeriveProductSales(t *testing.T) {
+	p := mustDerive(t, retailCatalog(t), productSalesSQL)
+
+	tm := p.Aux["time"]
+	if tm.Omitted || !tm.IsPSJ {
+		t.Errorf("time aux = %+v", tm)
+	}
+	if got := strings.Join(tm.PlainAttrs, ","); got != "id,month" {
+		t.Errorf("time plain = %s", got)
+	}
+	if len(tm.Local) != 1 || tm.Local[0].String() != "time.year = 1997" {
+		t.Errorf("time local = %v", tm.Local)
+	}
+	if tm.HasCount || len(tm.SumAttrs) != 0 {
+		t.Errorf("time aux should be a pure PSJ view: %+v", tm)
+	}
+
+	pr := p.Aux["product"]
+	if got := strings.Join(pr.PlainAttrs, ","); got != "brand,id" {
+		t.Errorf("product plain = %s", got)
+	}
+
+	sa := p.Aux["sale"]
+	if sa.Omitted || sa.IsPSJ {
+		t.Fatalf("sale aux = %+v", sa)
+	}
+	if got := strings.Join(sa.PlainAttrs, ","); got != "productid,timeid" {
+		t.Errorf("sale plain = %s (the key and storeid must be dropped)", got)
+	}
+	if got := strings.Join(sa.SumAttrs, ","); got != "price" {
+		t.Errorf("sale sums = %s", got)
+	}
+	if !sa.HasCount || sa.CountName != "cnt" {
+		t.Errorf("sale count = %v %q", sa.HasCount, sa.CountName)
+	}
+	if len(sa.SemiJoins) != 2 {
+		t.Errorf("sale semijoins = %v", sa.SemiJoins)
+	}
+	if sa.FieldCount() != 4 {
+		t.Errorf("sale field count = %d, want 4 (paper Section 1.1)", sa.FieldCount())
+	}
+	// No auxiliary view for store: it is not referenced in V.
+	if _, ok := p.Aux["store"]; ok {
+		t.Error("store must not get an auxiliary view")
+	}
+}
+
+func TestDeriveSQLRendering(t *testing.T) {
+	p := mustDerive(t, retailCatalog(t), productSalesSQL)
+	sql := p.Aux["sale"].SQL()
+	for _, want := range []string{
+		"CREATE VIEW sale_dtl", "SUM(price) AS sum_price", "COUNT(*) AS cnt",
+		"timeid IN (SELECT id FROM time_dtl)", "productid IN (SELECT id FROM product_dtl)",
+		"GROUP BY productid, timeid",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("sale_dtl SQL missing %q:\n%s", want, sql)
+		}
+	}
+	tmSQL := p.Aux["time"].SQL()
+	for _, want := range []string{"SELECT id, month", "time.year = 1997"} {
+		if !strings.Contains(tmSQL, want) {
+			t.Errorf("time_dtl SQL missing %q:\n%s", want, tmSQL)
+		}
+	}
+	if strings.Contains(tmSQL, "GROUP BY") {
+		t.Errorf("PSJ view must not group:\n%s", tmSQL)
+	}
+	text := p.Text()
+	for _, want := range []string{"extended join graph", "Need(sale) = {time}", "auxiliary views"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Plan.Text missing %q", want)
+		}
+	}
+}
+
+// TestEliminationFactTable reproduces the Section 3.3 scenario where the
+// root (fact) auxiliary view is omitted: grouping on a dimension key with
+// only CSMAS aggregates.
+func TestEliminationFactTable(t *testing.T) {
+	p := mustDerive(t, retailCatalog(t), `
+		SELECT product.id, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.id`)
+	sa := p.Aux["sale"]
+	if !sa.Omitted {
+		t.Fatalf("sale aux should be omitted: %+v", sa)
+	}
+	if !strings.Contains(sa.OmitReason, "transitively depends") {
+		t.Errorf("omit reason = %q", sa.OmitReason)
+	}
+	if p.Aux["product"].Omitted {
+		t.Error("product aux must be kept")
+	}
+	if p.Reconstructable() {
+		t.Error("with the root omitted, V is not reconstructable from X")
+	}
+	if _, err := p.Reconstruction(); err == nil {
+		t.Error("Reconstruction must fail when the root is omitted")
+	}
+}
+
+func TestEliminationBlockedByNonCSMAS(t *testing.T) {
+	p := mustDerive(t, retailCatalog(t), `
+		SELECT product.id, MAX(price) AS hi, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.id`)
+	sa := p.Aux["sale"]
+	if sa.Omitted {
+		t.Fatal("MAX(price) must block elimination of the sale aux view")
+	}
+	// price feeds a non-CSMAS: it must stay plain, and the aux view groups
+	// on (price, productid) with a COUNT(*).
+	if got := strings.Join(sa.PlainAttrs, ","); got != "price,productid" {
+		t.Errorf("sale plain = %s", got)
+	}
+	if len(sa.SumAttrs) != 0 || !sa.HasCount {
+		t.Errorf("sale aux = %+v", sa)
+	}
+}
+
+func TestEliminationBlockedByNeed(t *testing.T) {
+	// product_sales: time is g-annotated, so sale ∈ Need(time) and the
+	// sale aux view must be kept even though all elimination conditions on
+	// dependence hold.
+	p := mustDerive(t, retailCatalog(t), productSalesSQL)
+	if p.Aux["sale"].Omitted {
+		t.Error("sale aux must be kept (needed by time)")
+	}
+}
+
+func TestEliminationBlockedByMissingRI(t *testing.T) {
+	cat := catalogFromDDL(t, `
+	CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR);
+	CREATE TABLE sale (id INTEGER PRIMARY KEY, productid INTEGER, price FLOAT);`)
+	p := mustDerive(t, cat, `
+		SELECT product.id, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.id`)
+	if p.Aux["sale"].Omitted {
+		t.Error("without referential integrity, sale cannot be omitted")
+	}
+	if len(p.Aux["sale"].SemiJoins) != 0 {
+		t.Error("without RI there must be no join reduction either")
+	}
+}
+
+// TestProductSalesMax reproduces the Section 3.2 product_sales_max example:
+// price feeds both MAX (non-CSMAS) and SUM (CSMAS), so it stays plain and
+// the auxiliary view is saleDTL(productid, price, COUNT(*)).
+func TestProductSalesMax(t *testing.T) {
+	p := mustDerive(t, retailCatalog(t), `
+		SELECT sale.productid, MAX(sale.price) AS MaxPrice,
+		       SUM(sale.price) AS TotalPrice, COUNT(*) AS TotalCount
+		FROM sale GROUP BY sale.productid`)
+	sa := p.Aux["sale"]
+	if sa.Omitted {
+		t.Fatal("sale aux omitted")
+	}
+	if got := strings.Join(sa.PlainAttrs, ","); got != "price,productid" {
+		t.Errorf("plain = %s", got)
+	}
+	if len(sa.SumAttrs) != 0 {
+		t.Errorf("price must not be compressed when it feeds MAX: %v", sa.SumAttrs)
+	}
+	if !sa.HasCount {
+		t.Error("COUNT(*) required")
+	}
+}
+
+func TestPurePSJView(t *testing.T) {
+	p := mustDerive(t, retailCatalog(t), `
+		SELECT sale.id, time.month FROM sale, time
+		WHERE sale.timeid = time.id GROUP BY sale.id, time.month`)
+	sa := p.Aux["sale"]
+	if !sa.IsPSJ || sa.HasCount || len(sa.SumAttrs) != 0 {
+		t.Errorf("root with preserved key must degenerate to PSJ: %+v", sa)
+	}
+	if got := strings.Join(sa.PlainAttrs, ","); got != "id,timeid" {
+		t.Errorf("plain = %s", got)
+	}
+}
+
+func TestSuperfluousAggregateRejected(t *testing.T) {
+	cases := []string{
+		// Grouping on the root key makes any aggregate superfluous.
+		`SELECT sale.id, SUM(price) FROM sale GROUP BY sale.id`,
+		// Grouping on an ancestor key fixes dimension attributes too.
+		`SELECT sale.id, MAX(time.day) FROM sale, time WHERE sale.timeid = time.id GROUP BY sale.id`,
+		// Grouping on the dimension's own key.
+		`SELECT product.id, MIN(product.category) AS c, COUNT(*) FROM sale, product WHERE sale.productid = product.id GROUP BY product.id`,
+	}
+	cat := retailCatalog(t)
+	for _, sql := range cases {
+		s, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		v, err := gpsj.FromSelect(cat, "v", s.(*sqlparse.SelectStmt))
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		if _, err := Derive(v); err == nil || !strings.Contains(err.Error(), "superfluous") {
+			t.Errorf("%q: got %v, want superfluous-aggregate error", sql, err)
+		}
+	}
+	// COUNT(*) with a root key group-by is fine (no argument to replace),
+	// and aggregates over the root are fine when only a dimension key is
+	// grouped.
+	ok := []string{
+		`SELECT sale.id, COUNT(*) FROM sale GROUP BY sale.id`,
+		`SELECT product.id, SUM(price) AS s, COUNT(*) FROM sale, product WHERE sale.productid = product.id GROUP BY product.id`,
+	}
+	for _, sql := range ok {
+		s, _ := sqlparse.Parse(sql)
+		v, err := gpsj.FromSelect(cat, "v", s.(*sqlparse.SelectStmt))
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		if _, err := Derive(v); err != nil {
+			t.Errorf("%q: unexpected error %v", sql, err)
+		}
+	}
+}
+
+func seedRetail(t *testing.T, cat *schema.Catalog) *storage.DB {
+	t.Helper()
+	db := storage.NewDB(cat)
+	ins := func(table string, vals ...types.Value) {
+		t.Helper()
+		if err := db.Insert(table, tuple.Tuple(vals)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("time", types.Int(1), types.Int(5), types.Int(1), types.Int(1997))
+	ins("time", types.Int(2), types.Int(6), types.Int(2), types.Int(1997))
+	ins("time", types.Int(3), types.Int(7), types.Int(1), types.Int(1998))
+	ins("product", types.Int(100), types.Str("acme"), types.Str("tools"))
+	ins("product", types.Int(101), types.Str("bolt"), types.Str("tools"))
+	ins("store", types.Int(7), types.Str("aalborg"), types.Str("kim"))
+	// Duplicates on (timeid, productid) to exercise compression.
+	ins("sale", types.Int(1), types.Int(1), types.Int(100), types.Int(7), types.Float(10))
+	ins("sale", types.Int(2), types.Int(1), types.Int(100), types.Int(7), types.Float(20))
+	ins("sale", types.Int(3), types.Int(1), types.Int(101), types.Int(7), types.Float(5))
+	ins("sale", types.Int(4), types.Int(2), types.Int(101), types.Int(7), types.Float(7))
+	ins("sale", types.Int(5), types.Int(3), types.Int(100), types.Int(7), types.Float(99))
+	return db
+}
+
+func materialize(t *testing.T, p *Plan, db *storage.DB) map[string]*ra.Relation {
+	t.Helper()
+	aux, err := p.Materialize(func(tb string) *ra.Relation {
+		return ra.FromTable(db.Table(tb), tb)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return aux
+}
+
+func TestMaterializeCompression(t *testing.T) {
+	cat := retailCatalog(t)
+	p := mustDerive(t, cat, productSalesSQL)
+	db := seedRetail(t, cat)
+	aux := materialize(t, p, db)
+
+	// time_dtl: only 1997 rows.
+	if got := aux["time"].Len(); got != 2 {
+		t.Errorf("time_dtl rows = %d:\n%s", got, aux["time"].Format())
+	}
+	// sale_dtl: 1998 sale filtered by semijoin with time_dtl; duplicates
+	// (1,100)x2 compressed: groups (1,100),(1,101),(2,101).
+	sd := aux["sale"].Sorted()
+	if sd.Len() != 3 {
+		t.Fatalf("sale_dtl rows = %d:\n%s", sd.Len(), sd.Format())
+	}
+	// Columns: productid, timeid, sum_price, cnt (plain sorted first).
+	i := func(name string) int {
+		idx, err := sd.Cols.Index("sale", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}
+	for _, row := range sd.Rows {
+		if row[i("timeid")].AsInt() == 1 && row[i("productid")].AsInt() == 100 {
+			if row[i("sum_price")].AsFloat() != 30 || row[i("cnt")].AsInt() != 2 {
+				t.Errorf("compressed group = %v", row)
+			}
+		}
+	}
+}
+
+func TestReconstructionMatchesDirectEvaluation(t *testing.T) {
+	cat := retailCatalog(t)
+	views := []string{
+		productSalesSQL,
+		`SELECT time.month, AVG(price) AS avgp, COUNT(*) AS cnt
+		 FROM sale, time WHERE sale.timeid = time.id GROUP BY time.month`,
+		`SELECT sale.productid, MAX(sale.price) AS MaxPrice,
+		        SUM(sale.price) AS TotalPrice, COUNT(*) AS TotalCount
+		 FROM sale GROUP BY sale.productid`,
+		`SELECT product.category, SUM(price) AS total, MIN(price) AS lo,
+		        COUNT(DISTINCT brand) AS brands
+		 FROM sale, product WHERE sale.productid = product.id
+		 GROUP BY product.category`,
+		`SELECT sale.id, time.month FROM sale, time
+		 WHERE sale.timeid = time.id GROUP BY sale.id, time.month`,
+	}
+	db := seedRetail(t, cat)
+	for _, sql := range views {
+		s, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := gpsj.FromSelect(cat, "v", s.(*sqlparse.SelectStmt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Derive(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aux := materialize(t, p, db)
+		rec, err := p.Reconstruction()
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		fromAux, err := rec.Eval(aux)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		direct, err := v.Evaluate(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ra.EqualBag(fromAux, direct) {
+			t.Errorf("reconstruction mismatch for %s:\nfrom aux:\n%s\ndirect:\n%s",
+				sql, fromAux.Format(), direct.Format())
+		}
+	}
+}
+
+// TestPaperTable4Shape reproduces the shape of the paper's Table 4: the
+// sale auxiliary view after smart duplicate compression has exactly the
+// columns (timeid, productid, SUM(price), COUNT(*)).
+func TestPaperTable4Shape(t *testing.T) {
+	p := mustDerive(t, retailCatalog(t), productSalesSQL)
+	s := p.Aux["sale"].Schema()
+	var names []string
+	for _, c := range s {
+		names = append(names, c.Name)
+	}
+	if got := strings.Join(names, ","); got != "productid,timeid,sum_price,cnt" {
+		t.Errorf("schema = %s", got)
+	}
+}
+
+func TestMaterializeMissingChild(t *testing.T) {
+	// Defensive path: semijoin target not materialized.
+	p := mustDerive(t, retailCatalog(t), productSalesSQL)
+	x := p.Aux["sale"]
+	bad := &Plan{View: p.View, Graph: p.Graph, Aux: map[string]*AuxView{"sale": x}, Order: []string{"sale"}}
+	db := seedRetail(t, retailCatalog(t))
+	_, err := bad.Materialize(func(tb string) *ra.Relation { return ra.FromTable(db.Table(tb), tb) })
+	if err == nil {
+		t.Error("expected error for missing child aux view")
+	}
+}

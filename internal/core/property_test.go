@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mindetail/internal/gpsj"
+	"mindetail/internal/ra"
+	"mindetail/internal/sqlparse"
+)
+
+// randView assembles a random GPSJ view over the retail schema (mirroring
+// the generator in the maintenance fuzz tests, but exercised here for
+// derivation invariants).
+func randView(rng *rand.Rand) string {
+	gbCands := []string{"time.month", "time.year", "product.category", "sale.storeid"}
+	aggCands := []string{
+		"SUM(price) AS sp", "AVG(price) AS ap", "MIN(price) AS mn",
+		"MAX(price) AS mx", "COUNT(DISTINCT brand) AS db",
+	}
+	rng.Shuffle(len(gbCands), func(i, j int) { gbCands[i], gbCands[j] = gbCands[j], gbCands[i] })
+	rng.Shuffle(len(aggCands), func(i, j int) { aggCands[i], aggCands[j] = aggCands[j], aggCands[i] })
+	items := append([]string{}, gbCands[:rng.Intn(3)]...)
+	items = append(items, "COUNT(*) AS cnt")
+	items = append(items, aggCands[:1+rng.Intn(2)]...)
+	conds := []string{"sale.timeid = time.id", "sale.productid = product.id"}
+	if rng.Intn(2) == 0 {
+		conds = append(conds, fmt.Sprintf("time.year = %d", 1996+rng.Intn(3)))
+	}
+	if rng.Intn(2) == 0 {
+		conds = append(conds, fmt.Sprintf("sale.price < %d", 10+rng.Intn(40)))
+	}
+	sql := "SELECT " + strings.Join(items, ", ") + " FROM sale, time, product WHERE " +
+		strings.Join(conds, " AND ")
+	var gb []string
+	for _, it := range items {
+		if !strings.Contains(it, "(") {
+			gb = append(gb, it)
+		}
+	}
+	if len(gb) > 0 {
+		sql += " GROUP BY " + strings.Join(gb, ", ")
+	}
+	return sql
+}
+
+// TestDerivationInvariants checks structural invariants of Algorithm 3.2
+// over many random views:
+//
+//   - local-reduction: attributes appearing only in local conditions are
+//     never stored;
+//   - compression: an attribute is stored at most once (plain XOR summed);
+//   - COUNT(*) appears exactly when the view is compressed (non-PSJ);
+//   - semijoins only target tables the base depends on;
+//   - every stored attribute exists in the base schema;
+//   - the auxiliary view's field count never exceeds the base's plus the
+//     compression columns.
+func TestDerivationInvariants(t *testing.T) {
+	cat := retailCatalog(t)
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		sql := randView(rng)
+		s, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		v, err := gpsj.FromSelect(cat, "v", s.(*sqlparse.SelectStmt))
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		p, err := Derive(v)
+		if err != nil {
+			if strings.Contains(err.Error(), "superfluous") {
+				continue
+			}
+			t.Fatalf("%q: %v", sql, err)
+		}
+		for tb, x := range p.Aux {
+			if x.Omitted {
+				continue
+			}
+			meta := cat.Table(tb)
+			preserved := map[string]bool{}
+			for _, a := range v.PreservedAttrs(tb) {
+				preserved[a] = true
+			}
+			for _, a := range v.JoinAttrs(tb) {
+				preserved[a] = true
+			}
+			seen := map[string]bool{}
+			for _, a := range x.PlainAttrs {
+				if !meta.HasAttr(a) {
+					t.Errorf("%q: %s stores unknown attribute %s", sql, x.Name, a)
+				}
+				if !preserved[a] {
+					t.Errorf("%q: %s stores %s which is neither preserved nor a join attribute", sql, x.Name, a)
+				}
+				if seen[a] {
+					t.Errorf("%q: %s stores %s twice", sql, x.Name, a)
+				}
+				seen[a] = true
+			}
+			for _, a := range x.SumAttrs {
+				if seen[a] {
+					t.Errorf("%q: %s both plain and summed: %s", sql, x.Name, a)
+				}
+				if !preserved[a] {
+					t.Errorf("%q: %s sums unpreserved attribute %s", sql, x.Name, a)
+				}
+				seen[a] = true
+			}
+			if x.IsPSJ == x.HasCount {
+				t.Errorf("%q: %s PSJ=%v but HasCount=%v", sql, x.Name, x.IsPSJ, x.HasCount)
+			}
+			deps := map[string]bool{}
+			for _, d := range p.Graph.Depends(tb) {
+				deps[d] = true
+			}
+			for _, sj := range x.SemiJoins {
+				if !deps[sj.Right] {
+					t.Errorf("%q: %s semijoins with non-dependency %s", sql, x.Name, sj.Right)
+				}
+			}
+			if x.FieldCount() > len(meta.Attrs)+1 {
+				t.Errorf("%q: %s has %d fields, base only %d", sql, x.Name, x.FieldCount(), len(meta.Attrs))
+			}
+		}
+	}
+}
+
+// TestDerivationDeterministic: deriving the same view twice yields
+// identical SQL for every auxiliary view.
+func TestDerivationDeterministic(t *testing.T) {
+	cat := retailCatalog(t)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		sql := randView(rng)
+		s, _ := sqlparse.Parse(sql)
+		v, err := gpsj.FromSelect(cat, "v", s.(*sqlparse.SelectStmt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err1 := Derive(v)
+		p2, err2 := Derive(v)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%q: nondeterministic error", sql)
+		}
+		if err1 != nil {
+			continue
+		}
+		if p1.Text() != p2.Text() {
+			t.Errorf("%q: nondeterministic derivation", sql)
+		}
+	}
+}
+
+// TestMinimalityDropDimensionView: deleting a dimension auxiliary view's
+// contents makes maintenance observably wrong — the complement of the
+// Theorem 1 COUNT(*) check in the maintenance package.
+func TestMinimalityReconstructionNeedsEveryAux(t *testing.T) {
+	cat := retailCatalog(t)
+	db := seedRetail(t, cat)
+	p := mustDerive(t, cat, productSalesSQL)
+	aux := materialize(t, p, db)
+	rec, err := p.Reconstruction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rec.Eval(aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, drop := range []string{"time", "product", "sale"} {
+		broken := make(map[string]*ra.Relation, len(aux))
+		for k, v := range aux {
+			broken[k] = v
+		}
+		empty := ra.NewRelation(aux[drop].Cols)
+		broken[drop] = empty
+		got, err := rec.Eval(broken)
+		if err != nil {
+			continue // failing loudly is acceptable
+		}
+		if ra.EqualBag(got, want) {
+			t.Errorf("dropping %s_dtl did not change the reconstruction: the view would not be minimal", drop)
+		}
+	}
+}

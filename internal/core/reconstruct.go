@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+
+	"mindetail/internal/ra"
+)
+
+// Reconstruction describes how V is recomputed from its auxiliary views
+// alone (Section 3.2, "Maintenance Issues under Duplicate Compression"):
+//
+//   - COUNT(*) in V becomes SUM(cnt0) over the root auxiliary view;
+//   - SUM(a) over a compressed attribute becomes SUM(sum_a);
+//   - a CSMAS over an attribute kept plain (because it also feeds a
+//     non-CSMAS, a join, or a group-by) or over a non-root attribute is
+//     computed as f(a · cnt0) to account for compressed duplicates;
+//   - MIN/MAX and DISTINCT aggregates ignore duplicates and are computed
+//     directly from the plain attributes.
+//
+// The reconstruction is a two-stage plan: a generalized projection that
+// produces helper aggregates, followed by a plain projection that combines
+// them (AVG = SUM/COUNT).
+type Reconstruction struct {
+	plan *Plan
+
+	// Stage1 is the generalized projection list producing group-by columns
+	// and helper aggregates; Stage2 maps helpers to V's output columns.
+	Stage1 []ra.ProjItem
+	Stage2 []ra.OutExpr
+}
+
+// Reconstructable reports whether V can be recomputed from the auxiliary
+// views, i.e. the root auxiliary view was not omitted. When it was omitted,
+// Section 3.3's conditions guarantee reconstruction is never needed.
+func (p *Plan) Reconstructable() bool {
+	return !p.Aux[p.Graph.Root].Omitted
+}
+
+// Reconstruction builds the reconstruction query of V over X.
+func (p *Plan) Reconstruction() (*Reconstruction, error) {
+	if !p.Reconstructable() {
+		return nil, fmt.Errorf("core: view %s: root auxiliary view %s is omitted; V is maintained purely incrementally and cannot be reconstructed from X",
+			p.View.Name, p.Aux[p.Graph.Root].Name)
+	}
+	r := &Reconstruction{plan: p}
+	root := p.Aux[p.Graph.Root]
+
+	var cntExpr ra.Expr
+	if root.HasCount {
+		cntExpr = ra.ColRef{Table: root.Base, Name: root.CountName}
+	}
+	// weighted returns e·cnt0, or e when the root view is uncompressed.
+	weighted := func(e ra.Expr) ra.Expr {
+		if cntExpr == nil {
+			return e
+		}
+		return ra.Arith{Op: "*", L: e, R: cntExpr}
+	}
+	// rowCount is the helper aggregate counting underlying join rows.
+	rowCount := func() *ra.Aggregate {
+		if cntExpr == nil {
+			return &ra.Aggregate{Func: ra.FuncCount}
+		}
+		return &ra.Aggregate{Func: ra.FuncSum, Arg: cntExpr}
+	}
+
+	helperN := 0
+	helper := func(agg *ra.Aggregate) string {
+		name := fmt.Sprintf("h%d", helperN)
+		helperN++
+		r.Stage1 = append(r.Stage1, ra.ProjItem{Name: name, Agg: agg})
+		return name
+	}
+
+	for _, it := range p.View.Items {
+		if !it.IsAggregate() {
+			// Group-by column: present as a plain attribute of its
+			// owner's auxiliary view.
+			r.Stage1 = append(r.Stage1, ra.ProjItem{Name: it.Name, Expr: it.Expr})
+			r.Stage2 = append(r.Stage2, ra.OutExpr{Name: it.Name, Expr: ra.ColRef{Name: it.Name}})
+			continue
+		}
+		agg := it.Agg
+		switch {
+		case agg.Distinct, agg.Func == ra.FuncMin, agg.Func == ra.FuncMax:
+			// Duplicate-insensitive: computed directly from the plain
+			// attribute (Section 3.2, final note) — or, under the
+			// append-only relaxation, by re-aggregating the compressed
+			// MIN/MAX column (MIN and MAX are distributive).
+			arg := agg.Arg
+			if !agg.Distinct && agg.Arg != nil {
+				if c, ok := agg.Arg.(ra.ColRef); ok && c.Table == root.Base {
+					if n, compressed := root.MinName[c.Name]; compressed && agg.Func == ra.FuncMin {
+						arg = ra.ColRef{Table: root.Base, Name: n}
+					}
+					if n, compressed := root.MaxName[c.Name]; compressed && agg.Func == ra.FuncMax {
+						arg = ra.ColRef{Table: root.Base, Name: n}
+					}
+				}
+			}
+			h := helper(&ra.Aggregate{Func: agg.Func, Arg: arg, Distinct: agg.Distinct})
+			r.Stage2 = append(r.Stage2, ra.OutExpr{Name: it.Name, Expr: ra.ColRef{Name: h}})
+
+		case agg.Func == ra.FuncCount:
+			// COUNT(*) and COUNT(a): no nulls, so both count join rows.
+			h := helper(rowCount())
+			r.Stage2 = append(r.Stage2, ra.OutExpr{Name: it.Name, Expr: ra.ColRef{Name: h}})
+
+		case agg.Func == ra.FuncSum, agg.Func == ra.FuncAvg:
+			arg := agg.Arg.(ra.ColRef)
+			var sumAgg *ra.Aggregate
+			if name, compressed := root.SumName[arg.Name]; compressed && arg.Table == root.Base {
+				// The attribute was compressed into a SUM column: CSMASs
+				// are distributive, re-aggregate the partial sums.
+				sumAgg = &ra.Aggregate{Func: ra.FuncSum, Arg: ra.ColRef{Table: root.Base, Name: name}}
+			} else {
+				// Plain attribute (possibly on a dimension): weight by
+				// cnt0 — the f(a · cnt0) rule.
+				sumAgg = &ra.Aggregate{Func: ra.FuncSum, Arg: weighted(agg.Arg)}
+			}
+			hs := helper(sumAgg)
+			if agg.Func == ra.FuncSum {
+				r.Stage2 = append(r.Stage2, ra.OutExpr{Name: it.Name, Expr: ra.ColRef{Name: hs}})
+			} else {
+				hc := helper(rowCount())
+				r.Stage2 = append(r.Stage2, ra.OutExpr{
+					Name: it.Name,
+					Expr: ra.Arith{Op: "/", L: ra.ColRef{Name: hs}, R: ra.ColRef{Name: hc}},
+				})
+			}
+
+		default:
+			return nil, fmt.Errorf("core: view %s: cannot reconstruct aggregate %s", p.View.Name, agg)
+		}
+	}
+	return r, nil
+}
+
+// JoinAux builds the join of all auxiliary views along the tree, rooted at
+// the root auxiliary view — the FROM/WHERE part of the paper's
+// reconstructed product_sales view.
+func (p *Plan) JoinAux(aux map[string]*ra.Relation) (ra.Node, error) {
+	root := p.Graph.Root
+	rel := aux[root]
+	if rel == nil {
+		return nil, fmt.Errorf("core: missing materialized auxiliary view for %s", root)
+	}
+	var node ra.Node = ra.Scan(p.Aux[root].Name, rel)
+	// Breadth-first over the tree so parents join before children.
+	queue := append([]string(nil), p.Graph.Children[root]...)
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		rel := aux[t]
+		if rel == nil {
+			return nil, fmt.Errorf("core: missing materialized auxiliary view for %s", t)
+		}
+		j := p.Graph.EdgeTo[t]
+		node = ra.Join(node, ra.Scan(p.Aux[t].Name, rel),
+			ra.Col{Table: j.Left, Name: j.LeftAttr},
+			ra.Col{Table: j.Right, Name: j.RightAttr})
+		queue = append(queue, p.Graph.Children[t]...)
+	}
+	return node, nil
+}
+
+// Eval evaluates the reconstruction over materialized auxiliary views and
+// returns V's contents.
+func (r *Reconstruction) Eval(aux map[string]*ra.Relation) (*ra.Relation, error) {
+	return r.EvalFiltered(aux, nil)
+}
+
+// EvalFiltered is Eval restricted to the view groups matching the given
+// filter conditions (used for the partial recomputation of affected groups
+// during maintenance). A nil filter recomputes everything.
+func (r *Reconstruction) EvalFiltered(aux map[string]*ra.Relation, filter []ra.Comparison) (*ra.Relation, error) {
+	node, err := r.plan.JoinAux(aux)
+	if err != nil {
+		return nil, err
+	}
+	if len(filter) > 0 {
+		node = ra.Select(node, filter...)
+	}
+	node = ra.GProject(node, r.Stage1...)
+	out, err := ra.Project(node, r.Stage2...).Eval()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

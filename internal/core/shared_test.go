@@ -1,0 +1,228 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/gpsj"
+	"mindetail/internal/ra"
+	"mindetail/internal/schema"
+	"mindetail/internal/sqlparse"
+)
+
+func mustViews(t *testing.T, cat *schema.Catalog, sqls ...string) []*gpsj.View {
+	t.Helper()
+	var out []*gpsj.View
+	for i, sql := range sqls {
+		s, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := gpsj.FromSelect(cat, strings.Repeat("v", i+1), s.(*sqlparse.SelectStmt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestDeriveSharedMerging: two views over sale with different local
+// conditions and different compression needs. The shared view must drop
+// the non-common year condition (storing year instead), keep price plain
+// (one view MAXes it), and group finer than either view alone.
+func TestDeriveSharedMerging(t *testing.T) {
+	cat := retailCatalog(t)
+	views := mustViews(t, cat,
+		`SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+		 FROM sale, time WHERE time.year = 1997 AND sale.timeid = time.id
+		 GROUP BY time.month`,
+		`SELECT sale.storeid, MAX(price) AS hi, COUNT(*) AS cnt
+		 FROM sale GROUP BY sale.storeid`,
+	)
+	sp, err := DeriveShared(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sale := sp.Aux["sale"]
+	if sale.Omitted {
+		t.Fatal("sale omitted")
+	}
+	// price feeds MAX in V2: plain. storeid grouped in V2: plain. timeid
+	// joins in V1: plain. V1 alone would compress price.
+	for _, want := range []string{"price", "storeid", "timeid"} {
+		if !containsStr(sale.PlainAttrs, want) {
+			t.Errorf("shared sale plain missing %s: %v", want, sale.PlainAttrs)
+		}
+	}
+	if len(sale.SumAttrs) != 0 {
+		t.Errorf("price must not compress when some view needs it plain: %v", sale.SumAttrs)
+	}
+	if !sale.HasCount {
+		t.Error("shared sale needs COUNT(*)")
+	}
+	// V1 semijoins sale with time; V2 (single table) does not: dropped.
+	if len(sale.SemiJoins) != 0 {
+		t.Errorf("non-unanimous semijoin kept: %v", sale.SemiJoins)
+	}
+
+	tm := sp.Aux["time"]
+	// Only V1 references time: its reductions survive unchanged.
+	if len(tm.Local) != 1 || !strings.Contains(tm.Local[0].String(), "1997") {
+		t.Errorf("time local = %v", tm.Local)
+	}
+	if len(sp.Residual[0]) != 0 {
+		t.Errorf("V1 should have no residual conditions: %v", sp.Residual[0])
+	}
+}
+
+// TestDeriveSharedResidualConditions: two views over sale and time with
+// DIFFERENT year conditions. Neither condition can live in the shared
+// views; year becomes a stored attribute and each view re-applies its own
+// condition at reconstruction.
+func TestDeriveSharedResidualConditions(t *testing.T) {
+	cat := retailCatalog(t)
+	views := mustViews(t, cat,
+		`SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+		 FROM sale, time WHERE time.year = 1997 AND sale.timeid = time.id
+		 GROUP BY time.month`,
+		`SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+		 FROM sale, time WHERE time.year = 1998 AND sale.timeid = time.id
+		 GROUP BY time.month`,
+	)
+	sp, err := DeriveShared(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := sp.Aux["time"]
+	if len(tm.Local) != 0 {
+		t.Errorf("conflicting conditions must both drop: %v", tm.Local)
+	}
+	if !containsStr(tm.PlainAttrs, "year") {
+		t.Errorf("year must be stored for residual filtering: %v", tm.PlainAttrs)
+	}
+	if len(sp.Residual[0]["time"]) != 1 || len(sp.Residual[1]["time"]) != 1 {
+		t.Errorf("residuals = %v / %v", sp.Residual[0], sp.Residual[1])
+	}
+	text := sp.Text()
+	for _, want := range []string{"shared auxiliary views", "residual conditions for V1", "residual conditions for V2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSharedReconstructionMatchesDirect: every view in the class must be
+// exactly recomputable from the shared auxiliary views.
+func TestSharedReconstructionMatchesDirect(t *testing.T) {
+	cat := retailCatalog(t)
+	db := seedRetail(t, cat)
+	classes := [][]string{
+		{
+			`SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+			 FROM sale, time WHERE time.year = 1997 AND sale.timeid = time.id
+			 GROUP BY time.month`,
+			`SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+			 FROM sale, time WHERE time.year = 1998 AND sale.timeid = time.id
+			 GROUP BY time.month`,
+		},
+		{
+			`SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount,
+			        COUNT(DISTINCT brand) AS DifferentBrands
+			 FROM sale, time, product
+			 WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id
+			 GROUP BY time.month`,
+			`SELECT sale.storeid, MAX(price) AS hi, AVG(price) AS ap, COUNT(*) AS cnt
+			 FROM sale GROUP BY sale.storeid`,
+			`SELECT product.category, SUM(price) AS total, COUNT(*) AS cnt
+			 FROM sale, product WHERE sale.productid = product.id
+			 GROUP BY product.category`,
+		},
+	}
+	for ci, sqls := range classes {
+		views := mustViews(t, cat, sqls...)
+		sp, err := DeriveShared(views)
+		if err != nil {
+			t.Fatalf("class %d: %v", ci, err)
+		}
+		aux, err := sp.Materialize(func(tb string) *ra.Relation {
+			return ra.FromTable(db.Table(tb), tb)
+		})
+		if err != nil {
+			t.Fatalf("class %d: %v", ci, err)
+		}
+		for i, v := range views {
+			got, err := sp.ReconstructView(i, aux)
+			if err != nil {
+				t.Fatalf("class %d view %d: %v", ci, i, err)
+			}
+			want, err := v.Evaluate(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ra.EqualBag(got, want) {
+				t.Errorf("class %d view %d diverged:\nshared:\n%s\ndirect:\n%s",
+					ci, i, got.Format(), want.Format())
+			}
+		}
+		shared, perView := sp.FieldTotals()
+		if shared <= 0 || perView < shared {
+			t.Errorf("class %d: field totals shared=%d perView=%d", ci, shared, perView)
+		}
+	}
+}
+
+// TestSharedOmission: the shared view for a table is omitted only when
+// every view omits it.
+func TestSharedOmission(t *testing.T) {
+	cat := retailCatalog(t)
+	views := mustViews(t, cat,
+		`SELECT product.id, SUM(price) AS total, COUNT(*) AS cnt
+		 FROM sale, product WHERE sale.productid = product.id GROUP BY product.id`,
+		`SELECT product.id, COUNT(*) AS cnt
+		 FROM sale, product WHERE sale.productid = product.id GROUP BY product.id`,
+	)
+	sp, err := DeriveShared(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Aux["sale"].Omitted {
+		t.Error("sale omitted by both views: shared must omit it")
+	}
+
+	// Mixing with a view that needs sale keeps it.
+	views2 := mustViews(t, cat,
+		`SELECT product.id, SUM(price) AS total, COUNT(*) AS cnt
+		 FROM sale, product WHERE sale.productid = product.id GROUP BY product.id`,
+		`SELECT time.month, COUNT(*) AS cnt
+		 FROM sale, time WHERE sale.timeid = time.id GROUP BY time.month`,
+	)
+	sp2, err := DeriveShared(views2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.Aux["sale"].Omitted {
+		t.Error("sale needed by the second view: shared must keep it")
+	}
+}
+
+func TestDeriveSharedErrors(t *testing.T) {
+	if _, err := DeriveShared(nil); err == nil {
+		t.Error("empty class accepted")
+	}
+	cat := retailCatalog(t)
+	views := mustViews(t, cat,
+		`SELECT sale.id, SUM(price) FROM sale GROUP BY sale.id`) // superfluous
+	if _, err := DeriveShared(views); err == nil {
+		t.Error("per-view derivation error not propagated")
+	}
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

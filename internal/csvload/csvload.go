@@ -1,0 +1,137 @@
+// Package csvload imports base-table data from CSV into the storage engine
+// and exports relations back to CSV — the bulk path for loading real
+// operational extracts into the warehouse.
+package csvload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mindetail/internal/ra"
+	"mindetail/internal/schema"
+	"mindetail/internal/storage"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// Import reads CSV rows into the named table. With header set, the first
+// record must name the table's attributes (any order); otherwise records
+// are positional in schema order. Values are parsed according to the
+// column types. It returns the number of rows inserted; on error the rows
+// inserted so far remain.
+func Import(db *storage.DB, table string, r io.Reader, header bool) (int, error) {
+	meta := db.Catalog().Table(table)
+	if meta == nil {
+		return 0, fmt.Errorf("csvload: unknown table %s", table)
+	}
+	return Read(meta, r, header, func(row tuple.Tuple) error {
+		return db.Insert(table, row)
+	})
+}
+
+// Read parses CSV records into tuples for the given table schema, calling
+// fn for each row. It returns the number of rows successfully delivered.
+func Read(meta *schema.Table, r io.Reader, header bool, fn func(tuple.Tuple) error) (int, error) {
+	table := meta.Name
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+
+	// perm[i] is the schema position of CSV column i.
+	perm := make([]int, len(meta.Attrs))
+	for i := range perm {
+		perm[i] = i
+	}
+	first := true
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("csvload: %s: %w", table, err)
+		}
+		if first && header {
+			first = false
+			if len(rec) != len(meta.Attrs) {
+				return n, fmt.Errorf("csvload: %s: header has %d columns, table has %d", table, len(rec), len(meta.Attrs))
+			}
+			for i, name := range rec {
+				pos := meta.AttrIndex(strings.ToLower(strings.TrimSpace(name)))
+				if pos < 0 {
+					return n, fmt.Errorf("csvload: %s: unknown column %q in header", table, name)
+				}
+				perm[i] = pos
+			}
+			continue
+		}
+		first = false
+		if len(rec) != len(meta.Attrs) {
+			return n, fmt.Errorf("csvload: %s: record has %d fields, want %d", table, len(rec), len(meta.Attrs))
+		}
+		row := make(tuple.Tuple, len(meta.Attrs))
+		for i, field := range rec {
+			v, err := parseValue(meta.Attrs[perm[i]], field)
+			if err != nil {
+				return n, fmt.Errorf("csvload: %s row %d: %w", table, n+1, err)
+			}
+			row[perm[i]] = v
+		}
+		if err := fn(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+func parseValue(attr schema.Attribute, field string) (types.Value, error) {
+	field = strings.TrimSpace(field)
+	switch attr.Type {
+	case types.KindInt:
+		n, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return types.Null, fmt.Errorf("column %s: %q is not an integer", attr.Name, field)
+		}
+		return types.Int(n), nil
+	case types.KindFloat:
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return types.Null, fmt.Errorf("column %s: %q is not a number", attr.Name, field)
+		}
+		return types.Float(f), nil
+	case types.KindBool:
+		b, err := strconv.ParseBool(strings.ToLower(field))
+		if err != nil {
+			return types.Null, fmt.Errorf("column %s: %q is not a boolean", attr.Name, field)
+		}
+		return types.Bool(b), nil
+	default:
+		return types.Str(field), nil
+	}
+}
+
+// Export writes a relation as CSV with a header row of column names.
+func Export(rel *ra.Relation, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(rel.Cols))
+	for i, c := range rel.Cols {
+		header[i] = c.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rel.Sorted().Rows {
+		rec := make([]string, len(row))
+		for i, v := range row {
+			rec[i] = v.Display()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,693 @@
+// Package experiments regenerates every table and figure of the paper and
+// the design-choice ablations listed in DESIGN.md. Each experiment returns
+// a printable report; cmd/benchharness prints them and the repository-root
+// benchmarks reuse the same fixtures for timed runs.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mindetail/internal/aggregates"
+	"mindetail/internal/baseline"
+	"mindetail/internal/core"
+	"mindetail/internal/gpsj"
+	"mindetail/internal/maintain"
+	"mindetail/internal/ra"
+	"mindetail/internal/schema"
+	"mindetail/internal/sizing"
+	"mindetail/internal/sqlparse"
+	"mindetail/internal/storage"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+	"mindetail/internal/workload"
+)
+
+// Env is a loaded retail environment shared by the experiments.
+type Env struct {
+	Params workload.RetailParams
+	Cat    *schema.Catalog
+	DB     *storage.DB
+}
+
+// NewEnv loads the retail workload at the given parameters.
+func NewEnv(p workload.RetailParams) (*Env, error) {
+	stmts, err := sqlparse.ParseAll(workload.DDL())
+	if err != nil {
+		return nil, err
+	}
+	cat := schema.NewCatalog()
+	var fks []schema.ForeignKey
+	for _, s := range stmts {
+		ct := s.(*sqlparse.CreateTable)
+		if err := cat.AddTable(ct.Table); err != nil {
+			return nil, err
+		}
+		fks = append(fks, ct.FKs...)
+	}
+	for _, fk := range fks {
+		if err := cat.AddForeignKey(fk); err != nil {
+			return nil, err
+		}
+	}
+	db := storage.NewDB(cat)
+	if err := workload.Load(db, p); err != nil {
+		return nil, err
+	}
+	return &Env{Params: p, Cat: cat, DB: db}, nil
+}
+
+// Src adapts the environment's DB for engine initialization.
+func (e *Env) Src(table string) *ra.Relation { return ra.FromTable(e.DB.Table(table), table) }
+
+// View parses and normalizes a view over the environment's catalog.
+func (e *Env) View(name, sql string) (*gpsj.View, error) {
+	s, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return gpsj.FromSelect(e.Cat, name, s.(*sqlparse.SelectStmt))
+}
+
+// MinimalEngine derives and initializes the paper's minimal-detail engine.
+func (e *Env) MinimalEngine(viewSQL string) (*maintain.Engine, error) {
+	v, err := e.View("v", viewSQL)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.Derive(v)
+	if err != nil {
+		return nil, err
+	}
+	eng := maintain.NewEngine(p)
+	if err := eng.Init(e.Src); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// PSJEngine derives and initializes the Quass-style PSJ baseline engine.
+func (e *Env) PSJEngine(viewSQL string) (*maintain.Engine, error) {
+	v, err := e.View("v", viewSQL)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := baseline.PSJEngine(v)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Init(e.Src); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// Replica initializes the full-replication baseline.
+func (e *Env) Replica(viewSQL string, perBatch bool) (*baseline.Replica, error) {
+	v, err := e.View("v", viewSQL)
+	if err != nil {
+		return nil, err
+	}
+	r := baseline.NewReplica(v, e.Cat)
+	r.RecomputePerBatch = perBatch
+	if err := r.Init(e.Src); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ---------------------------------------------------------------------------
+// E1 / E2: Tables 1 and 2 — aggregate classification.
+
+// Table1 regenerates the paper's Table 1.
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("Table 1: SMA/SMAS classification (insertion/deletion)\n")
+	fmt.Fprintf(&b, "  %-9s %-6s %-6s %s\n", "Aggregate", "SMA", "SMAS", "Note")
+	for _, r := range aggregates.FormatTable1() {
+		fmt.Fprintf(&b, "  %-9s %-6s %-6s %s\n", r.Aggregate, r.SMA, r.SMAS, r.Note)
+	}
+	return b.String()
+}
+
+// Table2 regenerates the paper's Table 2.
+func Table2() string {
+	var b strings.Builder
+	b.WriteString("Table 2: CSMAS classification and replacement\n")
+	fmt.Fprintf(&b, "  %-9s %-18s %s\n", "Aggregate", "Replaced By", "Class")
+	for _, r := range aggregates.FormatTable2() {
+		fmt.Fprintf(&b, "  %-9s %-18s %s\n", r.Aggregate, r.ReplacedBy, r.Class)
+	}
+	b.WriteString("  (DISTINCT makes any aggregate non-distributive: always non-CSMAS)\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E3 / E4: Tables 3 and 4 — the sale auxiliary view before and after smart
+// duplicate compression, on a small concrete instance.
+
+// exampleSale builds a small sale instance with duplicate (timeid,
+// productid, price) rows, in the spirit of the paper's Section 3.2 example.
+func exampleSale() *ra.Relation {
+	rel := ra.NewRelation(ra.Schema{
+		{Table: "sale", Name: "id"},
+		{Table: "sale", Name: "timeid"},
+		{Table: "sale", Name: "productid"},
+		{Table: "sale", Name: "price"},
+	})
+	rows := [][4]float64{
+		{1, 1, 1, 2.00}, {2, 1, 1, 2.00}, {3, 1, 1, 2.50},
+		{4, 1, 2, 1.00}, {5, 2, 1, 2.00}, {6, 2, 1, 2.00},
+		{7, 2, 2, 1.00}, {8, 2, 2, 1.00}, {9, 2, 2, 1.00},
+	}
+	for _, r := range rows {
+		rel.Rows = append(rel.Rows, tuple.Tuple{
+			types.Int(int64(r[0])), types.Int(int64(r[1])),
+			types.Int(int64(r[2])), types.Float(r[3]),
+		})
+	}
+	return rel
+}
+
+// Table3 regenerates the shape of the paper's Table 3: the sale auxiliary
+// view after local reduction and the addition of COUNT(*) (Algorithm 3.1,
+// step 1), with price still stored as a plain attribute.
+func Table3() (string, error) {
+	out, err := ra.GroupBy(exampleSale(), []ra.ProjItem{
+		{Name: "timeid", Expr: ra.ColRef{Name: "timeid"}},
+		{Name: "productid", Expr: ra.ColRef{Name: "productid"}},
+		{Name: "price", Expr: ra.ColRef{Name: "price"}},
+		{Name: "COUNT(*)", Agg: &ra.Aggregate{Func: ra.FuncCount}},
+	})
+	if err != nil {
+		return "", err
+	}
+	return "Table 3: sale auxiliary view after adding COUNT(*)\n" + out.Format(), nil
+}
+
+// Table4 regenerates the shape of the paper's Table 4: the same view after
+// step 2 replaces price by SUM(price).
+func Table4() (string, error) {
+	out, err := ra.GroupBy(exampleSale(), []ra.ProjItem{
+		{Name: "timeid", Expr: ra.ColRef{Name: "timeid"}},
+		{Name: "productid", Expr: ra.ColRef{Name: "productid"}},
+		{Name: "SUM(price)", Agg: &ra.Aggregate{Func: ra.FuncSum, Arg: ra.ColRef{Name: "price"}}},
+		{Name: "COUNT(*)", Agg: &ra.Aggregate{Func: ra.FuncCount}},
+	})
+	if err != nil {
+		return "", err
+	}
+	return "Table 4: sale auxiliary view after smart duplicate compression\n" + out.Format(), nil
+}
+
+// ---------------------------------------------------------------------------
+// E5: Figure 2 — the extended join graph of product_sales.
+
+// Figure2 regenerates the paper's Figure 2 (text tree and DOT).
+func Figure2() (string, error) {
+	env, err := NewEnv(workload.RetailParams{
+		Days: 2, Stores: 1, Products: 2, ProductsSoldPerDay: 1,
+		TransactionsPerProduct: 1, Brands: 1, SelectYear: 1997, Seed: 1,
+	})
+	if err != nil {
+		return "", err
+	}
+	v, err := env.View("product_sales", workload.ProductSalesSQL(1997))
+	if err != nil {
+		return "", err
+	}
+	p, err := core.Derive(v)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 2: extended join graph for product_sales\n")
+	b.WriteString(p.Graph.Text())
+	b.WriteString("\n")
+	b.WriteString(p.Graph.Dot())
+	return b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// E6: the Section 1.1 storage comparison.
+
+// SizingResult holds the analytic paper numbers and a measured scaled-down
+// validation run.
+type SizingResult struct {
+	PaperFact    sizing.Model
+	PaperAux     sizing.Model
+	Reduction    float64
+	Small        workload.RetailParams
+	MeasuredFact int64 // measured fact tuples at small scale
+	MeasuredAux  int64 // measured saleDTL tuples at small scale
+	ModelAuxMax  int64 // analytic worst-case aux tuples at small scale
+	Extrapolated int64 // measured aux tuples extrapolated to paper scale
+}
+
+// Sizing runs E6: reproduce the paper's arithmetic exactly and validate the
+// tuple-count model with a real scaled-down materialization.
+func Sizing(smallFactTuples int) (*SizingResult, error) {
+	r := &SizingResult{
+		PaperFact: sizing.PaperFactTable(),
+		PaperAux:  sizing.PaperAuxView(),
+		Reduction: sizing.Reduction(workload.PaperParams()),
+		Small:     workload.ScaledDown(smallFactTuples),
+	}
+	env, err := NewEnv(r.Small)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := env.MinimalEngine(workload.ProductSalesSQL(1997))
+	if err != nil {
+		return nil, err
+	}
+	r.MeasuredFact = int64(env.DB.RowCount("sale"))
+	r.MeasuredAux = int64(eng.Aux("sale").Len())
+	r.ModelAuxMax = sizing.AuxView(r.Small).Tuples
+	r.Extrapolated = sizing.Extrapolate(r.MeasuredAux, r.Small, workload.PaperParams(), true)
+	return r, nil
+}
+
+// Format renders the sizing result as the E6 report.
+func (r *SizingResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Section 1.1 storage comparison (paper arithmetic, reproduced exactly)\n")
+	fmt.Fprintf(&b, "  fact table:     %d tuples x 5 fields x 4 bytes = %.0f GBytes (paper: 245 GBytes)\n",
+		r.PaperFact.Tuples, r.PaperFact.GBytes())
+	fmt.Fprintf(&b, "  saleDTL:        %d tuples x 4 fields x 4 bytes = %.0f MBytes (paper: 167 MBytes)\n",
+		r.PaperAux.Tuples, r.PaperAux.MBytes())
+	fmt.Fprintf(&b, "  reduction:      %.0fx\n", r.Reduction)
+	fmt.Fprintf(&b, "measured validation at 1/%d scale (%d fact tuples):\n",
+		r.PaperFact.Tuples/maxI64(1, r.MeasuredFact), r.MeasuredFact)
+	fmt.Fprintf(&b, "  saleDTL tuples: measured %d  <=  analytic worst case %d\n", r.MeasuredAux, r.ModelAuxMax)
+	fmt.Fprintf(&b, "  extrapolated to paper scale: %d tuples (analytic worst case %d)\n",
+		r.Extrapolated, r.PaperAux.Tuples)
+	return b.String()
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Ablations.
+
+// CompressionPoint is one point of the A1 sweep.
+type CompressionPoint struct {
+	TransactionsPerProduct int
+	FactRows               int
+	AuxRows                int
+	FactBytes              int
+	AuxBytes               int
+	Ratio                  float64
+}
+
+// AblationCompression sweeps the duplication factor (transactions per
+// product) and reports the achieved compression of the sale auxiliary view.
+func AblationCompression(dups []int) ([]CompressionPoint, error) {
+	var out []CompressionPoint
+	for _, d := range dups {
+		p := workload.RetailParams{
+			Days: 20, Stores: 3, Products: 40, ProductsSoldPerDay: 8,
+			TransactionsPerProduct: d, Brands: 8, SelectYear: 1997, Seed: 1,
+		}
+		env, err := NewEnv(p)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := env.MinimalEngine(workload.ProductSalesSQL(1997))
+		if err != nil {
+			return nil, err
+		}
+		pt := CompressionPoint{
+			TransactionsPerProduct: d,
+			FactRows:               env.DB.RowCount("sale"),
+			AuxRows:                eng.Aux("sale").Len(),
+			FactBytes:              env.DB.Table("sale").Bytes(),
+			AuxBytes:               eng.Aux("sale").Bytes(),
+		}
+		pt.Ratio = float64(pt.FactBytes) / float64(maxInt(1, pt.AuxBytes))
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MaintenanceResult is one strategy's measurement in A2.
+type MaintenanceResult struct {
+	Strategy   string
+	Deltas     int
+	Elapsed    time.Duration
+	PerDelta   time.Duration
+	DetailData int // bytes of warehouse-resident detail data
+}
+
+// AblationMaintenance runs A2: the same delta stream against the minimal
+// engine, the PSJ baseline, and per-batch recomputation over a replica.
+func AblationMaintenance(factTuples, deltas int) ([]MaintenanceResult, error) {
+	viewSQL := workload.CSMASOnlySQL(1997)
+
+	var out []MaintenanceResult
+	// Each strategy gets its own environment so the delta streams are
+	// identical (same seed) and state does not leak between runs. The
+	// engine is initialized over the pristine load, and only then is the
+	// delta stream generated and applied.
+	run := func(name string, build func(*Env) (func(maintain.Delta) error, func() int, error)) error {
+		env, err := NewEnv(workload.ScaledDown(factTuples))
+		if err != nil {
+			return err
+		}
+		apply, bytes, err := build(env)
+		if err != nil {
+			return err
+		}
+		mut := workload.NewMutator(env.DB, env.Params)
+		ds, err := mut.Batch(deltas, workload.DefaultMix())
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for _, d := range ds {
+			if err := apply(d); err != nil {
+				return err
+			}
+		}
+		el := time.Since(start)
+		out = append(out, MaintenanceResult{
+			Strategy: name, Deltas: len(ds), Elapsed: el,
+			PerDelta: el / time.Duration(maxInt(1, len(ds))), DetailData: bytes(),
+		})
+		return nil
+	}
+
+	if err := run("minimal (paper)", func(env *Env) (func(maintain.Delta) error, func() int, error) {
+		eng, err := env.MinimalEngine(viewSQL)
+		if err != nil {
+			return nil, nil, err
+		}
+		return eng.Apply, eng.AuxBytes, nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("PSJ [14]", func(env *Env) (func(maintain.Delta) error, func() int, error) {
+		eng, err := env.PSJEngine(viewSQL)
+		if err != nil {
+			return nil, nil, err
+		}
+		return eng.Apply, eng.AuxBytes, nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("recompute", func(env *Env) (func(maintain.Delta) error, func() int, error) {
+		rep, err := env.Replica(viewSQL, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rep.Apply, rep.Bytes, nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormatMaintenance renders A2 results.
+func FormatMaintenance(rs []MaintenanceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-16s %8s %14s %14s %14s\n", "strategy", "deltas", "total", "per delta", "detail bytes")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "  %-16s %8d %14s %14s %14d\n",
+			r.Strategy, r.Deltas, r.Elapsed.Round(time.Microsecond),
+			r.PerDelta.Round(time.Nanosecond), r.DetailData)
+	}
+	return b.String()
+}
+
+// EliminationResult is A3's output.
+type EliminationResult struct {
+	WithElimination    int // aux bytes, fact aux omitted
+	WithoutElimination int // aux bytes, PSJ derivation keeps everything
+	OmittedTables      []string
+}
+
+// AblationElimination runs A3: the storage effect of omitting the fact
+// table's auxiliary view when the Section 3.3 conditions hold.
+func AblationElimination(factTuples int) (*EliminationResult, error) {
+	env, err := NewEnv(workload.ScaledDown(factTuples))
+	if err != nil {
+		return nil, err
+	}
+	minEng, err := env.MinimalEngine(workload.EliminationSQL())
+	if err != nil {
+		return nil, err
+	}
+	psjEng, err := env.PSJEngine(workload.EliminationSQL())
+	if err != nil {
+		return nil, err
+	}
+	r := &EliminationResult{
+		WithElimination:    minEng.AuxBytes(),
+		WithoutElimination: psjEng.AuxBytes(),
+	}
+	for t, x := range minEng.Plan().Aux {
+		if x.Omitted {
+			r.OmittedTables = append(r.OmittedTables, t)
+		}
+	}
+	return r, nil
+}
+
+// NeedSetsResult is A4's output for one mode.
+type NeedSetsResult struct {
+	UseNeedSets bool
+	Elapsed     time.Duration
+	AuxLookups  int
+}
+
+// AblationNeedSets runs A4: the same stream with and without Need-set-
+// restricted delta joins. The view joins product and store without using
+// any of their attributes, so the restricted path can skip both auxiliary
+// views entirely (they are non-filtering: referential integrity holds and
+// they carry no local conditions).
+func AblationNeedSets(factTuples, deltas int) ([]NeedSetsResult, error) {
+	viewSQL := `SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount
+		FROM sale, time, product, store
+		WHERE time.year = 1997 AND sale.timeid = time.id
+		  AND sale.productid = product.id AND sale.storeid = store.id
+		GROUP BY time.month`
+	var out []NeedSetsResult
+	for _, use := range []bool{true, false} {
+		env, err := NewEnv(workload.ScaledDown(factTuples))
+		if err != nil {
+			return nil, err
+		}
+		v, err := env.View("v", viewSQL)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.Derive(v)
+		if err != nil {
+			return nil, err
+		}
+		eng := maintain.NewEngine(p)
+		eng.UseNeedSets = use
+		if err := eng.Init(env.Src); err != nil {
+			return nil, err
+		}
+		mut := workload.NewMutator(env.DB, env.Params)
+		ds, err := mut.Batch(deltas, workload.DefaultMix())
+		if err != nil {
+			return nil, err
+		}
+		eng.ResetStats()
+		start := time.Now()
+		for _, d := range ds {
+			if err := eng.Apply(d); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, NeedSetsResult{
+			UseNeedSets: use,
+			Elapsed:     time.Since(start),
+			AuxLookups:  eng.Stats().AuxLookups,
+		})
+	}
+	return out, nil
+}
+
+// AppendOnlyResult is A6's output: the storage effect of the Section 4
+// append-only relaxation on a MIN/MAX view, where the standard derivation
+// must keep the aggregate argument plain (one auxiliary row per distinct
+// (group, value) pair) while the relaxed derivation compresses it into
+// MIN/MAX columns (one row per group).
+type AppendOnlyResult struct {
+	StandardRows  int
+	StandardBytes int
+	RelaxedRows   int
+	RelaxedBytes  int
+}
+
+// AblationAppendOnly runs A6 over the retail workload with a MIN/MAX view.
+func AblationAppendOnly(factTuples int) (*AppendOnlyResult, error) {
+	viewSQL := `SELECT time.month, MIN(price) AS lo, MAX(price) AS hi,
+		SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale, time WHERE sale.timeid = time.id AND time.year = 1997
+		GROUP BY time.month`
+	env, err := NewEnv(workload.ScaledDown(factTuples))
+	if err != nil {
+		return nil, err
+	}
+	v, err := env.View("v", viewSQL)
+	if err != nil {
+		return nil, err
+	}
+	std, err := core.Derive(v)
+	if err != nil {
+		return nil, err
+	}
+	stdEng := maintain.NewEngine(std)
+	if err := stdEng.Init(env.Src); err != nil {
+		return nil, err
+	}
+	relaxed, err := core.DeriveAppendOnly(v)
+	if err != nil {
+		return nil, err
+	}
+	relEng := maintain.NewEngine(relaxed)
+	if err := relEng.Init(env.Src); err != nil {
+		return nil, err
+	}
+	return &AppendOnlyResult{
+		StandardRows:  stdEng.Aux("sale").Len(),
+		StandardBytes: stdEng.AuxBytes(),
+		RelaxedRows:   relEng.Aux("sale").Len(),
+		RelaxedBytes:  relEng.AuxBytes(),
+	}, nil
+}
+
+// SharingResult is A7's output for one view class: one shared
+// auxiliary-view set vs separate per-view sets.
+type SharingResult struct {
+	Class        string
+	Views        int
+	SharedRows   int
+	SharedBytes  int
+	PerViewRows  int
+	PerViewBytes int
+}
+
+// AblationSharing runs A7 on two classes of views. The "nesting" class
+// groups on overlapping attribute sets, so the shared grouping is barely
+// finer than the largest view's and sharing wins; the "divergent" class
+// groups on disjoint attributes, the union grouping destroys compression,
+// and separate per-view sets win — the trade-off the Section 4 "classes of
+// summary data" generalization has to navigate.
+func AblationSharing(factTuples int) ([]SharingResult, error) {
+	classes := []struct {
+		name string
+		sqls []string
+	}{
+		{"nesting", []string{
+			`SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+			 FROM sale, time WHERE time.year = 1997 AND sale.timeid = time.id
+			 GROUP BY time.month`,
+			`SELECT time.month, AVG(price) AS ap, COUNT(*) AS cnt
+			 FROM sale, time WHERE time.year = 1998 AND sale.timeid = time.id
+			 GROUP BY time.month`,
+			`SELECT time.month, sale.storeid, SUM(price) AS total, COUNT(*) AS cnt
+			 FROM sale, time WHERE sale.timeid = time.id
+			 GROUP BY time.month, sale.storeid`,
+		}},
+		{"divergent", []string{
+			workload.CSMASOnlySQL(1997),
+			`SELECT sale.storeid, MAX(price) AS hi, COUNT(*) AS cnt FROM sale GROUP BY sale.storeid`,
+			`SELECT product.category, SUM(price) AS total, COUNT(*) AS cnt
+			 FROM sale, product WHERE sale.productid = product.id GROUP BY product.category`,
+		}},
+	}
+	var out []SharingResult
+	for _, cl := range classes {
+		env, err := NewEnv(workload.ScaledDown(factTuples))
+		if err != nil {
+			return nil, err
+		}
+		var views []*gpsj.View
+		for i, sql := range cl.sqls {
+			v, err := env.View(fmt.Sprintf("v%d", i), sql)
+			if err != nil {
+				return nil, err
+			}
+			views = append(views, v)
+		}
+		sp, err := core.DeriveShared(views)
+		if err != nil {
+			return nil, err
+		}
+		sharedRels, err := sp.Materialize(env.Src)
+		if err != nil {
+			return nil, err
+		}
+		r := SharingResult{Class: cl.name, Views: len(views)}
+		for _, rel := range sharedRels {
+			r.SharedRows += rel.Len()
+			r.SharedBytes += rel.Bytes()
+		}
+		for _, p := range sp.PerView {
+			rels, err := p.Materialize(env.Src)
+			if err != nil {
+				return nil, err
+			}
+			for _, rel := range rels {
+				r.PerViewRows += rel.Len()
+				r.PerViewBytes += rel.Bytes()
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SelectivityPoint is one point of the A5 sweep.
+type SelectivityPoint struct {
+	YearFraction float64
+	FactRows     int
+	AuxRows      int
+	AuxBytes     int
+}
+
+// AblationSelectivity runs A5: local-reduction effectiveness as the
+// fraction of days selected by the view's year condition varies.
+func AblationSelectivity(fractions []float64) ([]SelectivityPoint, error) {
+	var out []SelectivityPoint
+	for _, f := range fractions {
+		p := workload.RetailParams{
+			Days: 40, Stores: 3, Products: 40, ProductsSoldPerDay: 8,
+			TransactionsPerProduct: 3, Brands: 8, SelectYear: 1997,
+			YearFraction: f, Seed: 1,
+		}
+		env, err := NewEnv(p)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := env.MinimalEngine(workload.ProductSalesSQL(1997))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SelectivityPoint{
+			YearFraction: f,
+			FactRows:     env.DB.RowCount("sale"),
+			AuxRows:      eng.Aux("sale").Len(),
+			AuxBytes:     eng.Aux("sale").Bytes(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/workload"
+)
+
+func TestTable1And2Content(t *testing.T) {
+	t1 := Table1()
+	for _, want := range []string{"COUNT", "SUM", "AVG", "MAX/MIN", "+/+", "+/-"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := Table2()
+	for _, want := range []string{"COUNT(*)", "SUM(a), COUNT(*)", "Not replaced", "non-CSMAS"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, t2)
+		}
+	}
+}
+
+func TestTable3And4Compression(t *testing.T) {
+	t3, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 3 keeps price plain: 5 distinct (timeid, productid, price)
+	// groups from 9 base rows.
+	if !strings.Contains(t3, "(5 rows)") {
+		t.Errorf("Table 3 should have 5 rows:\n%s", t3)
+	}
+	t4, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 4 compresses price away: 4 (timeid, productid) groups.
+	if !strings.Contains(t4, "(4 rows)") {
+		t.Errorf("Table 4 should have 4 rows:\n%s", t4)
+	}
+	if !strings.Contains(t4, "SUM(price)") {
+		t.Errorf("Table 4 missing SUM column:\n%s", t4)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	out, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sale", "time [g]", "product", "digraph"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSizingReproducesPaper(t *testing.T) {
+	r, err := Sizing(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PaperFact.Tuples != 13_140_000_000 || r.PaperAux.Tuples != 10_950_000 {
+		t.Errorf("paper models wrong: %+v", r)
+	}
+	if r.Reduction != 1500 {
+		t.Errorf("reduction = %v", r.Reduction)
+	}
+	if r.MeasuredAux <= 0 || r.MeasuredAux > r.ModelAuxMax {
+		t.Errorf("measured aux %d outside (0, %d]", r.MeasuredAux, r.ModelAuxMax)
+	}
+	out := r.Format()
+	for _, want := range []string{"245 GBytes", "167 MBytes", "1500x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sizing report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationCompressionMonotone(t *testing.T) {
+	pts, err := AblationCompression([]int{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Ratio <= pts[i-1].Ratio {
+			t.Errorf("compression ratio must grow with duplication: %+v", pts)
+		}
+	}
+	// Aux rows are bounded by distinct (timeid, productid) pairs and do
+	// not grow with the duplication factor.
+	if pts[2].AuxRows > pts[0].AuxRows {
+		t.Errorf("aux rows grew with duplication: %+v", pts)
+	}
+}
+
+func TestAblationMaintenanceShape(t *testing.T) {
+	rs, err := AblationMaintenance(2000, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	byName := map[string]MaintenanceResult{}
+	for _, r := range rs {
+		byName[r.Strategy] = r
+	}
+	minimal, psj, rec := byName["minimal (paper)"], byName["PSJ [14]"], byName["recompute"]
+	// The headline shapes: incremental maintenance beats per-batch
+	// recomputation by a wide margin, and the minimal detail data is
+	// smaller than both the PSJ and replicated detail.
+	if minimal.PerDelta*5 > rec.PerDelta {
+		t.Errorf("incremental should beat recompute clearly: minimal=%v recompute=%v",
+			minimal.PerDelta, rec.PerDelta)
+	}
+	if !(minimal.DetailData < psj.DetailData && psj.DetailData <= rec.DetailData) {
+		t.Errorf("detail size ordering violated: minimal=%d psj=%d recompute=%d",
+			minimal.DetailData, psj.DetailData, rec.DetailData)
+	}
+	out := FormatMaintenance(rs)
+	if !strings.Contains(out, "minimal (paper)") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestAblationElimination(t *testing.T) {
+	r, err := AblationElimination(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.OmittedTables) != 1 || r.OmittedTables[0] != "sale" {
+		t.Errorf("omitted = %v", r.OmittedTables)
+	}
+	if r.WithElimination >= r.WithoutElimination {
+		t.Errorf("elimination must shrink detail data: %d vs %d",
+			r.WithElimination, r.WithoutElimination)
+	}
+	// Elimination removes the dominant (fact) auxiliary view: the
+	// remaining detail is a small fraction.
+	if float64(r.WithElimination) > 0.5*float64(r.WithoutElimination) {
+		t.Errorf("elimination should remove the dominant view: %d vs %d",
+			r.WithElimination, r.WithoutElimination)
+	}
+}
+
+func TestAblationNeedSets(t *testing.T) {
+	rs, err := AblationNeedSets(2000, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || !rs[0].UseNeedSets || rs[1].UseNeedSets {
+		t.Fatalf("results = %+v", rs)
+	}
+	if rs[0].AuxLookups > rs[1].AuxLookups {
+		t.Errorf("need sets must not increase lookups: with=%d without=%d",
+			rs[0].AuxLookups, rs[1].AuxLookups)
+	}
+}
+
+func TestAblationSelectivity(t *testing.T) {
+	pts, err := AblationSelectivity([]float64{0.25, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].AuxRows <= pts[i-1].AuxRows {
+			t.Errorf("aux rows must grow with selectivity: %+v", pts)
+		}
+	}
+	// At full selectivity the local reduction filters nothing, but
+	// compression still keeps the aux view far below the fact table.
+	last := pts[len(pts)-1]
+	if last.AuxRows >= last.FactRows {
+		t.Errorf("compression ineffective at full selectivity: %+v", last)
+	}
+}
+
+func TestEnvHelpers(t *testing.T) {
+	env, err := NewEnv(workload.ScaledDown(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.View("bad", "SELECT nope FROM sale"); err == nil {
+		t.Error("bad view accepted")
+	}
+	if _, err := env.MinimalEngine("SELECT nope FROM sale"); err == nil {
+		t.Error("bad view accepted by MinimalEngine")
+	}
+	if _, err := env.PSJEngine("SELECT nope FROM sale"); err == nil {
+		t.Error("bad view accepted by PSJEngine")
+	}
+	if _, err := env.Replica("SELECT nope FROM sale", false); err == nil {
+		t.Error("bad view accepted by Replica")
+	}
+}
+
+func TestAblationAppendOnly(t *testing.T) {
+	r, err := AblationAppendOnly(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RelaxedRows >= r.StandardRows {
+		t.Errorf("append-only must shrink the auxiliary view: %d vs %d rows",
+			r.RelaxedRows, r.StandardRows)
+	}
+	if r.RelaxedBytes >= r.StandardBytes {
+		t.Errorf("append-only must shrink bytes: %d vs %d", r.RelaxedBytes, r.StandardBytes)
+	}
+}
+
+func TestAblationSharingContrast(t *testing.T) {
+	rs, err := AblationSharing(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("classes = %d", len(rs))
+	}
+	nesting, divergent := rs[0], rs[1]
+	if nesting.Class != "nesting" || divergent.Class != "divergent" {
+		t.Fatalf("classes = %+v", rs)
+	}
+	if nesting.SharedBytes >= nesting.PerViewBytes {
+		t.Errorf("nesting class: sharing should win: shared=%d perView=%d",
+			nesting.SharedBytes, nesting.PerViewBytes)
+	}
+	if divergent.SharedBytes <= divergent.PerViewBytes {
+		t.Errorf("divergent class: separate sets should win: shared=%d perView=%d",
+			divergent.SharedBytes, divergent.PerViewBytes)
+	}
+}

@@ -1,0 +1,95 @@
+package gpsj
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/ra"
+	"mindetail/internal/sqlparse"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+func TestHavingParsedAndValidated(t *testing.T) {
+	cat := retailCatalog(t)
+	v := mustView(t, cat, "h", `
+		SELECT time.month, COUNT(*) AS cnt FROM sale, time
+		WHERE sale.timeid = time.id GROUP BY time.month
+		HAVING cnt > 2`)
+	if len(v.Having) != 1 {
+		t.Fatalf("Having = %v", v.Having)
+	}
+	if got := v.SQL(); !strings.Contains(got, "HAVING cnt > 2") {
+		t.Errorf("SQL = %q", got)
+	}
+}
+
+func TestHavingValidationErrors(t *testing.T) {
+	cat := retailCatalog(t)
+	cases := []struct {
+		sql, errSub string
+	}{
+		{`SELECT time.month, COUNT(*) AS cnt FROM sale, time
+		  WHERE sale.timeid = time.id GROUP BY time.month HAVING nope > 1`, "not found"},
+		{`SELECT time.month, COUNT(*) AS cnt FROM sale, time
+		  WHERE sale.timeid = time.id GROUP BY time.month HAVING sale.price > 1`, "output columns"},
+	}
+	for _, c := range cases {
+		s, err := sqlparse.Parse(c.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = FromSelect(cat, "h", s.(*sqlparse.SelectStmt))
+		if err == nil || !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("%q: got %v, want %q", c.sql, err, c.errSub)
+		}
+	}
+}
+
+func TestApplyHaving(t *testing.T) {
+	cat := retailCatalog(t)
+	v := mustView(t, cat, "h", `
+		SELECT sale.productid, COUNT(*) AS cnt FROM sale
+		GROUP BY sale.productid HAVING cnt >= 2`)
+	rel := ra.NewRelation(ra.Schema{{Name: "sale.productid"}, {Name: "cnt"}})
+	rel.Rows = append(rel.Rows,
+		tuple.Tuple{types.Int(100), types.Int(3)},
+		tuple.Tuple{types.Int(101), types.Int(1)},
+	)
+	out, err := v.ApplyHaving(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Rows[0][0].AsInt() != 100 {
+		t.Errorf("ApplyHaving:\n%s", out.Format())
+	}
+
+	// No HAVING: identity (same relation back, not a copy).
+	v2 := mustView(t, cat, "nh", `
+		SELECT sale.productid, COUNT(*) AS cnt FROM sale GROUP BY sale.productid`)
+	out2, err := v2.ApplyHaving(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != rel {
+		t.Error("ApplyHaving without HAVING should be identity")
+	}
+}
+
+func TestHavingEvaluate(t *testing.T) {
+	cat := retailCatalog(t)
+	db := seedRetail(t, cat)
+	v := mustView(t, cat, "h", `
+		SELECT sale.productid, COUNT(*) AS cnt FROM sale
+		GROUP BY sale.productid HAVING cnt >= 3`)
+	out, err := v.Evaluate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// seedRetail: product 100 has 2 sales + product 101 has 2: none >= 3.
+	for _, row := range out.Rows {
+		if row[1].AsInt() < 3 {
+			t.Errorf("HAVING leaked group %v", row)
+		}
+	}
+}

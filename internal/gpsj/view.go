@@ -1,0 +1,600 @@
+// Package gpsj models generalized project-select-join views, the class of
+// views the paper targets (Section 2.1):
+//
+//	V = Π_A σ_S (R1 ⋈C1 R2 ⋈C2 ... ⋈Cn-1 Rn)
+//
+// where Π_A is generalized projection (grouping + aggregation, duplicate
+// eliminating), S is a conjunction of selection conditions, and every join
+// condition Ci is an equality Ri.b = Rj.a with a the key of Rj.
+//
+// The package normalizes a parsed SELECT into this form: it resolves every
+// column reference to its owning table, partitions the WHERE clause into
+// per-table local conditions and key-join conditions, and validates the
+// paper's structural assumptions. It also derives the per-view exposed-
+// update analysis and can build an executable plan for full recomputation.
+package gpsj
+
+import (
+	"fmt"
+	"sort"
+
+	"mindetail/internal/ra"
+	"mindetail/internal/schema"
+	"mindetail/internal/sqlparse"
+	"mindetail/internal/storage"
+)
+
+// JoinCond is a normalized key-join condition Left.LeftAttr = Right.RightAttr
+// where RightAttr is the key of Right (paper Section 2.1).
+type JoinCond struct {
+	Left      string
+	LeftAttr  string
+	Right     string
+	RightAttr string
+}
+
+// String renders the condition in SQL syntax.
+func (j JoinCond) String() string {
+	return fmt.Sprintf("%s.%s = %s.%s", j.Left, j.LeftAttr, j.Right, j.RightAttr)
+}
+
+// Attr names an attribute of a specific base table.
+type Attr struct {
+	Table string
+	Name  string
+}
+
+// String renders the attribute as table.name.
+func (a Attr) String() string { return a.Table + "." + a.Name }
+
+// View is a validated GPSJ view.
+type View struct {
+	Name string
+
+	// Items is the generalized projection list A. Every ColRef inside is
+	// fully qualified after normalization.
+	Items []ra.ProjItem
+
+	// Tables lists the referenced base tables R in FROM order.
+	Tables []string
+
+	// Local maps each table to its local selection conditions (conditions
+	// referencing only that table).
+	Local map[string][]ra.Comparison
+
+	// Joins are the normalized key-join conditions C1..Cn-1.
+	Joins []JoinCond
+
+	// Having restricts the produced groups (the Section 4 generalization).
+	// Conditions reference output column names and compare against
+	// literals; they are applied on top of the maintained, unrestricted
+	// groups, so they never affect auxiliary view derivation or
+	// maintenance.
+	Having []ra.Comparison
+
+	cat *schema.Catalog
+}
+
+// Catalog returns the catalog the view was validated against.
+func (v *View) Catalog() *schema.Catalog { return v.cat }
+
+// FromSelect normalizes and validates a parsed SELECT statement into a GPSJ
+// view against the catalog.
+func FromSelect(cat *schema.Catalog, name string, sel *sqlparse.SelectStmt) (*View, error) {
+	v := &View{
+		Name:   name,
+		Tables: append([]string(nil), sel.From...),
+		Local:  make(map[string][]ra.Comparison),
+		cat:    cat,
+	}
+	if len(v.Tables) == 0 {
+		return nil, fmt.Errorf("gpsj: view %s has no FROM tables", name)
+	}
+	seen := make(map[string]bool)
+	for _, t := range v.Tables {
+		if cat.Table(t) == nil {
+			return nil, fmt.Errorf("gpsj: view %s references unknown table %s", name, t)
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("gpsj: view %s references table %s twice (self-joins are outside the paper's view class)", name, t)
+		}
+		seen[t] = true
+	}
+
+	// Resolve and validate the projection list.
+	names := make(map[string]bool)
+	for _, it := range sel.Items {
+		item := it
+		if item.IsAggregate() {
+			agg := *item.Agg
+			if err := validateAggArg(cat, v.Tables, &agg); err != nil {
+				return nil, fmt.Errorf("gpsj: view %s: %w", name, err)
+			}
+			item.Agg = &agg
+		} else {
+			e, err := resolveExpr(cat, v.Tables, item.Expr)
+			if err != nil {
+				return nil, fmt.Errorf("gpsj: view %s: %w", name, err)
+			}
+			if _, ok := e.(ra.ColRef); !ok {
+				return nil, fmt.Errorf("gpsj: view %s: plain select item %q must be a column (group-by attributes are columns)", name, item.Expr)
+			}
+			item.Expr = e
+		}
+		if names[item.Name] {
+			return nil, fmt.Errorf("gpsj: view %s: duplicate output column %q (use AS to disambiguate)", name, item.Name)
+		}
+		names[item.Name] = true
+		v.Items = append(v.Items, item)
+	}
+
+	// Partition WHERE into local and join conditions.
+	for _, c := range sel.Where {
+		cond := c
+		l, lerr := resolveExpr(cat, v.Tables, cond.L)
+		if lerr != nil {
+			return nil, fmt.Errorf("gpsj: view %s: %w", name, lerr)
+		}
+		r, rerr := resolveExpr(cat, v.Tables, cond.R)
+		if rerr != nil {
+			return nil, fmt.Errorf("gpsj: view %s: %w", name, rerr)
+		}
+		cond.L, cond.R = l, r
+		tabs := condTables(cond)
+		switch len(tabs) {
+		case 0:
+			return nil, fmt.Errorf("gpsj: view %s: condition %q references no table", name, cond)
+		case 1:
+			v.Local[tabs[0]] = append(v.Local[tabs[0]], cond)
+		case 2:
+			jc, err := normalizeJoin(cat, cond)
+			if err != nil {
+				return nil, fmt.Errorf("gpsj: view %s: %w", name, err)
+			}
+			v.Joins = append(v.Joins, jc)
+		default:
+			return nil, fmt.Errorf("gpsj: view %s: condition %q spans more than two tables", name, cond)
+		}
+	}
+
+	if err := v.checkConnected(); err != nil {
+		return nil, err
+	}
+
+	// HAVING conditions reference output columns by name and literals.
+	outCols := make(ra.Schema, len(v.Items))
+	for i, it := range v.Items {
+		outCols[i] = ra.Col{Name: it.Name}
+	}
+	for _, c := range sel.Having {
+		if err := validateHaving(c, outCols); err != nil {
+			return nil, fmt.Errorf("gpsj: view %s: %w", name, err)
+		}
+		v.Having = append(v.Having, c)
+	}
+	return v, nil
+}
+
+// validateHaving checks that a HAVING comparison references only output
+// columns (unqualified) and literals, and that every reference resolves.
+func validateHaving(c ra.Comparison, out ra.Schema) error {
+	for _, col := range c.Cols(nil) {
+		if col.Table != "" {
+			return fmt.Errorf("HAVING condition %q must reference output columns by name, not %s", c, col)
+		}
+		if _, err := out.Index("", col.Name); err != nil {
+			return fmt.Errorf("HAVING condition %q: %w", c, err)
+		}
+	}
+	return nil
+}
+
+// ApplyHaving filters a relation in the view's output schema by the HAVING
+// conditions. With no HAVING it returns the input unchanged.
+func (v *View) ApplyHaving(rel *ra.Relation) (*ra.Relation, error) {
+	if len(v.Having) == 0 {
+		return rel, nil
+	}
+	out, err := ra.Select(ra.Scan(v.Name, rel), v.Having...).Eval()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// validateAggArg resolves the aggregate's argument and checks that it is an
+// aggregate the paper covers, on a single attribute (Section 2.1: "all
+// aggregates are assumed to be on single attributes").
+func validateAggArg(cat *schema.Catalog, tables []string, agg *ra.Aggregate) error {
+	switch agg.Func {
+	case ra.FuncCount, ra.FuncSum, ra.FuncAvg, ra.FuncMin, ra.FuncMax:
+	default:
+		return fmt.Errorf("unsupported aggregate %q", agg.Func)
+	}
+	if agg.Arg == nil {
+		if agg.Func != ra.FuncCount {
+			return fmt.Errorf("%s requires an argument", agg.Func)
+		}
+		return nil
+	}
+	e, err := resolveExpr(cat, tables, agg.Arg)
+	if err != nil {
+		return err
+	}
+	if _, ok := e.(ra.ColRef); !ok {
+		return fmt.Errorf("aggregate argument %q must be a single attribute (paper Section 2.1)", agg.Arg)
+	}
+	agg.Arg = e
+	return nil
+}
+
+// resolveExpr qualifies every ColRef in the expression with its owning
+// table.
+func resolveExpr(cat *schema.Catalog, tables []string, e ra.Expr) (ra.Expr, error) {
+	switch x := e.(type) {
+	case ra.ColRef:
+		owner, err := cat.ResolveAttr(tables, x.Table, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return ra.ColRef{Table: owner, Name: x.Name}, nil
+	case ra.Lit:
+		return x, nil
+	case ra.Arith:
+		l, err := resolveExpr(cat, tables, x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := resolveExpr(cat, tables, x.R)
+		if err != nil {
+			return nil, err
+		}
+		return ra.Arith{Op: x.Op, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("unsupported expression %q", e)
+	}
+}
+
+// condTables returns the distinct tables referenced by a condition, sorted.
+func condTables(c ra.Comparison) []string {
+	set := make(map[string]bool)
+	for _, col := range c.Cols(nil) {
+		set[col.Table] = true
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// normalizeJoin checks that a two-table condition is an equality between
+// two bare columns where at least one side is the key of its table, and
+// orients it as Left.b = Right.a with a the key of Right. When both sides
+// are keys, the side with a declared referential integrity constraint from
+// the other becomes Right.
+func normalizeJoin(cat *schema.Catalog, c ra.Comparison) (JoinCond, error) {
+	if c.Op != ra.OpEQ {
+		return JoinCond{}, fmt.Errorf("cross-table condition %q must be an equality join (paper Section 2.1)", c)
+	}
+	lc, lok := c.L.(ra.ColRef)
+	rc, rok := c.R.(ra.ColRef)
+	if !lok || !rok {
+		return JoinCond{}, fmt.Errorf("join condition %q must compare two columns", c)
+	}
+	lKey := cat.MustTable(lc.Table).Key == lc.Name
+	rKey := cat.MustTable(rc.Table).Key == rc.Name
+	switch {
+	case rKey && !lKey:
+		return JoinCond{Left: lc.Table, LeftAttr: lc.Name, Right: rc.Table, RightAttr: rc.Name}, nil
+	case lKey && !rKey:
+		return JoinCond{Left: rc.Table, LeftAttr: rc.Name, Right: lc.Table, RightAttr: lc.Name}, nil
+	case lKey && rKey:
+		// Both keys: orient using referential integrity if declared.
+		if cat.HasRI(lc.Table, lc.Name, rc.Table) {
+			return JoinCond{Left: lc.Table, LeftAttr: lc.Name, Right: rc.Table, RightAttr: rc.Name}, nil
+		}
+		if cat.HasRI(rc.Table, rc.Name, lc.Table) {
+			return JoinCond{Left: rc.Table, LeftAttr: rc.Name, Right: lc.Table, RightAttr: lc.Name}, nil
+		}
+		return JoinCond{}, fmt.Errorf("join %q relates two keys with no referential integrity to orient it", c)
+	default:
+		return JoinCond{}, fmt.Errorf("join condition %q does not join on a key (paper Section 2.1 requires joins on keys)", c)
+	}
+}
+
+// checkConnected verifies that the join conditions connect all FROM tables.
+func (v *View) checkConnected() error {
+	if len(v.Tables) == 1 {
+		return nil
+	}
+	adj := make(map[string][]string)
+	for _, j := range v.Joins {
+		adj[j.Left] = append(adj[j.Left], j.Right)
+		adj[j.Right] = append(adj[j.Right], j.Left)
+	}
+	seen := map[string]bool{v.Tables[0]: true}
+	queue := []string{v.Tables[0]}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		for _, n := range adj[t] {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	for _, t := range v.Tables {
+		if !seen[t] {
+			return fmt.Errorf("gpsj: view %s: table %s is not connected by join conditions (cross products are outside the paper's view class)", v.Name, t)
+		}
+	}
+	return nil
+}
+
+// GroupBy returns GB(A): the view's group-by attributes (the plain items).
+func (v *View) GroupBy() []Attr {
+	var out []Attr
+	for _, it := range v.Items {
+		if it.IsAggregate() {
+			continue
+		}
+		c := it.Expr.(ra.ColRef)
+		out = append(out, Attr{Table: c.Table, Name: c.Name})
+	}
+	return out
+}
+
+// Aggregates returns the aggregate items of the view.
+func (v *View) Aggregates() []*ra.Aggregate {
+	var out []*ra.Aggregate
+	for _, it := range v.Items {
+		if it.IsAggregate() {
+			out = append(out, it.Agg)
+		}
+	}
+	return out
+}
+
+// PreservedAttrs returns, per table, the attributes preserved in V: those
+// appearing in A either as group-by attributes or inside aggregates
+// (Section 2.1).
+func (v *View) PreservedAttrs(table string) []string {
+	set := make(map[string]bool)
+	add := func(cols []ra.Col) {
+		for _, c := range cols {
+			if c.Table == table {
+				set[c.Name] = true
+			}
+		}
+	}
+	for _, it := range v.Items {
+		if it.IsAggregate() {
+			if it.Agg.Arg != nil {
+				add(it.Agg.Arg.Cols(nil))
+			}
+		} else {
+			add(it.Expr.Cols(nil))
+		}
+	}
+	return sortedKeys(set)
+}
+
+// JoinAttrs returns the attributes of the table involved in join
+// conditions (either referencing another table's key or being the
+// referenced key).
+func (v *View) JoinAttrs(table string) []string {
+	set := make(map[string]bool)
+	for _, j := range v.Joins {
+		if j.Left == table {
+			set[j.LeftAttr] = true
+		}
+		if j.Right == table {
+			set[j.RightAttr] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// CondAttrs returns the attributes of the table involved in selection or
+// join conditions — the attributes whose updates are "exposed"
+// (Section 2.1).
+func (v *View) CondAttrs(table string) []string {
+	set := make(map[string]bool)
+	for _, c := range v.Local[table] {
+		for _, col := range c.Cols(nil) {
+			if col.Table == table {
+				set[col.Name] = true
+			}
+		}
+	}
+	for _, a := range v.JoinAttrs(table) {
+		set[a] = true
+	}
+	return sortedKeys(set)
+}
+
+// HasExposedUpdates reports whether updates to the table can change
+// attributes involved in selection or join conditions of this view
+// (Section 2.1). The analysis combines the view's condition attributes
+// with the schema's mutable-attribute declarations.
+func (v *View) HasExposedUpdates(table string) bool {
+	meta := v.cat.Table(table)
+	for _, a := range v.CondAttrs(table) {
+		if meta.IsMutable(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// NonCSMASAttrTables returns the set of tables owning attributes involved
+// in non-CSMAS aggregates (MIN/MAX or DISTINCT) — used by the elimination
+// test of Section 3.3.
+func (v *View) NonCSMASAttrTables() map[string]bool {
+	out := make(map[string]bool)
+	for _, agg := range v.Aggregates() {
+		if isCSMASAgg(agg) {
+			continue
+		}
+		if agg.Arg != nil {
+			for _, c := range agg.Arg.Cols(nil) {
+				out[c.Table] = true
+			}
+		}
+	}
+	return out
+}
+
+// isCSMASAgg mirrors aggregates.IsCSMAS; duplicated here to avoid an import
+// cycle would be a smell — the rule is one line (Table 2): non-DISTINCT
+// COUNT/SUM/AVG are CSMAS.
+func isCSMASAgg(a *ra.Aggregate) bool {
+	if a.Distinct {
+		return false
+	}
+	return a.Func == ra.FuncCount || a.Func == ra.FuncSum || a.Func == ra.FuncAvg
+}
+
+// Plan builds an executable plan that recomputes the view from base-table
+// relations: local conditions pushed to scans, joins applied in a
+// connectivity-driven order, generalized projection on top.
+func (v *View) Plan(src func(table string) *ra.Relation) (ra.Node, error) {
+	node, err := v.DetailPlan(src)
+	if err != nil {
+		return nil, err
+	}
+	node = ra.GProject(node, v.Items...)
+	if len(v.Having) > 0 {
+		node = ra.Select(node, v.Having...)
+	}
+	return node, nil
+}
+
+// DetailPlan builds the plan for the view's detail rows: the selected and
+// joined base tables before the generalized projection. The maintenance
+// engine uses it to initialize the materialized view's component form.
+func (v *View) DetailPlan(src func(table string) *ra.Relation) (ra.Node, error) {
+	scan := func(t string) ra.Node {
+		var n ra.Node = ra.Scan(t, src(t))
+		if local := v.Local[t]; len(local) > 0 {
+			n = ra.Select(n, local...)
+		}
+		return n
+	}
+	node := scan(v.Tables[0])
+	included := map[string]bool{v.Tables[0]: true}
+	pending := append([]JoinCond(nil), v.Joins...)
+	for len(pending) > 0 {
+		progress := false
+		rest := pending[:0]
+		for _, j := range pending {
+			switch {
+			case included[j.Left] && !included[j.Right]:
+				node = ra.Join(node, scan(j.Right),
+					ra.Col{Table: j.Left, Name: j.LeftAttr},
+					ra.Col{Table: j.Right, Name: j.RightAttr})
+				included[j.Right] = true
+				progress = true
+			case included[j.Right] && !included[j.Left]:
+				node = ra.Join(node, scan(j.Left),
+					ra.Col{Table: j.Right, Name: j.RightAttr},
+					ra.Col{Table: j.Left, Name: j.LeftAttr})
+				included[j.Left] = true
+				progress = true
+			case included[j.Left] && included[j.Right]:
+				// Redundant join condition over already-joined tables:
+				// apply as a selection.
+				node = ra.Select(node, ra.Comparison{
+					Op: ra.OpEQ,
+					L:  ra.ColRef{Table: j.Left, Name: j.LeftAttr},
+					R:  ra.ColRef{Table: j.Right, Name: j.RightAttr},
+				})
+				progress = true
+			default:
+				rest = append(rest, j)
+			}
+		}
+		pending = rest
+		if !progress {
+			return nil, fmt.Errorf("gpsj: view %s: join conditions do not connect %v", v.Name, pending)
+		}
+	}
+	return node, nil
+}
+
+// Evaluate recomputes the view from a storage DB — the brute-force baseline
+// and the correctness oracle for maintenance tests.
+func (v *View) Evaluate(db *storage.DB) (*ra.Relation, error) {
+	plan, err := v.Plan(func(t string) *ra.Relation {
+		return ra.FromTable(db.Table(t), t)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return plan.Eval()
+}
+
+// SQL renders the view definition back to SQL.
+func (v *View) SQL() string {
+	s := "SELECT "
+	for i, it := range v.Items {
+		if i > 0 {
+			s += ", "
+		}
+		s += it.String()
+	}
+	s += " FROM "
+	for i, t := range v.Tables {
+		if i > 0 {
+			s += ", "
+		}
+		s += t
+	}
+	var conds []string
+	for _, t := range v.Tables {
+		for _, c := range v.Local[t] {
+			conds = append(conds, c.String())
+		}
+	}
+	for _, j := range v.Joins {
+		conds = append(conds, j.String())
+	}
+	if len(conds) > 0 {
+		s += " WHERE "
+		for i, c := range conds {
+			if i > 0 {
+				s += " AND "
+			}
+			s += c
+		}
+	}
+	var gb []string
+	for _, a := range v.GroupBy() {
+		gb = append(gb, a.String())
+	}
+	if len(gb) > 0 {
+		s += " GROUP BY "
+		for i, a := range gb {
+			if i > 0 {
+				s += ", "
+			}
+			s += a
+		}
+	}
+	if len(v.Having) > 0 {
+		s += " HAVING " + ra.ConjString(v.Having)
+	}
+	return s
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

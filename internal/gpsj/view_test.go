@@ -1,0 +1,343 @@
+package gpsj
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/ra"
+	"mindetail/internal/schema"
+	"mindetail/internal/sqlparse"
+	"mindetail/internal/storage"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// retailCatalog builds the paper's running-example schema (Section 1.1).
+func retailCatalog(t *testing.T) *schema.Catalog {
+	t.Helper()
+	ddl := `
+	CREATE TABLE time (id INTEGER PRIMARY KEY, day INTEGER, month INTEGER, year INTEGER);
+	CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR MUTABLE, category VARCHAR);
+	CREATE TABLE store (id INTEGER PRIMARY KEY, street_address VARCHAR, city VARCHAR, country VARCHAR, manager VARCHAR MUTABLE);
+	CREATE TABLE sale (id INTEGER PRIMARY KEY,
+		timeid INTEGER REFERENCES time,
+		productid INTEGER REFERENCES product,
+		storeid INTEGER REFERENCES store,
+		price FLOAT);
+	`
+	return catalogFromDDL(t, ddl)
+}
+
+func catalogFromDDL(t *testing.T, ddl string) *schema.Catalog {
+	t.Helper()
+	stmts, err := sqlparse.ParseAll(ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := schema.NewCatalog()
+	var fks []schema.ForeignKey
+	for _, s := range stmts {
+		ct := s.(*sqlparse.CreateTable)
+		if err := cat.AddTable(ct.Table); err != nil {
+			t.Fatal(err)
+		}
+		fks = append(fks, ct.FKs...)
+	}
+	for _, fk := range fks {
+		if err := cat.AddForeignKey(fk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func mustView(t *testing.T, cat *schema.Catalog, name, sql string) *View {
+	t.Helper()
+	s, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := FromSelect(cat, name, s.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+const productSalesSQL = `
+	SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount,
+	       COUNT(DISTINCT brand) AS DifferentBrands
+	FROM sale, time, product
+	WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id
+	GROUP BY time.month`
+
+func TestFromSelectProductSales(t *testing.T) {
+	cat := retailCatalog(t)
+	v := mustView(t, cat, "product_sales", productSalesSQL)
+
+	if len(v.Tables) != 3 {
+		t.Errorf("tables = %v", v.Tables)
+	}
+	if len(v.Joins) != 2 {
+		t.Fatalf("joins = %v", v.Joins)
+	}
+	// Joins oriented with the key side on the right.
+	for _, j := range v.Joins {
+		if j.Left != "sale" {
+			t.Errorf("join %s should have sale on the left", j)
+		}
+		if cat.Table(j.Right).Key != j.RightAttr {
+			t.Errorf("join %s right side is not a key", j)
+		}
+	}
+	if len(v.Local["time"]) != 1 || len(v.Local["sale"]) != 0 {
+		t.Errorf("local = %v", v.Local)
+	}
+	// Resolution: SUM(price) must have been qualified to sale.price.
+	agg := v.Items[1].Agg
+	if agg.Arg.(ra.ColRef).Table != "sale" {
+		t.Errorf("price resolved to %v", agg.Arg)
+	}
+	gb := v.GroupBy()
+	if len(gb) != 1 || gb[0] != (Attr{Table: "time", Name: "month"}) {
+		t.Errorf("GroupBy = %v", gb)
+	}
+	if got := len(v.Aggregates()); got != 3 {
+		t.Errorf("aggregates = %d", got)
+	}
+}
+
+func TestJoinOrientationKeyOnEitherSide(t *testing.T) {
+	cat := retailCatalog(t)
+	// Reversed condition: time.id = sale.timeid — must normalize the same.
+	v := mustView(t, cat, "v", `
+		SELECT time.month, COUNT(*) FROM sale, time
+		WHERE time.id = sale.timeid GROUP BY time.month`)
+	j := v.Joins[0]
+	if j.Left != "sale" || j.Right != "time" || j.RightAttr != "id" {
+		t.Errorf("join = %+v", j)
+	}
+}
+
+func TestPreservedJoinCondAttrs(t *testing.T) {
+	cat := retailCatalog(t)
+	v := mustView(t, cat, "product_sales", productSalesSQL)
+
+	if got := v.PreservedAttrs("sale"); len(got) != 1 || got[0] != "price" {
+		t.Errorf("preserved(sale) = %v", got)
+	}
+	if got := v.PreservedAttrs("time"); len(got) != 1 || got[0] != "month" {
+		t.Errorf("preserved(time) = %v", got)
+	}
+	if got := v.PreservedAttrs("product"); len(got) != 1 || got[0] != "brand" {
+		t.Errorf("preserved(product) = %v", got)
+	}
+	if got := v.JoinAttrs("sale"); strings.Join(got, ",") != "productid,timeid" {
+		t.Errorf("joinattrs(sale) = %v", got)
+	}
+	if got := v.JoinAttrs("time"); strings.Join(got, ",") != "id" {
+		t.Errorf("joinattrs(time) = %v", got)
+	}
+	if got := v.CondAttrs("time"); strings.Join(got, ",") != "id,year" {
+		t.Errorf("condattrs(time) = %v", got)
+	}
+}
+
+func TestExposedUpdates(t *testing.T) {
+	cat := retailCatalog(t)
+	v := mustView(t, cat, "product_sales", productSalesSQL)
+	// brand is mutable but not a condition attribute: not exposed.
+	if v.HasExposedUpdates("product") {
+		t.Error("product should not have exposed updates")
+	}
+	// No mutable attribute of time or sale at all.
+	if v.HasExposedUpdates("time") || v.HasExposedUpdates("sale") {
+		t.Error("time/sale should not have exposed updates")
+	}
+
+	// A schema where year is mutable makes time exposed for this view.
+	cat2 := catalogFromDDL(t, `
+		CREATE TABLE time (id INTEGER PRIMARY KEY, month INTEGER, year INTEGER MUTABLE);
+		CREATE TABLE sale (id INTEGER PRIMARY KEY, timeid INTEGER REFERENCES time, price FLOAT);
+	`)
+	v2 := mustView(t, cat2, "v", `
+		SELECT time.month, COUNT(*) FROM sale, time
+		WHERE time.year = 1997 AND sale.timeid = time.id GROUP BY time.month`)
+	if !v2.HasExposedUpdates("time") {
+		t.Error("time with mutable year in a year-condition must be exposed")
+	}
+	if v2.HasExposedUpdates("sale") {
+		t.Error("sale has no mutable attributes")
+	}
+}
+
+func TestNonCSMASAttrTables(t *testing.T) {
+	cat := retailCatalog(t)
+	v := mustView(t, cat, "product_sales", productSalesSQL)
+	got := v.NonCSMASAttrTables()
+	if len(got) != 1 || !got["product"] {
+		t.Errorf("NonCSMASAttrTables = %v", got)
+	}
+
+	v2 := mustView(t, cat, "v2", `
+		SELECT sale.productid, SUM(price), COUNT(*) FROM sale GROUP BY sale.productid`)
+	if len(v2.NonCSMASAttrTables()) != 0 {
+		t.Errorf("CSMAS-only view reported non-CSMAS tables: %v", v2.NonCSMASAttrTables())
+	}
+
+	v3 := mustView(t, cat, "v3", `
+		SELECT sale.productid, MAX(price) FROM sale GROUP BY sale.productid`)
+	got3 := v3.NonCSMASAttrTables()
+	if len(got3) != 1 || !got3["sale"] {
+		t.Errorf("MAX view = %v", got3)
+	}
+}
+
+func TestFromSelectErrors(t *testing.T) {
+	cat := retailCatalog(t)
+	cases := []struct {
+		sql, errSub string
+	}{
+		{`SELECT nope.month, COUNT(*) FROM sale, nope WHERE sale.timeid = nope.id GROUP BY nope.month`, "unknown table"},
+		{`SELECT month, COUNT(*) FROM sale, time, time WHERE sale.timeid = time.id GROUP BY month`, "twice"},
+		{`SELECT month, COUNT(*) FROM sale, time WHERE sale.timeid < time.id GROUP BY month`, "equality join"},
+		{`SELECT month, COUNT(*) FROM sale, time WHERE sale.timeid = time.month GROUP BY month`, "join on a key"},
+		{`SELECT month, COUNT(*) FROM sale, time GROUP BY month`, "not connected"},
+		{`SELECT price + 1, COUNT(*) FROM sale GROUP BY price + 1`, ""}, // caught at parse: group-by of expression
+		{`SELECT MAX(price + 1) FROM sale`, "single attribute"},
+		{`SELECT nothere, COUNT(*) FROM sale GROUP BY nothere`, "not found"},
+		{`SELECT sale.id, sale.id FROM sale`, "duplicate output column"},
+		{`SELECT month, COUNT(*) FROM sale, time WHERE sale.timeid + time.id = 3 GROUP BY month`, "must compare two columns"},
+	}
+	for _, c := range cases {
+		s, perr := sqlparse.Parse(c.sql)
+		if perr != nil {
+			if c.errSub == "" {
+				continue // expected parse-level rejection
+			}
+			t.Errorf("%q: parse error %v", c.sql, perr)
+			continue
+		}
+		_, err := FromSelect(cat, "v", s.(*sqlparse.SelectStmt))
+		if err == nil || !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("%q: got %v, want error containing %q", c.sql, err, c.errSub)
+		}
+	}
+}
+
+func TestNoFromTables(t *testing.T) {
+	cat := retailCatalog(t)
+	_, err := FromSelect(cat, "v", &sqlparse.SelectStmt{})
+	if err == nil {
+		t.Error("empty FROM accepted")
+	}
+}
+
+func seedRetail(t *testing.T, cat *schema.Catalog) *storage.DB {
+	t.Helper()
+	db := storage.NewDB(cat)
+	ins := func(table string, vals ...types.Value) {
+		t.Helper()
+		if err := db.Insert(table, tuple.Tuple(vals)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("time", types.Int(1), types.Int(5), types.Int(1), types.Int(1997))
+	ins("time", types.Int(2), types.Int(6), types.Int(1), types.Int(1997))
+	ins("time", types.Int(3), types.Int(5), types.Int(2), types.Int(1998))
+	ins("product", types.Int(100), types.Str("acme"), types.Str("tools"))
+	ins("product", types.Int(101), types.Str("bolt"), types.Str("tools"))
+	ins("store", types.Int(7), types.Str("a st"), types.Str("aalborg"), types.Str("dk"), types.Str("kim"))
+	ins("sale", types.Int(1), types.Int(1), types.Int(100), types.Int(7), types.Float(10))
+	ins("sale", types.Int(2), types.Int(1), types.Int(100), types.Int(7), types.Float(10))
+	ins("sale", types.Int(3), types.Int(2), types.Int(101), types.Int(7), types.Float(5))
+	ins("sale", types.Int(4), types.Int(3), types.Int(101), types.Int(7), types.Float(99))
+	return db
+}
+
+func TestEvaluateProductSales(t *testing.T) {
+	cat := retailCatalog(t)
+	v := mustView(t, cat, "product_sales", productSalesSQL)
+	db := seedRetail(t, cat)
+	out, err := v.Evaluate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only month 1 of 1997 has sales (sale 4 is 1998): 3 rows, total 25,
+	// 2 distinct brands.
+	if out.Len() != 1 {
+		t.Fatalf("view:\n%s", out.Format())
+	}
+	row := out.Rows[0]
+	if row[0].AsInt() != 1 || row[1].AsFloat() != 25 || row[2].AsInt() != 3 || row[3].AsInt() != 2 {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestEvaluateSingleTableView(t *testing.T) {
+	cat := retailCatalog(t)
+	v := mustView(t, cat, "by_product", `
+		SELECT sale.productid, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale GROUP BY sale.productid`)
+	db := seedRetail(t, cat)
+	out, err := v.Evaluate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Sorted()
+	if s.Len() != 2 {
+		t.Fatalf("view:\n%s", s.Format())
+	}
+	if s.Rows[0][0].AsInt() != 100 || s.Rows[0][1].AsFloat() != 20 || s.Rows[0][2].AsInt() != 2 {
+		t.Errorf("row 0 = %v", s.Rows[0])
+	}
+	if s.Rows[1][0].AsInt() != 101 || s.Rows[1][1].AsFloat() != 104 || s.Rows[1][2].AsInt() != 2 {
+		t.Errorf("row 1 = %v", s.Rows[1])
+	}
+}
+
+func TestSQLRoundTrip(t *testing.T) {
+	cat := retailCatalog(t)
+	v := mustView(t, cat, "product_sales", productSalesSQL)
+	sql := v.SQL()
+	for _, want := range []string{
+		"SELECT", "time.month", "SUM(sale.price) AS totalprice", "COUNT(*)",
+		"COUNT(DISTINCT product.brand)", "FROM sale, time, product",
+		"time.year = 1997", "sale.timeid = time.id", "GROUP BY time.month",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL() missing %q:\n%s", want, sql)
+		}
+	}
+	// The rendered SQL must re-parse and re-normalize to the same shape.
+	s, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	v2, err := FromSelect(cat, "again", s.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatalf("re-normalize: %v", err)
+	}
+	if len(v2.Joins) != len(v.Joins) || len(v2.Items) != len(v.Items) {
+		t.Error("round trip changed view shape")
+	}
+}
+
+func TestEvaluateMatchesManualPlan(t *testing.T) {
+	cat := retailCatalog(t)
+	db := seedRetail(t, cat)
+	v := mustView(t, cat, "v", `
+		SELECT product.category, COUNT(*) AS cnt, MIN(price) AS lo
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.category`)
+	out, err := v.Evaluate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("got:\n%s", out.Format())
+	}
+	if out.Rows[0][1].AsInt() != 4 || out.Rows[0][2].AsFloat() != 5 {
+		t.Errorf("row = %v", out.Rows[0])
+	}
+}

@@ -1,0 +1,349 @@
+// Package joingraph implements the extended join graph of the paper's
+// Definition 2, its g/k annotations, the "depends" relation of Section 2.2,
+// and the Need / Need₀ functions of Definitions 3 and 4 that identify the
+// minimal set of base tables a delta must join with to locate the affected
+// view tuples.
+package joingraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mindetail/internal/gpsj"
+)
+
+// Annotation marks a vertex of the extended join graph (Definition 2):
+// k when a key of the table is a group-by attribute of the view, g when any
+// (non-key) attribute of the table is.
+type Annotation int
+
+// The vertex annotations.
+const (
+	AnnotNone Annotation = iota
+	AnnotG
+	AnnotK
+)
+
+// String renders the annotation as in Figure 2.
+func (a Annotation) String() string {
+	switch a {
+	case AnnotG:
+		return "g"
+	case AnnotK:
+		return "k"
+	default:
+		return ""
+	}
+}
+
+// Graph is the extended join graph G(V) of a GPSJ view: a tree whose
+// vertices are the base tables and whose edges e(Ri, Rj) correspond to join
+// conditions Ri.b = Rj.a with a the key of Rj.
+type Graph struct {
+	View *gpsj.View
+
+	// Root is the base table at the root of the tree (the fact table in a
+	// star schema).
+	Root string
+
+	// Parent maps each non-root table to its parent.
+	Parent map[string]string
+
+	// Children maps each table to its children, sorted for determinism.
+	Children map[string][]string
+
+	// EdgeTo maps each non-root table Rj to the join condition
+	// parent(Rj).b = Rj.a that created the edge.
+	EdgeTo map[string]gpsj.JoinCond
+
+	// Annot maps each table to its annotation.
+	Annot map[string]Annotation
+
+	// depends maps Ri to the set of tables it depends on (Section 2.2):
+	// children joined on their key with referential integrity declared and
+	// no exposed updates.
+	depends map[string][]string
+}
+
+// Build constructs and validates the extended join graph of a view. It
+// rejects views whose join graph is not a tree (Section 3.3: "we assume
+// that the graph is a tree ... and that it has no self-joins").
+func Build(v *gpsj.View) (*Graph, error) {
+	g := &Graph{
+		View:     v,
+		Parent:   make(map[string]string),
+		Children: make(map[string][]string),
+		EdgeTo:   make(map[string]gpsj.JoinCond),
+		Annot:    make(map[string]Annotation),
+		depends:  make(map[string][]string),
+	}
+	for _, j := range v.Joins {
+		if j.Left == j.Right {
+			return nil, fmt.Errorf("joingraph: view %s: self-join on %s", v.Name, j.Left)
+		}
+		if _, dup := g.Parent[j.Right]; dup {
+			return nil, fmt.Errorf("joingraph: view %s: table %s is joined on its key from both %s and %s; the join graph must be a tree",
+				v.Name, j.Right, g.Parent[j.Right], j.Left)
+		}
+		g.Parent[j.Right] = j.Left
+		g.Children[j.Left] = append(g.Children[j.Left], j.Right)
+		g.EdgeTo[j.Right] = j
+	}
+	for _, cs := range g.Children {
+		sort.Strings(cs)
+	}
+
+	// Find the unique root: the table with no incoming edge.
+	var roots []string
+	for _, t := range v.Tables {
+		if _, hasParent := g.Parent[t]; !hasParent {
+			roots = append(roots, t)
+		}
+	}
+	sort.Strings(roots)
+	switch len(roots) {
+	case 1:
+		g.Root = roots[0]
+	case 0:
+		return nil, fmt.Errorf("joingraph: view %s: join graph has a cycle", v.Name)
+	default:
+		return nil, fmt.Errorf("joingraph: view %s: join graph has multiple roots %v; it must be a tree", v.Name, roots)
+	}
+	// Cycle check: walking to the root from every vertex must terminate.
+	for _, t := range v.Tables {
+		seen := map[string]bool{}
+		cur := t
+		for cur != g.Root {
+			if seen[cur] {
+				return nil, fmt.Errorf("joingraph: view %s: join graph has a cycle through %s", v.Name, cur)
+			}
+			seen[cur] = true
+			cur = g.Parent[cur]
+		}
+	}
+
+	// Annotations (Definition 2): k dominates g.
+	cat := v.Catalog()
+	for _, a := range v.GroupBy() {
+		if cat.Table(a.Table).Key == a.Name {
+			g.Annot[a.Table] = AnnotK
+		} else if g.Annot[a.Table] != AnnotK {
+			g.Annot[a.Table] = AnnotG
+		}
+	}
+
+	// Depends (Section 2.2): Ri depends on Rj if V joins Ri.b = Rj.a with
+	// a the key of Rj, referential integrity holds from Ri.b to Rj.a, and
+	// Rj has no exposed updates.
+	for _, j := range v.Joins {
+		if !cat.HasRI(j.Left, j.LeftAttr, j.Right) {
+			continue
+		}
+		if v.HasExposedUpdates(j.Right) {
+			continue
+		}
+		g.depends[j.Left] = append(g.depends[j.Left], j.Right)
+	}
+	for _, ds := range g.depends {
+		sort.Strings(ds)
+	}
+	return g, nil
+}
+
+// Depends returns the tables that table directly depends on.
+func (g *Graph) Depends(table string) []string {
+	return append([]string(nil), g.depends[table]...)
+}
+
+// TransitivelyDependsOnAll reports whether table reaches every other base
+// table of the view through the depends relation — the first elimination
+// condition of Section 3.3.
+func (g *Graph) TransitivelyDependsOnAll(table string) bool {
+	reached := map[string]bool{table: true}
+	queue := []string{table}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		for _, d := range g.depends[t] {
+			if !reached[d] {
+				reached[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	for _, t := range g.View.Tables {
+		if !reached[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Subtree returns the tables of the subtree rooted at table (inclusive),
+// sorted.
+func (g *Graph) Subtree(table string) []string {
+	var out []string
+	var walk func(string)
+	walk = func(t string) {
+		out = append(out, t)
+		for _, c := range g.Children[t] {
+			walk(c)
+		}
+	}
+	walk(table)
+	sort.Strings(out)
+	return out
+}
+
+// subtreeHasGK reports whether the subtree rooted at table contains a
+// vertex annotated k or g.
+func (g *Graph) subtreeHasGK(table string) bool {
+	if g.Annot[table] != AnnotNone {
+		return true
+	}
+	for _, c := range g.Children[table] {
+		if g.subtreeHasGK(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Need computes Need(Ri, G(V)) per Definition 3:
+//
+//   - ∅ when Ri is annotated k (its key determines the affected groups);
+//   - {Rj} ∪ Need(Rj) when Ri is a non-root vertex with parent Rj —
+//     the delta must join up the tree toward the root;
+//   - Need₀(R0) when Ri is the (non-k) root.
+func (g *Graph) Need(table string) []string {
+	set := make(map[string]bool)
+	g.need(table, set)
+	return sortedKeys(set)
+}
+
+func (g *Graph) need(table string, out map[string]bool) {
+	if g.Annot[table] == AnnotK {
+		return
+	}
+	if parent, ok := g.Parent[table]; ok {
+		if !out[parent] {
+			out[parent] = true
+			g.need(parent, out)
+		}
+		return
+	}
+	g.need0(table, out)
+}
+
+// Need0 computes Need₀(Ri, G(V)) per Definition 4: the minimal set of base
+// tables below Ri whose group-by attributes form a combined key to V. A
+// child subtree is included only when it contains a g- or k-annotated
+// vertex, and recursion stops below k-annotated vertices (each tuple of a
+// k table joins with exactly one tuple of its subtree, so deeper group-bys
+// cannot refine the groups).
+func (g *Graph) Need0(table string) []string {
+	set := make(map[string]bool)
+	g.need0(table, set)
+	return sortedKeys(set)
+}
+
+func (g *Graph) need0(table string, out map[string]bool) {
+	if g.Annot[table] == AnnotK {
+		return
+	}
+	for _, c := range g.Children[table] {
+		if !g.subtreeHasGK(c) {
+			continue
+		}
+		out[c] = true
+		g.need0(c, out)
+	}
+}
+
+// NeededBySomeone reports whether table appears in the Need set of any
+// other base table — the second elimination condition of Section 3.3.
+func (g *Graph) NeededBySomeone(table string) bool {
+	for _, t := range g.View.Tables {
+		if t == table {
+			continue
+		}
+		for _, n := range g.Need(t) {
+			if n == table {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PathToRoot returns the tables on the path from table to the root,
+// excluding table itself, in order.
+func (g *Graph) PathToRoot(table string) []string {
+	var out []string
+	cur := table
+	for cur != g.Root {
+		cur = g.Parent[cur]
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Text renders the graph as an indented tree with annotations — the
+// textual form of the paper's Figure 2.
+func (g *Graph) Text() string {
+	var b strings.Builder
+	var walk func(t string, depth int)
+	walk = func(t string, depth int) {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		b.WriteString(t)
+		if a := g.Annot[t]; a != AnnotNone {
+			fmt.Fprintf(&b, " [%s]", a)
+		}
+		b.WriteByte('\n')
+		for _, c := range g.Children[t] {
+			walk(c, depth+1)
+		}
+	}
+	walk(g.Root, 0)
+	return b.String()
+}
+
+// Dot renders the graph in Graphviz DOT syntax (Figure 2 as a picture).
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", g.View.Name)
+	var names []string
+	for _, t := range g.View.Tables {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		label := t
+		if a := g.Annot[t]; a != AnnotNone {
+			label += " (" + a.String() + ")"
+		}
+		fmt.Fprintf(&b, "  %q [label=%q];\n", t, label)
+	}
+	var edges []string
+	for child, j := range g.EdgeTo {
+		edges = append(edges, fmt.Sprintf("  %q -> %q [label=%q];\n", j.Left, child, j.String()))
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		b.WriteString(e)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

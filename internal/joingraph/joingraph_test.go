@@ -1,0 +1,293 @@
+package joingraph
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/gpsj"
+	"mindetail/internal/schema"
+	"mindetail/internal/sqlparse"
+)
+
+func catalogFromDDL(t *testing.T, ddl string) *schema.Catalog {
+	t.Helper()
+	stmts, err := sqlparse.ParseAll(ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := schema.NewCatalog()
+	var fks []schema.ForeignKey
+	for _, s := range stmts {
+		ct := s.(*sqlparse.CreateTable)
+		if err := cat.AddTable(ct.Table); err != nil {
+			t.Fatal(err)
+		}
+		fks = append(fks, ct.FKs...)
+	}
+	for _, fk := range fks {
+		if err := cat.AddForeignKey(fk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func retailCatalog(t *testing.T) *schema.Catalog {
+	return catalogFromDDL(t, `
+	CREATE TABLE time (id INTEGER PRIMARY KEY, day INTEGER, month INTEGER, year INTEGER);
+	CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR MUTABLE, category VARCHAR);
+	CREATE TABLE store (id INTEGER PRIMARY KEY, city VARCHAR, manager VARCHAR MUTABLE);
+	CREATE TABLE sale (id INTEGER PRIMARY KEY,
+		timeid INTEGER REFERENCES time,
+		productid INTEGER REFERENCES product,
+		storeid INTEGER REFERENCES store,
+		price FLOAT);`)
+}
+
+func buildView(t *testing.T, cat *schema.Catalog, sql string) *gpsj.View {
+	t.Helper()
+	s, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := gpsj.FromSelect(cat, "v", s.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func buildGraph(t *testing.T, cat *schema.Catalog, sql string) *Graph {
+	t.Helper()
+	g, err := Build(buildView(t, cat, sql))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+const productSalesSQL = `
+	SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount,
+	       COUNT(DISTINCT brand) AS DifferentBrands
+	FROM sale, time, product
+	WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id
+	GROUP BY time.month`
+
+// TestFigure2 reproduces the extended join graph of the paper's Figure 2:
+// Sale at the root with edges to Time (annotated g) and Product.
+func TestFigure2(t *testing.T) {
+	g := buildGraph(t, retailCatalog(t), productSalesSQL)
+	if g.Root != "sale" {
+		t.Errorf("root = %s", g.Root)
+	}
+	if got := strings.Join(g.Children["sale"], ","); got != "product,time" {
+		t.Errorf("children(sale) = %s", got)
+	}
+	if g.Annot["time"] != AnnotG {
+		t.Errorf("time annotation = %v", g.Annot["time"])
+	}
+	if g.Annot["sale"] != AnnotNone || g.Annot["product"] != AnnotNone {
+		t.Errorf("annotations = %v", g.Annot)
+	}
+	text := g.Text()
+	for _, want := range []string{"sale", "  time [g]", "  product"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text missing %q:\n%s", want, text)
+		}
+	}
+	dot := g.Dot()
+	for _, want := range []string{`"sale" -> "time"`, `"sale" -> "product"`, `time (g)`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestAnnotationKDominates(t *testing.T) {
+	g := buildGraph(t, retailCatalog(t), `
+		SELECT product.id, product.brand, COUNT(*) FROM sale, product
+		WHERE sale.productid = product.id GROUP BY product.id, product.brand`)
+	if g.Annot["product"] != AnnotK {
+		t.Errorf("product annotation = %v, want k", g.Annot["product"])
+	}
+}
+
+func TestNeedProductSales(t *testing.T) {
+	g := buildGraph(t, retailCatalog(t), productSalesSQL)
+	// Need(sale) = Need0(sale) = {time}: only the time subtree carries a
+	// group-by attribute; the product subtree does not (brand is only in a
+	// DISTINCT aggregate).
+	if got := strings.Join(g.Need("sale"), ","); got != "time" {
+		t.Errorf("Need(sale) = %s", got)
+	}
+	// Need(time) = {sale} ∪ Need(sale).
+	if got := strings.Join(g.Need("time"), ","); got != "sale,time" {
+		t.Errorf("Need(time) = %s", got)
+	}
+	if got := strings.Join(g.Need("product"), ","); got != "sale,time" {
+		t.Errorf("Need(product) = %s", got)
+	}
+	if !g.NeededBySomeone("sale") {
+		t.Error("sale is in Need(time); elimination must be blocked")
+	}
+	if g.NeededBySomeone("product") {
+		t.Error("product should not be needed by anyone")
+	}
+}
+
+func TestNeedWithKAnnotatedDimension(t *testing.T) {
+	g := buildGraph(t, retailCatalog(t), `
+		SELECT product.id, SUM(price), COUNT(*) FROM sale, product
+		WHERE sale.productid = product.id GROUP BY product.id`)
+	// product annotated k: Need(product) = ∅ (Definition 3, case 1).
+	if got := g.Need("product"); len(got) != 0 {
+		t.Errorf("Need(product) = %v", got)
+	}
+	// Need(sale) = Need0(sale) = {product}: the k vertex is included but
+	// recursion stops below it (Definition 4).
+	if got := strings.Join(g.Need("sale"), ","); got != "product" {
+		t.Errorf("Need(sale) = %s", got)
+	}
+	if g.NeededBySomeone("sale") {
+		t.Error("sale must not be needed: the fact table is eliminable here")
+	}
+}
+
+func TestNeedRootAnnotatedK(t *testing.T) {
+	g := buildGraph(t, retailCatalog(t), `
+		SELECT sale.id, time.month, SUM(price) FROM sale, time
+		WHERE sale.timeid = time.id GROUP BY sale.id, time.month`)
+	if g.Annot["sale"] != AnnotK {
+		t.Fatalf("root annotation = %v", g.Annot["sale"])
+	}
+	// Root annotated k: Need(root) = ∅, and Need0 recursion is cut at the
+	// root, so nothing below is needed either.
+	if got := g.Need("sale"); len(got) != 0 {
+		t.Errorf("Need(sale) = %v", got)
+	}
+	// time is annotated g but still needs to climb to the root.
+	if got := strings.Join(g.Need("time"), ","); got != "sale" {
+		t.Errorf("Need(time) = %s", got)
+	}
+}
+
+func TestSnowflakeNeedChain(t *testing.T) {
+	cat := catalogFromDDL(t, `
+	CREATE TABLE brand (id INTEGER PRIMARY KEY, name VARCHAR);
+	CREATE TABLE product (id INTEGER PRIMARY KEY, brandid INTEGER REFERENCES brand, category VARCHAR);
+	CREATE TABLE sale (id INTEGER PRIMARY KEY, productid INTEGER REFERENCES product, price FLOAT);`)
+	g := buildGraph(t, cat, `
+		SELECT brand.name, SUM(price), COUNT(*) FROM sale, product, brand
+		WHERE sale.productid = product.id AND product.brandid = brand.id
+		GROUP BY brand.name`)
+	if g.Root != "sale" {
+		t.Fatalf("root = %s", g.Root)
+	}
+	if g.Parent["brand"] != "product" || g.Parent["product"] != "sale" {
+		t.Errorf("parents = %v", g.Parent)
+	}
+	// Need0(sale) walks through product (no annotation) to brand (g).
+	if got := strings.Join(g.Need("sale"), ","); got != "brand,product" {
+		t.Errorf("Need(sale) = %s", got)
+	}
+	// brand's Need climbs to the root and back down its own path.
+	if got := strings.Join(g.Need("brand"), ","); got != "brand,product,sale" {
+		t.Errorf("Need(brand) = %s", got)
+	}
+	if got := strings.Join(g.PathToRoot("brand"), ","); got != "product,sale" {
+		t.Errorf("PathToRoot(brand) = %s", got)
+	}
+	if got := strings.Join(g.Subtree("product"), ","); got != "brand,product" {
+		t.Errorf("Subtree(product) = %s", got)
+	}
+}
+
+func TestDepends(t *testing.T) {
+	cat := retailCatalog(t)
+	g := buildGraph(t, cat, productSalesSQL)
+	// sale depends on both joined dimensions: RI declared, no exposed
+	// updates (brand is mutable but not a condition attribute).
+	if got := strings.Join(g.Depends("sale"), ","); got != "product,time" {
+		t.Errorf("Depends(sale) = %s", got)
+	}
+	if !g.TransitivelyDependsOnAll("sale") {
+		t.Error("sale should transitively depend on all")
+	}
+	if g.TransitivelyDependsOnAll("time") {
+		t.Error("time depends on nothing")
+	}
+}
+
+func TestDependsBlockedByExposedUpdates(t *testing.T) {
+	cat := catalogFromDDL(t, `
+	CREATE TABLE time (id INTEGER PRIMARY KEY, month INTEGER, year INTEGER MUTABLE);
+	CREATE TABLE sale (id INTEGER PRIMARY KEY, timeid INTEGER REFERENCES time, price FLOAT);`)
+	g := buildGraph(t, cat, `
+		SELECT time.month, COUNT(*) FROM sale, time
+		WHERE time.year = 1997 AND sale.timeid = time.id GROUP BY time.month`)
+	// year is mutable and in a selection condition: time has exposed
+	// updates, so sale must not depend on it (Section 2.2).
+	if got := g.Depends("sale"); len(got) != 0 {
+		t.Errorf("Depends(sale) = %v, want none (exposed updates)", got)
+	}
+	if g.TransitivelyDependsOnAll("sale") {
+		t.Error("transitive dependence must fail under exposed updates")
+	}
+}
+
+func TestDependsBlockedByMissingRI(t *testing.T) {
+	cat := catalogFromDDL(t, `
+	CREATE TABLE time (id INTEGER PRIMARY KEY, month INTEGER);
+	CREATE TABLE sale (id INTEGER PRIMARY KEY, timeid INTEGER, price FLOAT);`)
+	g := buildGraph(t, cat, `
+		SELECT time.month, COUNT(*) FROM sale, time
+		WHERE sale.timeid = time.id GROUP BY time.month`)
+	if got := g.Depends("sale"); len(got) != 0 {
+		t.Errorf("Depends(sale) = %v, want none (no RI)", got)
+	}
+}
+
+func TestTreeViolations(t *testing.T) {
+	// Two tables referencing the same dimension key: two incoming edges.
+	cat := catalogFromDDL(t, `
+	CREATE TABLE d (id INTEGER PRIMARY KEY, x INTEGER);
+	CREATE TABLE a (id INTEGER PRIMARY KEY, did INTEGER REFERENCES d);
+	CREATE TABLE b (id INTEGER PRIMARY KEY, did INTEGER REFERENCES d, aid INTEGER REFERENCES a);`)
+	v := buildView(t, cat, `
+		SELECT d.x, COUNT(*) FROM a, b, d
+		WHERE a.did = d.id AND b.did = d.id AND b.aid = a.id GROUP BY d.x`)
+	if _, err := Build(v); err == nil || !strings.Contains(err.Error(), "tree") {
+		t.Errorf("diamond graph accepted: %v", err)
+	}
+
+	// A cycle of key joins.
+	cat2 := catalogFromDDL(t, `
+	CREATE TABLE p (id INTEGER PRIMARY KEY, qid INTEGER REFERENCES q, x INTEGER);
+	CREATE TABLE q (id INTEGER PRIMARY KEY, pid INTEGER REFERENCES p);`)
+	v2 := buildView(t, cat2, `
+		SELECT p.x, COUNT(*) FROM p, q
+		WHERE p.qid = q.id AND q.pid = p.id GROUP BY p.x`)
+	if _, err := Build(v2); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cyclic graph accepted: %v", err)
+	}
+}
+
+func TestSingleTableGraph(t *testing.T) {
+	g := buildGraph(t, retailCatalog(t), `
+		SELECT sale.productid, SUM(price), COUNT(*) FROM sale GROUP BY sale.productid`)
+	if g.Root != "sale" {
+		t.Errorf("root = %s", g.Root)
+	}
+	if g.Annot["sale"] != AnnotG {
+		t.Errorf("annot = %v", g.Annot["sale"])
+	}
+	if got := g.Need("sale"); len(got) != 0 {
+		t.Errorf("Need(sale) = %v", got)
+	}
+	if !g.TransitivelyDependsOnAll("sale") {
+		t.Error("single table transitively depends on all (vacuously)")
+	}
+	if g.NeededBySomeone("sale") {
+		t.Error("nobody else exists to need sale")
+	}
+}

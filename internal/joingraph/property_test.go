@@ -1,0 +1,84 @@
+package joingraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNeedProperties checks structural invariants of Definitions 3 and 4
+// over every view shape used in this package's tests.
+func TestNeedProperties(t *testing.T) {
+	cat := retailCatalog(t)
+	views := []string{
+		productSalesSQL,
+		`SELECT product.id, SUM(price), COUNT(*) FROM sale, product
+		 WHERE sale.productid = product.id GROUP BY product.id`,
+		`SELECT sale.id, time.month, SUM(price) FROM sale, time
+		 WHERE sale.timeid = time.id GROUP BY sale.id, time.month`,
+		`SELECT time.month, store.city, COUNT(*) FROM sale, time, store
+		 WHERE sale.timeid = time.id AND sale.storeid = store.id
+		 GROUP BY time.month, store.city`,
+		`SELECT sale.storeid, COUNT(*) FROM sale GROUP BY sale.storeid`,
+	}
+	for _, sql := range views {
+		g := buildGraph(t, cat, sql)
+		inView := make(map[string]bool)
+		for _, tb := range g.View.Tables {
+			inView[tb] = true
+		}
+		for _, tb := range g.View.Tables {
+			need := g.Need(tb)
+			// Need sets only contain view tables.
+			for _, n := range need {
+				if !inView[n] {
+					t.Errorf("%s: Need(%s) contains non-view table %s", sql, tb, n)
+				}
+			}
+			// k-annotated vertices need nothing (Definition 3, case 1).
+			if g.Annot[tb] == AnnotK && len(need) != 0 {
+				t.Errorf("%s: Need(%s) = %v for a k vertex", sql, tb, need)
+			}
+			// Determinism.
+			if got := strings.Join(g.Need(tb), ","); got != strings.Join(need, ",") {
+				t.Errorf("%s: Need(%s) not deterministic", sql, tb)
+			}
+			// A non-root, non-k vertex always needs its parent.
+			if parent, ok := g.Parent[tb]; ok && g.Annot[tb] != AnnotK {
+				found := false
+				for _, n := range need {
+					if n == parent {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s: Need(%s) = %v misses parent %s", sql, tb, need, parent)
+				}
+			}
+		}
+		// Need0 of a k-annotated root is empty.
+		if g.Annot[g.Root] == AnnotK && len(g.Need0(g.Root)) != 0 {
+			t.Errorf("%s: Need0(k-root) non-empty", sql)
+		}
+		// The subtree of the root is the whole view.
+		if got := len(g.Subtree(g.Root)); got != len(g.View.Tables) {
+			t.Errorf("%s: Subtree(root) = %d tables, want %d", sql, got, len(g.View.Tables))
+		}
+	}
+}
+
+// TestDependsIsSubsetOfChildren: the depends relation only follows tree
+// edges downward.
+func TestDependsIsSubsetOfChildren(t *testing.T) {
+	g := buildGraph(t, retailCatalog(t), productSalesSQL)
+	for _, tb := range g.View.Tables {
+		children := make(map[string]bool)
+		for _, c := range g.Children[tb] {
+			children[c] = true
+		}
+		for _, d := range g.Depends(tb) {
+			if !children[d] {
+				t.Errorf("Depends(%s) contains non-child %s", tb, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package maintain
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/core"
+	"mindetail/internal/gpsj"
+	"mindetail/internal/ra"
+	"mindetail/internal/sqlparse"
+	"mindetail/internal/storage"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// appendOnlyFixture builds an engine over a DeriveAppendOnly plan.
+func appendOnlyFixture(t *testing.T, viewSQL string) *fixture {
+	t.Helper()
+	cat := catalogFromDDL(t, retailDDL)
+	s, err := sqlparse.Parse(viewSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := gpsj.FromSelect(cat, "v", s.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.DeriveAppendOnly(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{t: t, cat: cat, db: storage.NewDB(cat), view: v, saleID: 1000}
+	f.engine = NewEngine(p)
+	f.engine.UseNeedSets = true
+	return f
+}
+
+// minMaxSQL groups on a dimension attribute so the root auxiliary view is
+// needed (time is g-annotated, putting sale in Need(time)).
+const minMaxSQL = `
+	SELECT time.month, MIN(sale.price) AS lo, MAX(sale.price) AS hi,
+	       SUM(sale.price) AS total, COUNT(*) AS cnt
+	FROM sale, time WHERE sale.timeid = time.id AND time.year = 1997
+	GROUP BY time.month`
+
+// TestAppendOnlyDerivationCompressesMinMax: under the Section 4 relaxation
+// MIN/MAX compress into min_/max_ columns and price is NOT stored plain, so
+// the auxiliary view has one row per productid instead of one per distinct
+// (productid, price).
+func TestAppendOnlyDerivationCompressesMinMax(t *testing.T) {
+	f := appendOnlyFixture(t, minMaxSQL)
+	x := f.engine.Plan().Aux["sale"]
+	if !f.engine.Plan().AppendOnly {
+		t.Fatal("plan not marked append-only")
+	}
+	if got := strings.Join(x.PlainAttrs, ","); got != "timeid" {
+		t.Errorf("plain = %s (price must compress away)", got)
+	}
+	if len(x.MinAttrs) != 1 || len(x.MaxAttrs) != 1 || len(x.SumAttrs) != 1 {
+		t.Errorf("compression columns = min:%v max:%v sum:%v", x.MinAttrs, x.MaxAttrs, x.SumAttrs)
+	}
+	sql := x.SQL()
+	for _, want := range []string{"MIN(price) AS min_price", "MAX(price) AS max_price", "SUM(price) AS sum_price"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestAppendOnlyMaintenanceStream(t *testing.T) {
+	f := appendOnlyFixture(t, minMaxSQL)
+	f.seedRetail()
+	f.initEngine()
+	f.insertSale(1, 100, 7, 500)
+	f.insertSale(1, 100, 7, 0.25)
+	f.insertSale(2, 102, 7, 1)
+	f.insertSale(3, 101, 8, 77)
+	// The auxiliary view must stay one row per 1997 timeid with sales.
+	if got := f.engine.Aux("sale").Len(); got != 3 {
+		t.Errorf("aux rows = %d, want 3 (one per timeid)", got)
+	}
+	// No recomputation should ever have been needed.
+	if f.engine.Stats().GroupRecomputes != 0 {
+		t.Errorf("append-only MIN/MAX must maintain incrementally, got %d recomputes",
+			f.engine.Stats().GroupRecomputes)
+	}
+}
+
+func TestAppendOnlyRejectsDeletesAndUpdates(t *testing.T) {
+	f := appendOnlyFixture(t, minMaxSQL)
+	f.seedRetail()
+	if err := f.engine.Init(func(tb string) *ra.Relation {
+		return ra.FromTable(f.db.Table(tb), tb)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	row := f.db.Table("sale").Get(types.Int(1))
+	err := f.engine.Apply(Delta{Table: "sale", Deletes: []tuple.Tuple{row.Clone()}})
+	if err == nil || !strings.Contains(err.Error(), "append-only") {
+		t.Errorf("delete accepted on append-only plan: %v", err)
+	}
+	err = f.engine.Apply(Delta{Table: "sale", Updates: []Update{{Old: row.Clone(), New: row.Clone()}}})
+	if err == nil || !strings.Contains(err.Error(), "append-only") {
+		t.Errorf("update accepted on append-only plan: %v", err)
+	}
+}
+
+// TestAppendOnlyEliminationRelaxed: MIN/MAX no longer block elimination
+// under the append-only relaxation, so a key-grouped view with MAX can omit
+// the fact auxiliary view entirely.
+func TestAppendOnlyEliminationRelaxed(t *testing.T) {
+	viewSQL := `SELECT product.id, MAX(price) AS hi, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.id`
+	cat := catalogFromDDL(t, retailDDL)
+	s, err := sqlparse.Parse(viewSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := gpsj.FromSelect(cat, "v", s.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standard derivation keeps the fact auxiliary view.
+	std, err := core.Derive(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if std.Aux["sale"].Omitted {
+		t.Fatal("standard derivation must keep sale (MAX blocks elimination)")
+	}
+	// Append-only derivation omits it.
+	ao, err := core.DeriveAppendOnly(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ao.Aux["sale"].Omitted {
+		t.Fatal("append-only derivation must omit sale")
+	}
+	if !strings.Contains(ao.Aux["sale"].OmitReason, "append-only") {
+		t.Errorf("omit reason = %q", ao.Aux["sale"].OmitReason)
+	}
+
+	// And maintenance works: the MAX is raised from insert deltas alone.
+	f := &fixture{t: t, cat: cat, db: storage.NewDB(cat), view: v, saleID: 1000}
+	f.engine = NewEngine(ao)
+	f.seedRetail()
+	f.initEngine()
+	f.insertSale(1, 100, 7, 500)
+	f.insertSale(2, 101, 8, 0.5)
+}
+
+// TestAppendOnlyDistinctStillBlocks: DISTINCT aggregates are not insert-
+// maintainable from the aggregate value alone, so they still force plain
+// storage and still block elimination.
+func TestAppendOnlyDistinctStillBlocks(t *testing.T) {
+	viewSQL := `SELECT product.id, COUNT(DISTINCT sale.storeid) AS stores, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.id`
+	cat := catalogFromDDL(t, retailDDL)
+	s, err := sqlparse.Parse(viewSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := gpsj.FromSelect(cat, "v", s.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.DeriveAppendOnly(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Aux["sale"].Omitted {
+		t.Error("DISTINCT must still block elimination under append-only")
+	}
+	if !contains(p.Aux["sale"].PlainAttrs, "storeid") {
+		t.Errorf("DISTINCT argument must stay plain: %v", p.Aux["sale"].PlainAttrs)
+	}
+
+	// Maintenance with inserts stays exact (recompute path over the aux).
+	f := &fixture{t: t, cat: cat, db: storage.NewDB(cat), view: v, saleID: 1000}
+	f.engine = NewEngine(p)
+	f.seedRetail()
+	f.initEngine()
+	f.insertSale(1, 100, 8, 3)
+	f.insertSale(1, 100, 8, 4)
+	f.insertSale(2, 102, 7, 5)
+}
+
+// TestAppendOnlyReconstruction: the reconstruction query re-aggregates the
+// compressed MIN/MAX columns (they are distributive).
+func TestAppendOnlyReconstruction(t *testing.T) {
+	f := appendOnlyFixture(t, minMaxSQL)
+	f.seedRetail()
+	f.initEngine()
+	f.insertSale(1, 100, 7, 500)
+	p := f.engine.Plan()
+	rec, err := p.Reconstruction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := make(map[string]*ra.Relation)
+	for _, tb := range p.View.Tables {
+		if at := f.engine.Aux(tb); at != nil {
+			rels[tb] = at.Relation()
+		}
+	}
+	got, err := rec.Eval(rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.view.Evaluate(f.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ra.EqualBag(got, want) {
+		t.Errorf("reconstruction diverged:\n%s\nwant:\n%s", got.Format(), want.Format())
+	}
+}
+
+// TestAppendOnlySingleTableFullyEliminated: a single-table MIN/MAX view
+// needs NO auxiliary data at all under the append-only relaxation — the
+// ultimate minimization.
+func TestAppendOnlySingleTableFullyEliminated(t *testing.T) {
+	viewSQL := `SELECT sale.productid, MIN(sale.price) AS lo, MAX(sale.price) AS hi,
+		SUM(sale.price) AS total, COUNT(*) AS cnt
+		FROM sale GROUP BY sale.productid`
+	f := appendOnlyFixture(t, viewSQL)
+	if f.engine.Aux("sale") != nil {
+		t.Fatal("append-only single-table MIN/MAX view must need no auxiliary data")
+	}
+	f.seedRetail()
+	f.initEngine()
+	f.insertSale(1, 100, 7, 500)
+	f.insertSale(1, 100, 7, 0.25)
+	f.insertSale(2, 102, 7, 1)
+	if f.engine.AuxBytes() != 0 {
+		t.Errorf("aux bytes = %d, want 0", f.engine.AuxBytes())
+	}
+}

@@ -1,0 +1,293 @@
+package maintain
+
+import (
+	"fmt"
+
+	"mindetail/internal/core"
+	"mindetail/internal/ra"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// AuxTable is the mutable, warehouse-resident materialization of one
+// auxiliary view. Rows are keyed by the plain (grouping) attributes; for a
+// compressed view the SUM and COUNT columns are adjusted in place and a
+// group is dropped when its count returns to zero — the auxiliary views are
+// themselves self-maintainable GPSJ views with CSMAS-only aggregates.
+type AuxTable struct {
+	def  *core.AuxView
+	cols ra.Schema
+
+	plainPos []int          // column positions of the plain attributes
+	sumPos   map[string]int // base attribute -> SUM column position
+	minPos   map[string]int // base attribute -> MIN column position (append-only)
+	maxPos   map[string]int // base attribute -> MAX column position (append-only)
+	cntPos   int            // COUNT(*) column position, -1 when absent
+
+	rows map[string]tuple.Tuple
+	idx  map[string]map[string][]string // attr -> value key -> row keys
+}
+
+// NewAuxTable creates an empty table for the auxiliary view definition.
+func NewAuxTable(def *core.AuxView) *AuxTable {
+	t := &AuxTable{
+		def:    def,
+		cols:   def.Schema(),
+		sumPos: make(map[string]int),
+		minPos: make(map[string]int),
+		maxPos: make(map[string]int),
+		cntPos: -1,
+		rows:   make(map[string]tuple.Tuple),
+		idx:    make(map[string]map[string][]string),
+	}
+	for i := range def.PlainAttrs {
+		t.plainPos = append(t.plainPos, i)
+	}
+	for _, a := range def.SumAttrs {
+		i, err := t.cols.Index(def.Base, def.SumName[a])
+		if err != nil {
+			panic(err)
+		}
+		t.sumPos[a] = i
+	}
+	for _, a := range def.MinAttrs {
+		i, err := t.cols.Index(def.Base, def.MinName[a])
+		if err != nil {
+			panic(err)
+		}
+		t.minPos[a] = i
+	}
+	for _, a := range def.MaxAttrs {
+		i, err := t.cols.Index(def.Base, def.MaxName[a])
+		if err != nil {
+			panic(err)
+		}
+		t.maxPos[a] = i
+	}
+	if def.HasCount {
+		i, err := t.cols.Index(def.Base, def.CountName)
+		if err != nil {
+			panic(err)
+		}
+		t.cntPos = i
+	}
+	return t
+}
+
+// Def returns the auxiliary view definition.
+func (t *AuxTable) Def() *core.AuxView { return t.def }
+
+// Cols returns the table's schema (columns qualified with the base table).
+func (t *AuxTable) Cols() ra.Schema { return t.cols }
+
+// Len returns the number of rows (groups).
+func (t *AuxTable) Len() int { return len(t.rows) }
+
+// Bytes returns the byte-accounting size of the rows.
+func (t *AuxTable) Bytes() int {
+	n := 0
+	for _, r := range t.rows {
+		n += r.EncodedSize()
+	}
+	return n
+}
+
+// EnsureIndex builds a hash index on the named plain attribute.
+func (t *AuxTable) EnsureIndex(attr string) error {
+	if _, ok := t.idx[attr]; ok {
+		return nil
+	}
+	pos, err := t.cols.Index(t.def.Base, attr)
+	if err != nil {
+		return fmt.Errorf("maintain: %s: cannot index %s: %w", t.def.Name, attr, err)
+	}
+	m := make(map[string][]string)
+	for k, r := range t.rows {
+		vk := string(types.Encode(nil, r[pos]))
+		m[vk] = append(m[vk], k)
+	}
+	t.idx[attr] = m
+	return nil
+}
+
+func (t *AuxTable) indexAdd(row tuple.Tuple, key string) {
+	for attr, m := range t.idx {
+		pos, _ := t.cols.Index(t.def.Base, attr)
+		vk := string(types.Encode(nil, row[pos]))
+		m[vk] = append(m[vk], key)
+	}
+}
+
+func (t *AuxTable) indexRemove(row tuple.Tuple, key string) {
+	for attr, m := range t.idx {
+		pos, _ := t.cols.Index(t.def.Base, attr)
+		vk := string(types.Encode(nil, row[pos]))
+		list := m[vk]
+		for i, k := range list {
+			if k == key {
+				list[i] = list[len(list)-1]
+				list = list[:len(list)-1]
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(m, vk)
+		} else {
+			m[vk] = list
+		}
+	}
+}
+
+// Load replaces the contents with a materialized relation (from
+// core.Plan.Materialize). Existing indexes are rebuilt.
+func (t *AuxTable) Load(rel *ra.Relation) error {
+	t.rows = make(map[string]tuple.Tuple, rel.Len())
+	for _, row := range rel.Rows {
+		key := row.KeyAt(t.plainPos)
+		if _, dup := t.rows[key]; dup {
+			return fmt.Errorf("maintain: %s: duplicate group %v", t.def.Name, row)
+		}
+		t.rows[key] = row.Clone()
+	}
+	attrs := make([]string, 0, len(t.idx))
+	for a := range t.idx {
+		attrs = append(attrs, a)
+	}
+	t.idx = make(map[string]map[string][]string)
+	for _, a := range attrs {
+		if err := t.EnsureIndex(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup returns the rows whose plain attribute equals v, using an index
+// when available.
+func (t *AuxTable) Lookup(attr string, v types.Value) []tuple.Tuple {
+	if m, ok := t.idx[attr]; ok {
+		keys := m[string(types.Encode(nil, v))]
+		out := make([]tuple.Tuple, 0, len(keys))
+		for _, k := range keys {
+			out = append(out, t.rows[k])
+		}
+		return out
+	}
+	pos, err := t.cols.Index(t.def.Base, attr)
+	if err != nil {
+		return nil
+	}
+	var out []tuple.Tuple
+	for _, r := range t.rows {
+		if types.Identical(r[pos], v) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Contains reports whether some row has the given value in attr — the
+// semijoin membership test.
+func (t *AuxTable) Contains(attr string, v types.Value) bool {
+	return len(t.Lookup(attr, v)) > 0
+}
+
+// Adjust applies one signed base-row contribution to the table: plainVals
+// are the values of the plain attributes, sumDeltas the per-attribute
+// value contributions (already signed), extrema the raw values feeding
+// append-only MIN/MAX columns (nil outside the append-only relaxation),
+// and dCnt is ±1. For a PSJ view this inserts or deletes the row; for a
+// compressed view it adjusts the group's aggregates, creating and dropping
+// groups as counts move through zero.
+func (t *AuxTable) Adjust(plainVals tuple.Tuple, sumDeltas map[string]types.Value, extrema map[string]types.Value, dCnt int64) error {
+	key := plainVals.Key()
+	row, exists := t.rows[key]
+
+	if t.def.IsPSJ {
+		switch {
+		case dCnt == 1 && !exists:
+			nrow := plainVals.Clone()
+			t.rows[key] = nrow
+			t.indexAdd(nrow, key)
+			return nil
+		case dCnt == -1 && exists:
+			t.indexRemove(row, key)
+			delete(t.rows, key)
+			return nil
+		default:
+			return fmt.Errorf("maintain: %s: inconsistent PSJ adjustment (dCnt=%d, exists=%v) for %v",
+				t.def.Name, dCnt, exists, plainVals)
+		}
+	}
+
+	if (len(t.minPos) > 0 || len(t.maxPos) > 0) && dCnt < 0 {
+		return fmt.Errorf("maintain: %s: deletion reached an append-only auxiliary view", t.def.Name)
+	}
+	if !exists {
+		if dCnt <= 0 {
+			return fmt.Errorf("maintain: %s: negative adjustment to missing group %v", t.def.Name, plainVals)
+		}
+		row = make(tuple.Tuple, len(t.cols))
+		for i, p := range t.plainPos {
+			row[p] = plainVals[i]
+		}
+		for _, p := range t.sumPos {
+			row[p] = types.Null
+		}
+		for _, p := range t.minPos {
+			row[p] = types.Null
+		}
+		for _, p := range t.maxPos {
+			row[p] = types.Null
+		}
+		row[t.cntPos] = types.Int(0)
+		t.rows[key] = row
+		t.indexAdd(row, key)
+	}
+	for attr, d := range sumDeltas {
+		p, ok := t.sumPos[attr]
+		if !ok {
+			return fmt.Errorf("maintain: %s: no SUM column for %s", t.def.Name, attr)
+		}
+		if row[p].IsNull() {
+			row[p] = d
+		} else {
+			s, err := types.Add(row[p], d)
+			if err != nil {
+				return err
+			}
+			row[p] = s
+		}
+	}
+	for a, v := range extrema {
+		if p, ok := t.minPos[a]; ok {
+			if row[p].IsNull() || types.Compare(v, row[p]) < 0 {
+				row[p] = v
+			}
+		}
+		if p, ok := t.maxPos[a]; ok {
+			if row[p].IsNull() || types.Compare(v, row[p]) > 0 {
+				row[p] = v
+			}
+		}
+	}
+	cnt := row[t.cntPos].AsInt() + dCnt
+	if cnt < 0 {
+		return fmt.Errorf("maintain: %s: group %v count went negative", t.def.Name, plainVals)
+	}
+	row[t.cntPos] = types.Int(cnt)
+	if cnt == 0 {
+		t.indexRemove(row, key)
+		delete(t.rows, key)
+	}
+	return nil
+}
+
+// Relation returns a snapshot of the current contents.
+func (t *AuxTable) Relation() *ra.Relation {
+	out := ra.NewRelation(t.cols)
+	for _, r := range t.rows {
+		out.Rows = append(out.Rows, r)
+	}
+	return out
+}

@@ -1,0 +1,497 @@
+package maintain
+
+import (
+	"fmt"
+
+	"mindetail/internal/core"
+	"mindetail/internal/gpsj"
+	"mindetail/internal/joingraph"
+	"mindetail/internal/ra"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// Delta is a change to one base table, expressed as full tuples (the usual
+// form change logs and triggers deliver). Updates carry both images; the
+// engine propagates them as a deletion followed by an insertion
+// (Section 2.1).
+type Delta struct {
+	Table   string
+	Inserts []tuple.Tuple
+	Deletes []tuple.Tuple
+	Updates []Update
+}
+
+// Update is one in-place row update with both images.
+type Update struct {
+	Old, New tuple.Tuple
+}
+
+// Stats counts the work the engine performs, for the benchmark harness.
+type Stats struct {
+	DeltasApplied   int
+	DetailRows      int // delta detail rows produced by joining
+	AuxLookups      int // index probes into auxiliary tables
+	GroupAdjusts    int // incremental CSMAS group adjustments
+	GroupRecomputes int // groups repaired by partial recomputation
+}
+
+// Engine maintains a materialized GPSJ view and its auxiliary views under
+// base-table deltas, never touching the sources after Init.
+type Engine struct {
+	plan  *core.Plan
+	view  *gpsj.View
+	graph *joingraph.Graph
+
+	aux map[string]*AuxTable
+	mv  *MaterializedView
+
+	// UseNeedSets restricts delta joins to the minimal set of auxiliary
+	// views required (the Need-set optimization, Definition 3/4); when
+	// false every referenced table is joined.
+	UseNeedSets bool
+
+	// filtering marks non-root tables whose auxiliary view can exclude
+	// detail rows (local conditions, or a join edge without referential
+	// integrity, anywhere in the subtree); these must always participate
+	// in delta joins to decide view membership.
+	filtering map[string]bool
+
+	// residual maps tables to local conditions of this view that its
+	// (shared) auxiliary views do not enforce; delta joins and partial
+	// recomputation re-apply them (shared-plan mode, Section 4 classes).
+	residual map[string][]ra.Comparison
+
+	// skipAux suppresses auxiliary-table maintenance in Apply: a shared
+	// coordinator maintains the tables once for all views.
+	skipAux bool
+
+	stats Stats
+}
+
+// NewEngine creates an engine for a derived plan. Call Init before Apply.
+func NewEngine(plan *core.Plan) *Engine {
+	tables := make(map[string]*AuxTable)
+	for t, def := range plan.Aux {
+		if def.Omitted {
+			continue
+		}
+		tables[t] = NewAuxTable(def)
+	}
+	return newEngine(plan, tables, nil, false)
+}
+
+// newEngine wires an engine over the given auxiliary tables. With shared
+// tables, residual carries the view's unenforced local conditions and
+// skipAux leaves table maintenance to the coordinator.
+func newEngine(plan *core.Plan, tables map[string]*AuxTable, residual map[string][]ra.Comparison, skipAux bool) *Engine {
+	e := &Engine{
+		plan:        plan,
+		view:        plan.View,
+		graph:       plan.Graph,
+		aux:         tables,
+		mv:          NewMaterializedView(plan.View),
+		UseNeedSets: true,
+		filtering:   make(map[string]bool),
+		residual:    residual,
+		skipAux:     skipAux,
+	}
+	// Indexes: each table's key (semijoin membership and downward joins),
+	// and each referencing attribute (upward joins).
+	for t, at := range e.aux {
+		key := e.view.Catalog().Table(t).Key
+		if contains(at.def.PlainAttrs, key) {
+			if err := at.EnsureIndex(key); err != nil {
+				panic(err)
+			}
+		}
+		for child, j := range e.graph.EdgeTo {
+			_ = child
+			if j.Left == t && contains(at.def.PlainAttrs, j.LeftAttr) {
+				if err := at.EnsureIndex(j.LeftAttr); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	// Filtering analysis, bottom-up.
+	var filt func(t string) bool
+	filt = func(t string) bool {
+		f := len(e.view.Local[t]) > 0 || len(e.residual[t]) > 0
+		if j, ok := e.graph.EdgeTo[t]; ok {
+			if !e.view.Catalog().HasRI(j.Left, j.LeftAttr, j.Right) {
+				f = true
+			}
+		}
+		for _, c := range e.graph.Children[t] {
+			if filt(c) {
+				f = true
+			}
+		}
+		e.filtering[t] = f
+		return f
+	}
+	filt(e.graph.Root)
+	delete(e.filtering, e.graph.Root) // root membership is its own local conds, applied to deltas directly
+	return e
+}
+
+// Plan returns the derivation plan the engine maintains.
+func (e *Engine) Plan() *core.Plan { return e.plan }
+
+// Aux returns the auxiliary table for a base table, or nil when omitted.
+func (e *Engine) Aux(table string) *AuxTable { return e.aux[table] }
+
+// Stats returns a copy of the work counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the work counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// Snapshot returns the user-facing contents of the maintained view.
+func (e *Engine) Snapshot() *ra.Relation { return e.mv.Snapshot() }
+
+// Groups returns the number of maintained view groups.
+func (e *Engine) Groups() int { return e.mv.Groups() }
+
+// AuxBytes returns the total byte-accounting size of all auxiliary tables.
+func (e *Engine) AuxBytes() int {
+	n := 0
+	for _, at := range e.aux {
+		n += at.Bytes()
+	}
+	return n
+}
+
+// ViewBytes returns the byte-accounting size of the maintained view.
+func (e *Engine) ViewBytes() int { return e.mv.Bytes() }
+
+// Init materializes the auxiliary views and the view's component form from
+// base-table relations. This is the only moment the engine reads base data;
+// afterwards the sources can be detached.
+func (e *Engine) Init(src func(table string) *ra.Relation) error {
+	mats, err := e.plan.Materialize(src)
+	if err != nil {
+		return err
+	}
+	for t, rel := range mats {
+		if err := e.aux[t].Load(rel); err != nil {
+			return err
+		}
+	}
+	return e.initMV(src)
+}
+
+// initMV computes the view's component form from base relations.
+func (e *Engine) initMV(src func(table string) *ra.Relation) error {
+	detailNode, err := e.view.DetailPlan(src)
+	if err != nil {
+		return err
+	}
+	detail, err := detailNode.Eval()
+	if err != nil {
+		return err
+	}
+	ctx := detailCtx{rel: detail, mPos: -1}
+	groups, err := e.computeGroups(ctx, nil)
+	if err != nil {
+		return err
+	}
+	e.mv.rows = groups
+	if e.mv.global() && len(groups) == 0 {
+		e.mv.setRow(e.mv.blank(nil))
+	}
+	return nil
+}
+
+type signedRow struct {
+	row tuple.Tuple
+	s   int64
+}
+
+// Apply propagates one base-table delta to the auxiliary views and the
+// materialized view. Deltas must reflect legal source transitions
+// (referential integrity preserved, updates only to mutable attributes).
+func (e *Engine) Apply(d Delta) error {
+	t := d.Table
+	if !contains(e.view.Tables, t) {
+		return nil // table not referenced by the view
+	}
+	if e.plan.AppendOnly && (len(d.Deletes) > 0 || len(d.Updates) > 0) {
+		return fmt.Errorf("maintain: plan for view %s was derived append-only (Section 4); deletions and updates are not maintainable", e.view.Name)
+	}
+	e.stats.DeltasApplied++
+	signed, err := e.expand(d)
+	if err != nil {
+		return err
+	}
+	signed, err = e.localFilter(t, signed)
+	if err != nil {
+		return err
+	}
+	if at := e.aux[t]; at != nil && !e.skipAux {
+		if err := e.auxApply(at, signed); err != nil {
+			return err
+		}
+	}
+	return e.vImpact(t, d, signed)
+}
+
+// expand normalizes a delta into signed full rows: updates become a
+// deletion of the old image and an insertion of the new one. Update pairs
+// whose images agree on every attribute relevant to the view (preserved or
+// condition attributes) are dropped as no-ops.
+func (e *Engine) expand(d Delta) ([]signedRow, error) {
+	meta := e.view.Catalog().Table(d.Table)
+	check := func(row tuple.Tuple) error {
+		if len(row) != len(meta.Attrs) {
+			return fmt.Errorf("maintain: delta row for %s has %d values, want %d", d.Table, len(row), len(meta.Attrs))
+		}
+		return nil
+	}
+	relevant := map[string]bool{}
+	for _, a := range e.view.PreservedAttrs(d.Table) {
+		relevant[a] = true
+	}
+	for _, a := range e.view.CondAttrs(d.Table) {
+		relevant[a] = true
+	}
+	var relevantPos []int
+	for i, a := range meta.Attrs {
+		if relevant[a.Name] {
+			relevantPos = append(relevantPos, i)
+		}
+	}
+
+	var out []signedRow
+	for _, r := range d.Deletes {
+		if err := check(r); err != nil {
+			return nil, err
+		}
+		out = append(out, signedRow{row: r, s: -1})
+	}
+	for _, u := range d.Updates {
+		if err := check(u.Old); err != nil {
+			return nil, err
+		}
+		if err := check(u.New); err != nil {
+			return nil, err
+		}
+		if tuple.Identical(u.Old.Project(relevantPos), u.New.Project(relevantPos)) {
+			continue // no attribute the view can observe changed
+		}
+		out = append(out, signedRow{row: u.Old, s: -1}, signedRow{row: u.New, s: 1})
+	}
+	for _, r := range d.Inserts {
+		if err := check(r); err != nil {
+			return nil, err
+		}
+		out = append(out, signedRow{row: r, s: 1})
+	}
+	return out, nil
+}
+
+// baseCols returns the base-table schema qualified with the table name.
+func (e *Engine) baseCols(t string) ra.Schema {
+	meta := e.view.Catalog().Table(t)
+	cols := make(ra.Schema, len(meta.Attrs))
+	for i, a := range meta.Attrs {
+		cols[i] = ra.Col{Table: t, Name: a.Name}
+	}
+	return cols
+}
+
+// localFilter drops signed rows that fail the table's local conditions.
+func (e *Engine) localFilter(t string, rows []signedRow) ([]signedRow, error) {
+	conds := e.view.Local[t]
+	if len(conds) == 0 {
+		return rows, nil
+	}
+	pred, err := ra.BindAll(conds, e.baseCols(t))
+	if err != nil {
+		return nil, err
+	}
+	out := rows[:0]
+	for _, sr := range rows {
+		ok, err := pred(sr.row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, sr)
+		}
+	}
+	return out, nil
+}
+
+// auxApply maintains X_t under the signed rows: project to the stored
+// attributes, check the join-reduction semijoins against the child
+// auxiliary tables, and adjust the group (or insert/delete the PSJ row).
+func (e *Engine) auxApply(at *AuxTable, rows []signedRow) error {
+	meta := e.view.Catalog().Table(at.def.Base)
+	pos := func(attr string) int { return meta.AttrIndex(attr) }
+	var plainPos []int
+	for _, a := range at.def.PlainAttrs {
+		plainPos = append(plainPos, pos(a))
+	}
+	for _, sr := range rows {
+		pass := true
+		for _, sj := range at.def.SemiJoins {
+			child := e.aux[sj.Right]
+			e.stats.AuxLookups++
+			if !child.Contains(sj.RightAttr, sr.row[pos(sj.LeftAttr)]) {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			continue
+		}
+		plainVals := sr.row.Project(plainPos)
+		sumDeltas := make(map[string]types.Value, len(at.def.SumAttrs))
+		for _, a := range at.def.SumAttrs {
+			v := sr.row[pos(a)]
+			d, err := types.Mul(types.Int(sr.s), v)
+			if err != nil {
+				return err
+			}
+			sumDeltas[a] = d
+		}
+		var extrema map[string]types.Value
+		if len(at.def.MinAttrs) > 0 || len(at.def.MaxAttrs) > 0 {
+			extrema = make(map[string]types.Value)
+			for _, a := range at.def.MinAttrs {
+				extrema[a] = sr.row[pos(a)]
+			}
+			for _, a := range at.def.MaxAttrs {
+				extrema[a] = sr.row[pos(a)]
+			}
+		}
+		if err := at.Adjust(plainVals, sumDeltas, extrema, sr.s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// vImpact propagates the delta to the materialized view.
+func (e *Engine) vImpact(t string, d Delta, signed []signedRow) error {
+	if len(signed) == 0 {
+		return nil
+	}
+	rootOmitted := e.aux[e.graph.Root] == nil
+	if t != e.graph.Root && rootOmitted {
+		// The elimination conditions (Section 3.3) guarantee that every
+		// dimension is k-annotated here: inserts and deletes of dimension
+		// rows cannot affect V (referential integrity), and updates only
+		// re-key groups identified directly by the dimension key.
+		if e.graph.Annot[t] != joingraph.AnnotK {
+			return fmt.Errorf("maintain: root auxiliary view omitted but %s is not key-grouped; cannot maintain", t)
+		}
+		return e.rekey(t, d.Updates)
+	}
+
+	ctx, weights, err := e.deltaDetail(t, signed)
+	if err != nil {
+		return err
+	}
+	if len(ctx.rel.Rows) == 0 {
+		return nil
+	}
+	e.stats.DetailRows += len(ctx.rel.Rows)
+
+	if !e.mv.hasNonCSMAS {
+		return e.adjustFromDetail(ctx, weights, false)
+	}
+	allPositive := true
+	for _, w := range weights {
+		if w < 0 {
+			allPositive = false
+			break
+		}
+	}
+	if e.mv.minMaxOnly && allPositive {
+		// MIN/MAX are SMAs for insertions (Table 1): adjust incrementally
+		// and raise the extrema.
+		return e.adjustFromDetail(ctx, weights, true)
+	}
+	keys, err := e.affectedKeys(ctx)
+	if err != nil {
+		return err
+	}
+	return e.recomputeGroups(keys)
+}
+
+// rekey handles dimension updates when the root auxiliary view is omitted:
+// the updated dimension is k-grouped, so the affected view rows are those
+// whose key column matches, and only the dimension's own group-by values
+// can have changed.
+func (e *Engine) rekey(t string, updates []Update) error {
+	meta := e.view.Catalog().Table(t)
+	keyPos := meta.KeyIndex()
+
+	// The view's group-by components owned by t, with their base positions.
+	type gbCol struct {
+		comp    int
+		basePos int
+		isKey   bool
+	}
+	var gcols []gbCol
+	for _, ci := range e.mv.gbIdx {
+		cr := e.mv.comps[ci].item.Expr.(ra.ColRef)
+		if cr.Table != t {
+			continue
+		}
+		gcols = append(gcols, gbCol{comp: ci, basePos: meta.AttrIndex(cr.Name), isKey: cr.Name == meta.Key})
+	}
+	var keyComp = -1
+	for _, gc := range gcols {
+		if gc.isKey {
+			keyComp = gc.comp
+		}
+	}
+	if keyComp < 0 {
+		return fmt.Errorf("maintain: %s is k-annotated but its key is not a view column", t)
+	}
+
+	pred, err := ra.BindAll(e.view.Local[t], e.baseCols(t))
+	if err != nil {
+		return err
+	}
+	for _, u := range updates {
+		ok, err := pred(u.New)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // row outside the view's local conditions; old was too
+		}
+		key := u.New[keyPos]
+		// Collect affected groups, then re-key them.
+		var hit []string
+		for k, row := range e.mv.rows {
+			if types.Identical(row[keyComp], key) {
+				hit = append(hit, k)
+			}
+		}
+		for _, k := range hit {
+			row := e.mv.rows[k]
+			delete(e.mv.rows, k)
+			for _, gc := range gcols {
+				row[gc.comp] = u.New[gc.basePos]
+			}
+			e.mv.rows[e.mv.keyOf(row)] = row
+			e.stats.GroupAdjusts++
+		}
+	}
+	return nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,335 @@
+package maintain
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mindetail/internal/core"
+	"mindetail/internal/gpsj"
+	"mindetail/internal/ra"
+	"mindetail/internal/sqlparse"
+	"mindetail/internal/storage"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// TestMaintainFuzz generates random view shapes over a snowflake schema and
+// drives each with a random, RI-consistent delta stream, comparing the
+// maintained view against brute-force recomputation after every delta.
+// This is the broadest correctness net in the suite: group-by choices,
+// aggregate mixes, local conditions, missing referential integrity,
+// mutable attributes, and Need-set modes are all randomized.
+func TestMaintainFuzz(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runFuzz(t, int64(seed))
+		})
+	}
+}
+
+// fuzzDDL is a snowflake: fact -> dim1 -> subdim, fact -> dim2. The d2id
+// edge deliberately has NO referential integrity declared on odd seeds
+// (handled below by generating one of two schemas), dim1.b and fact.price
+// and fact.qty are mutable.
+func fuzzDDL(withRI2 bool) string {
+	ri2 := ""
+	if withRI2 {
+		ri2 = " REFERENCES dim2"
+	}
+	return fmt.Sprintf(`
+	CREATE TABLE subdim (id INTEGER PRIMARY KEY, s INTEGER, t VARCHAR);
+	CREATE TABLE dim1 (id INTEGER PRIMARY KEY, sdid INTEGER REFERENCES subdim, a INTEGER, b VARCHAR MUTABLE);
+	CREATE TABLE dim2 (id INTEGER PRIMARY KEY, x INTEGER, y VARCHAR);
+	CREATE TABLE fact (id INTEGER PRIMARY KEY,
+		d1id INTEGER REFERENCES dim1,
+		d2id INTEGER%s,
+		qty INTEGER MUTABLE,
+		price FLOAT MUTABLE,
+		tag VARCHAR);`, ri2)
+}
+
+// fuzzView assembles a random GPSJ view; it returns the SQL and whether it
+// references dim2 and subdim.
+func fuzzView(rng *rand.Rand) string {
+	// Choose the table set (always includes fact, always connected).
+	shapes := []string{
+		"fact",
+		"fact,dim1",
+		"fact,dim2",
+		"fact,dim1,dim2",
+		"fact,dim1,subdim",
+		"fact,dim1,dim2,subdim",
+	}
+	tables := strings.Split(shapes[rng.Intn(len(shapes))], ",")
+	has := func(t string) bool {
+		for _, x := range tables {
+			if x == t {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Group-by candidates per table set.
+	var gbCands []string
+	if has("dim1") {
+		gbCands = append(gbCands, "dim1.a", "dim1.b", "dim1.id")
+	}
+	if has("dim2") {
+		gbCands = append(gbCands, "dim2.x", "dim2.id")
+	}
+	if has("subdim") {
+		gbCands = append(gbCands, "subdim.s")
+	}
+	gbCands = append(gbCands, "fact.tag", "fact.qty")
+	rng.Shuffle(len(gbCands), func(i, j int) { gbCands[i], gbCands[j] = gbCands[j], gbCands[i] })
+	ngb := rng.Intn(3) // 0..2 group-by attributes
+	gb := gbCands[:ngb]
+
+	// Aggregates: always COUNT(*), plus a random mix.
+	aggCands := []string{
+		"SUM(price) AS sp", "AVG(price) AS ap", "MIN(price) AS mnp",
+		"MAX(price) AS mxp", "SUM(qty) AS sq", "COUNT(DISTINCT tag) AS dt",
+		"MAX(qty) AS mxq",
+	}
+	rng.Shuffle(len(aggCands), func(i, j int) { aggCands[i], aggCands[j] = aggCands[j], aggCands[i] })
+	naggs := 1 + rng.Intn(3)
+	items := append([]string{}, gb...)
+	items = append(items, "COUNT(*) AS cnt")
+	items = append(items, aggCands[:naggs]...)
+
+	// Conditions: the joins, plus random local conditions.
+	var conds []string
+	if has("dim1") {
+		conds = append(conds, "fact.d1id = dim1.id")
+	}
+	if has("dim2") {
+		conds = append(conds, "fact.d2id = dim2.id")
+	}
+	if has("subdim") {
+		conds = append(conds, "dim1.sdid = subdim.id")
+	}
+	if rng.Intn(2) == 0 {
+		conds = append(conds, fmt.Sprintf("fact.qty <= %d", 3+rng.Intn(6)))
+	}
+	if has("dim1") && rng.Intn(2) == 0 {
+		conds = append(conds, fmt.Sprintf("dim1.a < %d", 2+rng.Intn(4)))
+	}
+	if has("subdim") && rng.Intn(2) == 0 {
+		conds = append(conds, fmt.Sprintf("subdim.s <> %d", rng.Intn(3)))
+	}
+
+	sql := "SELECT " + strings.Join(items, ", ") + " FROM " + strings.Join(tables, ", ")
+	if len(conds) > 0 {
+		sql += " WHERE " + strings.Join(conds, " AND ")
+	}
+	if len(gb) > 0 {
+		sql += " GROUP BY " + strings.Join(gb, ", ")
+	}
+	return sql
+}
+
+type fuzzState struct {
+	t      *testing.T
+	rng    *rand.Rand
+	db     *storage.DB
+	view   *gpsj.View
+	engine *Engine
+
+	factID  int64
+	facts   []int64
+	dim1IDs []int64
+	dim2IDs []int64
+	sdIDs   []int64
+}
+
+func runFuzz(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	cat := catalogFromDDL(t, fuzzDDL(seed%2 == 0))
+
+	// Generate a derivable view (some random combinations hit the
+	// superfluous-aggregate rejection; retry with fresh randomness).
+	var v *gpsj.View
+	var sql string
+	var plan *core.Plan
+	for try := 0; try < 50; try++ {
+		sql = fuzzView(rng)
+		s, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("generated unparsable SQL %q: %v", sql, err)
+		}
+		v, err = gpsj.FromSelect(cat, "fz", s.(*sqlparse.SelectStmt))
+		if err != nil {
+			t.Fatalf("generated invalid view %q: %v", sql, err)
+		}
+		plan, err = core.Derive(v)
+		if err != nil {
+			if strings.Contains(err.Error(), "superfluous") {
+				continue
+			}
+			t.Fatalf("derive %q: %v", sql, err)
+		}
+		break
+	}
+	if plan == nil {
+		t.Fatal("could not generate a derivable view in 50 tries")
+	}
+	t.Logf("view: %s", sql)
+
+	f := &fuzzState{t: t, rng: rng, db: storage.NewDB(cat), view: v}
+	f.engine = NewEngine(plan)
+	f.engine.UseNeedSets = seed%3 != 0 // exercise both join modes
+
+	f.seed()
+	if err := f.engine.Init(func(tb string) *ra.Relation {
+		return ra.FromTable(f.db.Table(tb), tb)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.check("init")
+
+	for step := 0; step < 50; step++ {
+		f.step()
+		f.check(fmt.Sprintf("step %d", step))
+	}
+}
+
+func (f *fuzzState) mustInsert(table string, vals ...types.Value) {
+	f.t.Helper()
+	if err := f.db.Insert(table, tuple.Tuple(vals)); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+func (f *fuzzState) seed() {
+	for i := int64(1); i <= 3; i++ {
+		f.mustInsert("subdim", types.Int(i), types.Int(i%3), types.Str(fmt.Sprintf("t%d", i)))
+		f.sdIDs = append(f.sdIDs, i)
+	}
+	for i := int64(1); i <= 4; i++ {
+		f.mustInsert("dim1", types.Int(i), types.Int(i%3+1), types.Int(i%4), types.Str(fmt.Sprintf("b%d", i%2)))
+		f.dim1IDs = append(f.dim1IDs, i)
+	}
+	for i := int64(1); i <= 3; i++ {
+		f.mustInsert("dim2", types.Int(i), types.Int(i%2), types.Str(fmt.Sprintf("y%d", i)))
+		f.dim2IDs = append(f.dim2IDs, i)
+	}
+	for i := 0; i < 12; i++ {
+		f.insertFact()
+	}
+}
+
+func (f *fuzzState) insertFact() {
+	f.factID++
+	f.mustInsert("fact",
+		types.Int(f.factID),
+		types.Int(f.dim1IDs[f.rng.Intn(len(f.dim1IDs))]),
+		types.Int(f.dim2IDs[f.rng.Intn(len(f.dim2IDs))]),
+		types.Int(int64(f.rng.Intn(8))),
+		types.Float(float64(f.rng.Intn(40))/4),
+		types.Str(fmt.Sprintf("g%d", f.rng.Intn(4))),
+	)
+	f.facts = append(f.facts, f.factID)
+	row := f.db.Table("fact").Get(types.Int(f.factID))
+	f.apply(Delta{Table: "fact", Inserts: []tuple.Tuple{row}})
+}
+
+func (f *fuzzState) apply(d Delta) {
+	f.t.Helper()
+	if err := f.engine.Apply(d); err != nil {
+		f.t.Fatalf("Apply(%s): %v", d.Table, err)
+	}
+}
+
+func (f *fuzzState) step() {
+	f.t.Helper()
+	switch f.rng.Intn(10) {
+	case 0, 1, 2, 3: // insert fact
+		f.insertFact()
+	case 4, 5: // delete fact
+		if len(f.facts) == 0 {
+			f.insertFact()
+			return
+		}
+		i := f.rng.Intn(len(f.facts))
+		row, err := f.db.Delete("fact", types.Int(f.facts[i]))
+		if err != nil {
+			f.t.Fatal(err)
+		}
+		f.facts = append(f.facts[:i], f.facts[i+1:]...)
+		f.apply(Delta{Table: "fact", Deletes: []tuple.Tuple{row}})
+	case 6: // update fact price
+		if len(f.facts) == 0 {
+			return
+		}
+		id := f.facts[f.rng.Intn(len(f.facts))]
+		old, upd, err := f.db.Update("fact", types.Int(id),
+			map[string]types.Value{"price": types.Float(float64(f.rng.Intn(40)) / 4)})
+		if err != nil {
+			f.t.Fatal(err)
+		}
+		f.apply(Delta{Table: "fact", Updates: []Update{{Old: old, New: upd}}})
+	case 7: // update fact qty — a condition attribute on some views, making
+		// fact itself exposed; the engine handles it as delete+insert.
+		if len(f.facts) == 0 {
+			return
+		}
+		id := f.facts[f.rng.Intn(len(f.facts))]
+		old, upd, err := f.db.Update("fact", types.Int(id),
+			map[string]types.Value{"qty": types.Int(int64(f.rng.Intn(8)))})
+		if err != nil {
+			f.t.Fatal(err)
+		}
+		f.apply(Delta{Table: "fact", Updates: []Update{{Old: old, New: upd}}})
+	case 8: // rename dim1.b
+		id := f.dim1IDs[f.rng.Intn(len(f.dim1IDs))]
+		old, upd, err := f.db.Update("dim1", types.Int(id),
+			map[string]types.Value{"b": types.Str(fmt.Sprintf("b%d", f.rng.Intn(3)))})
+		if err != nil {
+			f.t.Fatal(err)
+		}
+		f.apply(Delta{Table: "dim1", Updates: []Update{{Old: old, New: upd}}})
+	case 9: // insert a new dimension row (no view impact until referenced)
+		switch f.rng.Intn(3) {
+		case 0:
+			id := int64(len(f.dim1IDs) + 1)
+			f.mustInsert("dim1", types.Int(id), types.Int(f.sdIDs[f.rng.Intn(len(f.sdIDs))]),
+				types.Int(int64(f.rng.Intn(4))), types.Str("bnew"))
+			f.dim1IDs = append(f.dim1IDs, id)
+			row := f.db.Table("dim1").Get(types.Int(id))
+			f.apply(Delta{Table: "dim1", Inserts: []tuple.Tuple{row}})
+		case 1:
+			id := int64(len(f.dim2IDs) + 1)
+			f.mustInsert("dim2", types.Int(id), types.Int(int64(f.rng.Intn(2))), types.Str("ynew"))
+			f.dim2IDs = append(f.dim2IDs, id)
+			row := f.db.Table("dim2").Get(types.Int(id))
+			f.apply(Delta{Table: "dim2", Inserts: []tuple.Tuple{row}})
+		case 2:
+			id := int64(len(f.sdIDs) + 1)
+			f.mustInsert("subdim", types.Int(id), types.Int(int64(f.rng.Intn(3))), types.Str("tnew"))
+			f.sdIDs = append(f.sdIDs, id)
+			row := f.db.Table("subdim").Get(types.Int(id))
+			f.apply(Delta{Table: "subdim", Inserts: []tuple.Tuple{row}})
+		}
+	}
+}
+
+func (f *fuzzState) check(when string) {
+	f.t.Helper()
+	want, err := f.view.Evaluate(f.db)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	got := f.engine.Snapshot()
+	if !ra.EqualBag(got, want) {
+		f.t.Fatalf("%s: diverged\nview: %s\nmaintained:\n%s\nrecomputed:\n%s",
+			when, f.view.SQL(), got.Format(), want.Format())
+	}
+}

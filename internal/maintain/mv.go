@@ -1,0 +1,270 @@
+// Package maintain implements self-maintenance of a materialized GPSJ view
+// from its minimal auxiliary views, without any access to the base tables
+// (paper Sections 2.2 and 3.2).
+//
+// The materialized view is kept in a *component form* that follows the
+// Table 2 replacement rules: every CSMAS aggregate is stored as its
+// distributive components (SUM and/or COUNT), every non-CSMAS aggregate
+// (MIN/MAX, DISTINCT) as a stored value that is repaired by partial
+// recomputation from the auxiliary views, plus a hidden per-group COUNT(*)
+// that detects group death. The user-facing contents are produced by
+// Snapshot, which combines components (AVG = SUM/COUNT).
+package maintain
+
+import (
+	"fmt"
+	"sort"
+
+	"mindetail/internal/aggregates"
+	"mindetail/internal/gpsj"
+	"mindetail/internal/ra"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// compKind enumerates the component kinds of the maintenance form.
+type compKind int
+
+const (
+	compGroupBy compKind = iota // a group-by column
+	compCount                   // COUNT(*) or COUNT(a): a row count
+	compSum                     // a running SUM(a)
+	compStored                  // a non-CSMAS value repaired by recomputation
+)
+
+// component describes one column of the maintenance form.
+type component struct {
+	kind compKind
+	item ra.ProjItem // the view item this component belongs to
+	arg  ra.ColRef   // aggregate argument (compSum, compStored with arg)
+}
+
+// MaterializedView is the maintained state of V in component form.
+type MaterializedView struct {
+	view *gpsj.View
+
+	// comps lists the maintenance-form columns: group-by columns first (in
+	// item order interleaved as in the view), then per-aggregate
+	// components. itemComps[i] gives the component indexes of view item i.
+	comps     []component
+	itemComps [][]int
+	gbIdx     []int // component indexes that are group-by columns
+
+	// hasNonCSMAS reports whether any stored (non-CSMAS) component exists;
+	// minMaxOnly additionally reports that all of them are plain MIN/MAX.
+	hasNonCSMAS bool
+	minMaxOnly  bool
+
+	// rows maps the encoded group-by key to the component tuple, with one
+	// extra trailing value: the hidden group COUNT(*).
+	rows map[string]tuple.Tuple
+}
+
+// NewMaterializedView builds an empty maintenance form for the view.
+func NewMaterializedView(v *gpsj.View) *MaterializedView {
+	mv := &MaterializedView{view: v, rows: make(map[string]tuple.Tuple)}
+	mv.minMaxOnly = true
+	for _, it := range v.Items {
+		var idxs []int
+		add := func(c component) {
+			idxs = append(idxs, len(mv.comps))
+			mv.comps = append(mv.comps, c)
+		}
+		if !it.IsAggregate() {
+			add(component{kind: compGroupBy, item: it})
+			mv.gbIdx = append(mv.gbIdx, idxs[0])
+		} else {
+			agg := it.Agg
+			switch {
+			case !aggregates.IsCSMAS(agg):
+				c := component{kind: compStored, item: it}
+				if agg.Arg != nil {
+					c.arg = agg.Arg.(ra.ColRef)
+				}
+				add(c)
+				mv.hasNonCSMAS = true
+				if agg.Distinct || (agg.Func != ra.FuncMin && agg.Func != ra.FuncMax) {
+					mv.minMaxOnly = false
+				}
+			case agg.Func == ra.FuncCount:
+				add(component{kind: compCount, item: it})
+			case agg.Func == ra.FuncSum:
+				add(component{kind: compSum, item: it, arg: agg.Arg.(ra.ColRef)})
+			case agg.Func == ra.FuncAvg:
+				add(component{kind: compSum, item: it, arg: agg.Arg.(ra.ColRef)})
+				add(component{kind: compCount, item: it})
+			default:
+				panic(fmt.Sprintf("maintain: unexpected aggregate %s", agg))
+			}
+		}
+		mv.itemComps = append(mv.itemComps, idxs)
+	}
+	return mv
+}
+
+// View returns the view definition.
+func (mv *MaterializedView) View() *gpsj.View { return mv.view }
+
+// Groups returns the number of materialized groups.
+func (mv *MaterializedView) Groups() int { return len(mv.rows) }
+
+// hiddenIdx is the position of the hidden group count inside a stored row.
+func (mv *MaterializedView) hiddenIdx() int { return len(mv.comps) }
+
+// keyOf extracts the encoded group key from a component tuple.
+func (mv *MaterializedView) keyOf(row tuple.Tuple) string {
+	return row.KeyAt(mv.gbIdx)
+}
+
+// global reports whether the view has no group-by attributes (a single
+// global aggregation group, which exists even over an empty input).
+func (mv *MaterializedView) global() bool { return len(mv.gbIdx) == 0 }
+
+// blank returns a fresh component tuple for a new group with the given
+// group-by values at the group-by positions.
+func (mv *MaterializedView) blank(gbVals []types.Value) tuple.Tuple {
+	row := make(tuple.Tuple, len(mv.comps)+1)
+	for i := range row {
+		row[i] = types.Null
+	}
+	for i, gi := range mv.gbIdx {
+		row[gi] = gbVals[i]
+	}
+	for ci, c := range mv.comps {
+		if c.kind == compCount {
+			row[ci] = types.Int(0)
+		}
+	}
+	row[mv.hiddenIdx()] = types.Int(0)
+	return row
+}
+
+// adjust applies a signed weighted contribution to a group's CSMAS
+// components and the hidden count: dCnt row-count units, and per-sum-
+// component value deltas. It creates the group when absent and removes it
+// when the hidden count returns to zero (unless the view is global).
+func (mv *MaterializedView) adjust(gbVals []types.Value, dCnt int64, sumDeltas map[int]types.Value) error {
+	key := tuple.Tuple(gbVals).Key()
+	row, ok := mv.rows[key]
+	if !ok {
+		row = mv.blank(gbVals)
+		mv.rows[key] = row
+	}
+	for ci, c := range mv.comps {
+		switch c.kind {
+		case compCount:
+			row[ci] = types.Int(row[ci].AsInt() + dCnt)
+		case compSum:
+			d, ok := sumDeltas[ci]
+			if !ok {
+				continue
+			}
+			if row[ci].IsNull() {
+				row[ci] = d
+			} else {
+				s, err := types.Add(row[ci], d)
+				if err != nil {
+					return err
+				}
+				row[ci] = s
+			}
+		}
+	}
+	h := mv.hiddenIdx()
+	row[h] = types.Int(row[h].AsInt() + dCnt)
+	if row[h].AsInt() == 0 && !mv.global() {
+		delete(mv.rows, key)
+	} else if row[h].AsInt() < 0 {
+		return fmt.Errorf("maintain: group %v count went negative (inconsistent delta stream)", gbVals)
+	}
+	return nil
+}
+
+// raiseExtrema updates stored MIN/MAX components with a candidate value —
+// the insertion-only SMA fast path of Table 1.
+func (mv *MaterializedView) raiseExtrema(gbVals []types.Value, ci int, v types.Value) {
+	key := tuple.Tuple(gbVals).Key()
+	row, ok := mv.rows[key]
+	if !ok {
+		// adjust creates groups; raiseExtrema is called after it.
+		return
+	}
+	c := mv.comps[ci]
+	cur := row[ci]
+	switch {
+	case cur.IsNull():
+		row[ci] = v
+	case c.item.Agg.Func == ra.FuncMin && types.Compare(v, cur) < 0:
+		row[ci] = v
+	case c.item.Agg.Func == ra.FuncMax && types.Compare(v, cur) > 0:
+		row[ci] = v
+	}
+}
+
+// deleteGroups removes the groups with the given encoded keys.
+func (mv *MaterializedView) deleteGroups(keys map[string]bool) {
+	for k := range keys {
+		if mv.global() {
+			// A global group is never removed; it is overwritten by the
+			// recomputation that follows.
+			continue
+		}
+		delete(mv.rows, k)
+	}
+}
+
+// setRow installs a complete component row (from recomputation).
+func (mv *MaterializedView) setRow(row tuple.Tuple) {
+	mv.rows[mv.keyOf(row)] = row
+}
+
+// Snapshot renders the user-facing contents of the view: one output column
+// per view item, combining components (COUNT from its counter, SUM from its
+// running sum, AVG = SUM/COUNT, stored values directly). An empty SUM/AVG
+// group (possible only for global views) yields NULL, matching SQL.
+func (mv *MaterializedView) Snapshot() *ra.Relation {
+	cols := make(ra.Schema, len(mv.view.Items))
+	for i, it := range mv.view.Items {
+		cols[i] = ra.Col{Name: it.Name}
+	}
+	out := ra.NewRelation(cols)
+	keys := make([]string, 0, len(mv.rows))
+	for k := range mv.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		row := mv.rows[k]
+		orow := make(tuple.Tuple, len(mv.view.Items))
+		for i, it := range mv.view.Items {
+			idxs := mv.itemComps[i]
+			switch {
+			case !it.IsAggregate():
+				orow[i] = row[idxs[0]]
+			case it.Agg.Func == ra.FuncAvg && aggregates.IsCSMAS(it.Agg):
+				sum, cnt := row[idxs[0]], row[idxs[1]]
+				if sum.IsNull() || cnt.AsInt() == 0 {
+					orow[i] = types.Null
+				} else {
+					orow[i] = types.Float(sum.AsFloat() / float64(cnt.AsInt()))
+				}
+			case it.Agg.Func != ra.FuncCount && row[mv.hiddenIdx()].AsInt() == 0:
+				// An empty (global) group: SUM/AVG/MIN/MAX are NULL.
+				orow[i] = types.Null
+			default:
+				orow[i] = row[idxs[0]]
+			}
+		}
+		out.Rows = append(out.Rows, orow)
+	}
+	return out
+}
+
+// Bytes returns the byte-accounting size of the maintenance form.
+func (mv *MaterializedView) Bytes() int {
+	n := 0
+	for _, row := range mv.rows {
+		n += row.EncodedSize()
+	}
+	return n
+}

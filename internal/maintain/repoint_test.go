@@ -1,0 +1,80 @@
+package maintain
+
+import (
+	"testing"
+
+	"mindetail/internal/types"
+)
+
+// TestMaintainSnowflakeRepointing exercises an exposed update on a join
+// attribute in the middle of a snowflake: product.brandid is mutable and a
+// join condition, so product has exposed updates — sale must not join-
+// reduce on product (Section 2.2) — and re-pointing a product to another
+// brand moves all of its sales between view groups.
+func TestMaintainSnowflakeRepointing(t *testing.T) {
+	ddl := `
+	CREATE TABLE brand (id INTEGER PRIMARY KEY, name VARCHAR);
+	CREATE TABLE product (id INTEGER PRIMARY KEY, brandid INTEGER REFERENCES brand MUTABLE, category VARCHAR);
+	CREATE TABLE sale (id INTEGER PRIMARY KEY, productid INTEGER REFERENCES product, price FLOAT MUTABLE);`
+	f := newFixture(t, ddl, `
+		SELECT brand.name, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale, product, brand
+		WHERE sale.productid = product.id AND product.brandid = brand.id
+		GROUP BY brand.name`, true)
+
+	// product has exposed updates (brandid mutable + join attribute):
+	// sale must not semijoin with product_dtl.
+	if got := f.engine.Plan().Aux["sale"].SemiJoins; len(got) != 0 {
+		t.Fatalf("sale must not join-reduce on an exposed product: %v", got)
+	}
+	// product itself still join-reduces on brand (brand is not exposed).
+	if got := f.engine.Plan().Aux["product"].SemiJoins; len(got) != 1 {
+		t.Fatalf("product should join-reduce on brand: %v", got)
+	}
+
+	f.insertNoCheck("brand", types.Int(1), types.Str("acme"))
+	f.insertNoCheck("brand", types.Int(2), types.Str("bolt"))
+	f.insertNoCheck("product", types.Int(10), types.Int(1), types.Str("tools"))
+	f.insertNoCheck("product", types.Int(11), types.Int(1), types.Str("food"))
+	f.insertNoCheck("sale", types.Int(1), types.Int(10), types.Float(5))
+	f.insertNoCheck("sale", types.Int(2), types.Int(10), types.Float(7))
+	f.insertNoCheck("sale", types.Int(3), types.Int(11), types.Float(2))
+	f.initEngine()
+
+	// Re-point product 10 from acme to bolt: sales 1 and 2 move groups.
+	f.updateRow("product", 10, map[string]types.Value{"brandid": types.Int(2)})
+	// And back.
+	f.updateRow("product", 10, map[string]types.Value{"brandid": types.Int(1)})
+	// Re-point while also inserting into the destination group.
+	f.insertRow("sale", types.Int(4), types.Int(11), types.Float(9))
+	f.updateRow("product", 11, map[string]types.Value{"brandid": types.Int(2)})
+	// Emptying a group via re-pointing: move product 10 too; acme dies.
+	f.updateRow("product", 10, map[string]types.Value{"brandid": types.Int(2)})
+	got, _ := f.engine.Snapshot(), 0
+	_ = got
+	if f.engine.Groups() != 1 {
+		t.Fatalf("expected a single group after re-pointing everything:\n%s",
+			f.engine.Snapshot().Format())
+	}
+}
+
+// TestMaintainUpdateFactJoinAttr: the fact table's own foreign-key
+// attribute is mutable, so fact updates can move a sale between dimensions.
+func TestMaintainUpdateFactJoinAttr(t *testing.T) {
+	ddl := `
+	CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR);
+	CREATE TABLE sale (id INTEGER PRIMARY KEY, productid INTEGER REFERENCES product MUTABLE, price FLOAT);`
+	f := newFixture(t, ddl, `
+		SELECT product.brand, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.brand`, true)
+	f.insertNoCheck("product", types.Int(1), types.Str("acme"))
+	f.insertNoCheck("product", types.Int(2), types.Str("bolt"))
+	f.insertNoCheck("sale", types.Int(1), types.Int(1), types.Float(5))
+	f.insertNoCheck("sale", types.Int(2), types.Int(1), types.Float(7))
+	f.initEngine()
+
+	f.updateRow("sale", 1, map[string]types.Value{"productid": types.Int(2)})
+	f.updateRow("sale", 2, map[string]types.Value{"productid": types.Int(2)}) // acme group dies
+	f.updateRow("sale", 1, map[string]types.Value{"productid": types.Int(1)}) // reborn
+}

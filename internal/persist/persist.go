@@ -1,0 +1,328 @@
+// Package persist saves and restores warehouse state, so that maintenance
+// survives restarts without ever touching the sources again — the
+// warehouse-resident state is exactly the materialized views and their
+// minimal auxiliary views.
+//
+// The snapshot is a CSV stream of tagged records: a header, the catalog
+// DDL, optionally the source rows, and per view its definition, auxiliary
+// rows, and component rows. Values carry a one-letter type tag so floats,
+// strings with commas or newlines, and NULLs round-trip exactly.
+package persist
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/ra"
+	"mindetail/internal/schema"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+	"mindetail/internal/warehouse"
+)
+
+const magic = "mindetail-snapshot"
+const version = "1"
+
+// Save writes a snapshot of the warehouse. With includeSources the source
+// tables are written too and the restored warehouse starts attached;
+// otherwise only the warehouse-resident state is saved and the restored
+// warehouse is detached (the paper's architecture: sources are external).
+// Save requires attached sources when includeSources is set, and must not
+// run concurrently with writes to the warehouse.
+func Save(w *warehouse.Warehouse, out io.Writer, includeSources bool) error {
+	if includeSources && w.Detached() {
+		return fmt.Errorf("persist: cannot include sources of a detached warehouse")
+	}
+	cw := csv.NewWriter(out)
+	write := func(rec ...string) error { return cw.Write(rec) }
+
+	if err := write(magic, version,
+		strconv.FormatBool(w.Detached()), strconv.FormatBool(includeSources)); err != nil {
+		return err
+	}
+	if err := write("ddl", ddlFor(w.Catalog())); err != nil {
+		return err
+	}
+	if includeSources {
+		for _, t := range fkSafeOrder(w.Catalog()) {
+			for _, row := range w.Source().Table(t).All() {
+				rec := append([]string{"srcrow", t}, encodeRow(row)...)
+				if err := write(rec...); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, name := range w.ViewNames() {
+		mv := w.View(name)
+		if err := write("view", name, mv.Def.SQL(), strconv.FormatBool(mv.Plan.AppendOnly)); err != nil {
+			return err
+		}
+		st := mv.Engine.ExportState()
+		for _, t := range mv.Def.Tables {
+			rel, ok := st.Aux[t]
+			if !ok {
+				continue
+			}
+			for _, row := range rel.Sorted().Rows {
+				rec := append([]string{"auxrow", name, t}, encodeRow(row)...)
+				if err := write(rec...); err != nil {
+					return err
+				}
+			}
+			// A marker so empty auxiliary views restore as present.
+			if err := write("auxview", name, t); err != nil {
+				return err
+			}
+		}
+		for _, row := range st.MV.Rows {
+			rec := append([]string{"mvrow", name}, encodeRow(row)...)
+			if err := write(rec...); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Load restores a warehouse from a snapshot.
+func Load(in io.Reader) (*warehouse.Warehouse, error) {
+	cr := csv.NewReader(in)
+	cr.FieldsPerRecord = -1
+
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading header: %w", err)
+	}
+	if len(head) != 4 || head[0] != magic || head[1] != version {
+		return nil, fmt.Errorf("persist: not a mindetail snapshot (header %v)", head)
+	}
+	wasDetached := head[2] == "true"
+	hasSources := head[3] == "true"
+
+	w := warehouse.New()
+	type viewState struct {
+		name       string
+		sql        string
+		appendOnly bool
+		st         *maintain.State
+	}
+	var views []*viewState
+	byName := make(map[string]*viewState)
+	ddlSeen := false
+
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+		switch rec[0] {
+		case "ddl":
+			if len(rec) != 2 {
+				return nil, fmt.Errorf("persist: malformed ddl record")
+			}
+			if _, err := w.Exec(rec[1]); err != nil {
+				return nil, fmt.Errorf("persist: restoring schema: %w", err)
+			}
+			ddlSeen = true
+		case "srcrow":
+			if !ddlSeen || len(rec) < 3 {
+				return nil, fmt.Errorf("persist: srcrow before ddl or malformed")
+			}
+			row, err := decodeRow(rec[2:])
+			if err != nil {
+				return nil, err
+			}
+			if err := w.Source().Insert(rec[1], row); err != nil {
+				return nil, fmt.Errorf("persist: restoring %s: %w", rec[1], err)
+			}
+		case "view":
+			if len(rec) != 4 {
+				return nil, fmt.Errorf("persist: malformed view record")
+			}
+			vs := &viewState{name: rec[1], sql: rec[2], appendOnly: rec[3] == "true",
+				st: &maintain.State{Aux: make(map[string]*ra.Relation)}}
+			views = append(views, vs)
+			byName[vs.name] = vs
+		case "auxview", "auxrow":
+			if len(rec) < 3 {
+				return nil, fmt.Errorf("persist: malformed %s record", rec[0])
+			}
+			vs := byName[rec[1]]
+			if vs == nil {
+				return nil, fmt.Errorf("persist: %s for unknown view %s", rec[0], rec[1])
+			}
+			rel := vs.st.Aux[rec[2]]
+			if rel == nil {
+				rel = ra.NewRelation(nil)
+				vs.st.Aux[rec[2]] = rel
+			}
+			if rec[0] == "auxrow" {
+				row, err := decodeRow(rec[3:])
+				if err != nil {
+					return nil, err
+				}
+				rel.Rows = append(rel.Rows, row)
+			}
+		case "mvrow":
+			vs := byName[rec[1]]
+			if vs == nil {
+				return nil, fmt.Errorf("persist: mvrow for unknown view %s", rec[1])
+			}
+			row, err := decodeRow(rec[2:])
+			if err != nil {
+				return nil, err
+			}
+			if vs.st.MV == nil {
+				vs.st.MV = ra.NewRelation(nil)
+			}
+			vs.st.MV.Rows = append(vs.st.MV.Rows, row)
+		default:
+			return nil, fmt.Errorf("persist: unknown record tag %q", rec[0])
+		}
+	}
+	if !ddlSeen {
+		return nil, fmt.Errorf("persist: snapshot has no schema")
+	}
+	for _, vs := range views {
+		if vs.st.MV == nil {
+			vs.st.MV = ra.NewRelation(nil)
+		}
+		if err := w.RestoreView(vs.name, vs.sql, vs.appendOnly, vs.st); err != nil {
+			return nil, fmt.Errorf("persist: restoring view %s: %w", vs.name, err)
+		}
+	}
+	if wasDetached || !hasSources {
+		w.DetachSources()
+	}
+	return w, nil
+}
+
+// ddlFor renders the catalog back to executable DDL, including PRIMARY
+// KEY, REFERENCES, and MUTABLE options.
+func ddlFor(cat *schema.Catalog) string {
+	var b strings.Builder
+	for _, name := range cat.TableNames() {
+		t := cat.Table(name)
+		fmt.Fprintf(&b, "CREATE TABLE %s (", name)
+		for i, a := range t.Attrs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", a.Name, a.Type)
+			if a.Name == t.Key {
+				b.WriteString(" PRIMARY KEY")
+			}
+			for _, fk := range cat.ForeignKeys() {
+				if fk.FromTable == name && fk.FromAttr == a.Name {
+					fmt.Fprintf(&b, " REFERENCES %s", fk.ToTable)
+				}
+			}
+			if t.IsMutable(a.Name) {
+				b.WriteString(" MUTABLE")
+			}
+		}
+		b.WriteString(");\n")
+	}
+	return b.String()
+}
+
+// fkSafeOrder orders tables so foreign-key targets come first.
+func fkSafeOrder(cat *schema.Catalog) []string {
+	var order []string
+	done := make(map[string]bool)
+	var visit func(t string)
+	visit = func(t string) {
+		if done[t] {
+			return
+		}
+		done[t] = true
+		for _, fk := range cat.ForeignKeys() {
+			if fk.FromTable == t {
+				visit(fk.ToTable)
+			}
+		}
+		order = append(order, t)
+	}
+	for _, t := range cat.TableNames() {
+		visit(t)
+	}
+	return order
+}
+
+// encodeRow renders a tuple as tagged fields.
+func encodeRow(row tuple.Tuple) []string {
+	out := make([]string, len(row))
+	for i, v := range row {
+		out[i] = encodeValue(v)
+	}
+	return out
+}
+
+func encodeValue(v types.Value) string {
+	switch v.Kind() {
+	case types.KindNull:
+		return "n:"
+	case types.KindBool:
+		return "b:" + strconv.FormatBool(v.AsBool())
+	case types.KindInt:
+		return "i:" + strconv.FormatInt(v.AsInt(), 10)
+	case types.KindFloat:
+		return "f:" + strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
+	default:
+		return "s:" + v.AsString()
+	}
+}
+
+func decodeRow(fields []string) (tuple.Tuple, error) {
+	row := make(tuple.Tuple, len(fields))
+	for i, f := range fields {
+		v, err := decodeValue(f)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func decodeValue(s string) (types.Value, error) {
+	if len(s) < 2 || s[1] != ':' {
+		return types.Null, fmt.Errorf("persist: malformed value %q", s)
+	}
+	payload := s[2:]
+	switch s[0] {
+	case 'n':
+		return types.Null, nil
+	case 'b':
+		b, err := strconv.ParseBool(payload)
+		if err != nil {
+			return types.Null, fmt.Errorf("persist: bad bool %q", s)
+		}
+		return types.Bool(b), nil
+	case 'i':
+		n, err := strconv.ParseInt(payload, 10, 64)
+		if err != nil {
+			return types.Null, fmt.Errorf("persist: bad int %q", s)
+		}
+		return types.Int(n), nil
+	case 'f':
+		f, err := strconv.ParseFloat(payload, 64)
+		if err != nil {
+			return types.Null, fmt.Errorf("persist: bad float %q", s)
+		}
+		return types.Float(f), nil
+	case 's':
+		return types.Str(payload), nil
+	default:
+		return types.Null, fmt.Errorf("persist: unknown value tag %q", s)
+	}
+}

@@ -1,0 +1,224 @@
+package persist
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/ra"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+	"mindetail/internal/warehouse"
+)
+
+const setupSQL = `
+CREATE TABLE time (id INTEGER PRIMARY KEY, day INTEGER, month INTEGER, year INTEGER);
+CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR MUTABLE, category VARCHAR);
+CREATE TABLE sale (id INTEGER PRIMARY KEY,
+	timeid INTEGER REFERENCES time,
+	productid INTEGER REFERENCES product,
+	price FLOAT MUTABLE);
+
+INSERT INTO time VALUES (1, 5, 1, 1997), (2, 6, 2, 1997), (3, 7, 1, 1998);
+INSERT INTO product VALUES (100, 'acme, inc', 'tools'), (101, 'bolt
+newline', 'food');
+INSERT INTO sale VALUES (1, 1, 100, 10), (2, 1, 100, 10.25), (3, 2, 101, 5);
+
+CREATE MATERIALIZED VIEW product_sales AS
+SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount,
+       COUNT(DISTINCT brand) AS DifferentBrands
+FROM sale, time, product
+WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id
+GROUP BY time.month;
+
+CREATE MATERIALIZED VIEW by_product AS
+SELECT product.id, SUM(price) AS total, COUNT(*) AS cnt
+FROM sale, product WHERE sale.productid = product.id
+GROUP BY product.id;
+`
+
+func build(t *testing.T) *warehouse.Warehouse {
+	t.Helper()
+	w := warehouse.New()
+	if _, err := w.Exec(setupSQL); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func snapshots(t *testing.T, w *warehouse.Warehouse, includeSources bool) *warehouse.Warehouse {
+	t.Helper()
+	var buf strings.Builder
+	if err := Save(w, &buf, includeSources); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("Load: %v\nsnapshot:\n%s", err, buf.String())
+	}
+	return restored
+}
+
+func TestRoundTripDetachedState(t *testing.T) {
+	w := build(t)
+	want1, _ := w.Query("product_sales")
+	want2, _ := w.Query("by_product")
+
+	r := snapshots(t, w, false)
+	if !r.Detached() {
+		t.Error("restored warehouse without sources must be detached")
+	}
+	got1, err := r.Query("product_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ra.EqualBag(got1, want1) {
+		t.Errorf("product_sales diverged:\n%s\nwant:\n%s", got1.Format(), want1.Format())
+	}
+	got2, _ := r.Query("by_product")
+	if !ra.EqualBag(got2, want2) {
+		t.Errorf("by_product diverged")
+	}
+
+	// Maintenance continues after restore, via deltas only.
+	ins := tuple.Tuple{types.Int(9), types.Int(2), types.Int(100), types.Float(40)}
+	if err := r.ApplyDelta(maintain.Delta{Table: "sale", Inserts: []tuple.Tuple{ins}}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := r.Query("product_sales")
+	s := after.Sorted()
+	if s.Rows[1][1].AsFloat() != 45 || s.Rows[1][2].AsInt() != 2 {
+		t.Errorf("post-restore maintenance wrong:\n%s", after.Format())
+	}
+}
+
+func TestRoundTripWithSources(t *testing.T) {
+	w := build(t)
+	r := snapshots(t, w, true)
+	if r.Detached() {
+		t.Fatal("restored warehouse with sources must stay attached")
+	}
+	// The oracle works: verify against the restored sources.
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// SQL DML keeps working and stays consistent.
+	if _, err := r.Exec(`INSERT INTO sale VALUES (9, 2, 100, 3.5)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Exec(`UPDATE product SET brand = 'zeta' WHERE id = 101`); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Special characters survived.
+	rel, err := r.Exec(`SELECT product.brand, COUNT(*) AS cnt FROM product GROUP BY product.brand`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range rel.Rows {
+		if row[0].AsString() == "acme, inc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("comma-containing brand lost:\n%s", rel.Format())
+	}
+}
+
+func TestRoundTripDetachedWarehouse(t *testing.T) {
+	w := build(t)
+	w.DetachSources()
+	var buf strings.Builder
+	if err := Save(w, &buf, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(w, &buf, true); err == nil {
+		t.Error("including sources of a detached warehouse must fail")
+	}
+	r, err := Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Detached() {
+		t.Error("detachedness must persist")
+	}
+}
+
+func TestRoundTripAppendOnlyView(t *testing.T) {
+	w := warehouse.New()
+	w.AppendOnly = true
+	if _, err := w.Exec(`
+		CREATE TABLE time (id INTEGER PRIMARY KEY, month INTEGER, year INTEGER);
+		CREATE TABLE sale (id INTEGER PRIMARY KEY, timeid INTEGER REFERENCES time, price FLOAT);
+		INSERT INTO time VALUES (1, 1, 1997), (2, 2, 1997);
+		INSERT INTO sale VALUES (1, 1, 5), (2, 1, 9), (3, 2, 2);
+		CREATE MATERIALIZED VIEW mm AS
+		SELECT time.month, MIN(price) AS lo, MAX(price) AS hi, COUNT(*) AS cnt
+		FROM sale, time WHERE sale.timeid = time.id GROUP BY time.month;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := w.Query("mm")
+	r := snapshots(t, w, false)
+	got, err := r.Query("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ra.EqualBag(got, want) {
+		t.Errorf("append-only view diverged:\n%s\nwant:\n%s", got.Format(), want.Format())
+	}
+	if !r.View("mm").Plan.AppendOnly {
+		t.Error("append-only flag lost")
+	}
+	// Deletes must still be rejected after restore.
+	err = r.ApplyDelta(maintain.Delta{Table: "sale",
+		Deletes: []tuple.Tuple{{types.Int(1), types.Int(1), types.Float(5)}}})
+	if err == nil {
+		t.Error("restored append-only plan accepted a delete")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage,1\n",
+		"mindetail-snapshot,99,false,false\n",
+		"mindetail-snapshot,1,false,false\nsrcrow,sale,i:1\n",              // srcrow before ddl
+		"mindetail-snapshot,1,false,false\nddl,\nwat,x\n",                  // unknown tag
+		"mindetail-snapshot,1,false,false\nddl,\nmvrow,nosuch,i:1\n",       // mvrow for unknown view
+		"mindetail-snapshot,1,false,false\nddl,\nauxrow,nosuch,sale,i:1\n", // auxrow for unknown view
+		"mindetail-snapshot,1,false,false\nddl,CREATE GARBAGE\n",           // bad ddl
+		"mindetail-snapshot,1,false,false\n",                               // no ddl at all
+	}
+	for _, s := range bad {
+		if _, err := Load(strings.NewReader(s)); err == nil {
+			t.Errorf("Load(%q) should fail", s)
+		}
+	}
+}
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	vals := []types.Value{
+		types.Null, types.Bool(true), types.Bool(false),
+		types.Int(-42), types.Int(1 << 62),
+		types.Float(3.141592653589793), types.Float(-0.1),
+		types.Str(""), types.Str("a,b\nc\"d"), types.Str("n:tricky"),
+	}
+	for _, v := range vals {
+		got, err := decodeValue(encodeValue(v))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if !types.Identical(got, v) && !(got.IsNull() && v.IsNull()) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+	for _, bad := range []string{"", "x", "q:1", "i:abc", "f:zz", "b:maybe"} {
+		if _, err := decodeValue(bad); err == nil {
+			t.Errorf("decodeValue(%q) should fail", bad)
+		}
+	}
+}

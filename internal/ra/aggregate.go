@@ -1,0 +1,270 @@
+package ra
+
+import (
+	"fmt"
+
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// AggFunc enumerates the five SQL aggregate functions considered by the
+// paper (Section 3.1).
+type AggFunc string
+
+// The SQL aggregate functions.
+const (
+	FuncCount AggFunc = "COUNT"
+	FuncSum   AggFunc = "SUM"
+	FuncAvg   AggFunc = "AVG"
+	FuncMin   AggFunc = "MIN"
+	FuncMax   AggFunc = "MAX"
+)
+
+// Aggregate is an aggregate application f(arg) or f(DISTINCT arg).
+// COUNT(*) is represented by FuncCount with a nil Arg.
+type Aggregate struct {
+	Func     AggFunc
+	Arg      Expr // nil means COUNT(*)
+	Distinct bool
+}
+
+// IsCountStar reports whether the aggregate is COUNT(*).
+func (a Aggregate) IsCountStar() bool { return a.Func == FuncCount && a.Arg == nil }
+
+// String renders the aggregate in SQL syntax.
+func (a Aggregate) String() string {
+	if a.IsCountStar() {
+		return "COUNT(*)"
+	}
+	if a.Distinct {
+		return fmt.Sprintf("%s(DISTINCT %s)", a.Func, a.Arg)
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Arg)
+}
+
+// ProjItem is one entry of a generalized projection list: either a plain
+// expression (which becomes a group-by column, paper Section 2.1) or an
+// aggregate. Name is the output column alias.
+type ProjItem struct {
+	Name string
+	Expr Expr       // set for plain items
+	Agg  *Aggregate // set for aggregate items
+}
+
+// IsAggregate reports whether the item is an aggregate.
+func (p ProjItem) IsAggregate() bool { return p.Agg != nil }
+
+// String renders the item as "expr AS name".
+func (p ProjItem) String() string {
+	var body string
+	if p.Agg != nil {
+		body = p.Agg.String()
+	} else {
+		body = p.Expr.String()
+	}
+	if p.Name != "" && p.Name != body {
+		return body + " AS " + p.Name
+	}
+	return body
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count    int64
+	sum      types.Value
+	min, max types.Value
+	distinct map[string]types.Value
+	err      error
+}
+
+func newAggState(distinct bool) *aggState {
+	st := &aggState{sum: types.Null, min: types.Null, max: types.Null}
+	if distinct {
+		st.distinct = make(map[string]types.Value)
+	}
+	return st
+}
+
+// add feeds one input value (already evaluated; types.Null for COUNT(*)
+// rows is never passed — countStar handled by caller passing a non-null
+// marker).
+func (st *aggState) add(v types.Value) {
+	if st.err != nil {
+		return
+	}
+	if v.IsNull() {
+		return // SQL aggregates ignore NULL inputs
+	}
+	if st.distinct != nil {
+		k := string(types.Encode(nil, v))
+		if _, seen := st.distinct[k]; seen {
+			return
+		}
+		st.distinct[k] = v
+	}
+	st.count++
+	if st.sum.IsNull() {
+		st.sum = v
+	} else if v.IsNumeric() && st.sum.IsNumeric() {
+		s, err := types.Add(st.sum, v)
+		if err != nil {
+			st.err = err
+			return
+		}
+		st.sum = s
+	}
+	if st.min.IsNull() || types.Compare(v, st.min) < 0 {
+		st.min = v
+	}
+	if st.max.IsNull() || types.Compare(v, st.max) > 0 {
+		st.max = v
+	}
+}
+
+// finalize produces the aggregate result.
+func (st *aggState) finalize(f AggFunc) (types.Value, error) {
+	if st.err != nil {
+		return types.Null, st.err
+	}
+	switch f {
+	case FuncCount:
+		return types.Int(st.count), nil
+	case FuncSum:
+		if st.count == 0 {
+			return types.Null, nil
+		}
+		if !st.sum.IsNumeric() {
+			return types.Null, fmt.Errorf("ra: SUM over non-numeric values")
+		}
+		return st.sum, nil
+	case FuncAvg:
+		if st.count == 0 {
+			return types.Null, nil
+		}
+		if !st.sum.IsNumeric() {
+			return types.Null, fmt.Errorf("ra: AVG over non-numeric values")
+		}
+		return types.Float(st.sum.AsFloat() / float64(st.count)), nil
+	case FuncMin:
+		return st.min, nil
+	case FuncMax:
+		return st.max, nil
+	default:
+		return types.Null, fmt.Errorf("ra: unknown aggregate %q", f)
+	}
+}
+
+// GroupBy evaluates a generalized projection Π_items over the input
+// relation: plain items form the grouping key; aggregate items accumulate
+// per group. With no aggregate items it degenerates to duplicate-
+// eliminating projection. With no plain items the whole input is one group
+// (and an empty input produces one row of empty aggregates, matching SQL's
+// global aggregation).
+func GroupBy(in *Relation, items []ProjItem) (*Relation, error) {
+	type group struct {
+		key    tuple.Tuple
+		states []*aggState
+	}
+
+	var (
+		plainIdx []int // positions in items of plain items
+		aggIdx   []int
+	)
+	for i, it := range items {
+		if it.IsAggregate() {
+			aggIdx = append(aggIdx, i)
+		} else {
+			plainIdx = append(plainIdx, i)
+		}
+	}
+
+	plainFns := make([]func(tuple.Tuple) (types.Value, error), len(plainIdx))
+	for i, pi := range plainIdx {
+		f, err := items[pi].Expr.Bind(in.Cols)
+		if err != nil {
+			return nil, err
+		}
+		plainFns[i] = f
+	}
+	aggFns := make([]func(tuple.Tuple) (types.Value, error), len(aggIdx))
+	for i, ai := range aggIdx {
+		agg := items[ai].Agg
+		if agg.IsCountStar() {
+			aggFns[i] = nil // marker: count rows
+			continue
+		}
+		f, err := agg.Arg.Bind(in.Cols)
+		if err != nil {
+			return nil, err
+		}
+		aggFns[i] = f
+	}
+
+	groups := make(map[string]*group)
+	var order []string
+	newGroup := func(key tuple.Tuple) *group {
+		g := &group{key: key, states: make([]*aggState, len(aggIdx))}
+		for i, ai := range aggIdx {
+			g.states[i] = newAggState(items[ai].Agg.Distinct)
+		}
+		return g
+	}
+
+	for _, row := range in.Rows {
+		key := make(tuple.Tuple, len(plainFns))
+		for i, f := range plainFns {
+			v, err := f(row)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+		k := key.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = newGroup(key)
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, f := range aggFns {
+			if f == nil { // COUNT(*)
+				g.states[i].count++
+				continue
+			}
+			v, err := f(row)
+			if err != nil {
+				return nil, err
+			}
+			g.states[i].add(v)
+		}
+	}
+
+	// Global aggregation over an empty input yields a single row.
+	if len(plainIdx) == 0 && len(groups) == 0 {
+		g := newGroup(tuple.Tuple{})
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	outCols := make(Schema, len(items))
+	for i, it := range items {
+		outCols[i] = Col{Name: it.Name}
+	}
+	out := NewRelation(outCols)
+	for _, k := range order {
+		g := groups[k]
+		row := make(tuple.Tuple, len(items))
+		for i, pi := range plainIdx {
+			row[pi] = g.key[i]
+		}
+		for i, ai := range aggIdx {
+			v, err := g.states[i].finalize(items[ai].Agg.Func)
+			if err != nil {
+				return nil, err
+			}
+			row[ai] = v
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

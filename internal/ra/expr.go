@@ -1,0 +1,268 @@
+// Package ra implements the relational algebra that GPSJ views are defined
+// in (paper Section 2.1): selection with conjunctive conditions, key-based
+// equi-joins and semijoins, duplicate-preserving projection, and the
+// generalized projection operator Π_A of Gupta, Harinarayan, and Quass —
+// projection extended with grouping and aggregation, which is
+// duplicate-eliminating.
+//
+// The evaluator is materializing: every plan node produces a *Relation.
+// This keeps deltas first-class (maintenance propagates materialized
+// relations) and plans inspectable via Explain.
+package ra
+
+import (
+	"fmt"
+	"strings"
+
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// Col identifies a column of a relation. Base-table columns are qualified
+// by their table name; columns produced by generalized projection carry an
+// empty Table and their output alias as Name.
+type Col struct {
+	Table string
+	Name  string
+}
+
+// String renders the column as table.name or name.
+func (c Col) String() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Schema is the ordered column list of a relation.
+type Schema []Col
+
+// Index locates a column. When table is empty, the name alone must be
+// unambiguous. It returns -1 with an error when not found or ambiguous.
+func (s Schema) Index(table, name string) (int, error) {
+	found := -1
+	for i, c := range s {
+		if c.Name != name {
+			continue
+		}
+		if table != "" && c.Table != table {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("ra: column %s is ambiguous in schema %v", name, s)
+		}
+		found = i
+	}
+	if found < 0 {
+		col := Col{Table: table, Name: name}
+		return -1, fmt.Errorf("ra: column %s not found in schema %v", col, s)
+	}
+	return found, nil
+}
+
+// String renders the schema as a parenthesized column list.
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Expr is a scalar expression over a relation's columns.
+type Expr interface {
+	// String renders the expression in SQL syntax.
+	String() string
+	// Cols appends every column referenced by the expression to dst.
+	Cols(dst []Col) []Col
+	// Bind resolves column references against a schema and returns an
+	// evaluator closure.
+	Bind(s Schema) (func(tuple.Tuple) (types.Value, error), error)
+}
+
+// ColRef references a column.
+type ColRef struct {
+	Table string
+	Name  string
+}
+
+// String implements Expr.
+func (c ColRef) String() string { return Col{Table: c.Table, Name: c.Name}.String() }
+
+// Cols implements Expr.
+func (c ColRef) Cols(dst []Col) []Col { return append(dst, Col{Table: c.Table, Name: c.Name}) }
+
+// Bind implements Expr.
+func (c ColRef) Bind(s Schema) (func(tuple.Tuple) (types.Value, error), error) {
+	i, err := s.Index(c.Table, c.Name)
+	if err != nil {
+		return nil, err
+	}
+	return func(row tuple.Tuple) (types.Value, error) { return row[i], nil }, nil
+}
+
+// Lit is a literal value.
+type Lit struct {
+	V types.Value
+}
+
+// String implements Expr.
+func (l Lit) String() string { return l.V.String() }
+
+// Cols implements Expr.
+func (l Lit) Cols(dst []Col) []Col { return dst }
+
+// Bind implements Expr.
+func (l Lit) Bind(Schema) (func(tuple.Tuple) (types.Value, error), error) {
+	v := l.V
+	return func(tuple.Tuple) (types.Value, error) { return v, nil }, nil
+}
+
+// Arith is a binary arithmetic expression (+, -, *, /).
+type Arith struct {
+	Op   string
+	L, R Expr
+}
+
+// String implements Expr.
+func (a Arith) String() string { return fmt.Sprintf("%s %s %s", a.L, a.Op, a.R) }
+
+// Cols implements Expr.
+func (a Arith) Cols(dst []Col) []Col { return a.R.Cols(a.L.Cols(dst)) }
+
+// Bind implements Expr.
+func (a Arith) Bind(s Schema) (func(tuple.Tuple) (types.Value, error), error) {
+	lf, err := a.L.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := a.R.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	var op func(x, y types.Value) (types.Value, error)
+	switch a.Op {
+	case "+":
+		op = types.Add
+	case "-":
+		op = types.Sub
+	case "*":
+		op = types.Mul
+	case "/":
+		op = types.Div
+	default:
+		return nil, fmt.Errorf("ra: unknown arithmetic operator %q", a.Op)
+	}
+	return func(row tuple.Tuple) (types.Value, error) {
+		x, err := lf(row)
+		if err != nil {
+			return types.Null, err
+		}
+		y, err := rf(row)
+		if err != nil {
+			return types.Null, err
+		}
+		return op(x, y)
+	}, nil
+}
+
+// CmpOp is a comparison operator.
+type CmpOp string
+
+// The comparison operators of the SQL subset.
+const (
+	OpEQ CmpOp = "="
+	OpNE CmpOp = "<>"
+	OpLT CmpOp = "<"
+	OpLE CmpOp = "<="
+	OpGT CmpOp = ">"
+	OpGE CmpOp = ">="
+)
+
+// Comparison is an atomic condition L op R. GPSJ selection conditions are
+// conjunctions of comparisons (paper Section 2.1); a conjunction is a
+// []Comparison.
+type Comparison struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// String renders the comparison in SQL syntax.
+func (c Comparison) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// Cols appends every referenced column to dst.
+func (c Comparison) Cols(dst []Col) []Col { return c.R.Cols(c.L.Cols(dst)) }
+
+// Bind resolves the comparison against a schema and returns a predicate
+// closure. Comparisons involving NULL are false (SQL semantics).
+func (c Comparison) Bind(s Schema) (func(tuple.Tuple) (bool, error), error) {
+	lf, err := c.L.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := c.R.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	op := c.Op
+	return func(row tuple.Tuple) (bool, error) {
+		x, err := lf(row)
+		if err != nil {
+			return false, err
+		}
+		y, err := rf(row)
+		if err != nil {
+			return false, err
+		}
+		if x.IsNull() || y.IsNull() {
+			return false, nil
+		}
+		cmp := types.Compare(x, y)
+		switch op {
+		case OpEQ:
+			return types.Equal(x, y), nil
+		case OpNE:
+			return !types.Equal(x, y), nil
+		case OpLT:
+			return cmp < 0, nil
+		case OpLE:
+			return cmp <= 0, nil
+		case OpGT:
+			return cmp > 0, nil
+		case OpGE:
+			return cmp >= 0, nil
+		default:
+			return false, fmt.Errorf("ra: unknown comparison operator %q", op)
+		}
+	}, nil
+}
+
+// BindAll binds a conjunction of comparisons into a single predicate.
+func BindAll(conds []Comparison, s Schema) (func(tuple.Tuple) (bool, error), error) {
+	preds := make([]func(tuple.Tuple) (bool, error), len(conds))
+	for i, c := range conds {
+		p, err := c.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = p
+	}
+	return func(row tuple.Tuple) (bool, error) {
+		for _, p := range preds {
+			ok, err := p(row)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}, nil
+}
+
+// ConjString renders a conjunction as "a AND b AND c".
+func ConjString(conds []Comparison) string {
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " AND ")
+}

@@ -1,0 +1,299 @@
+package ra
+
+import (
+	"fmt"
+	"strings"
+
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// Node is a relational algebra plan node. Evaluation materializes the
+// node's result.
+type Node interface {
+	// Eval computes the node's relation.
+	Eval() (*Relation, error)
+	// explain writes one line per node at the given depth.
+	explain(b *strings.Builder, depth int)
+}
+
+// Explain renders the plan tree.
+func Explain(n Node) string {
+	var b strings.Builder
+	n.explain(&b, 0)
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// ScanNode produces a fixed relation (a base table snapshot, an auxiliary
+// view's current contents, or a delta).
+type ScanNode struct {
+	Label string
+	Rel   *Relation
+}
+
+// Scan wraps a relation as a leaf node.
+func Scan(label string, rel *Relation) *ScanNode { return &ScanNode{Label: label, Rel: rel} }
+
+// Eval implements Node.
+func (n *ScanNode) Eval() (*Relation, error) { return n.Rel, nil }
+
+func (n *ScanNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "Scan %s %s [%d rows]\n", n.Label, n.Rel.Cols, n.Rel.Len())
+}
+
+// SelectNode filters its child by a conjunction of comparisons.
+type SelectNode struct {
+	Child Node
+	Conds []Comparison
+}
+
+// Select builds a selection node.
+func Select(child Node, conds ...Comparison) *SelectNode {
+	return &SelectNode{Child: child, Conds: conds}
+}
+
+// Eval implements Node.
+func (n *SelectNode) Eval() (*Relation, error) {
+	in, err := n.Child.Eval()
+	if err != nil {
+		return nil, err
+	}
+	pred, err := BindAll(n.Conds, in.Cols)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(in.Cols)
+	for _, row := range in.Rows {
+		ok, err := pred(row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (n *SelectNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "Select %s\n", ConjString(n.Conds))
+	n.Child.explain(b, depth+1)
+}
+
+// OutExpr names an output expression of a duplicate-preserving projection.
+type OutExpr struct {
+	Name string
+	Expr Expr
+}
+
+// ProjectNode computes a duplicate-preserving (bag) projection. The
+// duplicate-eliminating generalized projection of the paper is GProjectNode.
+type ProjectNode struct {
+	Child Node
+	Items []OutExpr
+}
+
+// Project builds a bag projection node.
+func Project(child Node, items ...OutExpr) *ProjectNode {
+	return &ProjectNode{Child: child, Items: items}
+}
+
+// Eval implements Node.
+func (n *ProjectNode) Eval() (*Relation, error) {
+	in, err := n.Child.Eval()
+	if err != nil {
+		return nil, err
+	}
+	fns := make([]func(tuple.Tuple) (types.Value, error), len(n.Items))
+	cols := make(Schema, len(n.Items))
+	for i, it := range n.Items {
+		f, err := it.Expr.Bind(in.Cols)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+		cols[i] = Col{Name: it.Name}
+	}
+	out := NewRelation(cols)
+	for _, row := range in.Rows {
+		orow := make(tuple.Tuple, len(fns))
+		for i, f := range fns {
+			v, err := f(row)
+			if err != nil {
+				return nil, err
+			}
+			orow[i] = v
+		}
+		out.Rows = append(out.Rows, orow)
+	}
+	return out, nil
+}
+
+func (n *ProjectNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	parts := make([]string, len(n.Items))
+	for i, it := range n.Items {
+		parts[i] = it.Expr.String() + " AS " + it.Name
+	}
+	fmt.Fprintf(b, "Project %s\n", strings.Join(parts, ", "))
+	n.Child.explain(b, depth+1)
+}
+
+// GProjectNode is the generalized projection Π_A: grouping on the plain
+// items, aggregation for the aggregate items, duplicate elimination
+// throughout (paper Section 2.1).
+type GProjectNode struct {
+	Child Node
+	Items []ProjItem
+}
+
+// GProject builds a generalized projection node.
+func GProject(child Node, items ...ProjItem) *GProjectNode {
+	return &GProjectNode{Child: child, Items: items}
+}
+
+// Eval implements Node.
+func (n *GProjectNode) Eval() (*Relation, error) {
+	in, err := n.Child.Eval()
+	if err != nil {
+		return nil, err
+	}
+	return GroupBy(in, n.Items)
+}
+
+func (n *GProjectNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	parts := make([]string, len(n.Items))
+	for i, it := range n.Items {
+		parts[i] = it.String()
+	}
+	fmt.Fprintf(b, "GProject %s\n", strings.Join(parts, ", "))
+	n.Child.explain(b, depth+1)
+}
+
+// JoinNode is a hash equi-join on a single column pair, the only join form
+// GPSJ views use (joins on keys, paper Section 2.1). Output schema is the
+// concatenation of both input schemas.
+type JoinNode struct {
+	L, R       Node
+	LCol, RCol Col
+}
+
+// Join builds an equi-join node.
+func Join(l, r Node, lcol, rcol Col) *JoinNode {
+	return &JoinNode{L: l, R: r, LCol: lcol, RCol: rcol}
+}
+
+// Eval implements Node.
+func (n *JoinNode) Eval() (*Relation, error) {
+	lrel, err := n.L.Eval()
+	if err != nil {
+		return nil, err
+	}
+	rrel, err := n.R.Eval()
+	if err != nil {
+		return nil, err
+	}
+	li, err := lrel.Cols.Index(n.LCol.Table, n.LCol.Name)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := rrel.Cols.Index(n.RCol.Table, n.RCol.Name)
+	if err != nil {
+		return nil, err
+	}
+	// Build on the right input (dimension side in star joins).
+	build := make(map[string][]tuple.Tuple, len(rrel.Rows))
+	for _, row := range rrel.Rows {
+		k := string(types.Encode(nil, row[ri]))
+		build[k] = append(build[k], row)
+	}
+	out := NewRelation(append(append(Schema{}, lrel.Cols...), rrel.Cols...))
+	for _, lrow := range lrel.Rows {
+		if lrow[li].IsNull() {
+			continue
+		}
+		k := string(types.Encode(nil, lrow[li]))
+		for _, rrow := range build[k] {
+			out.Rows = append(out.Rows, tuple.Concat(lrow, rrow))
+		}
+	}
+	return out, nil
+}
+
+func (n *JoinNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "HashJoin %s = %s\n", n.LCol, n.RCol)
+	n.L.explain(b, depth+1)
+	n.R.explain(b, depth+1)
+}
+
+// SemiJoinNode keeps the left rows that have a match on the right — the
+// join reduction operator of Section 2.2. With Anti set it keeps the left
+// rows withOUT a match instead.
+type SemiJoinNode struct {
+	L, R       Node
+	LCol, RCol Col
+	Anti       bool
+}
+
+// SemiJoin builds a semijoin node.
+func SemiJoin(l, r Node, lcol, rcol Col) *SemiJoinNode {
+	return &SemiJoinNode{L: l, R: r, LCol: lcol, RCol: rcol}
+}
+
+// AntiJoin builds an anti-semijoin node.
+func AntiJoin(l, r Node, lcol, rcol Col) *SemiJoinNode {
+	return &SemiJoinNode{L: l, R: r, LCol: lcol, RCol: rcol, Anti: true}
+}
+
+// Eval implements Node.
+func (n *SemiJoinNode) Eval() (*Relation, error) {
+	lrel, err := n.L.Eval()
+	if err != nil {
+		return nil, err
+	}
+	rrel, err := n.R.Eval()
+	if err != nil {
+		return nil, err
+	}
+	li, err := lrel.Cols.Index(n.LCol.Table, n.LCol.Name)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := rrel.Cols.Index(n.RCol.Table, n.RCol.Name)
+	if err != nil {
+		return nil, err
+	}
+	exists := make(map[string]bool, len(rrel.Rows))
+	for _, row := range rrel.Rows {
+		exists[string(types.Encode(nil, row[ri]))] = true
+	}
+	out := NewRelation(lrel.Cols)
+	for _, lrow := range lrel.Rows {
+		match := !lrow[li].IsNull() && exists[string(types.Encode(nil, lrow[li]))]
+		if match != n.Anti {
+			out.Rows = append(out.Rows, lrow)
+		}
+	}
+	return out, nil
+}
+
+func (n *SemiJoinNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	op := "SemiJoin"
+	if n.Anti {
+		op = "AntiJoin"
+	}
+	fmt.Fprintf(b, "%s %s = %s\n", op, n.LCol, n.RCol)
+	n.L.explain(b, depth+1)
+	n.R.explain(b, depth+1)
+}

@@ -1,0 +1,411 @@
+package ra
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// saleRel builds a small sale relation resembling the paper's fact table:
+// (id, timeid, productid, price).
+func saleRel(rows ...[]int) *Relation {
+	r := NewRelation(Schema{
+		{Table: "sale", Name: "id"},
+		{Table: "sale", Name: "timeid"},
+		{Table: "sale", Name: "productid"},
+		{Table: "sale", Name: "price"},
+	})
+	for _, row := range rows {
+		r.Rows = append(r.Rows, tuple.Tuple{
+			types.Int(int64(row[0])), types.Int(int64(row[1])),
+			types.Int(int64(row[2])), types.Float(float64(row[3])),
+		})
+	}
+	return r
+}
+
+func timeRel(rows ...[]int) *Relation {
+	r := NewRelation(Schema{
+		{Table: "time", Name: "id"},
+		{Table: "time", Name: "month"},
+		{Table: "time", Name: "year"},
+	})
+	for _, row := range rows {
+		r.Rows = append(r.Rows, tuple.Tuple{
+			types.Int(int64(row[0])), types.Int(int64(row[1])), types.Int(int64(row[2])),
+		})
+	}
+	return r
+}
+
+func defaultSale() *Relation {
+	return saleRel(
+		[]int{1, 1, 100, 10},
+		[]int{2, 1, 100, 20},
+		[]int{3, 1, 101, 5},
+		[]int{4, 2, 100, 7},
+		[]int{5, 2, 101, 7},
+	)
+}
+
+func defaultTime() *Relation {
+	return timeRel(
+		[]int{1, 1, 1997},
+		[]int{2, 2, 1997},
+		[]int{3, 1, 1998},
+	)
+}
+
+func eval(t *testing.T, n Node) *Relation {
+	t.Helper()
+	rel, err := n.Eval()
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	return rel
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := Schema{{Table: "sale", Name: "id"}, {Table: "time", Name: "id"}, {Table: "time", Name: "month"}}
+	if i, err := s.Index("time", "id"); err != nil || i != 1 {
+		t.Errorf("Index(time,id) = %d, %v", i, err)
+	}
+	if i, err := s.Index("", "month"); err != nil || i != 2 {
+		t.Errorf("Index(,month) = %d, %v", i, err)
+	}
+	if _, err := s.Index("", "id"); err == nil {
+		t.Error("ambiguous id resolved")
+	}
+	if _, err := s.Index("", "nope"); err == nil {
+		t.Error("unknown column resolved")
+	}
+	if got := s.String(); !strings.Contains(got, "time.month") {
+		t.Errorf("Schema.String = %q", got)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	out := eval(t, Select(Scan("sale", defaultSale()),
+		Comparison{Op: OpGE, L: ColRef{Table: "sale", Name: "price"}, R: Lit{types.Int(7)}},
+		Comparison{Op: OpEQ, L: ColRef{Name: "timeid"}, R: Lit{types.Int(2)}},
+	))
+	if out.Len() != 2 {
+		t.Fatalf("Select = %d rows:\n%s", out.Len(), out.Format())
+	}
+}
+
+func TestSelectAllComparisonOps(t *testing.T) {
+	price := ColRef{Name: "price"}
+	cases := []struct {
+		op   CmpOp
+		want int
+	}{
+		{OpEQ, 2}, {OpNE, 3}, {OpLT, 1}, {OpLE, 3}, {OpGT, 2}, {OpGE, 4},
+	}
+	for _, c := range cases {
+		out := eval(t, Select(Scan("sale", defaultSale()),
+			Comparison{Op: c.op, L: price, R: Lit{types.Int(7)}}))
+		if out.Len() != c.want {
+			t.Errorf("op %s: %d rows, want %d", c.op, out.Len(), c.want)
+		}
+	}
+}
+
+func TestProjectPreservesDuplicates(t *testing.T) {
+	out := eval(t, Project(Scan("sale", defaultSale()),
+		OutExpr{Name: "timeid", Expr: ColRef{Name: "timeid"}}))
+	if out.Len() != 5 {
+		t.Errorf("bag projection must keep duplicates: %d rows", out.Len())
+	}
+}
+
+func TestProjectArithmetic(t *testing.T) {
+	out := eval(t, Project(Scan("sale", defaultSale()),
+		OutExpr{Name: "double", Expr: Arith{Op: "*", L: ColRef{Name: "price"}, R: Lit{types.Int(2)}}}))
+	if out.Rows[0][0].AsFloat() != 20 {
+		t.Errorf("arith projection = %v", out.Rows[0][0])
+	}
+}
+
+func TestGProjectEliminatesDuplicates(t *testing.T) {
+	out := eval(t, GProject(Scan("sale", defaultSale()),
+		ProjItem{Name: "timeid", Expr: ColRef{Name: "timeid"}}))
+	if out.Len() != 2 {
+		t.Errorf("generalized projection must eliminate duplicates: %d rows", out.Len())
+	}
+}
+
+func TestGProjectAggregates(t *testing.T) {
+	out := eval(t, GProject(Scan("sale", defaultSale()),
+		ProjItem{Name: "timeid", Expr: ColRef{Name: "timeid"}},
+		ProjItem{Name: "total", Agg: &Aggregate{Func: FuncSum, Arg: ColRef{Name: "price"}}},
+		ProjItem{Name: "cnt", Agg: &Aggregate{Func: FuncCount}},
+		ProjItem{Name: "lo", Agg: &Aggregate{Func: FuncMin, Arg: ColRef{Name: "price"}}},
+		ProjItem{Name: "hi", Agg: &Aggregate{Func: FuncMax, Arg: ColRef{Name: "price"}}},
+		ProjItem{Name: "avg", Agg: &Aggregate{Func: FuncAvg, Arg: ColRef{Name: "price"}}},
+		ProjItem{Name: "nprod", Agg: &Aggregate{Func: FuncCount, Arg: ColRef{Name: "productid"}, Distinct: true}},
+	)).Sorted()
+	if out.Len() != 2 {
+		t.Fatalf("groups = %d", out.Len())
+	}
+	// Group timeid=1: prices 10,20,5 → sum 35, cnt 3, min 5, max 20, avg 35/3, 2 products.
+	g1 := out.Rows[0]
+	if g1[0].AsInt() != 1 || g1[1].AsFloat() != 35 || g1[2].AsInt() != 3 ||
+		g1[3].AsFloat() != 5 || g1[4].AsFloat() != 20 || g1[6].AsInt() != 2 {
+		t.Errorf("group 1 = %v", g1)
+	}
+	if got := g1[5].AsFloat(); got < 11.66 || got > 11.67 {
+		t.Errorf("avg = %v", got)
+	}
+	// Group timeid=2: prices 7,7 → sum 14, cnt 2, 2 distinct products.
+	g2 := out.Rows[1]
+	if g2[1].AsFloat() != 14 || g2[2].AsInt() != 2 || g2[6].AsInt() != 2 {
+		t.Errorf("group 2 = %v", g2)
+	}
+}
+
+func TestGProjectSumDistinct(t *testing.T) {
+	out := eval(t, GProject(Scan("sale", defaultSale()),
+		ProjItem{Name: "timeid", Expr: ColRef{Name: "timeid"}},
+		ProjItem{Name: "sd", Agg: &Aggregate{Func: FuncSum, Arg: ColRef{Name: "price"}, Distinct: true}},
+	)).Sorted()
+	// timeid=2 has prices 7,7 → SUM(DISTINCT) = 7.
+	if got := out.Rows[1][1].AsFloat(); got != 7 {
+		t.Errorf("SUM(DISTINCT) = %v", got)
+	}
+}
+
+func TestGProjectGlobalAggregationEmptyInput(t *testing.T) {
+	out := eval(t, GProject(Scan("sale", saleRel()),
+		ProjItem{Name: "cnt", Agg: &Aggregate{Func: FuncCount}},
+		ProjItem{Name: "total", Agg: &Aggregate{Func: FuncSum, Arg: ColRef{Name: "price"}}},
+	))
+	if out.Len() != 1 {
+		t.Fatalf("global aggregation over empty input should yield 1 row, got %d", out.Len())
+	}
+	if out.Rows[0][0].AsInt() != 0 || !out.Rows[0][1].IsNull() {
+		t.Errorf("empty global agg = %v", out.Rows[0])
+	}
+}
+
+func TestGProjectGroupedEmptyInputYieldsNoRows(t *testing.T) {
+	out := eval(t, GProject(Scan("sale", saleRel()),
+		ProjItem{Name: "timeid", Expr: ColRef{Name: "timeid"}},
+		ProjItem{Name: "cnt", Agg: &Aggregate{Func: FuncCount}},
+	))
+	if out.Len() != 0 {
+		t.Errorf("grouped empty input = %d rows", out.Len())
+	}
+}
+
+func TestJoin(t *testing.T) {
+	out := eval(t, Join(Scan("sale", defaultSale()), Scan("time", defaultTime()),
+		Col{Table: "sale", Name: "timeid"}, Col{Table: "time", Name: "id"}))
+	if out.Len() != 5 {
+		t.Fatalf("join = %d rows", out.Len())
+	}
+	if len(out.Cols) != 7 {
+		t.Errorf("join schema = %v", out.Cols)
+	}
+	// Every row must satisfy the join condition.
+	ti, _ := out.Cols.Index("sale", "timeid")
+	tid, _ := out.Cols.Index("time", "id")
+	for _, row := range out.Rows {
+		if !types.Equal(row[ti], row[tid]) {
+			t.Errorf("join condition violated: %v", row)
+		}
+	}
+}
+
+func TestJoinNoMatches(t *testing.T) {
+	out := eval(t, Join(Scan("sale", defaultSale()), Scan("time", timeRel([]int{9, 9, 1999})),
+		Col{Table: "sale", Name: "timeid"}, Col{Table: "time", Name: "id"}))
+	if out.Len() != 0 {
+		t.Errorf("join with no matches = %d rows", out.Len())
+	}
+}
+
+func TestSemiJoinAndAntiJoin(t *testing.T) {
+	dim := timeRel([]int{1, 1, 1997}) // only timeid 1
+	semi := eval(t, SemiJoin(Scan("sale", defaultSale()), Scan("time", dim),
+		Col{Table: "sale", Name: "timeid"}, Col{Table: "time", Name: "id"}))
+	if semi.Len() != 3 {
+		t.Errorf("semijoin = %d rows", semi.Len())
+	}
+	if len(semi.Cols) != 4 {
+		t.Errorf("semijoin schema must be left schema: %v", semi.Cols)
+	}
+	anti := eval(t, AntiJoin(Scan("sale", defaultSale()), Scan("time", dim),
+		Col{Table: "sale", Name: "timeid"}, Col{Table: "time", Name: "id"}))
+	if anti.Len() != 2 {
+		t.Errorf("antijoin = %d rows", anti.Len())
+	}
+	if semi.Len()+anti.Len() != defaultSale().Len() {
+		t.Error("semi + anti must partition the input")
+	}
+}
+
+func TestPaperProductSalesShape(t *testing.T) {
+	// A miniature of the paper's product_sales view over sale ⋈ time:
+	// SELECT month, SUM(price), COUNT(*) WHERE year=1997 GROUP BY month.
+	join := Join(Scan("sale", defaultSale()), Scan("time", defaultTime()),
+		Col{Table: "sale", Name: "timeid"}, Col{Table: "time", Name: "id"})
+	sel := Select(join, Comparison{Op: OpEQ, L: ColRef{Table: "time", Name: "year"}, R: Lit{types.Int(1997)}})
+	view := GProject(sel,
+		ProjItem{Name: "month", Expr: ColRef{Table: "time", Name: "month"}},
+		ProjItem{Name: "TotalPrice", Agg: &Aggregate{Func: FuncSum, Arg: ColRef{Table: "sale", Name: "price"}}},
+		ProjItem{Name: "TotalCount", Agg: &Aggregate{Func: FuncCount}},
+	)
+	out := eval(t, view).Sorted()
+	if out.Len() != 2 {
+		t.Fatalf("view = %d rows:\n%s", out.Len(), out.Format())
+	}
+	// month 1: sales 1,2,3 → 35/3; month 2: sales 4,5 → 14/2.
+	if out.Rows[0][1].AsFloat() != 35 || out.Rows[0][2].AsInt() != 3 {
+		t.Errorf("month 1 = %v", out.Rows[0])
+	}
+	if out.Rows[1][1].AsFloat() != 14 || out.Rows[1][2].AsInt() != 2 {
+		t.Errorf("month 2 = %v", out.Rows[1])
+	}
+}
+
+func TestEqualBag(t *testing.T) {
+	a := defaultSale()
+	b := defaultSale()
+	// Shuffle b deterministically.
+	b.Rows[0], b.Rows[4] = b.Rows[4], b.Rows[0]
+	if !EqualBag(a, b) {
+		t.Error("reordered bags must be equal")
+	}
+	b.Rows = b.Rows[:4]
+	if EqualBag(a, b) {
+		t.Error("different cardinality bags equal")
+	}
+	c := defaultSale()
+	c.Rows[0] = c.Rows[1] // duplicate a row, drop another
+	if EqualBag(a, c) {
+		t.Error("different multiplicity bags equal")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	plan := GProject(
+		Select(
+			Join(Scan("sale", defaultSale()), Scan("time", defaultTime()),
+				Col{Table: "sale", Name: "timeid"}, Col{Table: "time", Name: "id"}),
+			Comparison{Op: OpEQ, L: ColRef{Table: "time", Name: "year"}, R: Lit{types.Int(1997)}}),
+		ProjItem{Name: "month", Expr: ColRef{Table: "time", Name: "month"}},
+		ProjItem{Name: "cnt", Agg: &Aggregate{Func: FuncCount}},
+	)
+	got := Explain(plan)
+	for _, want := range []string{"GProject", "Select", "HashJoin", "Scan sale", "Scan time", "COUNT(*)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Explain missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	sale := defaultSale()
+	if _, err := Select(Scan("s", sale), Comparison{Op: OpEQ, L: ColRef{Name: "nope"}, R: Lit{types.Int(1)}}).Eval(); err == nil {
+		t.Error("unknown column in Select accepted")
+	}
+	if _, err := Project(Scan("s", sale), OutExpr{Name: "x", Expr: ColRef{Name: "nope"}}).Eval(); err == nil {
+		t.Error("unknown column in Project accepted")
+	}
+	if _, err := GProject(Scan("s", sale), ProjItem{Name: "x", Agg: &Aggregate{Func: FuncSum, Arg: ColRef{Name: "nope"}}}).Eval(); err == nil {
+		t.Error("unknown column in aggregate accepted")
+	}
+	if _, err := Join(Scan("s", sale), Scan("t", defaultTime()), Col{Name: "nope"}, Col{Table: "time", Name: "id"}).Eval(); err == nil {
+		t.Error("unknown join column accepted")
+	}
+	if _, err := (Arith{Op: "%", L: Lit{types.Int(1)}, R: Lit{types.Int(2)}}).Bind(sale.Cols); err == nil {
+		t.Error("unknown arithmetic op accepted")
+	}
+	if _, err := GProject(Scan("s", sale), ProjItem{Name: "x", Agg: &Aggregate{Func: FuncSum, Arg: ColRef{Name: "id"}}},
+		ProjItem{Name: "y", Agg: &Aggregate{Func: "MEDIAN", Arg: ColRef{Name: "id"}}}).Eval(); err == nil {
+		t.Error("unknown aggregate func accepted")
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	cases := []struct {
+		a    Aggregate
+		want string
+	}{
+		{Aggregate{Func: FuncCount}, "COUNT(*)"},
+		{Aggregate{Func: FuncSum, Arg: ColRef{Name: "price"}}, "SUM(price)"},
+		{Aggregate{Func: FuncCount, Arg: ColRef{Name: "brand"}, Distinct: true}, "COUNT(DISTINCT brand)"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRelationFormatAndSorted(t *testing.T) {
+	out := defaultSale().Format()
+	if !strings.Contains(out, "sale.price") || !strings.Contains(out, "(5 rows)") {
+		t.Errorf("Format:\n%s", out)
+	}
+	s := defaultSale().Sorted()
+	for i := 1; i < s.Len(); i++ {
+		if s.Rows[i-1][0].AsInt() > s.Rows[i][0].AsInt() {
+			t.Error("Sorted not sorted")
+		}
+	}
+}
+
+func TestExplainAllNodeTypes(t *testing.T) {
+	sale := defaultSale()
+	tm := defaultTime()
+	plan := Project(
+		AntiJoin(
+			SemiJoin(Scan("sale", sale), Scan("time", tm),
+				Col{Table: "sale", Name: "timeid"}, Col{Table: "time", Name: "id"}),
+			Scan("time2", timeRel([]int{9, 9, 1999})),
+			Col{Table: "sale", Name: "timeid"}, Col{Table: "time", Name: "id"}),
+		OutExpr{Name: "p", Expr: Arith{Op: "+", L: ColRef{Name: "price"}, R: Lit{types.Int(1)}}},
+	)
+	got := Explain(plan)
+	for _, want := range []string{"Project", "AntiJoin", "SemiJoin", "Scan sale", "price + 1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Explain missing %q:\n%s", want, got)
+		}
+	}
+	if _, err := plan.Eval(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemiJoinErrorPaths(t *testing.T) {
+	sale := defaultSale()
+	tm := defaultTime()
+	if _, err := SemiJoin(Scan("s", sale), Scan("t", tm),
+		Col{Name: "nope"}, Col{Table: "time", Name: "id"}).Eval(); err == nil {
+		t.Error("unknown left column accepted")
+	}
+	if _, err := SemiJoin(Scan("s", sale), Scan("t", tm),
+		Col{Table: "sale", Name: "timeid"}, Col{Name: "nope"}).Eval(); err == nil {
+		t.Error("unknown right column accepted")
+	}
+	if _, err := Join(Scan("s", sale), Scan("t", tm),
+		Col{Table: "sale", Name: "timeid"}, Col{Name: "nope"}).Eval(); err == nil {
+		t.Error("unknown join right column accepted")
+	}
+}
+
+func TestRelationBytesAndClone(t *testing.T) {
+	r := defaultSale()
+	if r.Bytes() <= 0 {
+		t.Error("Bytes = 0")
+	}
+	c := r.Clone()
+	c.Rows = c.Rows[:1]
+	if r.Len() != 5 {
+		t.Error("Clone shares row slice length")
+	}
+}

@@ -1,0 +1,143 @@
+package ra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mindetail/internal/storage"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// Relation is a materialized bag of tuples with a schema.
+type Relation struct {
+	Cols Schema
+	Rows []tuple.Tuple
+}
+
+// NewRelation creates an empty relation with the given schema.
+func NewRelation(cols Schema) *Relation {
+	return &Relation{Cols: cols}
+}
+
+// FromTable wraps a storage table as a relation whose columns are qualified
+// with the given name (usually the table name). The row slice is copied
+// shallowly; tuples are shared and must not be mutated.
+func FromTable(t *storage.Table, as string) *Relation {
+	meta := t.Meta()
+	cols := make(Schema, len(meta.Attrs))
+	for i, a := range meta.Attrs {
+		cols[i] = Col{Table: as, Name: a.Name}
+	}
+	rows := make([]tuple.Tuple, 0, t.Len())
+	t.Scan(func(r tuple.Tuple) { rows = append(rows, r) })
+	return &Relation{Cols: cols, Rows: rows}
+}
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Clone returns a deep-enough copy: the row slice is fresh but tuples are
+// shared (tuples are immutable by convention).
+func (r *Relation) Clone() *Relation {
+	rows := make([]tuple.Tuple, len(r.Rows))
+	copy(rows, r.Rows)
+	cols := make(Schema, len(r.Cols))
+	copy(cols, r.Cols)
+	return &Relation{Cols: cols, Rows: rows}
+}
+
+// Bytes returns the byte-accounting size of the relation's rows.
+func (r *Relation) Bytes() int {
+	n := 0
+	for _, row := range r.Rows {
+		n += row.EncodedSize()
+	}
+	return n
+}
+
+// Sorted returns a copy of the relation with rows in deterministic
+// lexicographic order (column-wise types.Compare). Useful for comparing
+// relations and for stable output.
+func (r *Relation) Sorted() *Relation {
+	out := r.Clone()
+	sort.Slice(out.Rows, func(i, j int) bool {
+		a, b := out.Rows[i], out.Rows[j]
+		for k := range a {
+			if c := types.Compare(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// EqualBag reports whether two relations contain the same bag of tuples
+// (ignoring order, respecting multiplicity). Schemas must have equal arity.
+func EqualBag(a, b *Relation) bool {
+	if len(a.Cols) != len(b.Cols) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	counts := make(map[string]int, len(a.Rows))
+	for _, row := range a.Rows {
+		counts[row.Key()]++
+	}
+	for _, row := range b.Rows {
+		k := row.Key()
+		counts[k]--
+		if counts[k] == 0 {
+			delete(counts, k)
+		}
+	}
+	return len(counts) == 0
+}
+
+// Format renders the relation as an ASCII table, rows sorted.
+func (r *Relation) Format() string {
+	s := r.Sorted()
+	headers := make([]string, len(s.Cols))
+	widths := make([]int, len(s.Cols))
+	for i, c := range s.Cols {
+		headers[i] = c.String()
+		widths[i] = len(headers[i])
+	}
+	cells := make([][]string, len(s.Rows))
+	for i, row := range s.Rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			cells[i][j] = v.Display()
+			if len(cells[i][j]) > widths[j] {
+				widths[j] = len(cells[i][j])
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(parts []string) {
+		for j, p := range parts {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			if j == len(parts)-1 {
+				b.WriteString(p) // no trailing padding
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[j], p)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	for j, w := range widths {
+		if j > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		line(row)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(s.Rows))
+	return b.String()
+}

@@ -1,0 +1,282 @@
+// Package schema models base-table schemas, keys, and integrity constraints.
+//
+// Following the paper's assumptions (Section 2.1): every base table has a
+// single-attribute key, base tables contain no nulls, and referential
+// integrity constraints reference the key of the target table. The catalog
+// additionally records which attributes an application may update in place;
+// from these, "exposed updates" (updates that can change attributes involved
+// in selection or join conditions of a given view) are derived per view.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mindetail/internal/types"
+)
+
+// Attribute is a named, typed column of a table.
+type Attribute struct {
+	Name string
+	Type types.Kind
+}
+
+// Table describes a base table: its attributes, single-attribute primary
+// key, and the set of attributes an application is allowed to update in
+// place. Attributes not listed in Mutable never change after insertion
+// (they can still disappear via tuple deletion).
+type Table struct {
+	Name    string
+	Attrs   []Attribute
+	Key     string   // single-attribute primary key (paper Section 2.1)
+	Mutable []string // attributes updatable in place; nil means none
+}
+
+// ForeignKey declares referential integrity from FromTable.FromAttr to the
+// key of ToTable (paper Section 2.2): every FromAttr value appears as a key
+// in ToTable, and each tuple of FromTable joins with exactly one tuple of
+// ToTable.
+type ForeignKey struct {
+	FromTable string
+	FromAttr  string
+	ToTable   string
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (t *Table) AttrIndex(name string) int {
+	for i, a := range t.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasAttr reports whether the table has an attribute with the given name.
+func (t *Table) HasAttr(name string) bool { return t.AttrIndex(name) >= 0 }
+
+// KeyIndex returns the position of the key attribute.
+func (t *Table) KeyIndex() int { return t.AttrIndex(t.Key) }
+
+// IsMutable reports whether attr may be updated in place.
+func (t *Table) IsMutable(attr string) bool {
+	for _, m := range t.Mutable {
+		if m == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// AttrNames returns the attribute names in declaration order.
+func (t *Table) AttrNames() []string {
+	names := make([]string, len(t.Attrs))
+	for i, a := range t.Attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Validate checks structural invariants of the table definition.
+func (t *Table) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("schema: table with empty name")
+	}
+	if len(t.Attrs) == 0 {
+		return fmt.Errorf("schema: table %s has no attributes", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Attrs))
+	for _, a := range t.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("schema: table %s has an unnamed attribute", t.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("schema: table %s: duplicate attribute %s", t.Name, a.Name)
+		}
+		if a.Type == types.KindNull {
+			return fmt.Errorf("schema: table %s: attribute %s has NULL type", t.Name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if t.Key == "" {
+		return fmt.Errorf("schema: table %s has no primary key (paper assumes single-attribute keys)", t.Name)
+	}
+	if !seen[t.Key] {
+		return fmt.Errorf("schema: table %s: key %s is not an attribute", t.Name, t.Key)
+	}
+	for _, m := range t.Mutable {
+		if !seen[m] {
+			return fmt.Errorf("schema: table %s: mutable attribute %s is not an attribute", t.Name, m)
+		}
+		if m == t.Key {
+			return fmt.Errorf("schema: table %s: key %s cannot be mutable", t.Name, m)
+		}
+	}
+	return nil
+}
+
+// String renders the table as a CREATE TABLE statement.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", t.Name)
+	for i, a := range t.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", a.Name, a.Type)
+		if a.Name == t.Key {
+			b.WriteString(" PRIMARY KEY")
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Catalog is the set of base-table schemas and the referential integrity
+// constraints between them. It is the static input to auxiliary-view
+// derivation.
+type Catalog struct {
+	tables map[string]*Table
+	fks    []ForeignKey
+	order  []string // table registration order, for deterministic iteration
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table schema.
+func (c *Catalog) AddTable(t *Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("schema: table %s already defined", t.Name)
+	}
+	c.tables[t.Name] = t
+	c.order = append(c.order, t.Name)
+	return nil
+}
+
+// AddForeignKey registers a referential integrity constraint. The target
+// attribute is always the key of the target table (paper Section 2.1).
+func (c *Catalog) AddForeignKey(fk ForeignKey) error {
+	from, ok := c.tables[fk.FromTable]
+	if !ok {
+		return fmt.Errorf("schema: foreign key from unknown table %s", fk.FromTable)
+	}
+	if !from.HasAttr(fk.FromAttr) {
+		return fmt.Errorf("schema: foreign key from unknown attribute %s.%s", fk.FromTable, fk.FromAttr)
+	}
+	if _, ok := c.tables[fk.ToTable]; !ok {
+		return fmt.Errorf("schema: foreign key to unknown table %s", fk.ToTable)
+	}
+	for _, e := range c.fks {
+		if e == fk {
+			return fmt.Errorf("schema: duplicate foreign key %s.%s -> %s", fk.FromTable, fk.FromAttr, fk.ToTable)
+		}
+	}
+	c.fks = append(c.fks, fk)
+	return nil
+}
+
+// Table returns the named table schema, or nil.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// MustTable returns the named table schema or panics; for use after
+// validation has established existence.
+func (c *Catalog) MustTable(name string) *Table {
+	t := c.tables[name]
+	if t == nil {
+		panic(fmt.Sprintf("schema: unknown table %s", name))
+	}
+	return t
+}
+
+// TableNames returns all table names in registration order.
+func (c *Catalog) TableNames() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// ForeignKeys returns all registered referential integrity constraints.
+func (c *Catalog) ForeignKeys() []ForeignKey {
+	out := make([]ForeignKey, len(c.fks))
+	copy(out, c.fks)
+	return out
+}
+
+// HasRI reports whether referential integrity holds from from.attr to the
+// key of to.
+func (c *Catalog) HasRI(from, attr, to string) bool {
+	for _, fk := range c.fks {
+		if fk.FromTable == from && fk.FromAttr == attr && fk.ToTable == to {
+			return true
+		}
+	}
+	return false
+}
+
+// ReferencesTo returns the foreign keys whose target is the given table,
+// sorted for determinism.
+func (c *Catalog) ReferencesTo(table string) []ForeignKey {
+	var out []ForeignKey
+	for _, fk := range c.fks {
+		if fk.ToTable == table {
+			out = append(out, fk)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FromTable != out[j].FromTable {
+			return out[i].FromTable < out[j].FromTable
+		}
+		return out[i].FromAttr < out[j].FromAttr
+	})
+	return out
+}
+
+// ResolveAttr resolves a possibly-unqualified attribute name against the
+// given tables, returning the owning table. It is an error if the name is
+// ambiguous or unknown.
+func (c *Catalog) ResolveAttr(tables []string, table, attr string) (string, error) {
+	if table != "" {
+		t := c.Table(table)
+		if t == nil {
+			return "", fmt.Errorf("schema: unknown table %s", table)
+		}
+		if !t.HasAttr(attr) {
+			return "", fmt.Errorf("schema: table %s has no attribute %s", table, attr)
+		}
+		found := false
+		for _, name := range tables {
+			if name == table {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return "", fmt.Errorf("schema: table %s is not in the FROM list", table)
+		}
+		return table, nil
+	}
+	var owner string
+	for _, name := range tables {
+		t := c.Table(name)
+		if t == nil {
+			return "", fmt.Errorf("schema: unknown table %s", name)
+		}
+		if t.HasAttr(attr) {
+			if owner != "" {
+				return "", fmt.Errorf("schema: attribute %s is ambiguous (in %s and %s)", attr, owner, name)
+			}
+			owner = name
+		}
+	}
+	if owner == "" {
+		return "", fmt.Errorf("schema: attribute %s not found in any FROM table", attr)
+	}
+	return owner, nil
+}

@@ -1,0 +1,204 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/types"
+)
+
+func saleTable() *Table {
+	return &Table{
+		Name: "sale",
+		Attrs: []Attribute{
+			{Name: "id", Type: types.KindInt},
+			{Name: "timeid", Type: types.KindInt},
+			{Name: "productid", Type: types.KindInt},
+			{Name: "storeid", Type: types.KindInt},
+			{Name: "price", Type: types.KindFloat},
+		},
+		Key: "id",
+	}
+}
+
+func timeTable() *Table {
+	return &Table{
+		Name: "time",
+		Attrs: []Attribute{
+			{Name: "id", Type: types.KindInt},
+			{Name: "day", Type: types.KindInt},
+			{Name: "month", Type: types.KindInt},
+			{Name: "year", Type: types.KindInt},
+		},
+		Key: "id",
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	good := saleTable()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Table)
+		errSub string
+	}{
+		{"empty name", func(tb *Table) { tb.Name = "" }, "empty name"},
+		{"no attrs", func(tb *Table) { tb.Attrs = nil }, "no attributes"},
+		{"dup attr", func(tb *Table) { tb.Attrs = append(tb.Attrs, Attribute{Name: "id", Type: types.KindInt}) }, "duplicate"},
+		{"no key", func(tb *Table) { tb.Key = "" }, "no primary key"},
+		{"bad key", func(tb *Table) { tb.Key = "nope" }, "not an attribute"},
+		{"null type", func(tb *Table) { tb.Attrs[1].Type = types.KindNull }, "NULL type"},
+		{"bad mutable", func(tb *Table) { tb.Mutable = []string{"nope"} }, "mutable"},
+		{"mutable key", func(tb *Table) { tb.Mutable = []string{"id"} }, "cannot be mutable"},
+		{"unnamed attr", func(tb *Table) { tb.Attrs[2].Name = "" }, "unnamed"},
+	}
+	for _, c := range cases {
+		tb := saleTable()
+		c.mutate(tb)
+		err := tb.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.errSub)
+		}
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tb := saleTable()
+	if got := tb.AttrIndex("price"); got != 4 {
+		t.Errorf("AttrIndex(price) = %d", got)
+	}
+	if got := tb.AttrIndex("nope"); got != -1 {
+		t.Errorf("AttrIndex(nope) = %d", got)
+	}
+	if !tb.HasAttr("timeid") || tb.HasAttr("nope") {
+		t.Error("HasAttr wrong")
+	}
+	if got := tb.KeyIndex(); got != 0 {
+		t.Errorf("KeyIndex = %d", got)
+	}
+	tb.Mutable = []string{"price"}
+	if !tb.IsMutable("price") || tb.IsMutable("id") {
+		t.Error("IsMutable wrong")
+	}
+	names := tb.AttrNames()
+	if len(names) != 5 || names[0] != "id" || names[4] != "price" {
+		t.Errorf("AttrNames = %v", names)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	got := timeTable().String()
+	want := "CREATE TABLE time (id INTEGER PRIMARY KEY, day INTEGER, month INTEGER, year INTEGER)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func newTestCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	for _, tb := range []*Table{saleTable(), timeTable()} {
+		if err := c.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AddForeignKey(ForeignKey{"sale", "timeid", "time"}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCatalogBasics(t *testing.T) {
+	c := newTestCatalog(t)
+	if c.Table("sale") == nil || c.Table("nope") != nil {
+		t.Error("Table lookup wrong")
+	}
+	if got := c.TableNames(); len(got) != 2 || got[0] != "sale" || got[1] != "time" {
+		t.Errorf("TableNames = %v", got)
+	}
+	if !c.HasRI("sale", "timeid", "time") {
+		t.Error("HasRI should hold")
+	}
+	if c.HasRI("sale", "storeid", "time") {
+		t.Error("HasRI should not hold")
+	}
+	refs := c.ReferencesTo("time")
+	if len(refs) != 1 || refs[0].FromTable != "sale" {
+		t.Errorf("ReferencesTo = %v", refs)
+	}
+	if got := len(c.ForeignKeys()); got != 1 {
+		t.Errorf("ForeignKeys len = %d", got)
+	}
+}
+
+func TestCatalogErrors(t *testing.T) {
+	c := newTestCatalog(t)
+	if err := c.AddTable(saleTable()); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	bad := saleTable()
+	bad.Name = ""
+	if err := c.AddTable(bad); err == nil {
+		t.Error("invalid table accepted")
+	}
+	if err := c.AddForeignKey(ForeignKey{"nope", "x", "time"}); err == nil {
+		t.Error("FK from unknown table accepted")
+	}
+	if err := c.AddForeignKey(ForeignKey{"sale", "nope", "time"}); err == nil {
+		t.Error("FK from unknown attr accepted")
+	}
+	if err := c.AddForeignKey(ForeignKey{"sale", "storeid", "nope"}); err == nil {
+		t.Error("FK to unknown table accepted")
+	}
+	if err := c.AddForeignKey(ForeignKey{"sale", "timeid", "time"}); err == nil {
+		t.Error("duplicate FK accepted")
+	}
+}
+
+func TestMustTable(t *testing.T) {
+	c := newTestCatalog(t)
+	if c.MustTable("sale").Name != "sale" {
+		t.Error("MustTable wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable on unknown table: expected panic")
+		}
+	}()
+	c.MustTable("nope")
+}
+
+func TestResolveAttr(t *testing.T) {
+	c := newTestCatalog(t)
+	from := []string{"sale", "time"}
+
+	owner, err := c.ResolveAttr(from, "", "price")
+	if err != nil || owner != "sale" {
+		t.Errorf("price: %s, %v", owner, err)
+	}
+	owner, err = c.ResolveAttr(from, "", "month")
+	if err != nil || owner != "time" {
+		t.Errorf("month: %s, %v", owner, err)
+	}
+	if _, err = c.ResolveAttr(from, "", "id"); err == nil {
+		t.Error("ambiguous id resolved")
+	}
+	owner, err = c.ResolveAttr(from, "time", "id")
+	if err != nil || owner != "time" {
+		t.Errorf("time.id: %s, %v", owner, err)
+	}
+	if _, err = c.ResolveAttr(from, "", "nope"); err == nil {
+		t.Error("unknown attr resolved")
+	}
+	if _, err = c.ResolveAttr(from, "nope", "id"); err == nil {
+		t.Error("unknown table resolved")
+	}
+	if _, err = c.ResolveAttr(from, "time", "price"); err == nil {
+		t.Error("wrong table attr resolved")
+	}
+	if _, err = c.ResolveAttr([]string{"sale"}, "time", "id"); err == nil {
+		t.Error("table outside FROM resolved")
+	}
+}

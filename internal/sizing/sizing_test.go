@@ -1,0 +1,70 @@
+package sizing
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mindetail/internal/workload"
+)
+
+// TestPaperNumbersExact reproduces the Section 1.1 arithmetic to the digit:
+//
+//	fact tuples: 730 x 300 x 3000 x 20 = 13,140,000,000
+//	fact bytes:  x 5 fields x 4 bytes  = 262,800,000,000 (~245 GBytes)
+//	aux tuples:  365 x 30,000          = 10,950,000
+//	aux bytes:   x 4 fields x 4 bytes  = 175,200,000 (~167 MBytes)
+func TestPaperNumbersExact(t *testing.T) {
+	fact := PaperFactTable()
+	if fact.Tuples != 13_140_000_000 {
+		t.Errorf("fact tuples = %d", fact.Tuples)
+	}
+	if fact.Bytes() != 262_800_000_000 {
+		t.Errorf("fact bytes = %d", fact.Bytes())
+	}
+	if g := fact.GBytes(); math.Abs(g-244.76) > 0.1 {
+		t.Errorf("fact GBytes = %.2f, paper says ~245", g)
+	}
+	aux := PaperAuxView()
+	if aux.Tuples != 10_950_000 {
+		t.Errorf("aux tuples = %d", aux.Tuples)
+	}
+	if aux.Bytes() != 175_200_000 {
+		t.Errorf("aux bytes = %d", aux.Bytes())
+	}
+	if m := aux.MBytes(); math.Abs(m-167.08) > 0.2 {
+		t.Errorf("aux MBytes = %.2f, paper says ~167", m)
+	}
+}
+
+func TestReductionFactor(t *testing.T) {
+	// 245 GB / 167 MB = exactly 1500x in the 4-byte model.
+	r := Reduction(workload.PaperParams())
+	if math.Abs(r-1500) > 0.01 {
+		t.Errorf("reduction = %.2f, want 1500", r)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	s := PaperFactTable().String()
+	if !strings.Contains(s, "13140000000") || !strings.Contains(s, "5 fields") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestExtrapolate(t *testing.T) {
+	small := workload.ScaledDown(5000)
+	full := workload.PaperParams()
+	// A measured count equal to the model must extrapolate to the model.
+	got := Extrapolate(FactTable(small).Tuples, small, full, false)
+	if got != full.FactTuples() {
+		t.Errorf("fact extrapolation = %d, want %d", got, full.FactTuples())
+	}
+	gotAux := Extrapolate(AuxView(small).Tuples, small, full, true)
+	if gotAux != PaperAuxView().Tuples {
+		t.Errorf("aux extrapolation = %d, want %d", gotAux, PaperAuxView().Tuples)
+	}
+	if Extrapolate(10, workload.RetailParams{}, full, false) != 0 {
+		t.Error("zero small model must not divide by zero")
+	}
+}

@@ -1,0 +1,55 @@
+package sqlparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: arbitrary input must produce errors, not panics.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				t.Logf("panic on %q", src)
+				ok = false
+			}
+		}()
+		_, _ = ParseAll(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnSQLishInput: mutated fragments of real SQL.
+func TestParseNeverPanicsOnSQLishInput(t *testing.T) {
+	base := `CREATE TABLE t (id INTEGER PRIMARY KEY, x FLOAT MUTABLE);
+SELECT t.x, COUNT(*) AS c FROM t WHERE t.x > 1.5 GROUP BY t.x HAVING c > 2;
+INSERT INTO t VALUES (1, 2.5), (2, -3);
+UPDATE t SET x = 9 WHERE id = 1;
+DELETE FROM t WHERE x <> 0;`
+	for cut := 0; cut < len(base); cut += 3 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on truncation at %d: %v", cut, r)
+				}
+			}()
+			_, _ = ParseAll(base[:cut])
+			_, _ = ParseAll(base[cut:])
+		}()
+	}
+	// Character substitutions.
+	for i := 0; i < len(base); i += 7 {
+		mutated := base[:i] + "(" + base[i+1:]
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation at %d: %v", i, r)
+				}
+			}()
+			_, _ = ParseAll(mutated)
+		}()
+	}
+}

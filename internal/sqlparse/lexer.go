@@ -1,0 +1,143 @@
+// Package sqlparse implements a lexer and recursive-descent parser for the
+// SQL subset the paper uses throughout: CREATE TABLE with PRIMARY KEY and
+// REFERENCES, CREATE [MATERIALIZED] VIEW ... AS SELECT with aggregation and
+// GROUP BY, and INSERT/DELETE/UPDATE statements for driving deltas.
+//
+// Two deliberate departures from full SQL, both documented in README:
+//
+//   - SELECT in a view body denotes the paper's generalized projection Π_A,
+//     which is duplicate-eliminating (Section 2.1); plain attributes in the
+//     select list are the group-by attributes and must match the GROUP BY
+//     clause when one is given.
+//   - The nonstandard column option MUTABLE declares attributes that the
+//     application may update in place; all others are immutable after
+//     insertion. This drives the exposed-update analysis (Section 2.1).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // = <> < <= > >= + - * /
+	tokPunct // ( ) , . ;
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers lower-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "VIEW": true, "MATERIALIZED": true,
+	"AS": true, "SELECT": true, "FROM": true, "WHERE": true, "GROUP": true,
+	"BY": true, "HAVING": true, "AND": true, "DISTINCT": true, "PRIMARY": true, "KEY": true,
+	"REFERENCES": true, "MUTABLE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "DELETE": true, "UPDATE": true, "SET": true,
+	"INTEGER": true, "INT": true, "FLOAT": true, "REAL": true, "DOUBLE": true,
+	"VARCHAR": true, "TEXT": true, "STRING": true, "BOOLEAN": true, "BOOL": true,
+	"TRUE": true, "FALSE": true, "NULL": true, "IN": true, "NOT": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// lex tokenizes the input. Errors carry byte offsets.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-': // line comment
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			word := src[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, strings.ToLower(word), start})
+			}
+		case unicode.IsDigit(rune(c)):
+			start := i
+			seenDot := false
+			for i < len(src) && (unicode.IsDigit(rune(src[i])) || (src[i] == '.' && !seenDot)) {
+				if src[i] == '.' {
+					// A trailing dot followed by a letter is a qualified
+					// name, not a float — but digits cannot start an
+					// identifier, so '.' after digits is always a decimal
+					// point here.
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, token{tokNumber, src[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case c == '<':
+			if i+1 < len(src) && (src[i+1] == '=' || src[i+1] == '>') {
+				toks = append(toks, token{tokOp, src[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '=' || c == '+' || c == '-' || c == '*' || c == '/':
+			toks = append(toks, token{tokOp, string(c), i})
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == ';':
+			toks = append(toks, token{tokPunct, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}

@@ -1,0 +1,717 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mindetail/internal/ra"
+	"mindetail/internal/schema"
+	"mindetail/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable defines a base table, its key, its mutable attributes, and
+// the referential integrity constraints declared via REFERENCES.
+type CreateTable struct {
+	Table *schema.Table
+	FKs   []schema.ForeignKey
+}
+
+// CreateView defines a (typically materialized) GPSJ view.
+type CreateView struct {
+	Name         string
+	Materialized bool
+	Query        *SelectStmt
+}
+
+// SelectStmt is a parsed SELECT in GPSJ shape, optionally with a HAVING
+// restriction on the produced groups (the generalization Section 4 of the
+// paper suggests). HAVING conditions reference output column names.
+type SelectStmt struct {
+	Items   []ra.ProjItem
+	From    []string
+	Where   []ra.Comparison
+	GroupBy []ra.ColRef
+	Having  []ra.Comparison
+}
+
+// Insert adds rows of literals to a table.
+type Insert struct {
+	Table string
+	Rows  [][]types.Value
+}
+
+// Delete removes the rows matching a conjunctive condition.
+type Delete struct {
+	Table string
+	Where []ra.Comparison
+}
+
+// Update assigns literal values to columns of the rows matching a
+// conjunctive condition.
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where []ra.Comparison
+}
+
+// Assignment is one SET column = literal pair.
+type Assignment struct {
+	Column string
+	Value  types.Value
+}
+
+func (*CreateTable) stmt() {}
+func (*CreateView) stmt()  {}
+func (*SelectStmt) stmt()  {}
+func (*Insert) stmt()      {}
+func (*Delete) stmt()      {}
+func (*Update) stmt()      {}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a single SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sqlparse: expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(src string) ([]Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Statement
+	for {
+		for p.peek().kind == tokPunct && p.peek().text == ";" {
+			p.next()
+		}
+		if p.peek().kind == tokEOF {
+			break
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if t := p.peek(); t.kind != tokEOF && !(t.kind == tokPunct && t.text == ";") {
+			return nil, p.errf("expected ';' or end of input, got %q", t.text)
+		}
+	}
+	return stmts, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if t := p.peek(); t.kind == tokPunct && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, p.errf("expected statement keyword, got %q", t.text)
+	}
+	switch t.text {
+	case "CREATE":
+		p.next()
+		if p.acceptKeyword("TABLE") {
+			return p.createTable()
+		}
+		mat := p.acceptKeyword("MATERIALIZED")
+		if p.acceptKeyword("VIEW") {
+			return p.createView(mat)
+		}
+		return nil, p.errf("expected TABLE or [MATERIALIZED] VIEW after CREATE")
+	case "SELECT":
+		return p.selectStmt()
+	case "INSERT":
+		return p.insert()
+	case "DELETE":
+		return p.delete()
+	case "UPDATE":
+		return p.update()
+	default:
+		return nil, p.errf("unsupported statement %s", t.text)
+	}
+}
+
+func typeFromKeyword(kw string) (types.Kind, bool) {
+	switch kw {
+	case "INTEGER", "INT":
+		return types.KindInt, true
+	case "FLOAT", "REAL", "DOUBLE":
+		return types.KindFloat, true
+	case "VARCHAR", "TEXT", "STRING":
+		return types.KindString, true
+	case "BOOLEAN", "BOOL":
+		return types.KindBool, true
+	}
+	return 0, false
+}
+
+func (p *parser) createTable() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	tab := &schema.Table{Name: name}
+	var fks []schema.ForeignKey
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind != tokKeyword {
+			return nil, p.errf("expected column type, got %q", t.text)
+		}
+		kind, ok := typeFromKeyword(t.text)
+		if !ok {
+			return nil, p.errf("unknown column type %s", t.text)
+		}
+		p.next()
+		tab.Attrs = append(tab.Attrs, schema.Attribute{Name: col, Type: kind})
+		// Column options, any order.
+		for {
+			if p.acceptKeyword("PRIMARY") {
+				if err := p.expectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				if tab.Key != "" {
+					return nil, p.errf("table %s: multiple primary keys (the paper assumes a single-attribute key)", name)
+				}
+				tab.Key = col
+				continue
+			}
+			if p.acceptKeyword("REFERENCES") {
+				ref, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				fks = append(fks, schema.ForeignKey{FromTable: name, FromAttr: col, ToTable: ref})
+				continue
+			}
+			if p.acceptKeyword("MUTABLE") {
+				tab.Mutable = append(tab.Mutable, col)
+				continue
+			}
+			break
+		}
+		if p.acceptPunct(",") {
+			continue
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return &CreateTable{Table: tab, FKs: fks}, nil
+}
+
+func (p *parser) createView(materialized bool) (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokKeyword || p.peek().text != "SELECT" {
+		return nil, p.errf("expected SELECT in view body")
+	}
+	q, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateView{Name: name, Materialized: materialized, Query: q.(*SelectStmt)}, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	var stmt SelectStmt
+	for {
+		item, err := p.projItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, t)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		conds, err := p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = conds
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, c)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		conds, err := p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = conds
+	}
+	if err := stmt.validateGrouping(); err != nil {
+		return nil, err
+	}
+	return &stmt, nil
+}
+
+// validateGrouping enforces the paper's requirement that all group-by
+// attributes are projected and that plain select items are exactly the
+// group-by attributes (Section 3.3: "we require all group-by attributes to
+// be projected in the view").
+func (s *SelectStmt) validateGrouping() error {
+	if len(s.GroupBy) == 0 {
+		return nil
+	}
+	grouped := make(map[string]bool, len(s.GroupBy))
+	for _, g := range s.GroupBy {
+		grouped[g.String()] = true
+	}
+	seen := make(map[string]bool)
+	for _, it := range s.Items {
+		if it.IsAggregate() {
+			continue
+		}
+		cr, ok := it.Expr.(ra.ColRef)
+		if !ok {
+			return fmt.Errorf("sqlparse: plain select item %q must be a column when GROUP BY is present", it.Expr)
+		}
+		if !grouped[cr.String()] {
+			return fmt.Errorf("sqlparse: select column %s is not in GROUP BY", cr)
+		}
+		seen[cr.String()] = true
+	}
+	for _, g := range s.GroupBy {
+		if !seen[g.String()] {
+			return fmt.Errorf("sqlparse: GROUP BY attribute %s must be projected in the select list", g)
+		}
+	}
+	return nil
+}
+
+func (p *parser) projItem() (ra.ProjItem, error) {
+	var item ra.ProjItem
+	t := p.peek()
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			agg, err := p.aggregate()
+			if err != nil {
+				return item, err
+			}
+			item.Agg = agg
+			item.Name = agg.String()
+		}
+	}
+	if item.Agg == nil {
+		e, err := p.expr()
+		if err != nil {
+			return item, err
+		}
+		item.Expr = e
+		item.Name = e.String()
+	}
+	if p.acceptKeyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return item, err
+		}
+		item.Name = alias
+	}
+	return item, nil
+}
+
+func (p *parser) aggregate() (*ra.Aggregate, error) {
+	fn := ra.AggFunc(p.next().text)
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	agg := &ra.Aggregate{Func: fn}
+	if p.peek().kind == tokOp && p.peek().text == "*" {
+		if fn != ra.FuncCount {
+			return nil, p.errf("%s(*) is not valid SQL; only COUNT(*)", fn)
+		}
+		p.next()
+	} else {
+		if p.acceptKeyword("DISTINCT") {
+			agg.Distinct = true
+		}
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = arg
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+func (p *parser) conjunction() ([]ra.Comparison, error) {
+	var conds []ra.Comparison
+	for {
+		c, err := p.comparison()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, c)
+		if !p.acceptKeyword("AND") {
+			break
+		}
+	}
+	return conds, nil
+}
+
+func (p *parser) comparison() (ra.Comparison, error) {
+	var c ra.Comparison
+	l, err := p.expr()
+	if err != nil {
+		return c, err
+	}
+	t := p.peek()
+	if t.kind != tokOp {
+		return c, p.errf("expected comparison operator, got %q", t.text)
+	}
+	switch t.text {
+	case "=", "<>", "<", "<=", ">", ">=":
+		c.Op = ra.CmpOp(t.text)
+	default:
+		return c, p.errf("expected comparison operator, got %q", t.text)
+	}
+	p.next()
+	r, err := p.expr()
+	if err != nil {
+		return c, err
+	}
+	c.L, c.R = l, r
+	return c, nil
+}
+
+// expr parses additive expressions with standard precedence.
+func (p *parser) expr() (ra.Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "+" || t.text == "-") {
+			p.next()
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			l = ra.Arith{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) term() (ra.Expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "*" || t.text == "/") {
+			p.next()
+			r, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			l = ra.Arith{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) factor() (ra.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokNumber || (t.kind == tokOp && t.text == "-"):
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return ra.Lit{V: v}, nil
+	case t.kind == tokString || (t.kind == tokKeyword && (t.text == "TRUE" || t.text == "FALSE" || t.text == "NULL")):
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return ra.Lit{V: v}, nil
+	case t.kind == tokIdent:
+		c, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	default:
+		return nil, p.errf("expected expression, got %q", t.text)
+	}
+}
+
+func (p *parser) colRef() (ra.ColRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return ra.ColRef{}, err
+	}
+	if p.acceptPunct(".") {
+		second, err := p.ident()
+		if err != nil {
+			return ra.ColRef{}, err
+		}
+		return ra.ColRef{Table: first, Name: second}, nil
+	}
+	return ra.ColRef{Name: first}, nil
+}
+
+func (p *parser) literal() (types.Value, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokOp && t.text == "-":
+		p.next()
+		v, err := p.literal()
+		if err != nil {
+			return types.Null, err
+		}
+		switch v.Kind() {
+		case types.KindInt:
+			return types.Int(-v.AsInt()), nil
+		case types.KindFloat:
+			return types.Float(-v.AsFloat()), nil
+		default:
+			return types.Null, p.errf("cannot negate %s", v.Kind())
+		}
+	case t.kind == tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return types.Null, p.errf("bad number %q", t.text)
+			}
+			return types.Float(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return types.Null, p.errf("bad number %q", t.text)
+		}
+		return types.Int(n), nil
+	case t.kind == tokString:
+		p.next()
+		return types.Str(t.text), nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.next()
+		return types.Bool(true), nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.next()
+		return types.Bool(false), nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.next()
+		return types.Null, nil
+	default:
+		return types.Null, p.errf("expected literal, got %q", t.text)
+	}
+}
+
+func (p *parser) insert() (Statement, error) {
+	p.next() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []types.Value
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) delete() (Statement, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: table}
+	if p.acceptKeyword("WHERE") {
+		conds, err := p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = conds
+	}
+	return del, nil
+}
+
+func (p *parser) update() (Statement, error) {
+	p.next() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	upd := &Update{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if t := p.peek(); !(t.kind == tokOp && t.text == "=") {
+			return nil, p.errf("expected '=' in SET, got %q", t.text)
+		}
+		p.next()
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		upd.Set = append(upd.Set, Assignment{Column: col, Value: v})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		conds, err := p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+		upd.Where = conds
+	}
+	return upd, nil
+}

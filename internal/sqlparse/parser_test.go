@@ -1,0 +1,264 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/ra"
+	"mindetail/internal/types"
+)
+
+func parseOne(t *testing.T, src string) Statement {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestCreateTable(t *testing.T) {
+	s := parseOne(t, `CREATE TABLE sale (
+		id INTEGER PRIMARY KEY,
+		timeid INTEGER REFERENCES time,
+		productid INTEGER REFERENCES product,
+		storeid INTEGER REFERENCES store,
+		price FLOAT MUTABLE
+	)`)
+	ct, ok := s.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if ct.Table.Name != "sale" || ct.Table.Key != "id" || len(ct.Table.Attrs) != 5 {
+		t.Errorf("table = %+v", ct.Table)
+	}
+	if len(ct.FKs) != 3 || ct.FKs[0].ToTable != "time" {
+		t.Errorf("FKs = %v", ct.FKs)
+	}
+	if len(ct.Table.Mutable) != 1 || ct.Table.Mutable[0] != "price" {
+		t.Errorf("Mutable = %v", ct.Table.Mutable)
+	}
+	if ct.Table.Attrs[4].Type != types.KindFloat {
+		t.Errorf("price type = %v", ct.Table.Attrs[4].Type)
+	}
+}
+
+func TestCreateTableTypeAliases(t *testing.T) {
+	s := parseOne(t, `CREATE TABLE x (a INT PRIMARY KEY, b REAL, c TEXT, d BOOL)`)
+	ct := s.(*CreateTable)
+	want := []types.Kind{types.KindInt, types.KindFloat, types.KindString, types.KindBool}
+	for i, k := range want {
+		if ct.Table.Attrs[i].Type != k {
+			t.Errorf("attr %d type = %v, want %v", i, ct.Table.Attrs[i].Type, k)
+		}
+	}
+}
+
+func TestPaperProductSalesView(t *testing.T) {
+	// Verbatim from the paper's Section 1.1 (modulo the view name quoting).
+	s := parseOne(t, `CREATE VIEW product_sales AS
+		SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount,
+		       COUNT(DISTINCT brand) AS DifferentBrands
+		FROM sale, time, product
+		WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id
+		GROUP BY time.month`)
+	cv, ok := s.(*CreateView)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if cv.Name != "product_sales" || cv.Materialized {
+		t.Errorf("view = %+v", cv)
+	}
+	q := cv.Query
+	if len(q.Items) != 4 || len(q.From) != 3 || len(q.Where) != 3 || len(q.GroupBy) != 1 {
+		t.Fatalf("query shape: items=%d from=%d where=%d groupby=%d",
+			len(q.Items), len(q.From), len(q.Where), len(q.GroupBy))
+	}
+	if q.Items[0].IsAggregate() || q.Items[0].Name != "time.month" {
+		t.Errorf("item 0 = %+v", q.Items[0])
+	}
+	if q.Items[1].Agg.Func != ra.FuncSum || q.Items[1].Name != "totalprice" {
+		t.Errorf("item 1 = %+v", q.Items[1])
+	}
+	if !q.Items[3].Agg.Distinct {
+		t.Error("DISTINCT not parsed")
+	}
+	if q.GroupBy[0].Table != "time" || q.GroupBy[0].Name != "month" {
+		t.Errorf("group by = %+v", q.GroupBy[0])
+	}
+}
+
+func TestMaterializedView(t *testing.T) {
+	s := parseOne(t, `CREATE MATERIALIZED VIEW v AS SELECT a, COUNT(*) FROM t GROUP BY a`)
+	if !s.(*CreateView).Materialized {
+		t.Error("MATERIALIZED not parsed")
+	}
+}
+
+func TestSelectAggregateForms(t *testing.T) {
+	s := parseOne(t, `SELECT MIN(price), MAX(price), AVG(price), COUNT(price), SUM(DISTINCT price) FROM sale`)
+	q := s.(*SelectStmt)
+	funcs := []ra.AggFunc{ra.FuncMin, ra.FuncMax, ra.FuncAvg, ra.FuncCount, ra.FuncSum}
+	for i, f := range funcs {
+		if q.Items[i].Agg == nil || q.Items[i].Agg.Func != f {
+			t.Errorf("item %d = %+v, want %s", i, q.Items[i], f)
+		}
+	}
+	if q.Items[3].Agg.IsCountStar() {
+		t.Error("COUNT(price) mistaken for COUNT(*)")
+	}
+	if !q.Items[4].Agg.Distinct {
+		t.Error("SUM(DISTINCT) not parsed")
+	}
+}
+
+func TestWhereOperatorsAndLiterals(t *testing.T) {
+	s := parseOne(t, `SELECT a FROM t WHERE a >= -2 AND b <> 'x''y' AND c < 3.5 AND d = TRUE AND e <= 7 AND f > 1`)
+	q := s.(*SelectStmt)
+	if len(q.Where) != 6 {
+		t.Fatalf("where = %d conds", len(q.Where))
+	}
+	if q.Where[0].Op != ra.OpGE {
+		t.Errorf("op 0 = %s", q.Where[0].Op)
+	}
+	lit := q.Where[0].R.(ra.Lit)
+	if lit.V.AsInt() != -2 {
+		t.Errorf("literal = %v", lit.V)
+	}
+	if q.Where[1].R.(ra.Lit).V.AsString() != "x'y" {
+		t.Errorf("string literal = %v", q.Where[1].R)
+	}
+	if q.Where[2].R.(ra.Lit).V.AsFloat() != 3.5 {
+		t.Errorf("float literal = %v", q.Where[2].R)
+	}
+	if !q.Where[3].R.(ra.Lit).V.AsBool() {
+		t.Errorf("bool literal = %v", q.Where[3].R)
+	}
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	s := parseOne(t, `SELECT a + b * c AS x, (a + b) * c AS y FROM t`)
+	q := s.(*SelectStmt)
+	x := q.Items[0].Expr.(ra.Arith)
+	if x.Op != "+" {
+		t.Errorf("precedence: top op = %s, want +", x.Op)
+	}
+	if inner, ok := x.R.(ra.Arith); !ok || inner.Op != "*" {
+		t.Errorf("precedence: right = %v", x.R)
+	}
+	y := q.Items[1].Expr.(ra.Arith)
+	if y.Op != "*" {
+		t.Errorf("parens: top op = %s, want *", y.Op)
+	}
+}
+
+func TestInsertDeleteUpdate(t *testing.T) {
+	s := parseOne(t, `INSERT INTO sale VALUES (1, 2, 3, 4, 9.5), (2, 2, 3, 4, 1)`)
+	ins := s.(*Insert)
+	if ins.Table != "sale" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 5 {
+		t.Errorf("insert = %+v", ins)
+	}
+	if ins.Rows[0][4].AsFloat() != 9.5 {
+		t.Errorf("insert value = %v", ins.Rows[0][4])
+	}
+
+	s = parseOne(t, `DELETE FROM sale WHERE id = 7`)
+	del := s.(*Delete)
+	if del.Table != "sale" || len(del.Where) != 1 {
+		t.Errorf("delete = %+v", del)
+	}
+
+	s = parseOne(t, `UPDATE sale SET price = 2.5, storeid = 9 WHERE id = 7 AND price > 1`)
+	upd := s.(*Update)
+	if upd.Table != "sale" || len(upd.Set) != 2 || len(upd.Where) != 2 {
+		t.Errorf("update = %+v", upd)
+	}
+	if upd.Set[0].Column != "price" || upd.Set[0].Value.AsFloat() != 2.5 {
+		t.Errorf("set = %+v", upd.Set[0])
+	}
+}
+
+func TestParseAllScript(t *testing.T) {
+	stmts, err := ParseAll(`
+		-- the retail schema
+		CREATE TABLE t (id INT PRIMARY KEY);
+		INSERT INTO t VALUES (1);
+		SELECT id FROM t;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+}
+
+func TestGroupingValidation(t *testing.T) {
+	cases := []struct {
+		src, errSub string
+	}{
+		{`SELECT a, b FROM t GROUP BY a`, "not in GROUP BY"},
+		{`SELECT a FROM t GROUP BY a, b`, "must be projected"},
+		{`SELECT a + 1 FROM t GROUP BY a`, "must be a column"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("%q: got %v, want error containing %q", c.src, err, c.errSub)
+		}
+	}
+	// Valid: all group-by attrs projected, aggregates free.
+	if _, err := Parse(`SELECT a, b, COUNT(*) FROM t GROUP BY a, b`); err != nil {
+		t.Errorf("valid grouping rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELEC a FROM t`,
+		`CREATE INDEX i ON t`,
+		`CREATE TABLE t (a WIBBLE)`,
+		`CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)`,
+		`SELECT FROM t`,
+		`SELECT a FROM`,
+		`SELECT a t`,
+		`SELECT SUM(*) FROM t`,
+		`SELECT a FROM t WHERE a !! 3`,
+		`SELECT a FROM t WHERE a = 'unterminated`,
+		`SELECT a FROM t WHERE a = @`,
+		`INSERT INTO t VALUES 1`,
+		`UPDATE t SET a 1`,
+		`SELECT a FROM t; garbage`,
+		`SELECT a FROM t extra`,
+		`SELECT a FROM t WHERE a = -'x'`,
+		`CREATE VIEW v AS INSERT INTO t VALUES (1)`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestNullLiteral(t *testing.T) {
+	s := parseOne(t, `SELECT a FROM t WHERE a = NULL`)
+	q := s.(*SelectStmt)
+	if !q.Where[0].R.(ra.Lit).V.IsNull() {
+		t.Error("NULL literal not parsed")
+	}
+}
+
+func TestLexerOffsetsInErrors(t *testing.T) {
+	_, err := Parse(`SELECT a FROM t WHERE a = @`)
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error should carry offset: %v", err)
+	}
+}
+
+func TestQualifiedStar(t *testing.T) {
+	// COUNT(*) only; a bare * select item is not part of the GPSJ subset.
+	if _, err := Parse(`SELECT * FROM t`); err == nil {
+		t.Error("SELECT * accepted; GPSJ requires explicit projection")
+	}
+}

@@ -1,0 +1,404 @@
+// Package storage implements the in-memory storage engine that plays the
+// role of the operational data sources and of the warehouse-resident
+// detail tables.
+//
+// Tables enforce the paper's assumptions on base data (Section 2.1): a
+// single-attribute primary key per table, no null values, and referential
+// integrity for declared foreign keys. Updates are only permitted on
+// attributes declared mutable in the schema, which is what makes the
+// exposed-update analysis of the view derivation sound.
+//
+// A DB can be Detach()ed, after which every access panics; the warehouse
+// layer uses this to prove that maintenance of the summary data never
+// touches the sources (self-maintainability, Section 2.2).
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"mindetail/internal/schema"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// Table is an in-memory base table: a dense row slice with a primary-key
+// hash index and secondary hash indexes on demand.
+type Table struct {
+	meta *schema.Table
+
+	rows []tuple.Tuple
+	keys []string       // keys[i] is the encoded primary key of rows[i]
+	pos  map[string]int // encoded primary key -> row position
+
+	// idx maps attribute name -> encoded value -> encoded primary keys of
+	// the rows holding that value.
+	idx map[string]map[string][]string
+
+	bytes int
+}
+
+// NewTable creates an empty table for the given schema.
+func NewTable(meta *schema.Table) *Table {
+	return &Table{
+		meta: meta,
+		pos:  make(map[string]int),
+		idx:  make(map[string]map[string][]string),
+	}
+}
+
+// Meta returns the table schema.
+func (t *Table) Meta() *schema.Table { return t.meta }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Bytes returns the byte-accounting size of the stored rows (canonical
+// encoding, not counting index overhead).
+func (t *Table) Bytes() int { return t.bytes }
+
+// CreateIndex builds (or rebuilds) a secondary hash index on attr.
+func (t *Table) CreateIndex(attr string) error {
+	ai := t.meta.AttrIndex(attr)
+	if ai < 0 {
+		return fmt.Errorf("storage: %s: no attribute %s to index", t.meta.Name, attr)
+	}
+	m := make(map[string][]string)
+	for i, r := range t.rows {
+		vk := string(types.Encode(nil, r[ai]))
+		m[vk] = append(m[vk], t.keys[i])
+	}
+	t.idx[attr] = m
+	return nil
+}
+
+// HasIndex reports whether a secondary index exists on attr.
+func (t *Table) HasIndex(attr string) bool {
+	_, ok := t.idx[attr]
+	return ok
+}
+
+func (t *Table) indexAdd(row tuple.Tuple, pk string) {
+	for attr, m := range t.idx {
+		ai := t.meta.AttrIndex(attr)
+		vk := string(types.Encode(nil, row[ai]))
+		m[vk] = append(m[vk], pk)
+	}
+}
+
+func (t *Table) indexRemove(row tuple.Tuple, pk string) {
+	for attr, m := range t.idx {
+		ai := t.meta.AttrIndex(attr)
+		vk := string(types.Encode(nil, row[ai]))
+		list := m[vk]
+		for i, k := range list {
+			if k == pk {
+				list[i] = list[len(list)-1]
+				list = list[:len(list)-1]
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(m, vk)
+		} else {
+			m[vk] = list
+		}
+	}
+}
+
+// normalize validates a row against the schema, coercing integer values
+// into float columns, and returns the canonical tuple.
+func (t *Table) normalize(row tuple.Tuple) (tuple.Tuple, error) {
+	if len(row) != len(t.meta.Attrs) {
+		return nil, fmt.Errorf("storage: %s: got %d values, want %d", t.meta.Name, len(row), len(t.meta.Attrs))
+	}
+	out := row.Clone()
+	for i, a := range t.meta.Attrs {
+		v := out[i]
+		if v.IsNull() {
+			return nil, fmt.Errorf("storage: %s.%s: null values are not permitted in base tables", t.meta.Name, a.Name)
+		}
+		if v.Kind() == a.Type {
+			continue
+		}
+		if a.Type == types.KindFloat && v.Kind() == types.KindInt {
+			out[i] = types.Float(float64(v.AsInt()))
+			continue
+		}
+		return nil, fmt.Errorf("storage: %s.%s: cannot store %s in %s column", t.meta.Name, a.Name, v.Kind(), a.Type)
+	}
+	return out, nil
+}
+
+// insert adds a normalized row. The caller has already checked RI.
+func (t *Table) insert(row tuple.Tuple) error {
+	pk := string(types.Encode(nil, row[t.meta.KeyIndex()]))
+	if _, dup := t.pos[pk]; dup {
+		return fmt.Errorf("storage: %s: duplicate key %s", t.meta.Name, row[t.meta.KeyIndex()])
+	}
+	t.pos[pk] = len(t.rows)
+	t.rows = append(t.rows, row)
+	t.keys = append(t.keys, pk)
+	t.bytes += row.EncodedSize()
+	t.indexAdd(row, pk)
+	return nil
+}
+
+// delete removes the row with the given encoded primary key, returning it.
+func (t *Table) delete(pk string) (tuple.Tuple, error) {
+	i, ok := t.pos[pk]
+	if !ok {
+		return nil, fmt.Errorf("storage: %s: no row with that key", t.meta.Name)
+	}
+	row := t.rows[i]
+	last := len(t.rows) - 1
+	if i != last {
+		t.rows[i] = t.rows[last]
+		t.keys[i] = t.keys[last]
+		t.pos[t.keys[i]] = i
+	}
+	t.rows = t.rows[:last]
+	t.keys = t.keys[:last]
+	delete(t.pos, pk)
+	t.bytes -= row.EncodedSize()
+	t.indexRemove(row, pk)
+	return row, nil
+}
+
+// Get returns the row with the given primary key value, or nil.
+func (t *Table) Get(key types.Value) tuple.Tuple {
+	pk := string(types.Encode(nil, key))
+	if i, ok := t.pos[pk]; ok {
+		return t.rows[i]
+	}
+	return nil
+}
+
+// Lookup returns the rows whose attr equals v. It uses a secondary index
+// when present and scans otherwise.
+func (t *Table) Lookup(attr string, v types.Value) []tuple.Tuple {
+	ai := t.meta.AttrIndex(attr)
+	if ai < 0 {
+		return nil
+	}
+	if m, ok := t.idx[attr]; ok {
+		vk := string(types.Encode(nil, v))
+		pks := m[vk]
+		out := make([]tuple.Tuple, 0, len(pks))
+		for _, pk := range pks {
+			out = append(out, t.rows[t.pos[pk]])
+		}
+		return out
+	}
+	var out []tuple.Tuple
+	for _, r := range t.rows {
+		if types.Identical(r[ai], v) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Scan calls fn for every row. Iteration order is the current physical
+// order, which is deterministic for a given operation sequence.
+func (t *Table) Scan(fn func(tuple.Tuple)) {
+	for _, r := range t.rows {
+		fn(r)
+	}
+}
+
+// All returns a copy of all rows in primary-key order (deterministic
+// regardless of operation history).
+func (t *Table) All() []tuple.Tuple {
+	order := make([]int, len(t.rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return t.keys[order[a]] < t.keys[order[b]] })
+	out := make([]tuple.Tuple, len(order))
+	for i, j := range order {
+		out[i] = t.rows[j]
+	}
+	return out
+}
+
+// DB is a set of tables under a common catalog with referential-integrity
+// enforcement across them.
+type DB struct {
+	cat      *schema.Catalog
+	tables   map[string]*Table
+	detached bool
+}
+
+// NewDB creates a DB with one empty table per catalog entry. Foreign-key
+// source attributes are indexed automatically so that delete-side RI checks
+// are cheap.
+func NewDB(cat *schema.Catalog) *DB {
+	db := &DB{cat: cat, tables: make(map[string]*Table)}
+	for _, name := range cat.TableNames() {
+		db.tables[name] = NewTable(cat.Table(name))
+	}
+	for _, fk := range cat.ForeignKeys() {
+		// Error impossible: the catalog validated the attribute.
+		_ = db.tables[fk.FromTable].CreateIndex(fk.FromAttr)
+	}
+	return db
+}
+
+// Catalog returns the catalog the DB was created from.
+func (db *DB) Catalog() *schema.Catalog { return db.cat }
+
+// Sync creates tables and foreign-key indexes for catalog entries added
+// after the DB was constructed (incremental DDL).
+func (db *DB) Sync() {
+	db.guard()
+	for _, name := range db.cat.TableNames() {
+		if _, ok := db.tables[name]; !ok {
+			db.tables[name] = NewTable(db.cat.Table(name))
+		}
+	}
+	for _, fk := range db.cat.ForeignKeys() {
+		t := db.tables[fk.FromTable]
+		if t != nil && !t.HasIndex(fk.FromAttr) {
+			_ = t.CreateIndex(fk.FromAttr)
+		}
+	}
+}
+
+// Detach severs the DB: every subsequent access panics. Used to prove that
+// warehouse maintenance is self-contained.
+func (db *DB) Detach() { db.detached = true }
+
+// Detached reports whether the DB has been detached.
+func (db *DB) Detached() bool { return db.detached }
+
+func (db *DB) guard() {
+	if db.detached {
+		panic("storage: access to detached data source (self-maintainability violated)")
+	}
+}
+
+// Table returns the named table. It panics if the DB is detached.
+func (db *DB) Table(name string) *Table {
+	db.guard()
+	return db.tables[name]
+}
+
+// Insert adds a row to the named table, enforcing types, nulls, key
+// uniqueness, and referential integrity of outgoing foreign keys.
+func (db *DB) Insert(table string, row tuple.Tuple) error {
+	db.guard()
+	t := db.tables[table]
+	if t == nil {
+		return fmt.Errorf("storage: unknown table %s", table)
+	}
+	norm, err := t.normalize(row)
+	if err != nil {
+		return err
+	}
+	for _, fk := range db.cat.ForeignKeys() {
+		if fk.FromTable != table {
+			continue
+		}
+		ref := norm[t.meta.AttrIndex(fk.FromAttr)]
+		if db.tables[fk.ToTable].Get(ref) == nil {
+			return fmt.Errorf("storage: %s.%s = %s violates referential integrity to %s",
+				table, fk.FromAttr, ref, fk.ToTable)
+		}
+	}
+	return t.insert(norm)
+}
+
+// Delete removes the row with the given key value, enforcing that no other
+// table still references it. It returns the deleted row.
+func (db *DB) Delete(table string, key types.Value) (tuple.Tuple, error) {
+	db.guard()
+	t := db.tables[table]
+	if t == nil {
+		return nil, fmt.Errorf("storage: unknown table %s", table)
+	}
+	for _, fk := range db.cat.ReferencesTo(table) {
+		if refs := db.tables[fk.FromTable].Lookup(fk.FromAttr, key); len(refs) > 0 {
+			return nil, fmt.Errorf("storage: cannot delete %s key %s: still referenced by %d row(s) of %s",
+				table, key, len(refs), fk.FromTable)
+		}
+	}
+	pk := string(types.Encode(nil, key))
+	return t.delete(pk)
+}
+
+// Update changes the given attributes of the row identified by key, and
+// returns the old and new versions of the row. Only attributes declared
+// mutable in the schema may change; keys never change.
+func (db *DB) Update(table string, key types.Value, set map[string]types.Value) (old, new tuple.Tuple, err error) {
+	db.guard()
+	t := db.tables[table]
+	if t == nil {
+		return nil, nil, fmt.Errorf("storage: unknown table %s", table)
+	}
+	cur := t.Get(key)
+	if cur == nil {
+		return nil, nil, fmt.Errorf("storage: %s: no row with key %s", table, key)
+	}
+	upd := cur.Clone()
+	for attr, v := range set {
+		ai := t.meta.AttrIndex(attr)
+		if ai < 0 {
+			return nil, nil, fmt.Errorf("storage: %s has no attribute %s", table, attr)
+		}
+		if attr == t.meta.Key {
+			return nil, nil, fmt.Errorf("storage: %s: primary key %s cannot be updated", table, attr)
+		}
+		if !t.meta.IsMutable(attr) {
+			return nil, nil, fmt.Errorf("storage: %s.%s is not declared mutable", table, attr)
+		}
+		upd[ai] = v
+	}
+	norm, err := t.normalize(upd)
+	if err != nil {
+		return nil, nil, err
+	}
+	// RI for changed foreign-key attributes.
+	for _, fk := range db.cat.ForeignKeys() {
+		if fk.FromTable != table {
+			continue
+		}
+		ai := t.meta.AttrIndex(fk.FromAttr)
+		if types.Identical(cur[ai], norm[ai]) {
+			continue
+		}
+		if db.tables[fk.ToTable].Get(norm[ai]) == nil {
+			return nil, nil, fmt.Errorf("storage: %s.%s = %s violates referential integrity to %s",
+				table, fk.FromAttr, norm[ai], fk.ToTable)
+		}
+	}
+	pk := string(types.Encode(nil, key))
+	if _, err := t.delete(pk); err != nil {
+		return nil, nil, err
+	}
+	if err := t.insert(norm); err != nil {
+		// Re-insert the old row; cannot fail since we just removed it.
+		_ = t.insert(cur)
+		return nil, nil, err
+	}
+	return cur, norm, nil
+}
+
+// RowCount returns the number of rows in the named table.
+func (db *DB) RowCount(table string) int {
+	db.guard()
+	if t := db.tables[table]; t != nil {
+		return t.Len()
+	}
+	return 0
+}
+
+// TotalBytes returns the byte-accounting size across all tables.
+func (db *DB) TotalBytes() int {
+	db.guard()
+	n := 0
+	for _, t := range db.tables {
+		n += t.bytes
+	}
+	return n
+}

@@ -1,0 +1,320 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mindetail/internal/schema"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+func retailCatalog(t *testing.T) *schema.Catalog {
+	t.Helper()
+	cat := schema.NewCatalog()
+	tables := []*schema.Table{
+		{
+			Name: "time",
+			Attrs: []schema.Attribute{
+				{Name: "id", Type: types.KindInt},
+				{Name: "month", Type: types.KindInt},
+				{Name: "year", Type: types.KindInt},
+			},
+			Key: "id",
+		},
+		{
+			Name: "sale",
+			Attrs: []schema.Attribute{
+				{Name: "id", Type: types.KindInt},
+				{Name: "timeid", Type: types.KindInt},
+				{Name: "price", Type: types.KindFloat},
+			},
+			Key:     "id",
+			Mutable: []string{"price", "timeid"},
+		},
+	}
+	for _, tb := range tables {
+		if err := cat.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.AddForeignKey(schema.ForeignKey{FromTable: "sale", FromAttr: "timeid", ToTable: "time"}); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func mustInsert(t *testing.T, db *DB, table string, vals ...types.Value) {
+	t.Helper()
+	if err := db.Insert(table, tuple.Tuple(vals)); err != nil {
+		t.Fatalf("insert %s %v: %v", table, vals, err)
+	}
+}
+
+func seed(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB(retailCatalog(t))
+	mustInsert(t, db, "time", types.Int(1), types.Int(1), types.Int(1997))
+	mustInsert(t, db, "time", types.Int(2), types.Int(2), types.Int(1997))
+	mustInsert(t, db, "sale", types.Int(10), types.Int(1), types.Float(5))
+	mustInsert(t, db, "sale", types.Int(11), types.Int(1), types.Float(7.5))
+	mustInsert(t, db, "sale", types.Int(12), types.Int(2), types.Float(1))
+	return db
+}
+
+func TestInsertAndGet(t *testing.T) {
+	db := seed(t)
+	if got := db.RowCount("sale"); got != 3 {
+		t.Errorf("RowCount = %d", got)
+	}
+	row := db.Table("sale").Get(types.Int(11))
+	if row == nil || row[2].AsFloat() != 7.5 {
+		t.Errorf("Get(11) = %v", row)
+	}
+	if db.Table("sale").Get(types.Int(99)) != nil {
+		t.Error("Get(99) should be nil")
+	}
+}
+
+func TestInsertIntCoercedToFloat(t *testing.T) {
+	db := seed(t)
+	mustInsert(t, db, "sale", types.Int(13), types.Int(2), types.Int(3))
+	row := db.Table("sale").Get(types.Int(13))
+	if row[2].Kind() != types.KindFloat || row[2].AsFloat() != 3 {
+		t.Errorf("coercion failed: %v", row[2])
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	db := seed(t)
+	cases := []struct {
+		name   string
+		table  string
+		row    tuple.Tuple
+		errSub string
+	}{
+		{"unknown table", "nope", tuple.Tuple{types.Int(1)}, "unknown table"},
+		{"arity", "sale", tuple.Tuple{types.Int(1)}, "values"},
+		{"null", "sale", tuple.Tuple{types.Int(20), types.Null, types.Float(1)}, "null"},
+		{"type", "sale", tuple.Tuple{types.Str("x"), types.Int(1), types.Float(1)}, "cannot store"},
+		{"dup key", "sale", tuple.Tuple{types.Int(10), types.Int(1), types.Float(1)}, "duplicate key"},
+		{"RI", "sale", tuple.Tuple{types.Int(20), types.Int(99), types.Float(1)}, "referential integrity"},
+	}
+	for _, c := range cases {
+		err := db.Insert(c.table, c.row)
+		if err == nil || !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.errSub)
+		}
+	}
+}
+
+func TestDeleteAndRI(t *testing.T) {
+	db := seed(t)
+	if _, err := db.Delete("time", types.Int(1)); err == nil {
+		t.Error("deleting referenced dimension row should fail")
+	}
+	row, err := db.Delete("sale", types.Int(12))
+	if err != nil || row[0].AsInt() != 12 {
+		t.Fatalf("Delete(sale,12) = %v, %v", row, err)
+	}
+	if _, err := db.Delete("sale", types.Int(12)); err == nil {
+		t.Error("double delete should fail")
+	}
+	// time 2 now unreferenced.
+	if _, err := db.Delete("time", types.Int(2)); err != nil {
+		t.Errorf("deleting unreferenced row: %v", err)
+	}
+	if _, err := db.Delete("nope", types.Int(1)); err == nil {
+		t.Error("unknown table delete should fail")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := seed(t)
+	old, upd, err := db.Update("sale", types.Int(10), map[string]types.Value{"price": types.Float(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old[2].AsFloat() != 5 || upd[2].AsFloat() != 9 {
+		t.Errorf("old=%v new=%v", old, upd)
+	}
+	if got := db.Table("sale").Get(types.Int(10))[2].AsFloat(); got != 9 {
+		t.Errorf("stored price = %v", got)
+	}
+	// Update of FK attr with RI check.
+	if _, _, err := db.Update("sale", types.Int(10), map[string]types.Value{"timeid": types.Int(99)}); err == nil {
+		t.Error("update violating RI accepted")
+	}
+	if _, _, err := db.Update("sale", types.Int(10), map[string]types.Value{"timeid": types.Int(2)}); err != nil {
+		t.Errorf("valid FK update rejected: %v", err)
+	}
+	if _, _, err := db.Update("sale", types.Int(10), map[string]types.Value{"id": types.Int(77)}); err == nil {
+		t.Error("key update accepted")
+	}
+	if _, _, err := db.Update("time", types.Int(1), map[string]types.Value{"month": types.Int(3)}); err == nil {
+		t.Error("update of immutable attribute accepted")
+	}
+	if _, _, err := db.Update("sale", types.Int(99), map[string]types.Value{"price": types.Float(1)}); err == nil {
+		t.Error("update of missing row accepted")
+	}
+	if _, _, err := db.Update("sale", types.Int(10), map[string]types.Value{"nope": types.Float(1)}); err == nil {
+		t.Error("update of unknown attribute accepted")
+	}
+}
+
+func TestLookupWithAndWithoutIndex(t *testing.T) {
+	db := seed(t)
+	sale := db.Table("sale")
+	if !sale.HasIndex("timeid") {
+		t.Fatal("FK attribute should be auto-indexed")
+	}
+	got := sale.Lookup("timeid", types.Int(1))
+	if len(got) != 2 {
+		t.Errorf("indexed Lookup = %d rows", len(got))
+	}
+	// price has no index: scan path.
+	got = sale.Lookup("price", types.Float(7.5))
+	if len(got) != 1 || got[0][0].AsInt() != 11 {
+		t.Errorf("scan Lookup = %v", got)
+	}
+	if got := sale.Lookup("nope", types.Int(1)); got != nil {
+		t.Errorf("Lookup on unknown attr = %v", got)
+	}
+}
+
+func TestIndexMaintainedAcrossDeleteSwap(t *testing.T) {
+	db := seed(t)
+	sale := db.Table("sale")
+	// Delete a middle row to force the swap path, then check index sanity.
+	if _, err := db.Delete("sale", types.Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	got := sale.Lookup("timeid", types.Int(1))
+	if len(got) != 1 || got[0][0].AsInt() != 11 {
+		t.Errorf("after delete, Lookup(timeid=1) = %v", got)
+	}
+	mustInsert(t, db, "sale", types.Int(13), types.Int(1), types.Float(2))
+	if got := sale.Lookup("timeid", types.Int(1)); len(got) != 2 {
+		t.Errorf("after reinsert, Lookup = %d rows", len(got))
+	}
+}
+
+func TestAllDeterministicOrder(t *testing.T) {
+	db := seed(t)
+	all := db.Table("sale").All()
+	if len(all) != 3 {
+		t.Fatalf("All = %d rows", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1][0].AsInt() >= all[i][0].AsInt() {
+			t.Errorf("All not in key order: %v", all)
+		}
+	}
+}
+
+func TestScanVisitsEverything(t *testing.T) {
+	db := seed(t)
+	n := 0
+	db.Table("sale").Scan(func(tuple.Tuple) { n++ })
+	if n != 3 {
+		t.Errorf("Scan visited %d rows", n)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	db := NewDB(retailCatalog(t))
+	if db.TotalBytes() != 0 {
+		t.Error("empty DB has bytes")
+	}
+	mustInsert(t, db, "time", types.Int(1), types.Int(1), types.Int(1997))
+	before := db.TotalBytes()
+	if before <= 0 {
+		t.Error("bytes not accounted")
+	}
+	if _, err := db.Delete("time", types.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if db.TotalBytes() != 0 {
+		t.Errorf("bytes after delete = %d", db.TotalBytes())
+	}
+}
+
+func TestDetachPanics(t *testing.T) {
+	db := seed(t)
+	db.Detach()
+	if !db.Detached() {
+		t.Error("Detached() = false")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("access after Detach should panic")
+		}
+	}()
+	db.RowCount("sale")
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	db := seed(t)
+	if err := db.Table("sale").CreateIndex("nope"); err == nil {
+		t.Error("index on unknown attr accepted")
+	}
+	if err := db.Table("sale").CreateIndex("price"); err != nil {
+		t.Errorf("index on price: %v", err)
+	}
+	got := db.Table("sale").Lookup("price", types.Float(5))
+	if len(got) != 1 {
+		t.Errorf("indexed price lookup = %v", got)
+	}
+}
+
+// Property: a random sequence of inserts and deletes keeps Get, Lookup, and
+// Len consistent with a naive map model.
+func TestPropertyStorageMatchesModel(t *testing.T) {
+	cat := retailCatalog(t)
+	f := func(ops []int16) bool {
+		db := NewDB(cat)
+		mustInsertOK := db.Insert("time", tuple.Tuple{types.Int(1), types.Int(1), types.Int(1997)})
+		if mustInsertOK != nil {
+			return false
+		}
+		model := map[int64]float64{}
+		for _, op := range ops {
+			id := int64(op)%50 + 50 // keys 0..99
+			if id < 0 {
+				id = -id
+			}
+			if op%2 == 0 {
+				price := float64(op) / 4
+				err := db.Insert("sale", tuple.Tuple{types.Int(id), types.Int(1), types.Float(price)})
+				_, exists := model[id]
+				if exists != (err != nil) {
+					return false
+				}
+				if err == nil {
+					model[id] = price
+				}
+			} else {
+				_, err := db.Delete("sale", types.Int(id))
+				_, exists := model[id]
+				if exists != (err == nil) {
+					return false
+				}
+				delete(model, id)
+			}
+		}
+		if db.RowCount("sale") != len(model) {
+			return false
+		}
+		for id, price := range model {
+			row := db.Table("sale").Get(types.Int(id))
+			if row == nil || row[2].AsFloat() != price {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Package tuple provides the row representation shared by the storage
+// engine and the relational algebra evaluator.
+package tuple
+
+import (
+	"strings"
+
+	"mindetail/internal/types"
+)
+
+// Tuple is a flat row of values. Position meaning is given by a schema or a
+// column list owned by the relation holding the tuple.
+type Tuple []types.Value
+
+// Clone returns a copy of t. Values are immutable, so a shallow copy of the
+// slice suffices.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Identical reports positional identity of two tuples under
+// types.Identical (so NULLs match and Int/Float coerce).
+func Identical(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !types.Identical(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the sub-tuple at the given positions.
+func (t Tuple) Project(positions []int) Tuple {
+	out := make(Tuple, len(positions))
+	for i, p := range positions {
+		out[i] = t[p]
+	}
+	return out
+}
+
+// Concat returns the concatenation of a and b as a new tuple.
+func Concat(a, b Tuple) Tuple {
+	out := make(Tuple, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// Key returns the canonical byte-encoding of the tuple, suitable as a map
+// key for grouping and duplicate detection. Tuples that are Identical
+// produce equal keys.
+func (t Tuple) Key() string {
+	var buf []byte
+	for _, v := range t {
+		buf = types.Encode(buf, v)
+	}
+	return string(buf)
+}
+
+// KeyAt is like Key but encodes only the given positions.
+func (t Tuple) KeyAt(positions []int) string {
+	var buf []byte
+	for _, p := range positions {
+		buf = types.Encode(buf, t[p])
+	}
+	return string(buf)
+}
+
+// EncodedSize returns the byte-accounting size of the tuple, used for
+// storage statistics.
+func (t Tuple) EncodedSize() int {
+	n := 0
+	for _, v := range t {
+		n += types.EncodedSize(v)
+	}
+	return n
+}
+
+// HasNull reports whether any field is NULL.
+func (t Tuple) HasNull() bool {
+	for _, v := range t {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package tuple
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mindetail/internal/types"
+)
+
+func row(vs ...types.Value) Tuple { return Tuple(vs) }
+
+func TestCloneIndependence(t *testing.T) {
+	orig := row(types.Int(1), types.Str("a"))
+	c := orig.Clone()
+	c[0] = types.Int(99)
+	if orig[0].AsInt() != 1 {
+		t.Error("Clone shares backing array")
+	}
+	if !Identical(orig, row(types.Int(1), types.Str("a"))) {
+		t.Error("original mutated")
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	a := row(types.Int(2), types.Null, types.Str("x"))
+	b := row(types.Float(2), types.Null, types.Str("x"))
+	if !Identical(a, b) {
+		t.Error("coerced tuples should be identical")
+	}
+	if Identical(a, row(types.Int(2), types.Null)) {
+		t.Error("length mismatch should differ")
+	}
+	if Identical(a, row(types.Int(2), types.Int(0), types.Str("x"))) {
+		t.Error("null vs 0 should differ")
+	}
+}
+
+func TestProjectAndConcat(t *testing.T) {
+	a := row(types.Int(1), types.Int(2), types.Int(3))
+	p := a.Project([]int{2, 0})
+	if !Identical(p, row(types.Int(3), types.Int(1))) {
+		t.Errorf("Project = %v", p)
+	}
+	c := Concat(a[:1], p)
+	if !Identical(c, row(types.Int(1), types.Int(3), types.Int(1))) {
+		t.Errorf("Concat = %v", c)
+	}
+	// Concat must not alias its inputs.
+	c[0] = types.Int(42)
+	if a[0].AsInt() != 1 {
+		t.Error("Concat aliases input")
+	}
+}
+
+func TestKeyMatchesIdentical(t *testing.T) {
+	f := func(a1, b1 int64, a2, b2 string) bool {
+		ta := row(types.Int(a1), types.Str(a2))
+		tb := row(types.Int(b1), types.Str(b2))
+		return (ta.Key() == tb.Key()) == Identical(ta, tb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyAt(t *testing.T) {
+	a := row(types.Int(1), types.Str("x"), types.Int(2))
+	b := row(types.Int(9), types.Str("x"), types.Int(2))
+	if a.KeyAt([]int{1, 2}) != b.KeyAt([]int{1, 2}) {
+		t.Error("KeyAt over equal positions should match")
+	}
+	if a.KeyAt([]int{0}) == b.KeyAt([]int{0}) {
+		t.Error("KeyAt over differing positions should differ")
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	a := row(types.Int(1), types.Str("abc"))
+	want := types.EncodedSize(types.Int(1)) + types.EncodedSize(types.Str("abc"))
+	if got := a.EncodedSize(); got != want {
+		t.Errorf("EncodedSize = %d, want %d", got, want)
+	}
+}
+
+func TestHasNullAndString(t *testing.T) {
+	if row(types.Int(1)).HasNull() {
+		t.Error("HasNull false positive")
+	}
+	if !row(types.Int(1), types.Null).HasNull() {
+		t.Error("HasNull false negative")
+	}
+	if got := row(types.Int(1), types.Str("a")).String(); got != "(1, 'a')" {
+		t.Errorf("String = %q", got)
+	}
+}

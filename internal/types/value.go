@@ -1,0 +1,368 @@
+// Package types defines the value model of the mindetail engine: typed
+// scalar values, ordering, arithmetic, and a canonical byte encoding used
+// for grouping and hashing.
+//
+// The paper assumes base tables contain no null values (Section 2.1);
+// KindNull exists only so that expression evaluation has a well-defined
+// error value and so that aggregate results over empty groups can be
+// represented. The storage layer rejects nulls in base data.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported kinds. The paper's examples use integers, floats (prices)
+// and strings (brands, cities); booleans appear as comparison results.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a scalar runtime value. The zero Value is NULL.
+//
+// Value is a small immutable struct passed by value; it deliberately avoids
+// interface boxing so that tuples are flat slices with no per-field heap
+// allocation for numeric data.
+type Value struct {
+	kind Kind
+	i    int64   // KindInt, and KindBool (0/1)
+	f    float64 // KindFloat
+	s    string  // KindString
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind reports the runtime kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It panics unless v is an integer or a
+// boolean; use Coerce helpers for lenient access.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt && v.kind != KindBool {
+		panic(fmt.Sprintf("types: AsInt on %s value", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat returns the numeric payload widened to float64. It panics unless
+// v is numeric.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic(fmt.Sprintf("types: AsFloat on %s value", v.kind))
+	}
+}
+
+// AsString returns the string payload. It panics unless v is a string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("types: AsString on %s value", v.kind))
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload. It panics unless v is a boolean.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("types: AsBool on %s value", v.kind))
+	}
+	return v.i != 0
+}
+
+// IsNumeric reports whether v is an integer or a float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders the value in SQL literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// Display renders the value for tabular output (strings unquoted).
+func (v Value) Display() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return v.String()
+}
+
+// Equal reports value equality with numeric coercion: Int(2) equals
+// Float(2.0). NULL equals nothing, including NULL (SQL semantics); use
+// Identical for grouping.
+func Equal(a, b Value) bool {
+	if a.kind == KindNull || b.kind == KindNull {
+		return false
+	}
+	c, ok := compare(a, b)
+	return ok && c == 0
+}
+
+// Identical reports whether a and b are indistinguishable for grouping and
+// duplicate elimination: NULL is identical to NULL, and numeric coercion
+// applies as in Equal.
+func Identical(a, b Value) bool {
+	if a.kind == KindNull && b.kind == KindNull {
+		return true
+	}
+	if a.kind == KindNull || b.kind == KindNull {
+		return false
+	}
+	c, ok := compare(a, b)
+	return ok && c == 0
+}
+
+// Compare orders a and b, returning -1, 0, or +1. Numeric kinds compare by
+// value across Int/Float. Values of incomparable kinds order by kind (NULL
+// first, then bool, numeric, string) so sorting is total and deterministic.
+func Compare(a, b Value) int {
+	if c, ok := compare(a, b); ok {
+		return c
+	}
+	// Incomparable kinds: order by kind tag, numerics unified.
+	ka, kb := orderClass(a.kind), orderClass(b.kind)
+	switch {
+	case ka < kb:
+		return -1
+	case ka > kb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func orderClass(k Kind) int {
+	switch k {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	default: // KindString
+		return 3
+	}
+}
+
+// compare returns the ordering of two comparable values; ok is false when
+// the kinds are incomparable (e.g. string vs int) or either side is NULL.
+func compare(a, b Value) (int, bool) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, false
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1, true
+			case a.i > b.i:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if a.kind != b.kind {
+		return 0, false
+	}
+	switch a.kind {
+	case KindBool:
+		switch {
+		case a.i < b.i:
+			return -1, true
+		case a.i > b.i:
+			return 1, true
+		default:
+			return 0, true
+		}
+	case KindString:
+		return strings.Compare(a.s, b.s), true
+	default:
+		return 0, false
+	}
+}
+
+// Add returns a+b with integer arithmetic when both sides are integers and
+// float arithmetic otherwise. NULL propagates.
+func Add(a, b Value) (Value, error) { return arith(a, b, "+") }
+
+// Sub returns a-b. NULL propagates.
+func Sub(a, b Value) (Value, error) { return arith(a, b, "-") }
+
+// Mul returns a*b. NULL propagates.
+func Mul(a, b Value) (Value, error) { return arith(a, b, "*") }
+
+// Div returns a/b; integer operands use float division to match SQL AVG
+// expectations of the examples. Division by zero is an error.
+func Div(a, b Value) (Value, error) { return arith(a, b, "/") }
+
+func arith(a, b Value, op string) (Value, error) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return Null, nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null, fmt.Errorf("types: %s %s %s: non-numeric operand", a, op, b)
+	}
+	if a.kind == KindInt && b.kind == KindInt && op != "/" {
+		switch op {
+		case "+":
+			return Int(a.i + b.i), nil
+		case "-":
+			return Int(a.i - b.i), nil
+		case "*":
+			return Int(a.i * b.i), nil
+		}
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch op {
+	case "+":
+		return Float(af + bf), nil
+	case "-":
+		return Float(af - bf), nil
+	case "*":
+		return Float(af * bf), nil
+	case "/":
+		if bf == 0 {
+			return Null, fmt.Errorf("types: division by zero")
+		}
+		return Float(af / bf), nil
+	}
+	return Null, fmt.Errorf("types: unknown operator %q", op)
+}
+
+// EncodedSize is the number of bytes Encode appends for v, used by storage
+// statistics. Strings cost their length plus a 4-byte length prefix; other
+// kinds cost a tag byte plus fixed payload.
+func EncodedSize(v Value) int {
+	switch v.kind {
+	case KindNull:
+		return 1
+	case KindBool:
+		return 2
+	case KindInt, KindFloat:
+		return 9
+	case KindString:
+		return 5 + len(v.s)
+	default:
+		return 1
+	}
+}
+
+// Encode appends a canonical, self-delimiting byte encoding of v to dst.
+// Identical values (per Identical) encode identically: integers that fit are
+// encoded as floats are not — instead both Int and Float of equal numeric
+// value normalize to the float bit pattern when the value is integral, so
+// Int(2) and Float(2) group together, matching Identical.
+func Encode(dst []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 0)
+	case KindBool:
+		return append(dst, 1, byte(v.i))
+	case KindInt, KindFloat:
+		// Normalize numerics to a float64 bit pattern when exactly
+		// representable so Int/Float of equal value collide; large
+		// integers keep an exact integer encoding.
+		if v.kind == KindInt {
+			f := float64(v.i)
+			if int64(f) == v.i {
+				return appendU64(append(dst, 2), math.Float64bits(f))
+			}
+			return appendU64(append(dst, 3), uint64(v.i))
+		}
+		return appendU64(append(dst, 2), math.Float64bits(v.f))
+	case KindString:
+		dst = append(dst, 4)
+		dst = appendU32(dst, uint32(len(v.s)))
+		return append(dst, v.s...)
+	default:
+		return append(dst, 0xFF)
+	}
+}
+
+func appendU64(dst []byte, u uint64) []byte {
+	return append(dst,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+func appendU32(dst []byte, u uint32) []byte {
+	return append(dst, byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}

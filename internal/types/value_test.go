@@ -1,0 +1,271 @@
+package types
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindBool:   "BOOLEAN",
+		KindInt:    "INTEGER",
+		KindFloat:  "FLOAT",
+		KindString: "VARCHAR",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(42).String(); got != "Kind(42)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := Int(7); v.Kind() != KindInt || v.AsInt() != 7 {
+		t.Errorf("Int(7) = %v", v)
+	}
+	if v := Float(2.5); v.Kind() != KindFloat || v.AsFloat() != 2.5 {
+		t.Errorf("Float(2.5) = %v", v)
+	}
+	if v := Str("abc"); v.Kind() != KindString || v.AsString() != "abc" {
+		t.Errorf("Str = %v", v)
+	}
+	if v := Bool(true); v.Kind() != KindBool || !v.AsBool() {
+		t.Errorf("Bool(true) = %v", v)
+	}
+	if v := Bool(false); v.AsBool() {
+		t.Errorf("Bool(false) = %v", v)
+	}
+	if !Null.IsNull() || Null.Kind() != KindNull {
+		t.Errorf("Null = %v", Null)
+	}
+	if Int(3).IsNull() {
+		t.Error("Int(3).IsNull() = true")
+	}
+}
+
+func TestAsFloatWidensInt(t *testing.T) {
+	if got := Int(4).AsFloat(); got != 4.0 {
+		t.Errorf("Int(4).AsFloat() = %v", got)
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AsInt on string", func() { Str("x").AsInt() })
+	mustPanic("AsFloat on string", func() { Str("x").AsFloat() })
+	mustPanic("AsString on int", func() { Int(1).AsString() })
+	mustPanic("AsBool on int", func() { Int(1).AsBool() })
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{Bool(true), "TRUE"},
+		{Bool(false), "FALSE"},
+		{Int(-12), "-12"},
+		{Float(2.5), "2.5"},
+		{Str("it's"), "'it''s'"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if got := Str("plain").Display(); got != "plain" {
+		t.Errorf("Display = %q", got)
+	}
+	if got := Int(3).Display(); got != "3" {
+		t.Errorf("Display = %q", got)
+	}
+}
+
+func TestEqualAndIdentical(t *testing.T) {
+	if !Equal(Int(2), Float(2.0)) {
+		t.Error("Int(2) != Float(2.0)")
+	}
+	if Equal(Null, Null) {
+		t.Error("NULL = NULL should be false (SQL)")
+	}
+	if !Identical(Null, Null) {
+		t.Error("Identical(NULL, NULL) should be true (grouping)")
+	}
+	if Identical(Null, Int(0)) || Identical(Int(0), Null) {
+		t.Error("NULL identical to 0")
+	}
+	if Equal(Str("a"), Int(1)) {
+		t.Error("cross-kind equal")
+	}
+	if !Identical(Str("a"), Str("a")) {
+		t.Error("string identity")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Int(2), Float(2.5), -1},
+		{Float(3), Int(2), 1},
+		{Str("a"), Str("b"), -1},
+		{Bool(false), Bool(true), -1},
+		{Null, Int(0), -1},    // NULL sorts first
+		{Str("a"), Int(9), 1}, // strings after numerics
+		{Null, Null, 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	check := func(got Value, err error, want Value) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if !Identical(got, want) && !(got.IsNull() && want.IsNull()) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	v, err := Add(Int(2), Int(3))
+	check(v, err, Int(5))
+	if v.Kind() != KindInt {
+		t.Errorf("int+int should stay int, got %v", v.Kind())
+	}
+	v, err = Add(Int(2), Float(0.5))
+	check(v, err, Float(2.5))
+	v, err = Sub(Int(5), Int(7))
+	check(v, err, Int(-2))
+	v, err = Mul(Float(1.5), Int(4))
+	check(v, err, Float(6))
+	v, err = Div(Int(7), Int(2))
+	check(v, err, Float(3.5))
+	if _, err := Div(Int(1), Int(0)); err == nil {
+		t.Error("division by zero: want error")
+	}
+	v, err = Add(Null, Int(1))
+	check(v, err, Null)
+	if _, err := Add(Str("x"), Int(1)); err == nil {
+		t.Error("string arithmetic: want error")
+	}
+}
+
+func TestEncodeDistinguishesValues(t *testing.T) {
+	vals := []Value{
+		Null, Bool(false), Bool(true),
+		Int(0), Int(1), Int(-1), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(0.5), Float(-0.5),
+		Str(""), Str("a"), Str("ab"), Str("b"),
+	}
+	for i, a := range vals {
+		for j, b := range vals {
+			ea := Encode(nil, a)
+			eb := Encode(nil, b)
+			same := bytes.Equal(ea, eb)
+			if Identical(a, b) != same {
+				t.Errorf("encode collision mismatch: %v (i=%d) vs %v (j=%d): identical=%v, encodeEqual=%v",
+					a, i, b, j, Identical(a, b), same)
+			}
+		}
+	}
+}
+
+func TestEncodeIntFloatCollide(t *testing.T) {
+	if !bytes.Equal(Encode(nil, Int(2)), Encode(nil, Float(2))) {
+		t.Error("Int(2) and Float(2) must encode identically for grouping")
+	}
+}
+
+func TestEncodeSelfDelimiting(t *testing.T) {
+	// ("a","bc") must not collide with ("ab","c") when concatenated.
+	ab := Encode(Encode(nil, Str("a")), Str("bc"))
+	ba := Encode(Encode(nil, Str("ab")), Str("c"))
+	if bytes.Equal(ab, ba) {
+		t.Error("concatenated encodings collide: encoding not self-delimiting")
+	}
+}
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	vals := []Value{Null, Bool(true), Int(12345), Float(3.14), Str("hello world")}
+	for _, v := range vals {
+		if got, want := EncodedSize(v), len(Encode(nil, v)); got != want {
+			t.Errorf("EncodedSize(%v) = %d, len(Encode) = %d", v, got, want)
+		}
+	}
+}
+
+func TestPropertyCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCompareTransitiveOnInts(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		va, vb, vc := Int(a), Int(b), Int(c)
+		if Compare(va, vb) <= 0 && Compare(vb, vc) <= 0 {
+			return Compare(va, vc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEncodeInjectiveInts(t *testing.T) {
+	f := func(a, b int64) bool {
+		same := bytes.Equal(Encode(nil, Int(a)), Encode(nil, Int(b)))
+		return same == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEncodeInjectiveStrings(t *testing.T) {
+	f := func(a, b string) bool {
+		same := bytes.Equal(Encode(nil, Str(a)), Encode(nil, Str(b)))
+		return same == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAddCommutative(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, err1 := Add(Int(int64(a)), Float(float64(b)))
+		y, err2 := Add(Float(float64(b)), Int(int64(a)))
+		return err1 == nil && err2 == nil && Identical(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package warehouse
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadersAndWriter exercises the warehouse's locking: one
+// writer streams inserts while many readers query the materialized view.
+// Run with -race (the repository's test setup does).
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	w := newRetail(t)
+
+	const readers = 4
+	const writes = 60
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rel, err := w.Query("product_sales")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rel.Len() > 10 {
+					t.Errorf("implausible view size %d", rel.Len())
+					return
+				}
+				_ = w.ViewNames()
+				_ = w.Detached()
+				_ = w.Report()
+			}
+		}()
+	}
+
+	for i := 0; i < writes; i++ {
+		sql := fmt.Sprintf(`INSERT INTO sale VALUES (%d, %d, %d, 7, %d)`,
+			100+i, i%3+1, 100+i%2, i%40+1)
+		if _, err := w.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package warehouse
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHavingRestriction exercises the Section 4 generalization: HAVING
+// restrictions on groups. The engine maintains the unrestricted groups;
+// the restriction is applied on reads, so groups flow in and out of the
+// result as their aggregates move across the threshold.
+func TestHavingRestriction(t *testing.T) {
+	w := newRetail(t)
+	if _, err := w.Exec(`
+		CREATE MATERIALIZED VIEW busy_months AS
+		SELECT time.month, COUNT(*) AS cnt, SUM(price) AS total
+		FROM sale, time
+		WHERE sale.timeid = time.id AND time.year = 1997
+		GROUP BY time.month
+		HAVING cnt >= 3`); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := w.Query("busy_months")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only month 1 has >= 3 sales initially.
+	if rel.Len() != 1 || rel.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("busy_months:\n%s", rel.Format())
+	}
+
+	// Push month 2 over the threshold.
+	w.MustExec(`INSERT INTO sale VALUES (6, 3, 100, 7, 1), (7, 3, 101, 7, 2)`)
+	rel, err = w.Query("busy_months")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("after inserts:\n%s", rel.Format())
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shrink month 1 below the threshold: the group leaves the result but
+	// stays maintained.
+	w.MustExec(`DELETE FROM sale WHERE id = 1`)
+	rel, err = w.Query("busy_months")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || rel.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("after delete:\n%s", rel.Format())
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// And back in.
+	w.MustExec(`INSERT INTO sale VALUES (8, 1, 100, 7, 4)`)
+	rel, _ = w.Query("busy_months")
+	if rel.Len() != 2 {
+		t.Fatalf("after reinsert:\n%s", rel.Format())
+	}
+}
+
+func TestHavingValidation(t *testing.T) {
+	w := newRetail(t)
+	cases := []struct {
+		sql, errSub string
+	}{
+		{`CREATE MATERIALIZED VIEW h1 AS
+			SELECT time.month, COUNT(*) AS cnt FROM sale, time
+			WHERE sale.timeid = time.id GROUP BY time.month
+			HAVING nosuch > 1`, "not found"},
+		{`CREATE MATERIALIZED VIEW h2 AS
+			SELECT time.month, COUNT(*) AS cnt FROM sale, time
+			WHERE sale.timeid = time.id GROUP BY time.month
+			HAVING sale.price > 1`, "output columns"},
+	}
+	for _, c := range cases {
+		_, err := w.Exec(c.sql)
+		if err == nil || !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("%q: got %v, want error containing %q", c.sql, err, c.errSub)
+		}
+	}
+}
+
+func TestHavingInSQLRoundTrip(t *testing.T) {
+	w := newRetail(t)
+	if _, err := w.Exec(`
+		CREATE MATERIALIZED VIEW h AS
+		SELECT time.month, COUNT(*) AS cnt FROM sale, time
+		WHERE sale.timeid = time.id GROUP BY time.month
+		HAVING cnt > 1 AND cnt < 100`); err != nil {
+		t.Fatal(err)
+	}
+	sql := w.View("h").Def.SQL()
+	if !strings.Contains(sql, "HAVING cnt > 1 AND cnt < 100") {
+		t.Errorf("SQL() = %q", sql)
+	}
+}

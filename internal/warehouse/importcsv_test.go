@@ -1,0 +1,70 @@
+package warehouse
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestImportCSVPropagates: bulk CSV loads must update already-materialized
+// views, exactly like INSERT statements.
+func TestImportCSVPropagates(t *testing.T) {
+	w := newRetail(t)
+	before, err := w.Query("product_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 1997 sales in month 1 (timeids 1 and 2) and one 1998 sale
+	// (timeid 4) that the view filters out.
+	csv := "10,1,100,7,20\n11,2,101,7,5.5\n12,4,100,7,7\n"
+	n, err := w.ImportCSV("sale", strings.NewReader(csv), false)
+	if err != nil || n != 3 {
+		t.Fatalf("ImportCSV = %d, %v", n, err)
+	}
+	after, err := w.Query("product_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Sorted().Rows[0][2].AsInt()+2 != after.Sorted().Rows[0][2].AsInt() {
+		t.Errorf("month 1 count did not grow by 2:\nbefore:\n%s\nafter:\n%s",
+			before.Format(), after.Format())
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	w := newRetail(t)
+	if _, err := w.ImportCSV("nosuch", strings.NewReader("1\n"), false); err == nil {
+		t.Error("unknown table accepted")
+	}
+	// A bad row mid-stream: earlier rows stay loaded and propagated, the
+	// error surfaces, and the views still match the source.
+	csv := "20,1,100,7,1\nbroken,row,x,y,z\n"
+	n, err := w.ImportCSV("sale", strings.NewReader(csv), false)
+	if err == nil {
+		t.Fatal("bad row accepted")
+	}
+	if n != 1 {
+		t.Errorf("rows before error = %d", n)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("views diverged after partial import: %v", err)
+	}
+	w.DetachSources()
+	if _, err := w.ImportCSV("sale", strings.NewReader("30,1,100,7,1\n"), false); err == nil {
+		t.Error("import accepted while detached")
+	}
+}
+
+func TestImportCSVWithHeader(t *testing.T) {
+	w := newRetail(t)
+	csv := "price,id,timeid,productid,storeid\n2.5,40,1,100,7\n"
+	n, err := w.ImportCSV("sale", strings.NewReader(csv), true)
+	if err != nil || n != 1 {
+		t.Fatalf("ImportCSV = %d, %v", n, err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

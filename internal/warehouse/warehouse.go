@@ -1,0 +1,544 @@
+// Package warehouse is the facade tying the system together, mirroring the
+// paper's Figure 1: operational data sources feed a warehouse that holds
+// summarized data (materialized GPSJ views) over minimal current detail
+// data (the derived auxiliary views). The SQL front-end drives everything:
+// CREATE TABLE defines sources, CREATE MATERIALIZED VIEW derives and
+// initializes a self-maintainable view, and INSERT/DELETE/UPDATE apply
+// source changes that propagate to every view.
+//
+// After DetachSources, the sources are physically unreachable (any access
+// panics) and changes arrive as explicit deltas — the self-maintainability
+// scenario that motivates the paper.
+package warehouse
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"mindetail/internal/answer"
+	"mindetail/internal/csvload"
+
+	"mindetail/internal/core"
+	"mindetail/internal/gpsj"
+	"mindetail/internal/maintain"
+	"mindetail/internal/ra"
+	"mindetail/internal/schema"
+	"mindetail/internal/sqlparse"
+	"mindetail/internal/storage"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// View is one materialized GPSJ view with its maintenance engine.
+type View struct {
+	Def    *gpsj.View
+	Plan   *core.Plan
+	Engine *maintain.Engine
+}
+
+// Warehouse owns the catalog, the (detachable) sources, and the
+// materialized views. All methods are safe for concurrent use: reads
+// (Query, Report, ViewNames) proceed concurrently while writes (Exec DML,
+// ApplyDelta, ImportCSV) serialize.
+type Warehouse struct {
+	mu       sync.RWMutex
+	cat      *schema.Catalog
+	src      *storage.DB
+	views    map[string]*View
+	order    []string
+	detached bool
+
+	// UseNeedSets configures engines created by subsequent CREATE VIEW
+	// statements (Need-set-restricted delta joins, on by default).
+	UseNeedSets bool
+
+	// AppendOnly derives subsequent views under the Section 4 relaxation:
+	// the sources only ever receive insertions, MIN/MAX compress into the
+	// auxiliary views, and deletions/updates are rejected.
+	AppendOnly bool
+}
+
+// New creates an empty warehouse.
+func New() *Warehouse {
+	cat := schema.NewCatalog()
+	return &Warehouse{
+		cat:         cat,
+		src:         storage.NewDB(cat),
+		views:       make(map[string]*View),
+		UseNeedSets: true,
+	}
+}
+
+// Catalog returns the warehouse catalog.
+func (w *Warehouse) Catalog() *schema.Catalog { return w.cat }
+
+// Source returns the operational source database. It panics after
+// DetachSources.
+func (w *Warehouse) Source() *storage.DB { return w.src }
+
+// View returns a materialized view by name, or nil.
+func (w *Warehouse) View(name string) *View {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.views[name]
+}
+
+// ViewNames lists the materialized views in creation order.
+func (w *Warehouse) ViewNames() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return append([]string(nil), w.order...)
+}
+
+// DetachSources severs the operational sources: any later access to them
+// panics, INSERT/DELETE/UPDATE statements fail, and changes must arrive via
+// ApplyDelta — proving the views are self-maintainable.
+func (w *Warehouse) DetachSources() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.detached = true
+	w.src.Detach()
+}
+
+// Detached reports whether the sources are severed.
+func (w *Warehouse) Detached() bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.detached
+}
+
+// Exec parses and executes a script of semicolon-separated SQL statements,
+// returning the relation produced by the final statement when it is a
+// SELECT (nil otherwise).
+func (w *Warehouse) Exec(sql string) (*ra.Relation, error) {
+	stmts, err := sqlparse.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var last *ra.Relation
+	for _, s := range stmts {
+		last = nil
+		switch st := s.(type) {
+		case *sqlparse.CreateTable:
+			err = w.createTable(st)
+		case *sqlparse.CreateView:
+			err = w.createView(st)
+		case *sqlparse.SelectStmt:
+			last, err = w.query(st)
+		case *sqlparse.Insert:
+			err = w.insert(st)
+		case *sqlparse.Delete:
+			err = w.delete(st)
+		case *sqlparse.Update:
+			err = w.update(st)
+		default:
+			err = fmt.Errorf("warehouse: unsupported statement %T", s)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// MustExec is Exec for statements that must succeed (setup scripts).
+func (w *Warehouse) MustExec(sql string) *ra.Relation {
+	rel, err := w.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return rel
+}
+
+func (w *Warehouse) createTable(st *sqlparse.CreateTable) error {
+	if w.detached {
+		return fmt.Errorf("warehouse: sources are detached")
+	}
+	if err := w.cat.AddTable(st.Table); err != nil {
+		return err
+	}
+	for _, fk := range st.FKs {
+		if err := w.cat.AddForeignKey(fk); err != nil {
+			return err
+		}
+	}
+	w.src.Sync()
+	return nil
+}
+
+func (w *Warehouse) createView(st *sqlparse.CreateView) error {
+	if w.detached {
+		return fmt.Errorf("warehouse: sources are detached; views must be created before detaching")
+	}
+	if _, dup := w.views[st.Name]; dup {
+		return fmt.Errorf("warehouse: view %s already exists", st.Name)
+	}
+	v, err := gpsj.FromSelect(w.cat, st.Name, st.Query)
+	if err != nil {
+		return err
+	}
+	var plan *core.Plan
+	if w.AppendOnly {
+		plan, err = core.DeriveAppendOnly(v)
+	} else {
+		plan, err = core.Derive(v)
+	}
+	if err != nil {
+		return err
+	}
+	eng := maintain.NewEngine(plan)
+	eng.UseNeedSets = w.UseNeedSets
+	if err := eng.Init(w.srcRel); err != nil {
+		return err
+	}
+	w.views[st.Name] = &View{Def: v, Plan: plan, Engine: eng}
+	w.order = append(w.order, st.Name)
+	return nil
+}
+
+func (w *Warehouse) srcRel(table string) *ra.Relation {
+	return ra.FromTable(w.src.Table(table), table)
+}
+
+// RestoreView re-creates a materialized view from a persisted state
+// snapshot instead of initializing it from the sources — the restart path
+// (see internal/persist). The view definition is re-derived (append-only
+// when the snapshot says so) and the engine's auxiliary tables and
+// component rows are loaded directly.
+func (w *Warehouse) RestoreView(name, selectSQL string, appendOnly bool, st *maintain.State) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.views[name]; dup {
+		return fmt.Errorf("warehouse: view %s already exists", name)
+	}
+	s, err := sqlparse.Parse(selectSQL)
+	if err != nil {
+		return err
+	}
+	sel, ok := s.(*sqlparse.SelectStmt)
+	if !ok {
+		return fmt.Errorf("warehouse: view %s definition is not a SELECT", name)
+	}
+	v, err := gpsj.FromSelect(w.cat, name, sel)
+	if err != nil {
+		return err
+	}
+	var plan *core.Plan
+	if appendOnly {
+		plan, err = core.DeriveAppendOnly(v)
+	} else {
+		plan, err = core.Derive(v)
+	}
+	if err != nil {
+		return err
+	}
+	eng := maintain.NewEngine(plan)
+	eng.UseNeedSets = w.UseNeedSets
+	if err := eng.ImportState(st); err != nil {
+		return err
+	}
+	w.views[name] = &View{Def: v, Plan: plan, Engine: eng}
+	w.order = append(w.order, name)
+	return nil
+}
+
+// query answers an ad hoc SELECT: against a materialized view when the
+// FROM clause names one, otherwise by direct evaluation over the sources.
+func (w *Warehouse) query(st *sqlparse.SelectStmt) (*ra.Relation, error) {
+	if len(st.From) == 1 {
+		if mv := w.views[st.From[0]]; mv != nil {
+			// Only full-view reads are supported against materialized
+			// views; richer queries would re-aggregate.
+			if len(st.Where) > 0 || len(st.GroupBy) > 0 {
+				return nil, fmt.Errorf("warehouse: only plain SELECT over a materialized view is supported")
+			}
+			return mv.Def.ApplyHaving(mv.Engine.Snapshot())
+		}
+	}
+	v, err := gpsj.FromSelect(w.cat, "adhoc", st)
+	if err != nil {
+		return nil, err
+	}
+	if w.detached {
+		// The sources are gone, but an aggregate navigator can still
+		// answer the query from a materialized view's auxiliary detail
+		// when one covers it (internal/answer).
+		var reasons []string
+		for _, name := range w.order {
+			mv := w.views[name]
+			if ok, why := answer.Answerable(mv.Plan, v); !ok {
+				reasons = append(reasons, fmt.Sprintf("%s: %s", name, why))
+				continue
+			}
+			aux := make(map[string]*ra.Relation)
+			for _, t := range mv.Def.Tables {
+				if at := mv.Engine.Aux(t); at != nil {
+					aux[t] = at.Relation()
+				}
+			}
+			return answer.Answer(mv.Plan, v, aux)
+		}
+		return nil, fmt.Errorf("warehouse: sources are detached and no materialized view's detail covers this query (%s)",
+			strings.Join(reasons, "; "))
+	}
+	return v.Evaluate(w.src)
+}
+
+func (w *Warehouse) insert(st *sqlparse.Insert) error {
+	if w.detached {
+		return fmt.Errorf("warehouse: sources are detached; use ApplyDelta")
+	}
+	d := maintain.Delta{Table: st.Table}
+	for _, vals := range st.Rows {
+		row := tuple.Tuple(vals)
+		if err := w.src.Insert(st.Table, row); err != nil {
+			return err
+		}
+		d.Inserts = append(d.Inserts, row)
+	}
+	return w.propagate(d)
+}
+
+// matchRows returns the source rows of a table matching a conjunctive
+// condition.
+func (w *Warehouse) matchRows(table string, conds []ra.Comparison) ([]tuple.Tuple, error) {
+	meta := w.cat.Table(table)
+	if meta == nil {
+		return nil, fmt.Errorf("warehouse: unknown table %s", table)
+	}
+	cols := make(ra.Schema, len(meta.Attrs))
+	for i, a := range meta.Attrs {
+		cols[i] = ra.Col{Table: table, Name: a.Name}
+	}
+	resolved := make([]ra.Comparison, len(conds))
+	for i, c := range conds {
+		resolved[i] = c
+	}
+	pred, err := ra.BindAll(resolved, cols)
+	if err != nil {
+		return nil, err
+	}
+	var out []tuple.Tuple
+	var perr error
+	w.src.Table(table).Scan(func(r tuple.Tuple) {
+		ok, err := pred(r)
+		if err != nil {
+			perr = err
+			return
+		}
+		if ok {
+			out = append(out, r)
+		}
+	})
+	return out, perr
+}
+
+func (w *Warehouse) delete(st *sqlparse.Delete) error {
+	if w.detached {
+		return fmt.Errorf("warehouse: sources are detached; use ApplyDelta")
+	}
+	rows, err := w.matchRows(st.Table, st.Where)
+	if err != nil {
+		return err
+	}
+	meta := w.cat.Table(st.Table)
+	d := maintain.Delta{Table: st.Table}
+	for _, r := range rows {
+		if _, err := w.src.Delete(st.Table, r[meta.KeyIndex()]); err != nil {
+			return err
+		}
+		d.Deletes = append(d.Deletes, r)
+	}
+	return w.propagate(d)
+}
+
+func (w *Warehouse) update(st *sqlparse.Update) error {
+	if w.detached {
+		return fmt.Errorf("warehouse: sources are detached; use ApplyDelta")
+	}
+	rows, err := w.matchRows(st.Table, st.Where)
+	if err != nil {
+		return err
+	}
+	meta := w.cat.Table(st.Table)
+	set := make(map[string]types.Value, len(st.Set))
+	for _, a := range st.Set {
+		set[a.Column] = a.Value
+	}
+	d := maintain.Delta{Table: st.Table}
+	for _, r := range rows {
+		old, upd, err := w.src.Update(st.Table, r[meta.KeyIndex()], set)
+		if err != nil {
+			return err
+		}
+		d.Updates = append(d.Updates, maintain.Update{Old: old, New: upd})
+	}
+	return w.propagate(d)
+}
+
+// propagate applies a delta to every materialized view's engine.
+func (w *Warehouse) propagate(d maintain.Delta) error {
+	for _, name := range w.order {
+		if err := w.views[name].Engine.Apply(d); err != nil {
+			return fmt.Errorf("warehouse: view %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// ApplyDelta propagates an externally produced delta (a change-log entry)
+// to every view. This is the only change path once sources are detached.
+func (w *Warehouse) ApplyDelta(d maintain.Delta) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.propagate(d)
+}
+
+// ImportCSV bulk-loads CSV rows into a source table and propagates them to
+// every materialized view in batches. With header set the first record
+// names the columns. It returns the number of rows loaded.
+func (w *Warehouse) ImportCSV(table string, r io.Reader, header bool) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.detached {
+		return 0, fmt.Errorf("warehouse: sources are detached")
+	}
+	meta := w.cat.Table(table)
+	if meta == nil {
+		return 0, fmt.Errorf("warehouse: unknown table %s", table)
+	}
+	const batch = 1024
+	d := maintain.Delta{Table: table}
+	flush := func() error {
+		if len(d.Inserts) == 0 {
+			return nil
+		}
+		err := w.propagate(d)
+		d.Inserts = d.Inserts[:0]
+		return err
+	}
+	n, err := csvload.Read(meta, r, header, func(row tuple.Tuple) error {
+		if err := w.src.Insert(table, row); err != nil {
+			return err
+		}
+		d.Inserts = append(d.Inserts, row)
+		if len(d.Inserts) >= batch {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		// Rows already propagated stay; flush the remainder so the views
+		// match the source even on partial loads.
+		if ferr := flush(); ferr != nil {
+			return n, ferr
+		}
+		return n, err
+	}
+	return n, flush()
+}
+
+// Query returns the current contents of a materialized view.
+func (w *Warehouse) Query(view string) (*ra.Relation, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	mv := w.views[view]
+	if mv == nil {
+		return nil, fmt.Errorf("warehouse: unknown view %s", view)
+	}
+	return mv.Def.ApplyHaving(mv.Engine.Snapshot())
+}
+
+// Verify recomputes every view from the sources and compares. It fails
+// when sources are detached (there is nothing to verify against).
+func (w *Warehouse) Verify() error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if w.detached {
+		return fmt.Errorf("warehouse: cannot verify against detached sources")
+	}
+	for _, name := range w.order {
+		mv := w.views[name]
+		want, err := mv.Def.Evaluate(w.src)
+		if err != nil {
+			return err
+		}
+		got, err := mv.Def.ApplyHaving(mv.Engine.Snapshot())
+		if err != nil {
+			return err
+		}
+		if !ra.EqualBag(got, want) {
+			return fmt.Errorf("warehouse: view %s diverged from recomputation", name)
+		}
+	}
+	return nil
+}
+
+// StorageReport summarizes, per view, the paper's storage comparison: the
+// size of the referenced base tables versus the auxiliary views actually
+// stored in the warehouse.
+type StorageReport struct {
+	View          string
+	BaseRows      int
+	BaseBytes     int
+	AuxRows       int
+	AuxBytes      int
+	ViewRows      int
+	ViewBytes     int
+	OmittedTables []string
+}
+
+// Report computes storage reports for all views. Base sizes require
+// attached sources; when detached only auxiliary sizes are filled.
+func (w *Warehouse) Report() []StorageReport {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var out []StorageReport
+	for _, name := range w.order {
+		mv := w.views[name]
+		r := StorageReport{View: name}
+		for _, t := range mv.Def.Tables {
+			if !w.detached {
+				tab := w.src.Table(t)
+				r.BaseRows += tab.Len()
+				r.BaseBytes += tab.Bytes()
+			}
+			if aux := mv.Engine.Aux(t); aux != nil {
+				r.AuxRows += aux.Len()
+				r.AuxBytes += aux.Bytes()
+			} else {
+				r.OmittedTables = append(r.OmittedTables, t)
+			}
+		}
+		sort.Strings(r.OmittedTables)
+		snap := mv.Engine.Snapshot()
+		r.ViewRows = snap.Len()
+		r.ViewBytes = mv.Engine.ViewBytes()
+		out = append(out, r)
+	}
+	return out
+}
+
+// FormatReport renders storage reports as a table.
+func FormatReport(reports []StorageReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %12s %12s %12s %12s %10s\n",
+		"view", "base rows", "base bytes", "aux rows", "aux bytes", "reduction")
+	for _, r := range reports {
+		red := "n/a"
+		if r.AuxBytes > 0 && r.BaseBytes > 0 {
+			red = fmt.Sprintf("%.1fx", float64(r.BaseBytes)/float64(r.AuxBytes))
+		}
+		fmt.Fprintf(&b, "%-20s %12d %12d %12d %12d %10s\n",
+			r.View, r.BaseRows, r.BaseBytes, r.AuxRows, r.AuxBytes, red)
+		if len(r.OmittedTables) > 0 {
+			fmt.Fprintf(&b, "%-20s   omitted auxiliary views: %s\n", "", strings.Join(r.OmittedTables, ", "))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,321 @@
+// Package workload generates the paper's running-example retail workload
+// (Section 1.1): a star schema of sale facts over time, product, and store
+// dimensions, at a configurable scale, plus seeded random delta streams
+// for driving maintenance experiments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/storage"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// RetailParams sizes the retail workload. The paper's case-study numbers
+// (Kimball, via Section 1.1) are exposed as PaperParams; benchmarks run
+// scaled-down instances.
+type RetailParams struct {
+	Days                   int // time dimension size; the first half falls in SelectYear
+	Stores                 int
+	Products               int
+	ProductsSoldPerDay     int // distinct products sold per store per day
+	TransactionsPerProduct int
+	Brands                 int
+	SelectYear             int // the year the product_sales view selects
+	// YearFraction is the fraction of days falling in SelectYear (the
+	// selectivity of the view's local condition); 0 means 0.5.
+	YearFraction float64
+	Seed         int64
+}
+
+// PaperParams returns the full-scale Section 1.1 parameters: 2 years × 365
+// days, 300 stores, 30,000 products of which 3,000 sell per store per day,
+// 20 transactions per sold product — 13.14 billion fact tuples.
+func PaperParams() RetailParams {
+	return RetailParams{
+		Days:                   730,
+		Stores:                 300,
+		Products:               30000,
+		ProductsSoldPerDay:     3000,
+		TransactionsPerProduct: 20,
+		Brands:                 3000,
+		SelectYear:             1997,
+		Seed:                   1,
+	}
+}
+
+// FactTuples returns the number of fact-table tuples the parameters
+// generate: days × stores × products sold per day × transactions.
+func (p RetailParams) FactTuples() int64 {
+	return int64(p.Days) * int64(p.Stores) * int64(p.ProductsSoldPerDay) * int64(p.TransactionsPerProduct)
+}
+
+// ScaledDown returns parameters shrunk to roughly the given number of fact
+// tuples, preserving the dimension proportions where possible.
+func ScaledDown(factTuples int) RetailParams {
+	p := RetailParams{
+		Days:                   30,
+		Stores:                 4,
+		Products:               50,
+		ProductsSoldPerDay:     10,
+		TransactionsPerProduct: 2,
+		Brands:                 10,
+		SelectYear:             1997,
+		Seed:                   1,
+	}
+	for p.FactTuples() < int64(factTuples) && p.Days < 730 {
+		p.Days += 10
+	}
+	for p.FactTuples() < int64(factTuples) {
+		p.TransactionsPerProduct++
+	}
+	return p
+}
+
+// DDL returns the CREATE TABLE script of the retail schema, including the
+// referential integrity constraints the paper assumes and the mutable
+// attributes the experiments update.
+func DDL() string {
+	return `
+CREATE TABLE time (id INTEGER PRIMARY KEY, day INTEGER, month INTEGER, year INTEGER);
+CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR MUTABLE, category VARCHAR);
+CREATE TABLE store (id INTEGER PRIMARY KEY, street_address VARCHAR, city VARCHAR, country VARCHAR, manager VARCHAR MUTABLE);
+CREATE TABLE sale (id INTEGER PRIMARY KEY,
+	timeid INTEGER REFERENCES time,
+	productid INTEGER REFERENCES product,
+	storeid INTEGER REFERENCES store,
+	price FLOAT MUTABLE);
+`
+}
+
+// ProductSalesSQL returns the paper's product_sales view (Section 1.1).
+func ProductSalesSQL(year int) string {
+	return fmt.Sprintf(`SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount,
+	COUNT(DISTINCT brand) AS DifferentBrands
+FROM sale, time, product
+WHERE time.year = %d AND sale.timeid = time.id AND sale.productid = product.id
+GROUP BY time.month`, year)
+}
+
+// CSMASOnlySQL is the paper view without the DISTINCT aggregate — the
+// purely incremental variant used by maintenance throughput benchmarks.
+func CSMASOnlySQL(year int) string {
+	return fmt.Sprintf(`SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount
+FROM sale, time
+WHERE time.year = %d AND sale.timeid = time.id
+GROUP BY time.month`, year)
+}
+
+// EliminationSQL is a view meeting the Section 3.3 elimination conditions:
+// the fact auxiliary view is omitted entirely.
+func EliminationSQL() string {
+	return `SELECT product.id, SUM(price) AS total, COUNT(*) AS cnt
+FROM sale, product
+WHERE sale.productid = product.id
+GROUP BY product.id`
+}
+
+// Load generates the workload into a storage DB whose catalog was created
+// from DDL().
+func Load(db *storage.DB, p RetailParams) error {
+	rng := rand.New(rand.NewSource(p.Seed))
+	frac := p.YearFraction
+	if frac == 0 {
+		frac = 0.5
+	}
+	selected := int(frac * float64(p.Days))
+	for d := 0; d < p.Days; d++ {
+		year := p.SelectYear
+		if d >= selected {
+			year = p.SelectYear + 1
+		}
+		row := tuple.Tuple{
+			types.Int(int64(d + 1)),
+			types.Int(int64(d%28 + 1)),
+			types.Int(int64((d/28)%12 + 1)),
+			types.Int(int64(year)),
+		}
+		if err := db.Insert("time", row); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < p.Products; i++ {
+		row := tuple.Tuple{
+			types.Int(int64(i + 1)),
+			types.Str(fmt.Sprintf("brand%d", i%max(1, p.Brands))),
+			types.Str(fmt.Sprintf("cat%d", i%10)),
+		}
+		if err := db.Insert("product", row); err != nil {
+			return err
+		}
+	}
+	for s := 0; s < p.Stores; s++ {
+		row := tuple.Tuple{
+			types.Int(int64(s + 1)),
+			types.Str(fmt.Sprintf("%d main st", s)),
+			types.Str(fmt.Sprintf("city%d", s%20)),
+			types.Str("dk"),
+			types.Str(fmt.Sprintf("mgr%d", s)),
+		}
+		if err := db.Insert("store", row); err != nil {
+			return err
+		}
+	}
+	id := int64(0)
+	for d := 0; d < p.Days; d++ {
+		for s := 0; s < p.Stores; s++ {
+			for i := 0; i < p.ProductsSoldPerDay; i++ {
+				pid := (d*31+s*7+i)%p.Products + 1
+				for tr := 0; tr < p.TransactionsPerProduct; tr++ {
+					id++
+					row := tuple.Tuple{
+						types.Int(id),
+						types.Int(int64(d + 1)),
+						types.Int(int64(pid)),
+						types.Int(int64(s + 1)),
+						types.Float(float64(rng.Intn(5000))/100 + 0.5),
+					}
+					if err := db.Insert("sale", row); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Mutator produces random, referential-integrity-consistent delta streams
+// against a loaded retail DB, applying each change to the DB and returning
+// the corresponding maintain.Delta for the engines under test.
+type Mutator struct {
+	db     *storage.DB
+	p      RetailParams
+	rng    *rand.Rand
+	nextID int64
+	live   []int64 // live sale ids available for delete/update
+}
+
+// NewMutator creates a mutator over a DB loaded with Load(db, p).
+func NewMutator(db *storage.DB, p RetailParams) *Mutator {
+	m := &Mutator{db: db, p: p, rng: rand.New(rand.NewSource(p.Seed + 1))}
+	m.nextID = p.FactTuples() + 1
+	n := p.FactTuples()
+	if n > 4096 {
+		n = 4096
+	}
+	for id := int64(1); id <= n; id++ {
+		m.live = append(m.live, id)
+	}
+	return m
+}
+
+// Mix weights the operation classes of a delta stream.
+type Mix struct {
+	InsertSale  int
+	DeleteSale  int
+	UpdatePrice int
+	RenameBrand int
+}
+
+// DefaultMix is an insert-heavy OLTP-ish mix.
+func DefaultMix() Mix { return Mix{InsertSale: 6, DeleteSale: 1, UpdatePrice: 2, RenameBrand: 1} }
+
+// InsertOnlyMix appends facts only (the data-warehouse load pattern).
+func InsertOnlyMix() Mix { return Mix{InsertSale: 1} }
+
+// Next produces one delta according to the mix, already applied to the DB.
+func (m *Mutator) Next(mix Mix) (maintain.Delta, error) {
+	total := mix.InsertSale + mix.DeleteSale + mix.UpdatePrice + mix.RenameBrand
+	if total == 0 {
+		return maintain.Delta{}, fmt.Errorf("workload: empty mix")
+	}
+	r := m.rng.Intn(total)
+	switch {
+	case r < mix.InsertSale:
+		return m.insertSale()
+	case r < mix.InsertSale+mix.DeleteSale:
+		return m.deleteSale()
+	case r < mix.InsertSale+mix.DeleteSale+mix.UpdatePrice:
+		return m.updatePrice()
+	default:
+		return m.renameBrand()
+	}
+}
+
+// Batch produces n deltas merged per table into at most a handful of
+// maintain.Delta values, preserving application order within each call.
+func (m *Mutator) Batch(n int, mix Mix) ([]maintain.Delta, error) {
+	var out []maintain.Delta
+	for i := 0; i < n; i++ {
+		d, err := m.Next(mix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func (m *Mutator) insertSale() (maintain.Delta, error) {
+	m.nextID++
+	row := tuple.Tuple{
+		types.Int(m.nextID),
+		types.Int(int64(m.rng.Intn(m.p.Days) + 1)),
+		types.Int(int64(m.rng.Intn(m.p.Products) + 1)),
+		types.Int(int64(m.rng.Intn(m.p.Stores) + 1)),
+		types.Float(float64(m.rng.Intn(5000))/100 + 0.5),
+	}
+	if err := m.db.Insert("sale", row); err != nil {
+		return maintain.Delta{}, err
+	}
+	m.live = append(m.live, m.nextID)
+	return maintain.Delta{Table: "sale", Inserts: []tuple.Tuple{row}}, nil
+}
+
+func (m *Mutator) deleteSale() (maintain.Delta, error) {
+	if len(m.live) == 0 {
+		return m.insertSale()
+	}
+	i := m.rng.Intn(len(m.live))
+	row, err := m.db.Delete("sale", types.Int(m.live[i]))
+	if err != nil {
+		return maintain.Delta{}, err
+	}
+	m.live[i] = m.live[len(m.live)-1]
+	m.live = m.live[:len(m.live)-1]
+	return maintain.Delta{Table: "sale", Deletes: []tuple.Tuple{row}}, nil
+}
+
+func (m *Mutator) updatePrice() (maintain.Delta, error) {
+	if len(m.live) == 0 {
+		return m.insertSale()
+	}
+	id := m.live[m.rng.Intn(len(m.live))]
+	old, upd, err := m.db.Update("sale", types.Int(id),
+		map[string]types.Value{"price": types.Float(float64(m.rng.Intn(5000))/100 + 0.5)})
+	if err != nil {
+		return maintain.Delta{}, err
+	}
+	return maintain.Delta{Table: "sale", Updates: []maintain.Update{{Old: old, New: upd}}}, nil
+}
+
+func (m *Mutator) renameBrand() (maintain.Delta, error) {
+	pid := int64(m.rng.Intn(m.p.Products) + 1)
+	old, upd, err := m.db.Update("product", types.Int(pid),
+		map[string]types.Value{"brand": types.Str(fmt.Sprintf("brand%d", m.rng.Intn(max(1, m.p.Brands))))})
+	if err != nil {
+		return maintain.Delta{}, err
+	}
+	return maintain.Delta{Table: "product", Updates: []maintain.Update{{Old: old, New: upd}}}, nil
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"testing"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/schema"
+	"mindetail/internal/sqlparse"
+	"mindetail/internal/storage"
+)
+
+func newDB(t *testing.T) *storage.DB {
+	t.Helper()
+	stmts, err := sqlparse.ParseAll(DDL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := schema.NewCatalog()
+	var fks []schema.ForeignKey
+	for _, s := range stmts {
+		ct := s.(*sqlparse.CreateTable)
+		if err := cat.AddTable(ct.Table); err != nil {
+			t.Fatal(err)
+		}
+		fks = append(fks, ct.FKs...)
+	}
+	for _, fk := range fks {
+		if err := cat.AddForeignKey(fk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return storage.NewDB(cat)
+}
+
+func TestPaperParamsFactTuples(t *testing.T) {
+	if got := PaperParams().FactTuples(); got != 13_140_000_000 {
+		t.Errorf("FactTuples = %d, paper says 13,140,000,000", got)
+	}
+}
+
+func TestScaledDownReaches(t *testing.T) {
+	p := ScaledDown(5000)
+	if p.FactTuples() < 5000 {
+		t.Errorf("ScaledDown(5000) = %d tuples", p.FactTuples())
+	}
+	if p.FactTuples() > 200_000 {
+		t.Errorf("ScaledDown(5000) overshoots: %d", p.FactTuples())
+	}
+}
+
+func TestLoadCounts(t *testing.T) {
+	db := newDB(t)
+	p := RetailParams{Days: 6, Stores: 2, Products: 8, ProductsSoldPerDay: 3,
+		TransactionsPerProduct: 2, Brands: 4, SelectYear: 1997, Seed: 1}
+	if err := Load(db, p); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.RowCount("time"); got != 6 {
+		t.Errorf("time rows = %d", got)
+	}
+	if got := db.RowCount("product"); got != 8 {
+		t.Errorf("product rows = %d", got)
+	}
+	if got := db.RowCount("store"); got != 2 {
+		t.Errorf("store rows = %d", got)
+	}
+	if got := int64(db.RowCount("sale")); got != p.FactTuples() {
+		t.Errorf("sale rows = %d, want %d", got, p.FactTuples())
+	}
+}
+
+func TestLoadYearSplit(t *testing.T) {
+	db := newDB(t)
+	p := RetailParams{Days: 10, Stores: 1, Products: 4, ProductsSoldPerDay: 1,
+		TransactionsPerProduct: 1, Brands: 2, SelectYear: 1997, Seed: 1}
+	if err := Load(db, p); err != nil {
+		t.Fatal(err)
+	}
+	years := map[int64]int{}
+	for _, row := range db.Table("time").All() {
+		years[row[3].AsInt()]++
+	}
+	if years[1997] != 5 || years[1998] != 5 {
+		t.Errorf("year split = %v", years)
+	}
+}
+
+func TestMutatorStreamStaysConsistent(t *testing.T) {
+	db := newDB(t)
+	p := RetailParams{Days: 6, Stores: 2, Products: 8, ProductsSoldPerDay: 3,
+		TransactionsPerProduct: 2, Brands: 4, SelectYear: 1997, Seed: 1}
+	if err := Load(db, p); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMutator(db, p)
+	seen := map[string]int{}
+	for i := 0; i < 200; i++ {
+		d, err := m.Next(DefaultMix())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[d.Table]++
+		if d.Table == "" {
+			t.Fatal("empty delta")
+		}
+	}
+	if seen["sale"] == 0 || seen["product"] == 0 {
+		t.Errorf("mix not exercised: %v", seen)
+	}
+	// Batch is just repeated Next.
+	ds, err := m.Batch(10, InsertOnlyMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 10 {
+		t.Errorf("batch = %d", len(ds))
+	}
+	for _, d := range ds {
+		if len(d.Inserts) != 1 || d.Table != "sale" {
+			t.Errorf("insert-only mix produced %+v", d)
+		}
+	}
+	if _, err := m.Next(Mix{}); err == nil {
+		t.Error("empty mix accepted")
+	}
+}
+
+func TestMutatorDeltasMatchDB(t *testing.T) {
+	// Deltas returned by the mutator must exactly describe the DB change:
+	// spot-check via row counts.
+	db := newDB(t)
+	p := RetailParams{Days: 4, Stores: 1, Products: 4, ProductsSoldPerDay: 2,
+		TransactionsPerProduct: 1, Brands: 2, SelectYear: 1997, Seed: 9}
+	if err := Load(db, p); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMutator(db, p)
+	before := db.RowCount("sale")
+	net := 0
+	for i := 0; i < 100; i++ {
+		d, err := m.Next(DefaultMix())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Table == "sale" {
+			net += len(d.Inserts) - len(d.Deletes)
+		}
+		_ = d
+	}
+	if got := db.RowCount("sale"); got != before+net {
+		t.Errorf("sale rows = %d, want %d", got, before+net)
+	}
+}
+
+var _ = maintain.Delta{}

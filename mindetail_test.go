@@ -1,0 +1,167 @@
+package mindetail_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mindetail"
+)
+
+const ddl = `
+CREATE TABLE time (id INTEGER PRIMARY KEY, day INTEGER, month INTEGER, year INTEGER);
+CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR MUTABLE, category VARCHAR);
+CREATE TABLE sale (id INTEGER PRIMARY KEY,
+	timeid INTEGER REFERENCES time,
+	productid INTEGER REFERENCES product,
+	price FLOAT MUTABLE);
+INSERT INTO time VALUES (1, 5, 1, 1997), (2, 6, 2, 1997);
+INSERT INTO product VALUES (100, 'acme', 'tools'), (101, 'bolt', 'tools');
+INSERT INTO sale VALUES (1, 1, 100, 10), (2, 1, 100, 10), (3, 2, 101, 5);
+`
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	w := mindetail.New()
+	w.MustExec(ddl)
+	w.MustExec(`
+		CREATE MATERIALIZED VIEW product_sales AS
+		SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount
+		FROM sale, time WHERE sale.timeid = time.id AND time.year = 1997
+		GROUP BY time.month`)
+	w.MustExec(`INSERT INTO sale VALUES (4, 2, 100, 2.5)`)
+	rel, err := w.Query("product_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("view:\n%s", rel.Format())
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Detach and keep maintaining via deltas.
+	w.DetachSources()
+	err = w.ApplyDelta(mindetail.Delta{
+		Table: "sale",
+		Inserts: []mindetail.Tuple{{
+			mindetail.Int(5), mindetail.Int(1), mindetail.Int(101), mindetail.Float(7),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err = w.Query("product_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rel.Sorted()
+	if s.Rows[0][1].AsFloat() != 27 || s.Rows[0][2].AsInt() != 3 {
+		t.Errorf("month 1 after detached insert = %v", s.Rows[0])
+	}
+}
+
+func TestPublicDerive(t *testing.T) {
+	w := mindetail.New()
+	w.MustExec(ddl)
+	plan, err := mindetail.Derive(w.Catalog(), "ps", `
+		SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount
+		FROM sale, time WHERE sale.timeid = time.id AND time.year = 1997
+		GROUP BY time.month`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := plan.Text()
+	for _, want := range []string{"sale_dtl", "time_dtl", "SUM(price)", "COUNT(*)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Plan.Text missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := mindetail.Derive(w.Catalog(), "bad", `INSERT INTO sale VALUES (9, 1, 100, 1)`); err == nil {
+		t.Error("non-SELECT accepted by Derive")
+	}
+	if _, err := mindetail.Derive(w.Catalog(), "bad", `SELECT nope FROM`); err == nil {
+		t.Error("parse error not propagated")
+	}
+}
+
+func TestPaperScaleModels(t *testing.T) {
+	p := mindetail.PaperRetailParams()
+	if p.FactTuples() != 13_140_000_000 {
+		t.Errorf("paper fact tuples = %d", p.FactTuples())
+	}
+}
+
+func ExampleWarehouse() {
+	w := mindetail.New()
+	w.MustExec(`
+		CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR);
+		CREATE TABLE sale (id INTEGER PRIMARY KEY,
+			productid INTEGER REFERENCES product, price FLOAT);
+		INSERT INTO product VALUES (1, 'acme');
+		INSERT INTO sale VALUES (1, 1, 10), (2, 1, 5);
+		CREATE MATERIALIZED VIEW totals AS
+		SELECT product.id AS id, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.id;
+	`)
+	w.MustExec(`INSERT INTO sale VALUES (3, 1, 2.5)`)
+	rel, _ := w.Query("totals")
+	fmt.Print(rel.Format())
+	// Output:
+	// id | total | cnt
+	// ---+-------+----
+	// 1  | 17.5  | 3
+	// (1 rows)
+}
+
+func TestPublicDeriveShared(t *testing.T) {
+	w := mindetail.New()
+	w.MustExec(ddl)
+	sp, err := mindetail.DeriveShared(w.Catalog(), map[string]string{
+		"by_month": `SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+			FROM sale, time WHERE sale.timeid = time.id GROUP BY time.month`,
+		"by_product": `SELECT sale.productid, SUM(price) AS total, COUNT(*) AS cnt
+			FROM sale GROUP BY sale.productid`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Views) != 2 {
+		t.Fatalf("views = %d", len(sp.Views))
+	}
+	if !strings.Contains(sp.Text(), "shared auxiliary views") {
+		t.Errorf("Text:\n%s", sp.Text())
+	}
+	if _, err := mindetail.DeriveShared(w.Catalog(), map[string]string{"bad": "SELECT nope FROM"}); err == nil {
+		t.Error("bad view accepted")
+	}
+}
+
+func TestPublicSaveLoad(t *testing.T) {
+	w := mindetail.New()
+	w.MustExec(ddl)
+	w.MustExec(`
+		CREATE MATERIALIZED VIEW t AS
+		SELECT sale.productid, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale GROUP BY sale.productid`)
+	var buf strings.Builder
+	if err := mindetail.Save(w, &buf, false); err != nil {
+		t.Fatal(err)
+	}
+	r, err := mindetail.Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Detached() {
+		t.Error("restored warehouse should be detached")
+	}
+	rel, err := r.Query("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := w.Query("t")
+	if rel.Len() != want.Len() {
+		t.Errorf("restored view:\n%s\nwant:\n%s", rel.Format(), want.Format())
+	}
+}

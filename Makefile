@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench harness examples clean
+.PHONY: all build vet test race race-all cover bench bench-json harness examples clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,12 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-check the maintenance engine and warehouse layers — the packages
+# with concurrency (parallel group recomputation worker pool).
 race:
+	$(GO) test -race ./internal/maintain/... ./internal/warehouse/...
+
+race-all:
 	$(GO) test -race ./...
 
 cover:
@@ -24,6 +29,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Measure the maintenance hot-path benchmarks and write machine-readable
+# results (ns/op, B/op, allocs/op) next to the recorded seed baseline.
+bench-json:
+	$(GO) run ./cmd/benchharness -json BENCH_maintain.json
 
 # Regenerate every paper table/figure and the ablations.
 harness:

@@ -22,6 +22,8 @@ import (
 	"mindetail/internal/maintain"
 	"mindetail/internal/ra"
 	"mindetail/internal/sizing"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
 	"mindetail/internal/workload"
 )
 
@@ -31,6 +33,7 @@ const benchScale = 20000
 
 // BenchmarkTable1Classification regenerates Table 1 (E1).
 func BenchmarkTable1Classification(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rows := aggregates.FormatTable1(); len(rows) != 4 {
 			b.Fatal("bad table 1")
@@ -40,6 +43,7 @@ func BenchmarkTable1Classification(b *testing.B) {
 
 // BenchmarkTable2Replacement regenerates Table 2 (E2).
 func BenchmarkTable2Replacement(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rows := aggregates.FormatTable2(); len(rows) != 4 {
 			b.Fatal("bad table 2")
@@ -50,6 +54,7 @@ func BenchmarkTable2Replacement(b *testing.B) {
 // BenchmarkTable3AuxViewCountStar regenerates Table 3 (E3): the sale
 // auxiliary view instance after adding COUNT(*).
 func BenchmarkTable3AuxViewCountStar(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Table3(); err != nil {
 			b.Fatal(err)
@@ -60,6 +65,7 @@ func BenchmarkTable3AuxViewCountStar(b *testing.B) {
 // BenchmarkTable4DuplicateCompression regenerates Table 4 (E4): the same
 // instance after smart duplicate compression.
 func BenchmarkTable4DuplicateCompression(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Table4(); err != nil {
 			b.Fatal(err)
@@ -70,6 +76,7 @@ func BenchmarkTable4DuplicateCompression(b *testing.B) {
 // BenchmarkFigure2JoinGraph regenerates Figure 2 (E5): building and
 // annotating the extended join graph and deriving the auxiliary views.
 func BenchmarkFigure2JoinGraph(b *testing.B) {
+	b.ReportAllocs()
 	env, err := experiments.NewEnv(workload.RetailParams{
 		Days: 2, Stores: 1, Products: 2, ProductsSoldPerDay: 1,
 		TransactionsPerProduct: 1, Brands: 1, SelectYear: 1997, Seed: 1,
@@ -96,6 +103,7 @@ func BenchmarkFigure2JoinGraph(b *testing.B) {
 // BenchmarkSizingSection11Analytic evaluates the paper's storage arithmetic
 // (E6, analytic part).
 func BenchmarkSizingSection11Analytic(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		fact := sizing.PaperFactTable()
 		aux := sizing.PaperAuxView()
@@ -108,6 +116,7 @@ func BenchmarkSizingSection11Analytic(b *testing.B) {
 // BenchmarkSizingSection11Materialized measures the E6 validation run: load
 // the scaled retail workload and materialize the minimal auxiliary views.
 func BenchmarkSizingSection11Materialized(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		env, err := experiments.NewEnv(workload.ScaledDown(benchScale))
 		if err != nil {
@@ -126,6 +135,7 @@ func BenchmarkSizingSection11Materialized(b *testing.B) {
 // maintenanceBench streams deltas through an engine, measuring per-delta
 // cost. The engine initializes before the timer starts.
 func maintenanceBench(b *testing.B, build func(*experiments.Env) (func(maintain.Delta) error, error), mix workload.Mix) {
+	b.ReportAllocs()
 	env, err := experiments.NewEnv(workload.ScaledDown(benchScale))
 	if err != nil {
 		b.Fatal(err)
@@ -152,6 +162,7 @@ func maintenanceBench(b *testing.B, build func(*experiments.Env) (func(maintain.
 // BenchmarkMaintainMinimal measures the paper's engine on the default mix
 // (A2, minimal strategy).
 func BenchmarkMaintainMinimal(b *testing.B) {
+	b.ReportAllocs()
 	maintenanceBench(b, func(env *experiments.Env) (func(maintain.Delta) error, error) {
 		eng, err := env.MinimalEngine(workload.CSMASOnlySQL(1997))
 		if err != nil {
@@ -163,6 +174,7 @@ func BenchmarkMaintainMinimal(b *testing.B) {
 
 // BenchmarkMaintainPSJ measures the Quass-style PSJ baseline (A2).
 func BenchmarkMaintainPSJ(b *testing.B) {
+	b.ReportAllocs()
 	maintenanceBench(b, func(env *experiments.Env) (func(maintain.Delta) error, error) {
 		eng, err := env.PSJEngine(workload.CSMASOnlySQL(1997))
 		if err != nil {
@@ -176,6 +188,7 @@ func BenchmarkMaintainPSJ(b *testing.B) {
 // replica (A2). Expected to lose to both incremental engines by orders of
 // magnitude.
 func BenchmarkMaintainRecompute(b *testing.B) {
+	b.ReportAllocs()
 	maintenanceBench(b, func(env *experiments.Env) (func(maintain.Delta) error, error) {
 		rep, err := env.Replica(workload.CSMASOnlySQL(1997), true)
 		if err != nil {
@@ -189,6 +202,7 @@ func BenchmarkMaintainRecompute(b *testing.B) {
 // whose COUNT(DISTINCT brand) forces partial recomputation from the
 // auxiliary views on deletions and brand renames.
 func BenchmarkMaintainPaperViewWithDistinct(b *testing.B) {
+	b.ReportAllocs()
 	maintenanceBench(b, func(env *experiments.Env) (func(maintain.Delta) error, error) {
 		eng, err := env.MinimalEngine(workload.ProductSalesSQL(1997))
 		if err != nil {
@@ -202,6 +216,7 @@ func BenchmarkMaintainPaperViewWithDistinct(b *testing.B) {
 // auxiliary view omitted (A3): inserts and deletes self-maintain from the
 // deltas alone.
 func BenchmarkMaintainEliminatedRoot(b *testing.B) {
+	b.ReportAllocs()
 	maintenanceBench(b, func(env *experiments.Env) (func(maintain.Delta) error, error) {
 		eng, err := env.MinimalEngine(workload.EliminationSQL())
 		if err != nil {
@@ -248,6 +263,7 @@ func BenchmarkMaintainNeedSetsOff(b *testing.B) { needSetsBench(b, false) }
 // BenchmarkCompressionSweep measures the A1 sweep end to end (load +
 // derive + materialize at several duplication factors).
 func BenchmarkCompressionSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := experiments.AblationCompression([]int{1, 10})
 		if err != nil {
@@ -261,6 +277,7 @@ func BenchmarkCompressionSweep(b *testing.B) {
 
 // BenchmarkSelectivitySweep measures the A5 local-reduction sweep.
 func BenchmarkSelectivitySweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationSelectivity([]float64{0.25, 1.0}); err != nil {
 			b.Fatal(err)
@@ -271,6 +288,7 @@ func BenchmarkSelectivitySweep(b *testing.B) {
 // BenchmarkReconstruction measures rebuilding V from the auxiliary views
 // alone (the Section 3.2 reconstruction query).
 func BenchmarkReconstruction(b *testing.B) {
+	b.ReportAllocs()
 	env, err := experiments.NewEnv(workload.ScaledDown(benchScale))
 	if err != nil {
 		b.Fatal(err)
@@ -307,6 +325,7 @@ func BenchmarkReconstruction(b *testing.B) {
 // BenchmarkDeriveAlgorithm32 measures the derivation itself — parsing,
 // normalization, join graph, Need sets, Algorithm 3.1/3.2.
 func BenchmarkDeriveAlgorithm32(b *testing.B) {
+	b.ReportAllocs()
 	env, err := experiments.NewEnv(workload.RetailParams{
 		Days: 2, Stores: 1, Products: 2, ProductsSoldPerDay: 1,
 		TransactionsPerProduct: 1, Brands: 1, SelectYear: 1997, Seed: 1,
@@ -328,6 +347,7 @@ func BenchmarkDeriveAlgorithm32(b *testing.B) {
 
 // BenchmarkAppendOnlyDerivation measures the A6 ablation end to end.
 func BenchmarkAppendOnlyDerivation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationAppendOnly(5000)
 		if err != nil {
@@ -342,6 +362,7 @@ func BenchmarkAppendOnlyDerivation(b *testing.B) {
 // BenchmarkSharedDerivation measures the A7 class derivation and
 // materialization end to end.
 func BenchmarkSharedDerivation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rs, err := experiments.AblationSharing(5000)
 		if err != nil {
@@ -351,4 +372,87 @@ func BenchmarkSharedDerivation(b *testing.B) {
 			b.Fatal("bad sharing result")
 		}
 	}
+}
+
+// applySmallDeltaLargeAuxParams sizes the headline delta-scoped benchmark:
+// ≥20k-row sale auxiliary view (low duplicate compression), fine group-by
+// granularity so a 1-row delta touches a tiny fraction of the warehouse.
+func applySmallDeltaLargeAuxParams() workload.RetailParams {
+	return workload.RetailParams{
+		Days: 730, Stores: 2, Products: 5000, ProductsSoldPerDay: 50,
+		TransactionsPerProduct: 1, Brands: 50, SelectYear: 1997, Seed: 1,
+	}
+}
+
+// applySmallDeltaLargeAuxSQL is a paper-style view with COUNT(DISTINCT ...)
+// so that every deletion-carrying delta forces group recomputation from the
+// auxiliary views — the path the delta-scoped pipeline optimizes.
+const applySmallDeltaLargeAuxSQL = `SELECT time.month, time.day, SUM(price) AS TotalPrice,
+	COUNT(*) AS TotalCount, COUNT(DISTINCT brand) AS DifferentBrands
+FROM sale, time, product
+WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id
+GROUP BY time.month, time.day`
+
+// BenchmarkApplySmallDeltaLargeAux is the tentpole's headline number: a
+// 1-row update delta (delete+insert pair) against ≥20k-row auxiliary views.
+// Self-maintenance should cost O(|delta| + |affected group|), not
+// O(|auxiliary views|).
+func BenchmarkApplySmallDeltaLargeAux(b *testing.B) {
+	b.ReportAllocs()
+	env, err := experiments.NewEnv(applySmallDeltaLargeAuxParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := env.MinimalEngine(applySmallDeltaLargeAuxSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if n := eng.Aux("sale").Len(); n < 20000 {
+		b.Fatalf("sale auxiliary view has %d rows, want >= 20000", n)
+	}
+	// Sale 1 references timeid 1 (day 0), which falls in the selected year.
+	old := env.DB.Table("sale").Get(types.Int(1))
+	if old == nil {
+		b.Fatal("sale 1 missing")
+	}
+	alt := old.Clone()
+	alt[4] = types.Float(old[4].AsFloat() + 1)
+	imgs := [2]tuple.Tuple{old, alt}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := maintain.Delta{Table: "sale", Updates: []maintain.Update{
+			{Old: imgs[i%2], New: imgs[(i+1)%2]},
+		}}
+		if err := eng.Apply(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchKeySink string
+
+// BenchmarkGroupKeyEncode measures the group-key encoding used by every
+// group lookup on the maintenance hot path.
+func BenchmarkGroupKeyEncode(b *testing.B) {
+	row := tuple.Tuple{
+		types.Int(7), types.Str("brand42"), types.Float(19.5),
+		types.Int(1997), types.Str("cat3"),
+	}
+	pos := []int{0, 1, 3}
+	b.Run("KeyAt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchKeySink = row.KeyAt(pos)
+		}
+	})
+	// AppendKeyAt is the scratch-buffer form the hot loops use: zero
+	// allocations once the buffer has grown.
+	b.Run("AppendKeyAt", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = row.AppendKeyAt(buf[:0], pos)
+		}
+		benchKeySink = string(buf)
+	})
 }

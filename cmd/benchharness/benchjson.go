@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mindetail/internal/experiments"
+	"mindetail/internal/maintain"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+	"mindetail/internal/workload"
+)
+
+// benchResult is one benchmark measurement in BENCH_maintain.json.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchReport is the machine-readable record of the maintenance hot path's
+// performance. Baseline holds the numbers measured at the seed commit
+// (before the delta-scoped maintenance pipeline) on the same scenarios, so
+// every regeneration carries the before/after comparison.
+type benchReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GoOS        string        `json:"goos"`
+	GoArch      string        `json:"goarch"`
+	Baseline    []benchResult `json:"baseline_full_recompute_seed"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+}
+
+// seedBaseline are the seed-commit measurements of the same scenarios,
+// taken before the delta-scoped pipeline landed (full re-join of all
+// auxiliary views on every recomputation, per-Eval hash joins, string-key
+// group encoding).
+var seedBaseline = []benchResult{
+	{Name: "ApplySmallDeltaLargeAux", NsPerOp: 47538132, BytesPerOp: 24997065, AllocsPerOp: 230698},
+	{Name: "MaintainPaperViewWithDistinct", NsPerOp: 4240845, BytesPerOp: 2770176, AllocsPerOp: 30827},
+	{Name: "GroupKeyEncode/KeyAt", NsPerOp: 119.1, BytesPerOp: 88, AllocsPerOp: 4},
+}
+
+func toResult(name string, r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// smallDeltaEngine builds the headline scenario: a minimal-detail engine
+// over ≥20k-row auxiliary views and a 1-row update delta on the fact table.
+func smallDeltaEngine(forceFull bool) (*maintain.Engine, [2]tuple.Tuple, error) {
+	env, err := experiments.NewEnv(workload.RetailParams{
+		Days: 730, Stores: 2, Products: 5000, ProductsSoldPerDay: 50,
+		TransactionsPerProduct: 1, Brands: 50, SelectYear: 1997, Seed: 1,
+	})
+	if err != nil {
+		return nil, [2]tuple.Tuple{}, err
+	}
+	eng, err := env.MinimalEngine(`SELECT time.month, time.day, SUM(price) AS TotalPrice,
+		COUNT(*) AS TotalCount, COUNT(DISTINCT brand) AS DifferentBrands
+	FROM sale, time, product
+	WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id
+	GROUP BY time.month, time.day`)
+	if err != nil {
+		return nil, [2]tuple.Tuple{}, err
+	}
+	eng.ForceFullRecompute = forceFull
+	old := env.DB.Table("sale").Get(types.Int(1))
+	if old == nil {
+		return nil, [2]tuple.Tuple{}, fmt.Errorf("sale 1 missing")
+	}
+	alt := old.Clone()
+	alt[4] = types.Float(old[4].AsFloat() + 1)
+	return eng, [2]tuple.Tuple{old, alt}, nil
+}
+
+func benchSmallDelta(forceFull bool) (testing.BenchmarkResult, error) {
+	eng, imgs, err := smallDeltaEngine(forceFull)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := maintain.Delta{Table: "sale", Updates: []maintain.Update{
+				{Old: imgs[i%2], New: imgs[(i+1)%2]},
+			}}
+			if err := eng.Apply(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return r, nil
+}
+
+// runBenchJSON measures the maintenance hot-path benchmarks and writes
+// BENCH_maintain.json. The full-recompute variant runs the same delta with
+// the delta-scoped path disabled, so the speedup is reproducible from one
+// invocation.
+func runBenchJSON(path string) error {
+	var results []benchResult
+
+	scoped, err := benchSmallDelta(false)
+	if err != nil {
+		return err
+	}
+	results = append(results, toResult("ApplySmallDeltaLargeAux", scoped))
+
+	full, err := benchSmallDelta(true)
+	if err != nil {
+		return err
+	}
+	results = append(results, toResult("ApplySmallDeltaLargeAux/force-full-recompute", full))
+
+	row := tuple.Tuple{
+		types.Int(7), types.Str("brand42"), types.Float(19.5),
+		types.Int(1997), types.Str("cat3"),
+	}
+	pos := []int{0, 1, 3}
+	var sink string
+	results = append(results, toResult("GroupKeyEncode/KeyAt", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = row.KeyAt(pos)
+		}
+	})))
+	results = append(results, toResult("GroupKeyEncode/AppendKeyAt", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = row.AppendKeyAt(buf[:0], pos)
+		}
+		sink = string(buf)
+	})))
+	_ = sink
+
+	rep := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		Baseline:    seedBaseline,
+		Benchmarks:  results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-50s %14.0f ns/op %12d B/op %9d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -8,6 +8,11 @@
 //	                             # compression elimination needsets
 //	                             # selectivity
 //	benchharness -scale 20000    # fact tuples for the measured runs
+//	benchharness -json BENCH_maintain.json
+//	                             # measure the maintenance hot-path
+//	                             # benchmarks and write them as JSON
+//	                             # (ns/op, B/op, allocs/op), next to the
+//	                             # recorded seed baseline
 package main
 
 import (
@@ -24,8 +29,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, table3, table4, fig2, sizing, maintenance, compression, elimination, needsets, appendonly, sharing, selectivity)")
 	scale := flag.Int("scale", 20000, "approximate fact-table tuples for measured runs")
 	deltas := flag.Int("deltas", 200, "delta-stream length for maintenance experiments")
+	jsonPath := flag.String("json", "", "measure maintenance benchmarks and write machine-readable results to this file (skips experiments)")
 	flag.Parse()
 
+	if *jsonPath != "" {
+		if err := runBenchJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdout, *exp, *scale, *deltas); err != nil {
 		fmt.Fprintln(os.Stderr, "benchharness:", err)
 		os.Exit(1)

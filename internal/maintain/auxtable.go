@@ -26,6 +26,17 @@ type AuxTable struct {
 
 	rows map[string]tuple.Tuple
 	idx  map[string]map[string][]string // attr -> value key -> row keys
+
+	// idxPos caches the column position of each indexed attribute, so
+	// per-row index maintenance needs no schema scan.
+	idxPos map[string]int
+
+	// probeBuf and lookupBuf are scratch buffers for index probes: value
+	// keys are encoded into probeBuf (no-allocation map lookups) and
+	// Lookup results are assembled in lookupBuf, which is reused by the
+	// next call. AuxTable is not safe for concurrent use.
+	probeBuf  []byte
+	lookupBuf []tuple.Tuple
 }
 
 // NewAuxTable creates an empty table for the auxiliary view definition.
@@ -39,6 +50,7 @@ func NewAuxTable(def *core.AuxView) *AuxTable {
 		cntPos: -1,
 		rows:   make(map[string]tuple.Tuple),
 		idx:    make(map[string]map[string][]string),
+		idxPos: make(map[string]int),
 	}
 	for i := range def.PlainAttrs {
 		t.plainPos = append(t.plainPos, i)
@@ -102,27 +114,27 @@ func (t *AuxTable) EnsureIndex(attr string) error {
 		return fmt.Errorf("maintain: %s: cannot index %s: %w", t.def.Name, attr, err)
 	}
 	m := make(map[string][]string)
+	var buf []byte
 	for k, r := range t.rows {
-		vk := string(types.Encode(nil, r[pos]))
-		m[vk] = append(m[vk], k)
+		buf = types.Encode(buf[:0], r[pos])
+		m[string(buf)] = append(m[string(buf)], k)
 	}
 	t.idx[attr] = m
+	t.idxPos[attr] = pos
 	return nil
 }
 
 func (t *AuxTable) indexAdd(row tuple.Tuple, key string) {
 	for attr, m := range t.idx {
-		pos, _ := t.cols.Index(t.def.Base, attr)
-		vk := string(types.Encode(nil, row[pos]))
-		m[vk] = append(m[vk], key)
+		t.probeBuf = types.Encode(t.probeBuf[:0], row[t.idxPos[attr]])
+		m[string(t.probeBuf)] = append(m[string(t.probeBuf)], key)
 	}
 }
 
 func (t *AuxTable) indexRemove(row tuple.Tuple, key string) {
 	for attr, m := range t.idx {
-		pos, _ := t.cols.Index(t.def.Base, attr)
-		vk := string(types.Encode(nil, row[pos]))
-		list := m[vk]
+		t.probeBuf = types.Encode(t.probeBuf[:0], row[t.idxPos[attr]])
+		list := m[string(t.probeBuf)]
 		for i, k := range list {
 			if k == key {
 				list[i] = list[len(list)-1]
@@ -131,9 +143,9 @@ func (t *AuxTable) indexRemove(row tuple.Tuple, key string) {
 			}
 		}
 		if len(list) == 0 {
-			delete(m, vk)
+			delete(m, string(t.probeBuf))
 		} else {
-			m[vk] = list
+			m[string(t.probeBuf)] = list
 		}
 	}
 }
@@ -163,14 +175,18 @@ func (t *AuxTable) Load(rel *ra.Relation) error {
 }
 
 // Lookup returns the rows whose plain attribute equals v, using an index
-// when available.
+// when available. The returned slice is a scratch buffer owned by the
+// table and is only valid until the next Lookup call; the tuples in it
+// must not be mutated.
 func (t *AuxTable) Lookup(attr string, v types.Value) []tuple.Tuple {
 	if m, ok := t.idx[attr]; ok {
-		keys := m[string(types.Encode(nil, v))]
-		out := make([]tuple.Tuple, 0, len(keys))
+		t.probeBuf = types.Encode(t.probeBuf[:0], v)
+		keys := m[string(t.probeBuf)]
+		out := t.lookupBuf[:0]
 		for _, k := range keys {
 			out = append(out, t.rows[k])
 		}
+		t.lookupBuf = out
 		return out
 	}
 	pos, err := t.cols.Index(t.def.Base, attr)
@@ -187,8 +203,12 @@ func (t *AuxTable) Lookup(attr string, v types.Value) []tuple.Tuple {
 }
 
 // Contains reports whether some row has the given value in attr — the
-// semijoin membership test.
+// semijoin membership test. With an index it is a single map probe.
 func (t *AuxTable) Contains(attr string, v types.Value) bool {
+	if m, ok := t.idx[attr]; ok {
+		t.probeBuf = types.Encode(t.probeBuf[:0], v)
+		return len(m[string(t.probeBuf)]) > 0
+	}
 	return len(t.Lookup(attr, v)) > 0
 }
 
@@ -200,17 +220,23 @@ func (t *AuxTable) Contains(attr string, v types.Value) bool {
 // compressed view it adjusts the group's aggregates, creating and dropping
 // groups as counts move through zero.
 func (t *AuxTable) Adjust(plainVals tuple.Tuple, sumDeltas map[string]types.Value, extrema map[string]types.Value, dCnt int64) error {
-	key := plainVals.Key()
-	row, exists := t.rows[key]
+	// The group key is encoded into the probe scratch buffer; a key string
+	// is materialized only when a row is inserted or removed. indexAdd and
+	// indexRemove clobber probeBuf, so every branch that calls them first
+	// captures the key — the in-place adjust path allocates nothing.
+	t.probeBuf = plainVals.AppendKey(t.probeBuf[:0])
+	row, exists := t.rows[string(t.probeBuf)]
 
 	if t.def.IsPSJ {
 		switch {
 		case dCnt == 1 && !exists:
+			key := string(t.probeBuf)
 			nrow := plainVals.Clone()
 			t.rows[key] = nrow
 			t.indexAdd(nrow, key)
 			return nil
 		case dCnt == -1 && exists:
+			key := string(t.probeBuf)
 			t.indexRemove(row, key)
 			delete(t.rows, key)
 			return nil
@@ -241,6 +267,7 @@ func (t *AuxTable) Adjust(plainVals tuple.Tuple, sumDeltas map[string]types.Valu
 			row[p] = types.Null
 		}
 		row[t.cntPos] = types.Int(0)
+		key := string(t.probeBuf)
 		t.rows[key] = row
 		t.indexAdd(row, key)
 	}
@@ -277,6 +304,9 @@ func (t *AuxTable) Adjust(plainVals tuple.Tuple, sumDeltas map[string]types.Valu
 	}
 	row[t.cntPos] = types.Int(cnt)
 	if cnt == 0 {
+		// Group death implies the row pre-existed (the create branch adds a
+		// positive count), so probeBuf still holds the encoded key.
+		key := string(t.probeBuf)
 		t.indexRemove(row, key)
 		delete(t.rows, key)
 	}

@@ -2,6 +2,8 @@ package maintain
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"mindetail/internal/ra"
 	"mindetail/internal/tuple"
@@ -23,6 +25,16 @@ type detailCtx struct {
 	maxPos map[string]int
 }
 
+// newDetailCtx returns an empty context with initialized position maps.
+func newDetailCtx() detailCtx {
+	return detailCtx{
+		mPos:   -1,
+		sumPos: make(map[string]int),
+		minPos: make(map[string]int),
+		maxPos: make(map[string]int),
+	}
+}
+
 // multiplicity returns the number of underlying base detail rows one
 // context row stands for.
 func (c detailCtx) multiplicity(row tuple.Tuple) int64 {
@@ -31,6 +43,11 @@ func (c detailCtx) multiplicity(row tuple.Tuple) int64 {
 	}
 	return row[c.mPos].AsInt()
 }
+
+// groupSet maps encoded group keys to their decoded group-by values. The
+// values let the delta-scoped recomputation path probe auxiliary indexes
+// with the groups' own key attributes instead of re-joining everything.
+type groupSet map[string][]types.Value
 
 // tablesFor computes the set of tables a delta on t must join with:
 // owners of group-by attributes and aggregate arguments (to adjust or
@@ -97,76 +114,80 @@ func (e *Engine) tablesFor(t string) map[string]bool {
 	return closed
 }
 
-// deltaDetail joins the signed delta rows of table t with the auxiliary
-// tables of every needed table, producing weighted detail rows: each output
-// row's weight is the signed number of underlying base detail rows it
-// stands for (the root COUNT(*) multiplies in when climbing through a
-// compressed root view).
-func (e *Engine) deltaDetail(t string, signed []signedRow) (detailCtx, []int64, error) {
-	needed := e.tablesFor(t)
+// joinState is the working state of an outward join over the extended join
+// graph: the accumulated schema, the weighted row set, and the tables
+// already folded in. Both the delta-detail path and the delta-scoped
+// recomputation path seed one of these and call joinOutward.
+type joinState struct {
+	cols     ra.Schema
+	rows     []tuple.Tuple
+	weights  []int64
+	included map[string]bool
+	ctx      detailCtx
+}
 
-	cols := e.baseCols(t)
-	rows := make([]tuple.Tuple, len(signed))
-	weights := make([]int64, len(signed))
-	for i, sr := range signed {
-		rows[i] = sr.row
-		weights[i] = sr.s
-	}
-	ctx := detailCtx{mPos: -1, sumPos: make(map[string]int), minPos: make(map[string]int), maxPos: make(map[string]int)}
-	included := map[string]bool{t: true}
-
+// joinOutward folds every needed table into the state by probing the
+// auxiliary tables' hash indexes: join-down edges (a folded parent
+// references the child's key) match at most one row and act as a membership
+// filter; join-up edges (a folded child is referenced by the parent) fan
+// out, and a compressed parent contributes its COUNT(*) to the weight.
+// Residual local conditions are re-applied per table as it joins in.
+func (e *Engine) joinOutward(st *joinState, needed map[string]bool) error {
 	for {
 		progress := false
 		for child, j := range e.graph.EdgeTo {
 			parent := j.Left
 			switch {
-			case included[parent] && !included[child] && needed[child]:
+			case st.included[parent] && !st.included[child] && needed[child]:
 				// Join down: parent references the child's key; at most
 				// one match, no match drops the row (membership filter).
-				refPos, err := cols.Index(parent, j.LeftAttr)
+				refPos, err := st.cols.Index(parent, j.LeftAttr)
 				if err != nil {
-					return ctx, nil, err
+					return err
 				}
 				at := e.aux[child]
-				newRows := rows[:0]
-				newW := weights[:0]
-				for i, row := range rows {
+				if at == nil {
+					return fmt.Errorf("maintain: join needs the omitted auxiliary view of %s", child)
+				}
+				newRows := st.rows[:0]
+				newW := st.weights[:0]
+				for i, row := range st.rows {
 					e.stats.AuxLookups++
 					matches := at.Lookup(j.RightAttr, row[refPos])
 					if len(matches) == 0 {
 						continue
 					}
 					newRows = append(newRows, tuple.Concat(row, matches[0]))
-					newW = append(newW, weights[i])
+					newW = append(newW, st.weights[i])
 				}
-				rows, weights = newRows, newW
-				cols = append(append(ra.Schema{}, cols...), at.Cols()...)
-				rows, weights, err = e.applyResidual(child, cols, rows, weights)
+				st.rows, st.weights = newRows, newW
+				st.cols = append(append(ra.Schema{}, st.cols...), at.Cols()...)
+				st.rows, st.weights, err = e.applyResidual(child, st.cols, st.rows, st.weights)
 				if err != nil {
-					return ctx, nil, err
+					return err
 				}
-				included[child] = true
+				st.included[child] = true
 				progress = true
 
-			case included[child] && !included[parent] && needed[parent]:
+			case st.included[child] && !st.included[parent] && needed[parent]:
 				// Join up: find the parent rows referencing this key; the
 				// fan-out multiplies, and a compressed parent contributes
 				// its COUNT(*) to the weight.
-				keyPos, err := cols.Index(child, j.RightAttr)
+				keyPos, err := st.cols.Index(child, j.RightAttr)
 				if err != nil {
-					return ctx, nil, err
+					return err
 				}
 				at := e.aux[parent]
 				if at == nil {
-					return ctx, nil, fmt.Errorf("maintain: delta on %s needs the omitted auxiliary view of %s", t, parent)
+					return fmt.Errorf("maintain: join needs the omitted auxiliary view of %s", parent)
 				}
 				cntPos := at.cntPos
 				var outRows []tuple.Tuple
 				var outW []int64
-				for i, row := range rows {
+				for i, row := range st.rows {
 					e.stats.AuxLookups++
 					for _, m := range at.Lookup(j.LeftAttr, row[keyPos]) {
-						w := weights[i]
+						w := st.weights[i]
 						if cntPos >= 0 {
 							w *= m[cntPos].AsInt()
 						}
@@ -174,26 +195,26 @@ func (e *Engine) deltaDetail(t string, signed []signedRow) (detailCtx, []int64, 
 						outW = append(outW, w)
 					}
 				}
-				base := len(cols)
-				rows, weights = outRows, outW
-				cols = append(append(ra.Schema{}, cols...), at.Cols()...)
-				rows, weights, err = e.applyResidual(parent, cols, rows, weights)
+				base := len(st.cols)
+				st.rows, st.weights = outRows, outW
+				st.cols = append(append(ra.Schema{}, st.cols...), at.Cols()...)
+				st.rows, st.weights, err = e.applyResidual(parent, st.cols, st.rows, st.weights)
 				if err != nil {
-					return ctx, nil, err
+					return err
 				}
 				if cntPos >= 0 {
-					ctx.mPos = base + cntPos
+					st.ctx.mPos = base + cntPos
 				}
 				for a, p := range at.sumPos {
-					ctx.sumPos[parent+"."+a] = base + p
+					st.ctx.sumPos[parent+"."+a] = base + p
 				}
 				for a, p := range at.minPos {
-					ctx.minPos[parent+"."+a] = base + p
+					st.ctx.minPos[parent+"."+a] = base + p
 				}
 				for a, p := range at.maxPos {
-					ctx.maxPos[parent+"."+a] = base + p
+					st.ctx.maxPos[parent+"."+a] = base + p
 				}
-				included[parent] = true
+				st.included[parent] = true
 				progress = true
 			}
 		}
@@ -202,12 +223,35 @@ func (e *Engine) deltaDetail(t string, signed []signedRow) (detailCtx, []int64, 
 		}
 	}
 	for u := range needed {
-		if !included[u] {
-			return ctx, nil, fmt.Errorf("maintain: delta on %s could not reach needed table %s", t, u)
+		if !st.included[u] {
+			return fmt.Errorf("maintain: join could not reach needed table %s", u)
 		}
 	}
-	ctx.rel = &ra.Relation{Cols: cols, Rows: rows}
-	return ctx, weights, nil
+	st.ctx.rel = &ra.Relation{Cols: st.cols, Rows: st.rows}
+	return nil
+}
+
+// deltaDetail joins the signed delta rows of table t with the auxiliary
+// tables of every needed table, producing weighted detail rows: each output
+// row's weight is the signed number of underlying base detail rows it
+// stands for (the root COUNT(*) multiplies in when climbing through a
+// compressed root view).
+func (e *Engine) deltaDetail(t string, signed []signedRow) (detailCtx, []int64, error) {
+	st := &joinState{
+		cols:     e.baseCols(t),
+		rows:     make([]tuple.Tuple, len(signed)),
+		weights:  make([]int64, len(signed)),
+		included: map[string]bool{t: true},
+		ctx:      newDetailCtx(),
+	}
+	for i, sr := range signed {
+		st.rows[i] = sr.row
+		st.weights[i] = sr.s
+	}
+	if err := e.joinOutward(st, e.tablesFor(t)); err != nil {
+		return st.ctx, nil, fmt.Errorf("maintain: delta on %s: %w", t, err)
+	}
+	return st.ctx, st.weights, nil
 }
 
 // applyResidual filters joined detail rows by the view's residual local
@@ -238,15 +282,32 @@ func (e *Engine) applyResidual(table string, cols ra.Schema, rows []tuple.Tuple,
 
 // fullAuxDetail joins all auxiliary views into the full view detail — the
 // input to partial recomputation. It requires the root auxiliary view and
-// re-applies every residual condition.
+// re-applies every residual condition. The tree is joined breadth-first
+// with index-lookup joins probing each auxiliary table's maintained hash
+// index, so no per-evaluation hash tables are built.
 func (e *Engine) fullAuxDetail() (detailCtx, error) {
-	rels := make(map[string]*ra.Relation, len(e.aux))
-	for t, at := range e.aux {
-		rels[t] = at.Relation()
+	root := e.aux[e.graph.Root]
+	if root == nil {
+		return detailCtx{}, fmt.Errorf("maintain: root auxiliary view of %s omitted; cannot recompute", e.graph.Root)
 	}
-	node, err := e.plan.JoinAux(rels)
-	if err != nil {
-		return detailCtx{}, err
+	var node ra.Node = ra.Scan(root.def.Name, root.Relation())
+	var joins []*ra.IndexedJoinNode
+	queue := append([]string(nil), e.graph.Children[e.graph.Root]...)
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		at := e.aux[t]
+		if at == nil {
+			return detailCtx{}, fmt.Errorf("maintain: missing auxiliary view for %s", t)
+		}
+		j := e.graph.EdgeTo[t]
+		if err := at.EnsureIndex(j.RightAttr); err != nil {
+			return detailCtx{}, err
+		}
+		ij := ra.IndexedJoin(node, ra.Col{Table: j.Left, Name: j.LeftAttr}, at, j.RightAttr, at.def.Name)
+		joins = append(joins, ij)
+		node = ij
+		queue = append(queue, e.graph.Children[t]...)
 	}
 	var allResidual []ra.Comparison
 	for _, conds := range e.residual {
@@ -259,8 +320,12 @@ func (e *Engine) fullAuxDetail() (detailCtx, error) {
 	if err != nil {
 		return detailCtx{}, err
 	}
-	ctx := detailCtx{rel: rel, mPos: -1, sumPos: make(map[string]int), minPos: make(map[string]int), maxPos: make(map[string]int)}
-	root := e.aux[e.graph.Root]
+	for _, ij := range joins {
+		e.stats.AuxLookups += ij.Probes
+		ij.Probes = 0
+	}
+	ctx := newDetailCtx()
+	ctx.rel = rel
 	if root.cntPos >= 0 {
 		i, err := rel.Cols.Index(root.def.Base, root.def.CountName)
 		if err != nil {
@@ -292,10 +357,148 @@ func (e *Engine) fullAuxDetail() (detailCtx, error) {
 	return ctx, nil
 }
 
-// gbBinder binds the view's group-by columns against a detail schema and
-// returns a function extracting the group values of a row.
-func (e *Engine) gbBinder(cols ra.Schema) (func(tuple.Tuple) ([]types.Value, error), error) {
-	var fns []func(tuple.Tuple) (types.Value, error)
+// scopedAuxDetail builds the view detail restricted to the affected groups
+// without joining the full auxiliary tree: it seeds from the auxiliary view
+// owning one of the group-by attributes, probes that view's hash index with
+// the affected groups' own key values, keeps only rows whose group-by
+// projection matches an affected group, and joins outward along the
+// Need-set edges exactly as the delta-detail path does. The result is a
+// superset of the affected groups' detail rows (aggregation filters by the
+// exact group key), so maintenance cost is proportional to the touched
+// groups rather than the warehouse.
+//
+// The second result reports whether the scoped path could be used; when
+// false the caller must fall back to fullAuxDetail. The path declines when
+// the view is global, a group-by item is not a plain column reference, or
+// no group-by attribute is stored plain in a seedable auxiliary view.
+func (e *Engine) scopedAuxDetail(keys groupSet) (detailCtx, bool, error) {
+	ctx := newDetailCtx()
+	if len(e.mv.gbIdx) == 0 {
+		return ctx, false, nil
+	}
+	refs := make([]ra.ColRef, len(e.mv.gbIdx))
+	for i, ci := range e.mv.gbIdx {
+		cr, ok := e.mv.comps[ci].item.Expr.(ra.ColRef)
+		if !ok {
+			return ctx, false, nil
+		}
+		refs[i] = cr
+	}
+	// Pick a seed: a group-by attribute stored plain in its owner's
+	// auxiliary view. A compressed non-root view cannot seed (its rows are
+	// groups, not detail); in the minimal plans only the root compresses,
+	// so this guard is defensive.
+	seed := -1
+	var seedAux *AuxTable
+	for i, cr := range refs {
+		at := e.aux[cr.Table]
+		if at == nil {
+			continue
+		}
+		if !contains(at.def.PlainAttrs, cr.Name) {
+			continue
+		}
+		if cr.Table != e.graph.Root && at.cntPos >= 0 {
+			continue
+		}
+		seed, seedAux = i, at
+		break
+	}
+	if seed < 0 {
+		return ctx, false, nil
+	}
+	seedTable, seedAttr := refs[seed].Table, refs[seed].Name
+	if err := seedAux.EnsureIndex(seedAttr); err != nil {
+		return ctx, false, err
+	}
+
+	// The seed view may own several group-by columns; restricting probe
+	// results to the affected groups' projection onto all of them tightens
+	// the row superset before any joining happens.
+	var ownPos []int // positions in the seed aux schema
+	var ownGb []int  // positions in the group-by value lists
+	for i, cr := range refs {
+		if cr.Table != seedTable {
+			continue
+		}
+		p, err := seedAux.cols.Index(cr.Table, cr.Name)
+		if err != nil {
+			return ctx, false, nil
+		}
+		ownPos = append(ownPos, p)
+		ownGb = append(ownGb, i)
+	}
+
+	allowed := make(map[string]bool, len(keys))
+	probes := make(map[string]types.Value, len(keys))
+	buf := e.keyBuf[:0]
+	for _, vals := range keys {
+		buf = buf[:0]
+		for _, gi := range ownGb {
+			buf = types.Encode(buf, vals[gi])
+		}
+		allowed[string(buf)] = true
+		buf = types.Encode(buf[:0], vals[seed])
+		if _, ok := probes[string(buf)]; !ok {
+			probes[string(buf)] = vals[seed]
+		}
+	}
+
+	var rows []tuple.Tuple
+	for _, v := range probes {
+		e.stats.AuxLookups++
+		for _, r := range seedAux.Lookup(seedAttr, v) {
+			buf = buf[:0]
+			for _, p := range ownPos {
+				buf = types.Encode(buf, r[p])
+			}
+			if allowed[string(buf)] {
+				rows = append(rows, r)
+			}
+		}
+	}
+	e.keyBuf = buf[:0]
+
+	st := &joinState{
+		cols:     seedAux.Cols(),
+		rows:     rows,
+		weights:  make([]int64, len(rows)),
+		included: map[string]bool{seedTable: true},
+		ctx:      ctx,
+	}
+	for i := range st.weights {
+		st.weights[i] = 1
+	}
+	// A compressed seed (the root) carries its own multiplicity columns.
+	if seedTable == e.graph.Root {
+		if seedAux.cntPos >= 0 {
+			st.ctx.mPos = seedAux.cntPos
+		}
+		for a, p := range seedAux.sumPos {
+			st.ctx.sumPos[seedTable+"."+a] = p
+		}
+		for a, p := range seedAux.minPos {
+			st.ctx.minPos[seedTable+"."+a] = p
+		}
+		for a, p := range seedAux.maxPos {
+			st.ctx.maxPos[seedTable+"."+a] = p
+		}
+	}
+	var err error
+	st.rows, st.weights, err = e.applyResidual(seedTable, st.cols, st.rows, st.weights)
+	if err != nil {
+		return st.ctx, false, err
+	}
+	if err := e.joinOutward(st, e.tablesFor(seedTable)); err != nil {
+		return st.ctx, false, err
+	}
+	return st.ctx, true, nil
+}
+
+// gbFns binds the view's group-by expressions against a detail schema. The
+// returned closures are stateless and safe for concurrent use.
+func (e *Engine) gbFns(cols ra.Schema) ([]func(tuple.Tuple) (types.Value, error), error) {
+	fns := make([]func(tuple.Tuple) (types.Value, error), 0, len(e.mv.gbIdx))
 	for _, ci := range e.mv.gbIdx {
 		f, err := e.mv.comps[ci].item.Expr.Bind(cols)
 		if err != nil {
@@ -303,17 +506,7 @@ func (e *Engine) gbBinder(cols ra.Schema) (func(tuple.Tuple) ([]types.Value, err
 		}
 		fns = append(fns, f)
 	}
-	return func(row tuple.Tuple) ([]types.Value, error) {
-		vals := make([]types.Value, len(fns))
-		for i, f := range fns {
-			v, err := f(row)
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = v
-		}
-		return vals, nil
-	}, nil
+	return fns, nil
 }
 
 // sumArg resolves where a SUM component's argument lives in a detail
@@ -367,9 +560,11 @@ func storedArgPos(ctx detailCtx, c component) (int, error) {
 
 // adjustFromDetail applies incremental CSMAS adjustments for each weighted
 // detail row; with raise set, stored MIN/MAX components absorb the
-// insertion batch (the SMA insertion fast path).
+// insertion batch (the SMA insertion fast path). Group keys are encoded
+// into a reused scratch buffer, and the per-row sum-delta map is cleared
+// and reused, so the steady-state loop allocates only on group creation.
 func (e *Engine) adjustFromDetail(ctx detailCtx, weights []int64, raise bool) error {
-	gb, err := e.gbBinder(ctx.rel.Cols)
+	fns, err := e.gbFns(ctx.rel.Cols)
 	if err != nil {
 		return err
 	}
@@ -394,13 +589,21 @@ func (e *Engine) adjustFromDetail(ctx detailCtx, weights []int64, raise bool) er
 			stored = append(stored, storedBind{comp: ci, pos: p})
 		}
 	}
+	gbVals := make([]types.Value, len(fns))
+	sumDeltas := make(map[int]types.Value, len(sums))
+	buf := e.keyBuf[:0]
 	for i, row := range ctx.rel.Rows {
 		w := weights[i]
-		gbVals, err := gb(row)
-		if err != nil {
-			return err
+		buf = buf[:0]
+		for gi, f := range fns {
+			v, err := f(row)
+			if err != nil {
+				return err
+			}
+			gbVals[gi] = v
+			buf = types.Encode(buf, v)
 		}
-		sumDeltas := make(map[int]types.Value, len(sums))
+		clear(sumDeltas)
 		for ci, sa := range sums {
 			var d types.Value
 			if sa.compressed {
@@ -418,62 +621,72 @@ func (e *Engine) adjustFromDetail(ctx detailCtx, weights []int64, raise bool) er
 			}
 			sumDeltas[ci] = d
 		}
-		if err := e.mv.adjust(gbVals, w, sumDeltas); err != nil {
+		if err := e.mv.adjustBuf(buf, gbVals, w, sumDeltas); err != nil {
 			return err
 		}
 		e.stats.GroupAdjusts++
 		for _, sb := range stored {
-			e.mv.raiseExtrema(gbVals, sb.comp, row[sb.pos])
+			e.mv.raiseExtremaBuf(buf, sb.comp, row[sb.pos])
 		}
 	}
+	e.keyBuf = buf[:0]
 	return nil
 }
 
-// affectedKeys returns the encoded group keys the detail rows touch.
-func (e *Engine) affectedKeys(ctx detailCtx) (map[string]bool, error) {
-	gb, err := e.gbBinder(ctx.rel.Cols)
+// affectedGroups returns the groups the detail rows touch: encoded key and
+// decoded group-by values (the seed values of the scoped recomputation).
+func (e *Engine) affectedGroups(ctx detailCtx) (groupSet, error) {
+	fns, err := e.gbFns(ctx.rel.Cols)
 	if err != nil {
 		return nil, err
 	}
-	keys := make(map[string]bool)
+	keys := make(groupSet)
+	vals := make([]types.Value, len(fns))
+	buf := e.keyBuf[:0]
 	for _, row := range ctx.rel.Rows {
-		vals, err := gb(row)
-		if err != nil {
-			return nil, err
+		buf = buf[:0]
+		for i, f := range fns {
+			v, err := f(row)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+			buf = types.Encode(buf, v)
 		}
-		keys[tuple.Tuple(vals).Key()] = true
+		if _, ok := keys[string(buf)]; !ok {
+			keys[string(buf)] = append([]types.Value(nil), vals...)
+		}
 	}
+	e.keyBuf = buf[:0]
 	return keys, nil
 }
 
-// recomputeGroups repairs the given groups from the auxiliary views alone:
-// the full auxiliary detail is joined, restricted to the affected groups,
-// and re-aggregated (Section 3.2's recomputation of non-CSMAS aggregates
-// from the auxiliary views).
-func (e *Engine) recomputeGroups(keys map[string]bool) error {
+// recomputeGroups repairs the given groups from the auxiliary views alone
+// (Section 3.2's recomputation of non-CSMAS aggregates): the affected
+// detail rows are gathered — by the delta-scoped index propagation when the
+// view's shape admits it, from the full auxiliary join otherwise — and
+// re-aggregated, replacing the stored groups.
+func (e *Engine) recomputeGroups(keys groupSet) error {
 	if len(keys) == 0 {
 		return nil
 	}
-	full, err := e.fullAuxDetail()
-	if err != nil {
-		return err
-	}
-	gb, err := e.gbBinder(full.rel.Cols)
-	if err != nil {
-		return err
-	}
-	sub := detailCtx{mPos: full.mPos, sumPos: full.sumPos}
-	sub.rel = ra.NewRelation(full.rel.Cols)
-	for _, row := range full.rel.Rows {
-		vals, err := gb(row)
+	var ctx detailCtx
+	scoped := false
+	if !e.ForceFullRecompute {
+		var err error
+		ctx, scoped, err = e.scopedAuxDetail(keys)
 		if err != nil {
 			return err
 		}
-		if keys[tuple.Tuple(vals).Key()] {
-			sub.rel.Rows = append(sub.rel.Rows, row)
-		}
 	}
-	groups, err := e.computeGroups(sub, keys)
+	if !scoped {
+		full, err := e.fullAuxDetail()
+		if err != nil {
+			return err
+		}
+		ctx = full
+	}
+	groups, err := e.computeGroups(ctx, keys)
 	if err != nil {
 		return err
 	}
@@ -488,11 +701,38 @@ func (e *Engine) recomputeGroups(keys map[string]bool) error {
 	return nil
 }
 
+// parallelRecomputeThreshold is the detail-row count below which group
+// recomputation stays serial: small deltas must not pay goroutine and
+// sharding overhead.
+const parallelRecomputeThreshold = 4096
+
+// workerCount resolves the recomputation worker-pool size.
+func (e *Engine) workerCount() int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > 16 {
+		w = 16
+	}
+	return w
+}
+
+// storedDef binds one stored (non-CSMAS) component to its detail position.
+type storedDef struct {
+	comp int
+	pos  int
+	agg  *ra.Aggregate
+}
+
 // computeGroups aggregates detail rows into maintenance-form component
-// rows. With keys non-nil, only groups in the set are produced (defensive;
-// callers pre-filter the rows).
-func (e *Engine) computeGroups(ctx detailCtx, keys map[string]bool) (map[string]tuple.Tuple, error) {
-	gb, err := e.gbBinder(ctx.rel.Cols)
+// rows. With keys non-nil, only groups in the set are produced. Large
+// inputs are sharded by group-key hash across a bounded worker pool: every
+// row of a group lands in the same shard with its original relative order
+// preserved, so parallel aggregation accumulates each group exactly as the
+// serial path would.
+func (e *Engine) computeGroups(ctx detailCtx, keys groupSet) (map[string]tuple.Tuple, error) {
+	fns, err := e.gbFns(ctx.rel.Cols)
 	if err != nil {
 		return nil, err
 	}
@@ -500,14 +740,7 @@ func (e *Engine) computeGroups(ctx detailCtx, keys map[string]bool) (map[string]
 	if err != nil {
 		return nil, err
 	}
-	type storedAcc struct {
-		comp     int
-		pos      int
-		agg      *ra.Aggregate
-		extremum map[string]types.Value            // group key -> MIN/MAX value
-		distinct map[string]map[string]types.Value // group key -> set
-	}
-	var storeds []*storedAcc
+	var storeds []storedDef
 	for ci, c := range e.mv.comps {
 		if c.kind != compStored {
 			continue
@@ -516,33 +749,106 @@ func (e *Engine) computeGroups(ctx detailCtx, keys map[string]bool) (map[string]
 		if err != nil {
 			return nil, err
 		}
-		storeds = append(storeds, &storedAcc{
-			comp: ci, pos: p, agg: c.item.Agg,
-			extremum: make(map[string]types.Value),
-			distinct: make(map[string]map[string]types.Value),
-		})
+		storeds = append(storeds, storedDef{comp: ci, pos: p, agg: c.item.Agg})
 	}
 
-	rows := make(map[string]tuple.Tuple)
-	for _, row := range ctx.rel.Rows {
-		gbVals, err := gb(row)
-		if err != nil {
-			return nil, err
+	rows := ctx.rel.Rows
+	workers := e.workerCount()
+	if workers <= 1 || len(rows) < parallelRecomputeThreshold {
+		return e.aggregateGroups(ctx, rows, fns, sums, storeds, keys)
+	}
+
+	// Shard by group-key hash; the keys filter applies here so workers
+	// only see relevant rows.
+	shards := make([][]tuple.Tuple, workers)
+	var buf []byte
+	for _, row := range rows {
+		buf = buf[:0]
+		for _, f := range fns {
+			v, err := f(row)
+			if err != nil {
+				return nil, err
+			}
+			buf = types.Encode(buf, v)
 		}
-		key := tuple.Tuple(gbVals).Key()
-		if keys != nil && !keys[key] {
+		if keys != nil {
+			if _, ok := keys[string(buf)]; !ok {
+				continue
+			}
+		}
+		w := int(fnv32(buf) % uint32(workers))
+		shards[w] = append(shards[w], row)
+	}
+	outs := make([]map[string]tuple.Tuple, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		if len(shards[w]) == 0 {
 			continue
 		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			outs[w], errs[w] = e.aggregateGroups(ctx, shards[w], fns, sums, storeds, nil)
+		}(w)
+	}
+	wg.Wait()
+	merged := make(map[string]tuple.Tuple)
+	for w := range outs {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		for k, row := range outs[w] {
+			merged[k] = row
+		}
+	}
+	return merged, nil
+}
+
+// aggregateGroups performs the aggregation loop over one row set. It uses
+// only local state plus read-only engine metadata, so multiple invocations
+// may run concurrently (the parallel recomputation workers).
+func (e *Engine) aggregateGroups(ctx detailCtx, rows []tuple.Tuple, fns []func(tuple.Tuple) (types.Value, error), sums map[int]sumArg, storeds []storedDef, keys groupSet) (map[string]tuple.Tuple, error) {
+	type storedAcc struct {
+		extremum map[string]types.Value            // group key -> MIN/MAX value
+		distinct map[string]map[string]types.Value // group key -> set
+	}
+	accs := make([]storedAcc, len(storeds))
+	for i := range accs {
+		accs[i] = storedAcc{
+			extremum: make(map[string]types.Value),
+			distinct: make(map[string]map[string]types.Value),
+		}
+	}
+
+	out := make(map[string]tuple.Tuple)
+	gbVals := make([]types.Value, len(fns))
+	var buf, vbuf []byte
+	for _, row := range rows {
+		buf = buf[:0]
+		for i, f := range fns {
+			v, err := f(row)
+			if err != nil {
+				return nil, err
+			}
+			gbVals[i] = v
+			buf = types.Encode(buf, v)
+		}
+		if keys != nil {
+			if _, ok := keys[string(buf)]; !ok {
+				continue
+			}
+		}
 		m := ctx.multiplicity(row)
-		out, ok := rows[key]
+		orow, ok := out[string(buf)]
 		if !ok {
-			out = e.mv.blank(gbVals)
-			rows[key] = out
+			orow = e.mv.blank(gbVals)
+			out[string(buf)] = orow
 		}
 		for ci, c := range e.mv.comps {
 			switch c.kind {
 			case compCount:
-				out[ci] = types.Int(out[ci].AsInt() + m)
+				orow[ci] = types.Int(orow[ci].AsInt() + m)
 			case compSum:
 				sa := sums[ci]
 				var d types.Value
@@ -555,59 +861,75 @@ func (e *Engine) computeGroups(ctx detailCtx, keys map[string]bool) (map[string]
 						return nil, err
 					}
 				}
-				if out[ci].IsNull() {
-					out[ci] = d
+				if orow[ci].IsNull() {
+					orow[ci] = d
 				} else {
-					s, err := types.Add(out[ci], d)
+					s, err := types.Add(orow[ci], d)
 					if err != nil {
 						return nil, err
 					}
-					out[ci] = s
+					orow[ci] = s
 				}
 			}
 		}
 		h := e.mv.hiddenIdx()
-		out[h] = types.Int(out[h].AsInt() + m)
+		orow[h] = types.Int(orow[h].AsInt() + m)
 
-		for _, sa := range storeds {
-			v := row[sa.pos]
-			if sa.agg.Distinct {
-				set := sa.distinct[key]
-				if set == nil {
+		for i := range storeds {
+			sd := &storeds[i]
+			ac := &accs[i]
+			v := row[sd.pos]
+			if sd.agg.Distinct {
+				set, ok := ac.distinct[string(buf)]
+				if !ok {
 					set = make(map[string]types.Value)
-					sa.distinct[key] = set
+					ac.distinct[string(buf)] = set
 				}
-				set[string(types.Encode(nil, v))] = v
+				vbuf = types.Encode(vbuf[:0], v)
+				if _, ok := set[string(vbuf)]; !ok {
+					set[string(vbuf)] = v
+				}
 				continue
 			}
-			cur, ok := sa.extremum[key]
+			cur, ok := ac.extremum[string(buf)]
 			switch {
 			case !ok:
-				sa.extremum[key] = v
-			case sa.agg.Func == ra.FuncMin && types.Compare(v, cur) < 0:
-				sa.extremum[key] = v
-			case sa.agg.Func == ra.FuncMax && types.Compare(v, cur) > 0:
-				sa.extremum[key] = v
+				ac.extremum[string(buf)] = v
+			case sd.agg.Func == ra.FuncMin && types.Compare(v, cur) < 0:
+				ac.extremum[string(buf)] = v
+			case sd.agg.Func == ra.FuncMax && types.Compare(v, cur) > 0:
+				ac.extremum[string(buf)] = v
 			}
 		}
 	}
 
 	// Finalize stored components.
-	for _, sa := range storeds {
-		for key, out := range rows {
-			if sa.agg.Distinct {
-				set := sa.distinct[key]
-				v, err := finalizeDistinct(sa.agg, set)
+	for i := range storeds {
+		sd := &storeds[i]
+		ac := &accs[i]
+		for key, orow := range out {
+			if sd.agg.Distinct {
+				v, err := finalizeDistinct(sd.agg, ac.distinct[key])
 				if err != nil {
 					return nil, err
 				}
-				out[sa.comp] = v
-			} else if v, ok := sa.extremum[key]; ok {
-				out[sa.comp] = v
+				orow[sd.comp] = v
+			} else if v, ok := ac.extremum[key]; ok {
+				orow[sd.comp] = v
 			}
 		}
 	}
-	return rows, nil
+	return out, nil
+}
+
+// fnv32 is the FNV-1a hash of b, used to shard rows by group key.
+func fnv32(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
 }
 
 // finalizeDistinct computes a DISTINCT aggregate over a value set.

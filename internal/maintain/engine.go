@@ -51,6 +51,17 @@ type Engine struct {
 	// false every referenced table is joined.
 	UseNeedSets bool
 
+	// ForceFullRecompute disables the delta-scoped group recomputation
+	// path: affected groups are repaired from the full auxiliary join (the
+	// pre-optimization behavior, kept as a verification oracle and as the
+	// fallback for shapes the scoped path cannot seed).
+	ForceFullRecompute bool
+
+	// Workers bounds the group-recomputation worker pool; 0 means
+	// GOMAXPROCS. Parallelism engages only above a row threshold, so small
+	// deltas never pay goroutine overhead.
+	Workers int
+
 	// filtering marks non-root tables whose auxiliary view can exclude
 	// detail rows (local conditions, or a join edge without referential
 	// integrity, anywhere in the subtree); these must always participate
@@ -66,7 +77,37 @@ type Engine struct {
 	// coordinator maintains the tables once for all views.
 	skipAux bool
 
+	// tableSet is view.Tables as a set: Apply-path membership tests are
+	// O(1) instead of a per-delta slice scan.
+	tableSet map[string]bool
+
+	// Per-table caches for the Apply hot path: qualified base schemas,
+	// view-relevant attribute positions (expand's no-op detection), bound
+	// local-condition predicates, and auxApply projection plans. All are
+	// derived from immutable plan metadata, so caching is safe.
+	baseColsC  map[string]ra.Schema
+	relPosC    map[string][]int
+	localPredC map[string]func(tuple.Tuple) (bool, error)
+	auxPlanC   map[string]*auxApplyPlan
+
+	// Scratch buffers reused across Apply calls (the engine is not safe
+	// for concurrent Apply, so a single set suffices).
+	keyBuf    []byte
+	plainBuf  tuple.Tuple
+	sumDeltaC map[string]types.Value
+	extremaC  map[string]types.Value
+
 	stats Stats
+}
+
+// auxApplyPlan caches the base-row positions auxApply projects from, so the
+// per-delta work is pure array indexing.
+type auxApplyPlan struct {
+	plainPos []int // base positions of the aux view's plain attributes
+	sumPos   []int // base positions of def.SumAttrs, in order
+	sjPos    []int // base position of each semijoin's left attribute
+	minPos   []int // base positions of def.MinAttrs, in order
+	maxPos   []int // base positions of def.MaxAttrs, in order
 }
 
 // NewEngine creates an engine for a derived plan. Call Init before Apply.
@@ -95,6 +136,16 @@ func newEngine(plan *core.Plan, tables map[string]*AuxTable, residual map[string
 		filtering:   make(map[string]bool),
 		residual:    residual,
 		skipAux:     skipAux,
+		tableSet:    make(map[string]bool, len(plan.View.Tables)),
+		baseColsC:   make(map[string]ra.Schema),
+		relPosC:     make(map[string][]int),
+		localPredC:  make(map[string]func(tuple.Tuple) (bool, error)),
+		auxPlanC:    make(map[string]*auxApplyPlan),
+		sumDeltaC:   make(map[string]types.Value),
+		extremaC:    make(map[string]types.Value),
+	}
+	for _, t := range plan.View.Tables {
+		e.tableSet[t] = true
 	}
 	// Indexes: each table's key (semijoin membership and downward joins),
 	// and each referencing attribute (upward joins).
@@ -214,7 +265,7 @@ type signedRow struct {
 // (referential integrity preserved, updates only to mutable attributes).
 func (e *Engine) Apply(d Delta) error {
 	t := d.Table
-	if !contains(e.view.Tables, t) {
+	if !e.tableSet[t] {
 		return nil // table not referenced by the view
 	}
 	if e.plan.AppendOnly && (len(d.Deletes) > 0 || len(d.Updates) > 0) {
@@ -249,21 +300,9 @@ func (e *Engine) expand(d Delta) ([]signedRow, error) {
 		}
 		return nil
 	}
-	relevant := map[string]bool{}
-	for _, a := range e.view.PreservedAttrs(d.Table) {
-		relevant[a] = true
-	}
-	for _, a := range e.view.CondAttrs(d.Table) {
-		relevant[a] = true
-	}
-	var relevantPos []int
-	for i, a := range meta.Attrs {
-		if relevant[a.Name] {
-			relevantPos = append(relevantPos, i)
-		}
-	}
+	relevantPos := e.relevantPosFor(d.Table)
 
-	var out []signedRow
+	out := make([]signedRow, 0, len(d.Deletes)+2*len(d.Updates)+len(d.Inserts))
 	for _, r := range d.Deletes {
 		if err := check(r); err != nil {
 			return nil, err
@@ -277,7 +316,14 @@ func (e *Engine) expand(d Delta) ([]signedRow, error) {
 		if err := check(u.New); err != nil {
 			return nil, err
 		}
-		if tuple.Identical(u.Old.Project(relevantPos), u.New.Project(relevantPos)) {
+		same := true
+		for _, p := range relevantPos {
+			if !types.Identical(u.Old[p], u.New[p]) {
+				same = false
+				break
+			}
+		}
+		if same {
 			continue // no attribute the view can observe changed
 		}
 		out = append(out, signedRow{row: u.Old, s: -1}, signedRow{row: u.New, s: 1})
@@ -291,25 +337,72 @@ func (e *Engine) expand(d Delta) ([]signedRow, error) {
 	return out, nil
 }
 
-// baseCols returns the base-table schema qualified with the table name.
+// relevantPosFor returns (and caches) the base positions of the attributes
+// of t the view can observe: preserved or condition attributes.
+func (e *Engine) relevantPosFor(t string) []int {
+	if pos, ok := e.relPosC[t]; ok {
+		return pos
+	}
+	meta := e.view.Catalog().Table(t)
+	relevant := map[string]bool{}
+	for _, a := range e.view.PreservedAttrs(t) {
+		relevant[a] = true
+	}
+	for _, a := range e.view.CondAttrs(t) {
+		relevant[a] = true
+	}
+	pos := []int{}
+	for i, a := range meta.Attrs {
+		if relevant[a.Name] {
+			pos = append(pos, i)
+		}
+	}
+	e.relPosC[t] = pos
+	return pos
+}
+
+// baseCols returns the base-table schema qualified with the table name,
+// cached per table. Callers must not mutate the returned schema.
 func (e *Engine) baseCols(t string) ra.Schema {
+	if cols, ok := e.baseColsC[t]; ok {
+		return cols
+	}
 	meta := e.view.Catalog().Table(t)
 	cols := make(ra.Schema, len(meta.Attrs))
 	for i, a := range meta.Attrs {
 		cols[i] = ra.Col{Table: t, Name: a.Name}
 	}
+	e.baseColsC[t] = cols
 	return cols
 }
 
-// localFilter drops signed rows that fail the table's local conditions.
-func (e *Engine) localFilter(t string, rows []signedRow) ([]signedRow, error) {
+// localPred returns (and caches) the bound predicate of t's local
+// conditions, or nil when t has none.
+func (e *Engine) localPred(t string) (func(tuple.Tuple) (bool, error), error) {
+	if pred, ok := e.localPredC[t]; ok {
+		return pred, nil
+	}
 	conds := e.view.Local[t]
 	if len(conds) == 0 {
-		return rows, nil
+		e.localPredC[t] = nil
+		return nil, nil
 	}
 	pred, err := ra.BindAll(conds, e.baseCols(t))
 	if err != nil {
 		return nil, err
+	}
+	e.localPredC[t] = pred
+	return pred, nil
+}
+
+// localFilter drops signed rows that fail the table's local conditions.
+func (e *Engine) localFilter(t string, rows []signedRow) ([]signedRow, error) {
+	pred, err := e.localPred(t)
+	if err != nil {
+		return nil, err
+	}
+	if pred == nil {
+		return rows, nil
 	}
 	out := rows[:0]
 	for _, sr := range rows {
@@ -324,22 +417,49 @@ func (e *Engine) localFilter(t string, rows []signedRow) ([]signedRow, error) {
 	return out, nil
 }
 
+// auxPlanFor returns (and caches) the base-row projection plan for X_t.
+func (e *Engine) auxPlanFor(at *AuxTable) *auxApplyPlan {
+	if p, ok := e.auxPlanC[at.def.Base]; ok {
+		return p
+	}
+	meta := e.view.Catalog().Table(at.def.Base)
+	p := &auxApplyPlan{}
+	for _, a := range at.def.PlainAttrs {
+		p.plainPos = append(p.plainPos, meta.AttrIndex(a))
+	}
+	for _, a := range at.def.SumAttrs {
+		p.sumPos = append(p.sumPos, meta.AttrIndex(a))
+	}
+	for _, sj := range at.def.SemiJoins {
+		p.sjPos = append(p.sjPos, meta.AttrIndex(sj.LeftAttr))
+	}
+	for _, a := range at.def.MinAttrs {
+		p.minPos = append(p.minPos, meta.AttrIndex(a))
+	}
+	for _, a := range at.def.MaxAttrs {
+		p.maxPos = append(p.maxPos, meta.AttrIndex(a))
+	}
+	e.auxPlanC[at.def.Base] = p
+	return p
+}
+
 // auxApply maintains X_t under the signed rows: project to the stored
 // attributes, check the join-reduction semijoins against the child
 // auxiliary tables, and adjust the group (or insert/delete the PSJ row).
+// Scratch buffers (plainBuf, sumDeltaC, extremaC) are reused across rows;
+// Adjust copies what it retains.
 func (e *Engine) auxApply(at *AuxTable, rows []signedRow) error {
-	meta := e.view.Catalog().Table(at.def.Base)
-	pos := func(attr string) int { return meta.AttrIndex(attr) }
-	var plainPos []int
-	for _, a := range at.def.PlainAttrs {
-		plainPos = append(plainPos, pos(a))
+	plan := e.auxPlanFor(at)
+	if cap(e.plainBuf) < len(plan.plainPos) {
+		e.plainBuf = make(tuple.Tuple, len(plan.plainPos))
 	}
+	plainVals := e.plainBuf[:len(plan.plainPos)]
 	for _, sr := range rows {
 		pass := true
-		for _, sj := range at.def.SemiJoins {
+		for i, sj := range at.def.SemiJoins {
 			child := e.aux[sj.Right]
 			e.stats.AuxLookups++
-			if !child.Contains(sj.RightAttr, sr.row[pos(sj.LeftAttr)]) {
+			if !child.Contains(sj.RightAttr, sr.row[plan.sjPos[i]]) {
 				pass = false
 				break
 			}
@@ -347,27 +467,29 @@ func (e *Engine) auxApply(at *AuxTable, rows []signedRow) error {
 		if !pass {
 			continue
 		}
-		plainVals := sr.row.Project(plainPos)
-		sumDeltas := make(map[string]types.Value, len(at.def.SumAttrs))
-		for _, a := range at.def.SumAttrs {
-			v := sr.row[pos(a)]
-			d, err := types.Mul(types.Int(sr.s), v)
+		for i, p := range plan.plainPos {
+			plainVals[i] = sr.row[p]
+		}
+		clear(e.sumDeltaC)
+		for i, a := range at.def.SumAttrs {
+			d, err := types.Mul(types.Int(sr.s), sr.row[plan.sumPos[i]])
 			if err != nil {
 				return err
 			}
-			sumDeltas[a] = d
+			e.sumDeltaC[a] = d
 		}
 		var extrema map[string]types.Value
-		if len(at.def.MinAttrs) > 0 || len(at.def.MaxAttrs) > 0 {
-			extrema = make(map[string]types.Value)
-			for _, a := range at.def.MinAttrs {
-				extrema[a] = sr.row[pos(a)]
+		if len(plan.minPos) > 0 || len(plan.maxPos) > 0 {
+			clear(e.extremaC)
+			extrema = e.extremaC
+			for i, a := range at.def.MinAttrs {
+				extrema[a] = sr.row[plan.minPos[i]]
 			}
-			for _, a := range at.def.MaxAttrs {
-				extrema[a] = sr.row[pos(a)]
+			for i, a := range at.def.MaxAttrs {
+				extrema[a] = sr.row[plan.maxPos[i]]
 			}
 		}
-		if err := at.Adjust(plainVals, sumDeltas, extrema, sr.s); err != nil {
+		if err := at.Adjust(plainVals, e.sumDeltaC, extrema, sr.s); err != nil {
 			return err
 		}
 	}
@@ -415,11 +537,11 @@ func (e *Engine) vImpact(t string, d Delta, signed []signedRow) error {
 		// and raise the extrema.
 		return e.adjustFromDetail(ctx, weights, true)
 	}
-	keys, err := e.affectedKeys(ctx)
+	groups, err := e.affectedGroups(ctx)
 	if err != nil {
 		return err
 	}
-	return e.recomputeGroups(keys)
+	return e.recomputeGroups(groups)
 }
 
 // rekey handles dimension updates when the root auxiliary view is omitted:

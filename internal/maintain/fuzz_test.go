@@ -143,6 +143,11 @@ type fuzzState struct {
 	view   *gpsj.View
 	engine *Engine
 
+	// shadow maintains the same view with the delta-scoped recomputation
+	// path disabled; its snapshot must stay byte-identical to the primary
+	// engine's, proving the scoped path equivalent to full re-join.
+	shadow *Engine
+
 	factID  int64
 	facts   []int64
 	dim1IDs []int64
@@ -186,11 +191,18 @@ func runFuzz(t *testing.T, seed int64) {
 	f := &fuzzState{t: t, rng: rng, db: storage.NewDB(cat), view: v}
 	f.engine = NewEngine(plan)
 	f.engine.UseNeedSets = seed%3 != 0 // exercise both join modes
+	f.shadow = NewEngine(plan)
+	f.shadow.ForceFullRecompute = true
+	f.shadow.UseNeedSets = f.engine.UseNeedSets
 
 	f.seed()
-	if err := f.engine.Init(func(tb string) *ra.Relation {
+	src := func(tb string) *ra.Relation {
 		return ra.FromTable(f.db.Table(tb), tb)
-	}); err != nil {
+	}
+	if err := f.engine.Init(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.shadow.Init(src); err != nil {
 		t.Fatal(err)
 	}
 	f.check("init")
@@ -245,6 +257,9 @@ func (f *fuzzState) apply(d Delta) {
 	f.t.Helper()
 	if err := f.engine.Apply(d); err != nil {
 		f.t.Fatalf("Apply(%s): %v", d.Table, err)
+	}
+	if err := f.shadow.Apply(d); err != nil {
+		f.t.Fatalf("shadow Apply(%s): %v", d.Table, err)
 	}
 }
 
@@ -331,5 +346,11 @@ func (f *fuzzState) check(when string) {
 	if !ra.EqualBag(got, want) {
 		f.t.Fatalf("%s: diverged\nview: %s\nmaintained:\n%s\nrecomputed:\n%s",
 			when, f.view.SQL(), got.Format(), want.Format())
+	}
+	// The delta-scoped recomputation path must be indistinguishable from
+	// the full auxiliary re-join, down to the byte-rendered snapshot.
+	if gf, sf := got.Format(), f.shadow.Snapshot().Format(); gf != sf {
+		f.t.Fatalf("%s: scoped path diverged from full recompute\nview: %s\nscoped:\n%s\nfull:\n%s",
+			when, f.view.SQL(), gf, sf)
 	}
 }

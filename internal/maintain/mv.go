@@ -144,11 +144,18 @@ func (mv *MaterializedView) blank(gbVals []types.Value) tuple.Tuple {
 // component value deltas. It creates the group when absent and removes it
 // when the hidden count returns to zero (unless the view is global).
 func (mv *MaterializedView) adjust(gbVals []types.Value, dCnt int64, sumDeltas map[int]types.Value) error {
-	key := tuple.Tuple(gbVals).Key()
-	row, ok := mv.rows[key]
+	return mv.adjustBuf(tuple.Tuple(gbVals).AppendKey(nil), gbVals, dCnt, sumDeltas)
+}
+
+// adjustBuf is adjust with the group key pre-encoded into a caller-owned
+// scratch buffer: lookups and deletes use string(key) conversions the
+// runtime elides, so the hot adjustment loop allocates a key string only
+// when a new group is created.
+func (mv *MaterializedView) adjustBuf(key []byte, gbVals []types.Value, dCnt int64, sumDeltas map[int]types.Value) error {
+	row, ok := mv.rows[string(key)]
 	if !ok {
 		row = mv.blank(gbVals)
-		mv.rows[key] = row
+		mv.rows[string(key)] = row
 	}
 	for ci, c := range mv.comps {
 		switch c.kind {
@@ -173,7 +180,7 @@ func (mv *MaterializedView) adjust(gbVals []types.Value, dCnt int64, sumDeltas m
 	h := mv.hiddenIdx()
 	row[h] = types.Int(row[h].AsInt() + dCnt)
 	if row[h].AsInt() == 0 && !mv.global() {
-		delete(mv.rows, key)
+		delete(mv.rows, string(key))
 	} else if row[h].AsInt() < 0 {
 		return fmt.Errorf("maintain: group %v count went negative (inconsistent delta stream)", gbVals)
 	}
@@ -183,8 +190,13 @@ func (mv *MaterializedView) adjust(gbVals []types.Value, dCnt int64, sumDeltas m
 // raiseExtrema updates stored MIN/MAX components with a candidate value —
 // the insertion-only SMA fast path of Table 1.
 func (mv *MaterializedView) raiseExtrema(gbVals []types.Value, ci int, v types.Value) {
-	key := tuple.Tuple(gbVals).Key()
-	row, ok := mv.rows[key]
+	mv.raiseExtremaBuf(tuple.Tuple(gbVals).AppendKey(nil), ci, v)
+}
+
+// raiseExtremaBuf is raiseExtrema with a pre-encoded group key (no
+// allocation on lookup).
+func (mv *MaterializedView) raiseExtremaBuf(key []byte, ci int, v types.Value) {
+	row, ok := mv.rows[string(key)]
 	if !ok {
 		// adjust creates groups; raiseExtrema is called after it.
 		return
@@ -202,7 +214,7 @@ func (mv *MaterializedView) raiseExtrema(gbVals []types.Value, ci int, v types.V
 }
 
 // deleteGroups removes the groups with the given encoded keys.
-func (mv *MaterializedView) deleteGroups(keys map[string]bool) {
+func (mv *MaterializedView) deleteGroups(keys groupSet) {
 	for k := range keys {
 		if mv.global() {
 			// A global group is never removed; it is overwritten by the

@@ -1,0 +1,295 @@
+package maintain
+
+import (
+	"fmt"
+	"testing"
+
+	"mindetail/internal/ra"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// checkAuxIndexes verifies the structural invariants of every hash index on
+// an auxiliary table: each row appears exactly once per index, under the
+// entry matching its current attribute value, and no entry is stale.
+func checkAuxIndexes(t *testing.T, at *AuxTable) {
+	t.Helper()
+	for attr, m := range at.idx {
+		pos, ok := at.idxPos[attr]
+		if !ok {
+			t.Fatalf("%s: index on %s has no cached position", at.def.Name, attr)
+		}
+		total := 0
+		for vk, keys := range m {
+			for _, k := range keys {
+				total++
+				row, ok := at.rows[k]
+				if !ok {
+					t.Fatalf("%s: index on %s references missing row %q", at.def.Name, attr, k)
+				}
+				if got := string(types.Encode(nil, row[pos])); got != vk {
+					t.Fatalf("%s: index on %s lists row %q under stale value (have %q, row encodes %q)",
+						at.def.Name, attr, k, vk, got)
+				}
+			}
+		}
+		if total != len(at.rows) {
+			t.Fatalf("%s: index on %s holds %d entries for %d rows", at.def.Name, attr, total, len(at.rows))
+		}
+	}
+}
+
+// lookupVals returns the encoded keys of the rows an index probe yields.
+func lookupVals(at *AuxTable, attr string, v types.Value) []string {
+	var out []string
+	for _, r := range at.Lookup(attr, v) {
+		out = append(out, r.Key())
+	}
+	return out
+}
+
+// TestAuxTableIndexConsistency drives update (re-key) and group-death
+// traffic through an engine and asserts that every auxiliary index follows
+// the key changes: entries move with the rows, probes of old values miss,
+// and no stale entries accumulate.
+func TestAuxTableIndexConsistency(t *testing.T) {
+	f := newFixture(t, retailDDL,
+		`SELECT brand, SUM(price) AS total, COUNT(*) AS cnt
+		 FROM sale, product WHERE sale.productid = product.id GROUP BY brand`, true)
+	f.seedRetail()
+	f.initEngine()
+
+	prod := f.engine.Aux("product") // PSJ: id (join key), brand (group-by)
+	if prod == nil {
+		t.Fatal("product auxiliary view missing")
+	}
+	if err := prod.EnsureIndex("brand"); err != nil {
+		t.Fatal(err)
+	}
+	sale := f.engine.Aux("sale") // compressed root: productid plain + SUM/COUNT
+	if sale == nil {
+		t.Fatal("sale auxiliary view missing")
+	}
+	checkAuxIndexes(t, prod)
+	checkAuxIndexes(t, sale)
+
+	// Re-key: a brand rename must move the product row's index entries.
+	if got := lookupVals(prod, "brand", types.Str("acme")); len(got) != 1 {
+		t.Fatalf("brand=acme: got %d rows, want 1", len(got))
+	}
+	f.updateRow("product", 100, map[string]types.Value{"brand": types.Str("apex")})
+	checkAuxIndexes(t, prod)
+	checkAuxIndexes(t, sale)
+	if got := lookupVals(prod, "brand", types.Str("acme")); len(got) != 0 {
+		t.Fatalf("brand=acme after rename: got %d rows, want 0", len(got))
+	}
+	if got := lookupVals(prod, "brand", types.Str("apex")); len(got) != 1 {
+		t.Fatalf("brand=apex after rename: got %d rows, want 1", len(got))
+	}
+
+	// Group death: deleting every sale of product 102 must remove the
+	// compressed group and its index entries.
+	if got := lookupVals(sale, "productid", types.Int(102)); len(got) != 1 {
+		t.Fatalf("productid=102: got %d groups, want 1", len(got))
+	}
+	f.deleteRow("sale", 5)
+	checkAuxIndexes(t, prod)
+	checkAuxIndexes(t, sale)
+	if got := lookupVals(sale, "productid", types.Int(102)); len(got) != 0 {
+		t.Fatalf("productid=102 after delete: got %d groups, want 0", len(got))
+	}
+
+	// Growth after death: re-inserting re-creates the group and entry.
+	f.insertSale(3, 102, 8, 4.25)
+	checkAuxIndexes(t, prod)
+	checkAuxIndexes(t, sale)
+	if got := lookupVals(sale, "productid", types.Int(102)); len(got) != 1 {
+		t.Fatalf("productid=102 after re-insert: got %d groups, want 1", len(got))
+	}
+}
+
+// mvGroupSet rebuilds a groupSet for every currently materialized group —
+// the shape recomputeGroups receives.
+func mvGroupSet(e *Engine) groupSet {
+	keys := make(groupSet, len(e.mv.rows))
+	for k, row := range e.mv.rows {
+		vals := make([]types.Value, len(e.mv.gbIdx))
+		for i, gi := range e.mv.gbIdx {
+			vals[i] = row[gi]
+		}
+		keys[k] = vals
+	}
+	return keys
+}
+
+// TestScopedAuxDetailMatchesFull asserts the heart of the delta-scoped
+// pipeline: for any affected-group set, the scoped detail aggregates to
+// exactly the same component rows as the full auxiliary re-join, while
+// touching only rows reachable from the groups' own key values.
+func TestScopedAuxDetailMatchesFull(t *testing.T) {
+	f := newFixture(t, retailDDL,
+		`SELECT month, SUM(price) AS total, COUNT(*) AS cnt, COUNT(DISTINCT brand) AS brands
+		 FROM sale, time, product
+		 WHERE sale.timeid = time.id AND sale.productid = product.id AND time.year = 1997
+		 GROUP BY month`, true)
+	f.seedRetail()
+	f.initEngine()
+	e := f.engine
+
+	all := mvGroupSet(e)
+	if len(all) == 0 {
+		t.Fatal("no materialized groups")
+	}
+	full, err := e.fullAuxDetail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAll, err := e.aggregateGroupsForTest(full, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every single-group subset must recompute identically through the
+	// scoped path, from strictly fewer detail rows.
+	for k, vals := range all {
+		sub := groupSet{k: vals}
+		ctx, ok, err := e.scopedAuxDetail(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("scoped path declined for group %v", vals)
+		}
+		if len(ctx.rel.Rows) >= len(full.rel.Rows) && len(all) > 1 {
+			t.Fatalf("scoped detail for %v has %d rows, full has %d — no reduction",
+				vals, len(ctx.rel.Rows), len(full.rel.Rows))
+		}
+		got, err := e.aggregateGroupsForTest(ctx, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("group %v: scoped recompute produced %d groups, want 1", vals, len(got))
+		}
+		if !tuple.Identical(got[k], wantAll[k]) {
+			t.Fatalf("group %v: scoped %v != full %v", vals, got[k], wantAll[k])
+		}
+	}
+}
+
+// aggregateGroupsForTest runs computeGroups over a detail context (test
+// shim keeping the production signature private to this package's callers).
+func (e *Engine) aggregateGroupsForTest(ctx detailCtx, keys groupSet) (map[string]tuple.Tuple, error) {
+	return e.computeGroups(ctx, keys)
+}
+
+// TestParallelRecomputeMatchesSerial aggregates an above-threshold detail
+// relation with one worker and with many, asserting identical component
+// rows. Under -race this also proves the worker pool clean.
+func TestParallelRecomputeMatchesSerial(t *testing.T) {
+	f := newFixture(t, retailDDL,
+		`SELECT day, SUM(price) AS total, COUNT(*) AS cnt, COUNT(DISTINCT brand) AS brands
+		 FROM sale, time, product
+		 WHERE sale.timeid = time.id AND sale.productid = product.id
+		 GROUP BY day`, true)
+	// A seed set large enough to clear parallelRecomputeThreshold, with
+	// distinct prices so the root view barely compresses.
+	ins := func(table string, vals ...types.Value) {
+		if err := f.db.Insert(table, tuple.Tuple(vals)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	days := 500
+	for id := 1; id <= days; id++ {
+		ins("time", types.Int(int64(id)), types.Int(int64(id%28+1)), types.Int(int64(id/28+1)), types.Int(1997))
+	}
+	// 19 is coprime with the day count, so (timeid, productid) pairs — the
+	// root view's grouping — stay distinct and the detail stays large.
+	for id := 1; id <= 19; id++ {
+		ins("product", types.Int(int64(id)), types.Str(fmt.Sprintf("b%d", id%7)), types.Str("c"))
+	}
+	ins("store", types.Int(1), types.Str("aalborg"), types.Str("kim"))
+	n := parallelRecomputeThreshold + 1000
+	for id := 1; id <= n; id++ {
+		ins("sale", types.Int(int64(id)), types.Int(int64(id%days+1)), types.Int(int64(id%19+1)),
+			types.Int(1), types.Float(float64(id%997)+0.25))
+	}
+	f.initEngine()
+	e := f.engine
+
+	full, err := e.fullAuxDetail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.rel.Rows) < parallelRecomputeThreshold {
+		t.Fatalf("detail has %d rows, below parallel threshold %d", len(full.rel.Rows), parallelRecomputeThreshold)
+	}
+	e.Workers = 1
+	serial, err := e.computeGroups(full, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Workers = 8
+	parallel, err := e.computeGroups(full, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial produced %d groups, parallel %d", len(serial), len(parallel))
+	}
+	for k, want := range serial {
+		got, ok := parallel[k]
+		if !ok {
+			t.Fatalf("parallel result missing group %q", k)
+		}
+		if !tuple.Identical(got, want) {
+			t.Fatalf("group %q: parallel %v != serial %v", k, got, want)
+		}
+	}
+
+	// End to end: a deletion-driven recomputation (DISTINCT forces the
+	// recompute path) must leave the view identical under both pool sizes.
+	shadow := NewEngine(e.plan)
+	shadow.Workers = 1
+	shadow.ForceFullRecompute = true
+	if err := shadow.Init(func(tb string) *ra.Relation {
+		return ra.FromTable(f.db.Table(tb), tb)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	row, err := f.db.Delete("sale", types.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Delta{Table: "sale", Deletes: []tuple.Tuple{row}}
+	if err := e.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := shadow.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if g, s := e.Snapshot().Format(), shadow.Snapshot().Format(); g != s {
+		t.Fatalf("scoped+parallel snapshot diverged from full+serial:\n%s\n---\n%s", g, s)
+	}
+}
+
+// TestScopedPathFallsBackForGlobalViews exercises the fallback: a view with
+// no group-by attributes cannot seed the scoped path and must still repair
+// correctly through the full re-join.
+func TestScopedPathFallsBackForGlobalViews(t *testing.T) {
+	f := newFixture(t, retailDDL,
+		`SELECT SUM(price) AS total, COUNT(DISTINCT brand) AS brands
+		 FROM sale, product WHERE sale.productid = product.id`, true)
+	f.seedRetail()
+	f.initEngine()
+
+	_, ok, err := f.engine.scopedAuxDetail(mvGroupSet(f.engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("scoped path unexpectedly seeded a global view")
+	}
+	f.deleteRow("sale", 1) // forces recomputation through the fallback
+	f.deleteRow("sale", 2)
+}

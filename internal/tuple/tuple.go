@@ -70,6 +70,26 @@ func (t Tuple) KeyAt(positions []int) string {
 	return string(buf)
 }
 
+// AppendKey appends the canonical encoding of the whole tuple to buf and
+// returns the extended buffer. It is the allocation-free form of Key for
+// hot loops: callers keep a scratch buffer, reset it with buf[:0], and use
+// string(buf) map lookups (which Go compiles without a copy).
+func (t Tuple) AppendKey(buf []byte) []byte {
+	for _, v := range t {
+		buf = types.Encode(buf, v)
+	}
+	return buf
+}
+
+// AppendKeyAt is AppendKey restricted to the given positions — the scratch-
+// buffer form of KeyAt.
+func (t Tuple) AppendKeyAt(buf []byte, positions []int) []byte {
+	for _, p := range positions {
+		buf = types.Encode(buf, t[p])
+	}
+	return buf
+}
+
 // EncodedSize returns the byte-accounting size of the tuple, used for
 // storage statistics.
 func (t Tuple) EncodedSize() int {

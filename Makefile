@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all cover bench bench-json harness examples clean
+.PHONY: all verify build vet test race race-all faultinject cover bench bench-json harness examples clean
 
-all: build vet test race
+all: build vet test faultinject race
+
+# verify is the one-stop pre-merge gate: compile, vet, full test suite,
+# and the race-checked concurrency/fault-injection packages.
+verify: build vet test race
 
 build:
 	$(GO) build ./...
@@ -22,6 +26,12 @@ race:
 
 race-all:
 	$(GO) test -race ./...
+
+# Run the failure-atomicity suite explicitly (also part of `test`): every
+# injection point of every corpus delta must roll back to bit-identical
+# state, under the race detector.
+faultinject:
+	$(GO) test -race -run 'FaultInjection|Malformed|Rekey|Hook|Fuzz' ./internal/faultinject/... ./internal/maintain/... ./internal/warehouse/...
 
 cover:
 	$(GO) test -coverpkg=./internal/...,. -coverprofile=cover.out ./...

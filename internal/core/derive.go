@@ -253,6 +253,20 @@ func derive(v *gpsj.View, appendOnly bool) (*Plan, error) {
 	return p, nil
 }
 
+// otherTableHasExposedUpdates reports whether any referenced table other
+// than `table` has exposed updates: a mutable attribute involved in the
+// view's selection or join conditions (Section 2.1). Such updates can only
+// be maintained through the detail the candidate auxiliary view carries,
+// so they veto its elimination.
+func otherTableHasExposedUpdates(v *gpsj.View, table string) bool {
+	for _, u := range v.Tables {
+		if u != table && v.HasExposedUpdates(u) {
+			return true
+		}
+	}
+	return false
+}
+
 // distinctAttrTables returns the tables owning attributes of DISTINCT
 // aggregates — the only aggregates that are not self-maintainable under
 // insertions alone.
@@ -315,13 +329,24 @@ func checkSuperfluous(v *gpsj.View, g *joingraph.Graph) error {
 func deriveAux(v *gpsj.View, g *joingraph.Graph, table string, blocking map[string]bool, appendOnly bool) *AuxView {
 	x := &AuxView{Base: table, Name: table + "_dtl"}
 
-	// Elimination (Algorithm 3.2, step 2).
-	if g.TransitivelyDependsOnAll(table) && !g.NeededBySomeone(table) && !blocking[table] {
+	// Elimination (Algorithm 3.2, step 2). Beyond the paper's three
+	// conditions, elimination also requires that no OTHER referenced table
+	// has exposed updates (mutable attributes in selection or join
+	// conditions): with this table's auxiliary view gone, updates to the
+	// remaining tables are propagated purely by re-keying the maintained
+	// groups, which cannot add or remove groups when a row moves across
+	// the view's local conditions or re-routes a join. Omitting the view
+	// would make such updates silently unmaintainable. Append-only plans
+	// are exempt: they reject updates outright, so no exposed update can
+	// ever arrive.
+	if g.TransitivelyDependsOnAll(table) && !g.NeededBySomeone(table) && !blocking[table] &&
+		(appendOnly || !otherTableHasExposedUpdates(v, table)) {
 		x.Omitted = true
 		reasons := []string{
 			"transitively depends on all other base tables",
 			"is in no other table's Need set",
 			"has no attributes in non-CSMAS aggregates",
+			"no other table has mutable condition attributes",
 		}
 		if appendOnly {
 			reasons[2] = "has no attributes in DISTINCT aggregates (append-only: MIN/MAX are self-maintainable)"

@@ -1,0 +1,80 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNilHookIsNoOp(t *testing.T) {
+	var h *Hook
+	for p := Point(0); p < NumPoints; p++ {
+		if err := h.Fire(p); err != nil {
+			t.Fatalf("nil hook fired at %s: %v", p, err)
+		}
+	}
+	if h.Visits() != 0 {
+		t.Errorf("nil hook visits = %d", h.Visits())
+	}
+	if _, fired := h.Fired(); fired {
+		t.Error("nil hook reports fired")
+	}
+}
+
+func TestHookFiresExactlyOnce(t *testing.T) {
+	h := NewHook(3)
+	var failures int
+	for i := 0; i < 10; i++ {
+		if err := h.Fire(MVAdjustRow); err != nil {
+			failures++
+			if !errors.Is(err, ErrInjected) {
+				t.Errorf("injected error does not wrap ErrInjected: %v", err)
+			}
+			if !strings.Contains(err.Error(), "MVAdjustRow") {
+				t.Errorf("error does not name the point: %v", err)
+			}
+			if i != 2 {
+				t.Errorf("fired at visit %d, want 3", i+1)
+			}
+		}
+	}
+	if failures != 1 {
+		t.Errorf("fired %d times, want exactly once", failures)
+	}
+	if h.Visits() != 10 {
+		t.Errorf("visits = %d, want 10", h.Visits())
+	}
+	p, fired := h.Fired()
+	if !fired || p != MVAdjustRow {
+		t.Errorf("Fired() = %v, %v", p, fired)
+	}
+}
+
+func TestCounterNeverFires(t *testing.T) {
+	h := Counter()
+	for i := 0; i < 100; i++ {
+		if err := h.Fire(AuxAdjustStart); err != nil {
+			t.Fatalf("counter fired: %v", err)
+		}
+	}
+	if h.Visits() != 100 {
+		t.Errorf("visits = %d", h.Visits())
+	}
+}
+
+func TestPointNames(t *testing.T) {
+	seen := make(map[string]bool)
+	for p := Point(0); p < NumPoints; p++ {
+		name := p.String()
+		if name == "" || strings.HasPrefix(name, "Point(") {
+			t.Errorf("point %d has no symbolic name", p)
+		}
+		if seen[name] {
+			t.Errorf("duplicate point name %s", name)
+		}
+		seen[name] = true
+	}
+	if got := Point(99).String(); got != "Point(99)" {
+		t.Errorf("out-of-range name = %q", got)
+	}
+}

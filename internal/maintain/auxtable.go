@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mindetail/internal/core"
+	"mindetail/internal/faultinject"
 	"mindetail/internal/ra"
 	"mindetail/internal/tuple"
 	"mindetail/internal/types"
@@ -37,6 +38,12 @@ type AuxTable struct {
 	// next call. AuxTable is not safe for concurrent use.
 	probeBuf  []byte
 	lookupBuf []tuple.Tuple
+
+	// jnl, when non-nil, receives the prior image of every group Adjust
+	// mutates (set by the owning engine or shared coordinator); fi is the
+	// fault-injection hook (nil in production).
+	jnl *journal
+	fi  *faultinject.Hook
 }
 
 // NewAuxTable creates an empty table for the auxiliary view definition.
@@ -223,8 +230,13 @@ func (t *AuxTable) Adjust(plainVals tuple.Tuple, sumDeltas map[string]types.Valu
 	// The group key is encoded into the probe scratch buffer; a key string
 	// is materialized only when a row is inserted or removed. indexAdd and
 	// indexRemove clobber probeBuf, so every branch that calls them first
-	// captures the key — the in-place adjust path allocates nothing.
+	// captures the key — the in-place adjust path allocates nothing beyond
+	// the undo-journal entry.
 	t.probeBuf = plainVals.AppendKey(t.probeBuf[:0])
+	if err := t.fi.Fire(faultinject.AuxAdjustStart); err != nil {
+		return err
+	}
+	t.jnl.noteAux(t, t.probeBuf)
 	row, exists := t.rows[string(t.probeBuf)]
 
 	if t.def.IsPSJ {
@@ -298,6 +310,11 @@ func (t *AuxTable) Adjust(plainVals tuple.Tuple, sumDeltas map[string]types.Valu
 			}
 		}
 	}
+	if err := t.fi.Fire(faultinject.AuxAdjustMid); err != nil {
+		// Mid-operation failure: sums/extrema are already applied but the
+		// count is not — exactly the torn state the undo journal repairs.
+		return err
+	}
 	cnt := row[t.cntPos].AsInt() + dCnt
 	if cnt < 0 {
 		return fmt.Errorf("maintain: %s: group %v count went negative", t.def.Name, plainVals)
@@ -309,6 +326,48 @@ func (t *AuxTable) Adjust(plainVals tuple.Tuple, sumDeltas map[string]types.Valu
 		key := string(t.probeBuf)
 		t.indexRemove(row, key)
 		delete(t.rows, key)
+	}
+	return nil
+}
+
+// CheckIndexes verifies every hash index against a from-scratch rebuild:
+// each stored row must appear exactly once under its value bucket, and no
+// stale or duplicate entries may remain. It is the index-integrity oracle
+// of the fault-injection harness (rollback must leave indexes coherent).
+func (t *AuxTable) CheckIndexes() error {
+	for attr, m := range t.idx {
+		pos := t.idxPos[attr]
+		want := make(map[string]map[string]bool, len(m))
+		for k, r := range t.rows {
+			vk := string(types.Encode(nil, r[pos]))
+			if want[vk] == nil {
+				want[vk] = make(map[string]bool)
+			}
+			want[vk][k] = true
+		}
+		for vk, list := range m {
+			if len(list) == 0 {
+				return fmt.Errorf("maintain: %s: index %s has an empty bucket", t.def.Name, attr)
+			}
+			seen := make(map[string]bool, len(list))
+			for _, k := range list {
+				if seen[k] {
+					return fmt.Errorf("maintain: %s: index %s lists row %q twice", t.def.Name, attr, k)
+				}
+				seen[k] = true
+				if !want[vk][k] {
+					return fmt.Errorf("maintain: %s: index %s has a stale entry for row %q", t.def.Name, attr, k)
+				}
+			}
+			if len(seen) != len(want[vk]) {
+				return fmt.Errorf("maintain: %s: index %s bucket is missing %d row(s)", t.def.Name, attr, len(want[vk])-len(seen))
+			}
+		}
+		for vk, rows := range want {
+			if len(rows) > 0 && len(m[vk]) == 0 {
+				return fmt.Errorf("maintain: %s: index %s is missing a bucket for %d row(s)", t.def.Name, attr, len(rows))
+			}
+		}
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"mindetail/internal/faultinject"
 	"mindetail/internal/ra"
 	"mindetail/internal/tuple"
 	"mindetail/internal/types"
@@ -621,6 +622,10 @@ func (e *Engine) adjustFromDetail(ctx detailCtx, weights []int64, raise bool) er
 			}
 			sumDeltas[ci] = d
 		}
+		if err := e.fi.Fire(faultinject.MVAdjustRow); err != nil {
+			return err
+		}
+		e.jnl.noteMV(e.mv, buf)
 		if err := e.mv.adjustBuf(buf, gbVals, w, sumDeltas); err != nil {
 			return err
 		}
@@ -690,7 +695,16 @@ func (e *Engine) recomputeGroups(keys groupSet) error {
 	if err != nil {
 		return err
 	}
+	// Journal every affected group before the delete+reinstall below: the
+	// replacements computeGroups produced are a subset of keys (it filters
+	// by exact group key), so capturing the keys covers all mutations.
+	for k := range keys {
+		e.jnl.noteMVKey(e.mv, k)
+	}
 	e.mv.deleteGroups(keys)
+	if err := e.fi.Fire(faultinject.RecomputeInstall); err != nil {
+		return err
+	}
 	for _, row := range groups {
 		e.mv.setRow(row)
 		e.stats.GroupRecomputes++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mindetail/internal/core"
+	"mindetail/internal/faultinject"
 	"mindetail/internal/gpsj"
 	"mindetail/internal/joingraph"
 	"mindetail/internal/ra"
@@ -97,6 +98,15 @@ type Engine struct {
 	sumDeltaC map[string]types.Value
 	extremaC  map[string]types.Value
 
+	// jnl is the per-apply undo log: every mutation of the auxiliary
+	// tables or the materialized view records the affected group's prior
+	// image, and any error during apply rolls the log back so the engine
+	// is bit-identical to its pre-delta state (failure atomicity).
+	jnl journal
+
+	// fi is the fault-injection hook (nil in production).
+	fi *faultinject.Hook
+
 	stats Stats
 }
 
@@ -146,6 +156,13 @@ func newEngine(plan *core.Plan, tables map[string]*AuxTable, residual map[string
 	}
 	for _, t := range plan.View.Tables {
 		e.tableSet[t] = true
+	}
+	if !skipAux {
+		// Exclusive tables journal into this engine's undo log; shared
+		// tables are journaled by their coordinator (SharedEngines).
+		for _, at := range e.aux {
+			at.jnl = &e.jnl
+		}
 	}
 	// Indexes: each table's key (semijoin membership and downward joins),
 	// and each referencing attribute (upward joins).
@@ -263,27 +280,92 @@ type signedRow struct {
 // Apply propagates one base-table delta to the auxiliary views and the
 // materialized view. Deltas must reflect legal source transitions
 // (referential integrity preserved, updates only to mutable attributes).
+//
+// Apply is failure-atomic: on any error the engine's auxiliary tables and
+// materialized view are bit-identical to their pre-delta state (the work
+// counters in Stats are diagnostic and are not rolled back).
 func (e *Engine) Apply(d Delta) error {
+	if err := e.ApplyStaged(d); err != nil {
+		return err
+	}
+	e.Commit()
+	return nil
+}
+
+// ApplyStaged applies the delta like Apply but retains the undo journal on
+// success so a coordinator (the warehouse, or a shared-plan driver) can
+// still Rollback this engine if a *later* engine in the same logical
+// transaction fails. On error the engine has already rolled itself back.
+// Exactly one staged apply may be outstanding; finish it with Commit or
+// Rollback before the next ApplyStaged.
+func (e *Engine) ApplyStaged(d Delta) error {
 	t := d.Table
 	if !e.tableSet[t] {
 		return nil // table not referenced by the view
 	}
+	// Validate-first pass: every check that needs no engine state mutation
+	// runs here, so the common failure modes (row arity, append-only
+	// violations, predicate bind errors, rekey legality) reject the delta
+	// before the undo journal has anything to record.
 	if e.plan.AppendOnly && (len(d.Deletes) > 0 || len(d.Updates) > 0) {
 		return fmt.Errorf("maintain: plan for view %s was derived append-only (Section 4); deletions and updates are not maintainable", e.view.Name)
 	}
+	signed, err := e.expand(d) // validates row arity
+	if err != nil {
+		return err
+	}
+	signed, err = e.localFilter(t, signed) // surfaces predicate bind errors
+	if err != nil {
+		return err
+	}
+	if e.aux[e.graph.Root] == nil && t != e.graph.Root && e.graph.Annot[t] != joingraph.AnnotK {
+		// The elimination conditions (Section 3.3) guarantee every
+		// dimension is k-annotated when the root is omitted; reject
+		// before mutating anything if the invariant is broken.
+		return fmt.Errorf("maintain: root auxiliary view omitted but %s is not key-grouped; cannot maintain", t)
+	}
+	if err := e.fi.Fire(faultinject.EngineValidated); err != nil {
+		return err
+	}
 	e.stats.DeltasApplied++
-	signed, err := e.expand(d)
-	if err != nil {
+	e.jnl.begin()
+	if err := e.applyMutations(t, d, signed); err != nil {
+		e.jnl.rollback()
 		return err
 	}
-	signed, err = e.localFilter(t, signed)
-	if err != nil {
-		return err
+	return nil
+}
+
+// Commit discards the undo journal of a successful staged apply.
+func (e *Engine) Commit() { e.jnl.discard() }
+
+// Rollback undoes a successful staged apply, restoring the engine to its
+// state before the corresponding ApplyStaged call.
+func (e *Engine) Rollback() { e.jnl.rollback() }
+
+// SetFaultHook installs (nil removes) a fault-injection hook on the engine
+// and its exclusively-owned auxiliary tables. Shared tables are hooked by
+// their coordinator. Not safe concurrently with Apply; tests only.
+func (e *Engine) SetFaultHook(h *faultinject.Hook) {
+	e.fi = h
+	if e.skipAux {
+		return
 	}
+	for _, at := range e.aux {
+		at.fi = h
+	}
+}
+
+// applyMutations is the mutation region of one apply: everything it
+// touches is journaled, and the caller rolls the journal back on error.
+func (e *Engine) applyMutations(t string, d Delta, signed []signedRow) error {
 	if at := e.aux[t]; at != nil && !e.skipAux {
 		if err := e.auxApply(at, signed); err != nil {
 			return err
 		}
+	}
+	if err := e.fi.Fire(faultinject.EngineAuxApplied); err != nil {
+		return err
 	}
 	return e.vImpact(t, d, signed)
 }
@@ -581,11 +663,25 @@ func (e *Engine) rekey(t string, updates []Update) error {
 		return err
 	}
 	for _, u := range updates {
-		ok, err := pred(u.New)
+		okNew, err := pred(u.New)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		okOld, err := pred(u.Old)
+		if err != nil {
+			return err
+		}
+		if okOld != okNew {
+			// The update moves the dimension row across the view's local
+			// conditions. With the root auxiliary view omitted there is no
+			// detail to re-derive the affected groups from, so this delta
+			// is not maintainable — the derivation refuses to omit the
+			// root when a condition attribute is mutable (see
+			// core.deriveAux), making this unreachable for derived plans.
+			// Guard anyway: an explicit error beats silent divergence.
+			return fmt.Errorf("maintain: update to %s moves a row across the view's local conditions but the root auxiliary view is omitted; cannot maintain", t)
+		}
+		if !okNew {
 			continue // row outside the view's local conditions; old was too
 		}
 		key := u.New[keyPos]
@@ -598,11 +694,17 @@ func (e *Engine) rekey(t string, updates []Update) error {
 		}
 		for _, k := range hit {
 			row := e.mv.rows[k]
+			e.jnl.noteMVKey(e.mv, k)
 			delete(e.mv.rows, k)
+			if err := e.fi.Fire(faultinject.RekeyGroup); err != nil {
+				return err
+			}
 			for _, gc := range gcols {
 				row[gc.comp] = u.New[gc.basePos]
 			}
-			e.mv.rows[e.mv.keyOf(row)] = row
+			nk := e.mv.keyOf(row)
+			e.jnl.noteMVKey(e.mv, nk)
+			e.mv.rows[nk] = row
 			e.stats.GroupAdjusts++
 		}
 	}

@@ -1,12 +1,14 @@
 package maintain
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"mindetail/internal/core"
+	"mindetail/internal/faultinject"
 	"mindetail/internal/gpsj"
 	"mindetail/internal/ra"
 	"mindetail/internal/sqlparse"
@@ -148,6 +150,13 @@ type fuzzState struct {
 	// engine's, proving the scoped path equivalent to full re-join.
 	shadow *Engine
 
+	// victim maintains the same view but suffers an injected failure at a
+	// random injection point of every delta before applying it for real:
+	// each failed apply must leave its state byte-identical to the
+	// pre-delta state, and after the clean replay it must agree with the
+	// primary engine — rollback leaves no residue that later deltas expose.
+	victim *Engine
+
 	factID  int64
 	facts   []int64
 	dim1IDs []int64
@@ -194,6 +203,8 @@ func runFuzz(t *testing.T, seed int64) {
 	f.shadow = NewEngine(plan)
 	f.shadow.ForceFullRecompute = true
 	f.shadow.UseNeedSets = f.engine.UseNeedSets
+	f.victim = NewEngine(plan)
+	f.victim.UseNeedSets = f.engine.UseNeedSets
 
 	f.seed()
 	src := func(tb string) *ra.Relation {
@@ -203,6 +214,9 @@ func runFuzz(t *testing.T, seed int64) {
 		t.Fatal(err)
 	}
 	if err := f.shadow.Init(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.victim.Init(src); err != nil {
 		t.Fatal(err)
 	}
 	f.check("init")
@@ -255,12 +269,57 @@ func (f *fuzzState) insertFact() {
 
 func (f *fuzzState) apply(d Delta) {
 	f.t.Helper()
-	if err := f.engine.Apply(d); err != nil {
+	// Count the primary engine's injection-point visits for this delta so
+	// the victim can fail at a uniformly random one of them.
+	cnt := faultinject.Counter()
+	f.engine.SetFaultHook(cnt)
+	err := f.engine.Apply(d)
+	f.engine.SetFaultHook(nil)
+	if err != nil {
 		f.t.Fatalf("Apply(%s): %v", d.Table, err)
 	}
 	if err := f.shadow.Apply(d); err != nil {
 		f.t.Fatalf("shadow Apply(%s): %v", d.Table, err)
 	}
+	if visits := cnt.Visits(); visits > 0 {
+		failAt := 1 + f.rng.Int63n(visits)
+		before := f.victimState()
+		h := faultinject.NewHook(failAt)
+		f.victim.SetFaultHook(h)
+		verr := f.victim.Apply(d)
+		f.victim.SetFaultHook(nil)
+		if verr == nil {
+			if p, fired := h.Fired(); fired {
+				f.t.Fatalf("victim: hook fired at %s but Apply succeeded", p)
+			}
+			// Visit counts can differ between engine instances only if
+			// apply became nondeterministic — flag that loudly.
+			f.t.Fatalf("victim: failAt=%d never reached (primary visited %d points)", failAt, visits)
+		}
+		if !errors.Is(verr, faultinject.ErrInjected) {
+			f.t.Fatalf("victim Apply(%s) failAt=%d: genuine error: %v", d.Table, failAt, verr)
+		}
+		if after := f.victimState(); after != before {
+			f.t.Fatalf("victim state changed after injected failure at visit %d\nbefore:\n%s\nafter:\n%s",
+				failAt, before, after)
+		}
+	}
+	if err := f.victim.Apply(d); err != nil {
+		f.t.Fatalf("victim Apply(%s): %v", d.Table, err)
+	}
+}
+
+// victimState renders the victim's entire state — snapshot and auxiliary
+// views — to one string for byte-identical comparison.
+func (f *fuzzState) victimState() string {
+	var b strings.Builder
+	b.WriteString(f.victim.Snapshot().Format())
+	for _, tb := range f.view.Tables {
+		if at := f.victim.Aux(tb); at != nil {
+			fmt.Fprintf(&b, "-- aux %s --\n%s", tb, at.Relation().Format())
+		}
+	}
+	return b.String()
 }
 
 func (f *fuzzState) step() {
@@ -352,5 +411,11 @@ func (f *fuzzState) check(when string) {
 	if gf, sf := got.Format(), f.shadow.Snapshot().Format(); gf != sf {
 		f.t.Fatalf("%s: scoped path diverged from full recompute\nview: %s\nscoped:\n%s\nfull:\n%s",
 			when, f.view.SQL(), gf, sf)
+	}
+	// The victim — which failed and rolled back once per delta — must be
+	// indistinguishable from the engine that never failed at all.
+	if gf, vf := got.Format(), f.victim.Snapshot().Format(); gf != vf {
+		f.t.Fatalf("%s: victim diverged after rollback+replay\nview: %s\nprimary:\n%s\nvictim:\n%s",
+			when, f.view.SQL(), gf, vf)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mindetail/internal/core"
+	"mindetail/internal/faultinject"
 	"mindetail/internal/ra"
 	"mindetail/internal/types"
 )
@@ -18,6 +19,11 @@ type SharedEngines struct {
 	sp      *core.SharedPlan
 	tables  map[string]*AuxTable
 	engines []*Engine
+
+	// jnl is the coordinator's undo log for the shared auxiliary tables;
+	// each view engine keeps its own log for its materialized groups, so
+	// a failed Apply rolls back the tables and every already-applied view.
+	jnl journal
 }
 
 // NewSharedEngines builds the coordinator. Call Init before Apply.
@@ -28,6 +34,7 @@ func NewSharedEngines(sp *core.SharedPlan) *SharedEngines {
 			continue
 		}
 		se.tables[t] = NewAuxTable(def)
+		se.tables[t].jnl = &se.jnl
 	}
 	for i := range sp.Views {
 		plan := sp.PlanFor(i)
@@ -102,6 +109,12 @@ func (se *SharedEngines) Apply(d Delta) error {
 	// JOINED table — and for those the paper's semantics require the
 	// post-local-condition membership state, which auxApply establishes
 	// exactly as the single-engine path does).
+	//
+	// Apply is failure-atomic across the whole class: when any view's
+	// engine fails, the already-applied engines and the shared tables are
+	// rolled back, so no delta is ever visible in some views but not
+	// others.
+	se.jnl.begin()
 	at := se.tables[d.Table]
 	if at != nil {
 		// Reuse the first engine referencing the table for the shared
@@ -109,15 +122,44 @@ func (se *SharedEngines) Apply(d Delta) error {
 		// live on the AuxTable's own definition, so any engine's expand is
 		// NOT suitable — the shared table must apply the SHARED conditions.
 		if err := se.auxApply(at, d); err != nil {
+			se.jnl.rollback()
 			return err
 		}
 	}
+	var err error
+	staged := 0
 	for i, eng := range se.engines {
-		if err := eng.Apply(d); err != nil {
-			return fmt.Errorf("maintain: shared view %s: %w", se.sp.Views[i].Name, err)
+		if aerr := eng.ApplyStaged(d); aerr != nil {
+			err = fmt.Errorf("maintain: shared view %s: %w", se.sp.Views[i].Name, aerr)
+			staged = i
+			break
 		}
 	}
-	return nil
+	if err == nil {
+		for _, eng := range se.engines {
+			eng.Commit()
+		}
+		se.jnl.discard()
+		return nil
+	}
+	// Engine `staged` rolled itself back; undo the earlier engines in
+	// reverse order, then the shared tables.
+	for i := staged - 1; i >= 0; i-- {
+		se.engines[i].Rollback()
+	}
+	se.jnl.rollback()
+	return err
+}
+
+// SetFaultHook installs (nil removes) a fault-injection hook on every view
+// engine and the shared auxiliary tables. Tests only.
+func (se *SharedEngines) SetFaultHook(h *faultinject.Hook) {
+	for _, eng := range se.engines {
+		eng.SetFaultHook(h)
+	}
+	for _, at := range se.tables {
+		at.fi = h
+	}
 }
 
 // auxApply maintains one shared auxiliary table under a delta, applying

@@ -90,12 +90,35 @@ func Parse(src string) (Statement, error) {
 
 // ParseAll parses a semicolon-separated script.
 func ParseAll(src string) ([]Statement, error) {
+	script, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	stmts := make([]Statement, len(script))
+	for i, s := range script {
+		stmts[i] = s.Stmt
+	}
+	return stmts, nil
+}
+
+// ScriptStatement pairs one parsed statement of a script with its source
+// fragment and position, so executors can attribute a mid-script failure
+// to the exact statement that caused it.
+type ScriptStatement struct {
+	Stmt  Statement
+	SQL   string // the statement's source text, trimmed, without the ';'
+	Index int    // 0-based position in the script
+}
+
+// ParseScript parses a semicolon-separated script, retaining each
+// statement's source fragment.
+func ParseScript(src string) ([]ScriptStatement, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	var stmts []Statement
+	var stmts []ScriptStatement
 	for {
 		for p.peek().kind == tokPunct && p.peek().text == ";" {
 			p.next()
@@ -103,11 +126,17 @@ func ParseAll(src string) ([]Statement, error) {
 		if p.peek().kind == tokEOF {
 			break
 		}
+		start := p.peek().pos
 		s, err := p.statement()
 		if err != nil {
 			return nil, err
 		}
-		stmts = append(stmts, s)
+		end := p.peek().pos // offset of the ';' or EOF after the statement
+		stmts = append(stmts, ScriptStatement{
+			Stmt:  s,
+			SQL:   strings.TrimSpace(src[start:end]),
+			Index: len(stmts),
+		})
 		if t := p.peek(); t.kind != tokEOF && !(t.kind == tokPunct && t.text == ";") {
 			return nil, p.errf("expected ';' or end of input, got %q", t.text)
 		}

@@ -1,0 +1,51 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScriptFragments(t *testing.T) {
+	src := `
+		CREATE TABLE t (id INTEGER PRIMARY KEY, v FLOAT MUTABLE);
+
+		INSERT INTO t VALUES (1, 2.5);
+		SELECT t.id, SUM(v) AS s FROM t GROUP BY t.id;
+	`
+	stmts, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("statements = %d", len(stmts))
+	}
+	wantPrefix := []string{"CREATE TABLE t", "INSERT INTO t", "SELECT t.id"}
+	for i, s := range stmts {
+		if s.Index != i {
+			t.Errorf("stmt %d: Index = %d", i, s.Index)
+		}
+		if !strings.HasPrefix(s.SQL, wantPrefix[i]) {
+			t.Errorf("stmt %d fragment = %q, want prefix %q", i, s.SQL, wantPrefix[i])
+		}
+		if strings.HasSuffix(s.SQL, ";") {
+			t.Errorf("stmt %d fragment retains ';': %q", i, s.SQL)
+		}
+	}
+	// ParseAll stays equivalent.
+	all, err := ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(stmts) {
+		t.Fatalf("ParseAll = %d statements, ParseScript = %d", len(all), len(stmts))
+	}
+}
+
+func TestParseScriptEmptyAndSeparators(t *testing.T) {
+	for _, src := range []string{"", " \n\t", ";;;", "; ;\n;"} {
+		stmts, err := ParseScript(src)
+		if err != nil || len(stmts) != 0 {
+			t.Errorf("%q: stmts=%d err=%v", src, len(stmts), err)
+		}
+	}
+}

@@ -384,6 +384,55 @@ func (db *DB) Update(table string, key types.Value, set map[string]types.Value) 
 	return cur, norm, nil
 }
 
+// UndoInsert removes a row previously inserted by Insert, identified by
+// its key, bypassing referential-integrity checks — the inverse operation
+// the warehouse transaction layer replays when propagation to the
+// materialized views fails after the source was already mutated. The
+// caller must guarantee nothing inserted later references the row (true
+// when undoing in reverse order of application).
+func (db *DB) UndoInsert(table string, key types.Value) error {
+	db.guard()
+	t := db.tables[table]
+	if t == nil {
+		return fmt.Errorf("storage: unknown table %s", table)
+	}
+	_, err := t.delete(string(types.Encode(nil, key)))
+	return err
+}
+
+// UndoDelete re-inserts a row previously removed by Delete, bypassing
+// referential-integrity checks (the row was consistent when it was
+// deleted, and undo happens in reverse order of application).
+func (db *DB) UndoDelete(table string, row tuple.Tuple) error {
+	db.guard()
+	t := db.tables[table]
+	if t == nil {
+		return fmt.Errorf("storage: unknown table %s", table)
+	}
+	norm, err := t.normalize(row)
+	if err != nil {
+		return err
+	}
+	return t.insert(norm)
+}
+
+// UndoUpdate restores the old image of a row previously changed by Update.
+func (db *DB) UndoUpdate(table string, key types.Value, old tuple.Tuple) error {
+	db.guard()
+	t := db.tables[table]
+	if t == nil {
+		return fmt.Errorf("storage: unknown table %s", table)
+	}
+	if _, err := t.delete(string(types.Encode(nil, key))); err != nil {
+		return err
+	}
+	norm, err := t.normalize(old)
+	if err != nil {
+		return err
+	}
+	return t.insert(norm)
+}
+
 // RowCount returns the number of rows in the named table.
 func (db *DB) RowCount(table string) int {
 	db.guard()

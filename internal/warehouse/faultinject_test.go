@@ -1,0 +1,230 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mindetail/internal/faultinject"
+	"mindetail/internal/maintain"
+	"mindetail/internal/ra"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+var retailTables = []string{"time", "product", "store", "sale"}
+
+// deepClone copies a relation including its tuples, so the capture is
+// unaffected by later in-place mutation of shared rows.
+func deepClone(r *ra.Relation) *ra.Relation {
+	out := &ra.Relation{Cols: append(ra.Schema(nil), r.Cols...)}
+	out.Rows = make([]tuple.Tuple, len(r.Rows))
+	for i, row := range r.Rows {
+		out.Rows[i] = row.Clone()
+	}
+	return out
+}
+
+// warehouseCapture is a deep snapshot of everything a statement may touch:
+// every source table and every materialized view.
+type warehouseCapture struct {
+	sources map[string]*ra.Relation
+	views   map[string]*ra.Relation
+}
+
+func captureWarehouse(t *testing.T, w *Warehouse) warehouseCapture {
+	t.Helper()
+	c := warehouseCapture{sources: map[string]*ra.Relation{}, views: map[string]*ra.Relation{}}
+	if !w.Detached() {
+		for _, tb := range retailTables {
+			c.sources[tb] = deepClone(ra.FromTable(w.Source().Table(tb), tb))
+		}
+	}
+	for _, name := range w.ViewNames() {
+		rel, err := w.Query(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.views[name] = deepClone(rel)
+	}
+	return c
+}
+
+func (c warehouseCapture) requireUnchanged(t *testing.T, w *Warehouse, when string) {
+	t.Helper()
+	for tb, before := range c.sources {
+		after := ra.FromTable(w.Source().Table(tb), tb)
+		if !ra.EqualBag(after, before) {
+			t.Fatalf("%s: source table %s changed after failed statement\nbefore:\n%s\nafter:\n%s",
+				when, tb, before.Format(), after.Format())
+		}
+	}
+	for name, before := range c.views {
+		after, err := w.Query(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ra.EqualBag(after, before) {
+			t.Fatalf("%s: view %s changed after failed statement\nbefore:\n%s\nafter:\n%s",
+				when, name, before.Format(), after.Format())
+		}
+	}
+}
+
+// sweepStmt executes one SQL statement with a fault injected at the N-th
+// injection point for N = 1, 2, ... until it commits cleanly. After every
+// injected failure the sources AND every view must be unchanged and
+// mutually consistent (Verify), so a failure can never leave the delta
+// visible in some views, or in the sources, but not everywhere.
+func sweepStmt(t *testing.T, w *Warehouse, sql string) {
+	t.Helper()
+	const limit = 100000
+	for failAt := int64(1); failAt <= limit; failAt++ {
+		before := captureWarehouse(t, w)
+		h := faultinject.NewHook(failAt)
+		w.SetFaultHook(h)
+		_, err := w.Exec(sql)
+		w.SetFaultHook(nil)
+		if err == nil {
+			if p, fired := h.Fired(); fired {
+				t.Fatalf("%q: hook fired at %s but Exec succeeded", sql, p)
+			}
+			if verr := w.Verify(); verr != nil {
+				t.Fatalf("%q: after clean commit: %v", sql, verr)
+			}
+			return
+		}
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("%q failAt=%d: genuine error: %v", sql, failAt, err)
+		}
+		p, _ := h.Fired()
+		when := fmt.Sprintf("%q failAt=%d (%s)", sql, failAt, p)
+		before.requireUnchanged(t, w, when)
+		if verr := w.Verify(); verr != nil {
+			t.Fatalf("%s: sources and views inconsistent after rollback: %v", when, verr)
+		}
+	}
+	t.Fatalf("%q: sweep did not terminate within %d injection points", sql, limit)
+}
+
+// TestFaultInjectionWarehouseDML drives DML statements through a warehouse
+// with two views (one of which omits its root auxiliary view), failing at
+// every reachable injection point of every statement.
+func TestFaultInjectionWarehouseDML(t *testing.T) {
+	w := newRetail(t)
+	if _, err := w.Exec(`
+		CREATE MATERIALIZED VIEW by_product AS
+		SELECT product.id, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.id`); err != nil {
+		t.Fatal(err)
+	}
+	steps := []string{
+		`INSERT INTO sale VALUES (6, 2, 100, 7, 30)`,
+		`INSERT INTO sale VALUES (7, 1, 101, 7, 4), (8, 3, 100, 7, 6)`,
+		`UPDATE sale SET price = 12 WHERE id = 2`,
+		`UPDATE product SET brand = 'zeta' WHERE id = 101`,
+		`DELETE FROM sale WHERE id = 1`,
+		`INSERT INTO time VALUES (9, 9, 3, 1997)`,
+		`DELETE FROM sale WHERE price > 90`,
+	}
+	for _, sql := range steps {
+		sweepStmt(t, w, sql)
+	}
+}
+
+// TestFaultInjectionApplyDelta sweeps the detached change-log path: after
+// DetachSources, a failed ApplyDelta must leave every view untouched.
+func TestFaultInjectionApplyDelta(t *testing.T) {
+	w := newRetail(t)
+	if _, err := w.Exec(`
+		CREATE MATERIALIZED VIEW by_product AS
+		SELECT product.id, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.id`); err != nil {
+		t.Fatal(err)
+	}
+	w.DetachSources()
+	d := maintain.Delta{Table: "sale", Inserts: []tuple.Tuple{
+		{types.Int(20), types.Int(1), types.Int(100), types.Int(7), types.Float(8)},
+	}}
+	const limit = 100000
+	for failAt := int64(1); failAt <= limit; failAt++ {
+		before := captureWarehouse(t, w)
+		h := faultinject.NewHook(failAt)
+		w.SetFaultHook(h)
+		err := w.ApplyDelta(d)
+		w.SetFaultHook(nil)
+		if err == nil {
+			if p, fired := h.Fired(); fired {
+				t.Fatalf("hook fired at %s but ApplyDelta succeeded", p)
+			}
+			// The delta must now be visible.
+			after, qerr := w.Query("by_product")
+			if qerr != nil {
+				t.Fatal(qerr)
+			}
+			if ra.EqualBag(after, before.views["by_product"]) {
+				t.Fatal("committed delta is not visible in by_product")
+			}
+			return
+		}
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("failAt=%d: genuine error: %v", failAt, err)
+		}
+		p, _ := h.Fired()
+		before.requireUnchanged(t, w, fmt.Sprintf("failAt=%d (%s)", failAt, p))
+	}
+	t.Fatalf("sweep did not terminate within %d injection points", limit)
+}
+
+// TestFaultInjectionImportCSV sweeps a single-batch CSV load: a failure at
+// any point must leave sources and views as if the load never happened.
+func TestFaultInjectionImportCSV(t *testing.T) {
+	w := newRetail(t)
+	csv := "30,1,100,7,20\n31,2,101,7,5.5\n32,3,100,7,7\n"
+	const limit = 100000
+	for failAt := int64(1); failAt <= limit; failAt++ {
+		before := captureWarehouse(t, w)
+		h := faultinject.NewHook(failAt)
+		w.SetFaultHook(h)
+		n, err := w.ImportCSV("sale", strings.NewReader(csv), false)
+		w.SetFaultHook(nil)
+		if err == nil {
+			if n != 3 {
+				t.Fatalf("clean load = %d rows, want 3", n)
+			}
+			if verr := w.Verify(); verr != nil {
+				t.Fatalf("after clean load: %v", verr)
+			}
+			return
+		}
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("failAt=%d: genuine error: %v", failAt, err)
+		}
+		p, _ := h.Fired()
+		when := fmt.Sprintf("failAt=%d (%s)", failAt, p)
+		if n != 0 {
+			t.Fatalf("%s: failed single-batch load reported %d rows", when, n)
+		}
+		before.requireUnchanged(t, w, when)
+		if verr := w.Verify(); verr != nil {
+			t.Fatalf("%s: inconsistent after rollback: %v", when, verr)
+		}
+	}
+	t.Fatalf("sweep did not terminate within %d injection points", limit)
+}
+
+// TestApplyDeltaUnknownTable: deltas for tables the catalog has never seen
+// are rejected up front instead of silently ignored by every engine.
+func TestApplyDeltaUnknownTable(t *testing.T) {
+	w := newRetail(t)
+	err := w.ApplyDelta(maintain.Delta{Table: "nosuch", Inserts: []tuple.Tuple{{types.Int(1)}}})
+	if err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("err = %v", err)
+	}
+	if verr := w.Verify(); verr != nil {
+		t.Fatal(verr)
+	}
+}

@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -66,5 +67,60 @@ func TestImportCSVWithHeader(t *testing.T) {
 	}
 	if err := w.Verify(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestImportCSVMultiBatch loads enough rows to cross several internal
+// flush batches (1024 rows each). Regression test for the flush loop
+// reusing one delta slice's backing array across batches: each batch must
+// hand the engines an owned slice, since engines and auxiliary views may
+// retain delta rows after propagation. Follow-up DML exercises the
+// retained detail.
+func TestImportCSVMultiBatch(t *testing.T) {
+	const rows = 2600 // three flushes: 1024 + 1024 + 552
+	var b strings.Builder
+	for i := 0; i < rows; i++ {
+		id := 5000 + i
+		timeid := i%4 + 1      // timeids 1-3 are 1997, 4 is 1998
+		productid := 100 + i%2 // alternating acme/bolt
+		fmt.Fprintf(&b, "%d,%d,%d,7,1.5\n", id, timeid, productid)
+	}
+	w := newRetail(t)
+	before, err := w.Query("product_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.ImportCSV("sale", strings.NewReader(b.String()), false)
+	if err != nil || n != rows {
+		t.Fatalf("ImportCSV = %d, %v", n, err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("views diverged after multi-batch load: %v", err)
+	}
+	after, err := w.Query("product_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cntBefore, cntAfter int64
+	for _, r := range before.Rows {
+		cntBefore += r[2].AsInt()
+	}
+	for _, r := range after.Rows {
+		cntAfter += r[2].AsInt()
+	}
+	// 3 of every 4 imported rows land in 1997 and thus in the view.
+	if want := cntBefore + rows*3/4; cntAfter != want {
+		t.Fatalf("view count = %d, want %d", cntAfter, want)
+	}
+	// The retained auxiliary detail must support later deltas over the
+	// imported rows (a stale/aliased batch slice would corrupt this).
+	if _, err := w.Exec(`DELETE FROM sale WHERE id = 5001`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Exec(`UPDATE sale SET price = 9 WHERE id = 5004`); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("views diverged after post-import DML: %v", err)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"mindetail/internal/csvload"
 
 	"mindetail/internal/core"
+	"mindetail/internal/faultinject"
 	"mindetail/internal/gpsj"
 	"mindetail/internal/maintain"
 	"mindetail/internal/ra"
@@ -50,6 +51,7 @@ type Warehouse struct {
 	views    map[string]*View
 	order    []string
 	detached bool
+	fi       *faultinject.Hook
 
 	// UseNeedSets configures engines created by subsequent CREATE VIEW
 	// statements (Need-set-restricted delta joins, on by default).
@@ -110,11 +112,28 @@ func (w *Warehouse) Detached() bool {
 	return w.detached
 }
 
+// SetFaultHook installs (nil removes) a fault-injection hook on the
+// warehouse and every view engine. Tests only.
+func (w *Warehouse) SetFaultHook(h *faultinject.Hook) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fi = h
+	for _, name := range w.order {
+		w.views[name].Engine.SetFaultHook(h)
+	}
+}
+
 // Exec parses and executes a script of semicolon-separated SQL statements,
 // returning the relation produced by the final statement when it is a
 // SELECT (nil otherwise).
+//
+// Atomicity is per statement, not per script: every individual statement
+// either applies fully (sources and all views) or leaves the warehouse
+// unchanged, but a script that fails at statement k keeps the effects of
+// statements 1..k-1. Errors identify the failing statement by its 1-based
+// position and an abbreviated SQL fragment.
 func (w *Warehouse) Exec(sql string) (*ra.Relation, error) {
-	stmts, err := sqlparse.ParseAll(sql)
+	stmts, err := sqlparse.ParseScript(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +142,7 @@ func (w *Warehouse) Exec(sql string) (*ra.Relation, error) {
 	var last *ra.Relation
 	for _, s := range stmts {
 		last = nil
-		switch st := s.(type) {
+		switch st := s.Stmt.(type) {
 		case *sqlparse.CreateTable:
 			err = w.createTable(st)
 		case *sqlparse.CreateView:
@@ -137,13 +156,27 @@ func (w *Warehouse) Exec(sql string) (*ra.Relation, error) {
 		case *sqlparse.Update:
 			err = w.update(st)
 		default:
-			err = fmt.Errorf("warehouse: unsupported statement %T", s)
+			err = fmt.Errorf("warehouse: unsupported statement %T", s.Stmt)
 		}
 		if err != nil {
+			if len(stmts) > 1 {
+				return nil, fmt.Errorf("warehouse: statement %d (%s): %w",
+					s.Index+1, abbrevSQL(s.SQL), err)
+			}
 			return nil, err
 		}
 	}
 	return last, nil
+}
+
+// abbrevSQL shortens a SQL fragment for error messages.
+func abbrevSQL(sql string) string {
+	sql = strings.Join(strings.Fields(sql), " ")
+	const max = 60
+	if len(sql) > max {
+		return sql[:max-3] + "..."
+	}
+	return sql
 }
 
 // MustExec is Exec for statements that must succeed (setup scripts).
@@ -293,13 +326,37 @@ func (w *Warehouse) insert(st *sqlparse.Insert) error {
 	if w.detached {
 		return fmt.Errorf("warehouse: sources are detached; use ApplyDelta")
 	}
+	meta := w.cat.Table(st.Table)
+	if meta == nil {
+		return fmt.Errorf("warehouse: unknown table %s", st.Table)
+	}
 	d := maintain.Delta{Table: st.Table}
+	undo := func(upTo int) {
+		for i := upTo - 1; i >= 0; i-- {
+			_ = w.src.UndoInsert(st.Table, d.Inserts[i][meta.KeyIndex()])
+		}
+	}
 	for _, vals := range st.Rows {
 		row := tuple.Tuple(vals)
 		if err := w.src.Insert(st.Table, row); err != nil {
+			undo(len(d.Inserts))
 			return err
 		}
 		d.Inserts = append(d.Inserts, row)
+	}
+	if err := w.sourceApplied(d); err != nil {
+		undo(len(d.Inserts))
+		return err
+	}
+	return nil
+}
+
+// sourceApplied fires the post-source-mutation injection point and then
+// propagates; callers undo their source mutations when it fails, making
+// DML statements atomic across the sources and every view.
+func (w *Warehouse) sourceApplied(d maintain.Delta) error {
+	if err := w.fi.Fire(faultinject.SourceApplied); err != nil {
+		return err
 	}
 	return w.propagate(d)
 }
@@ -348,13 +405,24 @@ func (w *Warehouse) delete(st *sqlparse.Delete) error {
 	}
 	meta := w.cat.Table(st.Table)
 	d := maintain.Delta{Table: st.Table}
+	undo := func(upTo int) {
+		for i := upTo - 1; i >= 0; i-- {
+			_ = w.src.UndoDelete(st.Table, d.Deletes[i])
+		}
+	}
 	for _, r := range rows {
-		if _, err := w.src.Delete(st.Table, r[meta.KeyIndex()]); err != nil {
+		del, err := w.src.Delete(st.Table, r[meta.KeyIndex()])
+		if err != nil {
+			undo(len(d.Deletes))
 			return err
 		}
-		d.Deletes = append(d.Deletes, r)
+		d.Deletes = append(d.Deletes, del)
 	}
-	return w.propagate(d)
+	if err := w.sourceApplied(d); err != nil {
+		undo(len(d.Deletes))
+		return err
+	}
+	return nil
 }
 
 func (w *Warehouse) update(st *sqlparse.Update) error {
@@ -371,31 +439,70 @@ func (w *Warehouse) update(st *sqlparse.Update) error {
 		set[a.Column] = a.Value
 	}
 	d := maintain.Delta{Table: st.Table}
+	undo := func(upTo int) {
+		for i := upTo - 1; i >= 0; i-- {
+			u := d.Updates[i]
+			_ = w.src.UndoUpdate(st.Table, u.New[meta.KeyIndex()], u.Old)
+		}
+	}
 	for _, r := range rows {
 		old, upd, err := w.src.Update(st.Table, r[meta.KeyIndex()], set)
 		if err != nil {
+			undo(len(d.Updates))
 			return err
 		}
 		d.Updates = append(d.Updates, maintain.Update{Old: old, New: upd})
 	}
-	return w.propagate(d)
-}
-
-// propagate applies a delta to every materialized view's engine.
-func (w *Warehouse) propagate(d maintain.Delta) error {
-	for _, name := range w.order {
-		if err := w.views[name].Engine.Apply(d); err != nil {
-			return fmt.Errorf("warehouse: view %s: %w", name, err)
-		}
+	if err := w.sourceApplied(d); err != nil {
+		undo(len(d.Updates))
+		return err
 	}
 	return nil
 }
 
+// propagate applies a delta to every materialized view's engine,
+// atomically across views: each engine stages the delta (its own undo log
+// retained); when every engine succeeds they all commit, and when view k
+// fails, views 1..k-1 are rolled back in reverse order so no view ever
+// reflects a delta that others rejected.
+func (w *Warehouse) propagate(d maintain.Delta) error {
+	staged := 0
+	var err error
+	for i, name := range w.order {
+		if ferr := w.fi.Fire(faultinject.PropagateView); ferr != nil {
+			err = fmt.Errorf("warehouse: view %s: %w", name, ferr)
+			staged = i
+			break
+		}
+		if aerr := w.views[name].Engine.ApplyStaged(d); aerr != nil {
+			err = fmt.Errorf("warehouse: view %s: %w", name, aerr)
+			staged = i
+			break
+		}
+	}
+	if err == nil {
+		for _, name := range w.order {
+			w.views[name].Engine.Commit()
+		}
+		return nil
+	}
+	// The failing engine rolled itself back inside ApplyStaged; undo the
+	// engines that already staged the delta, newest first.
+	for i := staged - 1; i >= 0; i-- {
+		w.views[w.order[i]].Engine.Rollback()
+	}
+	return err
+}
+
 // ApplyDelta propagates an externally produced delta (a change-log entry)
 // to every view. This is the only change path once sources are detached.
+// It is all-or-nothing across views: on error no view reflects the delta.
 func (w *Warehouse) ApplyDelta(d maintain.Delta) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.cat.Table(d.Table) == nil {
+		return fmt.Errorf("warehouse: unknown table %s", d.Table)
+	}
 	return w.propagate(d)
 }
 
@@ -413,34 +520,51 @@ func (w *Warehouse) ImportCSV(table string, r io.Reader, header bool) (int, erro
 		return 0, fmt.Errorf("warehouse: unknown table %s", table)
 	}
 	const batch = 1024
-	d := maintain.Delta{Table: table}
+	var pending []tuple.Tuple
+	flushed := 0
 	flush := func() error {
-		if len(d.Inserts) == 0 {
+		if len(pending) == 0 {
 			return nil
 		}
-		err := w.propagate(d)
-		d.Inserts = d.Inserts[:0]
-		return err
+		// Hand propagate an owned slice: engines may retain delta rows
+		// (Need-set joins, aux contents reference them), so the batch
+		// buffer must never be reused for later rows.
+		d := maintain.Delta{Table: table, Inserts: pending}
+		if err := w.sourceApplied(d); err != nil {
+			// The views rejected (or a fault aborted) this batch; remove
+			// its rows from the source again so sources and views agree.
+			for i := len(pending) - 1; i >= 0; i-- {
+				_ = w.src.UndoInsert(table, pending[i][meta.KeyIndex()])
+			}
+			return err
+		}
+		flushed += len(pending)
+		pending = nil
+		return nil
 	}
 	n, err := csvload.Read(meta, r, header, func(row tuple.Tuple) error {
 		if err := w.src.Insert(table, row); err != nil {
 			return err
 		}
-		d.Inserts = append(d.Inserts, row)
-		if len(d.Inserts) >= batch {
+		pending = append(pending, row)
+		if len(pending) >= batch {
 			return flush()
 		}
 		return nil
 	})
 	if err != nil {
-		// Rows already propagated stay; flush the remainder so the views
-		// match the source even on partial loads.
+		// Batches already propagated stay; flush the remainder so the
+		// views match the source even on partial loads. A failed final
+		// flush undoes its own batch, so `flushed` rows remain either way.
 		if ferr := flush(); ferr != nil {
-			return n, ferr
+			return flushed, ferr
 		}
-		return n, err
+		return flushed, err
 	}
-	return n, flush()
+	if ferr := flush(); ferr != nil {
+		return flushed, ferr
+	}
+	return n, nil
 }
 
 // Query returns the current contents of a materialized view.

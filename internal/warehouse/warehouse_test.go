@@ -224,3 +224,52 @@ func TestMustExecPanics(t *testing.T) {
 	}()
 	w.MustExec(`INSERT INTO nosuch VALUES (1)`)
 }
+
+// TestExecStatementErrorContext: a mid-script failure names the 1-based
+// statement and an abbreviated SQL fragment, earlier statements keep their
+// effects (per-statement atomicity), and later ones never run.
+func TestExecStatementErrorContext(t *testing.T) {
+	w := newRetail(t)
+	_, err := w.Exec(`
+		INSERT INTO sale VALUES (6, 1, 100, 7, 1);
+		INSERT INTO sale VALUES (6, 1, 100, 7, 2);
+		INSERT INTO sale VALUES (7, 1, 100, 7, 3);
+	`)
+	if err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	for _, want := range []string{"statement 2", "INSERT INTO sale VALUES (6, 1, 100, 7, 2)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not contain %q", err, want)
+		}
+	}
+	// Statement 1 persisted; statements 2 and 3 left no trace anywhere.
+	if got := w.Source().Table("sale").Len(); got != 6 {
+		t.Errorf("sale rows = %d, want 6 (5 seed + statement 1)", got)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("views inconsistent after failed script: %v", err)
+	}
+	// Single-statement errors are not wrapped with script context.
+	_, err = w.Exec(`INSERT INTO sale VALUES (6, 1, 100, 7, 9)`)
+	if err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	if strings.Contains(err.Error(), "statement 1") {
+		t.Errorf("single statement error carries script context: %v", err)
+	}
+	// Long statements are abbreviated in the error.
+	_, err = w.Exec(`
+		SELECT month FROM product_sales;
+		INSERT INTO sale VALUES (6, 1, 100, 7, 1), (60, 1, 100, 7, 1), (61, 1, 100, 7, 1), (62, 1, 100, 7, 1);
+	`)
+	if err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	if !strings.Contains(err.Error(), "...") {
+		t.Errorf("long statement not abbreviated: %v", err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,10 +19,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the maintenance engine and warehouse layers — the packages
-# with concurrency (parallel group recomputation worker pool).
+# Race-check the concurrent layers: plan signatures, the maintenance
+# engine (recompute worker pool, delta memo, parallel shared-class
+# staging), and the warehouse (parallel propagation, lock-free reads).
 race:
-	$(GO) test -race ./internal/maintain/... ./internal/warehouse/...
+	$(GO) test -race ./internal/core/... ./internal/maintain/... ./internal/warehouse/...
 
 race-all:
 	$(GO) test -race ./...

@@ -145,6 +145,12 @@ func runBenchJSON(path string) error {
 	})))
 	_ = sink
 
+	fanout, err := runFanoutBenches()
+	if err != nil {
+		return err
+	}
+	results = append(results, fanout...)
+
 	rep := benchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+	"mindetail/internal/warehouse"
+	"mindetail/internal/workload"
+)
+
+// fanoutParams sizes the fan-out scenarios: ~14.6k fact tuples, enough for
+// per-view staging cost to dominate scheduling overhead.
+var fanoutParams = workload.RetailParams{
+	Days: 365, Stores: 2, Products: 1000, ProductsSoldPerDay: 20,
+	TransactionsPerProduct: 1, Brands: 50, SelectYear: 1997, Seed: 1,
+}
+
+// fanoutWarehouse builds a warehouse carrying n copies of the paper view.
+// The copies share one plan fingerprint and one memo scope, so memoized
+// propagation computes the per-delta work once and installs it n times;
+// serial=true pins the warehouse to the pre-scheduler behavior (one staging
+// worker, no memo, no snapshot cache) as the measured baseline.
+func fanoutWarehouse(n int, serial bool) (*warehouse.Warehouse, [2]tuple.Tuple, error) {
+	w := warehouse.New()
+	if _, err := w.Exec(workload.DDL()); err != nil {
+		return nil, [2]tuple.Tuple{}, err
+	}
+	if err := workload.Load(w.Source(), fanoutParams); err != nil {
+		return nil, [2]tuple.Tuple{}, err
+	}
+	for i := 0; i < n; i++ {
+		sql := fmt.Sprintf("CREATE MATERIALIZED VIEW fan%d AS %s", i, workload.ProductSalesSQL(1997))
+		if _, err := w.Exec(sql); err != nil {
+			return nil, [2]tuple.Tuple{}, err
+		}
+	}
+	if serial {
+		w.PropagateWorkers = 1
+		w.DisableMemo = true
+		w.DisableSnapshots = true
+	}
+	old := w.Source().Table("sale").Get(types.Int(1))
+	if old == nil {
+		return nil, [2]tuple.Tuple{}, fmt.Errorf("sale 1 missing")
+	}
+	alt := old.Clone()
+	alt[4] = types.Float(old[4].AsFloat() + 1)
+	return w, [2]tuple.Tuple{old, alt}, nil
+}
+
+// benchFanout measures one delta propagated through n identical views. The
+// flip counter lives outside the benchmark closure so the alternating
+// update stream stays consistent across testing.Benchmark's internal
+// restarts with growing b.N.
+func benchFanout(n int, serial bool) (testing.BenchmarkResult, error) {
+	w, imgs, err := fanoutWarehouse(n, serial)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	flip := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := maintain.Delta{Table: "sale", Updates: []maintain.Update{
+				{Old: imgs[flip%2], New: imgs[(flip+1)%2]},
+			}}
+			flip++
+			if err := w.ApplyDelta(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return r, nil
+}
+
+// benchQueryUnderWriteLoad measures Query latency on an 8-view warehouse
+// while a background writer continuously propagates deltas. The default
+// configuration serves lock-free published snapshots; locked=true disables
+// the snapshot cache, so every read re-materializes the view under the
+// read lock and queues behind in-flight propagations.
+func benchQueryUnderWriteLoad(locked bool) (testing.BenchmarkResult, error) {
+	w, imgs, err := fanoutWarehouse(8, false)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	w.DisableSnapshots = locked
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var writeErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for flip := 0; ; flip++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := maintain.Delta{Table: "sale", Updates: []maintain.Update{
+				{Old: imgs[flip%2], New: imgs[(flip+1)%2]},
+			}}
+			if err := w.ApplyDelta(d); err != nil {
+				writeErr = err
+				return
+			}
+		}
+	}()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Query("fan0"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	close(stop)
+	wg.Wait()
+	if writeErr != nil {
+		return testing.BenchmarkResult{}, writeErr
+	}
+	return r, nil
+}
+
+// runFanoutBenches measures the fan-out propagation and concurrent-read
+// scenarios, returning results in report order (memoized/parallel first,
+// then its serial baseline).
+func runFanoutBenches() ([]benchResult, error) {
+	var out []benchResult
+	for _, n := range []int{8, 32} {
+		par, err := benchFanout(n, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, toResult(fmt.Sprintf("PropagateFanout%dViews", n), par))
+		ser, err := benchFanout(n, true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, toResult(fmt.Sprintf("PropagateFanout%dViews/serial", n), ser))
+	}
+	snap, err := benchQueryUnderWriteLoad(false)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, toResult("QueryUnderWriteLoad", snap))
+	lock, err := benchQueryUnderWriteLoad(true)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, toResult("QueryUnderWriteLoad/locked", lock))
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TableSig identifies, for one base table of a plan, the per-delta work a
+// maintenance engine performs before any view-specific processing:
+//
+//   - Expand: projecting the raw delta onto the attributes the plan cares
+//     about (preserved attributes plus condition attributes) and dropping
+//     no-op updates. Two plans with equal Expand signatures for a table
+//     produce bit-identical expanded deltas from the same raw delta.
+//   - Filter: additionally applying the table's local selection conditions.
+//     Equal Filter signatures imply equal locally-filtered deltas.
+//
+// Signatures are computed eagerly at derive time (createView/RestoreView)
+// so a warehouse-level propagation scheduler can memoize shared work across
+// engines without inspecting plan internals on the hot path.
+type TableSig struct {
+	Expand string
+	Filter string
+}
+
+// Fingerprint returns a canonical string identifying the complete
+// maintenance plan: the view definition (rendered without the view name, so
+// identically-defined views under different names share it) plus the
+// derivation mode. Engines built from plans with equal fingerprints perform
+// identical maintenance work for identical deltas.
+func (p *Plan) Fingerprint() string { return p.fingerprint }
+
+// TableSig returns the per-table delta signatures (see TableSig). The zero
+// value is returned for tables the plan does not reference.
+func (p *Plan) TableSig(table string) TableSig { return p.tableSigs[table] }
+
+// computeSignatures fills in fingerprint and tableSigs. Called once at the
+// end of derive; idempotent and cheap relative to derivation itself.
+func (p *Plan) computeSignatures() {
+	v := p.View
+	p.tableSigs = make(map[string]TableSig, len(v.Tables))
+	for _, t := range v.Tables {
+		var attrs []string
+		seen := make(map[string]bool)
+		add := func(a string) {
+			if !seen[a] {
+				seen[a] = true
+				attrs = append(attrs, a)
+			}
+		}
+		for _, a := range v.PreservedAttrs(t) {
+			add(a)
+		}
+		for _, a := range v.CondAttrs(t) {
+			add(a)
+		}
+		sort.Strings(attrs)
+		expand := t + "|attrs=" + strings.Join(attrs, ",")
+
+		conds := make([]string, 0, len(v.Local[t]))
+		for _, c := range v.Local[t] {
+			conds = append(conds, c.String())
+		}
+		sort.Strings(conds)
+		filter := expand + "|local=" + strings.Join(conds, " AND ")
+
+		p.tableSigs[t] = TableSig{Expand: expand, Filter: filter}
+	}
+	p.fingerprint = v.SQL() + "|appendonly=" + strconv.FormatBool(p.AppendOnly)
+}

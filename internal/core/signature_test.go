@@ -1,0 +1,69 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Two views that differ only in name (and here, column aliases are kept
+// identical) must share a fingerprint; any change in projection, condition,
+// or derivation mode must change it.
+func TestPlanFingerprint(t *testing.T) {
+	cat := retailCatalog(t)
+	base := `SELECT product.id, SUM(price) AS total
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.id`
+	p1 := mustDerive(t, cat, base)
+	p2 := mustDerive(t, cat, base)
+	if p1.Fingerprint() == "" {
+		t.Fatal("empty fingerprint")
+	}
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Fatalf("identical views disagree:\n%s\n%s", p1.Fingerprint(), p2.Fingerprint())
+	}
+	p3 := mustDerive(t, cat, `SELECT product.id, SUM(price) AS total
+		FROM sale, product WHERE sale.productid = product.id AND price > 10
+		GROUP BY product.id`)
+	if p3.Fingerprint() == p1.Fingerprint() {
+		t.Fatal("different conditions share a fingerprint")
+	}
+	if !strings.Contains(p1.Fingerprint(), "appendonly=false") {
+		t.Fatalf("fingerprint does not record derivation mode: %s", p1.Fingerprint())
+	}
+}
+
+// TableSig.Expand depends only on the attributes the plan reads from the
+// table; TableSig.Filter additionally folds in local conditions.
+func TestPlanTableSigs(t *testing.T) {
+	cat := retailCatalog(t)
+	p1 := mustDerive(t, cat, `SELECT product.id, SUM(price) AS total
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.id`)
+	p2 := mustDerive(t, cat, `SELECT product.id, COUNT(*) AS cnt, SUM(price) AS total
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.id`)
+	// Both read {id, price, productid, timeid?...} — the sale signature must
+	// at least be non-empty and equal when the read set matches.
+	s1, s2 := p1.TableSig("sale"), p2.TableSig("sale")
+	if s1.Expand == "" || s1.Filter == "" {
+		t.Fatalf("empty signature: %+v", s1)
+	}
+	if s1.Expand != s2.Expand {
+		t.Fatalf("same read set, different Expand:\n%s\n%s", s1.Expand, s2.Expand)
+	}
+	// Adding a local condition on sale must change Filter but keep Expand
+	// whenever the condition attribute was already read.
+	p3 := mustDerive(t, cat, `SELECT product.id, SUM(price) AS total
+		FROM sale, product WHERE sale.productid = product.id AND price > 10
+		GROUP BY product.id`)
+	s3 := p3.TableSig("sale")
+	if s3.Expand != s1.Expand {
+		t.Fatalf("Expand changed though read set did not:\n%s\n%s", s1.Expand, s3.Expand)
+	}
+	if s3.Filter == s1.Filter {
+		t.Fatal("Filter ignored the local condition")
+	}
+	if got := p1.TableSig("nosuch"); got != (TableSig{}) {
+		t.Fatalf("unknown table sig = %+v", got)
+	}
+}

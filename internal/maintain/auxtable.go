@@ -209,6 +209,45 @@ func (t *AuxTable) Lookup(attr string, v types.Value) []tuple.Tuple {
 	return out
 }
 
+// lookupInto is Lookup with caller-owned scratch: the probe key is encoded
+// into keyBuf and the matching rows are appended to out; both are returned
+// for reuse. Unlike Lookup it performs no writes to table state, so
+// concurrent calls with distinct buffers against a quiescent table are safe
+// — the property the parallel staged-apply scheduler relies on when several
+// engines of one shared class read the same tables. The returned tuples are
+// the stored rows and must not be mutated.
+func (t *AuxTable) lookupInto(attr string, v types.Value, out []tuple.Tuple, keyBuf []byte) ([]tuple.Tuple, []byte) {
+	if m, ok := t.idx[attr]; ok {
+		keyBuf = types.Encode(keyBuf, v)
+		for _, k := range m[string(keyBuf)] {
+			out = append(out, t.rows[k])
+		}
+		return out, keyBuf
+	}
+	pos, err := t.cols.Index(t.def.Base, attr)
+	if err != nil {
+		return out, keyBuf
+	}
+	for _, r := range t.rows {
+		if types.Identical(r[pos], v) {
+			out = append(out, r)
+		}
+	}
+	return out, keyBuf
+}
+
+// containsWith is Contains with a caller-owned key buffer (read-only on
+// table state, like lookupInto).
+func (t *AuxTable) containsWith(attr string, v types.Value, keyBuf []byte) (bool, []byte) {
+	if m, ok := t.idx[attr]; ok {
+		keyBuf = types.Encode(keyBuf, v)
+		return len(m[string(keyBuf)]) > 0, keyBuf
+	}
+	var rows []tuple.Tuple
+	rows, keyBuf = t.lookupInto(attr, v, nil, keyBuf)
+	return len(rows) > 0, keyBuf
+}
+
 // Contains reports whether some row has the given value in attr — the
 // semijoin membership test. With an index it is a single map probe.
 func (t *AuxTable) Contains(attr string, v types.Value) bool {

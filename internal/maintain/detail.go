@@ -134,6 +134,8 @@ type joinState struct {
 // out, and a compressed parent contributes its COUNT(*) to the weight.
 // Residual local conditions are re-applied per table as it joins in.
 func (e *Engine) joinOutward(st *joinState, needed map[string]bool) error {
+	var probes int64
+	defer func() { e.stats.auxLookups.Add(probes) }()
 	for {
 		progress := false
 		for child, j := range e.graph.EdgeTo {
@@ -153,8 +155,8 @@ func (e *Engine) joinOutward(st *joinState, needed map[string]bool) error {
 				newRows := st.rows[:0]
 				newW := st.weights[:0]
 				for i, row := range st.rows {
-					e.stats.AuxLookups++
-					matches := at.Lookup(j.RightAttr, row[refPos])
+					probes++
+					matches := e.auxLookup(at, j.RightAttr, row[refPos])
 					if len(matches) == 0 {
 						continue
 					}
@@ -186,8 +188,8 @@ func (e *Engine) joinOutward(st *joinState, needed map[string]bool) error {
 				var outRows []tuple.Tuple
 				var outW []int64
 				for i, row := range st.rows {
-					e.stats.AuxLookups++
-					for _, m := range at.Lookup(j.LeftAttr, row[keyPos]) {
+					probes++
+					for _, m := range e.auxLookup(at, j.LeftAttr, row[keyPos]) {
 						w := st.weights[i]
 						if cntPos >= 0 {
 							w *= m[cntPos].AsInt()
@@ -305,7 +307,10 @@ func (e *Engine) fullAuxDetail() (detailCtx, error) {
 		if err := at.EnsureIndex(j.RightAttr); err != nil {
 			return detailCtx{}, err
 		}
-		ij := ra.IndexedJoin(node, ra.Col{Table: j.Left, Name: j.LeftAttr}, at, j.RightAttr, at.def.Name)
+		// The probeView adapter gives IndexedJoin private probe scratch, so
+		// several engines can evaluate recomputation joins over the same
+		// shared tables concurrently.
+		ij := ra.IndexedJoin(node, ra.Col{Table: j.Left, Name: j.LeftAttr}, &probeView{at: at}, j.RightAttr, at.def.Name)
 		joins = append(joins, ij)
 		node = ij
 		queue = append(queue, e.graph.Children[t]...)
@@ -322,7 +327,7 @@ func (e *Engine) fullAuxDetail() (detailCtx, error) {
 		return detailCtx{}, err
 	}
 	for _, ij := range joins {
-		e.stats.AuxLookups += ij.Probes
+		e.stats.auxLookups.Add(int64(ij.Probes))
 		ij.Probes = 0
 	}
 	ctx := newDetailCtx()
@@ -446,9 +451,10 @@ func (e *Engine) scopedAuxDetail(keys groupSet) (detailCtx, bool, error) {
 	}
 
 	var rows []tuple.Tuple
+	var nProbes int64
 	for _, v := range probes {
-		e.stats.AuxLookups++
-		for _, r := range seedAux.Lookup(seedAttr, v) {
+		nProbes++
+		for _, r := range e.auxLookup(seedAux, seedAttr, v) {
 			buf = buf[:0]
 			for _, p := range ownPos {
 				buf = types.Encode(buf, r[p])
@@ -459,6 +465,7 @@ func (e *Engine) scopedAuxDetail(keys groupSet) (detailCtx, bool, error) {
 		}
 	}
 	e.keyBuf = buf[:0]
+	e.stats.auxLookups.Add(nProbes)
 
 	st := &joinState{
 		cols:     seedAux.Cols(),
@@ -592,6 +599,8 @@ func (e *Engine) adjustFromDetail(ctx detailCtx, weights []int64, raise bool) er
 	}
 	gbVals := make([]types.Value, len(fns))
 	sumDeltas := make(map[int]types.Value, len(sums))
+	var adjusts int64
+	defer func() { e.stats.groupAdjusts.Add(adjusts) }()
 	buf := e.keyBuf[:0]
 	for i, row := range ctx.rel.Rows {
 		w := weights[i]
@@ -629,7 +638,7 @@ func (e *Engine) adjustFromDetail(ctx detailCtx, weights []int64, raise bool) er
 		if err := e.mv.adjustBuf(buf, gbVals, w, sumDeltas); err != nil {
 			return err
 		}
-		e.stats.GroupAdjusts++
+		adjusts++
 		for _, sb := range stored {
 			e.mv.raiseExtremaBuf(buf, sb.comp, row[sb.pos])
 		}
@@ -675,23 +684,7 @@ func (e *Engine) recomputeGroups(keys groupSet) error {
 	if len(keys) == 0 {
 		return nil
 	}
-	var ctx detailCtx
-	scoped := false
-	if !e.ForceFullRecompute {
-		var err error
-		ctx, scoped, err = e.scopedAuxDetail(keys)
-		if err != nil {
-			return err
-		}
-	}
-	if !scoped {
-		full, err := e.fullAuxDetail()
-		if err != nil {
-			return err
-		}
-		ctx = full
-	}
-	groups, err := e.computeGroups(ctx, keys)
+	groups, shared, err := e.recomputedGroups(keys)
 	if err != nil {
 		return err
 	}
@@ -706,9 +699,15 @@ func (e *Engine) recomputeGroups(keys groupSet) error {
 		return err
 	}
 	for _, row := range groups {
+		if shared {
+			// Memoized rows are consumed by several engines and mutated in
+			// place once installed (adjustments, rollback restore); install a
+			// private copy and leave the memo's pristine.
+			row = row.Clone()
+		}
 		e.mv.setRow(row)
-		e.stats.GroupRecomputes++
 	}
+	e.stats.groupRecomputes.Add(int64(len(groups)))
 	if e.mv.global() && len(groups) == 0 {
 		e.mv.setRow(e.mv.blank(nil))
 	}

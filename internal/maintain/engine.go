@@ -2,6 +2,7 @@ package maintain
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mindetail/internal/core"
 	"mindetail/internal/faultinject"
@@ -29,12 +30,46 @@ type Update struct {
 }
 
 // Stats counts the work the engine performs, for the benchmark harness.
+// When maintenance work is shared through a DeltaMemo, probe and detail
+// counters attribute the shared computation to the engine that performed
+// it; consumers of a memoized result count only their residual work.
 type Stats struct {
 	DeltasApplied   int
 	DetailRows      int // delta detail rows produced by joining
 	AuxLookups      int // index probes into auxiliary tables
 	GroupAdjusts    int // incremental CSMAS group adjustments
 	GroupRecomputes int // groups repaired by partial recomputation
+}
+
+// engineStats is the engine-internal counter set. The counters are atomic
+// so Stats() can be read while the parallel group-recompute pool or the
+// warehouse propagation scheduler is driving the engine; hot loops
+// accumulate locally and publish once per batch, so the atomics cost
+// nothing per row.
+type engineStats struct {
+	deltasApplied   atomic.Int64
+	detailRows      atomic.Int64
+	auxLookups      atomic.Int64
+	groupAdjusts    atomic.Int64
+	groupRecomputes atomic.Int64
+}
+
+func (s *engineStats) snapshot() Stats {
+	return Stats{
+		DeltasApplied:   int(s.deltasApplied.Load()),
+		DetailRows:      int(s.detailRows.Load()),
+		AuxLookups:      int(s.auxLookups.Load()),
+		GroupAdjusts:    int(s.groupAdjusts.Load()),
+		GroupRecomputes: int(s.groupRecomputes.Load()),
+	}
+}
+
+func (s *engineStats) reset() {
+	s.deltasApplied.Store(0)
+	s.detailRows.Store(0)
+	s.auxLookups.Store(0)
+	s.groupAdjusts.Store(0)
+	s.groupRecomputes.Store(0)
 }
 
 // Engine maintains a materialized GPSJ view and its auxiliary views under
@@ -92,11 +127,24 @@ type Engine struct {
 	auxPlanC   map[string]*auxApplyPlan
 
 	// Scratch buffers reused across Apply calls (the engine is not safe
-	// for concurrent Apply, so a single set suffices).
+	// for concurrent Apply, so a single set suffices). lkKeyBuf and
+	// lkRowBuf are the engine's private auxiliary-probe scratch: engines of
+	// a shared class probe the same tables concurrently during parallel
+	// staging, so probes must never touch the tables' own buffers.
 	keyBuf    []byte
 	plainBuf  tuple.Tuple
 	sumDeltaC map[string]types.Value
 	extremaC  map[string]types.Value
+	lkKeyBuf  []byte
+	lkRowBuf  []tuple.Tuple
+
+	// memo and memoKey are set for the duration of one StageWithMemo call;
+	// memoScope names the propagation domain whose same-fingerprint engines
+	// are state replicas ("solo" for a warehouse's standalone engines, a
+	// per-class tag for shared classes).
+	memo      *DeltaMemo
+	memoKey   string
+	memoScope string
 
 	// jnl is the per-apply undo log: every mutation of the auxiliary
 	// tables or the materialized view records the affected group's prior
@@ -107,7 +155,7 @@ type Engine struct {
 	// fi is the fault-injection hook (nil in production).
 	fi *faultinject.Hook
 
-	stats Stats
+	stats engineStats
 }
 
 // auxApplyPlan caches the base-row positions auxApply projects from, so the
@@ -153,6 +201,7 @@ func newEngine(plan *core.Plan, tables map[string]*AuxTable, residual map[string
 		auxPlanC:    make(map[string]*auxApplyPlan),
 		sumDeltaC:   make(map[string]types.Value),
 		extremaC:    make(map[string]types.Value),
+		memoScope:   "solo",
 	}
 	for _, t := range plan.View.Tables {
 		e.tableSet[t] = true
@@ -210,11 +259,27 @@ func (e *Engine) Plan() *core.Plan { return e.plan }
 // Aux returns the auxiliary table for a base table, or nil when omitted.
 func (e *Engine) Aux(table string) *AuxTable { return e.aux[table] }
 
-// Stats returns a copy of the work counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a copy of the work counters. Safe to call while the engine
+// is applying a delta (the counters are atomic); the copy is a consistent
+// point-in-time reading of each counter, not of the set as a whole.
+func (e *Engine) Stats() Stats { return e.stats.snapshot() }
 
 // ResetStats zeroes the work counters.
-func (e *Engine) ResetStats() { e.stats = Stats{} }
+func (e *Engine) ResetStats() { e.stats.reset() }
+
+// References reports whether the engine's view reads the given base table —
+// the warehouse scheduler uses it to invalidate only the snapshots of views
+// a delta can actually change.
+func (e *Engine) References(table string) bool { return e.tableSet[table] }
+
+// SetMemoScope names the engine's propagation domain for cross-engine work
+// sharing: two engines consume each other's memoized results only when their
+// scopes AND plan fingerprints match. The scope must guarantee the replica
+// invariant — equal-fingerprint engines in one scope hold bit-identical
+// auxiliary state (the warehouse tags engines with their creation epoch, so
+// views initialized from different source states never share). Must not be
+// changed while a staged apply is outstanding.
+func (e *Engine) SetMemoScope(scope string) { e.memoScope = scope }
 
 // Snapshot returns the user-facing contents of the maintained view.
 func (e *Engine) Snapshot() *ra.Relation { return e.mv.Snapshot() }
@@ -298,7 +363,16 @@ func (e *Engine) Apply(d Delta) error {
 // transaction fails. On error the engine has already rolled itself back.
 // Exactly one staged apply may be outstanding; finish it with Commit or
 // Rollback before the next ApplyStaged.
-func (e *Engine) ApplyStaged(d Delta) error {
+func (e *Engine) ApplyStaged(d Delta) error { return e.StageWithMemo(d, nil) }
+
+// StageWithMemo is ApplyStaged with cross-engine work sharing: when m is
+// non-nil, delta expansion, local filtering, the delta-detail join, and
+// group recomputation are computed once per distinct plan signature across
+// every engine staging the same delta through the same memo, and the shared
+// results are consumed read-only (see DeltaMemo for the soundness
+// argument). Each engine may be driven by at most one goroutine, but
+// different engines of one propagation may stage concurrently.
+func (e *Engine) StageWithMemo(d Delta, m *DeltaMemo) error {
 	t := d.Table
 	if !e.tableSet[t] {
 		return nil // table not referenced by the view
@@ -310,11 +384,18 @@ func (e *Engine) ApplyStaged(d Delta) error {
 	if e.plan.AppendOnly && (len(d.Deletes) > 0 || len(d.Updates) > 0) {
 		return fmt.Errorf("maintain: plan for view %s was derived append-only (Section 4); deletions and updates are not maintainable", e.view.Name)
 	}
-	signed, err := e.expand(d) // validates row arity
-	if err != nil {
-		return err
+	e.memo = m
+	if m != nil {
+		if e.plan.Fingerprint() == "" {
+			// A plan without signatures cannot be told apart from other
+			// unsignatured plans; never share work for it.
+			e.memo = nil
+		} else {
+			e.memoKey = e.buildMemoKey()
+		}
 	}
-	signed, err = e.localFilter(t, signed) // surfaces predicate bind errors
+	defer func() { e.memo, e.memoKey = nil, "" }()
+	signed, err := e.expandFiltered(d) // validates row arity, surfaces predicate bind errors
 	if err != nil {
 		return err
 	}
@@ -327,7 +408,7 @@ func (e *Engine) ApplyStaged(d Delta) error {
 	if err := e.fi.Fire(faultinject.EngineValidated); err != nil {
 		return err
 	}
-	e.stats.DeltasApplied++
+	e.stats.deltasApplied.Add(1)
 	e.jnl.begin()
 	if err := e.applyMutations(t, d, signed); err != nil {
 		e.jnl.rollback()
@@ -536,12 +617,16 @@ func (e *Engine) auxApply(at *AuxTable, rows []signedRow) error {
 		e.plainBuf = make(tuple.Tuple, len(plan.plainPos))
 	}
 	plainVals := e.plainBuf[:len(plan.plainPos)]
+	var lookups int64
+	defer func() { e.stats.auxLookups.Add(lookups) }()
 	for _, sr := range rows {
 		pass := true
 		for i, sj := range at.def.SemiJoins {
 			child := e.aux[sj.Right]
-			e.stats.AuxLookups++
-			if !child.Contains(sj.RightAttr, sr.row[plan.sjPos[i]]) {
+			lookups++
+			var ok bool
+			ok, e.lkKeyBuf = child.containsWith(sj.RightAttr, sr.row[plan.sjPos[i]], e.lkKeyBuf[:0])
+			if !ok {
 				pass = false
 				break
 			}
@@ -595,14 +680,14 @@ func (e *Engine) vImpact(t string, d Delta, signed []signedRow) error {
 		return e.rekey(t, d.Updates)
 	}
 
-	ctx, weights, err := e.deltaDetail(t, signed)
+	ctx, weights, err := e.deltaDetailShared(t, signed)
 	if err != nil {
 		return err
 	}
 	if len(ctx.rel.Rows) == 0 {
 		return nil
 	}
-	e.stats.DetailRows += len(ctx.rel.Rows)
+	e.stats.detailRows.Add(int64(len(ctx.rel.Rows)))
 
 	if !e.mv.hasNonCSMAS {
 		return e.adjustFromDetail(ctx, weights, false)
@@ -705,7 +790,46 @@ func (e *Engine) rekey(t string, updates []Update) error {
 			nk := e.mv.keyOf(row)
 			e.jnl.noteMVKey(e.mv, nk)
 			e.mv.rows[nk] = row
-			e.stats.GroupAdjusts++
+			e.stats.groupAdjusts.Add(1)
+		}
+	}
+	return nil
+}
+
+// auxLookup probes an auxiliary table's index through the engine's private
+// scratch buffers, so several engines of a shared class can probe the same
+// tables concurrently (the tables' own reusable buffers are not touched).
+// The returned slice is valid until the next auxLookup call on this engine.
+func (e *Engine) auxLookup(at *AuxTable, attr string, v types.Value) []tuple.Tuple {
+	e.lkRowBuf, e.lkKeyBuf = at.lookupInto(attr, v, e.lkRowBuf[:0], e.lkKeyBuf[:0])
+	return e.lkRowBuf
+}
+
+// prepareSharedIndexes eagerly builds every auxiliary index the maintenance
+// paths would otherwise create lazily (fullAuxDetail's join-edge indexes and
+// scopedAuxDetail's seed index). Engines of a shared class stage in parallel
+// over the same auxiliary tables, and EnsureIndex mutates the table, so the
+// coordinator calls this once per engine before any concurrent staging;
+// afterwards every probe is a read.
+func (e *Engine) prepareSharedIndexes() error {
+	for t, at := range e.aux {
+		if j, ok := e.graph.EdgeTo[t]; ok && contains(at.def.PlainAttrs, j.RightAttr) {
+			if err := at.EnsureIndex(j.RightAttr); err != nil {
+				return err
+			}
+		}
+	}
+	for _, ci := range e.mv.gbIdx {
+		cr, ok := e.mv.comps[ci].item.Expr.(ra.ColRef)
+		if !ok {
+			continue
+		}
+		at := e.aux[cr.Table]
+		if at == nil || !contains(at.def.PlainAttrs, cr.Name) {
+			continue
+		}
+		if err := at.EnsureIndex(cr.Name); err != nil {
+			return err
 		}
 	}
 	return nil

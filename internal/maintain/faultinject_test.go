@@ -271,6 +271,48 @@ func TestFaultInjectionSharedEngines(t *testing.T) {
 	sweepShared(t, f, Delta{Table: "sale", Updates: []Update{{Old: old, New: upd}}})
 }
 
+// TestFaultInjectionSharedEnginesParallel re-runs the class-wide sweep with
+// parallel staging and the per-delta memo enabled: an injected failure in
+// any staging goroutine must still roll the shared tables and every sibling
+// view back to a bit-identical pre-delta state. Which engine the N-th visit
+// lands in depends on scheduling, but the atomicity invariant is
+// schedule-independent — and the sweep still terminates because the total
+// number of injection-point visits per apply is bounded.
+func TestFaultInjectionSharedEnginesParallel(t *testing.T) {
+	f := newSharedFixture(t,
+		`SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+		 FROM sale, time WHERE time.year = 1997 AND sale.timeid = time.id
+		 GROUP BY time.month`,
+		`SELECT sale.storeid, MAX(price) AS hi, COUNT(*) AS cnt
+		 FROM sale GROUP BY sale.storeid`,
+		`SELECT store.city, COUNT(DISTINCT brand) AS brands, SUM(price) AS total
+		 FROM sale, product, store
+		 WHERE sale.productid = product.id AND sale.storeid = store.id
+		 GROUP BY store.city`,
+	)
+	f.se.Workers = 4
+	f.seedRetail()
+	f.init()
+
+	row := tuple.Tuple{types.Int(2001), types.Int(1), types.Int(100), types.Int(8), types.Float(77)}
+	if err := f.db.Insert("sale", row); err != nil {
+		t.Fatal(err)
+	}
+	sweepShared(t, f, Delta{Table: "sale", Inserts: []tuple.Tuple{row}})
+
+	old, upd, err := f.db.Update("sale", types.Int(2), map[string]types.Value{"price": types.Float(1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepShared(t, f, Delta{Table: "sale", Updates: []Update{{Old: old, New: upd}}})
+
+	del, err := f.db.Delete("sale", types.Int(2001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepShared(t, f, Delta{Table: "sale", Deletes: []tuple.Tuple{del}})
+}
+
 // TestMalformedDeltasLeaveStateUntouched feeds structurally invalid deltas
 // to a live engine and asserts every one is rejected by the validate-first
 // pass with zero state change — the "garbage in, nothing out" contract.

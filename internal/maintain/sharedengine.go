@@ -2,6 +2,9 @@ package maintain
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"mindetail/internal/core"
 	"mindetail/internal/faultinject"
@@ -20,15 +23,31 @@ type SharedEngines struct {
 	tables  map[string]*AuxTable
 	engines []*Engine
 
+	// Workers bounds the number of view engines staging one delta
+	// concurrently; 0 means GOMAXPROCS, 1 forces the serial path. Staging
+	// is read-only on the shared tables (the coordinator maintains them
+	// first, serially), so engines of the class can stage in parallel.
+	Workers int
+
+	// DisableMemo turns off cross-engine work sharing through the per-delta
+	// DeltaMemo — the verification/baseline configuration.
+	DisableMemo bool
+
 	// jnl is the coordinator's undo log for the shared auxiliary tables;
 	// each view engine keeps its own log for its materialized groups, so
 	// a failed Apply rolls back the tables and every already-applied view.
 	jnl journal
 }
 
+// classSeq tags each shared class with a process-unique memo scope: engines
+// of different classes must never share memoized results (their auxiliary
+// tables are class-specific), even when their view fingerprints collide.
+var classSeq atomic.Int64
+
 // NewSharedEngines builds the coordinator. Call Init before Apply.
 func NewSharedEngines(sp *core.SharedPlan) *SharedEngines {
 	se := &SharedEngines{sp: sp, tables: make(map[string]*AuxTable)}
+	scope := fmt.Sprintf("class%d", classSeq.Add(1))
 	for t, def := range sp.Aux {
 		if def.Omitted {
 			continue
@@ -48,6 +67,12 @@ func NewSharedEngines(sp *core.SharedPlan) *SharedEngines {
 			viewTables[t] = se.tables[t]
 		}
 		eng := newEngine(plan, viewTables, sp.Residual[i], true)
+		eng.memoScope = scope
+		// Pre-build every index the lazy recomputation paths would create
+		// mid-apply: parallel staging must never mutate the shared tables.
+		if err := eng.prepareSharedIndexes(); err != nil {
+			panic(err)
+		}
 		se.engines = append(se.engines, eng)
 	}
 	return se
@@ -126,12 +151,46 @@ func (se *SharedEngines) Apply(d Delta) error {
 			return err
 		}
 	}
+	var memo *DeltaMemo
+	if !se.DisableMemo {
+		memo = NewDeltaMemo()
+	}
+	staged := make([]bool, len(se.engines))
+	errs := make([]error, len(se.engines))
+	if workers := poolSize(se.Workers, len(se.engines)); workers <= 1 {
+		for i, eng := range se.engines {
+			if aerr := eng.StageWithMemo(d, memo); aerr != nil {
+				errs[i] = aerr
+				break
+			}
+			staged[i] = true
+		}
+	} else {
+		// Every engine stages concurrently: the shared tables are quiescent
+		// (auxApply above already ran), engines read them only through their
+		// private probe scratch, and each engine journals only its own
+		// materialized groups.
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, eng := range se.engines {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int, eng *Engine) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if aerr := eng.StageWithMemo(d, memo); aerr != nil {
+					errs[i] = aerr
+					return
+				}
+				staged[i] = true
+			}(i, eng)
+		}
+		wg.Wait()
+	}
 	var err error
-	staged := 0
-	for i, eng := range se.engines {
-		if aerr := eng.ApplyStaged(d); aerr != nil {
+	for i, aerr := range errs {
+		if aerr != nil {
 			err = fmt.Errorf("maintain: shared view %s: %w", se.sp.Views[i].Name, aerr)
-			staged = i
 			break
 		}
 	}
@@ -142,13 +201,32 @@ func (se *SharedEngines) Apply(d Delta) error {
 		se.jnl.discard()
 		return nil
 	}
-	// Engine `staged` rolled itself back; undo the earlier engines in
-	// reverse order, then the shared tables.
-	for i := staged - 1; i >= 0; i-- {
-		se.engines[i].Rollback()
+	// Failing engines rolled themselves back inside StageWithMemo; undo the
+	// successfully staged engines newest-first, then the shared tables, so
+	// the class is bit-identical to its pre-delta state.
+	for i := len(se.engines) - 1; i >= 0; i-- {
+		if staged[i] {
+			se.engines[i].Rollback()
+		}
 	}
 	se.jnl.rollback()
 	return err
+}
+
+// poolSize resolves a worker-pool request against the number of tasks:
+// 0 means GOMAXPROCS, and the pool never exceeds the task count.
+func poolSize(requested, tasks int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // SetFaultHook installs (nil removes) a fault-injection hook on every view

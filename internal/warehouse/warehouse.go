@@ -14,9 +14,11 @@ package warehouse
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mindetail/internal/answer"
 	"mindetail/internal/csvload"
@@ -38,6 +40,21 @@ type View struct {
 	Def    *gpsj.View
 	Plan   *core.Plan
 	Engine *maintain.Engine
+
+	// ver counts committed deltas that touched this view; snap caches the
+	// last user-facing relation together with the version it was built at.
+	// Together they give Query a lock-free fast path: a cached snapshot
+	// whose version still matches is immutable published state — readers
+	// see the pre-delta relation while a propagation is in flight and the
+	// post-delta one after it commits, never a torn intermediate.
+	ver  atomic.Uint64
+	snap atomic.Pointer[viewSnap]
+}
+
+// viewSnap is one immutable published snapshot of a view's contents.
+type viewSnap struct {
+	ver uint64
+	rel *ra.Relation
 }
 
 // Warehouse owns the catalog, the (detachable) sources, and the
@@ -53,6 +70,17 @@ type Warehouse struct {
 	detached bool
 	fi       *faultinject.Hook
 
+	// viewIdx is a copy-on-write index of views, republished (under mu)
+	// whenever a view is added, so Query can locate a view without taking
+	// any lock.
+	viewIdx atomic.Pointer[map[string]*View]
+
+	// epoch counts committed propagations. Engines record the epoch they
+	// were created at in their memo scope: only views initialized from the
+	// same source state may share memoized per-delta work (equal SQL after
+	// different histories could differ in float accumulation order).
+	epoch uint64
+
 	// UseNeedSets configures engines created by subsequent CREATE VIEW
 	// statements (Need-set-restricted delta joins, on by default).
 	UseNeedSets bool
@@ -61,6 +89,21 @@ type Warehouse struct {
 	// the sources only ever receive insertions, MIN/MAX compress into the
 	// auxiliary views, and deletions/updates are rejected.
 	AppendOnly bool
+
+	// PropagateWorkers bounds the number of view engines staging one delta
+	// concurrently; 0 means GOMAXPROCS, 1 forces the serial path. Commit
+	// and rollback remain serial in view order either way.
+	PropagateWorkers int
+
+	// DisableMemo turns off cross-view work sharing through the per-delta
+	// DeltaMemo — the verification/baseline configuration.
+	DisableMemo bool
+
+	// DisableSnapshots makes Query bypass the copy-on-write snapshot cache
+	// and rebuild the result under the read lock on every call (the
+	// pre-snapshot behavior, kept as a baseline and for callers that want
+	// a private mutable relation).
+	DisableSnapshots bool
 }
 
 // New creates an empty warehouse.
@@ -226,12 +269,27 @@ func (w *Warehouse) createView(st *sqlparse.CreateView) error {
 	}
 	eng := maintain.NewEngine(plan)
 	eng.UseNeedSets = w.UseNeedSets
+	// Views created at the same epoch are initialized from the same source
+	// state, so equal-fingerprint engines are bit-identical replicas and may
+	// share per-delta memoized work; later-created views get a later epoch.
+	eng.SetMemoScope(fmt.Sprintf("epoch%d", w.epoch))
 	if err := eng.Init(w.srcRel); err != nil {
 		return err
 	}
 	w.views[st.Name] = &View{Def: v, Plan: plan, Engine: eng}
 	w.order = append(w.order, st.Name)
+	w.publishViewIndex()
 	return nil
+}
+
+// publishViewIndex republishes the copy-on-write view index. Callers hold
+// w.mu.
+func (w *Warehouse) publishViewIndex() {
+	idx := make(map[string]*View, len(w.views))
+	for n, v := range w.views {
+		idx[n] = v
+	}
+	w.viewIdx.Store(&idx)
 }
 
 func (w *Warehouse) srcRel(table string) *ra.Relation {
@@ -272,11 +330,16 @@ func (w *Warehouse) RestoreView(name, selectSQL string, appendOnly bool, st *mai
 	}
 	eng := maintain.NewEngine(plan)
 	eng.UseNeedSets = w.UseNeedSets
+	// A restored engine's state comes from a snapshot with an unknown
+	// history, so it must never share memoized work: give it a scope of its
+	// own (view names are unique within a warehouse).
+	eng.SetMemoScope("restored:" + name)
 	if err := eng.ImportState(st); err != nil {
 		return err
 	}
 	w.views[name] = &View{Def: v, Plan: plan, Engine: eng}
 	w.order = append(w.order, name)
+	w.publishViewIndex()
 	return nil
 }
 
@@ -462,21 +525,70 @@ func (w *Warehouse) update(st *sqlparse.Update) error {
 
 // propagate applies a delta to every materialized view's engine,
 // atomically across views: each engine stages the delta (its own undo log
-// retained); when every engine succeeds they all commit, and when view k
-// fails, views 1..k-1 are rolled back in reverse order so no view ever
+// retained); when every engine succeeds they all commit, and when any view
+// fails, the staged views are rolled back in reverse order so no view ever
 // reflects a delta that others rejected.
+//
+// Independent views stage concurrently on a bounded worker pool, sharing
+// per-delta work (expansion, filtering, delta-detail joins, group
+// recomputation) through a DeltaMemo; commit and rollback stay serial in
+// view order, and snapshot versions are bumped only after every engine has
+// committed, so readers on the lock-free Query path never observe a
+// half-propagated delta.
 func (w *Warehouse) propagate(d maintain.Delta) error {
-	staged := 0
-	var err error
-	for i, name := range w.order {
-		if ferr := w.fi.Fire(faultinject.PropagateView); ferr != nil {
-			err = fmt.Errorf("warehouse: view %s: %w", name, ferr)
-			staged = i
-			break
+	n := len(w.order)
+	if n == 0 {
+		w.epoch++
+		return nil
+	}
+	var memo *maintain.DeltaMemo
+	if !w.DisableMemo {
+		memo = maintain.NewDeltaMemo()
+	}
+	staged := make([]bool, n)
+	errs := make([]error, n)
+	if workers := w.propagatePool(n); workers <= 1 {
+		for i, name := range w.order {
+			if ferr := w.fi.Fire(faultinject.PropagateView); ferr != nil {
+				errs[i] = ferr
+				break
+			}
+			if aerr := w.views[name].Engine.StageWithMemo(d, memo); aerr != nil {
+				errs[i] = aerr
+				break
+			}
+			staged[i] = true
 		}
-		if aerr := w.views[name].Engine.ApplyStaged(d); aerr != nil {
-			err = fmt.Errorf("warehouse: view %s: %w", name, aerr)
-			staged = i
+	} else {
+		// The injection point fires on the coordinating goroutine in view
+		// order, so fault sweeps visit it deterministically; the staging
+		// itself fans out. Each engine journals only its own state, so
+		// staging goroutines share nothing but the read-only memo.
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, name := range w.order {
+			if ferr := w.fi.Fire(faultinject.PropagateView); ferr != nil {
+				errs[i] = ferr
+				break
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int, eng *maintain.Engine) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if aerr := eng.StageWithMemo(d, memo); aerr != nil {
+					errs[i] = aerr
+					return
+				}
+				staged[i] = true
+			}(i, w.views[name].Engine)
+		}
+		wg.Wait()
+	}
+	var err error
+	for i, aerr := range errs {
+		if aerr != nil {
+			err = fmt.Errorf("warehouse: view %s: %w", w.order[i], aerr)
 			break
 		}
 	}
@@ -484,14 +596,37 @@ func (w *Warehouse) propagate(d maintain.Delta) error {
 		for _, name := range w.order {
 			w.views[name].Engine.Commit()
 		}
+		// Invalidate cached snapshots, but only of views the delta can
+		// actually change: the rest keep serving their snapshot untouched.
+		for _, name := range w.order {
+			if mv := w.views[name]; mv.Engine.References(d.Table) {
+				mv.ver.Add(1)
+			}
+		}
+		w.epoch++
 		return nil
 	}
-	// The failing engine rolled itself back inside ApplyStaged; undo the
-	// engines that already staged the delta, newest first.
-	for i := staged - 1; i >= 0; i-- {
-		w.views[w.order[i]].Engine.Rollback()
+	// Failing engines rolled themselves back inside StageWithMemo; undo the
+	// successfully staged engines, newest first. Versions were never bumped,
+	// so cached snapshots stay valid — readers never saw the delta.
+	for i := n - 1; i >= 0; i-- {
+		if staged[i] {
+			w.views[w.order[i]].Engine.Rollback()
+		}
 	}
 	return err
+}
+
+// propagatePool resolves the staging worker-pool size for n views.
+func (w *Warehouse) propagatePool(n int) int {
+	p := w.PropagateWorkers
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	return p
 }
 
 // ApplyDelta propagates an externally produced delta (a change-log entry)
@@ -568,7 +703,24 @@ func (w *Warehouse) ImportCSV(table string, r io.Reader, header bool) (int, erro
 }
 
 // Query returns the current contents of a materialized view.
+//
+// The returned relation is an immutable published snapshot shared between
+// callers: treat it as read-only (set DisableSnapshots for a private
+// mutable copy). The fast path is lock-free — while a delta is being
+// applied, readers are served the pre-delta snapshot without blocking, and
+// the post-delta state becomes visible only after every view committed, so
+// a reader never observes a torn or half-propagated view.
 func (w *Warehouse) Query(view string) (*ra.Relation, error) {
+	if !w.DisableSnapshots {
+		if idx := w.viewIdx.Load(); idx != nil {
+			if mv := (*idx)[view]; mv != nil {
+				if s := mv.snap.Load(); s != nil && s.ver == mv.ver.Load() {
+					return s.rel, nil
+				}
+				return w.rebuildSnap(mv)
+			}
+		}
+	}
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	mv := w.views[view]
@@ -576,6 +728,22 @@ func (w *Warehouse) Query(view string) (*ra.Relation, error) {
 		return nil, fmt.Errorf("warehouse: unknown view %s", view)
 	}
 	return mv.Def.ApplyHaving(mv.Engine.Snapshot())
+}
+
+// rebuildSnap materializes and publishes a fresh snapshot of mv. The read
+// lock excludes writers (propagation runs under the write lock), so the
+// engine state is stable and corresponds exactly to the version read here;
+// concurrent rebuilds of the same version store interchangeable snapshots.
+func (w *Warehouse) rebuildSnap(mv *View) (*ra.Relation, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	ver := mv.ver.Load()
+	rel, err := mv.Def.ApplyHaving(mv.Engine.Snapshot())
+	if err != nil {
+		return nil, err
+	}
+	mv.snap.Store(&viewSnap{ver: ver, rel: rel})
+	return rel, nil
 }
 
 // Verify recomputes every view from the sources and compares. It fails

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race race-all faultinject cover bench bench-json harness examples clean
+.PHONY: all verify build vet test race race-all faultinject cover bench bench-json obs-bench harness examples clean
 
 all: build vet test faultinject race
 
@@ -21,9 +21,10 @@ test:
 
 # Race-check the concurrent layers: plan signatures, the maintenance
 # engine (recompute worker pool, delta memo, parallel shared-class
-# staging), and the warehouse (parallel propagation, lock-free reads).
+# staging), the warehouse (parallel propagation, lock-free reads), and
+# the lock-free observability primitives.
 race:
-	$(GO) test -race ./internal/core/... ./internal/maintain/... ./internal/warehouse/...
+	$(GO) test -race ./internal/core/... ./internal/maintain/... ./internal/warehouse/... ./internal/obs/...
 
 race-all:
 	$(GO) test -race ./...
@@ -45,6 +46,11 @@ bench:
 # results (ns/op, B/op, allocs/op) next to the recorded seed baseline.
 bench-json:
 	$(GO) run ./cmd/benchharness -json BENCH_maintain.json
+
+# Micro-benchmarks of the observability primitives themselves (counter
+# adds, histogram observes, trace-ring records), sequential and parallel.
+obs-bench:
+	$(GO) test -bench=. -benchmem ./internal/obs/
 
 # Regenerate every paper table/figure and the ablations.
 harness:

@@ -245,7 +245,10 @@ func needSetsBench(b *testing.B, use bool) {
 		if err != nil {
 			return nil, err
 		}
-		eng := maintain.NewEngine(p)
+		eng, err := maintain.NewEngine(p)
+		if err != nil {
+			return nil, err
+		}
 		eng.UseNeedSets = use
 		if err := eng.Init(env.Src); err != nil {
 			return nil, err

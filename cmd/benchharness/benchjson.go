@@ -10,6 +10,7 @@ import (
 
 	"mindetail/internal/experiments"
 	"mindetail/internal/maintain"
+	"mindetail/internal/obs"
 	"mindetail/internal/tuple"
 	"mindetail/internal/types"
 	"mindetail/internal/workload"
@@ -35,6 +36,11 @@ type benchReport struct {
 	GoArch      string        `json:"goarch"`
 	Baseline    []benchResult `json:"baseline_full_recompute_seed"`
 	Benchmarks  []benchResult `json:"benchmarks"`
+
+	// StageHistograms carries the per-stage latency distributions (p50/p95/
+	// p99) recorded by the observability layer during the instrumented bench
+	// runs, keyed by benchmark name then metric name.
+	StageHistograms map[string]map[string]obs.HistogramSnapshot `json:"stage_histograms"`
 }
 
 // seedBaseline are the seed-commit measurements of the same scenarios,
@@ -85,10 +91,19 @@ func smallDeltaEngine(forceFull bool) (*maintain.Engine, [2]tuple.Tuple, error) 
 	return eng, [2]tuple.Tuple{old, alt}, nil
 }
 
-func benchSmallDelta(forceFull bool) (testing.BenchmarkResult, error) {
+// benchSmallDelta runs the headline scenario. withObs=true attaches a live
+// metrics sink (per-stage histograms, apply traces) and returns its registry
+// so the report can embed the stage distributions; withObs=false measures
+// the instrumentation-free hot path.
+func benchSmallDelta(forceFull, withObs bool) (testing.BenchmarkResult, *obs.Registry, error) {
 	eng, imgs, err := smallDeltaEngine(forceFull)
 	if err != nil {
-		return testing.BenchmarkResult{}, err
+		return testing.BenchmarkResult{}, nil, err
+	}
+	var reg *obs.Registry
+	if withObs {
+		reg = obs.NewRegistry()
+		eng.SetMetrics(maintain.NewMetrics(reg))
 	}
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -101,7 +116,19 @@ func benchSmallDelta(forceFull bool) (testing.BenchmarkResult, error) {
 			}
 		}
 	})
-	return r, nil
+	return r, reg, nil
+}
+
+// histSnapshots extracts the non-empty histogram snapshots from a registry,
+// keyed by metric name.
+func histSnapshots(reg *obs.Registry) map[string]obs.HistogramSnapshot {
+	out := map[string]obs.HistogramSnapshot{}
+	for name, h := range reg.Snapshot().Histograms {
+		if h.Count > 0 {
+			out[name] = h
+		}
+	}
+	return out
 }
 
 // runBenchJSON measures the maintenance hot-path benchmarks and writes
@@ -110,14 +137,22 @@ func benchSmallDelta(forceFull bool) (testing.BenchmarkResult, error) {
 // invocation.
 func runBenchJSON(path string) error {
 	var results []benchResult
+	stageHists := map[string]map[string]obs.HistogramSnapshot{}
 
-	scoped, err := benchSmallDelta(false)
+	scoped, reg, err := benchSmallDelta(false, true)
 	if err != nil {
 		return err
 	}
 	results = append(results, toResult("ApplySmallDeltaLargeAux", scoped))
+	stageHists["ApplySmallDeltaLargeAux"] = histSnapshots(reg)
 
-	full, err := benchSmallDelta(true)
+	noObs, _, err := benchSmallDelta(false, false)
+	if err != nil {
+		return err
+	}
+	results = append(results, toResult("ApplySmallDeltaLargeAux/no-obs", noObs))
+
+	full, _, err := benchSmallDelta(true, false)
 	if err != nil {
 		return err
 	}
@@ -145,19 +180,20 @@ func runBenchJSON(path string) error {
 	})))
 	_ = sink
 
-	fanout, err := runFanoutBenches()
+	fanout, err := runFanoutBenches(stageHists)
 	if err != nil {
 		return err
 	}
 	results = append(results, fanout...)
 
 	rep := benchReport{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GoOS:        runtime.GOOS,
-		GoArch:      runtime.GOARCH,
-		Baseline:    seedBaseline,
-		Benchmarks:  results,
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		GoOS:            runtime.GOOS,
+		GoArch:          runtime.GOARCH,
+		Baseline:        seedBaseline,
+		Benchmarks:      results,
+		StageHistograms: stageHists,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mindetail/internal/maintain"
+	"mindetail/internal/obs"
 	"mindetail/internal/tuple"
 	"mindetail/internal/types"
 	"mindetail/internal/warehouse"
@@ -55,12 +56,16 @@ func fanoutWarehouse(n int, serial bool) (*warehouse.Warehouse, [2]tuple.Tuple, 
 // benchFanout measures one delta propagated through n identical views. The
 // flip counter lives outside the benchmark closure so the alternating
 // update stream stays consistent across testing.Benchmark's internal
-// restarts with growing b.N.
-func benchFanout(n int, serial bool) (testing.BenchmarkResult, error) {
+// restarts with growing b.N. obsOn=false switches off the warehouse's
+// time-based instrumentation (stage histograms, propagate clock) to measure
+// the observability overhead; the warehouse is returned so callers can
+// snapshot its metric registry after an instrumented run.
+func benchFanout(n int, serial, obsOn bool) (testing.BenchmarkResult, *warehouse.Warehouse, error) {
 	w, imgs, err := fanoutWarehouse(n, serial)
 	if err != nil {
-		return testing.BenchmarkResult{}, err
+		return testing.BenchmarkResult{}, nil, err
 	}
+	w.SetObs(obsOn)
 	flip := 0
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -74,7 +79,7 @@ func benchFanout(n int, serial bool) (testing.BenchmarkResult, error) {
 			}
 		}
 	})
-	return r, nil
+	return r, w, nil
 }
 
 // benchQueryUnderWriteLoad measures Query latency on an 8-view warehouse
@@ -127,20 +132,32 @@ func benchQueryUnderWriteLoad(locked bool) (testing.BenchmarkResult, error) {
 
 // runFanoutBenches measures the fan-out propagation and concurrent-read
 // scenarios, returning results in report order (memoized/parallel first,
-// then its serial baseline).
-func runFanoutBenches() ([]benchResult, error) {
+// then its serial baseline). The 32-view scenario additionally runs with
+// instrumentation disabled ("/no-obs") to expose the observability
+// overhead, and its instrumented run's stage histograms are recorded into
+// stageHists for the report.
+func runFanoutBenches(stageHists map[string]map[string]obs.HistogramSnapshot) ([]benchResult, error) {
 	var out []benchResult
 	for _, n := range []int{8, 32} {
-		par, err := benchFanout(n, false)
+		name := fmt.Sprintf("PropagateFanout%dViews", n)
+		par, w, err := benchFanout(n, false, true)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, toResult(fmt.Sprintf("PropagateFanout%dViews", n), par))
-		ser, err := benchFanout(n, true)
+		out = append(out, toResult(name, par))
+		if n == 32 {
+			stageHists[name] = histSnapshots(w.ObsRegistry())
+			noObs, _, err := benchFanout(n, false, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, toResult(name+"/no-obs", noObs))
+		}
+		ser, _, err := benchFanout(n, true, true)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, toResult(fmt.Sprintf("PropagateFanout%dViews/serial", n), ser))
+		out = append(out, toResult(name+"/serial", ser))
 	}
 	snap, err := benchQueryUnderWriteLoad(false)
 	if err != nil {

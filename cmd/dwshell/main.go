@@ -21,14 +21,17 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"mindetail/internal/csvload"
+	"mindetail/internal/obs"
 	"mindetail/internal/persist"
 	"mindetail/internal/warehouse"
 )
 
 func main() {
 	file := flag.String("f", "", "SQL script to execute before the prompt")
+	obsAddr := flag.String("obs", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	w := warehouse.New()
@@ -44,6 +47,18 @@ func main() {
 		}
 	}
 	sh := &shell{w: w, out: os.Stdout, prompt: true}
+	sh.live.Store(w)
+	if *obsAddr != "" {
+		// The getter re-reads the live warehouse per request, so the server
+		// keeps serving the current registry after \load swaps it out.
+		addr, closer, err := obs.Serve(*obsAddr, sh.registry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dwshell:", err)
+			os.Exit(1)
+		}
+		defer closer.Close()
+		fmt.Fprintf(os.Stderr, "dwshell: observability on http://%s/metrics\n", addr)
+	}
 	sh.run(os.Stdin)
 }
 
@@ -54,6 +69,19 @@ type shell struct {
 	out    io.Writer
 	prompt bool
 	buf    strings.Builder
+
+	// live mirrors w for the -obs HTTP goroutine: the REPL goroutine stores
+	// it on every \load, the metrics server loads it per request, so the
+	// swap is race-clean without locking the REPL.
+	live atomic.Pointer[warehouse.Warehouse]
+}
+
+// registry returns the live warehouse's metric registry (for obs.Serve).
+func (s *shell) registry() *obs.Registry {
+	if w := s.live.Load(); w != nil {
+		return w.ObsRegistry()
+	}
+	return nil
 }
 
 func (s *shell) printf(format string, args ...any) {
@@ -123,6 +151,7 @@ func (s *shell) meta(cmd string) bool {
   \plan VIEW       show the derivation (join graph, Need sets, auxiliary views)
   \graph VIEW      show the extended join graph in Graphviz DOT
   \report          storage report for all views
+  \metrics         observability snapshot (counters, latency histograms, traces)
   \verify          check every view against recomputation
   \import TABLE F  bulk-load CSV file F into TABLE (positional columns)
   \export VIEW F   write a view's contents to CSV file F
@@ -157,6 +186,8 @@ func (s *shell) meta(cmd string) bool {
 		}
 	case `\report`:
 		s.printf("%s", warehouse.FormatReport(s.w.Report()))
+	case `\metrics`:
+		s.printf("%s", s.w.MetricsSnapshot().Format())
 	case `\verify`:
 		if err := s.w.Verify(); err != nil {
 			s.printf("error: %v\n", err)
@@ -243,6 +274,7 @@ func (s *shell) meta(cmd string) bool {
 			break
 		}
 		s.w = w
+		s.live.Store(w)
 		s.printf("restored from %s (%d views)\n", fields[1], len(w.ViewNames()))
 	default:
 		s.printf("unknown command %s (\\help for help)\n", fields[0])

@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"mindetail/internal/experiments"
+	"mindetail/internal/maintain"
+	"mindetail/internal/obs"
 	"mindetail/internal/workload"
 )
 
@@ -23,15 +25,16 @@ func main() {
 	deltas := flag.Int("deltas", 1000, "number of deltas to stream")
 	mixName := flag.String("mix", "default", "delta mix: default or insert-only")
 	view := flag.String("view", "paper", "view: paper, csmas, or elimination")
+	metrics := flag.Bool("metrics", false, "dump the observability snapshot (stage histograms, counters, traces) as JSON after the run")
 	flag.Parse()
 
-	if err := run(os.Stdout, *scale, *deltas, *mixName, *view); err != nil {
+	if err := run(os.Stdout, *scale, *deltas, *mixName, *view, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "dwsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, scale, deltas int, mixName, view string) error {
+func run(w io.Writer, scale, deltas int, mixName, view string, metrics bool) error {
 	var mix workload.Mix
 	switch mixName {
 	case "default":
@@ -84,6 +87,11 @@ func run(w io.Writer, scale, deltas int, mixName, view string) error {
 	}
 	// The change log is prepared; from here on the warehouse would be
 	// detached from the sources.
+	var reg *obs.Registry
+	if metrics {
+		reg = obs.NewRegistry()
+		eng.SetMetrics(maintain.NewMetrics(reg))
+	}
 	eng.ResetStats()
 	start = time.Now()
 	for _, d := range ds {
@@ -99,6 +107,13 @@ func run(w io.Writer, scale, deltas int, mixName, view string) error {
 	fmt.Fprintf(w, "  detail rows joined: %d, aux lookups: %d, group adjusts: %d, group recomputes: %d\n",
 		stats.DetailRows, stats.AuxLookups, stats.GroupAdjusts, stats.GroupRecomputes)
 	fmt.Fprintf(w, "  view groups: %d, aux bytes now: %d\n", eng.Groups(), eng.AuxBytes())
+	if reg != nil {
+		data, err := reg.Snapshot().MarshalJSONIndent()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nmetrics:\n%s\n", data)
+	}
 	return nil
 }
 

@@ -8,7 +8,7 @@ import (
 func TestRunSimulator(t *testing.T) {
 	for _, view := range []string{"paper", "csmas", "elimination"} {
 		var b strings.Builder
-		if err := run(&b, 1500, 30, "default", view); err != nil {
+		if err := run(&b, 1500, 30, "default", view, false); err != nil {
 			t.Fatalf("%s: %v", view, err)
 		}
 		out := b.String()
@@ -22,7 +22,7 @@ func TestRunSimulator(t *testing.T) {
 
 func TestRunInsertOnlyMix(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 1500, 20, "insert-only", "csmas"); err != nil {
+	if err := run(&b, 1500, 20, "insert-only", "csmas", false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "group adjusts") {
@@ -32,10 +32,23 @@ func TestRunInsertOnlyMix(t *testing.T) {
 
 func TestRunBadArgs(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 1000, 10, "bogus", "paper"); err == nil {
+	if err := run(&b, 1000, 10, "bogus", "paper", false); err == nil {
 		t.Error("bad mix accepted")
 	}
-	if err := run(&b, 1000, 10, "default", "bogus"); err == nil {
+	if err := run(&b, 1000, 10, "default", "bogus", false); err == nil {
 		t.Error("bad view accepted")
+	}
+}
+
+func TestRunMetricsDump(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 1500, 20, "default", "paper", true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"metrics:", "maintain.apply_ns", "maintain.stage.delta_detail_join_ns", "\"maintain.applies\": 20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -91,7 +91,7 @@ func PSJEngine(v *gpsj.View) (*maintain.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return maintain.NewEngine(p), nil
+	return maintain.NewEngine(p)
 }
 
 // Replica is the full-replication baseline: the warehouse stores verbatim

@@ -210,7 +210,10 @@ func TestCompressionBeatsPSJOnStorage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	minEng := maintain.NewEngine(minPlan)
+	minEng, err := maintain.NewEngine(minPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := minEng.Init(srcOf(db)); err != nil {
 		t.Fatal(err)
 	}

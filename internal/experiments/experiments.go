@@ -80,7 +80,10 @@ func (e *Env) MinimalEngine(viewSQL string) (*maintain.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := maintain.NewEngine(p)
+	eng, err := maintain.NewEngine(p)
+	if err != nil {
+		return nil, err
+	}
 	if err := eng.Init(e.Src); err != nil {
 		return nil, err
 	}
@@ -498,7 +501,10 @@ func AblationNeedSets(factTuples, deltas int) ([]NeedSetsResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng := maintain.NewEngine(p)
+		eng, err := maintain.NewEngine(p)
+		if err != nil {
+			return nil, err
+		}
 		eng.UseNeedSets = use
 		if err := eng.Init(env.Src); err != nil {
 			return nil, err
@@ -554,7 +560,10 @@ func AblationAppendOnly(factTuples int) (*AppendOnlyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	stdEng := maintain.NewEngine(std)
+	stdEng, err := maintain.NewEngine(std)
+	if err != nil {
+		return nil, err
+	}
 	if err := stdEng.Init(env.Src); err != nil {
 		return nil, err
 	}
@@ -562,7 +571,10 @@ func AblationAppendOnly(factTuples int) (*AppendOnlyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	relEng := maintain.NewEngine(relaxed)
+	relEng, err := maintain.NewEngine(relaxed)
+	if err != nil {
+		return nil, err
+	}
 	if err := relEng.Init(env.Src); err != nil {
 		return nil, err
 	}

@@ -30,7 +30,7 @@ func appendOnlyFixture(t *testing.T, viewSQL string) *fixture {
 		t.Fatal(err)
 	}
 	f := &fixture{t: t, cat: cat, db: storage.NewDB(cat), view: v, saleID: 1000}
-	f.engine = NewEngine(p)
+	f.engine = mustEngine(t, p)
 	f.engine.UseNeedSets = true
 	return f
 }
@@ -143,7 +143,7 @@ func TestAppendOnlyEliminationRelaxed(t *testing.T) {
 
 	// And maintenance works: the MAX is raised from insert deltas alone.
 	f := &fixture{t: t, cat: cat, db: storage.NewDB(cat), view: v, saleID: 1000}
-	f.engine = NewEngine(ao)
+	f.engine = mustEngine(t, ao)
 	f.seedRetail()
 	f.initEngine()
 	f.insertSale(1, 100, 7, 500)
@@ -179,7 +179,7 @@ func TestAppendOnlyDistinctStillBlocks(t *testing.T) {
 
 	// Maintenance with inserts stays exact (recompute path over the aux).
 	f := &fixture{t: t, cat: cat, db: storage.NewDB(cat), view: v, saleID: 1000}
-	f.engine = NewEngine(p)
+	f.engine = mustEngine(t, p)
 	f.seedRetail()
 	f.initEngine()
 	f.insertSale(1, 100, 8, 3)

@@ -46,8 +46,11 @@ type AuxTable struct {
 	fi  *faultinject.Hook
 }
 
-// NewAuxTable creates an empty table for the auxiliary view definition.
-func NewAuxTable(def *core.AuxView) *AuxTable {
+// NewAuxTable creates an empty table for the auxiliary view definition. A
+// definition whose aggregate columns are missing from its own schema (which
+// can only mean a corrupted or hand-built definition) surfaces as a
+// returned error, never a panic.
+func NewAuxTable(def *core.AuxView) (*AuxTable, error) {
 	t := &AuxTable{
 		def:    def,
 		cols:   def.Schema(),
@@ -65,32 +68,32 @@ func NewAuxTable(def *core.AuxView) *AuxTable {
 	for _, a := range def.SumAttrs {
 		i, err := t.cols.Index(def.Base, def.SumName[a])
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("maintain: aux view for %s: SUM(%s) column: %w", def.Base, a, err)
 		}
 		t.sumPos[a] = i
 	}
 	for _, a := range def.MinAttrs {
 		i, err := t.cols.Index(def.Base, def.MinName[a])
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("maintain: aux view for %s: MIN(%s) column: %w", def.Base, a, err)
 		}
 		t.minPos[a] = i
 	}
 	for _, a := range def.MaxAttrs {
 		i, err := t.cols.Index(def.Base, def.MaxName[a])
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("maintain: aux view for %s: MAX(%s) column: %w", def.Base, a, err)
 		}
 		t.maxPos[a] = i
 	}
 	if def.HasCount {
 		i, err := t.cols.Index(def.Base, def.CountName)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("maintain: aux view for %s: COUNT column: %w", def.Base, err)
 		}
 		t.cntPos = i
 	}
-	return t
+	return t, nil
 }
 
 // Def returns the auxiliary view definition.

@@ -3,6 +3,7 @@ package maintain
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"mindetail/internal/core"
 	"mindetail/internal/faultinject"
@@ -156,6 +157,14 @@ type Engine struct {
 	fi *faultinject.Hook
 
 	stats engineStats
+
+	// met is the observability sink (nil = instrumentation off, not even
+	// clock reads); stageNs accumulates per-stage nanoseconds across one
+	// apply for the trace event. The engine is driven by one goroutine, so
+	// the accumulator needs no synchronization even when staging runs under
+	// the warehouse's parallel propagation pool.
+	met     *Metrics
+	stageNs [numStages]int64
 }
 
 // auxApplyPlan caches the base-row positions auxApply projects from, so the
@@ -169,13 +178,20 @@ type auxApplyPlan struct {
 }
 
 // NewEngine creates an engine for a derived plan. Call Init before Apply.
-func NewEngine(plan *core.Plan) *Engine {
+// A plan whose auxiliary definitions are inconsistent with the catalog (a
+// stored attribute missing from its schema, an unindexable key) surfaces as
+// a returned error, never a panic.
+func NewEngine(plan *core.Plan) (*Engine, error) {
 	tables := make(map[string]*AuxTable)
 	for t, def := range plan.Aux {
 		if def.Omitted {
 			continue
 		}
-		tables[t] = NewAuxTable(def)
+		at, err := NewAuxTable(def)
+		if err != nil {
+			return nil, fmt.Errorf("maintain: auxiliary table for %s: %w", t, err)
+		}
+		tables[t] = at
 	}
 	return newEngine(plan, tables, nil, false)
 }
@@ -183,7 +199,7 @@ func NewEngine(plan *core.Plan) *Engine {
 // newEngine wires an engine over the given auxiliary tables. With shared
 // tables, residual carries the view's unenforced local conditions and
 // skipAux leaves table maintenance to the coordinator.
-func newEngine(plan *core.Plan, tables map[string]*AuxTable, residual map[string][]ra.Comparison, skipAux bool) *Engine {
+func newEngine(plan *core.Plan, tables map[string]*AuxTable, residual map[string][]ra.Comparison, skipAux bool) (*Engine, error) {
 	e := &Engine{
 		plan:        plan,
 		view:        plan.View,
@@ -219,14 +235,14 @@ func newEngine(plan *core.Plan, tables map[string]*AuxTable, residual map[string
 		key := e.view.Catalog().Table(t).Key
 		if contains(at.def.PlainAttrs, key) {
 			if err := at.EnsureIndex(key); err != nil {
-				panic(err)
+				return nil, fmt.Errorf("maintain: index on %s.%s: %w", t, key, err)
 			}
 		}
 		for child, j := range e.graph.EdgeTo {
 			_ = child
 			if j.Left == t && contains(at.def.PlainAttrs, j.LeftAttr) {
 				if err := at.EnsureIndex(j.LeftAttr); err != nil {
-					panic(err)
+					return nil, fmt.Errorf("maintain: index on %s.%s: %w", t, j.LeftAttr, err)
 				}
 			}
 		}
@@ -250,7 +266,7 @@ func newEngine(plan *core.Plan, tables map[string]*AuxTable, residual map[string
 	}
 	filt(e.graph.Root)
 	delete(e.filtering, e.graph.Root) // root membership is its own local conds, applied to deltas directly
-	return e
+	return e, nil
 }
 
 // Plan returns the derivation plan the engine maintains.
@@ -372,7 +388,26 @@ func (e *Engine) ApplyStaged(d Delta) error { return e.StageWithMemo(d, nil) }
 // results are consumed read-only (see DeltaMemo for the soundness
 // argument). Each engine may be driven by at most one goroutine, but
 // different engines of one propagation may stage concurrently.
+//
+// With a Metrics sink attached (SetMetrics), each apply records its
+// end-to-end latency, journal depth, and a trace event carrying the
+// per-stage timings; deltas for unreferenced tables bypass even the clock
+// reads.
 func (e *Engine) StageWithMemo(d Delta, m *DeltaMemo) error {
+	if e.met == nil || !e.tableSet[d.Table] {
+		return e.stageWithMemo(d, m)
+	}
+	start := time.Now()
+	for i := range e.stageNs {
+		e.stageNs[i] = 0
+	}
+	err := e.stageWithMemo(d, m)
+	e.recordApply(d, time.Since(start).Nanoseconds(), err)
+	return err
+}
+
+// stageWithMemo is the staging body behind StageWithMemo.
+func (e *Engine) stageWithMemo(d Delta, m *DeltaMemo) error {
 	t := d.Table
 	if !e.tableSet[t] {
 		return nil // table not referenced by the view
@@ -411,18 +446,34 @@ func (e *Engine) StageWithMemo(d Delta, m *DeltaMemo) error {
 	e.stats.deltasApplied.Add(1)
 	e.jnl.begin()
 	if err := e.applyMutations(t, d, signed); err != nil {
-		e.jnl.rollback()
+		e.rollbackJournal(err)
 		return err
 	}
 	return nil
 }
 
 // Commit discards the undo journal of a successful staged apply.
-func (e *Engine) Commit() { e.jnl.discard() }
+func (e *Engine) Commit() {
+	if e.met == nil || !e.jnl.recording {
+		// No sink, or nothing staged (the delta's table was unreferenced):
+		// commit is a free no-op — don't pollute the commit histogram.
+		e.jnl.discard()
+		return
+	}
+	start := time.Now()
+	e.jnl.discard()
+	e.met.stages[StageCommit].Observe(time.Since(start).Nanoseconds())
+}
 
 // Rollback undoes a successful staged apply, restoring the engine to its
 // state before the corresponding ApplyStaged call.
-func (e *Engine) Rollback() { e.jnl.rollback() }
+func (e *Engine) Rollback() {
+	if !e.jnl.recording {
+		e.jnl.rollback() // nothing staged; free no-op
+		return
+	}
+	e.rollbackJournal(nil)
+}
 
 // SetFaultHook installs (nil removes) a fault-injection hook on the engine
 // and its exclusively-owned auxiliary tables. Shared tables are hooked by

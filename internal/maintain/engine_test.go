@@ -77,7 +77,7 @@ func newFixture(t *testing.T, ddl, viewSQL string, needSets bool) *fixture {
 		t.Fatal(err)
 	}
 	f := &fixture{t: t, cat: cat, db: storage.NewDB(cat), view: v, saleID: 1000}
-	f.engine = NewEngine(p)
+	f.engine = mustEngine(t, p)
 	f.engine.UseNeedSets = needSets
 	return f
 }

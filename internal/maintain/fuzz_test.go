@@ -198,12 +198,12 @@ func runFuzz(t *testing.T, seed int64) {
 	t.Logf("view: %s", sql)
 
 	f := &fuzzState{t: t, rng: rng, db: storage.NewDB(cat), view: v}
-	f.engine = NewEngine(plan)
+	f.engine = mustEngine(t, plan)
 	f.engine.UseNeedSets = seed%3 != 0 // exercise both join modes
-	f.shadow = NewEngine(plan)
+	f.shadow = mustEngine(t, plan)
 	f.shadow.ForceFullRecompute = true
 	f.shadow.UseNeedSets = f.engine.UseNeedSets
-	f.victim = NewEngine(plan)
+	f.victim = mustEngine(t, plan)
 	f.victim.UseNeedSets = f.engine.UseNeedSets
 
 	f.seed()

@@ -45,6 +45,7 @@ type DeltaMemo struct {
 
 	hits   atomic.Int64
 	misses atomic.Int64
+	waits  atomic.Int64 // hits that blocked on an in-flight computation
 }
 
 type memoEntry struct {
@@ -58,9 +59,12 @@ func NewDeltaMemo() *DeltaMemo {
 	return &DeltaMemo{entries: make(map[string]*memoEntry)}
 }
 
-// Stats reports how many lookups were served from the memo versus computed.
-func (m *DeltaMemo) Stats() (hits, misses int64) {
-	return m.hits.Load(), m.misses.Load()
+// Stats reports how many lookups were served from the memo versus computed,
+// and how many of the served lookups had to block on an in-flight
+// computation (waits <= hits; a high wait share means consumers arrive
+// before producers finish, i.e. the sharing is on the critical path).
+func (m *DeltaMemo) Stats() (hits, misses, waits int64) {
+	return m.hits.Load(), m.misses.Load(), m.waits.Load()
 }
 
 // do returns the memoized value for key, invoking compute at most once per
@@ -70,7 +74,12 @@ func (m *DeltaMemo) do(key string, compute func() (any, error)) (any, error) {
 	m.mu.Lock()
 	if ent, ok := m.entries[key]; ok {
 		m.mu.Unlock()
-		<-ent.done
+		select {
+		case <-ent.done:
+		default:
+			m.waits.Add(1)
+			<-ent.done
+		}
 		m.hits.Add(1)
 		return ent.val, ent.err
 	}
@@ -147,20 +156,32 @@ func recomputeMemoKey(joinKey string, keys groupSet) string {
 // place, and downstream consumers treat the rows as read-only.
 func (e *Engine) expandFiltered(d Delta) ([]signedRow, error) {
 	if e.memo == nil {
+		st := e.stageStart()
 		signed, err := e.expand(d)
+		e.stageEnd(StageExpand, st)
 		if err != nil {
 			return nil, err
 		}
-		return e.localFilter(d.Table, signed)
+		st = e.stageStart()
+		out, err := e.localFilter(d.Table, signed)
+		e.stageEnd(StageFilter, st)
+		return out, err
 	}
 	sig := e.plan.TableSig(d.Table)
 	v, err := e.memo.do("filter|"+sig.Filter, func() (any, error) {
+		// Stage timings run inside the compute closures, so shared work is
+		// recorded exactly once, by the engine that performed it (matching
+		// the Stats attribution policy).
 		ev, err := e.memo.do("expand|"+sig.Expand, func() (any, error) {
+			st := e.stageStart()
+			defer func() { e.stageEnd(StageExpand, st) }()
 			return e.expand(d)
 		})
 		if err != nil {
 			return nil, err
 		}
+		st := e.stageStart()
+		defer func() { e.stageEnd(StageFilter, st) }()
 		expanded := ev.([]signedRow)
 		pred, err := e.localPred(d.Table)
 		if err != nil {
@@ -193,9 +214,14 @@ func (e *Engine) expandFiltered(d Delta) ([]signedRow, error) {
 // replicas (see DeltaMemo), so the result is valid for all of them.
 func (e *Engine) deltaDetailShared(t string, signed []signedRow) (detailCtx, []int64, error) {
 	if e.memo == nil {
-		return e.deltaDetail(t, signed)
+		st := e.stageStart()
+		ctx, weights, err := e.deltaDetail(t, signed)
+		e.stageEnd(StageDeltaJoin, st)
+		return ctx, weights, err
 	}
 	v, err := e.memo.do("detail|"+t+"|"+e.memoKey, func() (any, error) {
+		st := e.stageStart()
+		defer func() { e.stageEnd(StageDeltaJoin, st) }()
 		ctx, weights, err := e.deltaDetail(t, signed)
 		if err != nil {
 			return nil, err
@@ -237,10 +263,14 @@ func (e *Engine) recomputedGroups(keys groupSet) (map[string]tuple.Tuple, bool, 
 		return e.computeGroups(ctx, keys)
 	}
 	if e.memo == nil {
+		st := e.stageStart()
 		groups, err := compute()
+		e.stageEnd(StageRecompute, st)
 		return groups, false, err
 	}
 	v, err := e.memo.do(recomputeMemoKey(e.memoKey, keys), func() (any, error) {
+		st := e.stageStart()
+		defer func() { e.stageEnd(StageRecompute, st) }()
 		return compute()
 	})
 	if err != nil {

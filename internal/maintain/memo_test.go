@@ -76,7 +76,7 @@ func deriveEngine(t *testing.T, f *fixture, sql string) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(p)
+	e := mustEngine(t, p)
 	if err := e.Init(func(tb string) *ra.Relation {
 		return ra.FromTable(f.db.Table(tb), tb)
 	}); err != nil {
@@ -132,7 +132,7 @@ func TestDeltaMemoSharesAcrossReplicas(t *testing.T) {
 		if err := shadow.Apply(d); err != nil {
 			t.Fatalf("delta %d shadow: %v", di, err)
 		}
-		hits, misses := memo.Stats()
+		hits, misses, _ := memo.Stats()
 		if misses == 0 {
 			t.Fatalf("delta %d: memo recorded no computations", di)
 		}

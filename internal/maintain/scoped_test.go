@@ -249,7 +249,7 @@ func TestParallelRecomputeMatchesSerial(t *testing.T) {
 
 	// End to end: a deletion-driven recomputation (DISTINCT forces the
 	// recompute path) must leave the view identical under both pool sizes.
-	shadow := NewEngine(e.plan)
+	shadow := mustEngine(t, e.plan)
 	shadow.Workers = 1
 	shadow.ForceFullRecompute = true
 	if err := shadow.Init(func(tb string) *ra.Relation {

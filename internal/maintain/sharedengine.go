@@ -37,6 +37,10 @@ type SharedEngines struct {
 	// each view engine keeps its own log for its materialized groups, so
 	// a failed Apply rolls back the tables and every already-applied view.
 	jnl journal
+
+	// met is the class's observability sink (nil = off): every view engine
+	// reports into it, and Apply folds each delta's memo counters in.
+	met *Metrics
 }
 
 // classSeq tags each shared class with a process-unique memo scope: engines
@@ -44,16 +48,22 @@ type SharedEngines struct {
 // tables are class-specific), even when their view fingerprints collide.
 var classSeq atomic.Int64
 
-// NewSharedEngines builds the coordinator. Call Init before Apply.
-func NewSharedEngines(sp *core.SharedPlan) *SharedEngines {
+// NewSharedEngines builds the coordinator. Call Init before Apply. A bad
+// shared plan (inconsistent auxiliary definitions, unindexable attributes)
+// surfaces as a returned error, not a process crash.
+func NewSharedEngines(sp *core.SharedPlan) (*SharedEngines, error) {
 	se := &SharedEngines{sp: sp, tables: make(map[string]*AuxTable)}
 	scope := fmt.Sprintf("class%d", classSeq.Add(1))
 	for t, def := range sp.Aux {
 		if def.Omitted {
 			continue
 		}
-		se.tables[t] = NewAuxTable(def)
-		se.tables[t].jnl = &se.jnl
+		at, err := NewAuxTable(def)
+		if err != nil {
+			return nil, fmt.Errorf("maintain: shared auxiliary table for %s: %w", t, err)
+		}
+		at.jnl = &se.jnl
+		se.tables[t] = at
 	}
 	for i := range sp.Views {
 		plan := sp.PlanFor(i)
@@ -66,20 +76,34 @@ func NewSharedEngines(sp *core.SharedPlan) *SharedEngines {
 			}
 			viewTables[t] = se.tables[t]
 		}
-		eng := newEngine(plan, viewTables, sp.Residual[i], true)
+		eng, err := newEngine(plan, viewTables, sp.Residual[i], true)
+		if err != nil {
+			return nil, fmt.Errorf("maintain: shared view %s: %w", sp.Views[i].Name, err)
+		}
 		eng.memoScope = scope
 		// Pre-build every index the lazy recomputation paths would create
 		// mid-apply: parallel staging must never mutate the shared tables.
 		if err := eng.prepareSharedIndexes(); err != nil {
-			panic(err)
+			return nil, fmt.Errorf("maintain: shared view %s: %w", sp.Views[i].Name, err)
 		}
 		se.engines = append(se.engines, eng)
 	}
-	return se
+	return se, nil
 }
 
 // Engine returns view i's engine (for snapshots and stats).
 func (se *SharedEngines) Engine(i int) *Engine { return se.engines[i] }
+
+// SetMetrics attaches (nil detaches) an observability sink to the class:
+// every view engine reports stage timings and apply traces into it, and
+// Apply folds each delta's DeltaMemo counters in. Not safe concurrently
+// with Apply.
+func (se *SharedEngines) SetMetrics(m *Metrics) {
+	se.met = m
+	for _, eng := range se.engines {
+		eng.SetMetrics(m)
+	}
+}
 
 // Views returns the number of maintained views.
 func (se *SharedEngines) Views() int { return len(se.engines) }
@@ -186,6 +210,9 @@ func (se *SharedEngines) Apply(d Delta) error {
 			}(i, eng)
 		}
 		wg.Wait()
+	}
+	if memo != nil && se.met != nil {
+		se.met.AddMemoStats(memo.Stats())
 	}
 	var err error
 	for i, aerr := range errs {

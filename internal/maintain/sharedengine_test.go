@@ -46,7 +46,7 @@ func newSharedFixture(t *testing.T, viewSQLs ...string) *sharedFixture {
 		t:      t,
 		db:     storage.NewDB(cat),
 		views:  views,
-		se:     NewSharedEngines(sp),
+		se:     mustShared(t, sp),
 		saleID: 1000,
 	}
 }

@@ -1,0 +1,28 @@
+package maintain
+
+import (
+	"testing"
+
+	"mindetail/internal/core"
+)
+
+// mustEngine is NewEngine for tests whose plans are valid by construction.
+func mustEngine(t testing.TB, p *core.Plan) *Engine {
+	t.Helper()
+	e, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// mustShared is NewSharedEngines for tests whose shared plans are valid by
+// construction.
+func mustShared(t testing.TB, sp *core.SharedPlan) *SharedEngines {
+	t.Helper()
+	se, err := NewSharedEngines(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return se
+}

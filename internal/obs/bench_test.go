@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The obs package's promise is near-zero hot-path cost: counters and
+// histograms are a handful of atomic adds, trace records one atomic
+// increment plus one pointer store. These benchmarks are the receipts —
+// `make obs-bench` runs them.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) & 0xFFFFF)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var i int64
+		for pb.Next() {
+			h.Observe(i & 0xFFFFF)
+			i++
+		}
+	})
+}
+
+func BenchmarkHistogramSnapshot(b *testing.B) {
+	h := NewHistogram()
+	for i := int64(0); i < 100_000; i++ {
+		h.Observe(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Snapshot()
+	}
+}
+
+func BenchmarkTraceRecord(b *testing.B) {
+	r := NewTraceRing(DefaultTraceCap)
+	ev := TraceEvent{Name: "bench", At: time.Now(), Outcome: "staged", TotalNs: 1234}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(ev)
+	}
+}
+
+func BenchmarkTraceRecordParallel(b *testing.B) {
+	r := NewTraceRing(DefaultTraceCap)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		ev := TraceEvent{Name: "bench", Outcome: "staged"}
+		for pb.Next() {
+			r.Record(ev)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers int64 nanoseconds with exponential buckets refined by
+// four linear sub-buckets per power of two: values 0–3 get exact buckets,
+// and every later bucket spans 1/4 of its octave, bounding the relative
+// quantile error at ~25% of the value — plenty for p50/p95/p99 latency
+// summaries at nanosecond resolution.
+const numBuckets = 252
+
+// Histogram is a fixed-size, lock-free latency histogram. Observe is a
+// few atomic adds; Snapshot computes count/sum/min/max and interpolated
+// p50/p95/p99 from the bucket counts. The zero value is NOT ready;
+// create histograms with NewHistogram (or through a Registry).
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 4 {
+		if v < 0 {
+			v = 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // position of the leading bit, >= 2
+	sub := (v >> uint(exp-2)) & 3    // next two bits refine the octave
+	return (exp-2)*4 + int(sub) + 4
+}
+
+// bucketBounds returns the half-open [lo, hi) value range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < 4 {
+		return int64(i), int64(i + 1)
+	}
+	exp := uint((i-4)/4 + 2)
+	sub := int64((i - 4) % 4)
+	width := int64(1) << (exp - 2)
+	lo = int64(1)<<exp + sub*width
+	return lo, lo + width
+}
+
+// Observe records one value (nanoseconds for latency histograms, but any
+// non-negative int64 quantity works — journal depths, row counts).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramSnapshot summarizes a histogram at one moment: counts, the
+// exact min/max/sum, and bucket-interpolated quantiles.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	SumNs int64   `json:"sum_ns"`
+	MinNs int64   `json:"min_ns"`
+	MaxNs int64   `json:"max_ns"`
+	Mean  float64 `json:"mean_ns"`
+	P50   int64   `json:"p50_ns"`
+	P95   int64   `json:"p95_ns"`
+	P99   int64   `json:"p99_ns"`
+	Max   int64   `json:"-"` // alias of MaxNs for formatting convenience
+}
+
+// Snapshot computes the summary. Quantiles are derived from a consistent
+// copy of the bucket counts (each bucket read once), so P50 <= P95 <= P99
+// always holds within the copied view.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [numBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: total, SumNs: h.sum.Load()}
+	if total == 0 {
+		return s
+	}
+	s.MinNs = h.min.Load()
+	s.MaxNs = h.max.Load()
+	s.Max = s.MaxNs
+	s.Mean = float64(s.SumNs) / float64(total)
+	s.P50 = quantile(&counts, total, 0.50)
+	s.P95 = quantile(&counts, total, 0.95)
+	s.P99 = quantile(&counts, total, 0.99)
+	if s.P50 < s.MinNs {
+		s.P50 = s.MinNs
+	}
+	if s.P99 > s.MaxNs {
+		s.P99 = s.MaxNs
+	}
+	if s.P95 > s.P99 {
+		s.P95 = s.P99
+	}
+	if s.P50 > s.P95 {
+		s.P50 = s.P95
+	}
+	return s
+}
+
+// quantile returns the linearly interpolated q-quantile over the bucket
+// counts.
+func quantile(counts *[numBuckets]int64, total int64, q float64) int64 {
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		cum += counts[i]
+		if cum >= target {
+			lo, hi := bucketBounds(i)
+			// Position of the target rank within this bucket.
+			into := float64(target-(cum-counts[i])) / float64(counts[i])
+			return lo + int64(into*float64(hi-lo))
+		}
+	}
+	return 0 // unreachable when total > 0
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"expvar"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// HandlerFunc builds an HTTP handler over a (possibly changing) registry:
+//
+//	/metrics.json     the registry snapshot as JSON
+//	/metrics          the registry snapshot as text (the \metrics output)
+//	/debug/vars       expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/...  net/http/pprof profiles
+//
+// get is called per request, so a caller whose registry can be swapped
+// (dwshell replaces its warehouse on \load) always serves the live one.
+func HandlerFunc(get func() *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		reg := get()
+		if reg == nil {
+			http.Error(w, "no registry", http.StatusServiceUnavailable)
+			return
+		}
+		data, err := reg.Snapshot().MarshalJSONIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		reg := get()
+		if reg == nil {
+			http.Error(w, "no registry", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, reg.Snapshot().Format())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Handler is HandlerFunc over a fixed registry.
+func Handler(reg *Registry) http.Handler {
+	return HandlerFunc(func() *Registry { return reg })
+}
+
+// Serve starts an HTTP server for the handler on addr (e.g. ":6060" or
+// "127.0.0.1:0") in a background goroutine. It returns the bound address
+// and a closer that shuts the listener down.
+func Serve(addr string, get func() *Registry) (string, io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: HandlerFunc(get)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), ln, nil
+}

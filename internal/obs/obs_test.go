@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose bounds contain it, and
+	// bucket indexes must be monotone in the value.
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 100, 1000, 4095, 4096, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		i := bucketOf(v)
+		lo, hi := bucketBounds(i)
+		if v < lo || v >= hi {
+			t.Errorf("value %d in bucket %d with bounds [%d, %d)", v, i, lo, hi)
+		}
+		if i < prev {
+			t.Errorf("bucket index not monotone at value %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		if i >= numBuckets {
+			t.Errorf("bucket %d out of range for value %d", i, v)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// Uniform 1..1000: p50 ~ 500, p95 ~ 950, p99 ~ 990. Bucket
+	// resolution is 1/4 octave, so allow ~25% relative error.
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.MinNs != 1 || s.MaxNs != 1000 {
+		t.Fatalf("min/max = %d/%d", s.MinNs, s.MaxNs)
+	}
+	if s.SumNs != 500500 {
+		t.Fatalf("sum = %d", s.SumNs)
+	}
+	check := func(name string, got, want int64) {
+		t.Helper()
+		lo, hi := want*3/4, want*5/4+1
+		if got < lo || got > hi {
+			t.Errorf("%s = %d, want within [%d, %d]", name, got, lo, hi)
+		}
+	}
+	check("p50", s.P50, 500)
+	check("p95", s.P95, 950)
+	check("p99", s.P99, 990)
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Errorf("quantiles not ordered: %d %d %d", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.P99 != 0 || s.MinNs != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	h.Observe(-5) // clamped to 0
+	s = h.Snapshot()
+	if s.Count != 1 || s.MinNs != 0 || s.MaxNs != 0 {
+		t.Fatalf("negative observation not clamped: %+v", s)
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(TraceEvent{Name: "ev", TotalNs: int64(i)})
+	}
+	evs := r.Recent(8)
+	if len(evs) != 4 {
+		t.Fatalf("recent = %d events, want 4 (ring capacity)", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+		if ev.TotalNs != int64(6+i) {
+			t.Errorf("event %d total = %d, want %d", i, ev.TotalNs, 6+i)
+		}
+	}
+	if got := r.Recent(2); len(got) != 2 || got[1].Seq != 10 {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+// TestConcurrentObservation hammers every metric type from writer
+// goroutines while readers snapshot — the race detector is the assertion.
+func TestConcurrentObservation(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("writes")
+	g := reg.Gauge("depth")
+	h := reg.Histogram("lat")
+	tr := reg.Trace("applies")
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(rng.Int63n(1_000_000))
+				tr.Record(TraceEvent{Name: "w", At: time.Now(), Outcome: "staged", TotalNs: int64(i)})
+				g.Add(-1)
+			}
+		}(int64(w))
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := reg.Snapshot()
+			if s.Histograms["lat"].P50 > s.Histograms["lat"].P99 {
+				t.Error("quantiles out of order in concurrent snapshot")
+				return
+			}
+			_ = tr.Recent(32)
+			_ = s.Format()
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	s := reg.Snapshot()
+	if s.Counters["writes"] != 20000 {
+		t.Fatalf("writes = %d, want 20000", s.Counters["writes"])
+	}
+	if s.Gauges["depth"] != 0 {
+		t.Fatalf("depth = %d, want 0", s.Gauges["depth"])
+	}
+	if s.Histograms["lat"].Count != 20000 {
+		t.Fatalf("lat count = %d, want 20000", s.Histograms["lat"].Count)
+	}
+}
+
+func TestSnapshotFormatAndJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("warehouse.query.snapshot_hits").Add(3)
+	reg.Gauge("warehouse.propagate.pool_occupancy").Set(2)
+	reg.Histogram("maintain.stage.expand_ns").Observe(1500)
+	reg.Trace("maintain.applies").Record(TraceEvent{
+		Name: "product_sales", Outcome: "staged", TotalNs: 2500,
+		Stages: []Stage{{Name: "expand", Ns: 1500}},
+	})
+	text := reg.Snapshot().Format()
+	for _, want := range []string{
+		"warehouse.query.snapshot_hits", "3",
+		"pool_occupancy", "maintain.stage.expand_ns",
+		"product_sales", "staged", "expand=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+	data, err := reg.Snapshot().MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["warehouse.query.snapshot_hits"] != 3 {
+		t.Fatalf("round-tripped counter = %d", back.Counters["warehouse.query.snapshot_hits"])
+	}
+	if back.Histograms["maintain.stage.expand_ns"].Count != 1 {
+		t.Fatalf("round-tripped histogram: %+v", back.Histograms["maintain.stage.expand_ns"])
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Inc()
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/metrics.json": `"c": 1`,
+		"/metrics":      "counters:",
+		"/debug/vars":   "memstats",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 1<<20)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body[:n]), want) {
+			t.Errorf("%s: body missing %q", path, want)
+		}
+	}
+	// A swapped-out registry serves 503.
+	srv2 := httptest.NewServer(HandlerFunc(func() *Registry { return nil }))
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("nil registry served status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCap is the slot count of rings created through a Registry.
+const DefaultTraceCap = 256
+
+// Stage is one named phase of a traced operation with its duration.
+type Stage struct {
+	Name string `json:"name"`
+	Ns   int64  `json:"ns"`
+}
+
+// TraceEvent is one completed operation in a TraceRing — for the
+// maintenance engine, one staged apply with its per-stage timings.
+type TraceEvent struct {
+	Seq     uint64    `json:"seq"`
+	At      time.Time `json:"at"`
+	Name    string    `json:"name"`             // e.g. the view being maintained
+	Detail  string    `json:"detail,omitempty"` // e.g. "table=sale ins=1 del=0 upd=0"
+	Outcome string    `json:"outcome"`          // "staged", "error: ..."
+	TotalNs int64     `json:"total_ns"`
+	Stages  []Stage   `json:"stages,omitempty"`
+}
+
+// TraceRing is a lock-free ring buffer of recent TraceEvents. Writers
+// claim a slot with one atomic increment and publish the event with one
+// atomic pointer store; readers load pointers and validate sequence
+// numbers, so concurrent Record/Recent never block each other and are
+// race-clean. Events may be overwritten while a reader iterates — Recent
+// simply skips slots whose sequence no longer matches.
+type TraceRing struct {
+	mask  uint64
+	seq   atomic.Uint64
+	slots []atomic.Pointer[TraceEvent]
+}
+
+// NewTraceRing returns a ring with at least capacity slots (rounded up to
+// a power of two, minimum 2).
+func NewTraceRing(capacity int) *TraceRing {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &TraceRing{mask: uint64(n - 1), slots: make([]atomic.Pointer[TraceEvent], n)}
+}
+
+// Record publishes one event, assigning its sequence number.
+func (r *TraceRing) Record(ev TraceEvent) {
+	seq := r.seq.Add(1)
+	ev.Seq = seq
+	r.slots[(seq-1)&r.mask].Store(&ev)
+}
+
+// Len returns the total number of events ever recorded.
+func (r *TraceRing) Len() uint64 { return r.seq.Load() }
+
+// Recent returns up to n of the most recent events, oldest first. Slots
+// overwritten or not yet published during the scan are skipped.
+func (r *TraceRing) Recent(n int) []TraceEvent {
+	cur := r.seq.Load()
+	if n <= 0 || cur == 0 {
+		return nil
+	}
+	span := uint64(n)
+	if ringCap := r.mask + 1; span > ringCap {
+		span = ringCap
+	}
+	if span > cur {
+		span = cur
+	}
+	out := make([]TraceEvent, 0, span)
+	for s := cur - span + 1; s <= cur; s++ {
+		p := r.slots[(s-1)&r.mask].Load()
+		if p == nil || p.Seq != s {
+			continue // torn past the ring edge by a concurrent writer
+		}
+		out = append(out, *p)
+	}
+	return out
+}

@@ -1,9 +1,12 @@
 package warehouse
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
+
+	"mindetail/internal/faultinject"
 )
 
 // TestImportCSVPropagates: bulk CSV loads must update already-materialized
@@ -122,5 +125,69 @@ func TestImportCSVMultiBatch(t *testing.T) {
 	}
 	if err := w.Verify(); err != nil {
 		t.Fatalf("views diverged after post-import DML: %v", err)
+	}
+}
+
+// importCSVRows builds n valid sale rows starting at the given id.
+func importCSVRows(startID, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d,%d,%d,7,1.5\n", startID+i, i%4+1, 100+i%2)
+	}
+	return b.String()
+}
+
+// TestImportCSVPartialFailureContract pins the documented partial-failure
+// semantics down to the row: when the second 1024-row batch of a load dies
+// mid-propagation, ImportCSV must report exactly the 1024 durably committed
+// rows of the first batch, the source table must contain exactly those rows
+// (the failing batch's source inserts undone), and sources and views must
+// still verify. Regression test for the error-path flush re-propagating the
+// undone batch (`pending` not cleared), which silently diverged views from
+// sources.
+func TestImportCSVPartialFailureContract(t *testing.T) {
+	const batch = 1024
+	// Calibrate: count the injection points one clean 1024-row batch
+	// visits, so the fault can be aimed at the first point of batch two.
+	calib := newRetail(t)
+	counter := faultinject.Counter()
+	calib.SetFaultHook(counter)
+	if n, err := calib.ImportCSV("sale", strings.NewReader(importCSVRows(5000, batch)), false); err != nil || n != batch {
+		t.Fatalf("calibration load = %d, %v", n, err)
+	}
+	calib.SetFaultHook(nil)
+	v1 := counter.Visits()
+	if v1 == 0 {
+		t.Fatal("clean batch visited no injection points")
+	}
+
+	w := newRetail(t)
+	saleRows := func() int { return w.Source().Table("sale").Len() }
+	beforeRows := saleRows()
+	h := faultinject.NewHook(v1 + 1)
+	w.SetFaultHook(h)
+	n, err := w.ImportCSV("sale", strings.NewReader(importCSVRows(5000, 2*batch)), false)
+	w.SetFaultHook(nil)
+	if err == nil {
+		t.Fatal("second batch committed despite injected fault")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("genuine error: %v", err)
+	}
+	if n != batch {
+		t.Fatalf("ImportCSV reported %d durable rows, want %d (first batch only)", n, batch)
+	}
+	if got := saleRows(); got != beforeRows+batch {
+		t.Fatalf("source sale table grew by %d rows, want %d", got-beforeRows, batch)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("sources and views diverged after partial load: %v", err)
+	}
+	// The warehouse keeps working: the failed batch can be re-imported.
+	if n, err := w.ImportCSV("sale", strings.NewReader(importCSVRows(5000+batch, batch)), false); err != nil || n != batch {
+		t.Fatalf("re-import = %d, %v", n, err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -19,6 +19,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+	"unicode/utf8"
 
 	"mindetail/internal/answer"
 	"mindetail/internal/csvload"
@@ -104,9 +106,16 @@ type Warehouse struct {
 	// pre-snapshot behavior, kept as a baseline and for callers that want
 	// a private mutable relation).
 	DisableSnapshots bool
+
+	// met is the observability surface (never nil); obsTimingOff suppresses
+	// the time-based instrumentation (see SetObs). The flag is read only
+	// under mu (propagate runs under the write lock).
+	met          *wmetrics
+	obsTimingOff bool
 }
 
-// New creates an empty warehouse.
+// New creates an empty warehouse. Observability is on by default; see
+// SetObs and ObsRegistry.
 func New() *Warehouse {
 	cat := schema.NewCatalog()
 	return &Warehouse{
@@ -114,6 +123,7 @@ func New() *Warehouse {
 		src:         storage.NewDB(cat),
 		views:       make(map[string]*View),
 		UseNeedSets: true,
+		met:         newWMetrics(),
 	}
 }
 
@@ -212,14 +222,20 @@ func (w *Warehouse) Exec(sql string) (*ra.Relation, error) {
 	return last, nil
 }
 
-// abbrevSQL shortens a SQL fragment for error messages.
+// abbrevSQL shortens a SQL fragment for error messages. The cut is backed
+// off to a rune boundary so multi-byte characters (string literals in any
+// language, quoted identifiers) are never split into invalid UTF-8.
 func abbrevSQL(sql string) string {
 	sql = strings.Join(strings.Fields(sql), " ")
 	const max = 60
-	if len(sql) > max {
-		return sql[:max-3] + "..."
+	if len(sql) <= max {
+		return sql
 	}
-	return sql
+	cut := max - 3
+	for cut > 0 && !utf8.RuneStart(sql[cut]) {
+		cut--
+	}
+	return sql[:cut] + "..."
 }
 
 // MustExec is Exec for statements that must succeed (setup scripts).
@@ -267,8 +283,14 @@ func (w *Warehouse) createView(st *sqlparse.CreateView) error {
 	if err != nil {
 		return err
 	}
-	eng := maintain.NewEngine(plan)
+	eng, err := maintain.NewEngine(plan)
+	if err != nil {
+		return err
+	}
 	eng.UseNeedSets = w.UseNeedSets
+	if !w.obsTimingOff {
+		eng.SetMetrics(w.met.engineMet)
+	}
 	// Views created at the same epoch are initialized from the same source
 	// state, so equal-fingerprint engines are bit-identical replicas and may
 	// share per-delta memoized work; later-created views get a later epoch.
@@ -328,8 +350,14 @@ func (w *Warehouse) RestoreView(name, selectSQL string, appendOnly bool, st *mai
 	if err != nil {
 		return err
 	}
-	eng := maintain.NewEngine(plan)
+	eng, err := maintain.NewEngine(plan)
+	if err != nil {
+		return err
+	}
 	eng.UseNeedSets = w.UseNeedSets
+	if !w.obsTimingOff {
+		eng.SetMetrics(w.met.engineMet)
+	}
 	// A restored engine's state comes from a snapshot with an unknown
 	// history, so it must never share memoized work: give it a scope of its
 	// own (view names are unique within a warehouse).
@@ -541,6 +569,10 @@ func (w *Warehouse) propagate(d maintain.Delta) error {
 		w.epoch++
 		return nil
 	}
+	var start time.Time
+	if !w.obsTimingOff {
+		start = time.Now()
+	}
 	var memo *maintain.DeltaMemo
 	if !w.DisableMemo {
 		memo = maintain.NewDeltaMemo()
@@ -573,9 +605,10 @@ func (w *Warehouse) propagate(d maintain.Delta) error {
 			}
 			sem <- struct{}{}
 			wg.Add(1)
+			w.met.poolOcc.Add(1)
 			go func(i int, eng *maintain.Engine) {
 				defer wg.Done()
-				defer func() { <-sem }()
+				defer func() { <-sem; w.met.poolOcc.Add(-1) }()
 				if aerr := eng.StageWithMemo(d, memo); aerr != nil {
 					errs[i] = aerr
 					return
@@ -585,6 +618,18 @@ func (w *Warehouse) propagate(d maintain.Delta) error {
 		}
 		wg.Wait()
 	}
+	if memo != nil {
+		// Attribute this delta's cross-view work sharing to the maintenance
+		// sink (nil-safe; a no-op when observability is off).
+		w.met.engineMet.AddMemoStats(memo.Stats())
+	}
+	stagedN := int64(0)
+	for _, s := range staged {
+		if s {
+			stagedN++
+		}
+	}
+	w.met.viewsStaged.Add(stagedN)
 	var err error
 	for i, aerr := range errs {
 		if aerr != nil {
@@ -598,12 +643,20 @@ func (w *Warehouse) propagate(d maintain.Delta) error {
 		}
 		// Invalidate cached snapshots, but only of views the delta can
 		// actually change: the rest keep serving their snapshot untouched.
+		invalidated := int64(0)
 		for _, name := range w.order {
 			if mv := w.views[name]; mv.Engine.References(d.Table) {
 				mv.ver.Add(1)
+				invalidated++
 			}
 		}
 		w.epoch++
+		w.met.viewsCommitted.Add(int64(n))
+		w.met.snapInvalidated.Add(invalidated)
+		w.met.propagates.Inc()
+		if !w.obsTimingOff {
+			w.met.propagateNs.ObserveSince(start)
+		}
 		return nil
 	}
 	// Failing engines rolled themselves back inside StageWithMemo; undo the
@@ -613,6 +666,11 @@ func (w *Warehouse) propagate(d maintain.Delta) error {
 		if staged[i] {
 			w.views[w.order[i]].Engine.Rollback()
 		}
+	}
+	w.met.viewsRolledBack.Add(stagedN)
+	w.met.propagateErrs.Inc()
+	if !w.obsTimingOff {
+		w.met.propagateNs.ObserveSince(start)
 	}
 	return err
 }
@@ -643,7 +701,15 @@ func (w *Warehouse) ApplyDelta(d maintain.Delta) error {
 
 // ImportCSV bulk-loads CSV rows into a source table and propagates them to
 // every materialized view in batches. With header set the first record
-// names the columns. It returns the number of rows loaded.
+// names the columns.
+//
+// Partial-failure contract: the returned count is the number of rows that
+// are DURABLY committed — present in the source table AND reflected in
+// every materialized view. Import is atomic per batch, not per file: when
+// a batch fails (malformed row, rejected delta, injected fault), earlier
+// batches stay committed, the failing batch is removed from the source
+// again (each view engine's undo journal has already rolled the views
+// back), and source and views agree on exactly the returned prefix.
 func (w *Warehouse) ImportCSV(table string, r io.Reader, header bool) (int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -668,9 +734,13 @@ func (w *Warehouse) ImportCSV(table string, r io.Reader, header bool) (int, erro
 		if err := w.sourceApplied(d); err != nil {
 			// The views rejected (or a fault aborted) this batch; remove
 			// its rows from the source again so sources and views agree.
+			// Clearing pending is essential: the error-path flush() retry
+			// below would otherwise re-propagate rows that were just undone
+			// from the source, silently diverging views from sources.
 			for i := len(pending) - 1; i >= 0; i-- {
 				_ = w.src.UndoInsert(table, pending[i][meta.KeyIndex()])
 			}
+			pending = nil
 			return err
 		}
 		flushed += len(pending)
@@ -715,6 +785,8 @@ func (w *Warehouse) Query(view string) (*ra.Relation, error) {
 		if idx := w.viewIdx.Load(); idx != nil {
 			if mv := (*idx)[view]; mv != nil {
 				if s := mv.snap.Load(); s != nil && s.ver == mv.ver.Load() {
+					// One atomic add keeps the fast path lock-free.
+					w.met.queryHits.Inc()
 					return s.rel, nil
 				}
 				return w.rebuildSnap(mv)
@@ -727,6 +799,7 @@ func (w *Warehouse) Query(view string) (*ra.Relation, error) {
 	if mv == nil {
 		return nil, fmt.Errorf("warehouse: unknown view %s", view)
 	}
+	w.met.queryLocked.Inc()
 	return mv.Def.ApplyHaving(mv.Engine.Snapshot())
 }
 
@@ -737,12 +810,14 @@ func (w *Warehouse) Query(view string) (*ra.Relation, error) {
 func (w *Warehouse) rebuildSnap(mv *View) (*ra.Relation, error) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	w.met.queryRebuilds.Inc()
 	ver := mv.ver.Load()
 	rel, err := mv.Def.ApplyHaving(mv.Engine.Snapshot())
 	if err != nil {
 		return nil, err
 	}
 	mv.snap.Store(&viewSnap{ver: ver, rel: rel})
+	w.met.snapPublished.Inc()
 	return rel, nil
 }
 

@@ -177,8 +177,9 @@ func DeriveShared(cat *Catalog, views map[string]string) (*SharedPlan, error) {
 type SharedEngines = maintain.SharedEngines
 
 // NewSharedEngines builds a maintenance coordinator for a shared plan;
-// call Init with source relations before applying deltas.
-func NewSharedEngines(sp *SharedPlan) *SharedEngines { return maintain.NewSharedEngines(sp) }
+// call Init with source relations before applying deltas. A malformed
+// shared plan is reported as an error, not a panic.
+func NewSharedEngines(sp *SharedPlan) (*SharedEngines, error) { return maintain.NewSharedEngines(sp) }
 
 // Save snapshots the warehouse state to a writer; with includeSources the
 // source tables are written too and the restored warehouse starts

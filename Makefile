@@ -1,17 +1,26 @@
 # mindetail — Minimizing Detail Data in Data Warehouses (EDBT 1998), in Go.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all verify build vet test race race-all faultinject cover bench bench-json obs-bench harness examples clean
+.PHONY: all verify ci build fmt-check vet test race race-all faultinject bench-smoke cover bench bench-json obs-bench harness examples clean
 
 all: build vet test faultinject race
 
-# verify is the one-stop pre-merge gate: compile, vet, full test suite,
-# and the race-checked concurrency/fault-injection packages.
-verify: build vet test race
+# verify is the one-stop pre-merge gate and the single source of truth for
+# CI: .github/workflows/ci.yml runs exactly these targets, one per job.
+verify: fmt-check build vet test race faultinject bench-smoke
+
+# ci is an alias so `make ci` reproduces the pipeline locally.
+ci: verify
 
 build:
 	$(GO) build ./...
+
+# fmt-check fails (listing the offenders) when any file is not gofmt-clean.
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -21,19 +30,26 @@ test:
 
 # Race-check the concurrent layers: plan signatures, the maintenance
 # engine (recompute worker pool, delta memo, parallel shared-class
-# staging), the warehouse (parallel propagation, lock-free reads), and
-# the lock-free observability primitives.
+# staging), the warehouse (parallel propagation, lock-free reads), the
+# write-ahead log, and the lock-free observability primitives.
 race:
-	$(GO) test -race ./internal/core/... ./internal/maintain/... ./internal/warehouse/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/maintain/... ./internal/warehouse/... ./internal/obs/... ./internal/wal/...
 
 race-all:
 	$(GO) test -race ./...
 
-# Run the failure-atomicity suite explicitly (also part of `test`): every
-# injection point of every corpus delta must roll back to bit-identical
-# state, under the race detector.
+# Run the failure-atomicity and crash-recovery suite explicitly (also part
+# of `test`): every injection point of every corpus delta must roll back to
+# bit-identical state — and, with a WAL attached, recover to it from the
+# on-disk bytes — under the race detector.
 faultinject:
-	$(GO) test -race -run 'FaultInjection|Malformed|Rekey|Hook|Fuzz' ./internal/faultinject/... ./internal/maintain/... ./internal/warehouse/...
+	$(GO) test -race -run 'FaultInjection|Malformed|Rekey|Hook|Fuzz|Recover|Torn|Checkpoint|Dangling' ./internal/faultinject/... ./internal/maintain/... ./internal/warehouse/... ./internal/wal/... ./internal/persist/...
+
+# bench-smoke re-measures a fast subset of the recorded hot-path
+# benchmarks and fails if any ns/op regressed more than 3x against the
+# committed BENCH_maintain.json.
+bench-smoke:
+	$(GO) run ./cmd/benchharness -smoke BENCH_maintain.json
 
 cover:
 	$(GO) test -coverpkg=./internal/...,. -coverprofile=cover.out ./...

@@ -186,6 +186,12 @@ func runBenchJSON(path string) error {
 	}
 	results = append(results, fanout...)
 
+	walBenches, err := runWALBenches()
+	if err != nil {
+		return err
+	}
+	results = append(results, walBenches...)
+
 	rep := benchReport{
 		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
 		GoVersion:       runtime.Version(),

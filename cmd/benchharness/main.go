@@ -30,8 +30,16 @@ func main() {
 	scale := flag.Int("scale", 20000, "approximate fact-table tuples for measured runs")
 	deltas := flag.Int("deltas", 200, "delta-stream length for maintenance experiments")
 	jsonPath := flag.String("json", "", "measure maintenance benchmarks and write machine-readable results to this file (skips experiments)")
+	smokePath := flag.String("smoke", "", "re-measure a fast benchmark subset and fail if any regressed >3x vs the committed report at this path (CI gate; skips experiments)")
 	flag.Parse()
 
+	if *smokePath != "" {
+		if err := runSmoke(*smokePath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonPath != "" {
 		if err := runBenchJSON(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "benchharness:", err)

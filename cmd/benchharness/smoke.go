@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// smokeFactor is how much slower than the committed BENCH_maintain.json a
+// hot-path benchmark may measure before the smoke gate fails. The wide
+// margin absorbs CI-runner variance while still catching order-of-
+// magnitude regressions.
+const smokeFactor = 3.0
+
+// runSmoke re-measures a fast subset of the recorded hot-path benchmarks
+// and fails when any of them regressed more than smokeFactor against the
+// committed report at path. It is the CI bench-smoke gate: cheap enough
+// for every push, coarse enough not to flake.
+func runSmoke(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("smoke: reading committed report: %w", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("smoke: parsing %s: %w", path, err)
+	}
+	committed := map[string]float64{}
+	for _, b := range rep.Benchmarks {
+		committed[b.Name] = b.NsPerOp
+	}
+
+	measured, err := smokeSubset()
+	if err != nil {
+		return err
+	}
+
+	var failures int
+	for _, m := range measured {
+		want, ok := committed[m.Name]
+		if !ok {
+			return fmt.Errorf("smoke: %s missing from %s — regenerate it (make bench-json)", m.Name, path)
+		}
+		ratio := m.NsPerOp / want
+		status := "ok"
+		if ratio > smokeFactor {
+			status = "REGRESSED"
+			failures++
+		}
+		fmt.Printf("%-45s %14.0f ns/op  committed %14.0f  ratio %5.2fx  %s\n",
+			m.Name, m.NsPerOp, want, ratio, status)
+	}
+	if failures > 0 {
+		return fmt.Errorf("smoke: %d benchmark(s) regressed more than %.1fx vs %s", failures, smokeFactor, path)
+	}
+	fmt.Printf("bench smoke passed: %d benchmarks within %.1fx of %s\n", len(measured), smokeFactor, path)
+	return nil
+}
+
+// smokeSubset measures the gate's benchmark subset: the headline
+// maintenance hot path without instrumentation, the group-key encoder,
+// and both durability benchmarks.
+func smokeSubset() ([]benchResult, error) {
+	var results []benchResult
+
+	noObs, _, err := benchSmallDelta(false, false)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, toResult("ApplySmallDeltaLargeAux/no-obs", noObs))
+
+	row := tuple.Tuple{
+		types.Int(7), types.Str("brand42"), types.Float(19.5),
+		types.Int(1997), types.Str("cat3"),
+	}
+	pos := []int{0, 1, 3}
+	var sink string
+	results = append(results, toResult("GroupKeyEncode/KeyAt", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = row.KeyAt(pos)
+		}
+	})))
+	_ = sink
+
+	walBenches, err := runWALBenches()
+	if err != nil {
+		return nil, err
+	}
+	return append(results, walBenches...), nil
+}

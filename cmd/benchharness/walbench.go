@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+	"mindetail/internal/wal"
+)
+
+// walBenchDeltas is how many committed mutations the RecoveryReplay
+// scenario replays per open.
+const walBenchDeltas = 200
+
+// benchWALAppend measures the append path of the write-ahead log: one
+// delta intent plus its commit outcome per op, SyncNever so the figure is
+// the encoding + framing + write cost, not the disk's fsync latency.
+func benchWALAppend() (testing.BenchmarkResult, error) {
+	dir, err := os.MkdirTemp("", "walbench")
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.OpenLog(filepath.Join(dir, "wal.log"), wal.SyncNever)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer l.Close()
+	d := maintain.Delta{Table: "sale", Inserts: []tuple.Tuple{
+		{types.Int(1), types.Int(12), types.Int(307), types.Int(4), types.Float(19.75)},
+	}}
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lsn, err := l.BeginDelta(d, true)
+			if err == nil {
+				err = l.Commit(lsn)
+			}
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	return r, benchErr
+}
+
+// prepareRecoveryDir builds a durable warehouse directory whose log holds
+// the DDL plus walBenchDeltas committed single-row inserts feeding two
+// materialized views — the input of the RecoveryReplay benchmark.
+func prepareRecoveryDir(dir string) error {
+	d, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	w := d.Warehouse()
+	if _, err := w.Exec(`
+CREATE TABLE product (id INTEGER PRIMARY KEY, brand STRING, category STRING);
+CREATE TABLE sale (id INTEGER PRIMARY KEY, productid INTEGER REFERENCES product, qty INTEGER, price FLOAT);
+CREATE MATERIALIZED VIEW by_brand AS
+  SELECT brand, SUM(price) AS total, COUNT(*) AS cnt
+  FROM sale, product WHERE sale.productid = product.id GROUP BY brand;
+CREATE MATERIALIZED VIEW by_category AS
+  SELECT category, SUM(qty) AS q, COUNT(*) AS cnt
+  FROM sale, product WHERE sale.productid = product.id GROUP BY category;
+INSERT INTO product VALUES (1, 'acme', 'tools'), (2, 'zenith', 'toys'), (3, 'nadir', 'tools');
+`); err != nil {
+		return err
+	}
+	for i := 0; i < walBenchDeltas; i++ {
+		sql := fmt.Sprintf("INSERT INTO sale VALUES (%d, %d, %d, %d.25);",
+			100+i, 1+i%3, 1+i%7, 1+i%20)
+		if _, err := w.Exec(sql); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchRecoveryReplay measures crash recovery end to end: one op is a
+// full wal.Open of a directory with no snapshot and a log of
+// walBenchDeltas committed deltas — snapshot load, log scan, checksum
+// verification, and idempotent replay through the propagate path.
+func benchRecoveryReplay() (testing.BenchmarkResult, error) {
+	dir, err := os.MkdirTemp("", "walrecovery")
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	if err := prepareRecoveryDir(dir); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+			if d.Warehouse().LSN() == 0 {
+				benchErr = fmt.Errorf("recovery replayed nothing")
+				b.Fatal(benchErr)
+			}
+			d.Close()
+		}
+	})
+	return r, benchErr
+}
+
+// runWALBenches measures the durability benchmarks for the JSON report.
+func runWALBenches() ([]benchResult, error) {
+	app, err := benchWALAppend()
+	if err != nil {
+		return nil, err
+	}
+	rec, err := benchRecoveryReplay()
+	if err != nil {
+		return nil, err
+	}
+	return []benchResult{
+		toResult("WALAppendThroughput", app),
+		toResult(fmt.Sprintf("RecoveryReplay/%d-deltas", walBenchDeltas), rec),
+	}, nil
+}

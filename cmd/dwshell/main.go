@@ -26,6 +26,7 @@ import (
 	"mindetail/internal/csvload"
 	"mindetail/internal/obs"
 	"mindetail/internal/persist"
+	"mindetail/internal/wal"
 	"mindetail/internal/warehouse"
 )
 
@@ -70,6 +71,10 @@ type shell struct {
 	prompt bool
 	buf    strings.Builder
 
+	// dur is non-nil while the session is bound to a durable directory via
+	// \open: every mutation is write-ahead logged and survives a crash.
+	dur *wal.Durable
+
 	// live mirrors w for the -obs HTTP goroutine: the REPL goroutine stores
 	// it on every \load, the metrics server loads it per request, so the
 	// swap is race-clean without locking the REPL.
@@ -88,8 +93,20 @@ func (s *shell) printf(format string, args ...any) {
 	fmt.Fprintf(s.out, format, args...)
 }
 
+// closeDurable flushes and detaches the durable directory, if any.
+func (s *shell) closeDurable() {
+	if s.dur == nil {
+		return
+	}
+	if err := s.dur.Close(); err != nil {
+		s.printf("error closing durable directory: %v\n", err)
+	}
+	s.dur = nil
+}
+
 // run reads input until EOF or \q.
 func (s *shell) run(in io.Reader) {
+	defer s.closeDurable()
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if s.prompt {
@@ -157,6 +174,9 @@ func (s *shell) meta(cmd string) bool {
   \export VIEW F   write a view's contents to CSV file F
   \save FILE       snapshot warehouse state (views + auxiliary data)
   \load FILE       replace the session with a restored snapshot
+  \open DIR        bind the session to a durable directory (WAL + snapshot);
+                   recovers existing state, then write-ahead logs every mutation
+  \checkpoint      compact the durable directory (snapshot + trim the log)
   \detach          sever the sources (self-maintainability mode)
   \q               quit
 `)
@@ -273,9 +293,42 @@ func (s *shell) meta(cmd string) bool {
 			s.printf("error: %v\n", err)
 			break
 		}
+		s.closeDurable()
 		s.w = w
 		s.live.Store(w)
 		s.printf("restored from %s (%d views)\n", fields[1], len(w.ViewNames()))
+	case `\open`:
+		if len(fields) != 2 {
+			s.printf("usage: \\open DIR\n")
+			break
+		}
+		d, err := wal.Open(fields[1], wal.Options{})
+		if err != nil {
+			s.printf("error: %v\n", err)
+			break
+		}
+		s.closeDurable()
+		s.dur = d
+		s.w = d.Warehouse()
+		s.live.Store(s.w)
+		s.printf("opened durable warehouse %s (%d views, LSN %d", fields[1],
+			len(s.w.ViewNames()), s.w.LSN())
+		if torn := d.Log().TornBytes(); torn > 0 {
+			s.printf(", truncated %d torn tail bytes", torn)
+		}
+		s.printf(")\n")
+	case `\checkpoint`:
+		if s.dur == nil {
+			s.printf("error: no durable directory open (\\open DIR first)\n")
+			break
+		}
+		before := s.dur.Log().Size()
+		if err := s.dur.Checkpoint(); err != nil {
+			s.printf("error: %v\n", err)
+			break
+		}
+		s.printf("checkpoint at LSN %d (log %d -> %d bytes)\n",
+			s.w.LSN(), before, s.dur.Log().Size())
 	default:
 		s.printf("unknown command %s (\\help for help)\n", fields[0])
 	}

@@ -175,3 +175,38 @@ SELECT total, cnt FROM totals;
 		}
 	}
 }
+
+func TestShellOpenCheckpoint(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "dw")
+	out := drive(t, "\\open "+dir+`
+CREATE TABLE sale (id INTEGER PRIMARY KEY, price FLOAT);
+INSERT INTO sale VALUES (1, 10), (2, 5);
+CREATE MATERIALIZED VIEW totals AS
+SELECT SUM(price) AS total, COUNT(*) AS cnt FROM sale;
+\checkpoint
+INSERT INTO sale VALUES (3, 2.5);
+\q
+`)
+	if !strings.Contains(out, "opened durable warehouse") {
+		t.Fatalf("\\open failed:\n%s", out)
+	}
+	if !strings.Contains(out, "checkpoint at LSN") {
+		t.Fatalf("\\checkpoint failed:\n%s", out)
+	}
+
+	// A second session over the same directory recovers everything —
+	// including the post-checkpoint insert that only lives in the log.
+	out = drive(t, "\\open "+dir+`
+SELECT total, cnt FROM totals;
+\q
+`)
+	if !strings.Contains(out, "17.5") || !strings.Contains(out, "| 3") {
+		t.Fatalf("recovered session lost state:\n%s", out)
+	}
+
+	// \checkpoint without \open reports a usable error.
+	out = drive(t, "\\checkpoint\n\\open\n\\q\n")
+	if !strings.Contains(out, "no durable directory open") || !strings.Contains(out, "usage: \\open DIR") {
+		t.Errorf("error handling:\n%s", out)
+	}
+}

@@ -26,9 +26,17 @@ func main() {
 	mixName := flag.String("mix", "default", "delta mix: default or insert-only")
 	view := flag.String("view", "paper", "view: paper, csmas, or elimination")
 	metrics := flag.Bool("metrics", false, "dump the observability snapshot (stage histograms, counters, traces) as JSON after the run")
+	walDir := flag.String("wal", "", "durability mode: run the scenario against a durable warehouse in this directory (WAL + snapshot), ending with a recovery self-check")
+	walSync := flag.String("wal-sync", "commit", "WAL fsync policy in -wal mode: always, commit, or never")
 	flag.Parse()
 
-	if err := run(os.Stdout, *scale, *deltas, *mixName, *view, *metrics); err != nil {
+	var err error
+	if *walDir != "" {
+		err = runWAL(os.Stdout, *walDir, *scale, *deltas, *mixName, *view, *walSync)
+	} else {
+		err = run(os.Stdout, *scale, *deltas, *mixName, *view, *metrics)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwsim:", err)
 		os.Exit(1)
 	}

@@ -52,3 +52,35 @@ func TestRunMetricsDump(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWALMode(t *testing.T) {
+	dir := t.TempDir() + "/dw"
+	var b strings.Builder
+	if err := runWAL(&b, dir, 1500, 30, "default", "paper", "never"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"detached sources; checkpoint at LSN",
+		"streamed 30 logged deltas",
+		"recovery self-check: OK",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Reusing a non-empty directory is refused.
+	if err := runWAL(&b, dir, 1500, 30, "default", "paper", "never"); err == nil {
+		t.Error("non-empty directory accepted")
+	}
+	// Bad arguments surface as errors.
+	if err := runWAL(&b, t.TempDir()+"/x", 1500, 5, "bogus", "paper", "never"); err == nil {
+		t.Error("bad mix accepted")
+	}
+	if err := runWAL(&b, t.TempDir()+"/y", 1500, 5, "default", "bogus", "never"); err == nil {
+		t.Error("bad view accepted")
+	}
+	if err := runWAL(&b, t.TempDir()+"/z", 1500, 5, "default", "paper", "bogus"); err == nil {
+		t.Error("bad sync policy accepted")
+	}
+}

@@ -1,0 +1,277 @@
+package faultinject_test
+
+// The crash-point harness: the WAL's end-to-end correctness argument.
+//
+// For every statement in a fixed workload and every injection point the
+// statement visits, this file simulates a crash at that point — the
+// on-disk bytes at that instant are all a restart gets to see — recovers,
+// and asserts the recovered warehouse is byte-identical to the state
+// before the failed statement (the mutation was never acknowledged, so it
+// must not survive). A second sweep truncates the log at every byte
+// offset inside the final mutation's intent and commit records and
+// asserts recovery lands exactly on the pre-mutation oracle, flipping to
+// the post-mutation oracle only once the commit record is whole.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mindetail/internal/faultinject"
+	"mindetail/internal/persist"
+	"mindetail/internal/wal"
+	"mindetail/internal/warehouse"
+)
+
+const crashDDL = `
+CREATE TABLE product (id INTEGER PRIMARY KEY, brand STRING MUTABLE, category STRING);
+CREATE TABLE sale (id INTEGER PRIMARY KEY, productid INTEGER REFERENCES product, qty INTEGER, price FLOAT MUTABLE);
+CREATE MATERIALIZED VIEW by_brand AS
+  SELECT brand, SUM(price) AS total, COUNT(*) AS cnt
+  FROM sale, product WHERE sale.productid = product.id GROUP BY brand;
+CREATE MATERIALIZED VIEW by_category AS
+  SELECT category, SUM(qty) AS q, COUNT(*) AS cnt
+  FROM sale, product WHERE sale.productid = product.id GROUP BY category;
+`
+
+// Prices are multiples of 0.25 so float aggregation is exact and the
+// byte-identity assertions are independent of accumulation order.
+var crashSteps = []string{
+	`INSERT INTO product VALUES (1, 'acme', 'tools');`,
+	`INSERT INTO product VALUES (2, 'zenith', 'toys');`,
+	`INSERT INTO sale VALUES (10, 1, 3, 9.75);`,
+	`INSERT INTO sale VALUES (11, 2, 1, 4.25), (12, 1, 2, 8.5);`,
+	`UPDATE sale SET price = 5.25 WHERE id = 11;`,
+	`UPDATE product SET brand = 'nadir' WHERE id = 2;`,
+	`DELETE FROM sale WHERE id = 10;`,
+	`INSERT INTO sale VALUES (13, 2, 4, 2.75);`,
+}
+
+// snap serializes a warehouse to its canonical persisted form — sorted
+// rows, tagged values, the committed LSN — the byte-identity oracle.
+func snap(t *testing.T, w *warehouse.Warehouse) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := persist.Save(w, &buf, !w.Detached()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// crashImage copies the durable directory byte for byte, simulating
+// kill -9 at this instant.
+func crashImage(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// recoverBytes opens the durable directory, snapshots the recovered
+// warehouse, and closes it again.
+func recoverBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	r, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("recovery from %s: %v", dir, err)
+	}
+	defer r.Close()
+	return snap(t, r.Warehouse())
+}
+
+// TestFaultInjectionCrashRecovery drives every workload statement through
+// a WAL-attached warehouse, failing at the N-th injection point for
+// N = 1, 2, ... until the statement commits cleanly. After every injected
+// failure it checks both halves of the contract:
+//
+//  1. rollback — the live warehouse is byte-identical to its pre-statement
+//     state, and
+//  2. crash — recovering from a copy of the on-disk bytes taken at the
+//     instant of the failure also lands byte-identically on the
+//     pre-statement state: the aborted (or outcome-less) intent in the
+//     log must not leak into recovery.
+func TestFaultInjectionCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	w := d.Warehouse()
+	if _, err := w.Exec(crashDDL); err != nil {
+		t.Fatal(err)
+	}
+
+	const limit = 100000
+	for k, sql := range crashSteps {
+		committed := false
+		for failAt := int64(1); failAt <= limit; failAt++ {
+			before := snap(t, w)
+			h := faultinject.NewHook(failAt)
+			w.SetFaultHook(h)
+			_, err := w.Exec(sql)
+			w.SetFaultHook(nil)
+			if err == nil {
+				if p, fired := h.Fired(); fired {
+					t.Fatalf("step %d %q: hook fired at %s but Exec succeeded", k, sql, p)
+				}
+				committed = true
+				break
+			}
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("step %d %q failAt=%d: genuine error: %v", k, sql, failAt, err)
+			}
+			p, _ := h.Fired()
+			when := fmt.Sprintf("step %d %q failAt=%d (%s)", k, sql, failAt, p)
+			if got := snap(t, w); !bytes.Equal(got, before) {
+				t.Fatalf("%s: live state changed after rollback", when)
+			}
+			if got := recoverBytes(t, crashImage(t, dir)); !bytes.Equal(got, before) {
+				t.Fatalf("%s: crash-image recovery diverged from pre-statement state:\n got:\n%s\nwant:\n%s",
+					when, got, before)
+			}
+		}
+		if !committed {
+			t.Fatalf("step %d %q: sweep did not terminate within %d injection points", k, sql, limit)
+		}
+	}
+
+	// The clean final state itself recovers byte-identically.
+	want := snap(t, w)
+	if got := recoverBytes(t, crashImage(t, dir)); !bytes.Equal(got, want) {
+		t.Fatal("final state does not survive recovery")
+	}
+}
+
+// TestFaultInjectionTornWriteSweep cuts the log at every byte offset
+// inside the final mutation's intent and commit records — every possible
+// torn write of the tail — and asserts recovery is all-or-nothing: any
+// cut strictly before the end of the commit record recovers the
+// pre-mutation oracle; the whole file recovers the post-mutation oracle.
+func TestFaultInjectionTornWriteSweep(t *testing.T) {
+	// Oracle runs: k-1 steps and k steps in their own durable dirs, so the
+	// logged LSN sequences match the torn run exactly.
+	oracle := func(steps int) []byte {
+		dir := t.TempDir()
+		d, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		if _, err := d.Warehouse().Exec(crashDDL); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			if _, err := d.Warehouse().Exec(crashSteps[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return snap(t, d.Warehouse())
+	}
+	wantPrev := oracle(len(crashSteps) - 1)
+	wantFull := oracle(len(crashSteps))
+
+	// The run whose log we tear.
+	dir := t.TempDir()
+	d, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Warehouse().Exec(crashDDL); err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range crashSteps {
+		if _, err := d.Warehouse().Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	whole, err := os.ReadFile(filepath.Join(dir, wal.LogFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, ends, derr := wal.Decode(whole)
+	if derr != nil {
+		t.Fatalf("baseline log not clean: %v", derr)
+	}
+	// The final mutation is the last intent+commit pair; its intent starts
+	// where the antepenultimate record ends.
+	n := len(recs)
+	if n < 3 || recs[n-1].Kind != wal.KindCommit || recs[n-2].Kind != wal.KindDelta {
+		t.Fatalf("unexpected log tail: %v %v", recs[n-2].Kind, recs[n-1].Kind)
+	}
+	intentStart := ends[n-3]
+
+	for cut := intentStart + 1; cut <= int64(len(whole)); cut++ {
+		img := t.TempDir()
+		if err := os.WriteFile(filepath.Join(img, wal.LogFile), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := recoverBytes(t, img)
+		want, label := wantPrev, "pre-mutation"
+		if cut == int64(len(whole)) {
+			want, label = wantFull, "post-mutation"
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cut %d (of %d): recovered state differs from %s oracle:\n got:\n%s\nwant:\n%s",
+				cut, len(whole), label, got, want)
+		}
+	}
+}
+
+// TestFaultInjectionCheckpointCrash simulates a crash between the
+// checkpoint's snapshot rename and the log trim: the stale log suffix
+// must replay idempotently against the newer snapshot.
+func TestFaultInjectionCheckpointCrash(t *testing.T) {
+	dir := t.TempDir()
+	d, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	w := d.Warehouse()
+	if _, err := w.Exec(crashDDL); err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range crashSteps {
+		if _, err := w.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := snap(t, w)
+
+	// Keep the pre-checkpoint log (full history), then checkpoint, then
+	// construct the crash image: new snapshot + old, untrimmed log.
+	staleLog, err := os.ReadFile(filepath.Join(dir, wal.LogFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	img := crashImage(t, dir)
+	if err := os.WriteFile(filepath.Join(img, wal.LogFile), staleLog, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := recoverBytes(t, img); !bytes.Equal(got, want) {
+		t.Fatal("stale log suffix after checkpoint rename was not replayed idempotently")
+	}
+}

@@ -54,6 +54,11 @@ const (
 	// SourceApplied fires in the Warehouse DML paths after the source
 	// tables were mutated, before propagation to the views begins.
 	SourceApplied
+	// WALLogged fires in the Warehouse write-ahead path after the intent
+	// record was appended (and synced) to the log, before the transactional
+	// apply begins — a crash here leaves a durable intent with no outcome,
+	// which recovery must discard.
+	WALLogged
 
 	// NumPoints is the number of distinct injection points.
 	NumPoints
@@ -69,6 +74,7 @@ var pointNames = [NumPoints]string{
 	"RekeyGroup",
 	"PropagateView",
 	"SourceApplied",
+	"WALLogged",
 }
 
 // String returns the symbolic name of the point.

@@ -1,0 +1,100 @@
+package persist
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/warehouse"
+)
+
+// corruptSnapshots is the seed corpus of broken snapshot images: every
+// class of corruption Load must reject with an error — truncated header,
+// truncated records, bad value tags, wrong column counts, bad LSNs —
+// without ever panicking.
+var corruptSnapshots = []string{
+	"",                                  // empty file
+	"mindetail-snapsho",                 // truncated header magic
+	"mindetail-snapshot,1\n",            // header with too few columns
+	"mindetail-snapshot,1,false\n",      // still too few
+	"mindetail-snapshot,2,false,true\n", // future version
+	"mindetail-snapshot,1,false,false\nlsn\n",                                                                      // lsn with no value
+	"mindetail-snapshot,1,false,false\nlsn,banana\n",                                                               // non-numeric lsn
+	"mindetail-snapshot,1,false,false\nlsn,5,extra\n",                                                              // lsn with extra column
+	"mindetail-snapshot,1,false,false\nddl\n",                                                                      // ddl with no SQL
+	"mindetail-snapshot,1,false,false\nddl,CREATE TABLE t (id INTEGER PRIMARY KEY);\nview,v\n",                     // view with wrong column count
+	"mindetail-snapshot,1,false,false\nddl,CREATE TABLE t (id INTEGER PRIMARY KEY);\nmvrow\n",                      // mvrow with no view name
+	"mindetail-snapshot,1,false,false\nddl,CREATE TABLE t (id INTEGER PRIMARY KEY);\nauxrow,v\n",                   // auxrow with no table
+	"mindetail-snapshot,1,false,false\nddl,CREATE TABLE t (id INTEGER PRIMARY KEY);\nsrcrow,t,q:7\n",               // bad value tag
+	"mindetail-snapshot,1,false,false\nddl,CREATE TABLE t (id INTEGER PRIMARY KEY);\nsrcrow,t,i:notanint\n",        // bad int payload
+	"mindetail-snapshot,1,false,false\nddl,CREATE TABLE t (id INTEGER PRIMARY KEY);\nsrcrow,t,f:notafloat\n",       // bad float payload
+	"mindetail-snapshot,1,false,false\nddl,CREATE TABLE t (id INTEGER PRIMARY KEY);\nsrcrow,t,i:1,i:2\n",           // wrong column count for table
+	"mindetail-snapshot,1,false,false\nddl,CREATE TABLE t (id INTEGER PRIMARY KEY);\nsrcrow,nosuch,i:1\n",          // row for unknown table
+	"mindetail-snapshot,1,false,false\nddl,CREATE TABLE t (id INTEGER PRIMARY KEY);\nsrcrow,t,i:1\nsrcrow,t,i:1\n", // duplicate primary key
+}
+
+// TestLoadCorruptedSnapshotsRecover runs the whole corrupt corpus through
+// Load and requires a clean rejection for each.
+func TestLoadCorruptedSnapshotsRecover(t *testing.T) {
+	for _, s := range corruptSnapshots {
+		if _, err := Load(strings.NewReader(s)); err == nil {
+			t.Errorf("Load accepted corrupt snapshot:\n%s", s)
+		}
+	}
+}
+
+// FuzzLoad feeds arbitrary bytes — seeded with a valid snapshot and the
+// corrupt corpus — into Load. Any input may be rejected; none may panic
+// or force a huge allocation. When Load accepts an input, the restored
+// warehouse must itself re-save cleanly (the accepted state is coherent).
+func FuzzLoad(f *testing.F) {
+	w := warehouseForFuzz(f)
+	var buf strings.Builder
+	if err := Save(w, &buf, true); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid)
+	// A detached snapshot too, so the corpus covers both header shapes.
+	var det strings.Builder
+	if err := Save(w, &det, false); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(det.String())
+	for _, s := range corruptSnapshots {
+		f.Add(s)
+	}
+	// Mechanical corruptions of the valid image: truncations at record-ish
+	// boundaries and single-byte flips.
+	if len(valid) > 40 {
+		f.Add(valid[:17])           // inside the header
+		f.Add(valid[:len(valid)/2]) // mid-stream truncation
+		f.Add(valid[:len(valid)-3]) // torn final record
+		flip := []byte(valid)
+		flip[25] ^= 0xFF
+		f.Add(string(flip))
+	}
+
+	f.Fuzz(func(t *testing.T, data string) {
+		w, err := Load(strings.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var out strings.Builder
+		if err := Save(w, &out, !w.Detached()); err != nil {
+			t.Fatalf("accepted snapshot cannot re-save: %v\ninput:\n%s", err, data)
+		}
+	})
+}
+
+// warehouseForFuzz builds a small warehouse whose snapshot exercises every
+// value tag: NULLs and bools appear in view states (COUNT DISTINCT
+// bookkeeping), ints, floats, and strings with commas/newlines/quotes in
+// the source rows.
+func warehouseForFuzz(f *testing.F) *warehouse.Warehouse {
+	f.Helper()
+	w := warehouse.New()
+	if _, err := w.Exec(setupSQL); err != nil {
+		f.Fatal(err)
+	}
+	return w
+}

@@ -44,6 +44,11 @@ func Save(w *warehouse.Warehouse, out io.Writer, includeSources bool) error {
 		strconv.FormatBool(w.Detached()), strconv.FormatBool(includeSources)); err != nil {
 		return err
 	}
+	// The committed LSN ties the snapshot to a position in the write-ahead
+	// log: recovery replays only the committed log suffix past it.
+	if err := write("lsn", strconv.FormatUint(w.LSN(), 10)); err != nil {
+		return err
+	}
 	if err := write("ddl", ddlFor(w.Catalog())); err != nil {
 		return err
 	}
@@ -115,6 +120,7 @@ func Load(in io.Reader) (*warehouse.Warehouse, error) {
 	var views []*viewState
 	byName := make(map[string]*viewState)
 	ddlSeen := false
+	var lsn uint64
 
 	for {
 		rec, err := cr.Read()
@@ -125,6 +131,15 @@ func Load(in io.Reader) (*warehouse.Warehouse, error) {
 			return nil, fmt.Errorf("persist: %w", err)
 		}
 		switch rec[0] {
+		case "lsn":
+			if len(rec) != 2 {
+				return nil, fmt.Errorf("persist: malformed lsn record")
+			}
+			n, err := strconv.ParseUint(rec[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("persist: bad lsn %q", rec[1])
+			}
+			lsn = n
 		case "ddl":
 			if len(rec) != 2 {
 				return nil, fmt.Errorf("persist: malformed ddl record")
@@ -173,6 +188,9 @@ func Load(in io.Reader) (*warehouse.Warehouse, error) {
 				rel.Rows = append(rel.Rows, row)
 			}
 		case "mvrow":
+			if len(rec) < 2 {
+				return nil, fmt.Errorf("persist: malformed mvrow record")
+			}
 			vs := byName[rec[1]]
 			if vs == nil {
 				return nil, fmt.Errorf("persist: mvrow for unknown view %s", rec[1])
@@ -203,6 +221,7 @@ func Load(in io.Reader) (*warehouse.Warehouse, error) {
 	if wasDetached || !hasSources {
 		w.DetachSources()
 	}
+	w.SetLSN(lsn)
 	return w, nil
 }
 

@@ -1,0 +1,163 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mindetail/internal/persist"
+	"mindetail/internal/warehouse"
+)
+
+// File names inside a durable warehouse directory.
+const (
+	SnapshotFile = "snapshot"
+	LogFile      = "wal.log"
+)
+
+// Options configures a durable warehouse directory.
+type Options struct {
+	// Sync is the log's fsync policy (default SyncAlways).
+	Sync SyncPolicy
+}
+
+// Durable binds a warehouse to an on-disk directory holding its latest
+// snapshot and write-ahead log. Open recovers; Checkpoint compacts.
+type Durable struct {
+	dir string
+	w   *warehouse.Warehouse
+	log *Log
+}
+
+// Open opens (creating if needed) the durable warehouse in dir:
+// it loads the latest snapshot when one exists, opens the log (truncating
+// any half-written tail record), replays the committed suffix past the
+// snapshot's recorded LSN through the normal propagate path, and attaches
+// the log so subsequent mutations are write-ahead logged. The recovered
+// warehouse is bit-identical to one that never crashed; mutations whose
+// commit record never reached disk were never acknowledged and are
+// dropped.
+func Open(dir string, opts Options) (*Durable, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var w *warehouse.Warehouse
+	snapPath := filepath.Join(dir, SnapshotFile)
+	if f, err := os.Open(snapPath); err == nil {
+		w, err = persist.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("wal: loading snapshot %s: %w", snapPath, err)
+		}
+	} else if errors.Is(err, os.ErrNotExist) {
+		w = warehouse.New()
+	} else {
+		return nil, err
+	}
+
+	log, err := OpenLog(filepath.Join(dir, LogFile), opts.Sync)
+	if err != nil {
+		return nil, err
+	}
+	log.SetObs(w.ObsRegistry())
+	recs, err := log.Records()
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	if err := Replay(w, recs); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("wal: replaying %s: %w", log.Path(), err)
+	}
+	w.SetWAL(log)
+	return &Durable{dir: dir, w: w, log: log}, nil
+}
+
+// Replay applies the committed intents of recs to w in log order,
+// skipping — idempotently, by LSN — everything the warehouse's snapshot
+// already covers, and dropping intents with a missing or abort outcome.
+func Replay(w *warehouse.Warehouse, recs []Record) error {
+	committed := make(map[uint64]bool)
+	for _, r := range recs {
+		if r.Kind == KindCommit {
+			committed[r.LSN] = true
+		}
+	}
+	for _, r := range recs {
+		if !committed[r.LSN] {
+			continue
+		}
+		switch r.Kind {
+		case KindDelta:
+			if err := w.ReplayDelta(r.LSN, r.Delta, r.SrcApplied); err != nil {
+				return err
+			}
+		case KindDDL:
+			if err := w.ReplayDDL(r.LSN, r.SQL); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Warehouse returns the recovered, WAL-attached warehouse.
+func (d *Durable) Warehouse() *warehouse.Warehouse { return d.w }
+
+// Log returns the underlying write-ahead log.
+func (d *Durable) Log() *Log { return d.log }
+
+// Dir returns the durable directory.
+func (d *Durable) Dir() string { return d.dir }
+
+// Checkpoint compacts the log: it writes a snapshot of the warehouse
+// (sources included while attached) to a temporary file, fsyncs it,
+// atomically renames it over the previous snapshot, and trims the log to
+// a single checkpoint record. A crash between the rename and the trim is
+// harmless — replay of the stale suffix is idempotent by LSN. Like
+// persist.Save, Checkpoint must not run concurrently with writes to the
+// warehouse.
+func (d *Durable) Checkpoint() error {
+	tmp := filepath.Join(d.dir, SnapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := persist.Save(d.w, f, !d.w.Detached()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, SnapshotFile)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(d.dir)
+	return d.log.Reset(d.w.LSN())
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable;
+// best effort (not all platforms support it).
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		_ = f.Sync()
+		f.Close()
+	}
+}
+
+// Close detaches and closes the log. The warehouse remains usable in
+// memory but further mutations are no longer logged.
+func (d *Durable) Close() error {
+	d.w.SetWAL(nil)
+	return d.log.Close()
+}

@@ -1,0 +1,275 @@
+package wal_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/persist"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+	"mindetail/internal/wal"
+	"mindetail/internal/warehouse"
+)
+
+const testDDL = `
+CREATE TABLE product (id INTEGER PRIMARY KEY, brand STRING MUTABLE, category STRING);
+CREATE TABLE sale (id INTEGER PRIMARY KEY, productid INTEGER REFERENCES product, qty INTEGER, price FLOAT MUTABLE);
+CREATE MATERIALIZED VIEW by_brand AS
+  SELECT brand, SUM(price) AS total, COUNT(*) AS cnt
+  FROM sale, product WHERE sale.productid = product.id GROUP BY brand;
+CREATE MATERIALIZED VIEW by_category AS
+  SELECT category, SUM(qty) AS q, COUNT(*) AS cnt
+  FROM sale, product WHERE sale.productid = product.id GROUP BY category;
+`
+
+// Prices are multiples of 0.25 so float aggregation is exact and the
+// byte-identity assertions are independent of accumulation order.
+var testSteps = []string{
+	`INSERT INTO product VALUES (1, 'acme', 'tools');`,
+	`INSERT INTO product VALUES (2, 'zenith', 'toys');`,
+	`INSERT INTO sale VALUES (10, 1, 3, 9.75);`,
+	`INSERT INTO sale VALUES (11, 2, 1, 4.25), (12, 1, 2, 8.5);`,
+	`UPDATE sale SET price = 5.25 WHERE id = 11;`,
+	`UPDATE product SET brand = 'nadir' WHERE id = 2;`,
+	`DELETE FROM sale WHERE id = 10;`,
+	`INSERT INTO sale VALUES (13, 2, 4, 2.75);`,
+}
+
+// stateBytes snapshots a warehouse to its canonical persisted form —
+// sorted rows, tagged values, the committed LSN — used as the
+// byte-identity oracle in the recovery tests.
+func stateBytes(t *testing.T, w *warehouse.Warehouse) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := persist.Save(w, &buf, !w.Detached()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// openDurable opens a durable warehouse with SyncAlways in dir.
+func openDurable(t *testing.T, dir string) *wal.Durable {
+	t.Helper()
+	d, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// runSteps executes DDL plus the first k mutation steps.
+func runSteps(t *testing.T, w *warehouse.Warehouse, k int) {
+	t.Helper()
+	if _, err := w.Exec(testDDL); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if _, err := w.Exec(testSteps[i]); err != nil {
+			t.Fatalf("step %d (%s): %v", i, testSteps[i], err)
+		}
+	}
+}
+
+// copyDir simulates kill -9: the on-disk bytes at this instant are all a
+// restart gets to see.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestRecoverFromLogOnly replays DDL and every delta from a log with no
+// snapshot at all, and must match a never-crashed run byte for byte.
+func TestRecoverFromLogOnly(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir)
+	runSteps(t, d.Warehouse(), len(testSteps))
+	want := stateBytes(t, d.Warehouse())
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openDurable(t, dir)
+	defer r.Close()
+	got := stateBytes(t, r.Warehouse())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered state differs from live state:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if r.Warehouse().LSN() == 0 {
+		t.Fatal("recovered warehouse lost its LSN")
+	}
+}
+
+// TestRecoverSnapshotPlusSuffix checkpoints mid-stream, applies more
+// deltas, and recovers from snapshot + committed log suffix.
+func TestRecoverSnapshotPlusSuffix(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir)
+	runSteps(t, d.Warehouse(), 4)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < len(testSteps); i++ {
+		if _, err := d.Warehouse().Exec(testSteps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := stateBytes(t, d.Warehouse())
+	d.Close()
+
+	r := openDurable(t, dir)
+	defer r.Close()
+	if got := stateBytes(t, r.Warehouse()); !bytes.Equal(got, want) {
+		t.Fatalf("snapshot+suffix recovery diverged:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCheckpointTrimsLog verifies compaction shrinks the log and that a
+// recovery immediately after a checkpoint replays nothing.
+func TestCheckpointTrimsLog(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir)
+	runSteps(t, d.Warehouse(), len(testSteps))
+	before := d.Log().Size()
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Log().Size() >= before {
+		t.Fatalf("checkpoint did not trim the log: %d -> %d", before, d.Log().Size())
+	}
+	want := stateBytes(t, d.Warehouse())
+	lsn := d.Warehouse().LSN()
+	d.Close()
+
+	r := openDurable(t, dir)
+	defer r.Close()
+	if got := r.Warehouse().LSN(); got != lsn {
+		t.Fatalf("LSN after checkpointed recovery = %d, want %d", got, lsn)
+	}
+	if got := stateBytes(t, r.Warehouse()); !bytes.Equal(got, want) {
+		t.Fatal("checkpointed recovery diverged")
+	}
+}
+
+// TestRecoveryIsIdempotent recovers twice from the same crash image: a
+// stale suffix whose LSNs the snapshot already covers must be skipped.
+func TestRecoveryIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir)
+	runSteps(t, d.Warehouse(), len(testSteps))
+	want := stateBytes(t, d.Warehouse())
+	d.Close()
+
+	img := copyDir(t, dir)
+	r1 := openDurable(t, img)
+	got1 := stateBytes(t, r1.Warehouse())
+	r1.Close()
+	r2 := openDurable(t, img)
+	defer r2.Close()
+	got2 := stateBytes(t, r2.Warehouse())
+	if !bytes.Equal(got1, want) || !bytes.Equal(got2, want) {
+		t.Fatal("repeated recovery diverged")
+	}
+}
+
+// TestDetachedApplyDeltaRecovery exercises the paper's detached scenario:
+// after DetachSources every change arrives via ApplyDelta; the logged
+// deltas carry srcApplied=false and recovery must not touch sources.
+func TestDetachedApplyDeltaRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir)
+	w := d.Warehouse()
+	runSteps(t, w, 4)
+	w.DetachSources()
+	if err := d.Checkpoint(); err != nil { // snapshot without sources
+		t.Fatal(err)
+	}
+	deltas := []maintain.Delta{
+		{Table: "sale", Inserts: []tuple.Tuple{
+			{types.Int(20), types.Int(1), types.Int(2), types.Float(3.25)},
+		}},
+		{Table: "sale", Deletes: []tuple.Tuple{
+			{types.Int(11), types.Int(2), types.Int(1), types.Float(4.25)},
+		}},
+	}
+	for _, del := range deltas {
+		if err := w.ApplyDelta(del); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := stateBytes(t, w)
+	d.Close()
+
+	r := openDurable(t, dir)
+	defer r.Close()
+	if !r.Warehouse().Detached() {
+		t.Fatal("recovered warehouse is not detached")
+	}
+	if got := stateBytes(t, r.Warehouse()); !bytes.Equal(got, want) {
+		t.Fatalf("detached recovery diverged:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	// The recovered warehouse keeps maintaining: one more delta, and its
+	// views still answer.
+	if err := r.Warehouse().ApplyDelta(maintain.Delta{Table: "sale", Inserts: []tuple.Tuple{
+		{types.Int(21), types.Int(2), types.Int(5), types.Float(1.5)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Warehouse().Query("by_brand"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDanglingIntentDropped simulates a crash after the intent was made
+// durable but before the apply finished: recovery must discard the
+// unacknowledged mutation.
+func TestDanglingIntentDropped(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir)
+	w := d.Warehouse()
+	runSteps(t, w, 4)
+	want := stateBytes(t, w)
+	wantLSN := w.LSN()
+
+	// Append a bare intent with no outcome, as logAndPropagate would have
+	// just before the crash.
+	if _, err := d.Log().BeginDelta(maintain.Delta{Table: "sale", Inserts: []tuple.Tuple{
+		{types.Int(99), types.Int(1), types.Int(1), types.Float(1.0)},
+	}}, true); err != nil {
+		t.Fatal(err)
+	}
+	img := copyDir(t, dir)
+	d.Close()
+
+	r := openDurable(t, img)
+	defer r.Close()
+	if got := r.Warehouse().LSN(); got != wantLSN {
+		t.Fatalf("recovered LSN = %d, want %d (dangling intent must not commit)", got, wantLSN)
+	}
+	if got := stateBytes(t, r.Warehouse()); !bytes.Equal(got, want) {
+		t.Fatal("dangling intent leaked into recovered state")
+	}
+	// The next mutation must get a fresh LSN past the dangling one.
+	if _, err := r.Warehouse().Exec(`INSERT INTO sale VALUES (30, 1, 1, 2.25);`); err != nil {
+		t.Fatal(err)
+	}
+	if r.Warehouse().LSN() <= wantLSN {
+		t.Fatal("LSN did not advance past the dangling intent")
+	}
+}

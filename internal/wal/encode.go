@@ -1,0 +1,302 @@
+// Record payload encoding for the write-ahead log.
+//
+// A payload is self-delimiting binary: a kind byte, the record's LSN as a
+// uvarint, and a kind-specific body. Values keep their exact kind — unlike
+// the group-key encoding in internal/types, an Int never normalizes to a
+// Float bit pattern, so a replayed delta is byte-for-byte the delta that
+// was logged.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// Kind identifies a record's role in the log.
+type Kind byte
+
+const (
+	// KindDelta is a mutation intent: one maintain.Delta, plus whether the
+	// source tables were mutated alongside it (DML and ImportCSV batches)
+	// or not (ApplyDelta on a detached warehouse).
+	KindDelta Kind = 1
+	// KindDDL is a schema-change intent: the SQL text of a CREATE TABLE or
+	// CREATE MATERIALIZED VIEW statement.
+	KindDDL Kind = 2
+	// KindCommit marks the intent with the same LSN as applied.
+	KindCommit Kind = 3
+	// KindAbort marks the intent with the same LSN as rolled back.
+	KindAbort Kind = 4
+	// KindCheckpoint records that every LSN up to and including the
+	// record's LSN is captured by the snapshot; written when the log is
+	// compacted.
+	KindCheckpoint Kind = 5
+)
+
+// String returns the symbolic name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDelta:
+		return "delta"
+	case KindDDL:
+		return "ddl"
+	case KindCommit:
+		return "commit"
+	case KindAbort:
+		return "abort"
+	case KindCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("Kind(%d)", byte(k))
+}
+
+// Record is one decoded log record. Intent records (KindDelta, KindDDL)
+// carry a fresh LSN; outcome records (KindCommit, KindAbort) reference the
+// intent's LSN.
+type Record struct {
+	LSN  uint64
+	Kind Kind
+
+	// SrcApplied reports whether the delta also mutated the source tables
+	// when it was first applied (KindDelta only); replay repeats the source
+	// mutation exactly when this is set and the warehouse is attached.
+	SrcApplied bool
+	Delta      maintain.Delta // KindDelta
+	SQL        string         // KindDDL
+}
+
+// value tags; one byte per value, exact-kind round-trip.
+const (
+	tagNull  = 0
+	tagBool  = 1
+	tagInt   = 2
+	tagFloat = 3
+	tagStr   = 4
+)
+
+// readUvarint decodes a uvarint and rejects non-minimal encodings, so
+// every valid payload has exactly one byte representation (a property the
+// decoder fuzz test asserts by re-encoding).
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, sz := binary.Uvarint(b)
+	if sz <= 0 || (sz > 1 && b[sz-1] == 0) {
+		return 0, nil, fmt.Errorf("wal: bad uvarint")
+	}
+	return v, b[sz:], nil
+}
+
+// readVarint is readUvarint for signed (zigzag) varints.
+func readVarint(b []byte) (int64, []byte, error) {
+	v, sz := binary.Varint(b)
+	if sz <= 0 || (sz > 1 && b[sz-1] == 0) {
+		return 0, nil, fmt.Errorf("wal: bad varint")
+	}
+	return v, b[sz:], nil
+}
+
+func appendValue(dst []byte, v types.Value) []byte {
+	switch v.Kind() {
+	case types.KindNull:
+		return append(dst, tagNull)
+	case types.KindBool:
+		if v.AsBool() {
+			return append(dst, tagBool, 1)
+		}
+		return append(dst, tagBool, 0)
+	case types.KindInt:
+		dst = append(dst, tagInt)
+		return binary.AppendVarint(dst, v.AsInt())
+	case types.KindFloat:
+		dst = append(dst, tagFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.AsFloat()))
+	default:
+		dst = append(dst, tagStr)
+		s := v.AsString()
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	}
+}
+
+func decodeValue(b []byte) (types.Value, []byte, error) {
+	if len(b) == 0 {
+		return types.Null, nil, fmt.Errorf("wal: truncated value")
+	}
+	tag, b := b[0], b[1:]
+	switch tag {
+	case tagNull:
+		return types.Null, b, nil
+	case tagBool:
+		if len(b) < 1 || b[0] > 1 {
+			return types.Null, nil, fmt.Errorf("wal: bad bool byte")
+		}
+		return types.Bool(b[0] == 1), b[1:], nil
+	case tagInt:
+		n, rest, err := readVarint(b)
+		if err != nil {
+			return types.Null, nil, fmt.Errorf("wal: bad int varint")
+		}
+		return types.Int(n), rest, nil
+	case tagFloat:
+		if len(b) < 8 {
+			return types.Null, nil, fmt.Errorf("wal: truncated float")
+		}
+		return types.Float(math.Float64frombits(binary.LittleEndian.Uint64(b))), b[8:], nil
+	case tagStr:
+		n, rest, err := readUvarint(b)
+		if err != nil || uint64(len(rest)) < n {
+			return types.Null, nil, fmt.Errorf("wal: bad string length")
+		}
+		return types.Str(string(rest[:n])), rest[n:], nil
+	}
+	return types.Null, nil, fmt.Errorf("wal: unknown value tag %d", tag)
+}
+
+func appendTuple(dst []byte, row tuple.Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(row)))
+	for _, v := range row {
+		dst = appendValue(dst, v)
+	}
+	return dst
+}
+
+func decodeTuple(b []byte) (tuple.Tuple, []byte, error) {
+	n, b, err := readUvarint(b)
+	if err != nil || n > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("wal: bad tuple arity")
+	}
+	row := make(tuple.Tuple, n)
+	for i := range row {
+		var err error
+		row[i], b, err = decodeValue(b)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return row, b, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func decodeString(b []byte) (string, []byte, error) {
+	n, rest, err := readUvarint(b)
+	if err != nil || uint64(len(rest)) < n {
+		return "", nil, fmt.Errorf("wal: bad string length")
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// appendPayload encodes rec (kind, LSN, body) onto dst.
+func appendPayload(dst []byte, rec Record) []byte {
+	dst = append(dst, byte(rec.Kind))
+	dst = binary.AppendUvarint(dst, rec.LSN)
+	switch rec.Kind {
+	case KindDelta:
+		flag := byte(0)
+		if rec.SrcApplied {
+			flag = 1
+		}
+		dst = append(dst, flag)
+		dst = appendString(dst, rec.Delta.Table)
+		dst = binary.AppendUvarint(dst, uint64(len(rec.Delta.Inserts)))
+		for _, r := range rec.Delta.Inserts {
+			dst = appendTuple(dst, r)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(rec.Delta.Deletes)))
+		for _, r := range rec.Delta.Deletes {
+			dst = appendTuple(dst, r)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(rec.Delta.Updates)))
+		for _, u := range rec.Delta.Updates {
+			dst = appendTuple(dst, u.Old)
+			dst = appendTuple(dst, u.New)
+		}
+	case KindDDL:
+		dst = appendString(dst, rec.SQL)
+	}
+	return dst
+}
+
+// decodePayload parses one record payload. Trailing bytes are an error:
+// a payload is exactly one record.
+func decodePayload(b []byte) (Record, error) {
+	var rec Record
+	if len(b) == 0 {
+		return rec, fmt.Errorf("wal: empty payload")
+	}
+	rec.Kind = Kind(b[0])
+	b = b[1:]
+	lsn, b, err := readUvarint(b)
+	if err != nil {
+		return rec, fmt.Errorf("wal: bad LSN varint")
+	}
+	rec.LSN = lsn
+	switch rec.Kind {
+	case KindDelta:
+		if len(b) < 1 || b[0] > 1 {
+			return rec, fmt.Errorf("wal: bad delta flag byte")
+		}
+		rec.SrcApplied = b[0] == 1
+		b = b[1:]
+		if rec.Delta.Table, b, err = decodeString(b); err != nil {
+			return rec, err
+		}
+		readTuples := func(b []byte) ([]tuple.Tuple, []byte, error) {
+			n, b, err := readUvarint(b)
+			if err != nil || n > uint64(len(b)) {
+				return nil, nil, fmt.Errorf("wal: bad tuple count")
+			}
+			if n == 0 {
+				return nil, b, nil
+			}
+			rows := make([]tuple.Tuple, n)
+			for i := range rows {
+				var err error
+				if rows[i], b, err = decodeTuple(b); err != nil {
+					return nil, nil, err
+				}
+			}
+			return rows, b, nil
+		}
+		if rec.Delta.Inserts, b, err = readTuples(b); err != nil {
+			return rec, err
+		}
+		if rec.Delta.Deletes, b, err = readTuples(b); err != nil {
+			return rec, err
+		}
+		var n uint64
+		if n, b, err = readUvarint(b); err != nil || n > uint64(len(b)) {
+			return rec, fmt.Errorf("wal: bad update count")
+		}
+		if n > 0 {
+			rec.Delta.Updates = make([]maintain.Update, n)
+			for i := range rec.Delta.Updates {
+				if rec.Delta.Updates[i].Old, b, err = decodeTuple(b); err != nil {
+					return rec, err
+				}
+				if rec.Delta.Updates[i].New, b, err = decodeTuple(b); err != nil {
+					return rec, err
+				}
+			}
+		}
+	case KindDDL:
+		if rec.SQL, b, err = decodeString(b); err != nil {
+			return rec, err
+		}
+	case KindCommit, KindAbort, KindCheckpoint:
+		// LSN only.
+	default:
+		return rec, fmt.Errorf("wal: unknown record kind %d", byte(rec.Kind))
+	}
+	if len(b) != 0 {
+		return rec, fmt.Errorf("wal: %d trailing bytes in payload", len(b))
+	}
+	return rec, nil
+}

@@ -1,0 +1,421 @@
+// Package wal is a checksummed, length-prefixed write-ahead log of
+// warehouse mutations, and the recovery path built on it.
+//
+// Every logical mutation — a DML delta, an ImportCSV batch, a CREATE
+// TABLE / CREATE MATERIALIZED VIEW statement — is appended as an intent
+// record carrying a fresh, monotonic LSN and made durable *before* the
+// transactional in-memory apply (PR 2); its outcome (commit or abort) is
+// appended after. Recovery is persist.Load of the latest snapshot plus an
+// idempotent replay of the committed log suffix past the snapshot's
+// recorded LSN, through the exact propagate path a live warehouse uses, so
+// a recovered warehouse is bit-identical to one that never crashed
+// (whenever float aggregation is exact; a group recompute over
+// snapshot-restored detail rows may re-sum floats in a different order).
+//
+// On-disk format:
+//
+//	file   = magic record*
+//	magic  = "MDWAL" 0x00 version(0x01) '\n'          (8 bytes)
+//	record = len:uint32le crc:uint32le payload[len]    (crc = CRC-32C of payload)
+//
+// A half-written tail record — short frame, short payload, or checksum
+// mismatch — is detected on open and the file is truncated back to the
+// last whole record; an intent whose outcome never made it to disk was
+// never acknowledged and is discarded by replay. The log assumes a single
+// appending writer (the warehouse serializes writes under its lock).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/obs"
+)
+
+var magic = []byte{'M', 'D', 'W', 'A', 'L', 0x00, 0x01, '\n'}
+
+const frameHeader = 8 // uint32 length + uint32 CRC-32C
+
+// maxRecordLen bounds a single record so a garbage length prefix cannot
+// force a huge allocation during recovery.
+const maxRecordLen = 1 << 30
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy controls when the log fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append — intents and outcomes. The
+	// durability point of a mutation is its commit record either way; this
+	// policy additionally bounds the torn tail to one record.
+	SyncAlways SyncPolicy = iota
+	// SyncCommit fsyncs only after commit outcomes: one fsync per durable
+	// mutation, the intent riding the same flush.
+	SyncCommit
+	// SyncNever leaves flushing to the OS (benchmarks and tests; a crash
+	// may lose acknowledged mutations).
+	SyncNever
+)
+
+// Log is an append-only write-ahead log backed by one file. All methods
+// are safe for concurrent use, though the warehouse serializes appends
+// under its own lock.
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	policy  SyncPolicy
+	size    int64
+	nextLSN uint64
+	torn    int64 // bytes truncated from the tail on open
+	buf     []byte
+
+	// Observability (nil until SetObs): append/fsync latency histograms,
+	// log size and LSN gauges, and record counters.
+	appendNs *obs.Histogram
+	fsyncNs  *obs.Histogram
+	sizeG    *obs.Gauge
+	lsnG     *obs.Gauge
+	tornG    *obs.Gauge
+	appends  *obs.Counter
+	commits  *obs.Counter
+	aborts   *obs.Counter
+}
+
+// OpenLog opens (creating if absent) the log at path, validates the
+// magic, scans the records to find the next LSN, and truncates any
+// half-written tail record. TornBytes reports how much was cut.
+func OpenLog(path string, policy SyncPolicy) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{f: f, path: path, policy: policy}
+	if err := l.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// recover validates the file, computes nextLSN, and truncates a torn tail.
+func (l *Log) recover() error {
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		if _, err := l.f.Write(magic); err != nil {
+			return err
+		}
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		l.size = int64(len(magic))
+		l.nextLSN = 1
+		return nil
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+		return fmt.Errorf("wal: %s is not a mindetail WAL (bad magic)", l.path)
+	}
+	recs, ends, _ := Decode(data)
+	end := validEnd(ends)
+	l.torn = int64(len(data)) - end
+	if l.torn > 0 {
+		if err := l.f.Truncate(end); err != nil {
+			return err
+		}
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Seek(end, 0); err != nil {
+		return err
+	}
+	l.size = end
+	l.nextLSN = 1
+	for _, r := range recs {
+		if r.LSN >= l.nextLSN {
+			l.nextLSN = r.LSN + 1
+		}
+	}
+	return nil
+}
+
+// Decode parses the framed records of a full log image (including the
+// magic). It returns the decoded records, the byte offset just past each
+// whole, checksum-valid record (ends[i] for record i; so ends[len-1], or
+// len(magic) when there are no records, is the end of the valid prefix),
+// and the error that terminated the scan (nil when the image ends exactly
+// on a record boundary). Everything past the valid prefix is a torn tail:
+// with a single appending writer an invalid frame can only be the
+// unfinished last write.
+func Decode(data []byte) ([]Record, []int64, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+		return nil, nil, fmt.Errorf("wal: bad magic")
+	}
+	var recs []Record
+	var ends []int64
+	off := int64(len(magic))
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return recs, ends, nil
+		}
+		if len(rest) < frameHeader {
+			return recs, ends, fmt.Errorf("wal: torn frame header at offset %d", off)
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if n > maxRecordLen || uint64(len(rest)-frameHeader) < uint64(n) {
+			return recs, ends, fmt.Errorf("wal: torn payload at offset %d", off)
+		}
+		payload := rest[frameHeader : frameHeader+int(n)]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return recs, ends, fmt.Errorf("wal: checksum mismatch at offset %d", off)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return recs, ends, fmt.Errorf("wal: offset %d: %w", off, err)
+		}
+		recs = append(recs, rec)
+		off += frameHeader + int64(n)
+		ends = append(ends, off)
+	}
+}
+
+// validEnd returns the end offset of the valid record prefix for ends as
+// returned by Decode.
+func validEnd(ends []int64) int64 {
+	if len(ends) == 0 {
+		return int64(len(magic))
+	}
+	return ends[len(ends)-1]
+}
+
+// Records re-reads the log file and returns its decoded records (the torn
+// tail, had there been one, was already truncated by Open).
+func (l *Log) Records() ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		return nil, err
+	}
+	recs, _, _ := Decode(data)
+	return recs, nil
+}
+
+// SetObs registers the log's metrics — wal.append.ns and wal.fsync.ns
+// latency histograms, wal.size_bytes / wal.lsn / wal.torn_bytes_truncated
+// gauges, and append/commit/abort counters — in the given registry.
+func (l *Log) SetObs(reg *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.appendNs = reg.Histogram("wal.append.ns")
+	l.fsyncNs = reg.Histogram("wal.fsync.ns")
+	l.sizeG = reg.Gauge("wal.size_bytes")
+	l.lsnG = reg.Gauge("wal.lsn")
+	l.tornG = reg.Gauge("wal.torn_bytes_truncated")
+	l.appends = reg.Counter("wal.appends")
+	l.commits = reg.Counter("wal.records.commit")
+	l.aborts = reg.Counter("wal.records.abort")
+	l.sizeG.Set(l.size)
+	l.lsnG.Set(int64(l.nextLSN - 1))
+	l.tornG.Set(l.torn)
+}
+
+// append frames, writes, and (per policy) syncs one record. Callers hold
+// l.mu. On a failed or short write the file is truncated back to the
+// record boundary so the in-memory view of the log stays consistent.
+func (l *Log) append(rec Record, sync bool) error {
+	var start time.Time
+	if l.appendNs != nil {
+		start = time.Now()
+	}
+	payload := appendPayload(l.buf[:0], rec)
+	l.buf = payload
+	var frame [frameHeader]byte
+	binary.LittleEndian.PutUint32(frame[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := l.f.Write(frame[:]); err != nil {
+		l.rewind()
+		return err
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		l.rewind()
+		return err
+	}
+	l.size += frameHeader + int64(len(payload))
+	if l.appendNs != nil {
+		l.appendNs.ObserveSince(start)
+		l.appends.Inc()
+		l.sizeG.Set(l.size)
+	}
+	if sync {
+		return l.sync()
+	}
+	return nil
+}
+
+// rewind truncates the file back to the last known-good size after a
+// failed write. Best effort: if truncation fails too, the torn record is
+// detected and cut by the next Open.
+func (l *Log) rewind() {
+	_ = l.f.Truncate(l.size)
+	_, _ = l.f.Seek(l.size, 0)
+}
+
+func (l *Log) sync() error {
+	var start time.Time
+	if l.fsyncNs != nil {
+		start = time.Now()
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if l.fsyncNs != nil {
+		l.fsyncNs.ObserveSince(start)
+	}
+	return nil
+}
+
+// BeginDelta appends (and per policy syncs) a delta intent record and
+// returns its LSN. The warehouse calls this before staging the delta.
+func (l *Log) BeginDelta(d maintain.Delta, srcApplied bool) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.nextLSN
+	rec := Record{LSN: lsn, Kind: KindDelta, SrcApplied: srcApplied, Delta: d}
+	if err := l.append(rec, l.policy == SyncAlways); err != nil {
+		return 0, err
+	}
+	l.nextLSN++
+	if l.lsnG != nil {
+		l.lsnG.Set(int64(lsn))
+	}
+	return lsn, nil
+}
+
+// BeginDDL appends a DDL intent record and returns its LSN.
+func (l *Log) BeginDDL(sql string) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.nextLSN
+	if err := l.append(Record{LSN: lsn, Kind: KindDDL, SQL: sql}, l.policy == SyncAlways); err != nil {
+		return 0, err
+	}
+	l.nextLSN++
+	if l.lsnG != nil {
+		l.lsnG.Set(int64(lsn))
+	}
+	return lsn, nil
+}
+
+// Commit appends the commit outcome for lsn. This is the durability point
+// of the mutation: under SyncAlways and SyncCommit the record is fsynced
+// before Commit returns.
+func (l *Log) Commit(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.append(Record{LSN: lsn, Kind: KindCommit}, l.policy != SyncNever); err != nil {
+		return err
+	}
+	if l.commits != nil {
+		l.commits.Inc()
+	}
+	return nil
+}
+
+// Abort appends the abort outcome for lsn. Durability of an abort is not
+// required for correctness — a missing outcome is equally not-committed —
+// so it syncs only under SyncAlways.
+func (l *Log) Abort(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.append(Record{LSN: lsn, Kind: KindAbort}, l.policy == SyncAlways); err != nil {
+		return err
+	}
+	if l.aborts != nil {
+		l.aborts.Inc()
+	}
+	return nil
+}
+
+// Reset compacts the log after a checkpoint: the file is truncated to the
+// magic and a checkpoint record is written stating that every LSN up to
+// and including lsn lives in the snapshot. LSNs remain monotonic across
+// compactions.
+func (l *Log) Reset(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Truncate(int64(len(magic))); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(int64(len(magic)), 0); err != nil {
+		return err
+	}
+	l.size = int64(len(magic))
+	if lsn+1 > l.nextLSN {
+		l.nextLSN = lsn + 1
+	}
+	if err := l.append(Record{LSN: lsn, Kind: KindCheckpoint}, true); err != nil {
+		return err
+	}
+	if l.sizeG != nil {
+		l.sizeG.Set(l.size)
+	}
+	return nil
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// LastLSN returns the highest LSN ever assigned by this log (0 when none).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// TornBytes reports how many half-written tail bytes Open truncated.
+func (l *Log) TornBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.torn
+}
+
+// Sync forces an fsync regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sync()
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }

@@ -1,0 +1,284 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/obs"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+func testDelta(n int64) maintain.Delta {
+	return maintain.Delta{Table: "sale", Inserts: []tuple.Tuple{
+		{types.Int(n), types.Str("x"), types.Float(1.5)},
+	}}
+}
+
+// appendN logs n committed deltas and returns their LSNs.
+func appendN(t *testing.T, l *Log, n int) []uint64 {
+	t.Helper()
+	var lsns []uint64
+	for i := 0; i < n; i++ {
+		lsn, err := l.BeginDelta(testDelta(int64(i)), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	return lsns
+}
+
+func TestAppendReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsns := appendN(t, l, 3)
+	if lsns[0] != 1 || lsns[2] != 3 {
+		t.Fatalf("LSNs not monotonic from 1: %v", lsns)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLog(path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.TornBytes() != 0 {
+		t.Fatalf("clean log reported %d torn bytes", l2.TornBytes())
+	}
+	if got := l2.LastLSN(); got != 3 {
+		t.Fatalf("LastLSN after reopen = %d, want 3", got)
+	}
+	recs, err := l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 { // 3 intents + 3 commits
+		t.Fatalf("got %d records, want 6", len(recs))
+	}
+	// A fresh LSN continues past the reopened tail.
+	lsn, err := l2.BeginDelta(testDelta(9), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 4 {
+		t.Fatalf("next LSN after reopen = %d, want 4", lsn)
+	}
+}
+
+// TestTornTailEveryPrefix truncates the file at every byte offset inside
+// the final record and verifies Open cuts exactly back to the last whole
+// record, preserving every earlier one.
+func TestTornTailEveryPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := OpenLog(path, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	recs, ends, terr := Decode(whole)
+	if terr != nil || validEnd(ends) != int64(len(whole)) {
+		t.Fatalf("baseline log not clean: end=%d len=%d err=%v", validEnd(ends), len(whole), terr)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("baseline records = %d, want 4", len(recs))
+	}
+	// Offset where the last record begins.
+	lastStart := ends[len(ends)-2]
+	for cut := lastStart + 1; cut < int64(len(whole)); cut++ {
+		torn := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(torn, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tl, err := OpenLog(torn, SyncNever)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		if tl.TornBytes() != cut-lastStart {
+			t.Fatalf("cut %d: torn bytes = %d, want %d", cut, tl.TornBytes(), cut-lastStart)
+		}
+		got, err := tl.Records()
+		if err != nil {
+			t.Fatalf("cut %d: records: %v", cut, err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("cut %d: surviving records = %d, want 3", cut, len(got))
+		}
+		// The truncated file must be whole again: reopen is clean.
+		if st, _ := os.Stat(torn); st.Size() != lastStart {
+			t.Fatalf("cut %d: truncated size = %d, want %d", cut, st.Size(), lastStart)
+		}
+		tl.Close()
+	}
+}
+
+// TestCorruptTailChecksum flips a byte in the final record's payload: the
+// checksum must catch it and Open must truncate the record.
+func TestCorruptTailChecksum(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := OpenLog(path, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2)
+	l.Close()
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenLog(path, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.TornBytes() == 0 {
+		t.Fatal("checksum corruption not detected")
+	}
+	recs, _ := l2.Records()
+	if len(recs) != 3 {
+		t.Fatalf("surviving records = %d, want 3", len(recs))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("not a wal file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLog(path, SyncAlways); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+// TestGarbageLengthPrefix writes an absurd length prefix; recovery must
+// treat it as a torn tail without attempting the allocation.
+func TestGarbageLengthPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1)
+	l.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4, 5})
+	f.Close()
+	l2, err := OpenLog(path, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.TornBytes() != 9 {
+		t.Fatalf("torn bytes = %d, want 9", l2.TornBytes())
+	}
+}
+
+func TestResetCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 10)
+	before := l.Size()
+	if err := l.Reset(10); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() >= before {
+		t.Fatalf("Reset did not shrink the log: %d -> %d", before, l.Size())
+	}
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Kind != KindCheckpoint || recs[0].LSN != 10 {
+		t.Fatalf("after Reset, records = %+v, want one checkpoint at LSN 10", recs)
+	}
+	// LSNs stay monotonic across compaction.
+	lsn, err := l.BeginDelta(testDelta(1), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 11 {
+		t.Fatalf("LSN after compaction = %d, want 11", lsn)
+	}
+}
+
+func TestAbortOutcome(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path, SyncCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	lsn, err := l.BeginDelta(testDelta(1), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Abort(lsn); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := l.Records()
+	if len(recs) != 2 || recs[1].Kind != KindAbort || recs[1].LSN != lsn {
+		t.Fatalf("records = %+v, want intent+abort", recs)
+	}
+}
+
+func TestObsMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenLog(path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	reg := obs.NewRegistry()
+	l.SetObs(reg)
+	appendN(t, l, 2)
+	lsn, _ := l.BeginDelta(testDelta(7), false)
+	l.Abort(lsn)
+	snap := reg.Snapshot()
+	if got := snap.Counters["wal.appends"]; got != 6 {
+		t.Fatalf("wal.appends = %d, want 6", got)
+	}
+	if got := snap.Counters["wal.records.commit"]; got != 2 {
+		t.Fatalf("wal.records.commit = %d, want 2", got)
+	}
+	if got := snap.Counters["wal.records.abort"]; got != 1 {
+		t.Fatalf("wal.records.abort = %d, want 1", got)
+	}
+	if got := snap.Gauges["wal.lsn"]; got != 3 {
+		t.Fatalf("wal.lsn = %d, want 3", got)
+	}
+	if snap.Gauges["wal.size_bytes"] != l.Size() {
+		t.Fatalf("wal.size_bytes = %d, want %d", snap.Gauges["wal.size_bytes"], l.Size())
+	}
+	if h := snap.Histograms["wal.append.ns"]; h.Count != 6 {
+		t.Fatalf("wal.append.ns count = %d, want 6", h.Count)
+	}
+	if h := snap.Histograms["wal.fsync.ns"]; h.Count == 0 {
+		t.Fatal("wal.fsync.ns never observed under SyncAlways")
+	}
+}

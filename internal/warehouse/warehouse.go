@@ -59,6 +59,24 @@ type viewSnap struct {
 	rel *ra.Relation
 }
 
+// ChangeLog is the warehouse's write-ahead log surface (implemented by
+// internal/wal.Log). Intents are appended — and made durable — before the
+// transactional apply; outcomes are recorded after. The interface lives
+// here so the warehouse stays free of any dependency on the log's on-disk
+// format.
+type ChangeLog interface {
+	// BeginDelta durably records the intent to apply d (srcApplied marks
+	// deltas that also mutate the source tables) and returns its LSN.
+	BeginDelta(d maintain.Delta, srcApplied bool) (uint64, error)
+	// BeginDDL durably records the intent to execute a DDL statement.
+	BeginDDL(sql string) (uint64, error)
+	// Commit records that the intent with the given LSN applied; this is
+	// the mutation's durability point.
+	Commit(lsn uint64) error
+	// Abort records that the intent with the given LSN rolled back.
+	Abort(lsn uint64) error
+}
+
 // Warehouse owns the catalog, the (detachable) sources, and the
 // materialized views. All methods are safe for concurrent use: reads
 // (Query, Report, ViewNames) proceed concurrently while writes (Exec DML,
@@ -71,6 +89,12 @@ type Warehouse struct {
 	order    []string
 	detached bool
 	fi       *faultinject.Hook
+
+	// wal, when set, receives every mutation before it is applied; lsn is
+	// the LSN of the last committed mutation (restored from snapshots,
+	// advanced on every commit), readable lock-free via LSN().
+	wal ChangeLog
+	lsn atomic.Uint64
 
 	// viewIdx is a copy-on-write index of views, republished (under mu)
 	// whenever a view is added, so Query can locate a view without taking
@@ -165,6 +189,24 @@ func (w *Warehouse) Detached() bool {
 	return w.detached
 }
 
+// SetWAL installs (nil removes) a write-ahead log: every subsequent
+// mutation is logged as a durable intent before it is applied, and its
+// outcome recorded after.
+func (w *Warehouse) SetWAL(l ChangeLog) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.wal = l
+}
+
+// LSN returns the log sequence number of the last committed mutation
+// (0 when nothing was ever logged). It is lock-free.
+func (w *Warehouse) LSN() uint64 { return w.lsn.Load() }
+
+// SetLSN seeds the committed LSN — the snapshot-restore path
+// (internal/persist); replay then skips every logged mutation at or below
+// it.
+func (w *Warehouse) SetLSN(n uint64) { w.lsn.Store(n) }
+
 // SetFaultHook installs (nil removes) a fault-injection hook on the
 // warehouse and every view engine. Tests only.
 func (w *Warehouse) SetFaultHook(h *faultinject.Hook) {
@@ -197,9 +239,9 @@ func (w *Warehouse) Exec(sql string) (*ra.Relation, error) {
 		last = nil
 		switch st := s.Stmt.(type) {
 		case *sqlparse.CreateTable:
-			err = w.createTable(st)
+			err = w.createTable(st, s.SQL)
 		case *sqlparse.CreateView:
-			err = w.createView(st)
+			err = w.createView(st, s.SQL)
 		case *sqlparse.SelectStmt:
 			last, err = w.query(st)
 		case *sqlparse.Insert:
@@ -247,10 +289,50 @@ func (w *Warehouse) MustExec(sql string) *ra.Relation {
 	return rel
 }
 
-func (w *Warehouse) createTable(st *sqlparse.CreateTable) error {
+// beginDDL write-ahead-logs a DDL intent. logSQL == "" (the replay path)
+// or a warehouse without a WAL log nothing; logged reports whether an
+// outcome must be recorded.
+func (w *Warehouse) beginDDL(logSQL string) (lsn uint64, logged bool, err error) {
+	if w.wal == nil || logSQL == "" {
+		return 0, false, nil
+	}
+	lsn, err = w.wal.BeginDDL(logSQL)
+	if err != nil {
+		return 0, false, fmt.Errorf("warehouse: wal append: %w", err)
+	}
+	return lsn, true, nil
+}
+
+// finishDDL records the outcome of a logged DDL intent and advances the
+// committed LSN. A commit-record write failure is surfaced: the statement
+// applied in memory but is not durable.
+func (w *Warehouse) finishDDL(lsn uint64, logged bool, applyErr error) error {
+	if !logged {
+		return applyErr
+	}
+	if applyErr != nil {
+		_ = w.wal.Abort(lsn)
+		return applyErr
+	}
+	if err := w.wal.Commit(lsn); err != nil {
+		return fmt.Errorf("warehouse: DDL applied in memory but WAL commit failed (not durable): %w", err)
+	}
+	w.lsn.Store(lsn)
+	return nil
+}
+
+func (w *Warehouse) createTable(st *sqlparse.CreateTable, logSQL string) error {
 	if w.detached {
 		return fmt.Errorf("warehouse: sources are detached")
 	}
+	lsn, logged, err := w.beginDDL(logSQL)
+	if err != nil {
+		return err
+	}
+	return w.finishDDL(lsn, logged, w.applyCreateTable(st))
+}
+
+func (w *Warehouse) applyCreateTable(st *sqlparse.CreateTable) error {
 	if err := w.cat.AddTable(st.Table); err != nil {
 		return err
 	}
@@ -263,10 +345,18 @@ func (w *Warehouse) createTable(st *sqlparse.CreateTable) error {
 	return nil
 }
 
-func (w *Warehouse) createView(st *sqlparse.CreateView) error {
+func (w *Warehouse) createView(st *sqlparse.CreateView, logSQL string) error {
 	if w.detached {
 		return fmt.Errorf("warehouse: sources are detached; views must be created before detaching")
 	}
+	lsn, logged, err := w.beginDDL(logSQL)
+	if err != nil {
+		return err
+	}
+	return w.finishDDL(lsn, logged, w.applyCreateView(st))
+}
+
+func (w *Warehouse) applyCreateView(st *sqlparse.CreateView) error {
 	if _, dup := w.views[st.Name]; dup {
 		return fmt.Errorf("warehouse: view %s already exists", st.Name)
 	}
@@ -449,7 +539,140 @@ func (w *Warehouse) sourceApplied(d maintain.Delta) error {
 	if err := w.fi.Fire(faultinject.SourceApplied); err != nil {
 		return err
 	}
-	return w.propagate(d)
+	return w.logAndPropagate(d, true)
+}
+
+// logAndPropagate wraps propagate with write-ahead logging: the intent is
+// appended (and per policy fsynced) before any view stages the delta, the
+// outcome after. On rollback the abort record is best-effort — a missing
+// outcome reads as not-committed at recovery, which is exactly right.
+func (w *Warehouse) logAndPropagate(d maintain.Delta, srcApplied bool) error {
+	if w.wal == nil {
+		return w.propagate(d)
+	}
+	lsn, err := w.wal.BeginDelta(d, srcApplied)
+	if err != nil {
+		return fmt.Errorf("warehouse: wal append: %w", err)
+	}
+	if err := w.fi.Fire(faultinject.WALLogged); err != nil {
+		_ = w.wal.Abort(lsn)
+		return err
+	}
+	if err := w.propagate(d); err != nil {
+		_ = w.wal.Abort(lsn)
+		return err
+	}
+	if err := w.wal.Commit(lsn); err != nil {
+		// The views applied the delta in memory but its commit record is
+		// not durable: surface the failure so the caller knows a crash now
+		// would lose this (un-acknowledged) mutation at recovery.
+		return fmt.Errorf("warehouse: delta applied in memory but WAL commit failed (not durable): %w", err)
+	}
+	w.lsn.Store(lsn)
+	return nil
+}
+
+// ReplayDelta re-applies a logged, committed delta during recovery: the
+// source tables first (when the delta originally mutated them and the
+// warehouse is attached), then the existing propagate path, so views and
+// auxiliary views end bit-identical to a never-crashed run. Replay is
+// idempotent — deltas at or below the committed LSN (already captured by
+// the snapshot) are skipped — and never write-ahead-logged again.
+func (w *Warehouse) ReplayDelta(lsn uint64, d maintain.Delta, srcApplied bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn <= w.lsn.Load() {
+		return nil
+	}
+	if w.cat.Table(d.Table) == nil {
+		return fmt.Errorf("warehouse: replay lsn %d: unknown table %s", lsn, d.Table)
+	}
+	var undo func()
+	if srcApplied && !w.detached {
+		var err error
+		if undo, err = w.replaySource(d); err != nil {
+			return fmt.Errorf("warehouse: replay lsn %d: %w", lsn, err)
+		}
+	}
+	if err := w.propagate(d); err != nil {
+		if undo != nil {
+			undo()
+		}
+		return fmt.Errorf("warehouse: replay lsn %d: %w", lsn, err)
+	}
+	w.lsn.Store(lsn)
+	return nil
+}
+
+// replaySource re-applies a delta's source-table mutations, returning an
+// undo that reverts them in reverse order (used when the subsequent
+// propagation fails).
+func (w *Warehouse) replaySource(d maintain.Delta) (func(), error) {
+	meta := w.cat.Table(d.Table)
+	var undos []func()
+	undoAll := func() {
+		for i := len(undos) - 1; i >= 0; i-- {
+			undos[i]()
+		}
+	}
+	for _, r := range d.Inserts {
+		if err := w.src.Insert(d.Table, r); err != nil {
+			undoAll()
+			return nil, err
+		}
+		key := r[meta.KeyIndex()]
+		undos = append(undos, func() { _ = w.src.UndoInsert(d.Table, key) })
+	}
+	for _, r := range d.Deletes {
+		del, err := w.src.Delete(d.Table, r[meta.KeyIndex()])
+		if err != nil {
+			undoAll()
+			return nil, err
+		}
+		undos = append(undos, func() { _ = w.src.UndoDelete(d.Table, del) })
+	}
+	for _, u := range d.Updates {
+		// Forward-apply the update by swapping in the new image under the
+		// (unchanged) key; the update was validated when first applied.
+		key := u.Old[meta.KeyIndex()]
+		newImg := u.New
+		if err := w.src.UndoUpdate(d.Table, key, newImg); err != nil {
+			undoAll()
+			return nil, err
+		}
+		oldImg := u.Old
+		undos = append(undos, func() { _ = w.src.UndoUpdate(d.Table, key, oldImg) })
+	}
+	return undoAll, nil
+}
+
+// ReplayDDL re-executes a logged, committed DDL statement during recovery
+// without logging it again. Like ReplayDelta it is idempotent by LSN.
+func (w *Warehouse) ReplayDDL(lsn uint64, sql string) error {
+	stmts, err := sqlparse.ParseScript(sql)
+	if err != nil {
+		return fmt.Errorf("warehouse: replay lsn %d: %w", lsn, err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn <= w.lsn.Load() {
+		return nil
+	}
+	for _, s := range stmts {
+		switch st := s.Stmt.(type) {
+		case *sqlparse.CreateTable:
+			err = w.createTable(st, "")
+		case *sqlparse.CreateView:
+			err = w.createView(st, "")
+		default:
+			err = fmt.Errorf("unsupported logged DDL %T", s.Stmt)
+		}
+		if err != nil {
+			return fmt.Errorf("warehouse: replay lsn %d: %w", lsn, err)
+		}
+	}
+	w.lsn.Store(lsn)
+	return nil
 }
 
 // matchRows returns the source rows of a table matching a conjunctive
@@ -696,7 +919,7 @@ func (w *Warehouse) ApplyDelta(d maintain.Delta) error {
 	if w.cat.Table(d.Table) == nil {
 		return fmt.Errorf("warehouse: unknown table %s", d.Table)
 	}
-	return w.propagate(d)
+	return w.logAndPropagate(d, false)
 }
 
 // ImportCSV bulk-loads CSV rows into a source table and propagates them to

@@ -45,6 +45,7 @@ import (
 	"mindetail/internal/sqlparse"
 	"mindetail/internal/tuple"
 	"mindetail/internal/types"
+	"mindetail/internal/wal"
 	"mindetail/internal/warehouse"
 	"mindetail/internal/workload"
 )
@@ -191,6 +192,31 @@ func Save(w *Warehouse, out io.Writer, includeSources bool) error {
 
 // Load restores a warehouse from a snapshot written by Save.
 func Load(in io.Reader) (*Warehouse, error) { return persist.Load(in) }
+
+// Durable is a warehouse bound to an on-disk directory holding a snapshot
+// and a write-ahead log: every mutation is logged before it is applied, so
+// a crash at any instant loses nothing that was acknowledged (see
+// internal/wal and DESIGN.md §10).
+type Durable = wal.Durable
+
+// DurableOptions configures OpenDurable (fsync policy).
+type DurableOptions = wal.Options
+
+// Sync policies for the write-ahead log, strongest first.
+const (
+	// SyncAlways fsyncs every record — intents and outcomes.
+	SyncAlways = wal.SyncAlways
+	// SyncCommit fsyncs once per durable mutation, on the commit record.
+	SyncCommit = wal.SyncCommit
+	// SyncNever leaves flushing to the OS (tests and benchmarks).
+	SyncNever = wal.SyncNever
+)
+
+// OpenDurable opens (or creates) a durable warehouse in dir. Recovery is
+// automatic: the snapshot is restored and the committed suffix of the log
+// is replayed through the normal maintenance path. Call Checkpoint to
+// compact the log and Close to release the directory.
+func OpenDurable(dir string, opts DurableOptions) (*Durable, error) { return wal.Open(dir, opts) }
 
 // RetailParams sizes the paper's Section 1.1 retail workload.
 type RetailParams = workload.RetailParams

@@ -30,8 +30,9 @@ test:
 
 # Race-check the concurrent layers: plan signatures, the maintenance
 # engine (recompute worker pool, delta memo, parallel shared-class
-# staging), the warehouse (parallel propagation, lock-free reads), the
-# write-ahead log, and the lock-free observability primitives.
+# staging, sharded applies), the warehouse (parallel propagation,
+# lock-free reads, the group-commit batch pipeline), the write-ahead log
+# (group committer), and the lock-free observability primitives.
 race:
 	$(GO) test -race ./internal/core/... ./internal/maintain/... ./internal/warehouse/... ./internal/obs/... ./internal/wal/...
 
@@ -41,7 +42,9 @@ race-all:
 # Run the failure-atomicity and crash-recovery suite explicitly (also part
 # of `test`): every injection point of every corpus delta must roll back to
 # bit-identical state — and, with a WAL attached, recover to it from the
-# on-disk bytes — under the race detector.
+# on-disk bytes — under the race detector. Covers the sharded apply paths
+# (TestFaultInjectionShardedApply) and the group-commit batch pipeline
+# (TestFaultInjectionGroupCommitBatch, TestFaultInjectionTornBatchCommitSweep).
 faultinject:
 	$(GO) test -race -run 'FaultInjection|Malformed|Rekey|Hook|Fuzz|Recover|Torn|Checkpoint|Dangling' ./internal/faultinject/... ./internal/maintain/... ./internal/warehouse/... ./internal/wal/... ./internal/persist/...
 

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+	"mindetail/internal/wal"
+)
+
+// The sharded-propagation benchmark measures the write pipeline end to end
+// at fan-out N: N adjacent deltas coalesce into one propagation, their
+// commit records group-commit under a single fsync (SyncCommit), and the
+// engines are configured N-way sharded. Fan-out 1 is the serial PR-5
+// pipeline: one delta per propagation, one fsync per commit. The per-delta
+// fixed costs — the fsync above all, then the per-propagation expand/join
+// setup — amortize across the batch, which is where the headline
+// improvement comes from. The deltas here are the paper's small-delta
+// regime, far below the engines' ShardMinRows threshold, so the engine's
+// own policy keeps these applies serial — the shard workers engage at
+// detail scale and are covered by the maintain shard suites and the
+// fault-injection sweeps.
+const (
+	shardBenchDeltas  = 64 // deltas applied per benchmark op
+	shardBenchRowsPer = 1  // rows per delta (the paper's small-delta regime)
+)
+
+// shardBenchSetup opens a durable warehouse (SyncCommit) with the two-view
+// schema of the WAL benchmarks, configured for fan-out shards.
+func shardBenchSetup(dir string, shards int) (*wal.Durable, error) {
+	d, err := wal.Open(dir, wal.Options{Sync: wal.SyncCommit})
+	if err != nil {
+		return nil, err
+	}
+	w := d.Warehouse()
+	if _, err := w.Exec(`
+CREATE TABLE product (id INTEGER PRIMARY KEY, brand STRING, category STRING);
+CREATE TABLE sale (id INTEGER PRIMARY KEY, productid INTEGER REFERENCES product, qty INTEGER, price FLOAT);
+CREATE MATERIALIZED VIEW by_brand AS
+  SELECT brand, SUM(price) AS total, COUNT(*) AS cnt
+  FROM sale, product WHERE sale.productid = product.id GROUP BY brand;
+CREATE MATERIALIZED VIEW by_category AS
+  SELECT category, SUM(qty) AS q, COUNT(*) AS cnt
+  FROM sale, product WHERE sale.productid = product.id GROUP BY category;
+INSERT INTO product VALUES (1, 'acme', 'tools'), (2, 'zenith', 'toys'), (3, 'nadir', 'tools');
+`); err != nil {
+		d.Close()
+		return nil, err
+	}
+	w.SetObs(false)
+	if shards > 1 {
+		w.SetEngineShards(shards)
+	}
+	return d, nil
+}
+
+// shardBenchDelta builds one insert-only sale delta of shardBenchRowsPer
+// fresh rows starting at id.
+func shardBenchDelta(id int64) maintain.Delta {
+	d := maintain.Delta{Table: "sale"}
+	for i := int64(0); i < shardBenchRowsPer; i++ {
+		k := id + i
+		d.Inserts = append(d.Inserts, tuple.Tuple{
+			types.Int(k), types.Int(k%3 + 1), types.Int(k % 7), types.Float(float64(k%20) * 0.25),
+		})
+	}
+	return d
+}
+
+// benchShardedPropagate measures one op = shardBenchDeltas deltas through
+// the pipeline at fan-out shards: batches of `shards` adjacent deltas per
+// ApplyDeltaBatch (so group commit and coalescing engage at exactly that
+// depth), engines sharded `shards` ways. shards == 1 degenerates to the
+// serial per-delta path with one fsync each.
+func benchShardedPropagate(shards int) (testing.BenchmarkResult, error) {
+	dir, err := os.MkdirTemp("", "shardbench")
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	d, err := shardBenchSetup(dir, shards)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer d.Close()
+	w := d.Warehouse()
+
+	var nextID int64 = 1000
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for applied := 0; applied < shardBenchDeltas; applied += shards {
+				batch := make([]maintain.Delta, shards)
+				for k := range batch {
+					batch[k] = shardBenchDelta(nextID)
+					nextID += shardBenchRowsPer
+				}
+				for j, err := range w.ApplyDeltaBatch(batch) {
+					if err != nil {
+						benchErr = fmt.Errorf("delta %d: %w", j, err)
+						b.Fatal(benchErr)
+					}
+				}
+			}
+		}
+	})
+	return r, benchErr
+}
+
+// benchWALAppendSyncCommit measures the single-stream durable commit path:
+// one intent + one commit with its own fsync per op. This is the
+// comparator the group-commit throughput is judged against.
+func benchWALAppendSyncCommit() (testing.BenchmarkResult, error) {
+	dir, err := os.MkdirTemp("", "walsynccommit")
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.OpenLog(filepath.Join(dir, "wal.log"), wal.SyncCommit)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer l.Close()
+	d := maintain.Delta{Table: "sale", Inserts: []tuple.Tuple{
+		{types.Int(1), types.Int(12), types.Int(307), types.Int(4), types.Float(19.75)},
+	}}
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lsn, err := l.BeginDelta(d, true)
+			if err == nil {
+				err = l.Commit(lsn)
+			}
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	return r, benchErr
+}
+
+// benchWALGroupCommit measures the same durable commit through a
+// GroupCommitter under concurrent writers: each op is still one intent +
+// one durably committed outcome, but the fsync is shared by whatever batch
+// the writer lands in (depth ≥ 16 by construction of the parallelism).
+func benchWALGroupCommit() (testing.BenchmarkResult, error) {
+	dir, err := os.MkdirTemp("", "walgroupcommit")
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.OpenLog(filepath.Join(dir, "wal.log"), wal.SyncCommit)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer l.Close()
+	g := wal.NewGroupCommitter(l, wal.DefaultGroupCommitDepth)
+	defer g.Close()
+	d := maintain.Delta{Table: "sale", Inserts: []tuple.Tuple{
+		{types.Int(1), types.Int(12), types.Int(307), types.Int(4), types.Float(19.75)},
+	}}
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetParallelism(64) // 64 writers per GOMAXPROCS: batch depth ≥ 16
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				lsn, err := l.BeginDelta(d, true)
+				if err == nil {
+					err = g.Commit(lsn)
+				}
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	return r, benchErr
+}
+
+// runShardBenches measures the sharded-propagation scaling curve and the
+// group-commit throughput pair for the JSON report.
+func runShardBenches() ([]benchResult, error) {
+	var results []benchResult
+	for _, shards := range []int{1, 2, 4, 8} {
+		r, err := benchShardedPropagate(shards)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, toResult(fmt.Sprintf("ShardedPropagate%d", shards), r))
+	}
+	single, err := benchWALAppendSyncCommit()
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, toResult("WALAppendSyncCommit", single))
+	group, err := benchWALGroupCommit()
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, toResult("WALGroupCommitThroughput", group))
+	return results, nil
+}

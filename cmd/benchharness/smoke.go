@@ -91,5 +91,21 @@ func smokeSubset() ([]benchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(results, walBenches...), nil
+	results = append(results, walBenches...)
+
+	// The sharded write pipeline: the scaling configs (fan-out 2/4/8) and
+	// the group-commit throughput, so a regression in shard partitioning,
+	// coalescing, or fsync batching fails the gate.
+	for _, shards := range []int{2, 4, 8} {
+		r, err := benchShardedPropagate(shards)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, toResult(fmt.Sprintf("ShardedPropagate%d", shards), r))
+	}
+	group, err := benchWALGroupCommit()
+	if err != nil {
+		return nil, err
+	}
+	return append(results, toResult("WALGroupCommitThroughput", group)), nil
 }

@@ -28,13 +28,15 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the observability snapshot (stage histograms, counters, traces) as JSON after the run")
 	walDir := flag.String("wal", "", "durability mode: run the scenario against a durable warehouse in this directory (WAL + snapshot), ending with a recovery self-check")
 	walSync := flag.String("wal-sync", "commit", "WAL fsync policy in -wal mode: always, commit, or never")
+	shards := flag.Int("shards", 1, "shard fan-out for the maintenance engines (1 = serial applies)")
+	batch := flag.Int("batch", 1, "in -wal mode, deltas per group-committed batch (1 = one fsync per delta)")
 	flag.Parse()
 
 	var err error
 	if *walDir != "" {
-		err = runWAL(os.Stdout, *walDir, *scale, *deltas, *mixName, *view, *walSync)
+		err = runWAL(os.Stdout, *walDir, *scale, *deltas, *mixName, *view, *walSync, *shards, *batch)
 	} else {
-		err = run(os.Stdout, *scale, *deltas, *mixName, *view, *metrics)
+		err = run(os.Stdout, *scale, *deltas, *mixName, *view, *metrics, *shards)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwsim:", err)
@@ -42,7 +44,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, scale, deltas int, mixName, view string, metrics bool) error {
+func run(w io.Writer, scale, deltas int, mixName, view string, metrics bool, shards int) error {
 	var mix workload.Mix
 	switch mixName {
 	case "default":
@@ -78,6 +80,10 @@ func run(w io.Writer, scale, deltas int, mixName, view string, metrics bool) err
 	eng, err := env.MinimalEngine(viewSQL)
 	if err != nil {
 		return err
+	}
+	if shards > 1 {
+		eng.Shards = shards
+		fmt.Fprintf(w, "sharded applies: %d-way fan-out\n", shards)
 	}
 	fmt.Fprintf(w, "derived and initialized auxiliary views in %s\n", time.Since(start).Round(time.Millisecond))
 	fmt.Fprintln(w)

@@ -24,7 +24,7 @@ import (
 // applied. The run ends with a recovery self-check: the directory is
 // reopened and the recovered warehouse must match the live one byte for
 // byte.
-func runWAL(w io.Writer, dir string, scale, deltas int, mixName, view, syncName string) error {
+func runWAL(w io.Writer, dir string, scale, deltas int, mixName, view, syncName string, shards, batch int) error {
 	var sync wal.SyncPolicy
 	switch syncName {
 	case "always":
@@ -78,6 +78,10 @@ func runWAL(w io.Writer, dir string, scale, deltas int, mixName, view, syncName 
 	if _, err := dw.Exec(workload.DDL()); err != nil {
 		return err
 	}
+	if shards > 1 {
+		dw.SetEngineShards(shards)
+		fmt.Fprintf(w, "sharded applies: %d-way fan-out\n", shards)
+	}
 
 	start := time.Now()
 	var loaded int
@@ -119,15 +123,31 @@ func runWAL(w io.Writer, dir string, scale, deltas int, mixName, view, syncName 
 		return err
 	}
 	start = time.Now()
-	for _, del := range ds {
-		if err := dw.ApplyDelta(del); err != nil {
-			return err
+	if batch > 1 {
+		// Group-committed batches: one fsync per batch instead of per delta,
+		// adjacent insert-only deltas coalesced into single propagations.
+		for lo := 0; lo < len(ds); lo += batch {
+			hi := lo + batch
+			if hi > len(ds) {
+				hi = len(ds)
+			}
+			for i, err := range dw.ApplyDeltaBatch(ds[lo:hi]) {
+				if err != nil {
+					return fmt.Errorf("batched delta %d: %w", lo+i, err)
+				}
+			}
+		}
+	} else {
+		for _, del := range ds {
+			if err := dw.ApplyDelta(del); err != nil {
+				return err
+			}
 		}
 	}
 	elapsed := time.Since(start)
-	fmt.Fprintf(w, "streamed %d logged deltas in %s (%.0f deltas/s, sync=%s)\n",
+	fmt.Fprintf(w, "streamed %d logged deltas in %s (%.0f deltas/s, sync=%s, batch=%d)\n",
 		len(ds), elapsed.Round(time.Millisecond),
-		float64(len(ds))/elapsed.Seconds(), syncName)
+		float64(len(ds))/elapsed.Seconds(), syncName, batch)
 	fmt.Fprintf(w, "log now %d bytes, LSN %d\n", d.Log().Size(), dw.LSN())
 
 	// Recovery self-check: everything acknowledged must be on disk.

@@ -21,7 +21,10 @@ import (
 	"testing"
 
 	"mindetail/internal/faultinject"
+	"mindetail/internal/maintain"
 	"mindetail/internal/persist"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
 	"mindetail/internal/wal"
 	"mindetail/internal/warehouse"
 )
@@ -273,5 +276,203 @@ func TestFaultInjectionCheckpointCrash(t *testing.T) {
 	}
 	if got := recoverBytes(t, img); !bytes.Equal(got, want) {
 		t.Fatal("stale log suffix after checkpoint rename was not replayed idempotently")
+	}
+}
+
+// batchDeltas builds the externally produced batch the group-commit crash
+// tests drive through ApplyDeltaBatch: adjacent insert-only sale deltas
+// (which coalesce) against the products the seed steps created. Prices are
+// multiples of 0.25 as above.
+func batchDeltas() []maintain.Delta {
+	ds := make([]maintain.Delta, 4)
+	for k := range ds {
+		ds[k].Table = "sale"
+		for i := 0; i < 2; i++ {
+			id := int64(100 + k*2 + i)
+			ds[k].Inserts = append(ds[k].Inserts, tuple.Tuple{
+				types.Int(id), types.Int(id%2 + 1), types.Int(id % 5), types.Float(float64(id%7) * 0.25),
+			})
+		}
+	}
+	return ds
+}
+
+// TestFaultInjectionGroupCommitBatch sweeps an injected failure through
+// every point a group-committed batch visits — per-member WAL logging,
+// every engine-level point of the (coalesced) propagation, and the
+// BatchCommit point in front of the group commit — and checks the
+// recovery contract at each:
+//
+//   - a failure at BatchCommit leaves the whole batch applied in memory
+//     but without a single durable outcome, so crash recovery lands
+//     byte-identically on the PRE-batch state: the batch is all-or-nothing
+//     against a crash before its group commit;
+//   - a failure anywhere else rolls back (only) the failed member, the
+//     survivors group-commit durably, and crash recovery lands
+//     byte-identically on the LIVE post-batch state.
+//
+// Each probe runs in a fresh durable directory because a BatchCommit
+// failure intentionally leaves live memory ahead of the log.
+func TestFaultInjectionGroupCommitBatch(t *testing.T) {
+	setup := func() (string, *wal.Durable, *warehouse.Warehouse) {
+		t.Helper()
+		dir := t.TempDir()
+		d, err := wal.Open(dir, wal.Options{Sync: wal.SyncCommit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := d.Warehouse()
+		for _, sql := range append([]string{crashDDL}, crashSteps[0], crashSteps[1]) {
+			if _, err := w.Exec(sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir, d, w
+	}
+
+	const limit = 100000
+	sawBatchCommit := false
+	committed := false
+	for failAt := int64(1); !committed && failAt <= limit; failAt++ {
+		dir, d, w := setup()
+		before := snap(t, w)
+		h := faultinject.NewHook(failAt)
+		w.SetFaultHook(h)
+		errs := w.ApplyDeltaBatch(batchDeltas())
+		w.SetFaultHook(nil)
+		p, fired := h.Fired()
+		when := fmt.Sprintf("failAt=%d (%s)", failAt, p)
+		if !fired {
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("clean batch: delta %d failed: %v", i, err)
+				}
+			}
+			committed = true
+		}
+		for i, err := range errs {
+			if err != nil && !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("%s: delta %d genuine error: %v", when, i, err)
+			}
+		}
+		got := recoverBytes(t, crashImage(t, dir))
+		if fired && p == faultinject.BatchCommit {
+			sawBatchCommit = true
+			if !bytes.Equal(got, before) {
+				t.Fatalf("%s: batch without group commit leaked into recovery", when)
+			}
+			failures := 0
+			for _, err := range errs {
+				if err != nil {
+					failures++
+				}
+			}
+			if failures != len(errs) {
+				t.Fatalf("%s: %d of %d members reported success without a durable commit", when, len(errs)-failures, len(errs))
+			}
+		} else if want := snap(t, w); !bytes.Equal(got, want) {
+			t.Fatalf("%s: crash-image recovery diverged from live post-batch state", when)
+		}
+		d.Close()
+	}
+	if !committed {
+		t.Fatalf("sweep did not terminate within %d injection points", limit)
+	}
+	if !sawBatchCommit {
+		t.Fatal("sweep never reached the BatchCommit injection point")
+	}
+}
+
+// TestFaultInjectionTornBatchCommitSweep group-commits a batch, then cuts
+// the log at every byte offset inside the batch's intent and commit
+// region — every possible torn write of the group-commit tail — and
+// asserts recovery equals the oracle holding exactly the members whose
+// commit records survived whole: torn intents and outcome-less members
+// vanish, each whole commit record flips exactly its member to durable.
+func TestFaultInjectionTornBatchCommitSweep(t *testing.T) {
+	batch := batchDeltas()
+
+	// oracle(j): the first j members applied individually. The WAL record
+	// shapes differ (interleaved intent/commit vs batched), but the LSN
+	// numbering and the recovered warehouse state are identical.
+	oracle := func(j int) []byte {
+		dir := t.TempDir()
+		d, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		w := d.Warehouse()
+		for _, sql := range append([]string{crashDDL}, crashSteps[0], crashSteps[1]) {
+			if _, err := w.Exec(sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < j; i++ {
+			if err := w.ApplyDelta(batch[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return snap(t, w)
+	}
+	oracles := make([][]byte, len(batch)+1)
+	for j := range oracles {
+		oracles[j] = oracle(j)
+	}
+
+	// The run whose log we tear: one ApplyDeltaBatch, so the tail is
+	// len(batch) intents followed by len(batch) commit records.
+	dir := t.TempDir()
+	d, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.Warehouse()
+	for _, sql := range append([]string{crashDDL}, crashSteps[0], crashSteps[1]) {
+		if _, err := w.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, err := range w.ApplyDeltaBatch(batch) {
+		if err != nil {
+			t.Fatalf("batch delta %d: %v", i, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	whole, err := os.ReadFile(filepath.Join(dir, wal.LogFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, ends, derr := wal.Decode(whole)
+	if derr != nil {
+		t.Fatalf("baseline log not clean: %v", derr)
+	}
+	n, b := len(recs), len(batch)
+	for i := 0; i < b; i++ {
+		if recs[n-2*b+i].Kind != wal.KindDelta || recs[n-b+i].Kind != wal.KindCommit {
+			t.Fatalf("log tail is not %d intents + %d commits", b, b)
+		}
+	}
+	regionStart := ends[n-2*b-1]
+
+	for cut := regionStart + 1; cut <= int64(len(whole)); cut++ {
+		// j = whole commit records of the batch at or before the cut.
+		j := 0
+		for i := n - b; i < n; i++ {
+			if ends[i] <= cut {
+				j++
+			}
+		}
+		img := t.TempDir()
+		if err := os.WriteFile(filepath.Join(img, wal.LogFile), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got := recoverBytes(t, img); !bytes.Equal(got, oracles[j]) {
+			t.Fatalf("cut %d (of %d, %d commits whole): recovered state differs from oracle(%d)",
+				cut, len(whole), j, j)
+		}
 	}
 }

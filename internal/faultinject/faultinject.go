@@ -59,6 +59,19 @@ const (
 	// apply begins — a crash here leaves a durable intent with no outcome,
 	// which recovery must discard.
 	WALLogged
+	// ShardAuxInstall fires in the sharded apply pipeline after the shard
+	// workers computed their auxiliary-table overlays, before the serial
+	// install phase writes the first overlay entry back into the table.
+	ShardAuxInstall
+	// ShardMVInstall fires in the sharded apply pipeline after the shard
+	// workers computed their materialized-view overlays, before the serial
+	// install phase writes the first group back into the view.
+	ShardMVInstall
+	// BatchCommit fires in Warehouse.ApplyDeltaBatch after every delta of
+	// the batch was logged and applied, before the group commit record(s)
+	// are appended and fsynced — a crash here leaves a tail of durable
+	// intents with no outcomes, which recovery must discard whole.
+	BatchCommit
 
 	// NumPoints is the number of distinct injection points.
 	NumPoints
@@ -75,6 +88,9 @@ var pointNames = [NumPoints]string{
 	"PropagateView",
 	"SourceApplied",
 	"WALLogged",
+	"ShardAuxInstall",
+	"ShardMVInstall",
+	"BatchCommit",
 }
 
 // String returns the symbolic name of the point.

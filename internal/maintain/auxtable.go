@@ -279,33 +279,51 @@ func (t *AuxTable) Adjust(plainVals tuple.Tuple, sumDeltas map[string]types.Valu
 		return err
 	}
 	t.jnl.noteAux(t, t.probeBuf)
-	row, exists := t.rows[string(t.probeBuf)]
+	row := t.rows[string(t.probeBuf)]
+	out, err := t.adjustCore(row, plainVals, sumDeltas, extrema, dCnt)
+	if err != nil {
+		return err
+	}
+	switch {
+	case row == nil && out != nil:
+		key := string(t.probeBuf)
+		t.rows[key] = out
+		t.indexAdd(out, key)
+	case row != nil && out == nil:
+		key := string(t.probeBuf)
+		t.indexRemove(row, key)
+		delete(t.rows, key)
+	}
+	// row != nil && out != nil: out is row, adjusted in place.
+	return nil
+}
 
+// adjustCore applies one signed contribution to a group image without
+// touching the table's row map or indexes: row is the current image (nil =
+// absent group) and the result is the image afterwards (nil = PSJ removal
+// or group death). Existing compressed rows are mutated in place; fresh
+// groups allocate. The caller reconciles storage — map, indexes, undo
+// journal. Shared by the serial Adjust path and the sharded overlay
+// pipeline, so both apply bit-identical arithmetic.
+func (t *AuxTable) adjustCore(row tuple.Tuple, plainVals tuple.Tuple, sumDeltas map[string]types.Value, extrema map[string]types.Value, dCnt int64) (tuple.Tuple, error) {
 	if t.def.IsPSJ {
 		switch {
-		case dCnt == 1 && !exists:
-			key := string(t.probeBuf)
-			nrow := plainVals.Clone()
-			t.rows[key] = nrow
-			t.indexAdd(nrow, key)
-			return nil
-		case dCnt == -1 && exists:
-			key := string(t.probeBuf)
-			t.indexRemove(row, key)
-			delete(t.rows, key)
-			return nil
+		case dCnt == 1 && row == nil:
+			return plainVals.Clone(), nil
+		case dCnt == -1 && row != nil:
+			return nil, nil
 		default:
-			return fmt.Errorf("maintain: %s: inconsistent PSJ adjustment (dCnt=%d, exists=%v) for %v",
-				t.def.Name, dCnt, exists, plainVals)
+			return nil, fmt.Errorf("maintain: %s: inconsistent PSJ adjustment (dCnt=%d, exists=%v) for %v",
+				t.def.Name, dCnt, row != nil, plainVals)
 		}
 	}
 
 	if (len(t.minPos) > 0 || len(t.maxPos) > 0) && dCnt < 0 {
-		return fmt.Errorf("maintain: %s: deletion reached an append-only auxiliary view", t.def.Name)
+		return nil, fmt.Errorf("maintain: %s: deletion reached an append-only auxiliary view", t.def.Name)
 	}
-	if !exists {
+	if row == nil {
 		if dCnt <= 0 {
-			return fmt.Errorf("maintain: %s: negative adjustment to missing group %v", t.def.Name, plainVals)
+			return nil, fmt.Errorf("maintain: %s: negative adjustment to missing group %v", t.def.Name, plainVals)
 		}
 		row = make(tuple.Tuple, len(t.cols))
 		for i, p := range t.plainPos {
@@ -321,21 +339,18 @@ func (t *AuxTable) Adjust(plainVals tuple.Tuple, sumDeltas map[string]types.Valu
 			row[p] = types.Null
 		}
 		row[t.cntPos] = types.Int(0)
-		key := string(t.probeBuf)
-		t.rows[key] = row
-		t.indexAdd(row, key)
 	}
 	for attr, d := range sumDeltas {
 		p, ok := t.sumPos[attr]
 		if !ok {
-			return fmt.Errorf("maintain: %s: no SUM column for %s", t.def.Name, attr)
+			return row, fmt.Errorf("maintain: %s: no SUM column for %s", t.def.Name, attr)
 		}
 		if row[p].IsNull() {
 			row[p] = d
 		} else {
 			s, err := types.Add(row[p], d)
 			if err != nil {
-				return err
+				return row, err
 			}
 			row[p] = s
 		}
@@ -355,21 +370,17 @@ func (t *AuxTable) Adjust(plainVals tuple.Tuple, sumDeltas map[string]types.Valu
 	if err := t.fi.Fire(faultinject.AuxAdjustMid); err != nil {
 		// Mid-operation failure: sums/extrema are already applied but the
 		// count is not — exactly the torn state the undo journal repairs.
-		return err
+		return row, err
 	}
 	cnt := row[t.cntPos].AsInt() + dCnt
 	if cnt < 0 {
-		return fmt.Errorf("maintain: %s: group %v count went negative", t.def.Name, plainVals)
+		return row, fmt.Errorf("maintain: %s: group %v count went negative", t.def.Name, plainVals)
 	}
 	row[t.cntPos] = types.Int(cnt)
 	if cnt == 0 {
-		// Group death implies the row pre-existed (the create branch adds a
-		// positive count), so probeBuf still holds the encoded key.
-		key := string(t.probeBuf)
-		t.indexRemove(row, key)
-		delete(t.rows, key)
+		return nil, nil
 	}
-	return nil
+	return row, nil
 }
 
 // CheckIndexes verifies every hash index against a from-scratch rebuild:

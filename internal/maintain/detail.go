@@ -3,6 +3,7 @@ package maintain
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"mindetail/internal/faultinject"
@@ -125,6 +126,29 @@ type joinState struct {
 	weights  []int64
 	included map[string]bool
 	ctx      detailCtx
+
+	// lk, when non-nil, is the private probe scratch of a parallel join
+	// worker; the serial path leaves it nil and reuses the engine's
+	// buffers (see Engine.auxLookup).
+	lk *probeScratch
+}
+
+// probeScratch is a worker-owned auxiliary-probe buffer pair: lookups
+// through it never touch the engine's (or the tables') reusable buffers,
+// so several chunk workers can probe the same quiescent tables at once.
+type probeScratch struct {
+	rows []tuple.Tuple
+	key  []byte
+}
+
+// lookup probes an auxiliary table through the state's private scratch
+// when present, the engine's otherwise.
+func (st *joinState) lookup(e *Engine, at *AuxTable, attr string, v types.Value) []tuple.Tuple {
+	if st.lk == nil {
+		return e.auxLookup(at, attr, v)
+	}
+	st.lk.rows, st.lk.key = at.lookupInto(attr, v, st.lk.rows[:0], st.lk.key[:0])
+	return st.lk.rows
 }
 
 // joinOutward folds every needed table into the state by probing the
@@ -136,9 +160,18 @@ type joinState struct {
 func (e *Engine) joinOutward(st *joinState, needed map[string]bool) error {
 	var probes int64
 	defer func() { e.stats.auxLookups.Add(probes) }()
+	// Fold edges in sorted child order: the join (and so column) order is
+	// deterministic, which the sharded delta-detail path relies on to merge
+	// chunk results computed by independent workers.
+	children := make([]string, 0, len(e.graph.EdgeTo))
+	for c := range e.graph.EdgeTo {
+		children = append(children, c)
+	}
+	sort.Strings(children)
 	for {
 		progress := false
-		for child, j := range e.graph.EdgeTo {
+		for _, child := range children {
+			j := e.graph.EdgeTo[child]
 			parent := j.Left
 			switch {
 			case st.included[parent] && !st.included[child] && needed[child]:
@@ -156,7 +189,7 @@ func (e *Engine) joinOutward(st *joinState, needed map[string]bool) error {
 				newW := st.weights[:0]
 				for i, row := range st.rows {
 					probes++
-					matches := e.auxLookup(at, j.RightAttr, row[refPos])
+					matches := st.lookup(e, at, j.RightAttr, row[refPos])
 					if len(matches) == 0 {
 						continue
 					}
@@ -189,7 +222,7 @@ func (e *Engine) joinOutward(st *joinState, needed map[string]bool) error {
 				var outW []int64
 				for i, row := range st.rows {
 					probes++
-					for _, m := range e.auxLookup(at, j.LeftAttr, row[keyPos]) {
+					for _, m := range st.lookup(e, at, j.LeftAttr, row[keyPos]) {
 						w := st.weights[i]
 						if cntPos >= 0 {
 							w *= m[cntPos].AsInt()
@@ -240,6 +273,9 @@ func (e *Engine) joinOutward(st *joinState, needed map[string]bool) error {
 // stands for (the root COUNT(*) multiplies in when climbing through a
 // compressed root view).
 func (e *Engine) deltaDetail(t string, signed []signedRow) (detailCtx, []int64, error) {
+	if e.shardable(len(signed)) {
+		return e.deltaDetailChunked(t, signed)
+	}
 	st := &joinState{
 		cols:     e.baseCols(t),
 		rows:     make([]tuple.Tuple, len(signed)),
@@ -572,6 +608,9 @@ func storedArgPos(ctx detailCtx, c component) (int, error) {
 // into a reused scratch buffer, and the per-row sum-delta map is cleared
 // and reused, so the steady-state loop allocates only on group creation.
 func (e *Engine) adjustFromDetail(ctx detailCtx, weights []int64, raise bool) error {
+	if e.shardable(len(ctx.rel.Rows)) && !e.mv.global() {
+		return e.adjustFromDetailSharded(ctx, weights, raise)
+	}
 	fns, err := e.gbFns(ctx.rel.Cols)
 	if err != nil {
 		return err

@@ -99,6 +99,19 @@ type Engine struct {
 	// deltas never pay goroutine overhead.
 	Workers int
 
+	// Shards, when > 1, fans the per-group apply work — auxiliary-table
+	// adjustment, the delta-detail join, and the materialized-view
+	// adjustment loop — across that many shard workers partitioned by group
+	// key (see shard.go). Results are merged and installed serially in
+	// first-touch order, so a sharded apply is equivalent to the serial one.
+	// Engages only for deltas of at least ShardMinRows signed rows.
+	Shards int
+
+	// ShardMinRows is the row count below which a sharded engine stays
+	// serial; 0 selects defaultShardMinRows. Small deltas must not pay
+	// partitioning and goroutine overhead.
+	ShardMinRows int
+
 	// filtering marks non-root tables whose auxiliary view can exclude
 	// detail rows (local conditions, or a join edge without referential
 	// integrity, anywhere in the subtree); these must always participate
@@ -663,6 +676,9 @@ func (e *Engine) auxPlanFor(at *AuxTable) *auxApplyPlan {
 // Scratch buffers (plainBuf, sumDeltaC, extremaC) are reused across rows;
 // Adjust copies what it retains.
 func (e *Engine) auxApply(at *AuxTable, rows []signedRow) error {
+	if e.shardable(len(rows)) {
+		return e.auxApplySharded(at, rows)
+	}
 	plan := e.auxPlanFor(at)
 	if cap(e.plainBuf) < len(plan.plainPos) {
 		e.plainBuf = make(tuple.Tuple, len(plan.plainPos))

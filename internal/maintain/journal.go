@@ -54,6 +54,19 @@ func (j *journal) noteAux(at *AuxTable, key []byte) {
 	j.ents = append(j.ents, undoEntry{aux: at, key: string(key), old: old})
 }
 
+// noteAuxKey is noteAux for a key already materialized as a string (no
+// copy).
+func (j *journal) noteAuxKey(at *AuxTable, key string) {
+	if j == nil || !j.recording {
+		return
+	}
+	var old tuple.Tuple
+	if row, ok := at.rows[key]; ok {
+		old = row.Clone()
+	}
+	j.ents = append(j.ents, undoEntry{aux: at, key: key, old: old})
+}
+
 // noteMV records the current image of the materialized-view group under the
 // encoded key (a scratch buffer; the journal copies it).
 func (j *journal) noteMV(mv *MaterializedView, key []byte) {

@@ -59,6 +59,10 @@ type Metrics struct {
 	memoMisses *obs.Counter // maintain.memo.misses
 	memoWaits  *obs.Counter // maintain.memo.waits
 
+	shardedStages *obs.Counter   // maintain.shard.stages (sharded stage executions)
+	shardRows     *obs.Histogram // maintain.shard.rows (rows per sharded stage)
+	shardWorkers  *obs.Gauge     // maintain.shard.workers (fan-out of the last stage)
+
 	trace *obs.TraceRing // maintain.applies: one event per staged apply
 }
 
@@ -79,6 +83,9 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	m.memoHits = reg.Counter("maintain.memo.hits")
 	m.memoMisses = reg.Counter("maintain.memo.misses")
 	m.memoWaits = reg.Counter("maintain.memo.waits")
+	m.shardedStages = reg.Counter("maintain.shard.stages")
+	m.shardRows = reg.Histogram("maintain.shard.rows")
+	m.shardWorkers = reg.Gauge("maintain.shard.workers")
 	m.trace = reg.Trace("maintain.applies")
 	return m
 }

@@ -152,10 +152,32 @@ func (mv *MaterializedView) adjust(gbVals []types.Value, dCnt int64, sumDeltas m
 // runtime elides, so the hot adjustment loop allocates a key string only
 // when a new group is created.
 func (mv *MaterializedView) adjustBuf(key []byte, gbVals []types.Value, dCnt int64, sumDeltas map[int]types.Value) error {
-	row, ok := mv.rows[string(key)]
-	if !ok {
+	row := mv.rows[string(key)]
+	existed := row != nil
+	out, err := mv.adjustRowCore(row, gbVals, dCnt, sumDeltas)
+	if err != nil {
+		return err
+	}
+	switch {
+	case out == nil && existed:
+		delete(mv.rows, string(key))
+	case out != nil && !existed:
+		mv.rows[string(key)] = out
+	}
+	// existed && out != nil: out is row, adjusted in place.
+	return nil
+}
+
+// adjustRowCore applies one weighted contribution to a component row image
+// without touching the view's row map: row is the current image (nil =
+// absent; a blank group is created) and the result is the image afterwards
+// (nil = group death, never produced for a global view). Existing rows are
+// mutated in place. The caller reconciles the map — adjustBuf for the
+// serial path, the sharded overlay pipeline for parallel applies — so both
+// accumulate each group's components in bit-identical order.
+func (mv *MaterializedView) adjustRowCore(row tuple.Tuple, gbVals []types.Value, dCnt int64, sumDeltas map[int]types.Value) (tuple.Tuple, error) {
+	if row == nil {
 		row = mv.blank(gbVals)
-		mv.rows[string(key)] = row
 	}
 	for ci, c := range mv.comps {
 		switch c.kind {
@@ -171,7 +193,7 @@ func (mv *MaterializedView) adjustBuf(key []byte, gbVals []types.Value, dCnt int
 			} else {
 				s, err := types.Add(row[ci], d)
 				if err != nil {
-					return err
+					return row, err
 				}
 				row[ci] = s
 			}
@@ -180,11 +202,11 @@ func (mv *MaterializedView) adjustBuf(key []byte, gbVals []types.Value, dCnt int
 	h := mv.hiddenIdx()
 	row[h] = types.Int(row[h].AsInt() + dCnt)
 	if row[h].AsInt() == 0 && !mv.global() {
-		delete(mv.rows, string(key))
+		return nil, nil
 	} else if row[h].AsInt() < 0 {
-		return fmt.Errorf("maintain: group %v count went negative (inconsistent delta stream)", gbVals)
+		return row, fmt.Errorf("maintain: group %v count went negative (inconsistent delta stream)", gbVals)
 	}
-	return nil
+	return row, nil
 }
 
 // raiseExtrema updates stored MIN/MAX components with a candidate value —
@@ -201,6 +223,13 @@ func (mv *MaterializedView) raiseExtremaBuf(key []byte, ci int, v types.Value) {
 		// adjust creates groups; raiseExtrema is called after it.
 		return
 	}
+	mv.raiseRow(row, ci, v)
+}
+
+// raiseRow is the row-image form of raiseExtremaBuf, shared with the
+// sharded overlay pipeline (which raises extrema on overlay copies before
+// they are installed).
+func (mv *MaterializedView) raiseRow(row tuple.Tuple, ci int, v types.Value) {
 	c := mv.comps[ci]
 	cur := row[ci]
 	switch {

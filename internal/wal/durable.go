@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"mindetail/internal/persist"
 	"mindetail/internal/warehouse"
@@ -142,17 +143,30 @@ func (d *Durable) Checkpoint() error {
 		os.Remove(tmp)
 		return err
 	}
-	syncDir(d.dir)
+	if err := syncDir(d.dir); err != nil {
+		return fmt.Errorf("wal: checkpoint rename not durable: %w", err)
+	}
 	return d.log.Reset(d.w.LSN())
 }
 
-// syncDir fsyncs a directory so a just-renamed file's entry is durable;
-// best effort (not all platforms support it).
-func syncDir(dir string) {
-	if f, err := os.Open(dir); err == nil {
-		_ = f.Sync()
-		f.Close()
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+// Filesystems that do not support fsync on a directory handle report
+// EINVAL or ENOTSUP; on those the rename's durability cannot be helped,
+// so that case is tolerated. Every other failure — including being unable
+// to open the directory at all — is a real durability gap and is returned.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
 	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return err
+	}
+	return f.Close()
 }
 
 // Close detaches and closes the log. The warehouse remains usable in

@@ -35,6 +35,10 @@ type wmetrics struct {
 	queryHits     *obs.Counter // warehouse.query.snapshot_hits (lock-free)
 	queryRebuilds *obs.Counter // warehouse.query.snapshot_rebuilds
 	queryLocked   *obs.Counter // warehouse.query.locked (slow path / DisableSnapshots)
+
+	batchSize      *obs.Histogram // warehouse.batch.size (deltas per ApplyDeltaBatch)
+	batchDeltas    *obs.Counter   // warehouse.batch.deltas (deltas through the batch path)
+	batchCoalesced *obs.Counter   // warehouse.batch.coalesced (deltas propagated via a coalesced group)
 }
 
 func newWMetrics() *wmetrics {
@@ -54,6 +58,9 @@ func newWMetrics() *wmetrics {
 		queryHits:       reg.Counter("warehouse.query.snapshot_hits"),
 		queryRebuilds:   reg.Counter("warehouse.query.snapshot_rebuilds"),
 		queryLocked:     reg.Counter("warehouse.query.locked"),
+		batchSize:       reg.Histogram("warehouse.batch.size"),
+		batchDeltas:     reg.Counter("warehouse.batch.deltas"),
+		batchCoalesced:  reg.Counter("warehouse.batch.coalesced"),
 	}
 }
 

@@ -1,0 +1,121 @@
+package warehouse
+
+import (
+	"errors"
+	"sync"
+
+	"mindetail/internal/maintain"
+)
+
+// DefaultPipelineDepth is the batch ceiling used when NewPipeline is given
+// a non-positive depth.
+const DefaultPipelineDepth = 64
+
+// ErrPipelineClosed is returned by Submit after Close.
+var ErrPipelineClosed = errors.New("warehouse: pipeline closed")
+
+// Pipeline is the group-commit front end of a warehouse: concurrent
+// producers Submit deltas, a single drainer goroutine batches whatever has
+// accumulated while the previous batch was being applied and hands it to
+// ApplyDeltaBatch — so WAL fsyncs amortize across the batch and adjacent
+// insert-only deltas coalesce into single propagations. Batching is
+// self-clocking: under light load every delta is its own batch (no added
+// latency); under heavy load batches grow toward maxBatch.
+//
+// Submit returns only after its delta's outcome is known, so the
+// single-delta durability contract is preserved per submitter: a nil error
+// means the delta is committed in memory and, when the warehouse has a
+// durable log, its commit record is on disk per the log's sync policy.
+type Pipeline struct {
+	w        *Warehouse
+	maxBatch int
+
+	mu     sync.Mutex // guards closed
+	closed bool
+
+	reqs chan pipeReq
+	done chan struct{}
+}
+
+type pipeReq struct {
+	d   maintain.Delta
+	ack chan error
+}
+
+// NewPipeline starts a pipeline over w with the given batch ceiling
+// (<= 0 selects DefaultPipelineDepth).
+func NewPipeline(w *Warehouse, maxBatch int) *Pipeline {
+	if maxBatch <= 0 {
+		maxBatch = DefaultPipelineDepth
+	}
+	p := &Pipeline{
+		w:        w,
+		maxBatch: maxBatch,
+		reqs:     make(chan pipeReq, maxBatch),
+		done:     make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+// Submit applies one delta through the pipeline and blocks until it has
+// been applied and committed (or failed). Safe for concurrent use. After
+// Close it returns ErrPipelineClosed.
+func (p *Pipeline) Submit(d maintain.Delta) error {
+	req := pipeReq{d: d, ack: make(chan error, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPipelineClosed
+	}
+	p.reqs <- req
+	p.mu.Unlock()
+	return <-req.ack
+}
+
+// Close drains in-flight submissions and stops the pipeline. It blocks
+// until every accepted Submit has been answered. Idempotent.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	if !already {
+		close(p.reqs)
+	}
+	p.mu.Unlock()
+	<-p.done
+}
+
+// run is the drainer: block for the first request, then sweep whatever
+// else is already queued (up to maxBatch) into the same ApplyDeltaBatch
+// call and answer each submitter with its own slot of the error slice.
+func (p *Pipeline) run() {
+	defer close(p.done)
+	for {
+		first, ok := <-p.reqs
+		if !ok {
+			return
+		}
+		batch := []pipeReq{first}
+	fill:
+		for len(batch) < p.maxBatch {
+			select {
+			case req, ok := <-p.reqs:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, req)
+			default:
+				break fill
+			}
+		}
+		ds := make([]maintain.Delta, len(batch))
+		for i, req := range batch {
+			ds[i] = req.d
+		}
+		errs := p.w.ApplyDeltaBatch(ds)
+		for i, req := range batch {
+			req.ack <- errs[i]
+		}
+	}
+}

@@ -125,6 +125,10 @@ type Warehouse struct {
 	// DeltaMemo — the verification/baseline configuration.
 	DisableMemo bool
 
+	// engineShards is the shard fan-out applied to every view engine (see
+	// maintain.Engine.Shards); set through SetEngineShards, read under mu.
+	engineShards int
+
 	// DisableSnapshots makes Query bypass the copy-on-write snapshot cache
 	// and rebuild the result under the read lock on every call (the
 	// pre-snapshot behavior, kept as a baseline and for callers that want
@@ -378,6 +382,7 @@ func (w *Warehouse) applyCreateView(st *sqlparse.CreateView) error {
 		return err
 	}
 	eng.UseNeedSets = w.UseNeedSets
+	eng.Shards = w.engineShards
 	if !w.obsTimingOff {
 		eng.SetMetrics(w.met.engineMet)
 	}
@@ -445,6 +450,7 @@ func (w *Warehouse) RestoreView(name, selectSQL string, appendOnly bool, st *mai
 		return err
 	}
 	eng.UseNeedSets = w.UseNeedSets
+	eng.Shards = w.engineShards
 	if !w.obsTimingOff {
 		eng.SetMetrics(w.met.engineMet)
 	}

@@ -32,9 +32,10 @@ test:
 # engine (recompute worker pool, delta memo, parallel shared-class
 # staging, sharded applies), the warehouse (parallel propagation,
 # lock-free reads, the group-commit batch pipeline), the write-ahead log
-# (group committer), and the lock-free observability primitives.
+# (group committer), the lock-free observability primitives, and the wire
+# server (concurrent sessions, admission control, disconnect drain).
 race:
-	$(GO) test -race ./internal/core/... ./internal/maintain/... ./internal/warehouse/... ./internal/obs/... ./internal/wal/...
+	$(GO) test -race ./internal/core/... ./internal/maintain/... ./internal/warehouse/... ./internal/obs/... ./internal/wal/... ./internal/wire/... ./internal/wireclient/... ./cmd/dwserver/...
 
 race-all:
 	$(GO) test -race ./...

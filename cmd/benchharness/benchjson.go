@@ -243,6 +243,12 @@ func runBenchJSON(path string) error {
 	}
 	results = append(results, shardBenches...)
 
+	serverQPS, err := runServerBench()
+	if err != nil {
+		return err
+	}
+	results = append(results, serverQPS)
+
 	baseline, err := measureSeedBaseline(toResult("ApplySmallDeltaLargeAux", full), keyAt)
 	if err != nil {
 		return err

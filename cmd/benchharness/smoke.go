@@ -107,5 +107,14 @@ func smokeSubset() ([]benchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(results, toResult("WALGroupCommitThroughput", group)), nil
+	results = append(results, toResult("WALGroupCommitThroughput", group))
+
+	// The wire serve path: 1k concurrent sessions of mixed reads and
+	// group-committed applies, so a regression in framing, session
+	// scheduling, or the server's pipeline routing fails the gate.
+	serverQPS, err := runServerBench()
+	if err != nil {
+		return nil, err
+	}
+	return append(results, serverQPS), nil
 }

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mindetail/internal/wireclient"
+)
+
+func dialT(t *testing.T, addr, secret string) *wireclient.Client {
+	t.Helper()
+	c, err := wireclient.Dial(addr, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// syncBuffer lets the test read run's output while run is still writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRE = regexp.MustCompile(`serving wire protocol on (\S+)`)
+
+// startRun launches run with a stop channel and returns the listen
+// address once the server announces it.
+func startRun(t *testing.T, o options) (addr string, stop chan os.Signal, done chan error, out *syncBuffer) {
+	t.Helper()
+	out = &syncBuffer{}
+	stop = make(chan os.Signal, 1)
+	done = make(chan error, 1)
+	go func() { done <- run(out, o, stop) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1], stop, done, out
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRunServesAndShutsDown(t *testing.T) {
+	init := filepath.Join(t.TempDir(), "init.sql")
+	sql := `
+CREATE TABLE sale (id INTEGER PRIMARY KEY, month INTEGER, price FLOAT MUTABLE);
+INSERT INTO sale VALUES (1, 1, 10);
+INSERT INTO sale VALUES (2, 1, 15);
+INSERT INTO sale VALUES (3, 2, 5);
+CREATE MATERIALIZED VIEW monthly AS SELECT month, SUM(price) AS total FROM sale GROUP BY month;
+`
+	if err := os.WriteFile(init, []byte(sql), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	o := options{addr: "127.0.0.1:0", secret: "pw", initFile: init, maxConns: 8, inflight: 4}
+	addr, stop, done, out := startRun(t, o)
+
+	c := dialT(t, addr, "pw")
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.Query("monthly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Fatalf("monthly rows = %v", rs.Rows)
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("run did not shut down:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "draining sessions") {
+		t.Errorf("missing shutdown message:\n%s", out.String())
+	}
+}
+
+func TestRunDurableWarehouse(t *testing.T) {
+	dir := t.TempDir()
+	init := filepath.Join(t.TempDir(), "init.sql")
+	sql := `
+CREATE TABLE sale (id INTEGER PRIMARY KEY, month INTEGER, price FLOAT MUTABLE);
+INSERT INTO sale VALUES (1, 1, 10);
+CREATE MATERIALIZED VIEW monthly AS SELECT month, SUM(price) AS total FROM sale GROUP BY month;
+`
+	if err := os.WriteFile(init, []byte(sql), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	o := options{addr: "127.0.0.1:0", walDir: dir, walSync: "commit", initFile: init}
+	addr, stop, done, _ := startRun(t, o)
+	c := dialT(t, addr, "")
+	if _, err := c.Exec("INSERT INTO sale VALUES (2, 1, 5);"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the directory: the logged insert must have survived.
+	o2 := options{addr: "127.0.0.1:0", walDir: dir, walSync: "commit"}
+	addr2, stop2, done2, _ := startRun(t, o2)
+	c2 := dialT(t, addr2, "")
+	rs, err := c2.Exec("SELECT month, total FROM monthly;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][1].AsFloat() != 15 {
+		t.Fatalf("recovered monthly = %v", rs.Rows)
+	}
+	c2.Close()
+	stop2 <- os.Interrupt
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out syncBuffer
+	stop := make(chan os.Signal)
+	if err := run(&out, options{walDir: t.TempDir(), walSync: "sometimes"}, stop); err == nil ||
+		!strings.Contains(err.Error(), "wal-sync") {
+		t.Fatalf("bad -wal-sync: err = %v", err)
+	}
+	if err := run(&out, options{initFile: "/nonexistent.sql"}, stop); err == nil {
+		t.Fatal("missing init script accepted")
+	}
+}

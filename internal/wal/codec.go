@@ -1,0 +1,105 @@
+// Exported codec surface: the WAL's self-delimiting binary conventions
+// (minimal uvarints, exact-kind value tags, length-prefixed strings) are
+// also the payload vocabulary of the wire protocol (internal/wire), which
+// reuses these helpers instead of inventing a second delta encoding. Every
+// decoder rejects non-minimal or truncated input, so a valid encoding is
+// unique — the property the fuzz tests assert by re-encoding.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/tuple"
+)
+
+// Uvarint decodes a minimally encoded uvarint, returning the value and the
+// remaining bytes. Non-minimal encodings (a padded high byte of zero) are
+// rejected so each value has exactly one byte representation.
+func Uvarint(b []byte) (uint64, []byte, error) { return readUvarint(b) }
+
+// AppendUvarint appends the minimal uvarint encoding of v.
+func AppendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte { return appendString(dst, s) }
+
+// DecodeString decodes a length-prefixed string.
+func DecodeString(b []byte) (string, []byte, error) { return decodeString(b) }
+
+// AppendTuple appends a row with exact-kind value tags (an Int never comes
+// back as a Float).
+func AppendTuple(dst []byte, row tuple.Tuple) []byte { return appendTuple(dst, row) }
+
+// DecodeTuple decodes one row.
+func DecodeTuple(b []byte) (tuple.Tuple, []byte, error) { return decodeTuple(b) }
+
+// AppendDelta appends a maintain.Delta: table name, then the insert,
+// delete, and update row sets, each length-prefixed.
+func AppendDelta(dst []byte, d maintain.Delta) []byte {
+	dst = appendString(dst, d.Table)
+	dst = binary.AppendUvarint(dst, uint64(len(d.Inserts)))
+	for _, r := range d.Inserts {
+		dst = appendTuple(dst, r)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(d.Deletes)))
+	for _, r := range d.Deletes {
+		dst = appendTuple(dst, r)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(d.Updates)))
+	for _, u := range d.Updates {
+		dst = appendTuple(dst, u.Old)
+		dst = appendTuple(dst, u.New)
+	}
+	return dst
+}
+
+// DecodeDelta decodes one AppendDelta encoding, returning the remaining
+// bytes.
+func DecodeDelta(b []byte) (maintain.Delta, []byte, error) {
+	var d maintain.Delta
+	var err error
+	if d.Table, b, err = decodeString(b); err != nil {
+		return d, nil, err
+	}
+	readTuples := func(b []byte) ([]tuple.Tuple, []byte, error) {
+		n, b, err := readUvarint(b)
+		if err != nil || n > uint64(len(b)) {
+			return nil, nil, fmt.Errorf("wal: bad tuple count")
+		}
+		if n == 0 {
+			return nil, b, nil
+		}
+		rows := make([]tuple.Tuple, n)
+		for i := range rows {
+			var err error
+			if rows[i], b, err = decodeTuple(b); err != nil {
+				return nil, nil, err
+			}
+		}
+		return rows, b, nil
+	}
+	if d.Inserts, b, err = readTuples(b); err != nil {
+		return d, nil, err
+	}
+	if d.Deletes, b, err = readTuples(b); err != nil {
+		return d, nil, err
+	}
+	var n uint64
+	if n, b, err = readUvarint(b); err != nil || n > uint64(len(b)) {
+		return d, nil, fmt.Errorf("wal: bad update count")
+	}
+	if n > 0 {
+		d.Updates = make([]maintain.Update, n)
+		for i := range d.Updates {
+			if d.Updates[i].Old, b, err = decodeTuple(b); err != nil {
+				return d, nil, err
+			}
+			if d.Updates[i].New, b, err = decodeTuple(b); err != nil {
+				return d, nil, err
+			}
+		}
+	}
+	return d, b, nil
+}

@@ -204,20 +204,7 @@ func appendPayload(dst []byte, rec Record) []byte {
 			flag = 1
 		}
 		dst = append(dst, flag)
-		dst = appendString(dst, rec.Delta.Table)
-		dst = binary.AppendUvarint(dst, uint64(len(rec.Delta.Inserts)))
-		for _, r := range rec.Delta.Inserts {
-			dst = appendTuple(dst, r)
-		}
-		dst = binary.AppendUvarint(dst, uint64(len(rec.Delta.Deletes)))
-		for _, r := range rec.Delta.Deletes {
-			dst = appendTuple(dst, r)
-		}
-		dst = binary.AppendUvarint(dst, uint64(len(rec.Delta.Updates)))
-		for _, u := range rec.Delta.Updates {
-			dst = appendTuple(dst, u.Old)
-			dst = appendTuple(dst, u.New)
-		}
+		dst = AppendDelta(dst, rec.Delta)
 	case KindDDL:
 		dst = appendString(dst, rec.SQL)
 	}
@@ -245,46 +232,8 @@ func decodePayload(b []byte) (Record, error) {
 		}
 		rec.SrcApplied = b[0] == 1
 		b = b[1:]
-		if rec.Delta.Table, b, err = decodeString(b); err != nil {
+		if rec.Delta, b, err = DecodeDelta(b); err != nil {
 			return rec, err
-		}
-		readTuples := func(b []byte) ([]tuple.Tuple, []byte, error) {
-			n, b, err := readUvarint(b)
-			if err != nil || n > uint64(len(b)) {
-				return nil, nil, fmt.Errorf("wal: bad tuple count")
-			}
-			if n == 0 {
-				return nil, b, nil
-			}
-			rows := make([]tuple.Tuple, n)
-			for i := range rows {
-				var err error
-				if rows[i], b, err = decodeTuple(b); err != nil {
-					return nil, nil, err
-				}
-			}
-			return rows, b, nil
-		}
-		if rec.Delta.Inserts, b, err = readTuples(b); err != nil {
-			return rec, err
-		}
-		if rec.Delta.Deletes, b, err = readTuples(b); err != nil {
-			return rec, err
-		}
-		var n uint64
-		if n, b, err = readUvarint(b); err != nil || n > uint64(len(b)) {
-			return rec, fmt.Errorf("wal: bad update count")
-		}
-		if n > 0 {
-			rec.Delta.Updates = make([]maintain.Update, n)
-			for i := range rec.Delta.Updates {
-				if rec.Delta.Updates[i].Old, b, err = decodeTuple(b); err != nil {
-					return rec, err
-				}
-				if rec.Delta.Updates[i].New, b, err = decodeTuple(b); err != nil {
-					return rec, err
-				}
-			}
 		}
 	case KindDDL:
 		if rec.SQL, b, err = decodeString(b); err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestConcurrentReadersAndWriter exercises the warehouse's locking: one
@@ -53,6 +54,75 @@ func TestConcurrentReadersAndWriter(t *testing.T) {
 	close(stop)
 	wg.Wait()
 
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExecSelectOverlaps is the regression test for the serve-path read
+// bug: Exec used to take the exclusive write lock even for SELECT-only
+// scripts, serializing every remote query behind every other. The test
+// proves all-SELECT Exec calls run under the shared lock — and therefore
+// overlap in time — deterministically: the test itself holds w.mu.RLock
+// for the whole duration, so several concurrent Exec(SELECT) calls can
+// only complete if they too take the lock shared (all of them in flight
+// together inside the same read-locked window). Under the old exclusive-
+// lock code every one of them would block until the timeout.
+func TestExecSelectOverlaps(t *testing.T) {
+	w := newRetail(t)
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+
+	const readers = 4
+	done := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		go func() {
+			for i := 0; i < 25; i++ {
+				// Mix view reads and source-evaluated ad hoc aggregates;
+				// both are read-only and must classify as such.
+				if _, err := w.Exec(`SELECT time.month, SUM(price) AS p, COUNT(*) AS c
+					FROM sale, time WHERE sale.timeid = time.id GROUP BY time.month;
+					SELECT month, TotalPrice, TotalCount, DifferentBrands FROM product_sales`); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("Exec(SELECT) blocked while the read lock was held: the read-only script took the write lock")
+		}
+	}
+}
+
+// TestExecMixedScriptStillExclusive pins the classification boundary: a
+// script with any DML keeps the exclusive lock (it must not sneak through
+// the read path), and still applies atomically per statement.
+func TestExecMixedScriptStillExclusive(t *testing.T) {
+	w := newRetail(t)
+	if _, err := w.Exec(`SELECT month FROM product_sales;
+		INSERT INTO sale VALUES (900, 1, 100, 7, 2);
+		SELECT month, TotalCount FROM product_sales`); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := w.Query("product_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, row := range rel.Rows {
+		total += row[2].AsInt()
+	}
+	if total != 5 { // 4 seed 1997 sales + the inserted one
+		t.Fatalf("TotalCount sum = %d, want 5", total)
+	}
 	if err := w.Verify(); err != nil {
 		t.Fatal(err)
 	}

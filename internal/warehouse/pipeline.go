@@ -30,8 +30,17 @@ type Pipeline struct {
 	w        *Warehouse
 	maxBatch int
 
-	mu     sync.Mutex // guards closed
+	// mu guards closed. Submit takes it shared and only long enough to
+	// check the flag and register with subs — never across the channel
+	// send — so submitters blocked on a full reqs channel do not serialize
+	// each other (or stall Close) on the mutex. subs counts Submits
+	// admitted before Close flipped the flag; the reqs channel is closed
+	// only after they have all been answered, which is what makes the
+	// send-outside-the-lock safe: a send on a closed channel would panic,
+	// but close happens strictly after every admitted sender is done.
+	mu     sync.RWMutex
 	closed bool
+	subs   sync.WaitGroup
 
 	reqs chan pipeReq
 	done chan struct{}
@@ -62,14 +71,16 @@ func NewPipeline(w *Warehouse, maxBatch int) *Pipeline {
 // been applied and committed (or failed). Safe for concurrent use. After
 // Close it returns ErrPipelineClosed.
 func (p *Pipeline) Submit(d maintain.Delta) error {
-	req := pipeReq{d: d, ack: make(chan error, 1)}
-	p.mu.Lock()
+	p.mu.RLock()
 	if p.closed {
-		p.mu.Unlock()
+		p.mu.RUnlock()
 		return ErrPipelineClosed
 	}
+	p.subs.Add(1)
+	p.mu.RUnlock()
+	defer p.subs.Done()
+	req := pipeReq{d: d, ack: make(chan error, 1)}
 	p.reqs <- req
-	p.mu.Unlock()
 	return <-req.ack
 }
 
@@ -79,10 +90,17 @@ func (p *Pipeline) Close() {
 	p.mu.Lock()
 	already := p.closed
 	p.closed = true
-	if !already {
-		close(p.reqs)
-	}
 	p.mu.Unlock()
+	if !already {
+		// The reqs channel may only be closed once no admitted Submit can
+		// still be blocked sending on it. The drainer keeps consuming until
+		// the channel closes, so every admitted sender completes, subs
+		// drains, and the close releases the drainer.
+		go func() {
+			p.subs.Wait()
+			close(p.reqs)
+		}()
+	}
 	<-p.done
 }
 

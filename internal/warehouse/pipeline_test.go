@@ -1,0 +1,107 @@
+package warehouse
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPipelineSubmitCloseFullChannel reproduces the serve-path stall: a
+// depth-1 pipeline whose reqs channel is permanently full while many
+// submitters pound it. Submit used to hold the pipeline mutex across the
+// channel send, so blocked submitters serialized on the lock and Close
+// queued behind all of them. Now the send happens outside the critical
+// section: Close must return promptly (after answering every admitted
+// Submit), every Submit must resolve to nil or ErrPipelineClosed, and
+// every nil-acked delta must actually have reached ApplyDeltaBatch.
+func TestPipelineSubmitCloseFullChannel(t *testing.T) {
+	w := newRetail(t)
+	p := NewPipeline(w, 1) // capacity-1 channel: full under any concurrency
+
+	const submitters = 16
+	const perSubmitter = 8
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perSubmitter; i++ {
+				err := p.Submit(saleDelta(20000+(s*perSubmitter+i)*2, 2))
+				switch err {
+				case nil:
+					accepted.Add(1)
+				case ErrPipelineClosed:
+				default:
+					t.Errorf("Submit: %v", err)
+				}
+			}
+		}(s)
+	}
+	close(start)
+	time.Sleep(2 * time.Millisecond) // let the channel fill and submitters block
+
+	closed := make(chan struct{})
+	go func() {
+		p.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close stalled behind blocked submitters")
+	}
+	wg.Wait()
+
+	// Post-close Submits are rejected, and the accounting closes: exactly
+	// the nil-acked deltas were handed to ApplyDeltaBatch (none lost while
+	// parked in the channel, none applied without an ack).
+	if err := p.Submit(saleDelta(0, 1)); err != ErrPipelineClosed {
+		t.Fatalf("Submit after Close = %v, want ErrPipelineClosed", err)
+	}
+	snap := w.MetricsSnapshot()
+	if got, want := snap.Counters["warehouse.batch.deltas"], accepted.Load(); got != want {
+		t.Fatalf("batch.deltas = %d, want %d (accepted submits)", got, want)
+	}
+	p.Close() // idempotent
+}
+
+// TestPipelineSubmitsDoNotSerializeOnMutex checks that a submitter blocked
+// on a full channel does not hold the pipeline lock: with one Submit
+// parked, another goroutine must still get an ErrPipelineClosed answer
+// after Close — under the old send-under-mutex code this scenario could
+// wedge Close behind the channel send.
+func TestPipelineSubmitsDoNotSerializeOnMutex(t *testing.T) {
+	w := newRetail(t)
+	p := NewPipeline(w, 1)
+
+	// Park several submitters: the drainer consumes one request at a time,
+	// so with a capacity-1 channel some senders stay blocked in the send.
+	const parked = 8
+	errs := make(chan error, parked)
+	for i := 0; i < parked; i++ {
+		go func(i int) {
+			errs <- p.Submit(saleDelta(40000+i*2, 2))
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close wedged behind a parked Submit")
+	}
+	for i := 0; i < parked; i++ {
+		if err := <-errs; err != nil && err != ErrPipelineClosed {
+			t.Fatal(err)
+		}
+	}
+}

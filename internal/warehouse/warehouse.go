@@ -236,8 +236,20 @@ func (w *Warehouse) Exec(sql string) (*ra.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	// Classify the script before locking: an all-SELECT script only reads,
+	// so it runs under the shared lock and overlaps with other readers —
+	// taking the exclusive lock here used to serialize every remote query
+	// behind every other, defeating the copy-on-write snapshot path the
+	// reads were built on. Any DDL or DML statement demotes the whole
+	// script to the write lock (statements may read what earlier ones
+	// wrote).
+	if allSelect(stmts) {
+		w.mu.RLock()
+		defer w.mu.RUnlock()
+	} else {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+	}
 	var last *ra.Relation
 	for _, s := range stmts {
 		last = nil
@@ -266,6 +278,17 @@ func (w *Warehouse) Exec(sql string) (*ra.Relation, error) {
 		}
 	}
 	return last, nil
+}
+
+// allSelect reports whether every statement of a parsed script is a
+// SELECT — the read-only classification Exec uses to pick the shared lock.
+func allSelect(stmts []sqlparse.ScriptStatement) bool {
+	for _, s := range stmts {
+		if _, ok := s.Stmt.(*sqlparse.SelectStmt); !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // abbrevSQL shortens a SQL fragment for error messages. The cut is backed

@@ -32,10 +32,11 @@ test:
 # engine (recompute worker pool, delta memo, parallel shared-class
 # staging, sharded applies), the warehouse (parallel propagation,
 # lock-free reads, the group-commit batch pipeline), the write-ahead log
-# (group committer), the lock-free observability primitives, and the wire
-# server (concurrent sessions, admission control, disconnect drain).
+# (group committer), the lock-free observability primitives, the wire
+# server (concurrent sessions, admission control, disconnect drain), and
+# the pager (buffer-pool pin/unpin and eviction under shared stores).
 race:
-	$(GO) test -race ./internal/core/... ./internal/maintain/... ./internal/warehouse/... ./internal/obs/... ./internal/wal/... ./internal/wire/... ./internal/wireclient/... ./cmd/dwserver/...
+	$(GO) test -race ./internal/core/... ./internal/maintain/... ./internal/warehouse/... ./internal/obs/... ./internal/wal/... ./internal/wire/... ./internal/wireclient/... ./internal/pager/... ./cmd/dwserver/...
 
 race-all:
 	$(GO) test -race ./...
@@ -45,9 +46,12 @@ race-all:
 # bit-identical state — and, with a WAL attached, recover to it from the
 # on-disk bytes — under the race detector. Covers the sharded apply paths
 # (TestFaultInjectionShardedApply) and the group-commit batch pipeline
-# (TestFaultInjectionGroupCommitBatch, TestFaultInjectionTornBatchCommitSweep).
+# (TestFaultInjectionGroupCommitBatch, TestFaultInjectionTornBatchCommitSweep),
+# and the out-of-core stores: the pager's page-codec fuzz corpus and store
+# sweep, plus rollback across the buffer pool's eviction boundary
+# (TestPagedRollbackAcrossEviction) and the paged crash-recovery sweeps.
 faultinject:
-	$(GO) test -race -run 'FaultInjection|Malformed|Rekey|Hook|Fuzz|Recover|Torn|Checkpoint|Dangling' ./internal/faultinject/... ./internal/maintain/... ./internal/warehouse/... ./internal/wal/... ./internal/persist/...
+	$(GO) test -race -run 'FaultInjection|Malformed|Rekey|Hook|Fuzz|Recover|Torn|Checkpoint|Dangling|Paged' ./internal/faultinject/... ./internal/maintain/... ./internal/warehouse/... ./internal/wal/... ./internal/persist/... ./internal/pager/...
 
 # bench-smoke re-measures a fast subset of the recorded hot-path
 # benchmarks and fails if any ns/op regressed more than 3x against the

@@ -43,6 +43,10 @@ type benchReport struct {
 	// p99) recorded by the observability layer during the instrumented bench
 	// runs, keyed by benchmark name then metric name.
 	StageHistograms map[string]map[string]obs.HistogramSnapshot `json:"stage_histograms"`
+
+	// PoolCounters is the buffer pool's obs snapshot (pager.pool.* hits,
+	// misses, evictions, flushes, resident) from the out-of-core run.
+	PoolCounters map[string]int64 `json:"out_of_core_pool_counters,omitempty"`
 }
 
 // measureSeedBaseline re-measures the seed-commit scenarios live. Earlier
@@ -249,6 +253,12 @@ func runBenchJSON(path string) error {
 	}
 	results = append(results, serverQPS)
 
+	outOfCore, poolCounters, err := runOutOfCoreBenches()
+	if err != nil {
+		return err
+	}
+	results = append(results, outOfCore...)
+
 	baseline, err := measureSeedBaseline(toResult("ApplySmallDeltaLargeAux", full), keyAt)
 	if err != nil {
 		return err
@@ -262,6 +272,7 @@ func runBenchJSON(path string) error {
 		Baseline:        baseline,
 		Benchmarks:      results,
 		StageHistograms: stageHists,
+		PoolCounters:    poolCounters,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -20,11 +20,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
 	"mindetail/internal/csvload"
+	"mindetail/internal/maintain"
 	"mindetail/internal/obs"
+	"mindetail/internal/pager"
 	"mindetail/internal/persist"
 	"mindetail/internal/wal"
 	"mindetail/internal/warehouse"
@@ -79,6 +82,52 @@ type shell struct {
 	// it on every \load, the metrics server loads it per request, so the
 	// swap is race-clean without locking the REPL.
 	live atomic.Pointer[warehouse.Warehouse]
+
+	// fac is non-nil while the auxiliary views live out of core (\store DIR):
+	// every view's group rows sit in slotted-page files under the directory,
+	// cached through a fixed-budget buffer pool per store.
+	fac *pager.Factory
+}
+
+// closeFactory detaches the out-of-core page stores, if any. The page files
+// stay on disk for inspection; they are rebuilt on the next \store.
+func (s *shell) closeFactory() {
+	if s.fac == nil {
+		return
+	}
+	if err := s.fac.Close(); err != nil {
+		s.printf("error closing page stores: %v\n", err)
+	}
+	s.fac = nil
+}
+
+// storeReport prints the auxiliary-store backend of every view: in memory,
+// or paged with pool occupancy and hit ratio.
+func (s *shell) storeReport() {
+	views := s.w.ViewNames()
+	if len(views) == 0 {
+		s.printf("(no materialized views)\n")
+		return
+	}
+	byView := map[string][]pager.StoreStats{}
+	if s.fac != nil {
+		for _, st := range s.fac.Stats() {
+			byView[st.View] = append(byView[st.View], st)
+		}
+	}
+	for _, v := range views {
+		stats := byView[v]
+		if len(stats) == 0 {
+			s.printf("%s: in memory\n", v)
+			continue
+		}
+		s.printf("%s: out of core\n", v)
+		for _, st := range stats {
+			s.printf("  %s: %d rows, %d file pages (%d heap + %d index), resident %d/%d, hit ratio %.1f%%, %d evictions, %d flushes\n",
+				st.Table, st.Rows, st.FilePages, st.HeapPages, st.IndexPages,
+				st.Resident, st.Budget, 100*st.HitRatio(), st.Evictions, st.Flushes)
+		}
+	}
 }
 
 // registry returns the live warehouse's metric registry (for obs.Serve).
@@ -106,6 +155,7 @@ func (s *shell) closeDurable() {
 
 // run reads input until EOF or \q.
 func (s *shell) run(in io.Reader) {
+	defer s.closeFactory()
 	defer s.closeDurable()
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -172,6 +222,9 @@ func (s *shell) meta(cmd string) bool {
   \verify          check every view against recomputation
   \import TABLE F  bulk-load CSV file F into TABLE (positional columns)
   \export VIEW F   write a view's contents to CSV file F
+  \store           per-view auxiliary backend: pool occupancy and hit ratio
+  \store DIR [N]   move auxiliary views out of core — slotted-page files
+                   under DIR with an N-frame buffer pool per store (default 64)
   \save FILE       snapshot warehouse state (views + auxiliary data)
   \load FILE       replace the session with a restored snapshot
   \open DIR        bind the session to a durable directory (WAL + snapshot);
@@ -258,6 +311,46 @@ func (s *shell) meta(cmd string) bool {
 			break
 		}
 		s.printf("exported %s to %s\n", fields[1], fields[2])
+	case `\store`:
+		if len(fields) == 1 {
+			s.storeReport()
+			break
+		}
+		if len(fields) > 3 {
+			s.printf("usage: \\store [DIR [POOLPAGES]]\n")
+			break
+		}
+		pool := 64
+		if len(fields) == 3 {
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 1 {
+				s.printf("error: POOLPAGES must be a positive integer\n")
+				break
+			}
+			pool = n
+		}
+		opts := pager.Options{PoolPages: pool}
+		if s.dur != nil {
+			// A durable session orders dirty-page writes behind the WAL's
+			// flushed LSN; recovery still replays the log into memory and
+			// never reads the page files.
+			opts.WAL = s.dur.Log()
+		}
+		fac, err := pager.NewFactory(fields[1], opts)
+		if err != nil {
+			s.printf("error: %v\n", err)
+			break
+		}
+		if err := s.w.SetAuxStoreFactory(func(view, table string) (maintain.AuxStore, error) {
+			return fac.Open(view, table)
+		}); err != nil {
+			fac.Close()
+			s.printf("error: %v\n", err)
+			break
+		}
+		s.closeFactory() // rows migrated; drop the previous backend
+		s.fac = fac
+		s.printf("auxiliary views out of core under %s (%d-frame pool per store)\n", fields[1], pool)
 	case `\save`:
 		if len(fields) != 2 {
 			s.printf("usage: \\save FILE\n")
@@ -294,6 +387,7 @@ func (s *shell) meta(cmd string) bool {
 			break
 		}
 		s.closeDurable()
+		s.closeFactory() // the restored warehouse starts with in-memory stores
 		s.w = w
 		s.live.Store(w)
 		s.printf("restored from %s (%d views)\n", fields[1], len(w.ViewNames()))
@@ -308,6 +402,7 @@ func (s *shell) meta(cmd string) bool {
 			break
 		}
 		s.closeDurable()
+		s.closeFactory() // the recovered warehouse starts with in-memory stores
 		s.dur = d
 		s.w = d.Warehouse()
 		s.live.Store(s.w)

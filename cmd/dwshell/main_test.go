@@ -210,3 +210,45 @@ SELECT total, cnt FROM totals;
 		t.Errorf("error handling:\n%s", out)
 	}
 }
+
+func TestShellStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "pages")
+	out := drive(t, `
+CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR);
+CREATE TABLE sale (id INTEGER PRIMARY KEY,
+  productid INTEGER REFERENCES product, price FLOAT);
+INSERT INTO product VALUES (1, 'acme'), (2, 'bolt');
+INSERT INTO sale VALUES (1, 1, 10), (2, 2, 5);
+CREATE MATERIALIZED VIEW totals AS
+SELECT product.brand, SUM(price) AS total, COUNT(*) AS cnt
+FROM sale, product WHERE sale.productid = product.id
+GROUP BY product.brand;
+\store
+`+"\\store "+dir+` 8
+\store
+INSERT INTO sale VALUES (3, 1, 2.5);
+SELECT brand, total, cnt FROM totals;
+\verify
+\store x y z
+\store `+dir+` nope
+\q
+`)
+	for _, want := range []string{
+		"totals: in memory", // before the switch
+		"auxiliary views out of core under " + dir,
+		"totals: out of core", // after the switch
+		"resident",            // occupancy line
+		"hit ratio",           // pool counters
+		"12.5",                // acme total after the insert on the paged backend
+		"all views match",     // \verify over paged stores
+		"usage: \\store",      // too many args
+		"POOLPAGES must be",   // bad pool size
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if ents, err := os.ReadDir(dir); err != nil || len(ents) == 0 {
+		t.Fatalf("no page files under %s: %v", dir, err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"mindetail/internal/experiments"
 	"mindetail/internal/maintain"
 	"mindetail/internal/obs"
+	"mindetail/internal/pager"
 	"mindetail/internal/workload"
 )
 
@@ -30,13 +31,15 @@ func main() {
 	walSync := flag.String("wal-sync", "commit", "WAL fsync policy in -wal mode: always, commit, or never")
 	shards := flag.Int("shards", 1, "shard fan-out for the maintenance engines (1 = serial applies)")
 	batch := flag.Int("batch", 1, "in -wal mode, deltas per group-committed batch (1 = one fsync per delta)")
+	auxDisk := flag.Bool("aux-disk", false, "keep the auxiliary views out of core in slotted-page stores (a scratch directory of page files) instead of in memory")
+	cachePages := flag.Int("cache-pages", 256, "in -aux-disk mode, buffer-pool frames per auxiliary store")
 	flag.Parse()
 
 	var err error
 	if *walDir != "" {
-		err = runWAL(os.Stdout, *walDir, *scale, *deltas, *mixName, *view, *walSync, *shards, *batch)
+		err = runWAL(os.Stdout, *walDir, *scale, *deltas, *mixName, *view, *walSync, *shards, *batch, *auxDisk, *cachePages)
 	} else {
-		err = run(os.Stdout, *scale, *deltas, *mixName, *view, *metrics, *shards)
+		err = run(os.Stdout, *scale, *deltas, *mixName, *view, *metrics, *shards, *auxDisk, *cachePages)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwsim:", err)
@@ -44,7 +47,42 @@ func main() {
 	}
 }
 
-func run(w io.Writer, scale, deltas int, mixName, view string, metrics bool, shards int) error {
+// pagedAux creates an out-of-core pager factory in a scratch directory for
+// -aux-disk mode; cleanup removes the page files (they are ephemeral spill
+// storage, rebuilt from scratch on every run).
+func pagedAux(w io.Writer, cachePages int, walLog pager.WALHook) (*pager.Factory, func(), error) {
+	dir, err := os.MkdirTemp("", "dwsim-pages-")
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := pager.Options{PoolPages: cachePages}
+	if walLog != nil {
+		opts.WAL = walLog
+	}
+	fac, err := pager.NewFactory(dir, opts)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	fmt.Fprintf(w, "out-of-core auxiliary views: page files in %s, pool %d frames per store\n", dir, cachePages)
+	return fac, func() {
+		fac.Close()
+		os.RemoveAll(dir)
+	}, nil
+}
+
+// printStoreStats reports per-store occupancy and pool behaviour after a
+// paged run.
+func printStoreStats(w io.Writer, fac *pager.Factory) {
+	fmt.Fprintf(w, "\nout-of-core auxiliary stores:\n")
+	for _, st := range fac.Stats() {
+		fmt.Fprintf(w, "  %s/%s: %d rows, %d file pages (%d heap + %d index), resident %d/%d, hit ratio %.1f%%, %d evictions, %d flushes\n",
+			st.View, st.Table, st.Rows, st.FilePages, st.HeapPages, st.IndexPages,
+			st.Resident, st.Budget, 100*st.HitRatio(), st.Evictions, st.Flushes)
+	}
+}
+
+func run(w io.Writer, scale, deltas int, mixName, view string, metrics bool, shards int, auxDisk bool, cachePages int) error {
 	var mix workload.Mix
 	switch mixName {
 	case "default":
@@ -85,6 +123,20 @@ func run(w io.Writer, scale, deltas int, mixName, view string, metrics bool, sha
 		eng.Shards = shards
 		fmt.Fprintf(w, "sharded applies: %d-way fan-out\n", shards)
 	}
+	var fac *pager.Factory
+	if auxDisk {
+		var cleanup func()
+		fac, cleanup, err = pagedAux(w, cachePages, nil)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		if err := eng.SetAuxStores(func(table string) (maintain.AuxStore, error) {
+			return fac.Open(view, table)
+		}); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(w, "derived and initialized auxiliary views in %s\n", time.Since(start).Round(time.Millisecond))
 	fmt.Fprintln(w)
 	fmt.Fprint(w, eng.Plan().Text())
@@ -121,6 +173,9 @@ func run(w io.Writer, scale, deltas int, mixName, view string, metrics bool, sha
 	fmt.Fprintf(w, "  detail rows joined: %d, aux lookups: %d, group adjusts: %d, group recomputes: %d\n",
 		stats.DetailRows, stats.AuxLookups, stats.GroupAdjusts, stats.GroupRecomputes)
 	fmt.Fprintf(w, "  view groups: %d, aux bytes now: %d\n", eng.Groups(), eng.AuxBytes())
+	if fac != nil {
+		printStoreStats(w, fac)
+	}
 	if reg != nil {
 		data, err := reg.Snapshot().MarshalJSONIndent()
 		if err != nil {

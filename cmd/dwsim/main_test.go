@@ -8,7 +8,7 @@ import (
 func TestRunSimulator(t *testing.T) {
 	for _, view := range []string{"paper", "csmas", "elimination"} {
 		var b strings.Builder
-		if err := run(&b, 1500, 30, "default", view, false, 1); err != nil {
+		if err := run(&b, 1500, 30, "default", view, false, 1, false, 0); err != nil {
 			t.Fatalf("%s: %v", view, err)
 		}
 		out := b.String()
@@ -22,7 +22,7 @@ func TestRunSimulator(t *testing.T) {
 
 func TestRunInsertOnlyMix(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 1500, 20, "insert-only", "csmas", false, 1); err != nil {
+	if err := run(&b, 1500, 20, "insert-only", "csmas", false, 1, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "group adjusts") {
@@ -32,17 +32,17 @@ func TestRunInsertOnlyMix(t *testing.T) {
 
 func TestRunBadArgs(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 1000, 10, "bogus", "paper", false, 1); err == nil {
+	if err := run(&b, 1000, 10, "bogus", "paper", false, 1, false, 0); err == nil {
 		t.Error("bad mix accepted")
 	}
-	if err := run(&b, 1000, 10, "default", "bogus", false, 1); err == nil {
+	if err := run(&b, 1000, 10, "default", "bogus", false, 1, false, 0); err == nil {
 		t.Error("bad view accepted")
 	}
 }
 
 func TestRunMetricsDump(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 1500, 20, "default", "paper", true, 1); err != nil {
+	if err := run(&b, 1500, 20, "default", "paper", true, 1, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -56,7 +56,7 @@ func TestRunMetricsDump(t *testing.T) {
 func TestRunWALMode(t *testing.T) {
 	dir := t.TempDir() + "/dw"
 	var b strings.Builder
-	if err := runWAL(&b, dir, 1500, 30, "default", "paper", "never", 1, 1); err != nil {
+	if err := runWAL(&b, dir, 1500, 30, "default", "paper", "never", 1, 1, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -72,7 +72,7 @@ func TestRunWALMode(t *testing.T) {
 	// Sharded engines + group-committed batches land on the same recovered
 	// state (the self-check inside runWAL compares live vs recovered).
 	var sb strings.Builder
-	if err := runWAL(&sb, t.TempDir()+"/sharded", 1500, 30, "insert-only", "paper", "never", 4, 8); err != nil {
+	if err := runWAL(&sb, t.TempDir()+"/sharded", 1500, 30, "insert-only", "paper", "never", 4, 8, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"sharded applies: 4-way fan-out", "batch=8", "recovery self-check: OK"} {
@@ -82,17 +82,17 @@ func TestRunWALMode(t *testing.T) {
 	}
 
 	// Reusing a non-empty directory is refused.
-	if err := runWAL(&b, dir, 1500, 30, "default", "paper", "never", 1, 1); err == nil {
+	if err := runWAL(&b, dir, 1500, 30, "default", "paper", "never", 1, 1, false, 0); err == nil {
 		t.Error("non-empty directory accepted")
 	}
 	// Bad arguments surface as errors.
-	if err := runWAL(&b, t.TempDir()+"/x", 1500, 5, "bogus", "paper", "never", 1, 1); err == nil {
+	if err := runWAL(&b, t.TempDir()+"/x", 1500, 5, "bogus", "paper", "never", 1, 1, false, 0); err == nil {
 		t.Error("bad mix accepted")
 	}
-	if err := runWAL(&b, t.TempDir()+"/y", 1500, 5, "default", "bogus", "never", 1, 1); err == nil {
+	if err := runWAL(&b, t.TempDir()+"/y", 1500, 5, "default", "bogus", "never", 1, 1, false, 0); err == nil {
 		t.Error("bad view accepted")
 	}
-	if err := runWAL(&b, t.TempDir()+"/z", 1500, 5, "default", "paper", "bogus", 1, 1); err == nil {
+	if err := runWAL(&b, t.TempDir()+"/z", 1500, 5, "default", "paper", "bogus", 1, 1, false, 0); err == nil {
 		t.Error("bad sync policy accepted")
 	}
 }

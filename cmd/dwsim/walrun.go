@@ -11,6 +11,8 @@ import (
 
 	"mindetail/internal/csvload"
 	"mindetail/internal/experiments"
+	"mindetail/internal/maintain"
+	"mindetail/internal/pager"
 	"mindetail/internal/persist"
 	"mindetail/internal/ra"
 	"mindetail/internal/wal"
@@ -24,7 +26,7 @@ import (
 // applied. The run ends with a recovery self-check: the directory is
 // reopened and the recovered warehouse must match the live one byte for
 // byte.
-func runWAL(w io.Writer, dir string, scale, deltas int, mixName, view, syncName string, shards, batch int) error {
+func runWAL(w io.Writer, dir string, scale, deltas int, mixName, view, syncName string, shards, batch int, auxDisk bool, cachePages int) error {
 	var sync wal.SyncPolicy
 	switch syncName {
 	case "always":
@@ -81,6 +83,23 @@ func runWAL(w io.Writer, dir string, scale, deltas int, mixName, view, syncName 
 	if shards > 1 {
 		dw.SetEngineShards(shards)
 		fmt.Fprintf(w, "sharded applies: %d-way fan-out\n", shards)
+	}
+	var fac *pager.Factory
+	if auxDisk {
+		// Dirty pages respect the WAL rule (page LSN flushed before
+		// write-back); the page files themselves are scratch — recovery
+		// replays the log into memory and never reads them.
+		var cleanup func()
+		fac, cleanup, err = pagedAux(w, cachePages, d.Log())
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		if err := dw.SetAuxStoreFactory(func(view, table string) (maintain.AuxStore, error) {
+			return fac.Open(view, table)
+		}); err != nil {
+			return err
+		}
 	}
 
 	start := time.Now()
@@ -149,6 +168,9 @@ func runWAL(w io.Writer, dir string, scale, deltas int, mixName, view, syncName 
 		len(ds), elapsed.Round(time.Millisecond),
 		float64(len(ds))/elapsed.Seconds(), syncName, batch)
 	fmt.Fprintf(w, "log now %d bytes, LSN %d\n", d.Log().Size(), dw.LSN())
+	if fac != nil {
+		printStoreStats(w, fac)
+	}
 
 	// Recovery self-check: everything acknowledged must be on disk.
 	if err := d.Log().Sync(); err != nil { // sync=never keeps no other promise

@@ -22,6 +22,7 @@ import (
 
 	"mindetail/internal/faultinject"
 	"mindetail/internal/maintain"
+	"mindetail/internal/pager"
 	"mindetail/internal/persist"
 	"mindetail/internal/tuple"
 	"mindetail/internal/types"
@@ -276,6 +277,222 @@ func TestFaultInjectionCheckpointCrash(t *testing.T) {
 	}
 	if got := recoverBytes(t, img); !bytes.Equal(got, want) {
 		t.Fatal("stale log suffix after checkpoint rename was not replayed idempotently")
+	}
+}
+
+// pageWarehouse moves w's auxiliary views onto out-of-core pager stores
+// with a deliberately tiny buffer pool (4 frames of the smallest pages),
+// so the workload continuously spills and refetches, and wires the pool's
+// dirty-page writes to the WAL's flushed-LSN rule.
+func pageWarehouse(t *testing.T, w *warehouse.Warehouse, log *wal.Log) *pager.Factory {
+	t.Helper()
+	fac, err := pager.NewFactory(filepath.Join(t.TempDir(), "pages"), pager.Options{
+		PageSize:  pager.MinPageSize,
+		PoolPages: 4,
+		WAL:       log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fac.Close() })
+	if err := w.SetAuxStoreFactory(func(view, table string) (maintain.AuxStore, error) {
+		return fac.Open(view, table)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return fac
+}
+
+// pagedSeed bulk-loads products and sales (prices again multiples of
+// 0.25) in a handful of multi-row statements, enough rows that every
+// auxiliary store spans far more pages than the 4-frame pool.
+func pagedSeed() []string {
+	var stmts []string
+	for base := 0; base < 60; base += 15 {
+		prod := "INSERT INTO product VALUES "
+		sale := "INSERT INTO sale VALUES "
+		for i := 0; i < 15; i++ {
+			id := 100 + base + i
+			if i > 0 {
+				prod += ", "
+				sale += ", "
+			}
+			prod += fmt.Sprintf("(%d, 'brand%d', 'cat%d')", id, id%5, id%3)
+			sale += fmt.Sprintf("(%d, %d, %d, %g)", 1000+base+i, id, id%7, float64(id%13)*0.25)
+		}
+		stmts = append(stmts, prod+";", sale+";")
+	}
+	return stmts
+}
+
+// recoverBytesPaged recovers from the on-disk image and re-snapshots the
+// warehouse twice: once in memory and once after migrating the recovered
+// auxiliary views onto fresh paged stores. Both must agree — the page
+// files are ephemeral spill storage, so recovery never reads them; it
+// rebuilds from the snapshot and committed log suffix alone.
+func recoverBytesPaged(t *testing.T, dir string) []byte {
+	t.Helper()
+	r, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("recovery from %s: %v", dir, err)
+	}
+	defer r.Close()
+	mem := snap(t, r.Warehouse())
+	pageWarehouse(t, r.Warehouse(), r.Log())
+	if paged := snap(t, r.Warehouse()); !bytes.Equal(paged, mem) {
+		t.Fatalf("recovered state changed when migrated onto paged stores:\n mem:\n%s\npaged:\n%s", mem, paged)
+	}
+	return mem
+}
+
+// TestFaultInjectionCrashRecoveryPaged is the crash sweep of
+// TestFaultInjectionCrashRecovery with the auxiliary views out of core:
+// every statement, every injection point it visits — now including the
+// pager's PageEvict and PageFlush points, since the tiny pool spills
+// mid-apply — with both the rollback and the crash-recovery halves of the
+// contract checked bit-identically against the in-memory oracle, and
+// recovery additionally re-verified on a paged backend.
+func TestFaultInjectionCrashRecoveryPaged(t *testing.T) {
+	dir := t.TempDir()
+	d, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	w := d.Warehouse()
+	if _, err := w.Exec(crashDDL); err != nil {
+		t.Fatal(err)
+	}
+	pageWarehouse(t, w, d.Log())
+	// Bulk rows so every auxiliary store far exceeds the 4-frame pool:
+	// each statement of the sweep then evicts and refetches mid-apply.
+	for _, sql := range pagedSeed() {
+		if _, err := w.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const limit = 100000
+	sawPager := false
+	for k, sql := range crashSteps {
+		committed := false
+		for failAt := int64(1); failAt <= limit; failAt++ {
+			before := snap(t, w)
+			h := faultinject.NewHook(failAt)
+			w.SetFaultHook(h)
+			_, err := w.Exec(sql)
+			w.SetFaultHook(nil)
+			if err == nil {
+				if p, fired := h.Fired(); fired {
+					t.Fatalf("step %d %q: hook fired at %s but Exec succeeded", k, sql, p)
+				}
+				committed = true
+				break
+			}
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("step %d %q failAt=%d: genuine error: %v", k, sql, failAt, err)
+			}
+			p, _ := h.Fired()
+			if p == faultinject.PageEvict || p == faultinject.PageFlush {
+				sawPager = true
+			}
+			when := fmt.Sprintf("step %d %q failAt=%d (%s)", k, sql, failAt, p)
+			if got := snap(t, w); !bytes.Equal(got, before) {
+				t.Fatalf("%s: live state changed after rollback", when)
+			}
+			if got := recoverBytesPaged(t, crashImage(t, dir)); !bytes.Equal(got, before) {
+				t.Fatalf("%s: crash-image recovery diverged from pre-statement state:\n got:\n%s\nwant:\n%s",
+					when, got, before)
+			}
+		}
+		if !committed {
+			t.Fatalf("step %d %q: sweep did not terminate within %d injection points", k, sql, limit)
+		}
+	}
+	if !sawPager {
+		t.Fatal("sweep never reached a pager injection point — pool not small enough?")
+	}
+
+	want := snap(t, w)
+	if got := recoverBytesPaged(t, crashImage(t, dir)); !bytes.Equal(got, want) {
+		t.Fatal("final state does not survive recovery")
+	}
+}
+
+// TestFaultInjectionTornWriteSweepPaged re-runs the torn-write sweep with
+// the writing warehouse out of core: the log bytes a paged run produces
+// must recover — at every cut offset — to the same in-memory oracles,
+// since the WAL records logical deltas that are backend-independent and
+// the page files never participate in recovery.
+func TestFaultInjectionTornWriteSweepPaged(t *testing.T) {
+	oracle := func(steps int) []byte {
+		dir := t.TempDir()
+		d, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		if _, err := d.Warehouse().Exec(crashDDL); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			if _, err := d.Warehouse().Exec(crashSteps[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return snap(t, d.Warehouse())
+	}
+	wantPrev := oracle(len(crashSteps) - 1)
+	wantFull := oracle(len(crashSteps))
+
+	dir := t.TempDir()
+	d, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Warehouse().Exec(crashDDL); err != nil {
+		t.Fatal(err)
+	}
+	pageWarehouse(t, d.Warehouse(), d.Log())
+	for _, sql := range crashSteps {
+		if _, err := d.Warehouse().Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := snap(t, d.Warehouse()); !bytes.Equal(got, wantFull) {
+		t.Fatal("paged warehouse diverged from the in-memory oracle before any crash")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	whole, err := os.ReadFile(filepath.Join(dir, wal.LogFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, ends, derr := wal.Decode(whole)
+	if derr != nil {
+		t.Fatalf("baseline log not clean: %v", derr)
+	}
+	n := len(recs)
+	if n < 3 || recs[n-1].Kind != wal.KindCommit || recs[n-2].Kind != wal.KindDelta {
+		t.Fatalf("unexpected log tail: %v %v", recs[n-2].Kind, recs[n-1].Kind)
+	}
+	intentStart := ends[n-3]
+
+	for cut := intentStart + 1; cut <= int64(len(whole)); cut++ {
+		img := t.TempDir()
+		if err := os.WriteFile(filepath.Join(img, wal.LogFile), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := recoverBytesPaged(t, img)
+		want, label := wantPrev, "pre-mutation"
+		if cut == int64(len(whole)) {
+			want, label = wantFull, "post-mutation"
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cut %d (of %d): recovered state differs from %s oracle", cut, len(whole), label)
+		}
 	}
 }
 

@@ -72,6 +72,15 @@ const (
 	// are appended and fsynced — a crash here leaves a tail of durable
 	// intents with no outcomes, which recovery must discard whole.
 	BatchCommit
+	// PageEvict fires in the pager's buffer pool after a CLOCK victim has
+	// been chosen, before its frame is flushed or dropped — mid-apply this
+	// lands between two group mutations of one delta, with part of the
+	// delta's state already spilled to disk.
+	PageEvict
+	// PageFlush fires in the pager inside a dirty-page write-back, after
+	// the WAL flushed-LSN rule was enforced but before the page bytes reach
+	// the file — the moment a torn page write would happen on a crash.
+	PageFlush
 
 	// NumPoints is the number of distinct injection points.
 	NumPoints
@@ -91,6 +100,8 @@ var pointNames = [NumPoints]string{
 	"ShardAuxInstall",
 	"ShardMVInstall",
 	"BatchCommit",
+	"PageEvict",
+	"PageFlush",
 }
 
 // String returns the symbolic name of the point.

@@ -2,6 +2,8 @@ package maintain
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"mindetail/internal/core"
 	"mindetail/internal/faultinject"
@@ -25,8 +27,11 @@ type AuxTable struct {
 	maxPos   map[string]int // base attribute -> MAX column position (append-only)
 	cntPos   int            // COUNT(*) column position, -1 when absent
 
-	rows map[string]tuple.Tuple
-	idx  map[string]map[string][]string // attr -> value key -> row keys
+	// store holds the group rows keyed by encoded plain attributes. The
+	// default is the in-memory map backend; SetStore swaps in an
+	// out-of-core backend (internal/pager) per view.
+	store AuxStore
+	idx   map[string]map[string][]string // attr -> value key -> row keys
 
 	// idxPos caches the column position of each indexed attribute, so
 	// per-row index maintenance needs no schema scan.
@@ -44,6 +49,37 @@ type AuxTable struct {
 	// fault-injection hook (nil in production).
 	jnl *journal
 	fi  *faultinject.Hook
+
+	// readErr records the first store read failure seen by Lookup and its
+	// buffer-reuse variants, which have no error return of their own. A
+	// failed read during staging would otherwise silently drop rows from a
+	// scoped recomputation; the engine drains this after applying a delta
+	// and rolls back if a read failed. Guarded by a mutex because the
+	// sharded apply path probes child tables from concurrent workers.
+	readErrMu sync.Mutex
+	readErr   error
+}
+
+// noteReadErr records err as the table's pending read failure (first one
+// wins). Safe for concurrent use.
+func (t *AuxTable) noteReadErr(err error) {
+	if err == nil {
+		return
+	}
+	t.readErrMu.Lock()
+	if t.readErr == nil {
+		t.readErr = err
+	}
+	t.readErrMu.Unlock()
+}
+
+// takeReadErr returns and clears the pending read failure, if any.
+func (t *AuxTable) takeReadErr() error {
+	t.readErrMu.Lock()
+	err := t.readErr
+	t.readErr = nil
+	t.readErrMu.Unlock()
+	return err
 }
 
 // NewAuxTable creates an empty table for the auxiliary view definition. A
@@ -58,7 +94,7 @@ func NewAuxTable(def *core.AuxView) (*AuxTable, error) {
 		minPos: make(map[string]int),
 		maxPos: make(map[string]int),
 		cntPos: -1,
-		rows:   make(map[string]tuple.Tuple),
+		store:  newMemStore(),
 		idx:    make(map[string]map[string][]string),
 		idxPos: make(map[string]int),
 	}
@@ -103,15 +139,48 @@ func (t *AuxTable) Def() *core.AuxView { return t.def }
 func (t *AuxTable) Cols() ra.Schema { return t.cols }
 
 // Len returns the number of rows (groups).
-func (t *AuxTable) Len() int { return len(t.rows) }
+func (t *AuxTable) Len() int { return t.store.Len() }
 
 // Bytes returns the byte-accounting size of the rows.
-func (t *AuxTable) Bytes() int {
-	n := 0
-	for _, r := range t.rows {
-		n += r.EncodedSize()
+func (t *AuxTable) Bytes() int { return t.store.Bytes() }
+
+// Store returns the table's row store.
+func (t *AuxTable) Store() AuxStore { return t.store }
+
+// SetStore migrates the table's rows into a replacement store and adopts
+// it. The previous store is closed. Typically called right after engine
+// construction (empty table, nothing to migrate), but a populated table
+// moves too.
+func (t *AuxTable) SetStore(s AuxStore) error {
+	if err := s.Clear(t.store.Len()); err != nil {
+		return err
 	}
-	return n
+	// Migrate in sorted key order: a group's rows share their encoded
+	// plain-attribute prefix, so sorting lands each group on adjacent heap
+	// pages. The scoped maintenance path reads whole groups; on a paged
+	// store that locality turns one group read into a few page fetches
+	// instead of one per row.
+	type kv struct {
+		k string
+		r tuple.Tuple
+	}
+	rows := make([]kv, 0, t.store.Len())
+	err := t.store.Scan(func(k string, r tuple.Tuple) error {
+		rows = append(rows, kv{k, r})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].k < rows[j].k })
+	for _, e := range rows {
+		if err := s.PutString(e.k, e.r); err != nil {
+			return err
+		}
+	}
+	old := t.store
+	t.store = s
+	return old.Close()
 }
 
 // EnsureIndex builds a hash index on the named plain attribute.
@@ -125,9 +194,13 @@ func (t *AuxTable) EnsureIndex(attr string) error {
 	}
 	m := make(map[string][]string)
 	var buf []byte
-	for k, r := range t.rows {
+	err = t.store.Scan(func(k string, r tuple.Tuple) error {
 		buf = types.Encode(buf[:0], r[pos])
 		m[string(buf)] = append(m[string(buf)], k)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	t.idx[attr] = m
 	t.idxPos[attr] = pos
@@ -163,13 +236,23 @@ func (t *AuxTable) indexRemove(row tuple.Tuple, key string) {
 // Load replaces the contents with a materialized relation (from
 // core.Plan.Materialize). Existing indexes are rebuilt.
 func (t *AuxTable) Load(rel *ra.Relation) error {
-	t.rows = make(map[string]tuple.Tuple, rel.Len())
+	if err := t.store.Clear(rel.Len()); err != nil {
+		return err
+	}
 	for _, row := range rel.Rows {
 		key := row.KeyAt(t.plainPos)
-		if _, dup := t.rows[key]; dup {
+		if _, dup, err := t.store.GetString(key); err != nil {
+			return err
+		} else if dup {
 			return fmt.Errorf("maintain: %s: duplicate group %v", t.def.Name, row)
 		}
-		t.rows[key] = row.Clone()
+		r := row
+		if t.store.InPlace() {
+			r = row.Clone()
+		}
+		if err := t.store.PutString(key, r); err != nil {
+			return err
+		}
 	}
 	attrs := make([]string, 0, len(t.idx))
 	for a := range t.idx {
@@ -194,7 +277,12 @@ func (t *AuxTable) Lookup(attr string, v types.Value) []tuple.Tuple {
 		keys := m[string(t.probeBuf)]
 		out := t.lookupBuf[:0]
 		for _, k := range keys {
-			out = append(out, t.rows[k])
+			r, ok, err := t.store.GetString(k)
+			if err != nil {
+				t.noteReadErr(err)
+			} else if ok {
+				out = append(out, r)
+			}
 		}
 		t.lookupBuf = out
 		return out
@@ -204,11 +292,12 @@ func (t *AuxTable) Lookup(attr string, v types.Value) []tuple.Tuple {
 		return nil
 	}
 	var out []tuple.Tuple
-	for _, r := range t.rows {
+	t.noteReadErr(t.store.Scan(func(_ string, r tuple.Tuple) error {
 		if types.Identical(r[pos], v) {
 			out = append(out, r)
 		}
-	}
+		return nil
+	}))
 	return out
 }
 
@@ -223,7 +312,12 @@ func (t *AuxTable) lookupInto(attr string, v types.Value, out []tuple.Tuple, key
 	if m, ok := t.idx[attr]; ok {
 		keyBuf = types.Encode(keyBuf, v)
 		for _, k := range m[string(keyBuf)] {
-			out = append(out, t.rows[k])
+			r, ok, err := t.store.GetString(k)
+			if err != nil {
+				t.noteReadErr(err)
+			} else if ok {
+				out = append(out, r)
+			}
 		}
 		return out, keyBuf
 	}
@@ -231,11 +325,12 @@ func (t *AuxTable) lookupInto(attr string, v types.Value, out []tuple.Tuple, key
 	if err != nil {
 		return out, keyBuf
 	}
-	for _, r := range t.rows {
+	t.noteReadErr(t.store.Scan(func(_ string, r tuple.Tuple) error {
 		if types.Identical(r[pos], v) {
 			out = append(out, r)
 		}
-	}
+		return nil
+	}))
 	return out, keyBuf
 }
 
@@ -278,8 +373,16 @@ func (t *AuxTable) Adjust(plainVals tuple.Tuple, sumDeltas map[string]types.Valu
 	if err := t.fi.Fire(faultinject.AuxAdjustStart); err != nil {
 		return err
 	}
-	t.jnl.noteAux(t, t.probeBuf)
-	row := t.rows[string(t.probeBuf)]
+	if err := t.jnl.noteAux(t, t.probeBuf); err != nil {
+		return err
+	}
+	row, ok, err := t.store.Get(t.probeBuf)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		row = nil
+	}
 	out, err := t.adjustCore(row, plainVals, sumDeltas, extrema, dCnt)
 	if err != nil {
 		return err
@@ -287,14 +390,25 @@ func (t *AuxTable) Adjust(plainVals tuple.Tuple, sumDeltas map[string]types.Valu
 	switch {
 	case row == nil && out != nil:
 		key := string(t.probeBuf)
-		t.rows[key] = out
+		if err := t.store.PutString(key, out); err != nil {
+			return err
+		}
 		t.indexAdd(out, key)
 	case row != nil && out == nil:
 		key := string(t.probeBuf)
 		t.indexRemove(row, key)
-		delete(t.rows, key)
+		if err := t.store.DeleteString(key); err != nil {
+			return err
+		}
+	case row != nil && out != nil && !t.store.InPlace():
+		// A copy-out store does not see the in-place mutation of the
+		// decoded image; write the adjusted row back under the same key.
+		if err := t.store.Put(t.probeBuf, out); err != nil {
+			return err
+		}
 	}
-	// row != nil && out != nil: out is row, adjusted in place.
+	// For an in-place store, row != nil && out != nil needs nothing: out
+	// IS the stored row, adjusted in place.
 	return nil
 }
 
@@ -391,12 +505,16 @@ func (t *AuxTable) CheckIndexes() error {
 	for attr, m := range t.idx {
 		pos := t.idxPos[attr]
 		want := make(map[string]map[string]bool, len(m))
-		for k, r := range t.rows {
+		err := t.store.Scan(func(k string, r tuple.Tuple) error {
 			vk := string(types.Encode(nil, r[pos]))
 			if want[vk] == nil {
 				want[vk] = make(map[string]bool)
 			}
 			want[vk][k] = true
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		for vk, list := range m {
 			if len(list) == 0 {
@@ -428,8 +546,9 @@ func (t *AuxTable) CheckIndexes() error {
 // Relation returns a snapshot of the current contents.
 func (t *AuxTable) Relation() *ra.Relation {
 	out := ra.NewRelation(t.cols)
-	for _, r := range t.rows {
+	t.noteReadErr(t.store.Scan(func(_ string, r tuple.Tuple) error {
 		out.Rows = append(out.Rows, r)
-	}
+		return nil
+	}))
 	return out
 }

@@ -432,6 +432,14 @@ func (e *Engine) stageWithMemo(d Delta, m *DeltaMemo) error {
 	if e.plan.AppendOnly && (len(d.Deletes) > 0 || len(d.Updates) > 0) {
 		return fmt.Errorf("maintain: plan for view %s was derived append-only (Section 4); deletions and updates are not maintainable", e.view.Name)
 	}
+	for bt, at := range e.aux {
+		if serr := at.store.Err(); serr != nil {
+			// A wedged out-of-core store (sticky I/O failure, possibly from
+			// an earlier rollback) must reject deltas before the journal
+			// records anything.
+			return fmt.Errorf("maintain: auxiliary store for %s is wedged: %w", bt, serr)
+		}
+	}
 	e.memo = m
 	if m != nil {
 		if e.plan.Fingerprint() == "" {
@@ -460,9 +468,32 @@ func (e *Engine) stageWithMemo(d Delta, m *DeltaMemo) error {
 	e.jnl.begin()
 	if err := e.applyMutations(t, d, signed); err != nil {
 		e.rollbackJournal(err)
+		e.auxReadErr() // the apply is already failing; drop the notes
+		return err
+	}
+	if err := e.auxReadErr(); err != nil {
+		// Lookup and its buffer-reuse variants have no error return; a
+		// store read that failed mid-apply silently dropped rows from the
+		// scoped recomputation, so the staged result cannot be trusted.
+		// For shared tables the note may belong to a concurrently staging
+		// engine of the same class — failing here is still sound, because
+		// one failed engine aborts (and rolls back) the whole propagation.
+		e.rollbackJournal(err)
 		return err
 	}
 	return nil
+}
+
+// auxReadErr drains the pending read failure of every auxiliary table,
+// returning the first one found.
+func (e *Engine) auxReadErr() error {
+	var first error
+	for bt, at := range e.aux {
+		if err := at.takeReadErr(); err != nil && first == nil {
+			first = fmt.Errorf("maintain: reading auxiliary store for %s: %w", bt, err)
+		}
+	}
+	return first
 }
 
 // Commit discards the undo journal of a successful staged apply.
@@ -488,6 +519,43 @@ func (e *Engine) Rollback() {
 	e.rollbackJournal(nil)
 }
 
+// SetAuxStores swaps every auxiliary table's row storage through a factory
+// keyed by base table (see AuxStore; internal/pager provides the paged
+// backend). Existing rows migrate, so it may be called before or after
+// Init. Engines of a shared class do not own their tables and reject the
+// call — swap through the coordinator instead.
+func (e *Engine) SetAuxStores(factory func(table string) (AuxStore, error)) error {
+	if e.skipAux {
+		return fmt.Errorf("maintain: engine %s shares its auxiliary tables; set stores on the coordinator", e.view.Name)
+	}
+	for t, at := range e.aux {
+		s, err := factory(t)
+		if err != nil {
+			return fmt.Errorf("maintain: auxiliary store for %s: %w", t, err)
+		}
+		if err := at.SetStore(s); err != nil {
+			return fmt.Errorf("maintain: auxiliary store for %s: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// Close releases the auxiliary tables' row stores (a no-op for the
+// in-memory backend; the paged backend flushes and closes its page file).
+// The engine must not be used afterwards.
+func (e *Engine) Close() error {
+	var first error
+	if e.skipAux {
+		return nil // shared tables are closed by their coordinator
+	}
+	for _, at := range e.aux {
+		if err := at.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // SetFaultHook installs (nil removes) a fault-injection hook on the engine
 // and its exclusively-owned auxiliary tables. Shared tables are hooked by
 // their coordinator. Not safe concurrently with Apply; tests only.
@@ -498,6 +566,11 @@ func (e *Engine) SetFaultHook(h *faultinject.Hook) {
 	}
 	for _, at := range e.aux {
 		at.fi = h
+		// Out-of-core stores carry their own injection points (eviction,
+		// page flush); forward the hook so one sweep covers them too.
+		if fh, ok := at.store.(interface{ SetFaultHook(*faultinject.Hook) }); ok {
+			fh.SetFaultHook(h)
+		}
 	}
 }
 

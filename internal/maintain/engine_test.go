@@ -517,9 +517,10 @@ func TestMinimalityDropAttribute(t *testing.T) {
 	// Sabotage: forget the count column's contents (simulate its absence
 	// by zeroing, which is what "not storing it" would give maintenance).
 	sale := f.engine.Aux("sale")
-	for _, row := range sale.rows {
+	_ = sale.store.Scan(func(_ string, row tuple.Tuple) error {
 		row[sale.cntPos] = types.Int(1)
-	}
+		return nil
+	})
 	// A delete of one of the duplicated rows now drives the auxiliary
 	// group to a wrong state; the divergence must be observable.
 	row, err := f.db.Delete("sale", types.Int(1))

@@ -42,29 +42,49 @@ func (j *journal) discard() {
 }
 
 // noteAux records the current image of the auxiliary-table group under the
-// encoded key (a scratch buffer; the journal copies it).
-func (j *journal) noteAux(at *AuxTable, key []byte) {
+// encoded key (a scratch buffer; the journal copies it). A store read
+// failure surfaces as an error BEFORE anything was journaled or mutated —
+// the caller must abort the adjustment.
+func (j *journal) noteAux(at *AuxTable, key []byte) error {
 	if j == nil || !j.recording {
-		return
+		return nil
+	}
+	row, ok, err := at.store.Get(key)
+	if err != nil {
+		return err
 	}
 	var old tuple.Tuple
-	if row, ok := at.rows[string(key)]; ok {
-		old = row.Clone()
+	if ok {
+		if at.store.InPlace() {
+			old = row.Clone() // live row: snapshot it before the mutation
+		} else {
+			old = row // already a private decoded copy
+		}
 	}
 	j.ents = append(j.ents, undoEntry{aux: at, key: string(key), old: old})
+	return nil
 }
 
 // noteAuxKey is noteAux for a key already materialized as a string (no
 // copy).
-func (j *journal) noteAuxKey(at *AuxTable, key string) {
+func (j *journal) noteAuxKey(at *AuxTable, key string) error {
 	if j == nil || !j.recording {
-		return
+		return nil
+	}
+	row, ok, err := at.store.GetString(key)
+	if err != nil {
+		return err
 	}
 	var old tuple.Tuple
-	if row, ok := at.rows[key]; ok {
-		old = row.Clone()
+	if ok {
+		if at.store.InPlace() {
+			old = row.Clone()
+		} else {
+			old = row
+		}
 	}
 	j.ents = append(j.ents, undoEntry{aux: at, key: key, old: old})
+	return nil
 }
 
 // noteMV records the current image of the materialized-view group under the
@@ -113,17 +133,29 @@ func (j *journal) rollback() {
 // absent), maintaining the hash indexes. In-place restores need no index
 // maintenance: the engine only indexes plain attributes, and two rows under
 // the same group key agree on every plain attribute by construction.
+//
+// rollback cannot surface errors, so a paged-store failure here leaves the
+// store's sticky error set (AuxStore.Err) and the engine's validate-first
+// pass rejects every later delta — the table is wedged, never silently
+// inconsistent.
 func (t *AuxTable) restoreGroup(key string, old tuple.Tuple) {
-	cur, exists := t.rows[key]
+	cur, exists, err := t.store.GetString(key)
+	if err != nil {
+		return // sticky store failure; the table is wedged
+	}
 	switch {
 	case old == nil && exists:
 		t.indexRemove(cur, key)
-		delete(t.rows, key)
+		_ = t.store.DeleteString(key)
 	case old != nil && !exists:
-		t.rows[key] = old
+		_ = t.store.PutString(key, old)
 		t.indexAdd(old, key)
 	case old != nil && exists:
-		copy(cur, old)
+		if t.store.InPlace() {
+			copy(cur, old)
+		} else {
+			_ = t.store.PutString(key, old)
+		}
 	}
 }
 

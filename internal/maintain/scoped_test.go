@@ -23,7 +23,10 @@ func checkAuxIndexes(t *testing.T, at *AuxTable) {
 		for vk, keys := range m {
 			for _, k := range keys {
 				total++
-				row, ok := at.rows[k]
+				row, ok, err := at.store.GetString(k)
+				if err != nil {
+					t.Fatal(err)
+				}
 				if !ok {
 					t.Fatalf("%s: index on %s references missing row %q", at.def.Name, attr, k)
 				}
@@ -33,8 +36,8 @@ func checkAuxIndexes(t *testing.T, at *AuxTable) {
 				}
 			}
 		}
-		if total != len(at.rows) {
-			t.Fatalf("%s: index on %s holds %d entries for %d rows", at.def.Name, attr, total, len(at.rows))
+		if total != at.Len() {
+			t.Fatalf("%s: index on %s holds %d entries for %d rows", at.def.Name, attr, total, at.Len())
 		}
 	}
 }

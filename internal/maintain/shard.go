@@ -93,22 +93,25 @@ type shardOverlay struct {
 	err   error
 }
 
-// touch returns the overlay entry for the encoded key, creating it from
-// the (quiescent, shared) base map on first touch.
-func (ov *shardOverlay) touch(keyBuf []byte, base map[string]tuple.Tuple, ord int) *shardPending {
+// touch returns the overlay entry for the encoded key, creating it on
+// first touch from the (quiescent, shared) base state. get must return a
+// mutation-safe private image of the current group (callers wrap the base
+// map or AuxStore accordingly); concurrent get calls against quiescent
+// state must be safe, which both the map read and the mutex-guarded paged
+// store provide.
+func (ov *shardOverlay) touch(keyBuf []byte, get func([]byte) (tuple.Tuple, bool, error), ord int) (*shardPending, error) {
 	p, ok := ov.ents[string(keyBuf)]
 	if !ok {
 		key := string(keyBuf)
-		var img tuple.Tuple
-		row, exists := base[key]
-		if exists {
-			img = row.Clone()
+		img, exists, err := get(keyBuf)
+		if err != nil {
+			return nil, err
 		}
 		p = &shardPending{key: key, row: img, existed: exists, firstOrd: ord}
 		ov.ents[key] = p
 		ov.order = append(ov.order, p)
 	}
-	return p
+	return p, nil
 }
 
 // mergeOverlays flattens per-worker overlays into one install list sorted
@@ -136,6 +139,19 @@ func (e *Engine) auxApplySharded(at *AuxTable, rows []signedRow) error {
 	plan := e.auxPlanFor(at) // warm the cache before workers share it
 	shards := e.shardCount()
 	e.observeShard(len(rows), shards)
+	// getBase yields a mutation-safe image of the current group: the store
+	// is quiescent during the compute phase, an in-place store's live rows
+	// are cloned, and a paged store's decoded copies are already private.
+	getBase := func(key []byte) (tuple.Tuple, bool, error) {
+		row, ok, err := at.store.Get(key)
+		if err != nil || !ok {
+			return nil, ok, err
+		}
+		if at.store.InPlace() {
+			row = row.Clone()
+		}
+		return row, true, nil
+	}
 	ovs := make([]shardOverlay, shards)
 	var lookups int64
 	var wg sync.WaitGroup
@@ -200,7 +216,11 @@ func (e *Engine) auxApplySharded(at *AuxTable, rows []signedRow) error {
 						extrema[a] = sr.row[plan.maxPos[i]]
 					}
 				}
-				p := ov.touch(keyBuf, at.rows, ord)
+				p, err := ov.touch(keyBuf, getBase, ord)
+				if err != nil {
+					ov.err = err
+					return
+				}
 				out, err := at.adjustCore(p.row, plainVals, sumDeltas, extrema, sr.s)
 				if err != nil {
 					ov.err = err
@@ -223,20 +243,33 @@ func (e *Engine) auxApplySharded(at *AuxTable, rows []signedRow) error {
 		if !p.existed && p.row == nil {
 			continue // created and died within the apply: no net change
 		}
-		at.jnl.noteAuxKey(at, p.key)
+		if err := at.jnl.noteAuxKey(at, p.key); err != nil {
+			return err
+		}
 		switch {
 		case p.existed && p.row == nil:
-			cur := at.rows[p.key]
-			at.indexRemove(cur, p.key)
-			delete(at.rows, p.key)
+			cur, ok, err := at.store.GetString(p.key)
+			if err != nil {
+				return err
+			}
+			if ok {
+				at.indexRemove(cur, p.key)
+			}
+			if err := at.store.DeleteString(p.key); err != nil {
+				return err
+			}
 		case !p.existed:
-			at.rows[p.key] = p.row
+			if err := at.store.PutString(p.key, p.row); err != nil {
+				return err
+			}
 			at.indexAdd(p.row, p.key)
 		default:
 			// Replacing the tuple object needs no index maintenance: the
 			// indexes bucket row keys by plain attributes, which two images
 			// of one group agree on by construction.
-			at.rows[p.key] = p.row
+			if err := at.store.PutString(p.key, p.row); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -274,6 +307,14 @@ func (e *Engine) adjustFromDetailSharded(ctx detailCtx, weights []int64, raise b
 	rows := ctx.rel.Rows
 	shards := e.shardCount()
 	e.observeShard(len(rows), shards)
+	// The materialized view stays map-backed; its getter clones live rows.
+	getMV := func(key []byte) (tuple.Tuple, bool, error) {
+		row, ok := e.mv.rows[string(key)]
+		if !ok {
+			return nil, false, nil
+		}
+		return row.Clone(), true, nil
+	}
 	ovs := make([]shardOverlay, shards)
 	var adjusts int64
 	var wg sync.WaitGroup
@@ -326,7 +367,11 @@ func (e *Engine) adjustFromDetailSharded(ctx detailCtx, weights []int64, raise b
 					ov.err = err
 					return
 				}
-				p := ov.touch(buf, e.mv.rows, ord)
+				p, err := ov.touch(buf, getMV, ord)
+				if err != nil {
+					ov.err = err
+					return
+				}
 				out, err := e.mv.adjustRowCore(p.row, gbVals, w, sumDeltas)
 				if err != nil {
 					ov.err = err

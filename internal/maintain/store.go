@@ -1,0 +1,104 @@
+package maintain
+
+import "mindetail/internal/tuple"
+
+// AuxStore is the row-storage layer behind an AuxTable: a mutable mapping
+// from encoded group keys to group images. Extracting it from the table
+// makes the backend swappable per view — the default memStore keeps rows in
+// a Go map exactly as before, while internal/pager provides a paged,
+// out-of-core backend with a fixed-budget buffer pool (the Section 1.1
+// sizing argument made operational: minimized auxiliary data still exceeds
+// RAM at warehouse scale).
+//
+// Contract:
+//   - Get/GetString return the stored image. An InPlace store returns the
+//     live row (callers may mutate it in place and must Clone before
+//     retaining); a paged store returns a private decoded copy.
+//   - Put/PutString replace the image under the key. The store may retain
+//     the tuple (memStore does); callers hand over ownership.
+//   - Byte-keyed variants exist so the hot path can probe with its scratch
+//     key buffer: a map-backed store compiles s.rows[string(key)] without
+//     allocating, and a paged store hashes the bytes directly.
+//   - Scan visits every row; the callback must not call back into the
+//     store (implementations may hold their lock across the scan).
+//   - I/O errors are sticky: after any failed operation, Err returns the
+//     first failure and every later operation fails fast. The engine
+//     checks Err in its validate-first pass, so a wedged store rejects
+//     deltas before the undo journal records anything.
+type AuxStore interface {
+	Get(key []byte) (tuple.Tuple, bool, error)
+	GetString(key string) (tuple.Tuple, bool, error)
+	Put(key []byte, row tuple.Tuple) error
+	PutString(key string, row tuple.Tuple) error
+	DeleteString(key string) error
+	Len() int
+	Bytes() int
+	Scan(fn func(key string, row tuple.Tuple) error) error
+	Clear(sizeHint int) error
+	InPlace() bool
+	Err() error
+	Close() error
+}
+
+// memStore is the in-memory AuxStore: a Go map, the engine's historical
+// row storage. Get returns live rows (InPlace), operations never fail.
+type memStore struct {
+	rows map[string]tuple.Tuple
+}
+
+func newMemStore() *memStore {
+	return &memStore{rows: make(map[string]tuple.Tuple)}
+}
+
+func (s *memStore) Get(key []byte) (tuple.Tuple, bool, error) {
+	r, ok := s.rows[string(key)]
+	return r, ok, nil
+}
+
+func (s *memStore) GetString(key string) (tuple.Tuple, bool, error) {
+	r, ok := s.rows[key]
+	return r, ok, nil
+}
+
+func (s *memStore) Put(key []byte, row tuple.Tuple) error {
+	s.rows[string(key)] = row
+	return nil
+}
+
+func (s *memStore) PutString(key string, row tuple.Tuple) error {
+	s.rows[key] = row
+	return nil
+}
+
+func (s *memStore) DeleteString(key string) error {
+	delete(s.rows, key)
+	return nil
+}
+
+func (s *memStore) Len() int { return len(s.rows) }
+
+func (s *memStore) Bytes() int {
+	n := 0
+	for _, r := range s.rows {
+		n += r.EncodedSize()
+	}
+	return n
+}
+
+func (s *memStore) Scan(fn func(key string, row tuple.Tuple) error) error {
+	for k, r := range s.rows {
+		if err := fn(k, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *memStore) Clear(sizeHint int) error {
+	s.rows = make(map[string]tuple.Tuple, sizeHint)
+	return nil
+}
+
+func (s *memStore) InPlace() bool { return true }
+func (s *memStore) Err() error    { return nil }
+func (s *memStore) Close() error  { return nil }

@@ -1,0 +1,141 @@
+package pager
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory hands out one Store per (view, auxiliary table) pair, each in
+// its own page file under one directory, all sharing the Options (pool
+// budget applies per store). The warehouse adapts Factory.Open into
+// maintain's per-engine store factory; dwshell's \store command reads
+// Stats.
+type Factory struct {
+	mu     sync.Mutex
+	dir    string
+	opts   Options
+	stores map[string]*Store // view + "\x00" + table
+	files  map[string]string // allocated filename -> owning key
+}
+
+// NewFactory creates the page-file directory (if needed) and returns a
+// factory producing stores under it.
+func NewFactory(dir string, opts Options) (*Factory, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pager: %w", err)
+	}
+	return &Factory{
+		dir:    dir,
+		opts:   opts,
+		stores: make(map[string]*Store),
+		files:  make(map[string]string),
+	}, nil
+}
+
+// Open returns a fresh store for the view's auxiliary table, replacing
+// (and closing) any previous store under the same pair — engines rebuild
+// their auxiliary tables from scratch on Init and on restore, so an old
+// store's content is never carried over.
+func (fc *Factory) Open(view, table string) (*Store, error) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	key := view + "\x00" + table
+	if old, ok := fc.stores[key]; ok {
+		_ = old.Close()
+	}
+	s, err := Open(filepath.Join(fc.dir, fc.filename(key, view, table)), fc.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.view, s.table = view, table
+	fc.stores[key] = s
+	return s, nil
+}
+
+// filename allocates a stable, collision-free file name for the pair.
+func (fc *Factory) filename(key, view, table string) string {
+	base := sanitize(view) + "__" + sanitize(table)
+	name := base + ".pg"
+	for n := 2; ; n++ {
+		owner, taken := fc.files[name]
+		if !taken || owner == key {
+			fc.files[name] = key
+			return name
+		}
+		name = fmt.Sprintf("%s.%d.pg", base, n)
+	}
+}
+
+// sanitize maps an identifier onto the filename-safe alphabet.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// Release closes and forgets every store belonging to view (for dropped or
+// re-created views).
+func (fc *Factory) Release(view string) error {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	var first error
+	for key, s := range fc.stores {
+		if strings.HasPrefix(key, view+"\x00") {
+			if err := s.Close(); err != nil && first == nil {
+				first = err
+			}
+			delete(fc.stores, key)
+		}
+	}
+	return first
+}
+
+// Stats snapshots every open store, sorted by view then table.
+func (fc *Factory) Stats() []StoreStats {
+	fc.mu.Lock()
+	stores := make([]*Store, 0, len(fc.stores))
+	for _, s := range fc.stores {
+		stores = append(stores, s)
+	}
+	fc.mu.Unlock()
+	out := make([]StoreStats, len(stores))
+	for i, s := range stores {
+		out[i] = s.Stats()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].View != out[j].View {
+			return out[i].View < out[j].View
+		}
+		return out[i].Table < out[j].Table
+	})
+	return out
+}
+
+// Close closes every store. The page files stay on disk for inspection;
+// they are rebuilt from scratch on the next run.
+func (fc *Factory) Close() error {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	var first error
+	for key, s := range fc.stores {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(fc.stores, key)
+	}
+	return first
+}

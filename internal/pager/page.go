@@ -1,0 +1,334 @@
+// Package pager is the out-of-core storage tier for auxiliary views: a
+// slotted-page file format, a fixed-budget buffer pool with CLOCK
+// eviction, and an on-disk hash index over group keys. A pager Store
+// implements the maintain.AuxStore contract (structurally — this package
+// never imports maintain), so any view's auxiliary tables can be swapped
+// from the in-memory map backend onto disk while hot groups stay cached.
+//
+// The paper's sizing argument (Section 1.1) is that even minimized
+// auxiliary data reaches billions of rows; this package is what makes that
+// scale serviceable — maintenance throughput degrades with the cache hit
+// ratio instead of falling off a cliff at the RAM boundary.
+//
+// Page format. Every page is pageSize bytes:
+//
+//	[0:4)    crc32c over [4:pageSize)
+//	[4]      kind (1 meta, 2 heap, 3 bucket)
+//	[5]      flags (must be zero)
+//	[6:8)    nslots  u16 LE (heap: slot count; bucket: entry count)
+//	[8:16)   pageLSN u64 LE (highest WAL LSN whose effects the page holds)
+//	[16:18)  dataOff u16 LE (heap: lowest record byte; 0 otherwise)
+//	[18:20)  reserved (must be zero)
+//	[20:24)  next    u32 LE (bucket overflow chain; 0 = none)
+//
+// A heap page's slot directory ([24, 24+4·nslots)) holds {off u16, len
+// u16} entries; dead slots are {0, 0} and keep their slot number forever,
+// so index entries stay valid across deletes. Records pack downward from
+// the page end in slot order; each is [keyLen uvarint][key][tuple], where
+// the tuple uses the WAL's exact-kind value encoding (wal.AppendTuple). A
+// bucket page's entries ([24, 24+14·n)) are {hash u64, page u32, slot
+// u16}. All free space must be zero and records must be packed exactly —
+// every valid page has one unique encoding, the property FuzzDecodePage
+// asserts by re-encoding (mirroring the WAL payload and wire frame
+// codecs).
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"mindetail/internal/wal"
+)
+
+const (
+	// DefaultPageSize is the page size used when Options leaves it zero.
+	DefaultPageSize = 4096
+	// MinPageSize and MaxPageSize bound configurable page sizes; the max
+	// keeps record offsets inside the u16 slot fields.
+	MinPageSize = 256
+	MaxPageSize = 32768
+
+	headerSize    = 24
+	slotSize      = 4
+	bucketEntSize = 14
+
+	// KindMeta is page 0: file identification and geometry.
+	KindMeta byte = 1
+	// KindHeap holds group records.
+	KindHeap byte = 2
+	// KindBucket holds hash-index entries.
+	KindBucket byte = 3
+
+	metaMagic   = 0x4D445047 // "MDPG"
+	metaVersion = 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Rec is one heap-page record slot. A dead slot (tombstone left by a
+// delete) has Live false; its slot number is never reused by a different
+// key's record until an insert explicitly reclaims it.
+type Rec struct {
+	Live bool
+	Key  string
+	Val  []byte // tuple bytes in the WAL exact-kind encoding
+}
+
+// BucketEnt is one hash-index entry: the full 64-bit key hash plus the
+// record's location.
+type BucketEnt struct {
+	Hash uint64
+	Page uint32
+	Slot uint16
+}
+
+// Meta is the decoded content of page 0.
+type Meta struct {
+	PageSize uint32
+	NPages   uint32
+	NBuckets uint32
+}
+
+// Page is one decoded page. Exactly one of Recs (heap), Ents (bucket), or
+// Meta (meta) is meaningful, selected by Kind.
+type Page struct {
+	ID   uint32
+	Kind byte
+	LSN  uint64
+	Next uint32
+
+	Recs []Rec       // KindHeap
+	Ents []BucketEnt // KindBucket
+	Meta Meta        // KindMeta
+}
+
+// recBytes returns the encoded size of a record with the given key and
+// value lengths.
+func recBytes(keyLen, valLen int) int {
+	n := 1
+	for v := uint64(keyLen); v >= 0x80; v >>= 7 {
+		n++
+	}
+	return n + keyLen + valLen
+}
+
+// bucketCap returns how many index entries fit one bucket page.
+func bucketCap(pageSize int) int { return (pageSize - headerSize) / bucketEntSize }
+
+// heapUsed returns the bytes a heap page's live content occupies: header,
+// slot directory, and live records.
+func heapUsed(recs []Rec) int {
+	n := headerSize + slotSize*len(recs)
+	for i := range recs {
+		if recs[i].Live {
+			n += recBytes(len(recs[i].Key), len(recs[i].Val))
+		}
+	}
+	return n
+}
+
+// EncodePage writes the canonical encoding of p into a fresh pageSize-byte
+// buffer. Content that does not fit the page is an error, never a
+// truncation.
+func EncodePage(p *Page, pageSize int) ([]byte, error) {
+	if pageSize < MinPageSize || pageSize > MaxPageSize {
+		return nil, fmt.Errorf("pager: page size %d out of range", pageSize)
+	}
+	buf := make([]byte, pageSize)
+	buf[4] = p.Kind
+	binary.LittleEndian.PutUint64(buf[8:16], p.LSN)
+	binary.LittleEndian.PutUint32(buf[20:24], p.Next)
+	switch p.Kind {
+	case KindMeta:
+		if p.Next != 0 {
+			return nil, fmt.Errorf("pager: meta page with overflow chain")
+		}
+		binary.LittleEndian.PutUint32(buf[headerSize:], metaMagic)
+		binary.LittleEndian.PutUint16(buf[headerSize+4:], metaVersion)
+		binary.LittleEndian.PutUint32(buf[headerSize+6:], p.Meta.PageSize)
+		binary.LittleEndian.PutUint32(buf[headerSize+10:], p.Meta.NPages)
+		binary.LittleEndian.PutUint32(buf[headerSize+14:], p.Meta.NBuckets)
+	case KindHeap:
+		if len(p.Recs) > 0xFFFF {
+			return nil, fmt.Errorf("pager: %d slots exceed the directory limit", len(p.Recs))
+		}
+		binary.LittleEndian.PutUint16(buf[6:8], uint16(len(p.Recs)))
+		dirEnd := headerSize + slotSize*len(p.Recs)
+		cur := pageSize
+		for i := range p.Recs {
+			r := &p.Recs[i]
+			if !r.Live {
+				continue // {0,0} slot entry, already zero
+			}
+			n := recBytes(len(r.Key), len(r.Val))
+			cur -= n
+			if cur < dirEnd {
+				return nil, fmt.Errorf("pager: heap page content overflows %d-byte page", pageSize)
+			}
+			binary.LittleEndian.PutUint16(buf[headerSize+slotSize*i:], uint16(cur))
+			binary.LittleEndian.PutUint16(buf[headerSize+slotSize*i+2:], uint16(n))
+			rec := buf[cur:cur]
+			rec = wal.AppendUvarint(rec, uint64(len(r.Key)))
+			rec = append(rec, r.Key...)
+			rec = append(rec, r.Val...)
+			if len(rec) != n {
+				return nil, fmt.Errorf("pager: record size accounting bug (%d != %d)", len(rec), n)
+			}
+		}
+		binary.LittleEndian.PutUint16(buf[16:18], uint16(cur))
+	case KindBucket:
+		if len(p.Ents) > bucketCap(pageSize) || len(p.Ents) > 0xFFFF {
+			return nil, fmt.Errorf("pager: %d entries overflow a bucket page", len(p.Ents))
+		}
+		binary.LittleEndian.PutUint16(buf[6:8], uint16(len(p.Ents)))
+		for i, e := range p.Ents {
+			off := headerSize + bucketEntSize*i
+			binary.LittleEndian.PutUint64(buf[off:], e.Hash)
+			binary.LittleEndian.PutUint32(buf[off+8:], e.Page)
+			binary.LittleEndian.PutUint16(buf[off+12:], e.Slot)
+		}
+	default:
+		return nil, fmt.Errorf("pager: unknown page kind %d", p.Kind)
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], crc32.Checksum(buf[4:], castagnoli))
+	return buf, nil
+}
+
+// DecodePage parses one page. It accepts exactly the canonical encodings
+// EncodePage produces — checksum, zeroed free space, packed records,
+// minimal varints, well-formed tuples — and rejects everything else with
+// an error, never a panic. Accepted pages re-encode byte-identically.
+func DecodePage(buf []byte) (*Page, error) {
+	if len(buf) < MinPageSize || len(buf) > MaxPageSize {
+		return nil, fmt.Errorf("pager: page of %d bytes out of range", len(buf))
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[0:4]), crc32.Checksum(buf[4:], castagnoli); got != want {
+		return nil, fmt.Errorf("pager: page checksum mismatch (have %08x, want %08x)", got, want)
+	}
+	if buf[5] != 0 || buf[18] != 0 || buf[19] != 0 {
+		return nil, fmt.Errorf("pager: nonzero reserved header bytes")
+	}
+	p := &Page{
+		Kind: buf[4],
+		LSN:  binary.LittleEndian.Uint64(buf[8:16]),
+		Next: binary.LittleEndian.Uint32(buf[20:24]),
+	}
+	nslots := int(binary.LittleEndian.Uint16(buf[6:8]))
+	dataOff := int(binary.LittleEndian.Uint16(buf[16:18]))
+	switch p.Kind {
+	case KindMeta:
+		if nslots != 0 || dataOff != 0 || p.Next != 0 {
+			return nil, fmt.Errorf("pager: malformed meta header")
+		}
+		if binary.LittleEndian.Uint32(buf[headerSize:]) != metaMagic {
+			return nil, fmt.Errorf("pager: bad magic")
+		}
+		if v := binary.LittleEndian.Uint16(buf[headerSize+4:]); v != metaVersion {
+			return nil, fmt.Errorf("pager: unsupported version %d", v)
+		}
+		p.Meta.PageSize = binary.LittleEndian.Uint32(buf[headerSize+6:])
+		p.Meta.NPages = binary.LittleEndian.Uint32(buf[headerSize+10:])
+		p.Meta.NBuckets = binary.LittleEndian.Uint32(buf[headerSize+14:])
+		if p.Meta.PageSize != uint32(len(buf)) {
+			return nil, fmt.Errorf("pager: meta page size %d != file page size %d", p.Meta.PageSize, len(buf))
+		}
+		if err := mustZero(buf[headerSize+18:]); err != nil {
+			return nil, err
+		}
+	case KindHeap:
+		dirEnd := headerSize + slotSize*nslots
+		if dirEnd > len(buf) {
+			return nil, fmt.Errorf("pager: slot directory overflows page")
+		}
+		p.Recs = make([]Rec, nslots)
+		cur := len(buf)
+		for i := 0; i < nslots; i++ {
+			off := int(binary.LittleEndian.Uint16(buf[headerSize+slotSize*i:]))
+			ln := int(binary.LittleEndian.Uint16(buf[headerSize+slotSize*i+2:]))
+			if off == 0 && ln == 0 {
+				continue // dead slot
+			}
+			if ln == 0 || off != cur-ln || off < dirEnd {
+				return nil, fmt.Errorf("pager: slot %d not packed canonically", i)
+			}
+			cur = off
+			rec := buf[off : off+ln]
+			klen, rest, err := wal.Uvarint(rec)
+			if err != nil || uint64(len(rest)) < klen {
+				return nil, fmt.Errorf("pager: slot %d: bad key length", i)
+			}
+			key := string(rest[:klen])
+			val := rest[klen:]
+			if _, tail, err := wal.DecodeTuple(val); err != nil {
+				return nil, fmt.Errorf("pager: slot %d: %w", i, err)
+			} else if len(tail) != 0 {
+				return nil, fmt.Errorf("pager: slot %d: %d trailing record bytes", i, len(tail))
+			}
+			p.Recs[i] = Rec{Live: true, Key: key, Val: append([]byte(nil), val...)}
+		}
+		if dataOff != cur {
+			return nil, fmt.Errorf("pager: dataOff %d != lowest record offset %d", dataOff, cur)
+		}
+		if err := mustZero(buf[dirEnd:cur]); err != nil {
+			return nil, err
+		}
+	case KindBucket:
+		if dataOff != 0 {
+			return nil, fmt.Errorf("pager: bucket page with nonzero dataOff")
+		}
+		if nslots > bucketCap(len(buf)) {
+			return nil, fmt.Errorf("pager: %d entries overflow a bucket page", nslots)
+		}
+		p.Ents = make([]BucketEnt, nslots)
+		for i := range p.Ents {
+			off := headerSize + bucketEntSize*i
+			p.Ents[i] = BucketEnt{
+				Hash: binary.LittleEndian.Uint64(buf[off:]),
+				Page: binary.LittleEndian.Uint32(buf[off+8:]),
+				Slot: binary.LittleEndian.Uint16(buf[off+12:]),
+			}
+			if p.Ents[i].Page == 0 {
+				return nil, fmt.Errorf("pager: index entry %d points at the meta page", i)
+			}
+		}
+		if err := mustZero(buf[headerSize+bucketEntSize*nslots:]); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("pager: unknown page kind %d", p.Kind)
+	}
+	return p, nil
+}
+
+// mustZero rejects any nonzero byte in what should be free space — the
+// canonical-form guarantee that makes encodings unique.
+func mustZero(b []byte) error {
+	for _, c := range b {
+		if c != 0 {
+			return fmt.Errorf("pager: nonzero byte in free space")
+		}
+	}
+	return nil
+}
+
+// hashKey is FNV-1a (64-bit) over the encoded group key.
+func hashKey(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hashKeyString is hashKey for keys already materialized as strings
+// (identical result, no conversion allocation).
+func hashKeyString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,211 @@
+package pager
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"mindetail/internal/types"
+	"mindetail/internal/wal"
+)
+
+// mustEncode encodes or fails the test.
+func mustEncode(t *testing.T, p *Page, pageSize int) []byte {
+	t.Helper()
+	buf, err := EncodePage(p, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// tupleBytes encodes a row with the WAL tuple codec — the record value
+// format.
+func tupleBytes(vals ...types.Value) []byte {
+	row := make([]types.Value, len(vals))
+	copy(row, vals)
+	return wal.AppendTuple(nil, row)
+}
+
+// TestPageRoundTrip encodes each page kind and asserts decode inverts it
+// exactly — structure and bytes.
+func TestPageRoundTrip(t *testing.T) {
+	pages := []*Page{
+		{Kind: KindMeta, Meta: Meta{PageSize: 512, NPages: 7, NBuckets: 3}},
+		{Kind: KindHeap, LSN: 42}, // empty heap
+		{Kind: KindHeap, LSN: 99, Recs: []Rec{
+			{Live: true, Key: "alpha", Val: tupleBytes(types.Int(1), types.Str("x"))},
+			{}, // tombstone keeps its slot
+			{Live: true, Key: "", Val: tupleBytes(types.Float(2.5))}, // empty key (global group)
+		}},
+		{Kind: KindBucket, Next: 12, Ents: []BucketEnt{
+			{Hash: 0xdeadbeefcafef00d, Page: 3, Slot: 2},
+			{Hash: 1, Page: 1, Slot: 0},
+		}},
+		{Kind: KindBucket}, // empty bucket
+	}
+	for i, p := range pages {
+		buf := mustEncode(t, p, 512)
+		got, err := DecodePage(buf)
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		re, err := EncodePage(got, 512)
+		if err != nil {
+			t.Fatalf("page %d re-encode: %v", i, err)
+		}
+		if !bytes.Equal(re, buf) {
+			t.Fatalf("page %d: re-encode differs", i)
+		}
+		if got.Kind != p.Kind || got.LSN != p.LSN || got.Next != p.Next {
+			t.Fatalf("page %d: header mismatch: %+v vs %+v", i, got, p)
+		}
+		if len(got.Recs) != len(p.Recs) || len(got.Ents) != len(p.Ents) {
+			t.Fatalf("page %d: content count mismatch", i)
+		}
+		for j := range p.Recs {
+			if got.Recs[j].Live != p.Recs[j].Live || got.Recs[j].Key != p.Recs[j].Key ||
+				!bytes.Equal(got.Recs[j].Val, p.Recs[j].Val) {
+				t.Fatalf("page %d rec %d mismatch", i, j)
+			}
+		}
+		for j := range p.Ents {
+			if got.Ents[j] != p.Ents[j] {
+				t.Fatalf("page %d ent %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+// reseal recomputes the checksum after a test corrupts page internals, so
+// the decoder's structural validation (not the CRC) is what rejects.
+func reseal(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:4], crc32.Checksum(buf[4:], castagnoli))
+}
+
+// TestDecodePageRejects asserts the canonical-form validation: every
+// deviation from the unique encoding is an error.
+func TestDecodePageRejects(t *testing.T) {
+	heap := &Page{Kind: KindHeap, Recs: []Rec{
+		{Live: true, Key: "k", Val: tupleBytes(types.Int(5))},
+	}}
+	cases := []struct {
+		name    string
+		corrupt func(buf []byte)
+	}{
+		{"flipped bit fails the checksum", func(b []byte) { b[100] ^= 1 }},
+		{"nonzero flags", func(b []byte) { b[5] = 1; reseal(b) }},
+		{"nonzero reserved", func(b []byte) { b[18] = 1; reseal(b) }},
+		{"unknown kind", func(b []byte) { b[4] = 9; reseal(b) }},
+		{"nonzero free space", func(b []byte) { b[200] = 7; reseal(b) }},
+		{"dataOff drift", func(b []byte) {
+			binary.LittleEndian.PutUint16(b[16:18], binary.LittleEndian.Uint16(b[16:18])-1)
+			reseal(b)
+		}},
+		{"slot not packed", func(b []byte) {
+			off := binary.LittleEndian.Uint16(b[headerSize:])
+			binary.LittleEndian.PutUint16(b[headerSize:], off-1)
+			reseal(b)
+		}},
+		{"slot directory overflow", func(b []byte) {
+			binary.LittleEndian.PutUint16(b[6:8], 0xFFFF)
+			reseal(b)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := mustEncode(t, heap, MinPageSize)
+			tc.corrupt(buf)
+			if _, err := DecodePage(buf); err == nil {
+				t.Fatal("corrupted page decoded without error")
+			}
+		})
+	}
+
+	t.Run("bucket entry at meta page", func(t *testing.T) {
+		buf := mustEncode(t, &Page{Kind: KindBucket, Ents: []BucketEnt{{Hash: 1, Page: 0, Slot: 0}}}, MinPageSize)
+		if _, err := DecodePage(buf); err == nil {
+			t.Fatal("index entry pointing at page 0 decoded without error")
+		}
+	})
+	t.Run("undersized buffer", func(t *testing.T) {
+		if _, err := DecodePage(make([]byte, MinPageSize-1)); err == nil {
+			t.Fatal("short buffer decoded without error")
+		}
+	})
+	t.Run("record with trailing garbage", func(t *testing.T) {
+		bad := &Page{Kind: KindHeap, Recs: []Rec{
+			{Live: true, Key: "k", Val: append(tupleBytes(types.Int(5)), 0xFF)},
+		}}
+		buf := mustEncode(t, bad, MinPageSize)
+		if _, err := DecodePage(buf); err == nil {
+			t.Fatal("record with trailing bytes decoded without error")
+		}
+	})
+}
+
+// TestEncodePageOverflow asserts content that cannot fit errors instead of
+// truncating.
+func TestEncodePageOverflow(t *testing.T) {
+	big := &Page{Kind: KindHeap, Recs: []Rec{
+		{Live: true, Key: string(make([]byte, MinPageSize)), Val: tupleBytes(types.Int(1))},
+	}}
+	if _, err := EncodePage(big, MinPageSize); err == nil {
+		t.Fatal("oversized record encoded without error")
+	}
+	ents := make([]BucketEnt, bucketCap(MinPageSize)+1)
+	for i := range ents {
+		ents[i] = BucketEnt{Hash: uint64(i), Page: 1}
+	}
+	if _, err := EncodePage(&Page{Kind: KindBucket, Ents: ents}, MinPageSize); err == nil {
+		t.Fatal("overfull bucket page encoded without error")
+	}
+}
+
+// TestHashKeyForms asserts the byte and string hash paths agree.
+func TestHashKeyForms(t *testing.T) {
+	for _, s := range []string{"", "a", "group\x00key", "longer-key-with-more-bytes"} {
+		if hashKey([]byte(s)) != hashKeyString(s) {
+			t.Fatalf("hash mismatch for %q", s)
+		}
+	}
+}
+
+// FuzzDecodePage asserts the page decoder rejects arbitrary bytes with an
+// error, never a panic, and that every accepted page re-encodes to the
+// identical bytes — pages have one canonical form (mirroring
+// FuzzDecodePayload and FuzzDecodeFrame).
+func FuzzDecodePage(f *testing.F) {
+	seed := func(p *Page, pageSize int) {
+		buf, err := EncodePage(p, pageSize)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	seed(&Page{Kind: KindMeta, Meta: Meta{PageSize: uint32(MinPageSize), NPages: 3, NBuckets: 4}}, MinPageSize)
+	seed(&Page{Kind: KindHeap, LSN: 7, Recs: []Rec{
+		{Live: true, Key: "k1", Val: tupleBytes(types.Int(10), types.Str("v"))},
+		{},
+		{Live: true, Key: "k2", Val: tupleBytes(types.Float(1.5))},
+	}}, MinPageSize)
+	seed(&Page{Kind: KindBucket, Next: 9, Ents: []BucketEnt{
+		{Hash: 0xfeedface, Page: 2, Slot: 1},
+	}}, MinPageSize)
+	f.Add([]byte{})
+	f.Add(make([]byte, MinPageSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePage(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodePage(p, len(data))
+		if err != nil {
+			t.Fatalf("accepted page failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, data)
+		}
+	})
+}

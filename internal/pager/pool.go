@@ -1,0 +1,346 @@
+package pager
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"mindetail/internal/faultinject"
+	"mindetail/internal/obs"
+)
+
+// WALHook is the slice of the write-ahead log the pool needs to honor the
+// WAL rule: a dirty page carrying effects up to LSN L may reach the page
+// file only after the log is durable through L. *wal.Log satisfies it.
+type WALHook interface {
+	// LastLSN returns the highest LSN appended so far (not necessarily
+	// durable). Pages are stamped with it when dirtied — a conservative
+	// upper bound on the effects they hold.
+	LastLSN() uint64
+	// EnsureFlushed blocks until the log is durable through lsn.
+	EnsureFlushed(lsn uint64) error
+}
+
+// Counters aggregates pool traffic, mirrored into internal/obs when the
+// Factory is built with a registry. All fields are monotonic except
+// Resident.
+type Counters struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	flushes   atomic.Int64
+	resident  atomic.Int64
+
+	obsHits, obsMisses, obsEvictions, obsFlushes *obs.Counter
+	obsResident                                  *obs.Gauge
+}
+
+// bindObs points the counters at the shared registry metrics. Safe to
+// leave unbound (nil receiver fields) for standalone stores.
+func (c *Counters) bindObs(reg *obs.Registry) {
+	c.obsHits = reg.Counter("pager.pool.hits")
+	c.obsMisses = reg.Counter("pager.pool.misses")
+	c.obsEvictions = reg.Counter("pager.pool.evictions")
+	c.obsFlushes = reg.Counter("pager.pool.flushes")
+	c.obsResident = reg.Gauge("pager.pool.resident")
+}
+
+func (c *Counters) hit() {
+	c.hits.Add(1)
+	if c.obsHits != nil {
+		c.obsHits.Inc()
+	}
+}
+
+func (c *Counters) miss() {
+	c.misses.Add(1)
+	if c.obsMisses != nil {
+		c.obsMisses.Inc()
+	}
+}
+
+func (c *Counters) evicted() {
+	c.evictions.Add(1)
+	if c.obsEvictions != nil {
+		c.obsEvictions.Inc()
+	}
+}
+
+func (c *Counters) flushed() {
+	c.flushes.Add(1)
+	if c.obsFlushes != nil {
+		c.obsFlushes.Inc()
+	}
+}
+
+func (c *Counters) residentDelta(d int64) {
+	c.resident.Add(d)
+	if c.obsResident != nil {
+		c.obsResident.Add(d)
+	}
+}
+
+// Hits, Misses, Evictions, and Flushes read the monotonic totals.
+func (c *Counters) Hits() int64      { return c.hits.Load() }
+func (c *Counters) Misses() int64    { return c.misses.Load() }
+func (c *Counters) Evictions() int64 { return c.evictions.Load() }
+func (c *Counters) Flushes() int64   { return c.flushes.Load() }
+
+// frame is one resident page plus its pool bookkeeping.
+type frame struct {
+	page  *Page
+	pin   int
+	ref   bool // CLOCK reference bit
+	dirty bool
+}
+
+// pool is a fixed-budget page cache over one store file. It is not
+// self-synchronized — the owning Store serializes access under its mutex.
+// Eviction is CLOCK: a ring of resident page IDs and a sweeping hand that
+// clears reference bits, skips pinned frames, and evicts the first frame
+// found cold. Dirty victims write back through the WAL rule (steal — a
+// page touched by an uncommitted batch may hit disk before commit; the
+// matching no-force side is that commit never forces page writes).
+type pool struct {
+	f        *os.File
+	pageSize int
+	budget   int
+	wal      WALHook
+	fi       *faultinject.Hook
+	met      *Counters
+
+	frames  map[uint32]*frame
+	ring    []uint32 // resident page IDs in CLOCK order
+	hand    int
+	npages  uint32 // file length in pages, including never-flushed tail pages
+	readBuf []byte
+}
+
+func newPool(f *os.File, pageSize, budget int, w WALHook, fi *faultinject.Hook, met *Counters) *pool {
+	if budget < 4 {
+		// Two simultaneous pins (bucket + heap page) plus headroom; below
+		// this, a single lookup could find every frame pinned.
+		budget = 4
+	}
+	return &pool{
+		f:        f,
+		pageSize: pageSize,
+		budget:   budget,
+		wal:      w,
+		fi:       fi,
+		met:      met,
+		frames:   make(map[uint32]*frame, budget),
+		readBuf:  make([]byte, pageSize),
+	}
+}
+
+// fetch pins page id, reading it from the file on a miss. Every fetch must
+// be paired with exactly one unpin.
+func (p *pool) fetch(id uint32) (*frame, error) {
+	if fr, ok := p.frames[id]; ok {
+		p.met.hit()
+		fr.ref = true
+		fr.pin++
+		return fr, nil
+	}
+	p.met.miss()
+	if err := p.ensureRoom(); err != nil {
+		return nil, err
+	}
+	if _, err := p.f.ReadAt(p.readBuf, int64(id)*int64(p.pageSize)); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	pg, err := DecodePage(p.readBuf)
+	if err != nil {
+		return nil, fmt.Errorf("pager: page %d: %w", id, err)
+	}
+	pg.ID = id
+	fr := &frame{page: pg, pin: 1, ref: true}
+	p.insert(id, fr)
+	return fr, nil
+}
+
+// alloc extends the file by one page and returns it pinned and dirty.
+func (p *pool) alloc(kind byte) (*frame, error) {
+	if err := p.ensureRoom(); err != nil {
+		return nil, err
+	}
+	id := p.npages
+	p.npages++
+	fr := &frame{page: &Page{ID: id, Kind: kind}, pin: 1, ref: true, dirty: true}
+	p.stampLSN(fr)
+	p.insert(id, fr)
+	return fr, nil
+}
+
+// adopt inserts an externally built page (index rebuilds reusing spare
+// IDs) as a pinned dirty frame.
+func (p *pool) adopt(pg *Page) (*frame, error) {
+	if err := p.ensureRoom(); err != nil {
+		return nil, err
+	}
+	if pg.ID >= p.npages {
+		p.npages = pg.ID + 1
+	}
+	fr := &frame{page: pg, pin: 1, ref: true, dirty: true}
+	p.stampLSN(fr)
+	p.insert(pg.ID, fr)
+	return fr, nil
+}
+
+func (p *pool) insert(id uint32, fr *frame) {
+	p.frames[id] = fr
+	p.ring = append(p.ring, id)
+	p.met.residentDelta(1)
+}
+
+// unpin releases one pin; dirty marks the page modified and restamps its
+// LSN to the current end of the WAL.
+func (p *pool) unpin(fr *frame, dirty bool) {
+	if fr.pin <= 0 {
+		panic("pager: unpin without matching fetch")
+	}
+	fr.pin--
+	if dirty {
+		fr.dirty = true
+		p.stampLSN(fr)
+	}
+}
+
+func (p *pool) stampLSN(fr *frame) {
+	if p.wal == nil {
+		return
+	}
+	if lsn := p.wal.LastLSN(); lsn > fr.page.LSN {
+		fr.page.LSN = lsn
+	}
+}
+
+// ensureRoom evicts until a new frame fits the budget. A failed eviction
+// (WAL flush or write error) leaves the victim resident and dirty, so
+// nothing is lost and a later retry can succeed.
+func (p *pool) ensureRoom() error {
+	for len(p.frames) >= p.budget {
+		if err := p.evictOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evictOne runs the CLOCK hand to a victim and drops it. Two full sweeps
+// with no cold unpinned frame means the caller leaked pins.
+func (p *pool) evictOne() error {
+	for scanned := 0; scanned <= 2*len(p.ring); scanned++ {
+		if len(p.ring) == 0 {
+			return fmt.Errorf("pager: eviction from an empty pool")
+		}
+		if p.hand >= len(p.ring) {
+			p.hand = 0
+		}
+		id := p.ring[p.hand]
+		fr := p.frames[id]
+		if fr.pin > 0 {
+			p.hand++
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			p.hand++
+			continue
+		}
+		if err := p.fi.Fire(faultinject.PageEvict); err != nil {
+			return err
+		}
+		if fr.dirty {
+			if err := p.writeBack(fr); err != nil {
+				return err
+			}
+		}
+		delete(p.frames, id)
+		p.ring = append(p.ring[:p.hand], p.ring[p.hand+1:]...)
+		p.met.evicted()
+		p.met.residentDelta(-1)
+		return nil
+	}
+	return fmt.Errorf("pager: all %d frames pinned, cannot evict", len(p.frames))
+}
+
+// writeBack flushes one dirty frame, honoring the WAL rule first: the log
+// must be durable through the page's LSN before the page may overwrite its
+// on-disk prior image.
+func (p *pool) writeBack(fr *frame) error {
+	if p.wal != nil {
+		if err := p.wal.EnsureFlushed(fr.page.LSN); err != nil {
+			return fmt.Errorf("pager: WAL flush before page %d write: %w", fr.page.ID, err)
+		}
+	}
+	if err := p.fi.Fire(faultinject.PageFlush); err != nil {
+		return err
+	}
+	buf, err := EncodePage(fr.page, p.pageSize)
+	if err != nil {
+		return err
+	}
+	if _, err := p.f.WriteAt(buf, int64(fr.page.ID)*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", fr.page.ID, err)
+	}
+	fr.dirty = false
+	p.met.flushed()
+	return nil
+}
+
+// flushAll writes every dirty frame back in page order (determinism for
+// tests that diff files).
+func (p *pool) flushAll() error {
+	ids := make([]uint32, 0, len(p.frames))
+	for id, fr := range p.frames {
+		if fr.dirty {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := p.writeBack(p.frames[id]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drop discards one resident frame without writing it — for pages being
+// retired, whose content no longer matters.
+func (p *pool) drop(id uint32) {
+	fr, ok := p.frames[id]
+	if !ok {
+		return
+	}
+	if fr.pin > 0 {
+		panic("pager: drop of a pinned frame")
+	}
+	delete(p.frames, id)
+	for i, rid := range p.ring {
+		if rid == id {
+			p.ring = append(p.ring[:i], p.ring[i+1:]...)
+			if p.hand > i {
+				p.hand--
+			}
+			break
+		}
+	}
+	p.met.residentDelta(-1)
+}
+
+// reset drops every frame without writing anything — used by Clear, where
+// the file is being truncated anyway.
+func (p *pool) reset() {
+	p.met.residentDelta(int64(-len(p.frames)))
+	p.frames = make(map[uint32]*frame, p.budget)
+	p.ring = p.ring[:0]
+	p.hand = 0
+	p.npages = 0
+}
+
+// resident returns how many pages are currently cached.
+func (p *pool) resident() int { return len(p.frames) }

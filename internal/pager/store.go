@@ -1,0 +1,697 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"mindetail/internal/faultinject"
+	"mindetail/internal/obs"
+	"mindetail/internal/tuple"
+	"mindetail/internal/wal"
+)
+
+// Options configures a Store (and, through the Factory, every store of a
+// warehouse).
+type Options struct {
+	// PageSize is the page size in bytes (DefaultPageSize when zero).
+	PageSize int
+	// PoolPages is the buffer-pool budget in pages (256 when zero, floor 4
+	// — a lookup pins a bucket and a heap page simultaneously).
+	PoolPages int
+	// WAL, when set, enforces the flushed-LSN rule on dirty-page writes.
+	WAL WALHook
+	// Hook threads the fault-injection points through eviction and flush.
+	Hook *faultinject.Hook
+	// Metrics, when set, mirrors pool traffic into the registry's
+	// pager.pool.* counters and resident gauge (shared across stores).
+	Metrics *obs.Registry
+}
+
+// Store is an out-of-core auxiliary-view backend: group rows in slotted
+// heap pages behind a fixed-budget buffer pool, located through an on-disk
+// hash index keyed by the encoded group key. It implements the
+// maintain.AuxStore contract structurally — rows come back as private
+// copies (InPlace reports false), and I/O failures are sticky: after one,
+// every operation returns the first error until the store is discarded.
+// Injected faults (faultinject.ErrInjected) are the exception — they model
+// transient failures, every operation is consistent-on-failure (all page
+// fetching and allocation happens before the first mutation), so the
+// maintenance journal can roll back through the same store.
+//
+// A Store is safe for concurrent use; one mutex serializes operations.
+type Store struct {
+	view, table string // factory bookkeeping for \store listings
+
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	pool   *pool
+	met    Counters
+	err    error // sticky first I/O error
+	closed bool
+
+	dir         []uint32       // hash directory: bucket chain heads (0 = empty)
+	bucketPages []uint32       // every live bucket page, for rebuilds
+	heap        []uint32       // heap pages in allocation order
+	free        map[uint32]int // free bytes per heap page
+	spare       []uint32       // retired page IDs available for reuse
+	insertHint  uint32         // heap page that last accepted an insert
+	rows        int
+	liveBytes   int // sum of live record value (tuple) bytes
+}
+
+// loc addresses one record: heap page and slot.
+type loc struct {
+	page uint32
+	slot uint16
+}
+
+// Open creates a fresh store file at path (truncating anything there — the
+// page file is ephemeral spill storage, rebuilt from the snapshot and WAL
+// on recovery, never reopened).
+func Open(path string, opts Options) (*Store, error) {
+	ps := opts.PageSize
+	if ps == 0 {
+		ps = DefaultPageSize
+	}
+	if ps < MinPageSize || ps > MaxPageSize {
+		return nil, fmt.Errorf("pager: page size %d out of [%d, %d]", ps, MinPageSize, MaxPageSize)
+	}
+	budget := opts.PoolPages
+	if budget == 0 {
+		budget = 256
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: %w", err)
+	}
+	s := &Store{path: path, f: f}
+	if opts.Metrics != nil {
+		s.met.bindObs(opts.Metrics)
+	}
+	s.pool = newPool(f, ps, budget, opts.WAL, opts.Hook, &s.met)
+	if err := s.Clear(0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// latch records err as the store's sticky failure unless it is an injected
+// fault (transient by construction — see the type comment).
+func (s *Store) latch(err error) error {
+	if err == nil || errors.Is(err, faultinject.ErrInjected) {
+		return err
+	}
+	if s.err == nil {
+		s.err = err
+	}
+	return err
+}
+
+// SetFaultHook installs (nil removes) a fault-injection hook on the
+// store's buffer pool, replacing the one Options carried. The maintenance
+// engine forwards its hook here so one sweep covers the pager's points.
+func (s *Store) SetFaultHook(h *faultinject.Hook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.fi = h
+}
+
+// Err reports the sticky failure, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// InPlace reports false: rows returned by Get/Scan are private copies, and
+// updates must be written back through Put.
+func (s *Store) InPlace() bool { return false }
+
+// Len returns the number of live rows.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+// Bytes returns the encoded bytes of all live rows.
+func (s *Store) Bytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.liveBytes
+}
+
+// Get returns the row stored under the encoded group key.
+func (s *Store) Get(key []byte) (tuple.Tuple, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.get(hashKey(key), key, "", true)
+}
+
+// GetString is Get for keys already materialized as strings.
+func (s *Store) GetString(key string) (tuple.Tuple, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.get(hashKeyString(key), nil, key, false)
+}
+
+func (s *Store) get(h uint64, keyB []byte, keyS string, isB bool) (tuple.Tuple, bool, error) {
+	if s.err != nil {
+		return nil, false, s.err
+	}
+	l, ok, err := s.find(h, keyB, keyS, isB)
+	if err != nil || !ok {
+		return nil, false, s.latch(err)
+	}
+	fr, err := s.pool.fetch(l.page)
+	if err != nil {
+		return nil, false, s.latch(err)
+	}
+	defer s.pool.unpin(fr, false)
+	row, _, err := wal.DecodeTuple(fr.page.Recs[l.slot].Val)
+	if err != nil {
+		return nil, false, s.latch(fmt.Errorf("pager: page %d slot %d: %w", l.page, l.slot, err))
+	}
+	return row, true, nil
+}
+
+// Put stores row under the encoded group key, replacing any existing row.
+func (s *Store) Put(key []byte, row tuple.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.put(hashKey(key), key, "", true, row)
+}
+
+// PutString is Put for keys already materialized as strings.
+func (s *Store) PutString(key string, row tuple.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.put(hashKeyString(key), nil, key, false, row)
+}
+
+func (s *Store) put(h uint64, keyB []byte, keyS string, isB bool, row tuple.Tuple) error {
+	if s.err != nil {
+		return s.err
+	}
+	val := wal.AppendTuple(nil, row)
+	l, found, err := s.find(h, keyB, keyS, isB)
+	if err != nil {
+		return s.latch(err)
+	}
+	if found {
+		if err := s.update(h, l, val); err != nil {
+			return s.latch(err)
+		}
+	} else {
+		key := keyS
+		if isB {
+			key = string(keyB)
+		}
+		if err := s.insert(h, key, val); err != nil {
+			return s.latch(err)
+		}
+	}
+	// Keep average chain length at one bucket page; past that, rebuild the
+	// directory. A failed rebuild leaves the old (overloaded but correct)
+	// index in place, and the next insert retries.
+	if s.rows > len(s.dir)*bucketCap(s.pool.pageSize) {
+		if err := s.rebuildIndex(); err != nil {
+			return s.latch(err)
+		}
+	}
+	return nil
+}
+
+// DeleteString removes the row stored under key, if any.
+func (s *Store) DeleteString(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	h := hashKeyString(key)
+	l, ok, err := s.find(h, nil, key, false)
+	if err != nil || !ok {
+		return s.latch(err)
+	}
+	// Pin everything first; the mutations below cannot fail.
+	fr, err := s.pool.fetch(l.page)
+	if err != nil {
+		return s.latch(err)
+	}
+	entFr, entIdx, err := s.findEnt(h, l)
+	if err != nil {
+		s.pool.unpin(fr, false)
+		return s.latch(err)
+	}
+	rec := &fr.page.Recs[l.slot]
+	s.liveBytes -= len(rec.Val)
+	s.rows--
+	s.tombstone(fr, l.slot)
+	ents := entFr.page.Ents
+	ents[entIdx] = ents[len(ents)-1]
+	entFr.page.Ents = ents[:len(ents)-1]
+	s.pool.unpin(entFr, true)
+	s.pool.unpin(fr, true)
+	return nil
+}
+
+// Scan calls fn for every live row. Rows are private decoded copies. fn
+// must not call back into the store.
+func (s *Store) Scan(fn func(key string, row tuple.Tuple) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	for _, pid := range s.heap {
+		fr, err := s.pool.fetch(pid)
+		if err != nil {
+			return s.latch(err)
+		}
+		for i := range fr.page.Recs {
+			rec := &fr.page.Recs[i]
+			if !rec.Live {
+				continue
+			}
+			row, _, err := wal.DecodeTuple(rec.Val)
+			if err != nil {
+				s.pool.unpin(fr, false)
+				return s.latch(fmt.Errorf("pager: page %d slot %d: %w", pid, i, err))
+			}
+			if err := fn(rec.Key, row); err != nil {
+				s.pool.unpin(fr, false)
+				return err // the callback's error, not a store failure
+			}
+		}
+		s.pool.unpin(fr, false)
+	}
+	return nil
+}
+
+// Clear resets the store to empty, truncating the file and sizing the hash
+// directory for sizeHint rows.
+func (s *Store) Clear(sizeHint int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.pool.reset()
+	if err := s.f.Truncate(0); err != nil {
+		return s.latch(fmt.Errorf("pager: truncate %s: %w", s.path, err))
+	}
+	nb := sizeHint/bucketCap(s.pool.pageSize) + 1
+	if nb < 4 {
+		nb = 4
+	}
+	s.dir = make([]uint32, nb)
+	s.bucketPages = nil
+	s.heap = nil
+	s.free = make(map[uint32]int)
+	s.spare = nil
+	s.insertHint = 0
+	s.rows = 0
+	s.liveBytes = 0
+	s.pool.npages = 1 // page 0 is the meta page
+	return s.latch(s.writeMeta())
+}
+
+// Close flushes (best effort — the file is ephemeral) and releases the
+// file handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.err == nil {
+		if err := s.pool.flushAll(); err == nil {
+			_ = s.writeMeta()
+		}
+	}
+	return s.f.Close()
+}
+
+// writeMeta rewrites page 0 with the current geometry (bypassing the pool
+// — the meta page is informational and never fetched).
+func (s *Store) writeMeta() error {
+	buf, err := EncodePage(&Page{Kind: KindMeta, Meta: Meta{
+		PageSize: uint32(s.pool.pageSize),
+		NPages:   s.pool.npages,
+		NBuckets: uint32(len(s.dir)),
+	}}, s.pool.pageSize)
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("pager: write meta page: %w", err)
+	}
+	return nil
+}
+
+// find walks the key's bucket chain to the record location. Exactly one of
+// keyB/keyS is the probe, selected by isB (the []byte comparison compiles
+// allocation-free).
+func (s *Store) find(h uint64, keyB []byte, keyS string, isB bool) (loc, bool, error) {
+	pid := s.dir[h%uint64(len(s.dir))]
+	for pid != 0 {
+		fr, err := s.pool.fetch(pid)
+		if err != nil {
+			return loc{}, false, err
+		}
+		for _, e := range fr.page.Ents {
+			if e.Hash != h {
+				continue
+			}
+			hf, err := s.pool.fetch(e.Page)
+			if err != nil {
+				s.pool.unpin(fr, false)
+				return loc{}, false, err
+			}
+			if int(e.Slot) >= len(hf.page.Recs) || !hf.page.Recs[e.Slot].Live {
+				s.pool.unpin(hf, false)
+				s.pool.unpin(fr, false)
+				return loc{}, false, fmt.Errorf("pager: index entry %x points at dead slot %d/%d", h, e.Page, e.Slot)
+			}
+			rec := &hf.page.Recs[e.Slot]
+			match := false
+			if isB {
+				match = rec.Key == string(keyB)
+			} else {
+				match = rec.Key == keyS
+			}
+			s.pool.unpin(hf, false)
+			if match {
+				s.pool.unpin(fr, false)
+				return loc{e.Page, e.Slot}, true, nil
+			}
+		}
+		next := fr.page.Next
+		s.pool.unpin(fr, false)
+		pid = next
+	}
+	return loc{}, false, nil
+}
+
+// findEnt walks the chain to the bucket page holding the exact entry
+// {h, l} and returns it pinned, with the entry's index. The caller owns
+// the unpin.
+func (s *Store) findEnt(h uint64, l loc) (*frame, int, error) {
+	pid := s.dir[h%uint64(len(s.dir))]
+	for pid != 0 {
+		fr, err := s.pool.fetch(pid)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i, e := range fr.page.Ents {
+			if e.Hash == h && e.Page == l.page && e.Slot == l.slot {
+				return fr, i, nil
+			}
+		}
+		next := fr.page.Next
+		s.pool.unpin(fr, false)
+		pid = next
+	}
+	return nil, 0, fmt.Errorf("pager: no index entry for %x at %d/%d", h, l.page, l.slot)
+}
+
+// update replaces the record at l with val: in place when the page has
+// room, otherwise move-and-repoint. All frames are pinned before the first
+// mutation.
+func (s *Store) update(h uint64, l loc, val []byte) error {
+	fr, err := s.pool.fetch(l.page)
+	if err != nil {
+		return err
+	}
+	rec := &fr.page.Recs[l.slot]
+	grow := len(val) - len(rec.Val)
+	if grow <= s.free[l.page] {
+		s.free[l.page] -= grow
+		s.liveBytes += grow
+		rec.Val = val
+		s.pool.unpin(fr, true)
+		return nil
+	}
+	key := rec.Key
+	dst, slot, err := s.prepareSpace(len(key), len(val))
+	if err != nil {
+		s.pool.unpin(fr, false)
+		return err
+	}
+	entFr, entIdx, err := s.findEnt(h, l)
+	if err != nil {
+		s.pool.unpin(dst, false)
+		s.pool.unpin(fr, false)
+		return err
+	}
+	s.liveBytes += grow
+	s.tombstone(fr, l.slot)
+	nl := s.commitRec(dst, slot, key, val)
+	entFr.page.Ents[entIdx].Page = nl.page
+	entFr.page.Ents[entIdx].Slot = nl.slot
+	s.pool.unpin(entFr, true)
+	s.pool.unpin(dst, true)
+	s.pool.unpin(fr, true)
+	return nil
+}
+
+// insert stores a new record and indexes it. All frames are pinned before
+// the first record mutation (chain extension by an empty bucket page is
+// the one benign early mutation).
+func (s *Store) insert(h uint64, key string, val []byte) error {
+	fr, slot, err := s.prepareSpace(len(key), len(val))
+	if err != nil {
+		return err
+	}
+	entFr, err := s.prepareEnt(s.dir, &s.bucketPages, h)
+	if err != nil {
+		s.pool.unpin(fr, false)
+		return err
+	}
+	l := s.commitRec(fr, slot, key, val)
+	entFr.page.Ents = append(entFr.page.Ents, BucketEnt{Hash: h, Page: l.page, Slot: l.slot})
+	s.liveBytes += len(val)
+	s.rows++
+	s.pool.unpin(entFr, true)
+	s.pool.unpin(fr, true)
+	return nil
+}
+
+// prepareSpace returns a pinned heap frame with room for a key/val record,
+// plus the slot to use (== len(Recs) means append). It prefers the page
+// that last accepted an insert, then any page with room, then a fresh one.
+func (s *Store) prepareSpace(keyLen, valLen int) (*frame, int, error) {
+	need := recBytes(keyLen, valLen) + slotSize
+	if need > s.pool.pageSize-headerSize {
+		return nil, 0, fmt.Errorf("pager: %d-byte record exceeds page capacity", need-slotSize)
+	}
+	try := func(pid uint32) (*frame, int, error) {
+		fr, err := s.pool.fetch(pid)
+		if err != nil {
+			return nil, 0, err
+		}
+		slot := len(fr.page.Recs)
+		for i := range fr.page.Recs {
+			if !fr.page.Recs[i].Live {
+				slot = i
+				break
+			}
+		}
+		cost := need
+		if slot < len(fr.page.Recs) {
+			cost -= slotSize // reusing a dead slot's directory entry
+		}
+		if cost <= s.free[pid] {
+			return fr, slot, nil
+		}
+		s.pool.unpin(fr, false)
+		return nil, 0, nil
+	}
+	if pid := s.insertHint; pid != 0 && s.free[pid] >= need {
+		if fr, slot, err := try(pid); err != nil || fr != nil {
+			return fr, slot, err
+		}
+	}
+	for _, pid := range s.heap {
+		if s.free[pid] < need {
+			continue
+		}
+		if fr, slot, err := try(pid); err != nil || fr != nil {
+			return fr, slot, err
+		}
+	}
+	fr, err := s.allocPage(KindHeap)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.heap = append(s.heap, fr.page.ID)
+	s.free[fr.page.ID] = s.pool.pageSize - headerSize
+	return fr, 0, nil
+}
+
+// prepareEnt returns a pinned bucket frame with room for one more entry in
+// h's chain, extending the chain with a fresh head page when every page is
+// full. The directory and page list to use are parameters so index
+// rebuilds can target their new structures.
+func (s *Store) prepareEnt(dir []uint32, pages *[]uint32, h uint64) (*frame, error) {
+	b := h % uint64(len(dir))
+	cap := bucketCap(s.pool.pageSize)
+	for pid := dir[b]; pid != 0; {
+		fr, err := s.pool.fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		if len(fr.page.Ents) < cap {
+			return fr, nil
+		}
+		next := fr.page.Next
+		s.pool.unpin(fr, false)
+		pid = next
+	}
+	fr, err := s.allocPage(KindBucket)
+	if err != nil {
+		return nil, err
+	}
+	fr.page.Next = dir[b]
+	dir[b] = fr.page.ID
+	*pages = append(*pages, fr.page.ID)
+	return fr, nil
+}
+
+// allocPage reuses a retired page ID when one is spare, else extends the
+// file.
+func (s *Store) allocPage(kind byte) (*frame, error) {
+	if n := len(s.spare); n > 0 {
+		id := s.spare[n-1]
+		fr, err := s.pool.adopt(&Page{ID: id, Kind: kind})
+		if err != nil {
+			return nil, err
+		}
+		s.spare = s.spare[:n-1]
+		return fr, nil
+	}
+	return s.pool.alloc(kind)
+}
+
+// commitRec writes a record into a prepared frame/slot (infallible — all
+// checks happened in prepareSpace) and returns its location.
+func (s *Store) commitRec(fr *frame, slot int, key string, val []byte) loc {
+	pg := fr.page
+	cost := recBytes(len(key), len(val))
+	if slot == len(pg.Recs) {
+		pg.Recs = append(pg.Recs, Rec{})
+		cost += slotSize
+	}
+	pg.Recs[slot] = Rec{Live: true, Key: key, Val: val}
+	s.free[pg.ID] -= cost
+	s.insertHint = pg.ID
+	return loc{pg.ID, uint16(slot)}
+}
+
+// tombstone kills a slot, returning its record bytes to the page's free
+// budget. The slot number stays allocated so other index entries never
+// dangle.
+func (s *Store) tombstone(fr *frame, slot uint16) {
+	pg := fr.page
+	r := &pg.Recs[slot]
+	s.free[pg.ID] += recBytes(len(r.Key), len(r.Val))
+	pg.Recs[slot] = Rec{}
+}
+
+// rebuildIndex rebuilds the hash directory at the size the current row
+// count wants, into fresh bucket pages; the old index stays intact (and
+// the store consistent) until the final swap, after which the old pages
+// are retired for reuse.
+func (s *Store) rebuildIndex() error {
+	nb := 2*s.rows/bucketCap(s.pool.pageSize) + 1
+	newDir := make([]uint32, nb)
+	var newPages []uint32
+	abort := func(err error) error {
+		// The half-built index is unreferenced; retire its pages.
+		for _, id := range newPages {
+			s.pool.drop(id)
+		}
+		s.spare = append(s.spare, newPages...)
+		return err
+	}
+	for _, pid := range s.heap {
+		fr, err := s.pool.fetch(pid)
+		if err != nil {
+			return abort(err)
+		}
+		for i := range fr.page.Recs {
+			rec := &fr.page.Recs[i]
+			if !rec.Live {
+				continue
+			}
+			entFr, err := s.prepareEnt(newDir, &newPages, hashKeyString(rec.Key))
+			if err != nil {
+				s.pool.unpin(fr, false)
+				return abort(err)
+			}
+			entFr.page.Ents = append(entFr.page.Ents, BucketEnt{
+				Hash: hashKeyString(rec.Key), Page: pid, Slot: uint16(i),
+			})
+			s.pool.unpin(entFr, true)
+		}
+		s.pool.unpin(fr, false)
+	}
+	for _, id := range s.bucketPages {
+		s.pool.drop(id)
+	}
+	s.spare = append(s.spare, s.bucketPages...)
+	s.dir = newDir
+	s.bucketPages = newPages
+	return nil
+}
+
+// StoreStats is one store's \store listing row.
+type StoreStats struct {
+	View, Table string
+	Rows        int
+	Bytes       int
+	HeapPages   int
+	IndexPages  int
+	FilePages   int
+	Resident    int
+	Budget      int
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	Flushes     int64
+}
+
+// HitRatio returns the pool hit ratio in [0, 1] (1 when idle).
+func (st StoreStats) HitRatio() float64 {
+	if st.Hits+st.Misses == 0 {
+		return 1
+	}
+	return float64(st.Hits) / float64(st.Hits+st.Misses)
+}
+
+// Stats snapshots the store's occupancy and pool traffic.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		View:       s.view,
+		Table:      s.table,
+		Rows:       s.rows,
+		Bytes:      s.liveBytes,
+		HeapPages:  len(s.heap),
+		IndexPages: len(s.bucketPages),
+		FilePages:  int(s.pool.npages),
+		Resident:   s.pool.resident(),
+		Budget:     s.pool.budget,
+		Hits:       s.met.Hits(),
+		Misses:     s.met.Misses(),
+		Evictions:  s.met.Evictions(),
+		Flushes:    s.met.Flushes(),
+	}
+}

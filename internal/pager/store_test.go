@@ -1,0 +1,391 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mindetail/internal/faultinject"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// tinyOpts forces heavy eviction: the smallest legal pages and pool.
+func tinyOpts() Options {
+	return Options{PageSize: MinPageSize, PoolPages: 4}
+}
+
+func openStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "aux.pg"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// row builds a test tuple whose encoded size varies with pad.
+func row(n int, pad int) tuple.Tuple {
+	return tuple.Tuple{types.Int(int64(n)), types.Str(strings.Repeat("v", pad))}
+}
+
+// checkOracle asserts the store holds exactly the oracle's content,
+// through both the point-lookup and scan paths.
+func checkOracle(t *testing.T, s *Store, want map[string]tuple.Tuple) {
+	t.Helper()
+	if s.Len() != len(want) {
+		t.Fatalf("Len() = %d, oracle has %d", s.Len(), len(want))
+	}
+	for k, w := range want {
+		g, ok, err := s.GetString(k)
+		if err != nil {
+			t.Fatalf("Get %q: %v", k, err)
+		}
+		if !ok {
+			t.Fatalf("Get %q: missing", k)
+		}
+		if !tuple.Identical(g, w) {
+			t.Fatalf("Get %q: %v != %v", k, g, w)
+		}
+	}
+	seen := 0
+	err := s.Scan(func(k string, r tuple.Tuple) error {
+		w, ok := want[k]
+		if !ok {
+			return fmt.Errorf("scan yielded unknown key %q", k)
+		}
+		if !tuple.Identical(r, w) {
+			return fmt.Errorf("scan %q: %v != %v", k, r, w)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(want) {
+		t.Fatalf("scan yielded %d rows, oracle has %d", seen, len(want))
+	}
+}
+
+// TestStoreBasic covers the point operations, overwrite-in-place,
+// grow-forces-move, delete, and the byte accounting.
+func TestStoreBasic(t *testing.T) {
+	s := openStore(t, tinyOpts())
+	if _, ok, err := s.GetString("nope"); err != nil || ok {
+		t.Fatalf("empty store Get = %v, %v", ok, err)
+	}
+	if err := s.Put([]byte("a"), row(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutString("b", row(2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Bytes() == 0 {
+		t.Fatalf("Len=%d Bytes=%d after two puts", s.Len(), s.Bytes())
+	}
+	// Same-size overwrite stays in place; a large grow must relocate the
+	// record (MinPageSize pages hold ~230 record bytes).
+	if err := s.PutString("a", row(10, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutString("a", row(10, 180)); err != nil {
+		t.Fatal(err)
+	}
+	g, ok, err := s.Get([]byte("a"))
+	if err != nil || !ok {
+		t.Fatalf("Get after move: %v, %v", ok, err)
+	}
+	if !tuple.Identical(g, row(10, 180)) {
+		t.Fatalf("Get after move: wrong row %v", g)
+	}
+	if err := s.DeleteString("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.GetString("a"); ok {
+		t.Fatal("deleted key still found")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len=%d after delete", s.Len())
+	}
+	if err := s.DeleteString("a"); err != nil {
+		t.Fatal("deleting a missing key must be a no-op:", err)
+	}
+	if err := s.Clear(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("Len=%d Bytes=%d after Clear", s.Len(), s.Bytes())
+	}
+	if err := s.PutString("fresh", row(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreSpill drives far more data than the pool holds, with churn, and
+// asserts the content survives eviction round-trips — plus that eviction
+// actually happened.
+func TestStoreSpill(t *testing.T) {
+	s := openStore(t, tinyOpts())
+	r := rand.New(rand.NewSource(1))
+	oracle := make(map[string]tuple.Tuple)
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key-%03d", r.Intn(400))
+		switch r.Intn(4) {
+		case 0:
+			if err := s.DeleteString(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(oracle, k)
+		default:
+			v := row(i, r.Intn(60))
+			if err := s.PutString(k, v); err != nil {
+				t.Fatal(err)
+			}
+			oracle[k] = v
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("workload never evicted — pool budget not exercised")
+	}
+	if st.Resident > st.Budget {
+		t.Fatalf("resident %d exceeds budget %d", st.Resident, st.Budget)
+	}
+	if st.FilePages <= st.Budget {
+		t.Fatalf("file has %d pages, not out of core for budget %d", st.FilePages, st.Budget)
+	}
+	checkOracle(t, s, oracle)
+}
+
+// TestStoreIndexRebuild crosses the directory-rebuild threshold several
+// times and asserts lookups stay exact throughout.
+func TestStoreIndexRebuild(t *testing.T) {
+	s := openStore(t, tinyOpts())
+	// MinPageSize buckets hold 16 entries; the initial 4-slot directory
+	// rebuilds past 64 rows, then again as the count doubles.
+	oracle := make(map[string]tuple.Tuple)
+	for i := 0; i < 600; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		v := row(i, i%20)
+		if err := s.PutString(k, v); err != nil {
+			t.Fatal(err)
+		}
+		oracle[k] = v
+	}
+	if len(s.dir) <= 4 {
+		t.Fatalf("directory never grew (still %d buckets)", len(s.dir))
+	}
+	checkOracle(t, s, oracle)
+	for i := 0; i < 600; i += 2 {
+		k := fmt.Sprintf("k%04d", i)
+		if err := s.DeleteString(k); err != nil {
+			t.Fatal(err)
+		}
+		delete(oracle, k)
+	}
+	checkOracle(t, s, oracle)
+}
+
+// storeWorkload replays a fixed op sequence, also applying each successful
+// op to the oracle; failed ops must leave the store unchanged, which the
+// caller checks against the oracle afterwards.
+func storeWorkload(s *Store, oracle map[string]tuple.Tuple) error {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 150; i++ {
+		k := fmt.Sprintf("key-%02d", r.Intn(30))
+		pad := r.Intn(80)
+		switch r.Intn(4) {
+		case 0:
+			if err := s.DeleteString(k); err != nil {
+				return err
+			}
+			delete(oracle, k)
+		default:
+			v := row(i, pad)
+			if err := s.PutString(k, v); err != nil {
+				return err
+			}
+			oracle[k] = v
+		}
+	}
+	return nil
+}
+
+// TestStoreFaultInjectionSweep proves every pager fault point is
+// failure-atomic: for each possible injection ordinal, the injected error
+// surfaces from exactly one operation, that operation has no effect, the
+// store is not wedged, and the rest of the workload completes correctly.
+func TestStoreFaultInjectionSweep(t *testing.T) {
+	// Count the points one clean run visits.
+	counter := faultinject.Counter()
+	opts := tinyOpts()
+	opts.Hook = counter
+	s := openStore(t, opts)
+	oracle := make(map[string]tuple.Tuple)
+	if err := storeWorkload(s, oracle); err != nil {
+		t.Fatal(err)
+	}
+	visits := counter.Visits() // before checkOracle's own reads add visits
+	checkOracle(t, s, oracle)
+	if visits == 0 {
+		t.Fatal("workload visited no injection points — pool too large?")
+	}
+
+	step := int64(1)
+	if visits > 250 {
+		step = visits/250 + 1
+	}
+	for failAt := int64(1); failAt <= visits; failAt += step {
+		hook := faultinject.NewHook(failAt)
+		o := tinyOpts()
+		o.Hook = hook
+		fs := openStore(t, o)
+		oracle := make(map[string]tuple.Tuple)
+		err := storeWorkload(fs, oracle)
+		if err != nil {
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("failAt=%d: non-injected failure: %v", failAt, err)
+			}
+			if fs.Err() != nil {
+				t.Fatalf("failAt=%d: injected fault latched as sticky: %v", failAt, fs.Err())
+			}
+		} else if _, fired := hook.Fired(); fired {
+			t.Fatalf("failAt=%d: fault fired but no operation reported it", failAt)
+		}
+		// Whatever happened, the surviving content must match the oracle of
+		// successful ops, and the store must still accept writes.
+		checkOracle(t, fs, oracle)
+		if err := fs.PutString("post-fault", row(1, 5)); err != nil {
+			t.Fatalf("failAt=%d: store unusable after injected fault: %v", failAt, err)
+		}
+		fs.Close()
+	}
+}
+
+// fakeWAL records the flush watermark the pool demanded.
+type fakeWAL struct {
+	last    uint64
+	flushed uint64
+	calls   int
+}
+
+func (w *fakeWAL) LastLSN() uint64 { return w.last }
+func (w *fakeWAL) EnsureFlushed(lsn uint64) error {
+	w.calls++
+	if lsn > w.flushed {
+		w.flushed = lsn
+	}
+	return nil
+}
+
+// TestStoreWALRule asserts the steal path: every page that reaches disk
+// carries an LSN the pool first forced the WAL to flush through, and no
+// on-disk page is ahead of the flush watermark.
+func TestStoreWALRule(t *testing.T) {
+	w := &fakeWAL{}
+	opts := tinyOpts()
+	opts.WAL = w
+	path := filepath.Join(t.TempDir(), "aux.pg")
+	s, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		w.last = uint64(i + 1) // the engine appends WAL records as it goes
+		if err := s.PutString(fmt.Sprintf("k%03d", i), row(i, i%40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().Evictions == 0 {
+		t.Fatal("no evictions — WAL rule never exercised")
+	}
+	if w.calls == 0 {
+		t.Fatal("dirty pages were written without consulting the WAL")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every page in the file must decode and respect pageLSN <= flushed.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data)%MinPageSize != 0 {
+		t.Fatalf("file length %d not page-aligned", len(data))
+	}
+	for off := 0; off < len(data); off += MinPageSize {
+		pg, err := DecodePage(data[off : off+MinPageSize])
+		if err != nil {
+			t.Fatalf("page %d: %v", off/MinPageSize, err)
+		}
+		if pg.LSN > w.flushed {
+			t.Fatalf("page %d on disk at LSN %d, WAL only flushed through %d",
+				off/MinPageSize, pg.LSN, w.flushed)
+		}
+	}
+}
+
+// TestFactory covers naming, replacement, stats ordering, and release.
+func TestFactory(t *testing.T) {
+	dir := t.TempDir()
+	fc, err := NewFactory(filepath.Join(dir, "pages"), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	a, err := fc.Open("sales_by_brand", "product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Open("sales_by_brand", "sale"); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct identifiers that sanitize identically must get distinct
+	// files.
+	if _, err := fc.Open("v/x", "t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Open("v?x", "t"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 4 {
+		t.Fatalf("expected 4 page files, found %d", len(ents))
+	}
+	if err := a.PutString("k", row(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	st := fc.Stats()
+	if len(st) != 4 {
+		t.Fatalf("Stats returned %d stores", len(st))
+	}
+	if st[0].View != "sales_by_brand" || st[0].Table != "product" {
+		t.Fatalf("stats not sorted: %+v", st[0])
+	}
+	// Reopening the same pair replaces the store; the old handle is closed.
+	b, err := fc.Open("sales_by_brand", "product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a {
+		t.Fatal("reopen returned the old store")
+	}
+	if b.Len() != 0 {
+		t.Fatal("reopened store kept old content")
+	}
+	if err := fc.Release("sales_by_brand"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fc.Stats()); got != 2 {
+		t.Fatalf("%d stores after release, want 2", got)
+	}
+}

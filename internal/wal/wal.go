@@ -31,6 +31,7 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mindetail/internal/maintain"
@@ -75,6 +76,7 @@ type Log struct {
 	nextLSN uint64
 	torn    int64 // bytes truncated from the tail on open
 	buf     []byte
+	flushed atomic.Uint64 // highest LSN known durable (monotonic)
 
 	// Observability (nil until SetObs): append/fsync latency histograms,
 	// log size and LSN gauges, and record counters.
@@ -281,13 +283,49 @@ func (l *Log) sync() error {
 	if l.fsyncNs != nil {
 		start = time.Now()
 	}
+	lastLSN := l.nextLSN - 1 // everything appended so far rides this fsync
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.advanceFlushed(lastLSN)
 	if l.fsyncNs != nil {
 		l.fsyncNs.ObserveSince(start)
 	}
 	return nil
+}
+
+// advanceFlushed raises the durable watermark to lsn (CAS-max: the
+// group-commit path publishes outside l.mu, so concurrent syncs may race).
+func (l *Log) advanceFlushed(lsn uint64) {
+	for {
+		cur := l.flushed.Load()
+		if lsn <= cur || l.flushed.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// FlushedLSN returns the highest LSN known durable on disk.
+func (l *Log) FlushedLSN() uint64 { return l.flushed.Load() }
+
+// EnsureFlushed blocks until the log is durable through lsn, fsyncing if
+// needed. This is the pager's WAL-before-data hook: a dirty page stamped
+// with LSN L may overwrite its on-disk prior image only after the log is
+// durable through L, so recovery can always re-derive the page's effects
+// from the committed log suffix.
+// Under SyncNever the rule is vacuous — that policy already trades away
+// crash durability — so EnsureFlushed is a no-op instead of forcing the
+// fsyncs the policy was chosen to avoid.
+func (l *Log) EnsureFlushed(lsn uint64) error {
+	if l.flushed.Load() >= lsn {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.policy == SyncNever || l.flushed.Load() >= lsn {
+		return nil
+	}
+	return l.sync()
 }
 
 // BeginDelta appends (and per policy syncs) a delta intent record and
@@ -367,6 +405,7 @@ func (l *Log) CommitBatch(lsns []uint64) error {
 	}
 	policy := l.policy
 	fsyncNs := l.fsyncNs
+	lastLSN := l.nextLSN - 1 // appended under the mutex, so covered below
 	// Release the mutex before the fsync: the sync covers everything
 	// appended so far, so concurrent intent appends during the (long)
 	// fsync are safe — they merely ride along early. Holding the lock
@@ -383,6 +422,7 @@ func (l *Log) CommitBatch(lsns []uint64) error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.advanceFlushed(lastLSN)
 	if fsyncNs != nil {
 		fsyncNs.ObserveSince(start)
 	}

@@ -90,6 +90,10 @@ type Warehouse struct {
 	detached bool
 	fi       *faultinject.Hook
 
+	// auxFactory, when set, supplies out-of-core auxiliary stores per
+	// (view, table) — see SetAuxStoreFactory.
+	auxFactory func(view, table string) (maintain.AuxStore, error)
+
 	// wal, when set, receives every mutation before it is applied; lsn is
 	// the LSN of the last committed mutation (restored from snapshots,
 	// advanced on every commit), readable lock-free via LSN().
@@ -200,6 +204,50 @@ func (w *Warehouse) SetWAL(l ChangeLog) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.wal = l
+}
+
+// SetAuxStoreFactory installs (nil removes) an out-of-core backend for the
+// auxiliary views: every view engine's auxiliary tables move onto stores
+// produced by the factory (keyed by view and base-table name), existing
+// rows migrating in place. Subsequently created or restored views get
+// their stores at creation, before initialization. The in-memory
+// materialized views themselves are untouched — only the auxiliary detail,
+// which the paper sizes as the dominant cost (Section 1.1), is paged.
+func (w *Warehouse) SetAuxStoreFactory(f func(view, table string) (maintain.AuxStore, error)) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.auxFactory = f
+	if f == nil {
+		return nil
+	}
+	for _, name := range w.order {
+		if err := w.views[name].Engine.SetAuxStores(w.adaptFactory(name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adaptFactory curries the warehouse factory down to the per-engine shape.
+// Callers hold w.mu.
+func (w *Warehouse) adaptFactory(view string) func(string) (maintain.AuxStore, error) {
+	f := w.auxFactory
+	return func(table string) (maintain.AuxStore, error) { return f(view, table) }
+}
+
+// Close releases per-view resources — the out-of-core auxiliary stores,
+// when a factory is installed. The warehouse itself stays queryable; a
+// closed store rejects further maintenance.
+func (w *Warehouse) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var first error
+	for _, name := range w.order {
+		if err := w.views[name].Engine.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // LSN returns the log sequence number of the last committed mutation
@@ -413,6 +461,11 @@ func (w *Warehouse) applyCreateView(st *sqlparse.CreateView) error {
 	// state, so equal-fingerprint engines are bit-identical replicas and may
 	// share per-delta memoized work; later-created views get a later epoch.
 	eng.SetMemoScope(fmt.Sprintf("epoch%d", w.epoch))
+	if w.auxFactory != nil {
+		if err := eng.SetAuxStores(w.adaptFactory(st.Name)); err != nil {
+			return err
+		}
+	}
 	if err := eng.Init(w.srcRel); err != nil {
 		return err
 	}
@@ -481,6 +534,11 @@ func (w *Warehouse) RestoreView(name, selectSQL string, appendOnly bool, st *mai
 	// history, so it must never share memoized work: give it a scope of its
 	// own (view names are unique within a warehouse).
 	eng.SetMemoScope("restored:" + name)
+	if w.auxFactory != nil {
+		if err := eng.SetAuxStores(w.adaptFactory(name)); err != nil {
+			return err
+		}
+	}
 	if err := eng.ImportState(st); err != nil {
 		return err
 	}

@@ -36,7 +36,7 @@ test:
 # server (concurrent sessions, admission control, disconnect drain), and
 # the pager (buffer-pool pin/unpin and eviction under shared stores).
 race:
-	$(GO) test -race ./internal/core/... ./internal/maintain/... ./internal/warehouse/... ./internal/obs/... ./internal/wal/... ./internal/wire/... ./internal/wireclient/... ./internal/pager/... ./cmd/dwserver/...
+	$(GO) test -race ./internal/core/... ./internal/costmodel/... ./internal/maintain/... ./internal/warehouse/... ./internal/obs/... ./internal/wal/... ./internal/wire/... ./internal/wireclient/... ./internal/pager/... ./cmd/dwserver/...
 
 race-all:
 	$(GO) test -race ./...
@@ -51,7 +51,7 @@ race-all:
 # sweep, plus rollback across the buffer pool's eviction boundary
 # (TestPagedRollbackAcrossEviction) and the paged crash-recovery sweeps.
 faultinject:
-	$(GO) test -race -run 'FaultInjection|Malformed|Rekey|Hook|Fuzz|Recover|Torn|Checkpoint|Dangling|Paged' ./internal/faultinject/... ./internal/maintain/... ./internal/warehouse/... ./internal/wal/... ./internal/persist/... ./internal/pager/...
+	$(GO) test -race -run 'FaultInjection|Malformed|Rekey|Hook|Fuzz|Recover|Torn|Checkpoint|Dangling|Paged' ./internal/faultinject/... ./internal/costmodel/... ./internal/maintain/... ./internal/warehouse/... ./internal/wal/... ./internal/persist/... ./internal/pager/...
 
 # bench-smoke re-measures a fast subset of the recorded hot-path
 # benchmarks and fails if any ns/op regressed more than 3x against the

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mindetail/internal/costmodel"
+	"mindetail/internal/experiments"
+	"mindetail/internal/maintain"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+	"mindetail/internal/workload"
+)
+
+// AdaptiveMaintain measures the cost-based strategy chooser against the
+// static strategies it replaces. Each policy replays the SAME delta stream
+// (deterministic workload seed, identical starting state) against its own
+// engine; one benchmark op is one delta of the timed phase. Two stream
+// shapes bracket the decision space:
+//
+//   - homog-small: pure 1-row price updates — a stream where one static
+//     strategy (scoped) is optimal throughout. Adaptive must stay within a
+//     few percent of it: the chooser's job here is to get out of the way.
+//   - mixed: 1-row price updates alternating with large insert bursts —
+//     no single static strategy wins both shapes, so adaptive's per-shape
+//     decisions must beat the worst static by a clear margin.
+const (
+	adaptiveWarmup = 8   // unmeasured prefix: calibration / warm-up
+	adaptiveTimed  = 200 // measured deltas per policy
+	adaptiveBurst  = 256 // rows per insert burst in the mixed stream
+)
+
+// adaptiveStream builds the deterministic delta stream for one shape. The
+// mutator mutates its own env's database as it generates, so each policy
+// gets a fresh identically-seeded env and an identical stream.
+func adaptiveStream(env *experiments.Env, shape string) ([]maintain.Delta, error) {
+	mut := workload.NewMutator(env.DB, env.Params)
+	updates := workload.Mix{UpdatePrice: 1}
+	n := adaptiveWarmup + adaptiveTimed
+	out := make([]maintain.Delta, 0, n)
+	nextID := int64(10_000_000) // fresh sale ids, far above the loaded range
+	template := env.DB.Table("sale").Get(types.Int(1))
+	if template == nil {
+		return nil, fmt.Errorf("adaptive: sale 1 missing")
+	}
+	for i := 0; i < n; i++ {
+		if shape == "mixed" && i%2 == 1 {
+			// A burst of fresh sales cloned off an existing row: valid
+			// foreign keys, unique ids, insert-only class.
+			rows := make([]tuple.Tuple, adaptiveBurst)
+			for j := range rows {
+				r := template.Clone()
+				r[0] = types.Int(nextID)
+				r[4] = types.Float(float64(1 + (nextID % 97)))
+				nextID++
+				rows[j] = r
+			}
+			out = append(out, maintain.Delta{Table: "sale", Inserts: rows})
+			continue
+		}
+		d, err := mut.Next(updates)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// adaptiveEngine builds one policy's engine over a fresh identically-seeded
+// environment, returning the env so the stream can be regenerated against
+// its database.
+func adaptiveEngine() (*experiments.Env, *maintain.Engine, error) {
+	env, err := experiments.NewEnv(workload.ScaledDown(20000))
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := env.MinimalEngine(workload.ProductSalesSQL(1997))
+	if err != nil {
+		return nil, nil, err
+	}
+	return env, eng, nil
+}
+
+// runAdaptivePolicy replays one policy over one stream shape: the warm-up
+// prefix is applied unmeasured (after seeding the model by calibration
+// replay when adaptive), then the timed suffix is measured as one manual
+// fixed-iteration benchmark — N deltas in T wall time.
+func runAdaptivePolicy(shape string, strat maintain.Strategy, adaptive bool) (testing.BenchmarkResult, error) {
+	env, eng, err := adaptiveEngine()
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	stream, err := adaptiveStream(env, shape)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	warm, timed := stream[:adaptiveWarmup], stream[adaptiveWarmup:]
+
+	var m *costmodel.Model
+	if adaptive {
+		m = costmodel.New(costmodel.Config{CalibrationN: 2, EnableShard: true})
+		// Calibration mode: replay the first deltas under every candidate
+		// (staged and rolled back — nothing committed) to seed estimates.
+		if err := m.CalibrateEngine("bench", eng, warm); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+	}
+	apply := func(d maintain.Delta, measure bool) error {
+		s := strat
+		sh := maintain.ShapeOf(d)
+		if adaptive {
+			s = m.Choose("bench", sh, false)
+		}
+		start := time.Now()
+		if err := eng.ApplyWithStrategy(d, s); err != nil {
+			return err
+		}
+		if adaptive && measure {
+			m.Observe("bench", sh, s, time.Since(start).Nanoseconds())
+		}
+		return nil
+	}
+	for _, d := range warm {
+		if err := apply(d, false); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+	}
+	t0 := time.Now()
+	for _, d := range timed {
+		if err := apply(d, true); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+	}
+	return testing.BenchmarkResult{N: len(timed), T: time.Since(t0)}, nil
+}
+
+// runAdaptiveBenches measures every (stream, policy) cell of the
+// AdaptiveMaintain comparison.
+func runAdaptiveBenches() ([]benchResult, error) {
+	type cell struct {
+		shape    string
+		policy   string
+		strat    maintain.Strategy
+		adaptive bool
+	}
+	cells := []cell{
+		{"homog-small", "static-scoped", maintain.StrategyScoped, false},
+		{"homog-small", "static-full", maintain.StrategyFull, false},
+		{"homog-small", "adaptive", maintain.StrategyAuto, true},
+		{"mixed", "static-scoped", maintain.StrategyScoped, false},
+		{"mixed", "static-full", maintain.StrategyFull, false},
+		{"mixed", "static-sharded", maintain.StrategySharded, false},
+		{"mixed", "adaptive", maintain.StrategyAuto, true},
+	}
+	var out []benchResult
+	for _, c := range cells {
+		r, err := runAdaptivePolicy(c.shape, c.strat, c.adaptive)
+		if err != nil {
+			return nil, fmt.Errorf("AdaptiveMaintain/%s/%s: %w", c.shape, c.policy, err)
+		}
+		out = append(out, toResult(fmt.Sprintf("AdaptiveMaintain/%s/%s", c.shape, c.policy), r))
+	}
+	return out, nil
+}

@@ -259,6 +259,12 @@ func runBenchJSON(path string) error {
 	}
 	results = append(results, outOfCore...)
 
+	adaptive, err := runAdaptiveBenches()
+	if err != nil {
+		return err
+	}
+	results = append(results, adaptive...)
+
 	baseline, err := measureSeedBaseline(toResult("ApplySmallDeltaLargeAux", full), keyAt)
 	if err != nil {
 		return err

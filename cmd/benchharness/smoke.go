@@ -6,6 +6,7 @@ import (
 	"os"
 	"testing"
 
+	"mindetail/internal/maintain"
 	"mindetail/internal/tuple"
 	"mindetail/internal/types"
 )
@@ -16,10 +17,34 @@ import (
 // magnitude regressions.
 const smokeFactor = 3.0
 
+// smokeGateNames is the canonical list of benchmarks the smoke gate
+// re-measures. The gate cross-checks the measured set against this list:
+// a gated benchmark that silently fails to produce a result — a helper
+// returning a short slice, a renamed scenario — used to make the gate
+// pass vacuously; now it is "missing from run" and fails the gate.
+func smokeGateNames() []string {
+	return []string{
+		"ApplySmallDeltaLargeAux/no-obs",
+		"GroupKeyEncode/KeyAt",
+		"WALAppendThroughput",
+		"RecoveryReplay/200-deltas",
+		"ShardedPropagate2",
+		"ShardedPropagate4",
+		"ShardedPropagate8",
+		"WALGroupCommitThroughput",
+		"ServerQPS",
+		"OutOfCoreMaintain/memory",
+		"OutOfCoreMaintain/paged",
+		"AdaptiveMaintain/homog-small/static-scoped",
+		"AdaptiveMaintain/homog-small/adaptive",
+	}
+}
+
 // runSmoke re-measures a fast subset of the recorded hot-path benchmarks
 // and fails when any of them regressed more than smokeFactor against the
-// committed report at path. It is the CI bench-smoke gate: cheap enough
-// for every push, coarse enough not to flake.
+// committed report at path, or when a gated benchmark went missing from
+// the run entirely. It is the CI bench-smoke gate: cheap enough for every
+// push, coarse enough not to flake.
 func runSmoke(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -38,8 +63,20 @@ func runSmoke(path string) error {
 	if err != nil {
 		return err
 	}
+	measuredByName := map[string]bool{}
+	for _, m := range measured {
+		measuredByName[m.Name] = true
+	}
 
 	var failures int
+	// A gated benchmark the run did not produce is a failure, not a free
+	// pass: the committed baseline entry is unguarded until it returns.
+	for _, name := range smokeGateNames() {
+		if !measuredByName[name] {
+			fmt.Printf("%-45s missing from run — gate list and measured subset diverged\n", name)
+			failures++
+		}
+	}
 	for _, m := range measured {
 		want, ok := committed[m.Name]
 		if !ok {
@@ -60,7 +97,7 @@ func runSmoke(path string) error {
 			m.Name, m.NsPerOp, want, ratio, status)
 	}
 	if failures > 0 {
-		return fmt.Errorf("smoke: %d benchmark(s) regressed more than %.1fx vs %s", failures, smokeFactor, path)
+		return fmt.Errorf("smoke: %d benchmark(s) regressed more than %.1fx or went missing vs %s", failures, smokeFactor, path)
 	}
 	fmt.Printf("bench smoke passed: %d benchmarks within %.1fx of %s\n", len(measured), smokeFactor, path)
 	return nil
@@ -68,7 +105,8 @@ func runSmoke(path string) error {
 
 // smokeSubset measures the gate's benchmark subset: the headline
 // maintenance hot path without instrumentation, the group-key encoder,
-// and both durability benchmarks.
+// both durability benchmarks, the sharded and adaptive apply paths, the
+// wire server, and the out-of-core stores. Keep smokeGateNames in sync.
 func smokeSubset() ([]benchResult, error) {
 	var results []benchResult
 
@@ -130,5 +168,21 @@ func smokeSubset() ([]benchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(results, outOfCore...), nil
+	results = append(results, outOfCore...)
+
+	// The adaptive chooser next to its best static policy on the stream
+	// where static is optimal: a chooser that stops getting out of the way
+	// regresses the adaptive cell and fails the gate.
+	for _, adaptive := range []bool{false, true} {
+		name, strat := "AdaptiveMaintain/homog-small/static-scoped", maintain.StrategyScoped
+		if adaptive {
+			name, strat = "AdaptiveMaintain/homog-small/adaptive", maintain.StrategyAuto
+		}
+		r, err := runAdaptivePolicy("homog-small", strat, adaptive)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, toResult(name, r))
+	}
+	return results, nil
 }

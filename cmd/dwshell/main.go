@@ -24,11 +24,13 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"mindetail/internal/costmodel"
 	"mindetail/internal/csvload"
 	"mindetail/internal/maintain"
 	"mindetail/internal/obs"
 	"mindetail/internal/pager"
 	"mindetail/internal/persist"
+	"mindetail/internal/ra"
 	"mindetail/internal/wal"
 	"mindetail/internal/warehouse"
 )
@@ -87,6 +89,28 @@ type shell struct {
 	// every view's group rows sit in slotted-page files under the directory,
 	// cached through a fixed-budget buffer pool per store.
 	fac *pager.Factory
+
+	// adv accumulates this session's query/update log through the warehouse
+	// op-log hook; \advise mines it for candidate views. It survives \load
+	// and \open — the log describes the workload, not one warehouse instance.
+	adv *costmodel.Advisor
+}
+
+// hookAdvisor wires the warehouse op log into the session's workload
+// advisor, creating the advisor on first use. Re-run after every warehouse
+// swap (\load, \open) so the new instance keeps feeding the same log.
+func (s *shell) hookAdvisor(w *warehouse.Warehouse) {
+	if s.adv == nil {
+		s.adv = costmodel.NewAdvisor()
+	}
+	w.SetOpLog(func(ev warehouse.OpEvent) {
+		kind := costmodel.EventQuery
+		if ev.Kind == "delta" {
+			kind = costmodel.EventDelta
+		}
+		s.adv.Record(costmodel.Event{Kind: kind, View: ev.View, SQL: ev.SQL,
+			Tables: ev.Tables, GroupBy: ev.GroupBy, Table: ev.Table, Rows: ev.Rows, Ns: ev.Ns})
+	})
 }
 
 // closeFactory detaches the out-of-core page stores, if any. The page files
@@ -157,6 +181,7 @@ func (s *shell) closeDurable() {
 func (s *shell) run(in io.Reader) {
 	defer s.closeFactory()
 	defer s.closeDurable()
+	s.hookAdvisor(s.w)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if s.prompt {
@@ -220,6 +245,8 @@ func (s *shell) meta(cmd string) bool {
   \report          storage report for all views
   \metrics         observability snapshot (counters, latency histograms, traces)
   \verify          check every view against recomputation
+  \advise [BYTES]  mine this session's query/update log for candidate views,
+                   ranked by benefit, packed under an optional space budget
   \import TABLE F  bulk-load CSV file F into TABLE (positional columns)
   \export VIEW F   write a view's contents to CSV file F
   \store           per-view auxiliary backend: pool occupancy and hit ratio
@@ -266,6 +293,55 @@ func (s *shell) meta(cmd string) bool {
 			s.printf("error: %v\n", err)
 		} else {
 			s.printf("all views match recomputation\n")
+		}
+	case `\advise`:
+		if len(fields) > 2 {
+			s.printf("usage: \\advise [BUDGETBYTES]\n")
+			break
+		}
+		budget := 0
+		if len(fields) == 2 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				s.printf("error: BUDGETBYTES must be a non-negative integer\n")
+				break
+			}
+			budget = n
+		}
+		var src func(string) *ra.Relation
+		if !s.w.Detached() {
+			// Candidate footprints are measured by materializing against the
+			// sources; detached sessions still get the ranking, sizes unknown.
+			w := s.w
+			src = func(t string) *ra.Relation { return ra.FromTable(w.Source().Table(t), t) }
+		}
+		advice, err := s.adv.Advise(s.w.Catalog(), src, budget)
+		if err != nil {
+			s.printf("error: %v\n", err)
+			break
+		}
+		s.printf("workload: %d view-answered queries, %d ad-hoc queries, %d deltas\n",
+			advice.ViewQueries, advice.AdhocQueries, advice.DeltaEvents)
+		if len(advice.Candidates) == 0 {
+			s.printf("(no ad-hoc query clusters to advise on — run some queries first)\n")
+			break
+		}
+		if budget > 0 {
+			s.printf("space budget: %d bytes (picked %d)\n", budget, advice.PickedBytes)
+		}
+		for _, c := range advice.Candidates {
+			status := "skip: " + c.Reason
+			if c.Picked {
+				status = "PICK"
+			}
+			s.printf("%s: %d queries, %d deltas, benefit %dns, %d bytes — %s\n",
+				c.Name, c.Queries, c.Deltas, c.BenefitNs, c.EstBytes, status)
+			if len(c.OmittedAux) > 0 {
+				s.printf("  auxiliary views eliminated for: %s\n", strings.Join(c.OmittedAux, ", "))
+			}
+			if c.Picked {
+				s.printf("  CREATE MATERIALIZED VIEW %s AS %s;\n", c.Name, c.SQL)
+			}
 		}
 	case `\detach`:
 		s.w.DetachSources()
@@ -390,6 +466,7 @@ func (s *shell) meta(cmd string) bool {
 		s.closeFactory() // the restored warehouse starts with in-memory stores
 		s.w = w
 		s.live.Store(w)
+		s.hookAdvisor(w)
 		s.printf("restored from %s (%d views)\n", fields[1], len(w.ViewNames()))
 	case `\open`:
 		if len(fields) != 2 {
@@ -406,6 +483,7 @@ func (s *shell) meta(cmd string) bool {
 		s.dur = d
 		s.w = d.Warehouse()
 		s.live.Store(s.w)
+		s.hookAdvisor(s.w)
 		s.printf("opened durable warehouse %s (%d views, LSN %d", fields[1],
 			len(s.w.ViewNames()), s.w.LSN())
 		if torn := d.Log().TornBytes(); torn > 0 {

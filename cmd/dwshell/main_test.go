@@ -252,3 +252,44 @@ SELECT brand, total, cnt FROM totals;
 		t.Fatalf("no page files under %s: %v", dir, err)
 	}
 }
+
+// \advise mines the session's op log: repeated ad-hoc queries become ranked
+// candidate views with measured footprints and a ready-to-run CREATE
+// statement, and a zero budget (unlimited) picks the winners. All inserts
+// happen before the view exists, so no delta events are logged and the
+// candidate's benefit is deterministically positive.
+func TestShellAdvise(t *testing.T) {
+	out := drive(t, `
+CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR);
+CREATE TABLE sale (id INTEGER PRIMARY KEY,
+  productid INTEGER REFERENCES product, price FLOAT);
+INSERT INTO product VALUES (1, 'acme'), (2, 'bolt');
+INSERT INTO sale VALUES (1, 1, 10), (2, 2, 5);
+CREATE MATERIALIZED VIEW totals AS
+SELECT product.brand, SUM(price) AS total, COUNT(*) AS cnt
+FROM sale, product WHERE sale.productid = product.id
+GROUP BY product.brand;
+\advise
+SELECT product.brand, SUM(price) AS t FROM sale, product WHERE sale.productid = product.id GROUP BY product.brand;
+SELECT product.brand, SUM(price) AS t FROM sale, product WHERE sale.productid = product.id GROUP BY product.brand;
+SELECT brand, total, cnt FROM totals;
+\advise
+\advise 1
+\advise nope
+\advise 1 2 3
+\q
+`)
+	for _, want := range []string{
+		"(no ad-hoc query clusters to advise on — run some queries first)",
+		"workload: 1 view-answered queries, 2 ad-hoc queries, 0 deltas",
+		"advised_1: 2 queries, 0 deltas",
+		"CREATE MATERIALIZED VIEW advised_1 AS",
+		"over budget",         // \advise 1 cannot fit the candidate
+		"BUDGETBYTES must be", // \advise nope
+		"usage: \\advise",     // too many args
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

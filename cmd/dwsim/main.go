@@ -33,12 +33,18 @@ func main() {
 	batch := flag.Int("batch", 1, "in -wal mode, deltas per group-committed batch (1 = one fsync per delta)")
 	auxDisk := flag.Bool("aux-disk", false, "keep the auxiliary views out of core in slotted-page stores (a scratch directory of page files) instead of in memory")
 	cachePages := flag.Int("cache-pages", 256, "in -aux-disk mode, buffer-pool frames per auxiliary store")
+	advise := flag.Bool("advise", false, "record an interleaved query/delta workload, mine it for candidate views under -advise-budget, materialize the picks, and replay to report the net cost delta")
+	adviseBudget := flag.Int("advise-budget", 0, "space budget in bytes for the views -advise may pick (0 = unlimited)")
 	flag.Parse()
 
-	var err error
-	if *walDir != "" {
+	err := validateFlags(*walDir, *advise, *batch)
+	switch {
+	case err != nil:
+	case *advise:
+		err = runAdvise(os.Stdout, *scale, *deltas, *mixName, *adviseBudget, *shards)
+	case *walDir != "":
 		err = runWAL(os.Stdout, *walDir, *scale, *deltas, *mixName, *view, *walSync, *shards, *batch, *auxDisk, *cachePages)
-	} else {
+	default:
 		err = run(os.Stdout, *scale, *deltas, *mixName, *view, *metrics, *shards, *auxDisk, *cachePages)
 	}
 	if err != nil {

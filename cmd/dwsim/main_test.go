@@ -53,6 +53,84 @@ func TestRunMetricsDump(t *testing.T) {
 	}
 }
 
+// Flag combinations whose semantics would be silently wrong must be
+// rejected up front, and the legitimate combinations must keep working.
+func TestFlagInteractions(t *testing.T) {
+	// -batch only group-commits WAL fsyncs; without -wal it would be ignored.
+	if err := validateFlags("", false, 8); err == nil || !strings.Contains(err.Error(), "-batch") {
+		t.Errorf("-batch without -wal should be rejected, got %v", err)
+	}
+	// -advise drives its own attached record/replay and cannot nest in -wal.
+	if err := validateFlags(t.TempDir(), true, 1); err == nil || !strings.Contains(err.Error(), "-advise") {
+		t.Errorf("-advise with -wal should be rejected, got %v", err)
+	}
+	// -advise with -batch>1 trips the batch rule (there is still no WAL).
+	if err := validateFlags("", true, 4); err == nil {
+		t.Error("-advise with -batch should be rejected")
+	}
+	// Legitimate combinations pass validation.
+	for _, ok := range []struct {
+		wal    string
+		advise bool
+		batch  int
+	}{
+		{"", false, 1},          // plain run
+		{"", true, 1},           // -advise (with or without -shards)
+		{t.TempDir(), false, 8}, // -wal -batch
+	} {
+		if err := validateFlags(ok.wal, ok.advise, ok.batch); err != nil {
+			t.Errorf("validateFlags(%q, %v, %d) = %v", ok.wal, ok.advise, ok.batch, err)
+		}
+	}
+}
+
+// -aux-disk is not tied to -wal: the in-memory scenario can spill its
+// auxiliary views to page files too.
+func TestRunAuxDiskWithoutWAL(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 1500, 20, "default", "paper", false, 1, true, 64); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"out-of-core auxiliary views", "out-of-core auxiliary stores", "streamed 20 deltas"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aux-disk run missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// -advise records a workload, ranks candidates, materializes the picks
+// (respecting -shards), and reports the measured net cost delta.
+func TestRunAdvise(t *testing.T) {
+	var b strings.Builder
+	if err := runAdvise(&b, 1500, 30, "default", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"sharded applies: 2-way fan-out",
+		"candidates (ranked by benefit density):",
+		"advised_1",
+		"replay without picks:",
+		"net cost delta:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("advise run missing %q:\n%s", want, out)
+		}
+	}
+	// A 1-byte budget fits nothing: every viable candidate is over budget.
+	var tight strings.Builder
+	if err := runAdvise(&tight, 1500, 30, "default", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tight.String(), "over budget") {
+		t.Errorf("tight budget should leave candidates over budget:\n%s", tight.String())
+	}
+	if err := runAdvise(&b, 1500, 10, "bogus", 0, 1); err == nil {
+		t.Error("bad mix accepted")
+	}
+}
+
 func TestRunWALMode(t *testing.T) {
 	dir := t.TempDir() + "/dw"
 	var b strings.Builder

@@ -1,0 +1,31 @@
+package costmodel
+
+import (
+	"fmt"
+	"time"
+
+	"mindetail/internal/maintain"
+)
+
+// CalibrateEngine seeds the model by replaying deltas against an engine
+// under every candidate strategy: each candidate is staged, timed, and
+// rolled back, so the engine finishes bit-identical to its starting state
+// and no delta is committed. Callers replay the first N deltas of a stream
+// here before switching to live apply — the "both ways" measurement the
+// calibration mode promises without double-committing anything.
+func (m *Model) CalibrateEngine(view string, eng *maintain.Engine, deltas []maintain.Delta) error {
+	for _, d := range deltas {
+		sh := maintain.ShapeOf(d)
+		for _, s := range m.candidates(sh, false) {
+			start := time.Now()
+			if err := eng.StageWithPlan(d, nil, s); err != nil {
+				// On a staging error the engine has already rolled back.
+				return fmt.Errorf("costmodel: calibrating %s under %s: %w", d.Table, s, err)
+			}
+			ns := time.Since(start).Nanoseconds()
+			eng.Rollback()
+			m.Observe(view, sh, s, ns)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package costmodel_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mindetail/internal/costmodel"
+	"mindetail/internal/faultinject"
+	"mindetail/internal/maintain"
+	"mindetail/internal/ra"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+	"mindetail/internal/warehouse"
+)
+
+const retailSetup = `
+CREATE TABLE time (id INTEGER PRIMARY KEY, day INTEGER, month INTEGER, year INTEGER);
+CREATE TABLE product (id INTEGER PRIMARY KEY, brand VARCHAR MUTABLE, category VARCHAR);
+CREATE TABLE store (id INTEGER PRIMARY KEY, city VARCHAR, manager VARCHAR MUTABLE);
+CREATE TABLE sale (id INTEGER PRIMARY KEY,
+	timeid INTEGER REFERENCES time,
+	productid INTEGER REFERENCES product,
+	storeid INTEGER REFERENCES store,
+	price FLOAT MUTABLE);
+INSERT INTO time VALUES (1, 5, 1, 1997), (2, 6, 1, 1997), (3, 7, 2, 1997);
+INSERT INTO product VALUES (100, 'acme', 'tools'), (101, 'bolt', 'tools');
+INSERT INTO store VALUES (7, 'aalborg', 'kim');
+INSERT INTO sale VALUES (1, 1, 100, 7, 10), (2, 1, 100, 7, 10), (3, 2, 101, 7, 5), (4, 3, 101, 7, 7);
+`
+
+const monthlySQL = `SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+FROM sale, time, product
+WHERE sale.timeid = time.id AND sale.productid = product.id
+GROUP BY time.month`
+
+func newRetailWarehouse(t *testing.T, viewSQLs ...string) *warehouse.Warehouse {
+	t.Helper()
+	w := warehouse.New()
+	if _, err := w.Exec(retailSetup); err != nil {
+		t.Fatal(err)
+	}
+	for i, sql := range viewSQLs {
+		stmt := fmt.Sprintf("CREATE MATERIALIZED VIEW v%d AS %s", i+1, sql)
+		if _, err := w.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+func viewText(t *testing.T, w *warehouse.Warehouse, name string) string {
+	t.Helper()
+	rel, err := w.Query(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel.Sorted().Format()
+}
+
+// CalibrateEngine must measure every candidate strategy without committing
+// anything: the engine's view is bit-identical before and after, and the
+// model ends with one sample per (delta, candidate).
+func TestCalibrateEngineSeedsWithoutCommitting(t *testing.T) {
+	w := newRetailWarehouse(t, monthlySQL)
+	eng := w.View("v1").Engine
+	before := viewText(t, w, "v1")
+
+	m := costmodel.New(costmodel.Config{CalibrationN: 2})
+	deltas := []maintain.Delta{
+		{Table: "sale", Inserts: []tuple.Tuple{{types.Int(50), types.Int(1), types.Int(100), types.Int(7), types.Float(3)}}},
+		{Table: "sale", Inserts: []tuple.Tuple{{types.Int(51), types.Int(2), types.Int(101), types.Int(7), types.Float(4)}}},
+	}
+	if err := m.CalibrateEngine("v1", eng, deltas); err != nil {
+		t.Fatal(err)
+	}
+	if after := viewText(t, w, "v1"); after != before {
+		t.Fatalf("calibration committed state:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	for _, row := range m.Snapshot() {
+		if row.Samples != 2 {
+			t.Fatalf("want 2 samples per strategy (one per delta), got %+v", row)
+		}
+	}
+	counts := m.StrategyCounts()
+	if counts["scoped"] != 2 || counts["full"] != 2 {
+		t.Fatalf("calibration should sample scoped and full per delta, got %v", counts)
+	}
+}
+
+// The advisor must turn a synthetic workload log into ranked, budgeted
+// picks with measured footprints.
+func TestAdvisorRankingAndBudget(t *testing.T) {
+	w := newRetailWarehouse(t)
+	adv := costmodel.NewAdvisor()
+	adhocSQL := "SELECT time.month, SUM(price) AS total FROM sale, time WHERE sale.timeid = time.id GROUP BY time.month"
+	for i := 0; i < 5; i++ {
+		adv.Record(costmodel.Event{Kind: costmodel.EventQuery, SQL: adhocSQL,
+			Tables: []string{"sale", "time"}, GroupBy: []string{"time.month"}, Ns: 1_000_000})
+	}
+	adv.Record(costmodel.Event{Kind: costmodel.EventQuery, View: "existing", Ns: 500})
+	adv.Record(costmodel.Event{Kind: costmodel.EventDelta, Table: "sale", Rows: 1, Ns: 100_000})
+	adv.Record(costmodel.Event{Kind: costmodel.EventDelta, Table: "product", Rows: 1, Ns: 100_000})
+
+	src := func(table string) *ra.Relation {
+		return ra.FromTable(w.Source().Table(table), table)
+	}
+	advice, err := adv.Advise(w.Catalog(), src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice.AdhocQueries != 5 || advice.ViewQueries != 1 || advice.DeltaEvents != 2 {
+		t.Fatalf("event accounting wrong: %+v", advice)
+	}
+	if len(advice.Candidates) != 1 {
+		t.Fatalf("want 1 candidate cluster, got %d", len(advice.Candidates))
+	}
+	c := advice.Candidates[0]
+	if !c.Picked || c.Reason != "" {
+		t.Fatalf("candidate should be picked under an unlimited budget: %+v", c)
+	}
+	if c.Queries != 5 || c.QueryNs != 5_000_000 {
+		t.Fatalf("query weight wrong: %+v", c)
+	}
+	if c.Deltas != 1 || c.DeltaNs != 100_000 {
+		t.Fatalf("only the sale delta touches the candidate: %+v", c)
+	}
+	if c.BenefitNs != 4_900_000 {
+		t.Fatalf("benefit = %d, want 4900000", c.BenefitNs)
+	}
+	if c.EstBytes <= 0 {
+		t.Fatalf("materialized footprint should be measured, got %d", c.EstBytes)
+	}
+	if advice.PickedBytes != c.EstBytes {
+		t.Fatalf("PickedBytes = %d, want %d", advice.PickedBytes, c.EstBytes)
+	}
+
+	// A budget below the footprint excludes the candidate.
+	tight, err := adv.Advise(w.Catalog(), src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := tight.Candidates[0]; c.Picked || !strings.Contains(c.Reason, "over budget") {
+		t.Fatalf("1-byte budget should exclude the candidate: %+v", c)
+	}
+
+	// Detached sources: footprints cannot be measured, nothing is picked.
+	blind, err := adv.Advise(w.Catalog(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := blind.Candidates[0]; c.Picked || !strings.Contains(c.Reason, "size unknown") {
+		t.Fatalf("nil src should exclude with a clear reason: %+v", c)
+	}
+}
+
+func TestAdvisorRejectsLosingAndBrokenCandidates(t *testing.T) {
+	w := newRetailWarehouse(t)
+	src := func(table string) *ra.Relation {
+		return ra.FromTable(w.Source().Table(table), table)
+	}
+	adv := costmodel.NewAdvisor()
+	// Maintenance-dominated cluster: one cheap query vs heavy delta traffic.
+	adv.Record(costmodel.Event{Kind: costmodel.EventQuery,
+		SQL:    "SELECT product.brand, COUNT(*) AS cnt FROM sale, product WHERE sale.productid = product.id GROUP BY product.brand",
+		Tables: []string{"sale", "product"}, GroupBy: []string{"product.brand"}, Ns: 1000})
+	adv.Record(costmodel.Event{Kind: costmodel.EventDelta, Table: "sale", Rows: 64, Ns: 5_000_000})
+	// Unparseable representative.
+	adv.Record(costmodel.Event{Kind: costmodel.EventQuery, SQL: "SELECT FROM WHERE",
+		Tables: []string{"mystery"}, Ns: 1_000_000})
+
+	advice, err := adv.Advise(w.Catalog(), src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice.Candidates) != 2 {
+		t.Fatalf("want 2 candidates, got %d", len(advice.Candidates))
+	}
+	for _, c := range advice.Candidates {
+		if c.Picked {
+			t.Fatalf("no candidate should be picked: %+v", c)
+		}
+		switch {
+		case strings.Contains(c.SQL, "brand"):
+			if !strings.Contains(c.Reason, "maintenance cost exceeds") {
+				t.Fatalf("losing candidate reason: %+v", c)
+			}
+		default:
+			if !strings.Contains(c.Reason, "unparseable") {
+				t.Fatalf("broken candidate reason: %+v", c)
+			}
+		}
+	}
+}
+
+// seedDefer gives the model enough samples that insert-only deltas of the
+// given shapes route to defer while everything else stays engine-side.
+func seedDefer(m *costmodel.Model, shapes ...maintain.DeltaShape) {
+	for _, sh := range shapes {
+		m.Observe("warehouse", sh, maintain.StrategyScoped, 1_000_000_000)
+		m.Observe("warehouse", sh, maintain.StrategyFull, 1_000_000_000)
+		m.Observe("warehouse", sh, maintain.StrategyDefer, 100)
+	}
+}
+
+// TestFaultInjectionDeferFlushWithModel sweeps every injection point of the
+// defer-and-batch path with the cost model driving strategy decisions. The
+// warehouse holds two identical views — replicas — and after every injected
+// failure they must remain bit-identical to each other (the replica
+// invariant the strategy seam exists to protect); a failure at the
+// DeferFlush point must additionally leave the buffer fully pending and the
+// views untouched, so a clean retry converges to the no-fault result.
+func TestFaultInjectionDeferFlushWithModel(t *testing.T) {
+	saleInsert := func(id int64) maintain.Delta {
+		return maintain.Delta{Table: "sale", Inserts: []tuple.Tuple{
+			{types.Int(id), types.Int(1), types.Int(100), types.Int(7), types.Float(2)}}}
+	}
+	deltas := []maintain.Delta{saleInsert(60), saleInsert(61), saleInsert(62)}
+
+	type run struct {
+		w   *warehouse.Warehouse
+		s   *warehouse.AdaptiveSession
+		err error
+		h   *faultinject.Hook
+	}
+	exec := func(failAt int64) run {
+		w := newRetailWarehouse(t, monthlySQL, monthlySQL)
+		w.DetachSources()
+		m := costmodel.New(costmodel.Config{CalibrationN: 1, EnableDefer: true})
+		seedDefer(m, maintain.ShapeOf(deltas[0]))
+		s := w.NewAdaptiveSession(m, 100)
+		for _, d := range deltas {
+			if err := s.Apply(d); err != nil {
+				t.Fatalf("buffering: %v", err)
+			}
+		}
+		if s.Pending() != len(deltas) {
+			t.Fatalf("model should defer all inserts, pending=%d", s.Pending())
+		}
+		r := run{w: w, s: s}
+		if failAt > 0 {
+			r.h = faultinject.NewHook(failAt)
+			w.SetFaultHook(r.h)
+		}
+		r.err = s.Flush()
+		w.SetFaultHook(nil)
+		return r
+	}
+
+	clean := exec(0)
+	if clean.err != nil {
+		t.Fatalf("clean flush: %v", clean.err)
+	}
+	want1, want2 := viewText(t, clean.w, "v1"), viewText(t, clean.w, "v2")
+	if want1 != want2 {
+		t.Fatalf("clean replicas diverged:\n%s\nvs\n%s", want1, want2)
+	}
+	preFlush := func() string {
+		w := newRetailWarehouse(t, monthlySQL, monthlySQL)
+		return viewText(t, w, "v1")
+	}()
+
+	const limit = 100000
+	for failAt := int64(1); failAt <= limit; failAt++ {
+		r := exec(failAt)
+		if r.err == nil {
+			// The batch pipeline may absorb a fault by retrying the merged
+			// group's members individually — then the flush still converges.
+			if got := viewText(t, r.w, "v1"); got != want1 {
+				t.Fatalf("failAt=%d: clean run diverged from baseline\n%s\nvs\n%s", failAt, got, want1)
+			}
+			if got := viewText(t, r.w, "v2"); got != want2 {
+				t.Fatalf("failAt=%d: replica v2 diverged from baseline", failAt)
+			}
+			if _, fired := r.h.Fired(); !fired {
+				return // past the last reachable injection point
+			}
+			continue
+		}
+		if !errors.Is(r.err, faultinject.ErrInjected) {
+			t.Fatalf("failAt=%d: genuine error: %v", failAt, r.err)
+		}
+		p, _ := r.h.Fired()
+		if a, b := viewText(t, r.w, "v1"), viewText(t, r.w, "v2"); a != b {
+			t.Fatalf("failAt=%d (%s): replicas diverged after injected failure\n%s\nvs\n%s", failAt, p, a, b)
+		}
+		if p == faultinject.DeferFlush {
+			if r.s.Pending() != len(deltas) {
+				t.Fatalf("failAt=%d: DeferFlush fault must retain the buffer, pending=%d", failAt, r.s.Pending())
+			}
+			if got := viewText(t, r.w, "v1"); got != preFlush {
+				t.Fatalf("failAt=%d: views changed before the batch ran:\n%s\nvs\n%s", failAt, got, preFlush)
+			}
+			if err := r.s.Flush(); err != nil {
+				t.Fatalf("failAt=%d: retry flush: %v", failAt, err)
+			}
+			if got := viewText(t, r.w, "v1"); got != want1 {
+				t.Fatalf("failAt=%d: retry did not converge to the no-fault state", failAt)
+			}
+		}
+	}
+	t.Fatalf("sweep did not terminate within %d points", limit)
+}

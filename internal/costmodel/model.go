@@ -1,0 +1,315 @@
+// Package costmodel chooses a per-delta maintenance strategy from measured
+// cost, replacing the static knobs (ForceFullRecompute, ShardMinRows) with a
+// feedback loop: every committed apply reports its latency back through
+// Observe, and Choose picks the cheapest known strategy for the delta's
+// shape. Before enough samples exist the model is in calibration — it cycles
+// the candidate strategies so each accrues real measurements — and its
+// initial ranking is seeded from the live obs histograms the maintenance
+// engines already publish (stage p50s, memo hit rate, pager pool hit ratio).
+//
+// The model is deliberately coordinator-shaped: it implements
+// maintain.StrategyChooser, and Choose is a pure function of the model state
+// between Observe calls. Coordinators of replica engines (SharedEngines, the
+// warehouse propagate loop) call Choose exactly once per delta per replica
+// domain; because no state advances inside Choose, a second call with the
+// same arguments — e.g. an AdaptiveSession probing for defer-eligibility
+// before the warehouse re-asks during propagation — returns the same answer.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/obs"
+)
+
+// Config tunes a Model. The zero value is usable: calibration of two samples
+// per candidate, defer and sharding disabled, no obs seeding.
+type Config struct {
+	// CalibrationN is how many Observe samples each candidate strategy
+	// needs for a shape before estimates take over. <=0 means 2.
+	CalibrationN int
+	// EWMAAlpha weights new samples in the moving average. <=0 means 0.3.
+	EWMAAlpha float64
+	// EnableShard admits StrategySharded as a candidate for deltas of at
+	// least ShardFloorRows rows.
+	EnableShard bool
+	// ShardFloorRows is the smallest delta considered for sharding.
+	// <=0 means 64. This is a candidacy floor, not the old static
+	// ShardMinRows trigger: above it, sharding competes on measured cost.
+	ShardFloorRows int
+	// EnableDefer admits StrategyDefer for insert-only deltas when the
+	// caller allows deferral (see maintain.StrategyChooser).
+	EnableDefer bool
+	// Obs, when set, seeds pre-calibration priors from the registry's
+	// maintain.stage.* histograms, memo counters, and pager pool counters.
+	Obs *obs.Registry
+}
+
+// estimate is the model's knowledge about one (view, shape) pair.
+type estimate struct {
+	ewmaNs  [maintain.NumStrategies]float64
+	samples [maintain.NumStrategies]int
+}
+
+// Model is a cost-based maintain.StrategyChooser. Safe for concurrent use.
+type Model struct {
+	cfg Config
+
+	mu     sync.Mutex
+	est    map[string]*estimate
+	chosen [maintain.NumStrategies]int // committed applies per strategy
+}
+
+var _ maintain.StrategyChooser = (*Model)(nil)
+
+// New returns a Model with the given configuration.
+func New(cfg Config) *Model {
+	if cfg.CalibrationN <= 0 {
+		cfg.CalibrationN = 2
+	}
+	if cfg.EWMAAlpha <= 0 {
+		cfg.EWMAAlpha = 0.3
+	}
+	if cfg.ShardFloorRows <= 0 {
+		cfg.ShardFloorRows = 64
+	}
+	return &Model{cfg: cfg, est: make(map[string]*estimate)}
+}
+
+func key(view string, sh maintain.DeltaShape) string { return view + "|" + sh.Key() }
+
+// candidates lists the strategies competing for a shape, in preference
+// order for calibration ties. Scoped and full are always sound; sharding
+// needs enough rows to amortize the overlay merge; deferral applies only to
+// insert-only deltas the caller may buffer.
+func (m *Model) candidates(sh maintain.DeltaShape, allowDefer bool) []maintain.Strategy {
+	c := []maintain.Strategy{maintain.StrategyScoped, maintain.StrategyFull}
+	if m.cfg.EnableShard && sh.Rows >= m.cfg.ShardFloorRows {
+		c = append(c, maintain.StrategySharded)
+	}
+	if allowDefer && m.cfg.EnableDefer && sh.Class == maintain.ClassInsertOnly {
+		c = append(c, maintain.StrategyDefer)
+	}
+	return c
+}
+
+// Choose picks the strategy for one delta. During calibration it returns the
+// least-sampled candidate; afterwards the one with the lowest estimated
+// cost. Pure between Observe calls: repeated Choose with the same arguments
+// returns the same strategy.
+func (m *Model) Choose(view string, sh maintain.DeltaShape, allowDefer bool) maintain.Strategy {
+	cands := m.candidates(sh, allowDefer)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.est[key(view, sh)]
+
+	// Calibration: any candidate short of CalibrationN samples runs next,
+	// least-sampled first so measurements accrue evenly.
+	best, bestN := maintain.StrategyAuto, m.cfg.CalibrationN
+	for _, s := range cands {
+		n := 0
+		if e != nil {
+			n = e.samples[s]
+		}
+		if n < bestN {
+			best, bestN = s, n
+		}
+	}
+	if best != maintain.StrategyAuto {
+		return best
+	}
+
+	// Estimation: argmin over measured EWMAs, falling back to obs-seeded
+	// priors for candidates that somehow lack samples.
+	bestCost := math.Inf(1)
+	for _, s := range cands {
+		cost := m.prior(s, sh)
+		if e != nil && e.samples[s] > 0 {
+			cost = e.ewmaNs[s]
+		}
+		if cost < bestCost {
+			best, bestCost = s, cost
+		}
+	}
+	return best
+}
+
+// Observe feeds back the measured latency of one committed apply (or one
+// calibration replay). This is the only call that advances model state.
+func (m *Model) Observe(view string, sh maintain.DeltaShape, s maintain.Strategy, ns int64) {
+	if s < 0 || s >= maintain.NumStrategies {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key(view, sh)
+	e := m.est[k]
+	if e == nil {
+		e = &estimate{}
+		m.est[k] = e
+	}
+	v := float64(ns)
+	if e.samples[s] == 0 {
+		e.ewmaNs[s] = v
+	} else {
+		a := m.cfg.EWMAAlpha
+		e.ewmaNs[s] = a*v + (1-a)*e.ewmaNs[s]
+	}
+	e.samples[s]++
+	m.chosen[s]++
+}
+
+// prior estimates a strategy's cost for a shape before any sample exists.
+// With an obs registry the estimate is grounded in the live stage
+// histograms; without one, fixed constants preserve the same ordering
+// (scoped cheapest for small deltas, sharded competitive only at size).
+// Priors only rank candidates — calibration measurements replace them.
+func (m *Model) prior(s maintain.Strategy, sh maintain.DeltaShape) float64 {
+	rows := float64(sh.Rows)
+	if rows < 1 {
+		rows = 1
+	}
+	inc := m.stageNs("expand") + m.stageNs("filter") + m.stageNs("delta_detail_join")
+	if inc <= 0 {
+		inc = 25e3 // 25µs staging pipeline default
+	}
+	rec := m.stageNs("scoped_recompute")
+	if rec <= 0 {
+		rec = 50e3
+	}
+	// Memoized staging is shared across replica engines: discount by the
+	// observed hit rate. A cold pager pool penalizes whole-table reads.
+	stage := (inc + rec) * (1 - 0.5*m.ratio("maintain.memo.hits", "maintain.memo.misses"))
+	coldPool := m.ratio("pager.pool.misses", "pager.pool.hits")
+	grow := 1 + math.Log2(rows+1)/8 // gentle growth in delta size
+	switch s {
+	case maintain.StrategyScoped:
+		return stage * grow
+	case maintain.StrategyFull:
+		// Rereads every auxiliary row: size-insensitive but several times
+		// the scoped pipeline, worse when the pool is cold.
+		return stage * 4 * (1 + coldPool)
+	case maintain.StrategySharded:
+		// Parallel staging divides the join across workers but pays a
+		// fixed overlay merge; only large deltas amortize it.
+		w := float64(runtime.GOMAXPROCS(0))
+		if w < 1 {
+			w = 1
+		}
+		return stage*grow/w + 100e3
+	case maintain.StrategyDefer:
+		// Coalescing inserts amortizes one recompute over the batch.
+		return stage * grow * 0.6
+	}
+	return stage * grow
+}
+
+// stageNs reads the p50 of one maintain stage histogram, 0 when absent.
+func (m *Model) stageNs(stage string) float64 {
+	if m.cfg.Obs == nil {
+		return 0
+	}
+	h := m.cfg.Obs.FindHistogram("maintain.stage." + stage + "_ns")
+	if h == nil {
+		return 0
+	}
+	return float64(h.Quantile(0.5))
+}
+
+// ratio returns a/(a+b) over two counters, 0 when absent or empty.
+func (m *Model) ratio(aName, bName string) float64 {
+	if m.cfg.Obs == nil {
+		return 0
+	}
+	var a, b int64
+	if c := m.cfg.Obs.FindCounter(aName); c != nil {
+		a = c.Load()
+	}
+	if c := m.cfg.Obs.FindCounter(bName); c != nil {
+		b = c.Load()
+	}
+	if a+b == 0 {
+		return 0
+	}
+	return float64(a) / float64(a+b)
+}
+
+// EstimateRow is one line of a model snapshot: the current EWMA and sample
+// count for a (view, shape, strategy) cell.
+type EstimateRow struct {
+	View     string
+	Shape    string
+	Strategy maintain.Strategy
+	Samples  int
+	EwmaNs   float64
+}
+
+// Snapshot reports every populated estimate cell, deterministically ordered.
+func (m *Model) Snapshot() []EstimateRow {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []EstimateRow
+	for k, e := range m.est {
+		view, shape := splitKey(k)
+		for s := maintain.Strategy(0); s < maintain.NumStrategies; s++ {
+			if e.samples[s] == 0 {
+				continue
+			}
+			out = append(out, EstimateRow{View: view, Shape: shape, Strategy: s,
+				Samples: e.samples[s], EwmaNs: e.ewmaNs[s]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.View != b.View {
+			return a.View < b.View
+		}
+		if a.Shape != b.Shape {
+			return a.Shape < b.Shape
+		}
+		return a.Strategy < b.Strategy
+	})
+	return out
+}
+
+// StrategyCounts reports how many observed applies ran under each strategy,
+// keyed by strategy name — the headline of adaptive-run reports.
+func (m *Model) StrategyCounts() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int)
+	for s := maintain.Strategy(0); s < maintain.NumStrategies; s++ {
+		if m.chosen[s] > 0 {
+			out[s.String()] = m.chosen[s]
+		}
+	}
+	return out
+}
+
+func splitKey(k string) (view, shape string) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == '|' {
+			return k[:i], k[i+1:]
+		}
+	}
+	return k, ""
+}
+
+// String renders a compact model summary for shells and reports.
+func (m *Model) String() string {
+	rows := m.Snapshot()
+	if len(rows) == 0 {
+		return "costmodel: no samples"
+	}
+	var b []byte
+	for _, r := range rows {
+		b = fmt.Appendf(b, "%s %s %s: n=%d ewma=%.0fns\n",
+			r.View, r.Shape, r.Strategy, r.Samples, r.EwmaNs)
+	}
+	return string(b[:len(b)-1])
+}

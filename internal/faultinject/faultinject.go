@@ -81,6 +81,11 @@ const (
 	// the WAL flushed-LSN rule was enforced but before the page bytes reach
 	// the file — the moment a torn page write would happen on a crash.
 	PageFlush
+	// DeferFlush fires in Warehouse.AdaptiveSession.Flush after deferred
+	// deltas were collected for batching, before the batch apply begins —
+	// a failure here must leave every buffered delta still pending, with
+	// no view or WAL effect.
+	DeferFlush
 
 	// NumPoints is the number of distinct injection points.
 	NumPoints
@@ -102,6 +107,7 @@ var pointNames = [NumPoints]string{
 	"BatchCommit",
 	"PageEvict",
 	"PageFlush",
+	"DeferFlush",
 }
 
 // String returns the symbolic name of the point.

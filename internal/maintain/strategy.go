@@ -1,0 +1,177 @@
+package maintain
+
+import "fmt"
+
+// Strategy selects the maintenance path for one staged delta. The engine's
+// historical knobs (ForceFullRecompute, the scoped path's shape check, the
+// static ShardMinRows threshold) remain as engine-level defaults; a
+// Strategy overrides them for a single apply, which is how a cost model
+// drives the engine per delta without mutating engine configuration.
+//
+// Correctness note: every strategy computes the same view contents, but
+// scoped and full recomputation can visit detail rows in different orders,
+// so float aggregates may differ in the last ulp between paths. Engines
+// that must stay bit-identical replicas of each other (one warehouse, one
+// SharedEngines class) therefore need the SAME strategy per delta — the
+// decision is made once by the coordinator and handed to every engine,
+// never taken per engine (see SharedEngines.Apply and the memo-key
+// discussion in buildMemoKey).
+type Strategy int
+
+const (
+	// StrategyAuto keeps the engine's own defaults: the delta-scoped
+	// recomputation path with its shape-check fallback, and sharding gated
+	// on the static ShardMinRows threshold.
+	StrategyAuto Strategy = iota
+
+	// StrategyScoped prefers the delta-scoped recomputation path. The shape
+	// check still applies — a plan the scoped path cannot seed falls back
+	// to the full join deterministically (the check depends only on the
+	// plan, never on per-engine state).
+	StrategyScoped
+
+	// StrategyFull recomputes affected groups from the full auxiliary join
+	// (the verification-oracle path), regardless of ForceFullRecompute.
+	StrategyFull
+
+	// StrategySharded engages the sharded apply pipeline regardless of the
+	// ShardMinRows threshold (fan-out still resolves via shardCount).
+	StrategySharded
+
+	// StrategyDefer asks the CALLER to buffer the delta and apply it later
+	// as part of a coalesced batch (warehouse.AdaptiveSession routes it
+	// into the group-commit batch path). An engine handed StrategyDefer
+	// treats it as StrategyAuto: deferral is a routing decision above the
+	// engine, not a maintenance path inside it.
+	StrategyDefer
+
+	// NumStrategies bounds the Strategy enum for table-sized consumers.
+	NumStrategies = iota
+)
+
+// String names the strategy for memo keys, metrics, and reports.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyScoped:
+		return "scoped"
+	case StrategyFull:
+		return "full"
+	case StrategySharded:
+		return "sharded"
+	case StrategyDefer:
+		return "defer"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// DeltaClass is the operation mix of a delta — the coarse axis of a delta
+// shape (insert-only deltas can coalesce and never shrink groups; deletes
+// and updates force group recomputation under non-CSMAS aggregates).
+type DeltaClass int
+
+const (
+	ClassEmpty DeltaClass = iota
+	ClassInsertOnly
+	ClassDeleteOnly
+	ClassUpdateOnly
+	ClassMixed
+)
+
+// String names the class for reports and estimate keys.
+func (c DeltaClass) String() string {
+	switch c {
+	case ClassEmpty:
+		return "empty"
+	case ClassInsertOnly:
+		return "insert"
+	case ClassDeleteOnly:
+		return "delete"
+	case ClassUpdateOnly:
+		return "update"
+	default:
+		return "mixed"
+	}
+}
+
+// DeltaShape is the cost-model key for one delta: which table it mutates,
+// its operation mix, and its size bucketed to a power of two (so one-row
+// updates and thousand-row loads learn separate estimates while nearby
+// sizes share one).
+type DeltaShape struct {
+	Table      string
+	Class      DeltaClass
+	SizeBucket int // floor(log2(Rows)), 0 for empty deltas
+	Rows       int // signed-row count before filtering (updates count twice)
+}
+
+// ShapeOf classifies a delta. It is pure arithmetic over the delta's slice
+// lengths — cheap enough for every apply, and deterministic, so every
+// coordinator that classifies the same delta gets the same shape.
+func ShapeOf(d Delta) DeltaShape {
+	sh := DeltaShape{Table: d.Table, Rows: len(d.Inserts) + len(d.Deletes) + 2*len(d.Updates)}
+	switch {
+	case sh.Rows == 0:
+		sh.Class = ClassEmpty
+	case len(d.Deletes) == 0 && len(d.Updates) == 0:
+		sh.Class = ClassInsertOnly
+	case len(d.Inserts) == 0 && len(d.Updates) == 0:
+		sh.Class = ClassDeleteOnly
+	case len(d.Inserts) == 0 && len(d.Deletes) == 0:
+		sh.Class = ClassUpdateOnly
+	default:
+		sh.Class = ClassMixed
+	}
+	for n := sh.Rows; n > 1; n >>= 1 {
+		sh.SizeBucket++
+	}
+	return sh
+}
+
+// Key renders the shape as a stable string for per-shape estimate maps.
+func (sh DeltaShape) Key() string {
+	return fmt.Sprintf("%s|%s|%d", sh.Table, sh.Class, sh.SizeBucket)
+}
+
+// StrategyChooser picks a maintenance strategy per (view scope, delta
+// shape) and learns from observed apply latencies. internal/costmodel
+// provides the production implementation; coordinators treat a nil chooser
+// as StrategyAuto everywhere.
+//
+// Determinism contract: coordinators call Choose exactly ONCE per delta
+// per replica domain and hand the result to every engine in it. Choose may
+// therefore be stateful across deltas (calibration cycling), but a single
+// decision must never be re-derived per engine.
+type StrategyChooser interface {
+	// Choose picks the strategy for one delta. allowDefer reports whether
+	// the caller can buffer the delta for batched application; when false
+	// the chooser must return a directly applicable strategy.
+	Choose(view string, shape DeltaShape, allowDefer bool) Strategy
+
+	// Observe feeds back the measured cost of applying a delta of the
+	// given shape under the given strategy (amortized per delta for
+	// batched applications).
+	Observe(view string, shape DeltaShape, s Strategy, ns int64)
+}
+
+// NormalizeStrategy maps out-of-range and non-engine strategies to the
+// engine default.
+func NormalizeStrategy(s Strategy) Strategy {
+	if s < StrategyAuto || s >= NumStrategies || s == StrategyDefer {
+		return StrategyAuto
+	}
+	return s
+}
+
+// ApplyWithStrategy is Apply under an explicit per-delta strategy: stage,
+// then commit. Callers that coordinate several replica engines must pass
+// the same strategy to each (see Strategy).
+func (e *Engine) ApplyWithStrategy(d Delta, s Strategy) error {
+	if err := e.StageWithPlan(d, nil, s); err != nil {
+		return err
+	}
+	e.Commit()
+	return nil
+}

@@ -1,0 +1,193 @@
+package maintain
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+func TestShapeOf(t *testing.T) {
+	row := tuple.Tuple{types.Int(1)}
+	cases := []struct {
+		d     Delta
+		class DeltaClass
+		rows  int
+		size  int
+	}{
+		{Delta{Table: "sale"}, ClassEmpty, 0, 0},
+		{Delta{Table: "sale", Inserts: []tuple.Tuple{row}}, ClassInsertOnly, 1, 0},
+		{Delta{Table: "sale", Deletes: []tuple.Tuple{row, row}}, ClassDeleteOnly, 2, 1},
+		{Delta{Table: "sale", Updates: []Update{{Old: row, New: row}}}, ClassUpdateOnly, 2, 1},
+		{Delta{Table: "sale", Inserts: []tuple.Tuple{row}, Deletes: []tuple.Tuple{row}}, ClassMixed, 2, 1},
+		{Delta{Table: "sale", Inserts: make([]tuple.Tuple, 1000)}, ClassInsertOnly, 1000, 9},
+	}
+	for i, c := range cases {
+		sh := ShapeOf(c.d)
+		if sh.Table != c.d.Table || sh.Class != c.class || sh.Rows != c.rows || sh.SizeBucket != c.size {
+			t.Errorf("case %d: ShapeOf = %+v, want class=%s rows=%d size=%d", i, sh, c.class, c.rows, c.size)
+		}
+	}
+	if ShapeOf(Delta{Table: "a"}).Key() == ShapeOf(Delta{Table: "b"}).Key() {
+		t.Error("shapes of different tables must key differently")
+	}
+}
+
+// TestStrategyEquivalence: every per-delta strategy maintains the same view
+// contents as the engine's default path, over a stream that exercises the
+// recompute path (COUNT DISTINCT), CSMAS adjustments, and dimension
+// updates. StrategySharded is forced onto deltas far below ShardMinRows —
+// the overlay protocol must hold at any size.
+func TestStrategyEquivalence(t *testing.T) {
+	for _, strat := range []Strategy{StrategyAuto, StrategyScoped, StrategyFull, StrategySharded, StrategyDefer} {
+		t.Run(strat.String(), func(t *testing.T) {
+			f := newFixture(t, retailDDL, `SELECT time.month, SUM(price) AS total,
+				COUNT(*) AS cnt, COUNT(DISTINCT brand) AS brands
+				FROM sale, time, product
+				WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id
+				GROUP BY time.month`, true)
+			f.seedRetail()
+			f.initEngine()
+			applyStrat := func(d Delta) {
+				t.Helper()
+				if err := f.engine.ApplyWithStrategy(d, strat); err != nil {
+					t.Fatalf("ApplyWithStrategy(%s, %s): %v", d.Table, strat, err)
+				}
+				f.check("after " + d.Table + " under " + strat.String())
+			}
+			f.saleID++
+			row := tuple.Tuple{types.Int(f.saleID), types.Int(2), types.Int(102), types.Int(7), types.Float(3)}
+			if err := f.db.Insert("sale", row); err != nil {
+				t.Fatal(err)
+			}
+			applyStrat(Delta{Table: "sale", Inserts: []tuple.Tuple{row}})
+			del, err := f.db.Delete("sale", types.Int(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			applyStrat(Delta{Table: "sale", Deletes: []tuple.Tuple{del}})
+			old, upd, err := f.db.Update("sale", types.Int(3), map[string]types.Value{"price": types.Float(42)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			applyStrat(Delta{Table: "sale", Updates: []Update{{Old: old, New: upd}}})
+			old, upd, err = f.db.Update("product", types.Int(100), map[string]types.Value{"brand": types.Str("zenc")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			applyStrat(Delta{Table: "product", Updates: []Update{{Old: old, New: upd}}})
+		})
+	}
+}
+
+// recordingChooser cycles through a strategy list, counting Choose calls —
+// if a coordinator consulted it per engine instead of per delta, replica
+// engines of one class would receive different strategies.
+type recordingChooser struct {
+	strategies []Strategy
+	calls      int
+	observed   int
+}
+
+func (c *recordingChooser) Choose(view string, sh DeltaShape, allowDefer bool) Strategy {
+	s := c.strategies[c.calls%len(c.strategies)]
+	c.calls++
+	return s
+}
+
+func (c *recordingChooser) Observe(view string, sh DeltaShape, s Strategy, ns int64) {
+	c.observed++
+}
+
+// canonicalSnapshot renders an engine's view rows in a deterministic order,
+// so two replicas can be compared for bit-identical contents.
+func canonicalSnapshot(e *Engine) string {
+	rel := e.Snapshot()
+	lines := make([]string, 0, len(rel.Rows))
+	for _, r := range rel.Rows {
+		lines = append(lines, r.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestSharedEnginesStrategyDecidedOncePerDelta is the regression test for
+// the per-engine fallback decision: the strategy for a SharedEngines class
+// must be chosen exactly once per delta and shared by every replica engine.
+// A chooser that alternates scoped/full would otherwise hand different
+// paths to different replicas of one class — scoped and full recomputation
+// can differ in float accumulation order, breaking the bit-identical
+// replica invariant.
+func TestSharedEnginesStrategyDecidedOncePerDelta(t *testing.T) {
+	for _, disableMemo := range []bool{false, true} {
+		name := "memo"
+		if disableMemo {
+			name = "no-memo"
+		}
+		t.Run(name, func(t *testing.T) {
+			distinct := `SELECT time.month, COUNT(DISTINCT brand) AS brands, SUM(price) AS total
+				FROM sale, time, product
+				WHERE sale.timeid = time.id AND sale.productid = product.id
+				GROUP BY time.month`
+			// Two identical views: replicas of one class.
+			f := newSharedFixture(t, distinct, distinct)
+			f.se.DisableMemo = disableMemo
+			ch := &recordingChooser{strategies: []Strategy{StrategyScoped, StrategyFull, StrategySharded}}
+			f.se.Chooser = ch
+			f.seedRetail()
+			f.init()
+
+			deltas := 0
+			step := func(d Delta) {
+				t.Helper()
+				f.apply(d)
+				deltas++
+				if ch.calls != deltas {
+					t.Fatalf("after %d deltas the chooser saw %d Choose calls; "+
+						"the class decision must be made exactly once per delta, not per engine",
+						deltas, ch.calls)
+				}
+				if a, b := canonicalSnapshot(f.se.Engine(0)), canonicalSnapshot(f.se.Engine(1)); a != b {
+					t.Fatalf("replica views diverged under a class-wide strategy\nengine0:\n%s\nengine1:\n%s", a, b)
+				}
+			}
+
+			f.saleID++
+			row := tuple.Tuple{types.Int(f.saleID), types.Int(3), types.Int(101), types.Int(8), types.Float(21)}
+			if err := f.db.Insert("sale", row); err != nil {
+				t.Fatal(err)
+			}
+			step(Delta{Table: "sale", Inserts: []tuple.Tuple{row}})
+			del, err := f.db.Delete("sale", types.Int(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			step(Delta{Table: "sale", Deletes: []tuple.Tuple{del}})
+			old, upd, err := f.db.Update("sale", types.Int(5), map[string]types.Value{"price": types.Float(7)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			step(Delta{Table: "sale", Updates: []Update{{Old: old, New: upd}}})
+			if ch.observed != deltas {
+				t.Fatalf("chooser observed %d applies, want %d", ch.observed, deltas)
+			}
+		})
+	}
+}
+
+// TestStrategyInMemoKey: engines recomputing along different paths must not
+// share memoized results, so the per-apply strategy is part of the memo key.
+func TestStrategyInMemoKey(t *testing.T) {
+	f := newFixture(t, retailDDL, productSalesSQL, true)
+	keys := map[string]bool{}
+	for _, s := range []Strategy{StrategyAuto, StrategyScoped, StrategyFull, StrategySharded} {
+		f.engine.strategy = s
+		keys[f.engine.buildMemoKey()] = true
+	}
+	f.engine.strategy = StrategyAuto
+	if len(keys) != 4 {
+		t.Fatalf("memo keys must distinguish all 4 strategies, got %d distinct keys", len(keys))
+	}
+}

@@ -120,6 +120,13 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.MinNs = h.min.Load()
 	s.MaxNs = h.max.Load()
+	if s.MinNs > s.MaxNs {
+		// An Observe racing with this snapshot has counted its bucket but
+		// not yet CAS-published min/max (or published only one of them).
+		// Clamping quantiles against a MaxInt64 min would destroy the
+		// report, so fall back to the bucket bounds of the copied view.
+		s.MinNs, s.MaxNs = bucketRange(&counts)
+	}
 	s.Max = s.MaxNs
 	s.Mean = float64(s.SumNs) / float64(total)
 	s.P50 = quantile(&counts, total, 0.50)
@@ -140,12 +147,56 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile returns the linearly interpolated q-quantile of the current
+// bucket counts (q in [0,1]), or 0 for an empty histogram. It is the
+// read API cost estimators use when they need a single quantile without
+// paying for a full Snapshot.
+func (h *Histogram) Quantile(q float64) int64 {
+	var counts [numBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return quantile(&counts, total, q)
+}
+
+// bucketRange returns the representable [min, max] of the non-empty
+// buckets: the lower bound of the first and the inclusive upper bound of
+// the last. Callers guarantee at least one bucket is non-empty.
+func bucketRange(counts *[numBuckets]int64) (min, max int64) {
+	first, last := -1, -1
+	for i := 0; i < numBuckets; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		last = i
+	}
+	lo, _ := bucketBounds(first)
+	_, hi := bucketBounds(last)
+	return lo, hi - 1
+}
+
 // quantile returns the linearly interpolated q-quantile over the bucket
-// counts.
+// counts. The result always lies inside the half-open bounds of the
+// bucket holding the target rank, so a non-empty histogram never reports
+// a quantile of 0 unless the value 0 itself was observed.
 func quantile(counts *[numBuckets]int64, total int64, q float64) int64 {
 	target := int64(math.Ceil(q * float64(total)))
 	if target < 1 {
 		target = 1
+	}
+	if target > total {
+		// Guard the float rounding of q*total for huge totals: a target
+		// beyond the last rank would fall off the loop and report 0 for a
+		// histogram with count > 0.
+		target = total
 	}
 	var cum int64
 	for i := 0; i < numBuckets; i++ {
@@ -155,10 +206,17 @@ func quantile(counts *[numBuckets]int64, total int64, q float64) int64 {
 		cum += counts[i]
 		if cum >= target {
 			lo, hi := bucketBounds(i)
-			// Position of the target rank within this bucket.
+			// Position of the target rank within this bucket, kept inside
+			// the half-open [lo, hi): into can reach 1.0 when the target is
+			// the bucket's last rank, and lo+width would leak into the next
+			// bucket (reporting a value the bucket cannot contain).
 			into := float64(target-(cum-counts[i])) / float64(counts[i])
-			return lo + int64(into*float64(hi-lo))
+			v := lo + int64(into*float64(hi-lo))
+			if v >= hi {
+				v = hi - 1
+			}
+			return v
 		}
 	}
-	return 0 // unreachable when total > 0
+	return 0 // unreachable: target <= total and some bucket is non-empty
 }

@@ -112,6 +112,23 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// FindHistogram returns the named histogram or nil when none was ever
+// registered. Unlike Histogram it never creates: readers (cost models,
+// report renderers) must not grow the registry with names only they use.
+func (r *Registry) FindHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hists[name]
+}
+
+// FindCounter returns the named counter or nil when none was ever
+// registered (the non-creating read twin of Counter).
+func (r *Registry) FindCounter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
 // Trace returns the named trace ring, creating it (with DefaultTraceCap
 // slots) on first use.
 func (r *Registry) Trace(name string) *TraceRing {

@@ -95,6 +95,82 @@ func TestHistogramEmptyAndNegative(t *testing.T) {
 	}
 }
 
+func TestHistogramEmptySnapshotAllZero(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.SumNs != 0 || s.MinNs != 0 || s.MaxNs != 0 ||
+		s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.Mean != 0 {
+		t.Fatalf("empty snapshot must be all-zero, got %+v", s)
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("Quantile on empty histogram = %d, want 0", q)
+	}
+}
+
+func TestHistogramSingleBucketQuantiles(t *testing.T) {
+	// All observations of one value land in one bucket; every quantile
+	// must report that value — never 0, never a neighboring bucket bound.
+	for _, v := range []int64{1, 7, 100, 4096, 1 << 20} {
+		for _, n := range []int{1, 2, 1000} {
+			h := NewHistogram()
+			for i := 0; i < n; i++ {
+				h.Observe(v)
+			}
+			s := h.Snapshot()
+			if s.Count != int64(n) {
+				t.Fatalf("v=%d n=%d: count = %d", v, n, s.Count)
+			}
+			for name, got := range map[string]int64{"p50": s.P50, "p95": s.P95, "p99": s.P99} {
+				if got != v {
+					t.Errorf("v=%d n=%d: %s = %d, want exactly %d", v, n, name, got, v)
+				}
+				if got == 0 {
+					t.Errorf("v=%d n=%d: %s reported 0 with count > 0", v, n, name)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantileStaysInsideBucket(t *testing.T) {
+	// The interpolated quantile for a bucket's last rank must not leak
+	// into the next bucket: raw quantile() output (before Snapshot's
+	// min/max clamps) must respect the half-open bucket bounds.
+	var counts [numBuckets]int64
+	i := bucketOf(1000)
+	counts[i] = 10
+	lo, hi := bucketBounds(i)
+	for _, q := range []float64{0.0, 0.5, 0.99, 1.0} {
+		got := quantile(&counts, 10, q)
+		if got < lo || got >= hi {
+			t.Errorf("q=%.2f: quantile = %d outside bucket [%d, %d)", q, got, lo, hi)
+		}
+	}
+	// Degenerate rounding guard: a target beyond the last rank must clamp,
+	// not fall off the loop and report 0.
+	if got := quantile(&counts, 10, 1.0000001); got < lo || got >= hi {
+		t.Errorf("overshooting q: quantile = %d outside bucket [%d, %d)", got, lo, hi)
+	}
+}
+
+func TestRegistryFindDoesNotCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.FindHistogram("nope") != nil || r.FindCounter("nope") != nil {
+		t.Fatal("Find* returned a metric that was never registered")
+	}
+	if len(r.Snapshot().Histograms) != 0 || len(r.Snapshot().Counters) != 0 {
+		t.Fatal("Find* grew the registry")
+	}
+	h := r.Histogram("h")
+	c := r.Counter("c")
+	if r.FindHistogram("h") != h {
+		t.Fatal("FindHistogram did not return the registered histogram")
+	}
+	if r.FindCounter("c") != c {
+		t.Fatal("FindCounter did not return the registered counter")
+	}
+}
+
 func TestTraceRingWraparound(t *testing.T) {
 	r := NewTraceRing(4)
 	for i := 0; i < 10; i++ {

@@ -1,0 +1,104 @@
+package warehouse
+
+import (
+	"fmt"
+	"time"
+
+	"mindetail/internal/faultinject"
+	"mindetail/internal/maintain"
+)
+
+// AdaptiveSession routes a delta stream through a cost-based strategy
+// chooser with defer-and-batch: insert-only deltas the chooser marks
+// StrategyDefer are buffered and later applied as one coalesced batch
+// through the group-commit pipeline (ApplyDeltaBatch), amortizing view
+// recomputation and WAL fsyncs; every other delta flushes the buffer first
+// — source order is preserved — and applies immediately through the
+// ordinary propagate path, where the same chooser picks among the
+// engine-side strategies.
+//
+// The chooser is consulted twice per non-deferred delta: once here (with
+// deferral allowed) and once inside propagate (without). StrategyChooser's
+// purity contract — no state advances in Choose — makes the two calls
+// agree, so the probe never skews the decision.
+//
+// Not safe for concurrent use; a session belongs to one ingest loop.
+type AdaptiveSession struct {
+	w       *Warehouse
+	chooser maintain.StrategyChooser
+	depth   int
+	buf     []maintain.Delta
+}
+
+// NewAdaptiveSession creates a session routing deltas through chooser.
+// depth bounds the defer buffer; <=0 means 32. The chooser is also
+// installed on the warehouse so immediate applies run under it.
+func (w *Warehouse) NewAdaptiveSession(chooser maintain.StrategyChooser, depth int) *AdaptiveSession {
+	if depth <= 0 {
+		depth = 32
+	}
+	w.SetStrategyChooser(chooser)
+	return &AdaptiveSession{w: w, chooser: chooser, depth: depth}
+}
+
+// Pending reports how many deltas are buffered awaiting a flush.
+func (s *AdaptiveSession) Pending() int { return len(s.buf) }
+
+// Apply routes one delta: buffered when the chooser defers it, applied
+// immediately (after flushing the buffer, to preserve order) otherwise.
+func (s *AdaptiveSession) Apply(d maintain.Delta) error {
+	if s.chooser != nil {
+		sh := maintain.ShapeOf(d)
+		if sh.Class == maintain.ClassInsertOnly &&
+			s.chooser.Choose("warehouse", sh, true) == maintain.StrategyDefer {
+			s.buf = append(s.buf, d)
+			if len(s.buf) >= s.depth {
+				return s.Flush()
+			}
+			return nil
+		}
+	}
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.w.ApplyDelta(d)
+}
+
+// Flush applies every buffered delta as one batch. On a pre-batch fault the
+// buffer is retained — nothing was applied, and a later Flush retries. Once
+// the batch runs, per-delta outcomes follow ApplyDeltaBatch's contract
+// (each delta commits or rolls back individually); the first error is
+// returned.
+func (s *AdaptiveSession) Flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	if err := s.w.fi.Fire(faultinject.DeferFlush); err != nil {
+		return err
+	}
+	buf := s.buf
+	s.buf = nil
+	start := time.Now()
+	errs := s.w.ApplyDeltaBatch(buf)
+	var first error
+	failed := 0
+	for i, err := range errs {
+		if err != nil {
+			failed++
+			if first == nil {
+				first = fmt.Errorf("warehouse: deferred delta %d (%s): %w", i, buf[i].Table, err)
+			}
+		}
+	}
+	if s.chooser != nil && failed < len(buf) {
+		// Report the amortized per-delta cost of the batch under the defer
+		// strategy, so deferral competes on measured cost like every other.
+		ns := time.Since(start).Nanoseconds() / int64(len(buf))
+		for i, d := range buf {
+			if errs[i] == nil {
+				s.chooser.Observe("warehouse", maintain.ShapeOf(d), maintain.StrategyDefer, ns)
+			}
+		}
+	}
+	return first
+}

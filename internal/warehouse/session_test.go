@@ -1,0 +1,167 @@
+package warehouse
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/ra"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+// stubChooser defers insert-only deltas when asked and records every call.
+type stubChooser struct {
+	deferInserts bool
+	chooseCalls  int
+	observed     []maintain.Strategy
+}
+
+func (c *stubChooser) Choose(view string, sh maintain.DeltaShape, allowDefer bool) maintain.Strategy {
+	c.chooseCalls++
+	if c.deferInserts && allowDefer && sh.Class == maintain.ClassInsertOnly {
+		return maintain.StrategyDefer
+	}
+	return maintain.StrategyScoped
+}
+
+func (c *stubChooser) Observe(view string, sh maintain.DeltaShape, s maintain.Strategy, ns int64) {
+	c.observed = append(c.observed, s)
+}
+
+func saleRow(id int64, price float64) tuple.Tuple {
+	return tuple.Tuple{types.Int(id), types.Int(1), types.Int(100), types.Int(7), types.Float(price)}
+}
+
+// An adaptive session must buffer deferred inserts, flush them before any
+// non-deferred delta (preserving source order), and end bit-identical to a
+// warehouse that applied the same stream directly.
+func TestAdaptiveSessionDeferAndFlushOrdering(t *testing.T) {
+	w := newRetail(t)
+	w.DetachSources()
+	twin := newRetail(t)
+	twin.DetachSources()
+
+	ch := &stubChooser{deferInserts: true}
+	s := w.NewAdaptiveSession(ch, 100)
+
+	stream := []maintain.Delta{
+		{Table: "sale", Inserts: []tuple.Tuple{saleRow(70, 1)}},
+		{Table: "sale", Inserts: []tuple.Tuple{saleRow(71, 2)}},
+		// An update forces a flush-first so the inserts land before it.
+		{Table: "sale", Updates: []maintain.Update{{Old: saleRow(70, 1), New: saleRow(70, 9)}}},
+		{Table: "sale", Inserts: []tuple.Tuple{saleRow(72, 3)}},
+	}
+	for i, d := range stream {
+		if err := s.Apply(d); err != nil {
+			t.Fatalf("delta %d: %v", i, err)
+		}
+		if err := twin.ApplyDelta(d); err != nil {
+			t.Fatalf("twin delta %d: %v", i, err)
+		}
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("trailing insert should be buffered, pending=%d", s.Pending())
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("flush left %d pending", s.Pending())
+	}
+
+	got, err := w.Query("product_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := twin.Query("product_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ra.EqualBag(got, want) {
+		t.Fatalf("session end state diverged from direct applies\ngot:\n%s\nwant:\n%s",
+			got.Sorted().Format(), want.Sorted().Format())
+	}
+
+	deferred := 0
+	for _, st := range ch.observed {
+		if st == maintain.StrategyDefer {
+			deferred++
+		}
+	}
+	if deferred != 3 {
+		t.Fatalf("3 deferred deltas should be observed under defer, got %d (%v)", deferred, ch.observed)
+	}
+}
+
+// Propagate must consult the chooser exactly once per delta, regardless of
+// how many views the warehouse maintains.
+func TestPropagateConsultsChooserOncePerDelta(t *testing.T) {
+	w := newRetail(t)
+	if _, err := w.Exec(`CREATE MATERIALIZED VIEW by_brand AS
+		SELECT product.brand, SUM(price) AS total, COUNT(*) AS cnt
+		FROM sale, product WHERE sale.productid = product.id
+		GROUP BY product.brand`); err != nil {
+		t.Fatal(err)
+	}
+	ch := &stubChooser{}
+	w.SetStrategyChooser(ch)
+	if _, err := w.Exec("INSERT INTO sale VALUES (80, 1, 100, 7, 4)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Exec("UPDATE sale SET price = 5 WHERE id = 80"); err != nil {
+		t.Fatal(err)
+	}
+	if ch.chooseCalls != 2 {
+		t.Fatalf("2 deltas across 2 views should yield 2 Choose calls, got %d", ch.chooseCalls)
+	}
+	if len(ch.observed) != 2 {
+		t.Fatalf("each committed delta should be observed once, got %d", len(ch.observed))
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The op log must record view-answered queries, ad-hoc queries with their
+// clustering signature, and committed deltas.
+func TestOpLogRecordsQueriesAndDeltas(t *testing.T) {
+	w := newRetail(t)
+	var events []OpEvent
+	w.SetOpLog(func(ev OpEvent) { events = append(events, ev) })
+
+	if _, err := w.Exec("SELECT month, TotalPrice FROM product_sales"); err != nil {
+		t.Fatal(err)
+	}
+	adhoc := "SELECT time.year, SUM(price) AS total FROM sale, time WHERE sale.timeid = time.id GROUP BY time.year"
+	if _, err := w.Exec(adhoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Exec("INSERT INTO sale VALUES (81, 1, 100, 7, 4)"); err != nil {
+		t.Fatal(err)
+	}
+	// A failing query must not be logged.
+	if _, err := w.Exec("SELECT month FROM nosuch"); err == nil {
+		t.Fatal("query over unknown table should fail")
+	}
+
+	if len(events) != 3 {
+		t.Fatalf("want 3 events, got %d: %+v", len(events), events)
+	}
+	if ev := events[0]; ev.Kind != "query-view" || ev.View != "product_sales" {
+		t.Fatalf("view query event wrong: %+v", ev)
+	}
+	if ev := events[1]; ev.Kind != "query-adhoc" ||
+		!strings.Contains(ev.SQL, "GROUP BY time.year") ||
+		len(ev.Tables) != 2 || len(ev.GroupBy) != 1 {
+		t.Fatalf("ad-hoc query event wrong: %+v", ev)
+	}
+	if ev := events[2]; ev.Kind != "delta" || ev.Table != "sale" || ev.Rows != 1 {
+		t.Fatalf("delta event wrong: %+v", ev)
+	}
+	for _, ev := range events {
+		if ev.Ns <= 0 {
+			t.Fatalf("event missing latency: %+v", ev)
+		}
+	}
+}

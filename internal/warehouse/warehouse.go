@@ -144,6 +144,48 @@ type Warehouse struct {
 	// under mu (propagate runs under the write lock).
 	met          *wmetrics
 	obsTimingOff bool
+
+	// chooser, when set, picks the maintenance strategy for each propagated
+	// delta (see maintain.StrategyChooser). One decision per delta covers
+	// every view engine — replica engines must never be split across
+	// recomputation paths with different float accumulation orders.
+	chooser maintain.StrategyChooser
+
+	// opLog, when set, receives one OpEvent per answered query and per
+	// committed delta — the workload log the view-selection advisor mines.
+	// The hook must be safe for concurrent calls (queries run under the
+	// read lock). Set under mu; read under either lock mode.
+	opLog func(OpEvent)
+}
+
+// OpEvent is one entry of the warehouse's operation log: a query (answered
+// by a materialized view or evaluated ad hoc) or a committed delta. The
+// advisor clusters these to rank candidate views; the fields are plain so
+// other tools can consume them too.
+type OpEvent struct {
+	Kind    string   // "query-view", "query-adhoc", or "delta"
+	View    string   // view that answered a query (query-view only)
+	SQL     string   // statement text (queries only)
+	Tables  []string // FROM tables (queries only)
+	GroupBy []string // grouping columns (query-adhoc only)
+	Table   string   // base table (delta only)
+	Rows    int      // delta row weight (delta only)
+	Ns      int64    // observed latency
+}
+
+// SetOpLog installs (nil removes) the operation-log hook.
+func (w *Warehouse) SetOpLog(f func(OpEvent)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.opLog = f
+}
+
+// SetStrategyChooser installs (nil removes) a cost-based strategy chooser
+// consulted once per propagated delta.
+func (w *Warehouse) SetStrategyChooser(c maintain.StrategyChooser) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.chooser = c
 }
 
 // New creates an empty warehouse. Observability is on by default; see
@@ -307,7 +349,7 @@ func (w *Warehouse) Exec(sql string) (*ra.Relation, error) {
 		case *sqlparse.CreateView:
 			err = w.createView(st, s.SQL)
 		case *sqlparse.SelectStmt:
-			last, err = w.query(st)
+			last, err = w.query(st, s.SQL)
 		case *sqlparse.Insert:
 			err = w.insert(st)
 		case *sqlparse.Delete:
@@ -550,7 +592,12 @@ func (w *Warehouse) RestoreView(name, selectSQL string, appendOnly bool, st *mai
 
 // query answers an ad hoc SELECT: against a materialized view when the
 // FROM clause names one, otherwise by direct evaluation over the sources.
-func (w *Warehouse) query(st *sqlparse.SelectStmt) (*ra.Relation, error) {
+// sql is the statement text, recorded in the op log for the advisor.
+func (w *Warehouse) query(st *sqlparse.SelectStmt, sql string) (rel *ra.Relation, err error) {
+	var start time.Time
+	if w.opLog != nil {
+		start = time.Now()
+	}
 	if len(st.From) == 1 {
 		if mv := w.views[st.From[0]]; mv != nil {
 			// Only full-view reads are supported against materialized
@@ -558,13 +605,31 @@ func (w *Warehouse) query(st *sqlparse.SelectStmt) (*ra.Relation, error) {
 			if len(st.Where) > 0 || len(st.GroupBy) > 0 {
 				return nil, fmt.Errorf("warehouse: only plain SELECT over a materialized view is supported")
 			}
-			return mv.Def.ApplyHaving(mv.Engine.Snapshot())
+			rel, err := mv.Def.ApplyHaving(mv.Engine.Snapshot())
+			if err == nil && w.opLog != nil {
+				w.opLog(OpEvent{Kind: "query-view", View: st.From[0], SQL: sql,
+					Tables: append([]string(nil), st.From...),
+					Ns:     time.Since(start).Nanoseconds()})
+			}
+			return rel, err
 		}
 	}
 	v, err := gpsj.FromSelect(w.cat, "adhoc", st)
 	if err != nil {
 		return nil, err
 	}
+	defer func() {
+		if err == nil && w.opLog != nil {
+			groupBy := make([]string, 0, len(st.GroupBy))
+			for _, g := range st.GroupBy {
+				groupBy = append(groupBy, g.String())
+			}
+			w.opLog(OpEvent{Kind: "query-adhoc", SQL: sql,
+				Tables:  append([]string(nil), st.From...),
+				GroupBy: groupBy,
+				Ns:      time.Since(start).Nanoseconds()})
+		}
+	}()
 	if w.detached {
 		// The sources are gone, but an aggregate navigator can still
 		// answer the query from a materialized view's auxiliary detail
@@ -883,6 +948,19 @@ func (w *Warehouse) propagate(d maintain.Delta) error {
 	if !w.obsTimingOff {
 		start = time.Now()
 	}
+	// One strategy decision covers every view engine of this propagation:
+	// consulting the chooser per engine would split replica engines across
+	// recomputation paths whose float accumulation orders differ.
+	strat := maintain.StrategyAuto
+	var shape maintain.DeltaShape
+	var opStart time.Time
+	if w.chooser != nil || w.opLog != nil {
+		shape = maintain.ShapeOf(d)
+		opStart = time.Now()
+	}
+	if w.chooser != nil {
+		strat = maintain.NormalizeStrategy(w.chooser.Choose("warehouse", shape, false))
+	}
 	var memo *maintain.DeltaMemo
 	if !w.DisableMemo {
 		memo = maintain.NewDeltaMemo()
@@ -895,7 +973,7 @@ func (w *Warehouse) propagate(d maintain.Delta) error {
 				errs[i] = ferr
 				break
 			}
-			if aerr := w.views[name].Engine.StageWithMemo(d, memo); aerr != nil {
+			if aerr := w.views[name].Engine.StageWithPlan(d, memo, strat); aerr != nil {
 				errs[i] = aerr
 				break
 			}
@@ -919,7 +997,7 @@ func (w *Warehouse) propagate(d maintain.Delta) error {
 			go func(i int, eng *maintain.Engine) {
 				defer wg.Done()
 				defer func() { <-sem; w.met.poolOcc.Add(-1) }()
-				if aerr := eng.StageWithMemo(d, memo); aerr != nil {
+				if aerr := eng.StageWithPlan(d, memo, strat); aerr != nil {
 					errs[i] = aerr
 					return
 				}
@@ -966,6 +1044,15 @@ func (w *Warehouse) propagate(d maintain.Delta) error {
 		w.met.propagates.Inc()
 		if !w.obsTimingOff {
 			w.met.propagateNs.ObserveSince(start)
+		}
+		if w.chooser != nil || w.opLog != nil {
+			ns := time.Since(opStart).Nanoseconds()
+			if w.chooser != nil {
+				w.chooser.Observe("warehouse", shape, strat, ns)
+			}
+			if w.opLog != nil {
+				w.opLog(OpEvent{Kind: "delta", Table: d.Table, Rows: shape.Rows, Ns: ns})
+			}
 		}
 		return nil
 	}

@@ -265,6 +265,12 @@ func runBenchJSON(path string) error {
 	}
 	results = append(results, adaptive...)
 
+	zoo, err := runZooBenches()
+	if err != nil {
+		return err
+	}
+	results = append(results, zoo...)
+
 	baseline, err := measureSeedBaseline(toResult("ApplySmallDeltaLargeAux", full), keyAt)
 	if err != nil {
 		return err

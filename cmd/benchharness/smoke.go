@@ -37,6 +37,11 @@ func smokeGateNames() []string {
 		"OutOfCoreMaintain/paged",
 		"AdaptiveMaintain/homog-small/static-scoped",
 		"AdaptiveMaintain/homog-small/adaptive",
+		"OnlineBackfillUnderLoad",
+		"ZipfSkewMaintain",
+		"TinyGroupsFanout",
+		"SnowflakeUpdateHeavy",
+		"WideGroupMaintain",
 	}
 }
 
@@ -184,5 +189,14 @@ func smokeSubset() ([]benchResult, error) {
 		}
 		results = append(results, toResult(name, r))
 	}
+
+	// The workload zoo: each maintenance regime plus online DDL under
+	// concurrent load, so a regression confined to one regime — skew,
+	// fan-out, wide groups, chain joins, the backfill — fails the gate.
+	zoo, err := runZooBenches()
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, zoo...)
 	return results, nil
 }

@@ -1,0 +1,155 @@
+package main
+
+// Workload-zoo benchmarks: one gated entry per maintenance regime the zoo
+// isolates — Zipf-skewed key popularity, tiny-group fan-out, wide-group
+// contention, snowflake-chain updates — plus the online DDL path itself:
+// CREATE/DROP MATERIALIZED VIEW cycles measured while a concurrent writer
+// keeps committing deltas, so a regression that re-serializes the
+// backfill against the write path (or slows the backfill itself) fails
+// the smoke gate.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mindetail/internal/warehouse"
+	"mindetail/internal/workload"
+)
+
+// zooWarehouse loads a zoo scenario into a live warehouse and
+// materializes its view, with timing instrumentation off (benchmarks
+// measure the bare hot path).
+func zooWarehouse(name string, scale int) (*warehouse.Warehouse, *workload.Scenario, error) {
+	sc, err := workload.ZooScenario(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := warehouse.New()
+	w.SetObs(false)
+	for _, sql := range sc.Setup(scale) {
+		if _, err := w.Exec(sql); err != nil {
+			return nil, nil, fmt.Errorf("zoo %s setup: %w", name, err)
+		}
+	}
+	if _, err := w.Exec(sc.View); err != nil {
+		return nil, nil, fmt.Errorf("zoo %s view: %w", name, err)
+	}
+	return w, sc, nil
+}
+
+// benchZooReplay measures one scenario's mixed read/write stream through
+// the SQL front end — parse, plan, propagate, maintain.
+func benchZooReplay(name string, scale int) (testing.BenchmarkResult, error) {
+	w, sc, err := zooWarehouse(name, scale)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	st := sc.NewStream(scale, 1)
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op := st.Next()
+			if op.Query {
+				if _, err := w.Query(sc.ViewName); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				continue
+			}
+			if _, err := w.Exec(op.SQL); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	return r, benchErr
+}
+
+// benchOnlineBackfill measures one CREATE MATERIALIZED VIEW (online
+// backfill: snapshot, scan, catch-up, install) plus its DROP, while a
+// background writer streams committed deltas the backfill must absorb.
+func benchOnlineBackfill(scale int) (testing.BenchmarkResult, error) {
+	w, sc, err := zooWarehouse("zipf-skew", scale)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	const probe = `CREATE MATERIALIZED VIEW backfill_probe AS
+SELECT category, SUM(price) AS total, COUNT(*) AS cnt
+FROM sale, product
+WHERE sale.productid = product.id
+GROUP BY category;`
+	// One stream for the whole measurement: testing.Benchmark re-invokes
+	// the function with growing b.N against the same warehouse, and a
+	// fresh stream would replay already-taken row ids.
+	st := sc.NewStream(scale, 2)
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var writerErr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := st.Next()
+				if op.Query {
+					continue
+				}
+				if _, err := w.Exec(op.SQL); err != nil {
+					writerErr = err
+					return
+				}
+			}
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Exec(probe); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+			if _, err := w.Exec(`DROP MATERIALIZED VIEW backfill_probe;`); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		if writerErr != nil && benchErr == nil {
+			benchErr = fmt.Errorf("concurrent writer: %w", writerErr)
+		}
+	})
+	return r, benchErr
+}
+
+// runZooBenches measures every gated zoo entry. Keep the names in
+// smokeGateNames in sync.
+func runZooBenches() ([]benchResult, error) {
+	entries := []struct {
+		name string
+		run  func() (testing.BenchmarkResult, error)
+	}{
+		{"OnlineBackfillUnderLoad", func() (testing.BenchmarkResult, error) { return benchOnlineBackfill(1500) }},
+		{"ZipfSkewMaintain", func() (testing.BenchmarkResult, error) { return benchZooReplay("zipf-skew", 4000) }},
+		{"TinyGroupsFanout", func() (testing.BenchmarkResult, error) { return benchZooReplay("tiny-groups", 4000) }},
+		{"SnowflakeUpdateHeavy", func() (testing.BenchmarkResult, error) { return benchZooReplay("snowflake-update-heavy", 4000) }},
+		{"WideGroupMaintain", func() (testing.BenchmarkResult, error) { return benchZooReplay("wide-groups", 4000) }},
+	}
+	var out []benchResult
+	for _, e := range entries {
+		r, err := e.run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.name, err)
+		}
+		out = append(out, toResult(e.name, r))
+	}
+	return out, nil
+}

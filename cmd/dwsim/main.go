@@ -35,11 +35,15 @@ func main() {
 	cachePages := flag.Int("cache-pages", 256, "in -aux-disk mode, buffer-pool frames per auxiliary store")
 	advise := flag.Bool("advise", false, "record an interleaved query/delta workload, mine it for candidate views under -advise-budget, materialize the picks, and replay to report the net cost delta")
 	adviseBudget := flag.Int("advise-budget", 0, "space budget in bytes for the views -advise may pick (0 = unlimited)")
+	zoo := flag.String("zoo", "", "replay a workload-zoo scenario by name ('list' prints them); -scale sizes the load, -deltas counts replayed ops, -seed seeds the stream")
+	seed := flag.Int64("seed", 1, "in -zoo mode, the operation stream's seed")
 	flag.Parse()
 
 	err := validateFlags(*walDir, *advise, *batch)
 	switch {
 	case err != nil:
+	case *zoo != "":
+		err = runZoo(os.Stdout, *zoo, *scale, *deltas, *seed)
 	case *advise:
 		err = runAdvise(os.Stdout, *scale, *deltas, *mixName, *adviseBudget, *shards)
 	case *walDir != "":

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunZooReplayRegression pins the zoo replay's deterministic counts:
+// for a fixed (scenario, scale, ops, seed) the read/write split, the
+// view's group count, and the source-table row counts are exact. Any
+// drift — a changed generator, a lost delta, a maintenance bug — moves
+// one of these numbers.
+func TestRunZooReplayRegression(t *testing.T) {
+	cases := []struct {
+		name  string
+		scale int
+		ops   int
+		wants []string
+	}{
+		{"zipf-skew", 2000, 400, []string{
+			"replayed 400 ops (42 reads, 358 writes)",
+			"view brand_totals: 25 groups",
+			"source rows: [product=50 sale=2288 store=4 time=30]",
+		}},
+		{"tiny-groups", 1000, 300, []string{
+			"replayed 300 ops (21 reads, 279 writes)",
+			"view sku_totals: 478 groups",
+			"source rows: [item=1253 sku=526]",
+		}},
+		{"snowflake-update-heavy", 1000, 300, []string{
+			"replayed 300 ops (45 reads, 255 writes)",
+			"view nation_revenue: 25 groups",
+			"source rows: [lineitem=1011 nation=25 part=100 region=5 supplier=50]",
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			if err := runZoo(&b, tc.name, tc.scale, tc.ops, 1); err != nil {
+				t.Fatal(err)
+			}
+			out := b.String()
+			for _, want := range append(tc.wants, "verify: incremental view matches recomputation") {
+				if !strings.Contains(out, want) {
+					t.Errorf("replay output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+// The remaining scenarios replay clean end to end (counts pinned above
+// for the representative three; these assert the mode itself).
+func TestRunZooAllScenarios(t *testing.T) {
+	for _, name := range []string{"append-only", "wide-groups"} {
+		var b strings.Builder
+		if err := runZoo(&b, name, 800, 200, 3); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(b.String(), "verify: incremental view matches recomputation") {
+			t.Errorf("%s output:\n%s", name, b.String())
+		}
+	}
+	var b strings.Builder
+	if err := runZoo(&b, "list", 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"snowflake-update-heavy", "zipf-skew", "tiny-groups", "wide-groups", "append-only"} {
+		if !strings.Contains(b.String(), name) {
+			t.Errorf("list output missing %q", name)
+		}
+	}
+	if err := runZoo(&b, "nosuch", 100, 10, 1); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,445 @@
+package faultinject_test
+
+// Crash sweeps for the online view lifecycle: CREATE MATERIALIZED VIEW
+// with its phased backfill (snapshot → scan → catch-up → install) and
+// DROP MATERIALIZED VIEW. Every injected failure and every torn-write cut
+// must recover to a state byte-identical to either the no-view oracle or
+// the installed-view oracle — a mid-backfill crash never leaks a
+// half-built view.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mindetail/internal/faultinject"
+	"mindetail/internal/maintain"
+	"mindetail/internal/pager"
+	"mindetail/internal/wal"
+	"mindetail/internal/warehouse"
+)
+
+const onlineViewSQL = `CREATE MATERIALIZED VIEW online_totals AS
+  SELECT category, SUM(price) AS total, COUNT(*) AS cnt
+  FROM sale, product WHERE sale.productid = product.id GROUP BY category;`
+
+const dropOnlineSQL = `DROP MATERIALIZED VIEW online_totals;`
+
+// TestFaultInjectionOnlineDDLSweep drives CREATE MATERIALIZED VIEW (the
+// online backfill path) and then DROP MATERIALIZED VIEW through the
+// injection sweep: failing at the N-th visited point for N = 1, 2, ...
+// until the statement commits. Every abort must leave the live warehouse
+// byte-identical to its pre-statement state AND recover from the on-disk
+// bytes to that same state — the logged intent without an outcome is
+// discarded whole.
+func TestFaultInjectionOnlineDDLSweep(t *testing.T) {
+	dir := t.TempDir()
+	d, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	w := d.Warehouse()
+	for _, sql := range append([]string{crashDDL}, crashSteps...) {
+		if _, err := w.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const limit = 100000
+	seen := map[faultinject.Point]bool{}
+	for _, sql := range []string{onlineViewSQL, dropOnlineSQL} {
+		committed := false
+		for failAt := int64(1); failAt <= limit; failAt++ {
+			before := snap(t, w)
+			h := faultinject.NewHook(failAt)
+			w.SetFaultHook(h)
+			_, err := w.Exec(sql)
+			w.SetFaultHook(nil)
+			if err == nil {
+				if p, fired := h.Fired(); fired {
+					t.Fatalf("%q: hook fired at %s but Exec succeeded", sql, p)
+				}
+				committed = true
+				break
+			}
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("%q failAt=%d: genuine error: %v", sql, failAt, err)
+			}
+			p, _ := h.Fired()
+			seen[p] = true
+			when := fmt.Sprintf("%q failAt=%d (%s)", sql, failAt, p)
+			if got := snap(t, w); !bytes.Equal(got, before) {
+				t.Fatalf("%s: live state changed after abort", when)
+			}
+			if got := recoverBytes(t, crashImage(t, dir)); !bytes.Equal(got, before) {
+				t.Fatalf("%s: crash-image recovery diverged from pre-statement state:\n got:\n%s\nwant:\n%s",
+					when, got, before)
+			}
+		}
+		if !committed {
+			t.Fatalf("%q: sweep did not terminate within %d injection points", sql, limit)
+		}
+		// The committed statement itself recovers byte-identically: the
+		// CREATE replays the view into existence, the DROP replays it away.
+		want := snap(t, w)
+		if got := recoverBytes(t, crashImage(t, dir)); !bytes.Equal(got, want) {
+			t.Fatalf("%q: committed state does not survive recovery", sql)
+		}
+	}
+	for _, p := range []faultinject.Point{
+		faultinject.BackfillSnapshot, faultinject.BackfillScan,
+		faultinject.BackfillInstall, faultinject.DropViewTeardown,
+	} {
+		if !seen[p] {
+			t.Errorf("sweep never reached injection point %s", p)
+		}
+	}
+}
+
+// TestFaultInjectionBackfillCatchUpRecovery sweeps the backfill while DML
+// commits mid-scan: a hook on the catch-up stage executes an INSERT
+// (unique key per attempt), so the sweep also lands on the
+// BackfillCatchUp point with a non-empty buffer. The invariant checked
+// after EVERY attempt — aborted or committed — is that crash-image
+// recovery is byte-identical to the live outcome: committed concurrent
+// deltas survive an aborted CREATE, and an aborted CREATE leaves no view.
+func TestFaultInjectionBackfillCatchUpRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	w := d.Warehouse()
+	for _, sql := range append([]string{crashDDL}, crashSteps...) {
+		if _, err := w.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	attempt := 0
+	w.SetBackfillHook(func(view, stage string) {
+		if stage != "catch-up" {
+			return
+		}
+		// Prices are multiples of 0.25; the id is unique per attempt so a
+		// committed insert from an aborted attempt never collides.
+		sql := fmt.Sprintf("INSERT INTO sale VALUES (%d, 1, %d, %g);", 6000+attempt, attempt%2+1, float64(attempt%5)*0.25)
+		if _, err := w.Exec(sql); err != nil && !errors.Is(err, faultinject.ErrInjected) {
+			t.Errorf("concurrent insert: genuine error: %v", err)
+		}
+	})
+	defer w.SetBackfillHook(nil)
+
+	const limit = 100000
+	sawCatchUp := false
+	done := false
+	for failAt := int64(1); !done && failAt <= limit; failAt++ {
+		attempt++
+		h := faultinject.NewHook(failAt)
+		w.SetFaultHook(h)
+		_, err := w.Exec(onlineViewSQL)
+		w.SetFaultHook(nil)
+		p, fired := h.Fired()
+		if err != nil && !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("failAt=%d: genuine error: %v", failAt, err)
+		}
+		if fired && p == faultinject.BackfillCatchUp {
+			sawCatchUp = true
+		}
+		if err != nil {
+			if names := w.ViewNames(); len(names) != 2 {
+				t.Fatalf("failAt=%d (%s): aborted create left views %v", failAt, p, names)
+			}
+		}
+		// The recovery invariant, regardless of outcome: the on-disk bytes
+		// at this instant recover to exactly the live state.
+		want := snap(t, w)
+		if got := recoverBytes(t, crashImage(t, dir)); !bytes.Equal(got, want) {
+			t.Fatalf("failAt=%d (%s, fired=%v): crash-image recovery diverged from live state:\n got:\n%s\nwant:\n%s",
+				failAt, p, fired, got, want)
+		}
+		if err == nil {
+			if !fired {
+				done = true
+				break
+			}
+			// The fault landed inside the concurrent INSERT instead of the
+			// backfill; the view installed cleanly. Drop it and keep
+			// sweeping for the later points.
+			if _, derr := w.Exec(dropOnlineSQL); derr != nil {
+				t.Fatal(derr)
+			}
+		}
+	}
+	if !done {
+		t.Fatalf("sweep did not terminate within %d injection points", limit)
+	}
+	if !sawCatchUp {
+		t.Fatal("sweep never reached the BackfillCatchUp injection point")
+	}
+}
+
+// TestFaultInjectionTornBackfillSweep tears the log inside an online
+// CREATE MATERIALIZED VIEW whose backfill raced two committed inserts:
+// the tail is [DDL intent][ins1][commit1][ins2][commit2][DDL commit].
+// Every cut must recover all-or-nothing per record: the view exists only
+// once the DDL commit is whole, while each insert survives exactly when
+// its own commit record does — byte-identical to LSN-aligned oracles
+// (which consume the DDL intent's LSN via BeginDDL+Abort so the
+// watermarks match).
+func TestFaultInjectionTornBackfillSweep(t *testing.T) {
+	inserts := []string{
+		`INSERT INTO sale VALUES (7001, 1, 2, 3.25);`,
+		`INSERT INTO sale VALUES (7002, 2, 1, 0.75);`,
+	}
+	seed := append([]string{crashDDL}, crashSteps...)
+
+	// oracle(j): the seed, the DDL intent's LSN consumed by an aborted
+	// intent, then the first j inserts — the no-view recovery states.
+	oracle := func(j int) []byte {
+		dir := t.TempDir()
+		d, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		for _, sql := range seed {
+			if _, err := d.Warehouse().Exec(sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lsn, err := d.Log().BeginDDL(onlineViewSQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Log().Abort(lsn); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < j; i++ {
+			if _, err := d.Warehouse().Exec(inserts[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return snap(t, d.Warehouse())
+	}
+	oracles := make([][]byte, len(inserts)+1)
+	for j := range oracles {
+		oracles[j] = oracle(j)
+	}
+
+	// The run whose log we tear: the inserts execute from the backfill's
+	// catch-up hook, so their intents land between the DDL intent and the
+	// DDL commit.
+	dir := t.TempDir()
+	d, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.Warehouse()
+	for _, sql := range seed {
+		if _, err := w.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	injected := false
+	w.SetBackfillHook(func(view, stage string) {
+		if stage != "catch-up" || injected {
+			return
+		}
+		injected = true
+		for _, sql := range inserts {
+			if _, err := w.Exec(sql); err != nil {
+				t.Errorf("concurrent insert: %v", err)
+			}
+		}
+	})
+	if _, err := w.Exec(onlineViewSQL); err != nil {
+		t.Fatal(err)
+	}
+	w.SetBackfillHook(nil)
+	if !injected {
+		t.Fatal("backfill hook never fired")
+	}
+	wantFull := snap(t, w)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	whole, err := os.ReadFile(filepath.Join(dir, wal.LogFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, ends, derr := wal.Decode(whole)
+	if derr != nil {
+		t.Fatalf("baseline log not clean: %v", derr)
+	}
+	// Locate the DDL intent; the region of interest runs from there to EOF.
+	ddlIdx := -1
+	for i, r := range recs {
+		if r.Kind == wal.KindDDL && strings.Contains(r.SQL, "online_totals") {
+			ddlIdx = i
+		}
+	}
+	if ddlIdx < 0 || ddlIdx != len(recs)-6 {
+		t.Fatalf("unexpected log shape: DDL intent at %d of %d records", ddlIdx, len(recs))
+	}
+	tail := recs[ddlIdx:]
+	if tail[1].Kind != wal.KindDelta || tail[2].Kind != wal.KindCommit ||
+		tail[3].Kind != wal.KindDelta || tail[4].Kind != wal.KindCommit ||
+		tail[5].Kind != wal.KindCommit {
+		t.Fatalf("unexpected tail kinds: %v %v %v %v %v", tail[1].Kind, tail[2].Kind, tail[3].Kind, tail[4].Kind, tail[5].Kind)
+	}
+	regionStart := int64(0)
+	if ddlIdx > 0 {
+		regionStart = ends[ddlIdx-1]
+	}
+
+	for cut := regionStart + 1; cut <= int64(len(whole)); cut++ {
+		img := t.TempDir()
+		if err := os.WriteFile(filepath.Join(img, wal.LogFile), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := recoverBytes(t, img)
+		var want []byte
+		var label string
+		if cut == int64(len(whole)) {
+			want, label = wantFull, "installed-view"
+		} else {
+			// j = insert-commit records whole at this cut.
+			j := 0
+			for _, i := range []int{ddlIdx + 2, ddlIdx + 4} {
+				if ends[i] <= cut {
+					j++
+				}
+			}
+			want, label = oracles[j], fmt.Sprintf("no-view oracle(%d)", j)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cut %d (of %d): recovered state differs from %s:\n got:\n%s\nwant:\n%s",
+				cut, len(whole), label, got, want)
+		}
+	}
+}
+
+// TestFaultInjectionTornDropSweep tears the log inside a committed DROP
+// MATERIALIZED VIEW: any cut strictly before the end of its commit record
+// recovers the view intact (the live pre-drop state), the whole file
+// recovers without it.
+func TestFaultInjectionTornDropSweep(t *testing.T) {
+	dir := t.TempDir()
+	d, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.Warehouse()
+	for _, sql := range append([]string{crashDDL}, crashSteps...) {
+		if _, err := w.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Exec(onlineViewSQL); err != nil {
+		t.Fatal(err)
+	}
+	wantPrev := snap(t, w)
+	if _, err := w.Exec(dropOnlineSQL); err != nil {
+		t.Fatal(err)
+	}
+	wantFull := snap(t, w)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	whole, err := os.ReadFile(filepath.Join(dir, wal.LogFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, ends, derr := wal.Decode(whole)
+	if derr != nil {
+		t.Fatalf("baseline log not clean: %v", derr)
+	}
+	n := len(recs)
+	if n < 3 || recs[n-2].Kind != wal.KindDDL || recs[n-1].Kind != wal.KindCommit {
+		t.Fatalf("unexpected log tail: %v %v", recs[n-2].Kind, recs[n-1].Kind)
+	}
+	intentStart := ends[n-3]
+
+	for cut := intentStart + 1; cut <= int64(len(whole)); cut++ {
+		img := t.TempDir()
+		if err := os.WriteFile(filepath.Join(img, wal.LogFile), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := recoverBytes(t, img)
+		want, label := wantPrev, "pre-drop"
+		if cut == int64(len(whole)) {
+			want, label = wantFull, "post-drop"
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cut %d (of %d): recovered state differs from %s oracle", cut, len(whole), label)
+		}
+	}
+}
+
+// TestPagedDropViewStoreRelease runs the create/drop/re-create cycle with
+// the auxiliary views out of core: dropping must release the view's pager
+// stores (Engine.Close through the drop teardown) so the re-created view
+// opens fresh ones and still verifies against the sources.
+func TestPagedDropViewStoreRelease(t *testing.T) {
+	w := warehouse.New()
+	if _, err := w.Exec(crashDDL); err != nil {
+		t.Fatal(err)
+	}
+	fac, err := pager.NewFactory(filepath.Join(t.TempDir(), "pages"), pager.Options{
+		PageSize:  pager.MinPageSize,
+		PoolPages: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fac.Close()
+	if err := w.SetAuxStoreFactory(func(view, table string) (maintain.AuxStore, error) {
+		return fac.Open(view, table)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range pagedSeed() {
+		if _, err := w.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perCycle := -1
+	for cycle := 0; cycle < 3; cycle++ {
+		if _, err := w.Exec(onlineViewSQL); err != nil {
+			t.Fatalf("cycle %d create: %v", cycle, err)
+		}
+		if err := w.Verify(); err != nil {
+			t.Fatalf("cycle %d verify: %v", cycle, err)
+		}
+		n := 0
+		for _, st := range fac.Stats() {
+			if st.View == "online_totals" {
+				n++
+			}
+		}
+		if perCycle < 0 {
+			perCycle = n
+		} else if n != perCycle {
+			// Each re-create must replace the dropped view's stores, not
+			// accumulate new ones beside leaked old ones.
+			t.Fatalf("cycle %d: %d stores for online_totals, want %d", cycle, n, perCycle)
+		}
+		if _, err := w.Exec(dropOnlineSQL); err != nil {
+			t.Fatalf("cycle %d drop: %v", cycle, err)
+		}
+	}
+	if perCycle == 0 {
+		t.Fatal("online_totals never opened a pager store; test is vacuous")
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -86,6 +86,26 @@ const (
 	// a failure here must leave every buffered delta still pending, with
 	// no view or WAL effect.
 	DeferFlush
+	// BackfillSnapshot fires in the online CREATE MATERIALIZED VIEW path
+	// after the DDL intent was logged and the source snapshot cloned under
+	// the warehouse lock, before the background scan starts — a crash here
+	// leaves a durable intent with no outcome, which recovery must discard.
+	BackfillSnapshot
+	// BackfillScan fires in the online backfill worker after the initial
+	// GPSJ + auxiliary state was computed from the snapshot, before the
+	// catch-up drain of deltas that committed during the scan.
+	BackfillScan
+	// BackfillCatchUp fires in the online backfill worker between two
+	// catch-up deltas being replayed into the unpublished engine.
+	BackfillCatchUp
+	// BackfillInstall fires under the warehouse lock after the final
+	// catch-up drain, before the view is added to the catalog and the WAL
+	// outcome committed — the last instant the DDL can still abort whole.
+	BackfillInstall
+	// DropViewTeardown fires in DROP MATERIALIZED VIEW after the DDL intent
+	// was logged, before the view is removed from the catalog and its
+	// engine (and any pager stores) released.
+	DropViewTeardown
 
 	// NumPoints is the number of distinct injection points.
 	NumPoints
@@ -108,6 +128,11 @@ var pointNames = [NumPoints]string{
 	"PageEvict",
 	"PageFlush",
 	"DeferFlush",
+	"BackfillSnapshot",
+	"BackfillScan",
+	"BackfillCatchUp",
+	"BackfillInstall",
+	"DropViewTeardown",
 }
 
 // String returns the symbolic name of the point.

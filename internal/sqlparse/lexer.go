@@ -40,6 +40,7 @@ type token struct {
 
 var keywords = map[string]bool{
 	"CREATE": true, "TABLE": true, "VIEW": true, "MATERIALIZED": true,
+	"DROP": true, "IF": true, "EXISTS": true,
 	"AS": true, "SELECT": true, "FROM": true, "WHERE": true, "GROUP": true,
 	"BY": true, "HAVING": true, "AND": true, "DISTINCT": true, "PRIMARY": true, "KEY": true,
 	"REFERENCES": true, "MUTABLE": true, "INSERT": true, "INTO": true,

@@ -27,6 +27,13 @@ type CreateView struct {
 	Query        *SelectStmt
 }
 
+// DropView removes a materialized view from the catalog. IfExists makes
+// dropping an absent view a no-op instead of an error.
+type DropView struct {
+	Name     string
+	IfExists bool
+}
+
 // SelectStmt is a parsed SELECT in GPSJ shape, optionally with a HAVING
 // restriction on the produced groups (the generalization Section 4 of the
 // paper suggests). HAVING conditions reference output column names.
@@ -66,6 +73,7 @@ type Assignment struct {
 
 func (*CreateTable) stmt() {}
 func (*CreateView) stmt()  {}
+func (*DropView) stmt()    {}
 func (*SelectStmt) stmt()  {}
 func (*Insert) stmt()      {}
 func (*Delete) stmt()      {}
@@ -205,6 +213,13 @@ func (p *parser) statement() (Statement, error) {
 			return p.createView(mat)
 		}
 		return nil, p.errf("expected TABLE or [MATERIALIZED] VIEW after CREATE")
+	case "DROP":
+		p.next()
+		p.acceptKeyword("MATERIALIZED")
+		if !p.acceptKeyword("VIEW") {
+			return nil, p.errf("expected [MATERIALIZED] VIEW after DROP")
+		}
+		return p.dropView()
 	case "SELECT":
 		return p.selectStmt()
 	case "INSERT":
@@ -310,6 +325,21 @@ func (p *parser) createView(materialized bool) (Statement, error) {
 		return nil, err
 	}
 	return &CreateView{Name: name, Materialized: materialized, Query: q.(*SelectStmt)}, nil
+}
+
+func (p *parser) dropView() (Statement, error) {
+	ifExists := false
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		ifExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropView{Name: name, IfExists: ifExists}, nil
 }
 
 func (p *parser) selectStmt() (Statement, error) {

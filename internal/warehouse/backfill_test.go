@@ -1,0 +1,194 @@
+package warehouse
+
+import (
+	"strings"
+	"testing"
+
+	"mindetail/internal/maintain"
+	"mindetail/internal/tuple"
+	"mindetail/internal/types"
+)
+
+const brandViewSQL = `
+CREATE MATERIALIZED VIEW brand_sales AS
+SELECT brand, SUM(price) AS total, COUNT(*) AS cnt
+FROM sale, product WHERE sale.productid = product.id GROUP BY brand;
+`
+
+// TestBackfillConcurrentQueryAndApplyDelta is the acceptance test for the
+// online CREATE MATERIALIZED VIEW path: while a backfill is parked
+// mid-scan (holding no lock), concurrent Query and ApplyDelta calls must
+// COMPLETE — not merely queue behind the DDL — and the deltas that commit
+// during the scan must surface in the installed view via catch-up. Run
+// with -race (the repository's race gate covers this package).
+func TestBackfillConcurrentQueryAndApplyDelta(t *testing.T) {
+	w := newRetail(t)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	w.SetBackfillHook(func(view, stage string) {
+		if view == "brand_sales" && stage == "scan" {
+			close(entered)
+			<-release
+		}
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Exec(brandViewSQL)
+		done <- err
+	}()
+	<-entered
+
+	// The backfill is in flight and parked. Reads and writes proceed.
+	const writes = 5
+	for i := 0; i < writes; i++ {
+		if _, err := w.Query("product_sales"); err != nil {
+			t.Fatal(err)
+		}
+		d := maintain.Delta{Table: "sale", Inserts: []tuple.Tuple{
+			{types.Int(int64(500 + i)), types.Int(1), types.Int(101), types.Int(7), types.Float(4)},
+		}}
+		if err := w.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second create of the same name, and a drop of it, are rejected
+	// while its backfill is pending.
+	if _, err := w.Exec(brandViewSQL); err == nil || !strings.Contains(err.Error(), "in progress") {
+		t.Fatalf("duplicate create during backfill: err = %v", err)
+	}
+	if _, err := w.Exec(`DROP MATERIALIZED VIEW brand_sales`); err == nil || !strings.Contains(err.Error(), "in progress") {
+		t.Fatalf("drop during backfill: err = %v", err)
+	}
+	// Everything above completed while the backfill never advanced: the
+	// DDL must still be in flight, proving the traffic did not wait on it.
+	select {
+	case err := <-done:
+		t.Fatalf("backfill finished while parked: err = %v", err)
+	default:
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	w.SetBackfillHook(nil)
+
+	// The installed view reflects snapshot + catch-up: the 5 seed sales
+	// (acme: 10+10+99, bolt: 5+7) plus 5 concurrent bolt sales at 4 each.
+	rel, err := w.Query("brand_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rel.Sorted()
+	if s.Len() != 2 {
+		t.Fatalf("brand_sales:\n%s", s.Format())
+	}
+	if s.Rows[0][0].AsString() != "acme" || s.Rows[0][1].AsFloat() != 119 || s.Rows[0][2].AsInt() != 3 {
+		t.Errorf("acme = %v", s.Rows[0])
+	}
+	if s.Rows[1][0].AsString() != "bolt" || s.Rows[1][1].AsFloat() != 32 || s.Rows[1][2].AsInt() != 7 {
+		t.Errorf("bolt = %v", s.Rows[1])
+	}
+	// The pre-existing view received the concurrent deltas as usual:
+	// month 1 gains 5 sales of 4 (timeid 1 is year 1997, month 1).
+	ps, err := w.Query("product_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps = ps.Sorted()
+	if ps.Rows[0][1].AsFloat() != 45 || ps.Rows[0][2].AsInt() != 8 {
+		t.Errorf("product_sales month 1 = %v", ps.Rows[0])
+	}
+}
+
+// TestBackfillCatchUpMatchesPreexistingView pins the catch-up invariant:
+// a view created while DML commits mid-backfill ends identical to the
+// same view had it existed before the DML — the snapshot/catch-up split
+// must be invisible. Prices are multiples of 0.25 so the comparison is
+// exact.
+func TestBackfillCatchUpMatchesPreexistingView(t *testing.T) {
+	steps := []string{
+		`INSERT INTO sale VALUES (20, 1, 100, 7, 2.25)`,
+		`INSERT INTO sale VALUES (21, 2, 101, 7, 8.5), (22, 3, 101, 7, 1.75)`,
+		`UPDATE sale SET price = 6.25 WHERE id = 3`,
+		`UPDATE product SET brand = 'nadir' WHERE id = 101`,
+		`DELETE FROM sale WHERE id = 1`,
+	}
+
+	oracle := newRetail(t)
+	oracle.MustExec(brandViewSQL)
+	for _, sql := range steps {
+		oracle.MustExec(sql)
+	}
+
+	w := newRetail(t)
+	injected := false
+	w.SetBackfillHook(func(view, stage string) {
+		if stage != "catch-up" || injected {
+			return
+		}
+		injected = true
+		for _, sql := range steps {
+			w.MustExec(sql)
+		}
+	})
+	w.MustExec(brandViewSQL)
+	w.SetBackfillHook(nil)
+	if !injected {
+		t.Fatal("backfill hook never fired")
+	}
+
+	for _, view := range []string{"brand_sales", "product_sales"} {
+		got, err := w.Query(view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.Query(view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, o := got.Sorted().Format(), want.Sorted().Format(); g != o {
+			t.Errorf("%s diverged from the pre-existing-view oracle:\n got:\n%s\nwant:\n%s", view, g, o)
+		}
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDropViewLifecycle exercises DROP MATERIALIZED VIEW: unknown names
+// error (unless IF EXISTS), a dropped view disappears from the catalog
+// and the lock-free query index, DML keeps working with no views, and
+// the name is immediately reusable.
+func TestDropViewLifecycle(t *testing.T) {
+	w := newRetail(t)
+	if _, err := w.Exec(`DROP MATERIALIZED VIEW nosuch`); err == nil {
+		t.Fatal("dropping an unknown view succeeded")
+	}
+	if _, err := w.Exec(`DROP MATERIALIZED VIEW IF EXISTS nosuch`); err != nil {
+		t.Fatal(err)
+	}
+	w.MustExec(`DROP MATERIALIZED VIEW product_sales`)
+	if _, err := w.Query("product_sales"); err == nil {
+		t.Fatal("query answered by a dropped view")
+	}
+	if names := w.ViewNames(); len(names) != 0 {
+		t.Fatalf("views after drop: %v", names)
+	}
+	w.MustExec(`INSERT INTO sale VALUES (90, 1, 100, 7, 3)`)
+	w.MustExec(viewSQL)
+	rel, err := w.Query("product_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rel.Sorted()
+	// Month 1 originally summed 25 over 3 sales; the insert adds one at 3.
+	if s.Rows[0][1].AsFloat() != 28 || s.Rows[0][2].AsInt() != 4 {
+		t.Errorf("month 1 after drop/recreate = %v", s.Rows[0])
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -39,6 +39,13 @@ type wmetrics struct {
 	batchSize      *obs.Histogram // warehouse.batch.size (deltas per ApplyDeltaBatch)
 	batchDeltas    *obs.Counter   // warehouse.batch.deltas (deltas through the batch path)
 	batchCoalesced *obs.Counter   // warehouse.batch.coalesced (deltas propagated via a coalesced group)
+
+	backfillsStarted   *obs.Counter // warehouse.backfills.started
+	backfillsInstalled *obs.Counter // warehouse.backfills.installed
+	backfillsAborted   *obs.Counter // warehouse.backfills.aborted
+	backfillCatchUp    *obs.Counter // warehouse.backfills.catchup_deltas
+	backfillActive     *obs.Gauge   // warehouse.backfills.active
+	viewsDropped       *obs.Counter // warehouse.views.dropped
 }
 
 func newWMetrics() *wmetrics {
@@ -61,6 +68,13 @@ func newWMetrics() *wmetrics {
 		batchSize:       reg.Histogram("warehouse.batch.size"),
 		batchDeltas:     reg.Counter("warehouse.batch.deltas"),
 		batchCoalesced:  reg.Counter("warehouse.batch.coalesced"),
+
+		backfillsStarted:   reg.Counter("warehouse.backfills.started"),
+		backfillsInstalled: reg.Counter("warehouse.backfills.installed"),
+		backfillsAborted:   reg.Counter("warehouse.backfills.aborted"),
+		backfillCatchUp:    reg.Counter("warehouse.backfills.catchup_deltas"),
+		backfillActive:     reg.Gauge("warehouse.backfills.active"),
+		viewsDropped:       reg.Counter("warehouse.views.dropped"),
 	}
 }
 

@@ -90,6 +90,15 @@ type Warehouse struct {
 	detached bool
 	fi       *faultinject.Hook
 
+	// pending holds the online CREATE MATERIALIZED VIEW backfills in
+	// flight, keyed by view name; propagate appends every committed delta
+	// to their catch-up buffers (see backfill.go). Guarded by mu.
+	pending map[string]*backfillState
+
+	// backfillHook, when set, observes backfill stage transitions off-lock
+	// (tests only; see SetBackfillHook).
+	backfillHook atomic.Pointer[func(view, stage string)]
+
 	// auxFactory, when set, supplies out-of-core auxiliary stores per
 	// (view, table) — see SetAuxStoreFactory.
 	auxFactory func(view, table string) (maintain.AuxStore, error)
@@ -196,6 +205,7 @@ func New() *Warehouse {
 		cat:         cat,
 		src:         storage.NewDB(cat),
 		views:       make(map[string]*View),
+		pending:     make(map[string]*backfillState),
 		UseNeedSets: true,
 		met:         newWMetrics(),
 	}
@@ -319,8 +329,13 @@ func (w *Warehouse) SetFaultHook(h *faultinject.Hook) {
 // Atomicity is per statement, not per script: every individual statement
 // either applies fully (sources and all views) or leaves the warehouse
 // unchanged, but a script that fails at statement k keeps the effects of
-// statements 1..k-1. Errors identify the failing statement by its 1-based
-// position and an abbreviated SQL fragment.
+// statements 1..k-1. Locking is per statement too: an all-SELECT script
+// holds the shared lock throughout (overlapping with other readers), while
+// a script containing DDL or DML locks statement by statement — which is
+// what lets CREATE MATERIALIZED VIEW run its backfill scan off-lock (see
+// backfill.go) without stalling concurrent Query or ApplyDelta traffic.
+// Errors identify the failing statement by its 1-based position and an
+// abbreviated SQL fragment.
 func (w *Warehouse) Exec(sql string) (*ra.Relation, error) {
 	stmts, err := sqlparse.ParseScript(sql)
 	if err != nil {
@@ -330,44 +345,66 @@ func (w *Warehouse) Exec(sql string) (*ra.Relation, error) {
 	// so it runs under the shared lock and overlaps with other readers —
 	// taking the exclusive lock here used to serialize every remote query
 	// behind every other, defeating the copy-on-write snapshot path the
-	// reads were built on. Any DDL or DML statement demotes the whole
-	// script to the write lock (statements may read what earlier ones
-	// wrote).
+	// reads were built on.
 	if allSelect(stmts) {
 		w.mu.RLock()
 		defer w.mu.RUnlock()
-	} else {
-		w.mu.Lock()
-		defer w.mu.Unlock()
+		var last *ra.Relation
+		for _, s := range stmts {
+			last, err = w.query(s.Stmt.(*sqlparse.SelectStmt), s.SQL)
+			if err != nil {
+				return nil, execStmtErr(len(stmts), s, err)
+			}
+		}
+		return last, nil
 	}
 	var last *ra.Relation
 	for _, s := range stmts {
 		last = nil
 		switch st := s.Stmt.(type) {
 		case *sqlparse.CreateTable:
+			w.mu.Lock()
 			err = w.createTable(st, s.SQL)
+			w.mu.Unlock()
 		case *sqlparse.CreateView:
-			err = w.createView(st, s.SQL)
+			// The online path manages its own locking: short critical
+			// sections around snapshot and install, the scan off-lock.
+			err = w.createViewOnline(st, s.SQL)
+		case *sqlparse.DropView:
+			err = w.dropView(st, s.SQL)
 		case *sqlparse.SelectStmt:
+			w.mu.RLock()
 			last, err = w.query(st, s.SQL)
+			w.mu.RUnlock()
 		case *sqlparse.Insert:
+			w.mu.Lock()
 			err = w.insert(st)
+			w.mu.Unlock()
 		case *sqlparse.Delete:
+			w.mu.Lock()
 			err = w.delete(st)
+			w.mu.Unlock()
 		case *sqlparse.Update:
+			w.mu.Lock()
 			err = w.update(st)
+			w.mu.Unlock()
 		default:
 			err = fmt.Errorf("warehouse: unsupported statement %T", s.Stmt)
 		}
 		if err != nil {
-			if len(stmts) > 1 {
-				return nil, fmt.Errorf("warehouse: statement %d (%s): %w",
-					s.Index+1, abbrevSQL(s.SQL), err)
-			}
-			return nil, err
+			return nil, execStmtErr(len(stmts), s, err)
 		}
 	}
 	return last, nil
+}
+
+// execStmtErr attributes a mid-script failure to its statement; a
+// single-statement script surfaces the error undecorated.
+func execStmtErr(n int, s sqlparse.ScriptStatement, err error) error {
+	if n > 1 {
+		return fmt.Errorf("warehouse: statement %d (%s): %w", s.Index+1, abbrevSQL(s.SQL), err)
+	}
+	return err
 }
 
 // allSelect reports whether every statement of a parsed script is a
@@ -476,6 +513,9 @@ func (w *Warehouse) createView(st *sqlparse.CreateView, logSQL string) error {
 func (w *Warehouse) applyCreateView(st *sqlparse.CreateView) error {
 	if _, dup := w.views[st.Name]; dup {
 		return fmt.Errorf("warehouse: view %s already exists", st.Name)
+	}
+	if _, busy := w.pending[st.Name]; busy {
+		return fmt.Errorf("warehouse: view %s backfill already in progress", st.Name)
 	}
 	v, err := gpsj.FromSelect(w.cat, st.Name, st.Query)
 	if err != nil {
@@ -816,6 +856,8 @@ func (w *Warehouse) ReplayDDL(lsn uint64, sql string) error {
 			err = w.createTable(st, "")
 		case *sqlparse.CreateView:
 			err = w.createView(st, "")
+		case *sqlparse.DropView:
+			err = w.applyDropView(st)
 		default:
 			err = fmt.Errorf("unsupported logged DDL %T", s.Stmt)
 		}
@@ -942,6 +984,7 @@ func (w *Warehouse) propagate(d maintain.Delta) error {
 	n := len(w.order)
 	if n == 0 {
 		w.epoch++
+		w.feedBackfills(d, maintain.StrategyAuto)
 		return nil
 	}
 	var start time.Time
@@ -1039,6 +1082,7 @@ func (w *Warehouse) propagate(d maintain.Delta) error {
 			}
 		}
 		w.epoch++
+		w.feedBackfills(d, strat)
 		w.met.viewsCommitted.Add(int64(n))
 		w.met.snapInvalidated.Add(invalidated)
 		w.met.propagates.Inc()

@@ -1,0 +1,123 @@
+package wire_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"mindetail/internal/wire"
+	"mindetail/internal/wireclient"
+)
+
+// TestServerOnlineDDL drives CREATE/DROP MATERIALIZED VIEW over the wire
+// EXEC path while other sessions keep committing deltas and querying:
+// the backfill runs on the serve path, so it must absorb group-committed
+// writes from concurrent connections and install a view that answers
+// queries immediately, and the drop must leave later queries with a
+// clean "no such view" error rather than a torn catalog.
+func TestServerOnlineDDL(t *testing.T) {
+	w := newServerWarehouse(t)
+	s := startServer(t, w, wire.Config{Secret: "hunter2"})
+	addr := s.Addr().String()
+
+	ddl, err := wireclient.Dial(addr, "hunter2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ddl.Close()
+
+	// Background sessions: one streams SQL INSERTs through the write path
+	// (sources stay in sync, so Verify's recomputation stays meaningful),
+	// one reads the preexisting view off the snapshot path.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var bgErr error
+	var bgMu sync.Mutex
+	fail := func(err error) {
+		bgMu.Lock()
+		if bgErr == nil {
+			bgErr = err
+		}
+		bgMu.Unlock()
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c, err := wireclient.Dial(addr, "hunter2")
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer c.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := nextSaleID.Add(1)
+			ins := fmt.Sprintf("INSERT INTO sale VALUES (%d, %d, %d, 1, %.2f);",
+				id, id%3+1, id%10+1, float64(id%16)*0.25)
+			if _, err := c.Exec(ins); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		c, err := wireclient.Dial(addr, "hunter2")
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer c.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Query("product_sales"); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+
+	const viewSQL = `CREATE MATERIALIZED VIEW brand_totals_wire AS
+SELECT brand, SUM(price) AS total, COUNT(*) AS cnt
+FROM sale, product
+WHERE sale.productid = product.id
+GROUP BY brand;`
+	for cycle := 0; cycle < 3; cycle++ {
+		if _, err := ddl.Exec(viewSQL); err != nil {
+			t.Fatalf("cycle %d: create over wire: %v", cycle, err)
+		}
+		rs, err := ddl.Query("brand_totals_wire")
+		if err != nil {
+			t.Fatalf("cycle %d: query new view: %v", cycle, err)
+		}
+		if len(rs.Rows) == 0 {
+			t.Fatalf("cycle %d: backfilled view is empty", cycle)
+		}
+		if _, err := ddl.Exec(`DROP MATERIALIZED VIEW brand_totals_wire;`); err != nil {
+			t.Fatalf("cycle %d: drop over wire: %v", cycle, err)
+		}
+		if _, err := ddl.Query("brand_totals_wire"); err == nil {
+			t.Fatalf("cycle %d: dropped view still answers queries", cycle)
+		} else if !strings.Contains(err.Error(), "brand_totals_wire") {
+			t.Fatalf("cycle %d: drop error does not name the view: %v", cycle, err)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	if bgErr != nil {
+		t.Fatalf("background session: %v", bgErr)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("verify after online DDL under wire load: %v", err)
+	}
+}

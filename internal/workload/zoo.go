@@ -1,0 +1,502 @@
+package workload
+
+// zoo.go — the workload zoo: named scenarios beyond the paper's retail
+// star, each pairing a schema + deterministic bulk load with a seeded,
+// infinite stream of mixed read/write operations. The zoo exists to
+// exercise the maintenance engine's distinct regimes — snowflake chains
+// under update-heavy churn, Zipf-skewed key popularity, append-only
+// firehoses, a handful of wide groups versus a sea of tiny ones — as
+// replayable SQL, so dwsim can drive a scenario end to end and the bench
+// harness can gate each regime's hot path.
+//
+// Everything is a pure function of (scale, seed): two streams built with
+// the same arguments yield byte-identical operation sequences, which is
+// what makes recorded replay counts and committed benchmark baselines
+// meaningful.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Op is one replayable zoo operation: either a read of the scenario's
+// materialized view or a single DML statement.
+type Op struct {
+	Query bool   // read the scenario's view
+	SQL   string // one DML statement (when Query is false)
+}
+
+// String renders the op for byte-identity comparison and trace dumps.
+func (o Op) String() string {
+	if o.Query {
+		return "QUERY"
+	}
+	return o.SQL
+}
+
+// Stream is a deterministic, unbounded operation source. It owns all
+// mutable generator state (id allocation, live-row tracking, the RNG), so
+// replay and benchmarks can pull ops forever without coordinating.
+type Stream struct {
+	next func() Op
+	buf  []Op // pending multi-statement ops, drained FIFO
+}
+
+// Next returns the next operation of the stream.
+func (s *Stream) Next() Op {
+	if len(s.buf) > 0 {
+		op := s.buf[0]
+		s.buf = s.buf[1:]
+		return op
+	}
+	return s.next()
+}
+
+// push enqueues ops to be returned before the generator runs again.
+func (s *Stream) push(ops ...Op) { s.buf = append(s.buf, ops...) }
+
+// Ops returns the first n operations of a fresh stream — the finite
+// prefix dwsim replays and the determinism tests compare.
+func (sc *Scenario) Ops(n, scale int, seed int64) []Op {
+	st := sc.NewStream(scale, seed)
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = st.Next()
+	}
+	return out
+}
+
+// Scenario is one zoo member.
+type Scenario struct {
+	Name        string
+	Description string
+	ViewName    string
+	// View is the full CREATE MATERIALIZED VIEW statement.
+	View string
+	// Setup returns the DDL + bulk-load script, deterministic in scale.
+	Setup func(scale int) []string
+	// NewStream returns the seeded mixed read/write operation stream.
+	NewStream func(scale int, seed int64) *Stream
+}
+
+// Zoo returns every scenario, in stable order.
+func Zoo() []*Scenario {
+	return []*Scenario{
+		snowflakeUpdateHeavy(),
+		appendOnlyFirehose(),
+		zipfSkew(),
+		tinyGroups(),
+		wideGroups(),
+	}
+}
+
+// ZooNames returns the scenario names, sorted.
+func ZooNames() []string {
+	var names []string
+	for _, sc := range Zoo() {
+		names = append(names, sc.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ZooScenario looks a scenario up by name.
+func ZooScenario(name string) (*Scenario, error) {
+	for _, sc := range Zoo() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown zoo scenario %q (have %s)",
+		name, strings.Join(ZooNames(), ", "))
+}
+
+// price returns a price that is an exact multiple of 0.25, keeping float
+// aggregation order-independent so replays are byte-comparable.
+func price(rng *rand.Rand) float64 { return float64(rng.Intn(400)+1) * 0.25 }
+
+// batchInsert renders rows into multi-row INSERT statements of at most
+// 100 rows each, appending them to dst.
+func batchInsert(dst []string, table string, rows []string) []string {
+	const chunk = 100
+	for len(rows) > 0 {
+		n := chunk
+		if n > len(rows) {
+			n = len(rows)
+		}
+		dst = append(dst, fmt.Sprintf("INSERT INTO %s VALUES %s;", table, strings.Join(rows[:n], ", ")))
+		rows = rows[n:]
+	}
+	return dst
+}
+
+// liveSet tracks row ids available for update/delete, bounded so the
+// tracking cost stays flat at any scale.
+type liveSet struct {
+	ids []int64
+}
+
+func newLiveSet(n int64) *liveSet {
+	if n > 4096 {
+		n = 4096
+	}
+	ls := &liveSet{ids: make([]int64, n)}
+	for i := range ls.ids {
+		ls.ids[i] = int64(i + 1)
+	}
+	return ls
+}
+
+func (ls *liveSet) pick(rng *rand.Rand) (int64, bool) {
+	if len(ls.ids) == 0 {
+		return 0, false
+	}
+	return ls.ids[rng.Intn(len(ls.ids))], true
+}
+
+func (ls *liveSet) remove(rng *rand.Rand) (int64, bool) {
+	if len(ls.ids) == 0 {
+		return 0, false
+	}
+	i := rng.Intn(len(ls.ids))
+	id := ls.ids[i]
+	ls.ids[i] = ls.ids[len(ls.ids)-1]
+	ls.ids = ls.ids[:len(ls.ids)-1]
+	return id, true
+}
+
+func (ls *liveSet) add(id int64) { ls.ids = append(ls.ids, id) }
+
+// snowflakeUpdateHeavy is a TPC-H-flavoured snowflake: the lineitem fact
+// reaches nation through the supplier dimension (a chain join, not a
+// star), and the stream is dominated by in-place price updates — the
+// regime where delta-scoped maintenance beats recomputation hardest.
+func snowflakeUpdateHeavy() *Scenario {
+	const (
+		regions = 5
+		nations = 25
+	)
+	suppliers := func(scale int) int { return maxInt(10, scale/20) }
+	parts := func(scale int) int { return maxInt(20, scale/10) }
+	return &Scenario{
+		Name: "snowflake-update-heavy",
+		Description: "TPC-H-like snowflake (lineitem→supplier→nation→region chain), " +
+			"update-heavy stream of in-place price changes",
+		ViewName: "nation_revenue",
+		View: `CREATE MATERIALIZED VIEW nation_revenue AS
+SELECT nation.name, SUM(lineitem.price) AS revenue, COUNT(*) AS cnt
+FROM lineitem, supplier, nation
+WHERE lineitem.suppid = supplier.id AND supplier.nationid = nation.id
+GROUP BY nation.name;`,
+		Setup: func(scale int) []string {
+			out := []string{`CREATE TABLE region (id INTEGER PRIMARY KEY, name VARCHAR);
+CREATE TABLE nation (id INTEGER PRIMARY KEY, regionid INTEGER REFERENCES region, name VARCHAR);
+CREATE TABLE supplier (id INTEGER PRIMARY KEY, nationid INTEGER REFERENCES nation, name VARCHAR);
+CREATE TABLE part (id INTEGER PRIMARY KEY, brand VARCHAR, type VARCHAR);
+CREATE TABLE lineitem (id INTEGER PRIMARY KEY,
+	partid INTEGER REFERENCES part,
+	suppid INTEGER REFERENCES supplier,
+	qty INTEGER,
+	price FLOAT MUTABLE);`}
+			rng := rand.New(rand.NewSource(11))
+			var rows []string
+			for i := 1; i <= regions; i++ {
+				rows = append(rows, fmt.Sprintf("(%d, 'region%d')", i, i))
+			}
+			out = batchInsert(out, "region", rows)
+			rows = rows[:0]
+			for i := 1; i <= nations; i++ {
+				rows = append(rows, fmt.Sprintf("(%d, %d, 'nation%d')", i, (i-1)%regions+1, i))
+			}
+			out = batchInsert(out, "nation", rows)
+			rows = rows[:0]
+			for i := 1; i <= suppliers(scale); i++ {
+				rows = append(rows, fmt.Sprintf("(%d, %d, 'supp%d')", i, (i-1)%nations+1, i))
+			}
+			out = batchInsert(out, "supplier", rows)
+			rows = rows[:0]
+			for i := 1; i <= parts(scale); i++ {
+				rows = append(rows, fmt.Sprintf("(%d, 'brand%d', 'type%d')", i, i%40, i%7))
+			}
+			out = batchInsert(out, "part", rows)
+			rows = rows[:0]
+			for i := 1; i <= scale; i++ {
+				rows = append(rows, fmt.Sprintf("(%d, %d, %d, %d, %g)",
+					i, rng.Intn(parts(scale))+1, rng.Intn(suppliers(scale))+1, rng.Intn(50)+1, price(rng)))
+			}
+			return batchInsert(out, "lineitem", rows)
+		},
+		NewStream: func(scale int, seed int64) *Stream {
+			rng := rand.New(rand.NewSource(seed))
+			live := newLiveSet(int64(scale))
+			nextID := int64(scale)
+			s := &Stream{}
+			s.next = func() Op {
+				r := rng.Intn(100)
+				switch {
+				case r < 60: // update-heavy: most traffic repricing lines
+					if id, ok := live.pick(rng); ok {
+						return Op{SQL: fmt.Sprintf("UPDATE lineitem SET price = %g WHERE id = %d;", price(rng), id)}
+					}
+					fallthrough
+				case r < 75:
+					nextID++
+					live.add(nextID)
+					return Op{SQL: fmt.Sprintf("INSERT INTO lineitem VALUES (%d, %d, %d, %d, %g);",
+						nextID, rng.Intn(parts(scale))+1, rng.Intn(suppliers(scale))+1, rng.Intn(50)+1, price(rng))}
+				case r < 85:
+					if id, ok := live.remove(rng); ok {
+						return Op{SQL: fmt.Sprintf("DELETE FROM lineitem WHERE id = %d;", id)}
+					}
+					return Op{Query: true}
+				default:
+					return Op{Query: true}
+				}
+			}
+			return s
+		},
+	}
+}
+
+// appendOnlyFirehose is the classic warehouse load pattern over the
+// paper's retail star: facts only ever arrive, nothing mutates in place.
+func appendOnlyFirehose() *Scenario {
+	const days = 30
+	products := func(scale int) int { return maxInt(50, scale/40) }
+	return &Scenario{
+		Name:        "append-only",
+		Description: "retail star, insert-only fact firehose with occasional view reads",
+		ViewName:    "month_totals",
+		View: `CREATE MATERIALIZED VIEW month_totals AS
+SELECT time.month, SUM(price) AS total, COUNT(*) AS cnt
+FROM sale, time
+WHERE sale.timeid = time.id
+GROUP BY time.month;`,
+		Setup: func(scale int) []string {
+			out, rng := retailSetup(scale, days, products(scale))
+			return append(out, retailSales(scale, days, products(scale), rng, nil)...)
+		},
+		NewStream: func(scale int, seed int64) *Stream {
+			rng := rand.New(rand.NewSource(seed))
+			nextID := int64(scale)
+			s := &Stream{}
+			s.next = func() Op {
+				if rng.Intn(100) < 5 {
+					return Op{Query: true}
+				}
+				nextID++
+				return Op{SQL: fmt.Sprintf("INSERT INTO sale VALUES (%d, %d, %d, %d, %g);",
+					nextID, rng.Intn(days)+1, rng.Intn(products(scale))+1, rng.Intn(4)+1, price(rng))}
+			}
+			return s
+		},
+	}
+}
+
+// zipfSkew drives the retail star with Zipf-distributed product
+// popularity: a few hot products absorb most inserts, concentrating
+// maintenance on a handful of groups while the long tail stays cold.
+func zipfSkew() *Scenario {
+	const days = 30
+	products := func(scale int) int { return maxInt(50, scale/40) }
+	return &Scenario{
+		Name:        "zipf-skew",
+		Description: "retail star, inserts with Zipf-skewed product keys (hot groups + cold tail)",
+		ViewName:    "brand_totals",
+		View: `CREATE MATERIALIZED VIEW brand_totals AS
+SELECT brand, SUM(price) AS total, COUNT(*) AS cnt
+FROM sale, product
+WHERE sale.productid = product.id
+GROUP BY brand;`,
+		Setup: func(scale int) []string {
+			out, rng := retailSetup(scale, days, products(scale))
+			z := rand.NewZipf(rng, 1.2, 1, uint64(products(scale)-1))
+			return append(out, retailSales(scale, days, products(scale), rng, z)...)
+		},
+		NewStream: func(scale int, seed int64) *Stream {
+			rng := rand.New(rand.NewSource(seed))
+			z := rand.NewZipf(rng, 1.2, 1, uint64(products(scale)-1))
+			live := newLiveSet(int64(scale))
+			nextID := int64(scale)
+			s := &Stream{}
+			s.next = func() Op {
+				r := rng.Intn(100)
+				switch {
+				case r < 75:
+					nextID++
+					live.add(nextID)
+					return Op{SQL: fmt.Sprintf("INSERT INTO sale VALUES (%d, %d, %d, %d, %g);",
+						nextID, rng.Intn(days)+1, int64(z.Uint64())+1, rng.Intn(4)+1, price(rng))}
+				case r < 90:
+					if id, ok := live.pick(rng); ok {
+						return Op{SQL: fmt.Sprintf("UPDATE sale SET price = %g WHERE id = %d;", price(rng), id)}
+					}
+					fallthrough
+				default:
+					return Op{Query: true}
+				}
+			}
+			return s
+		},
+	}
+}
+
+// retailSetup emits the retail star DDL plus its time/product/store
+// dimensions, returning the statements and the RNG for the fact load.
+func retailSetup(scale, days, products int) ([]string, *rand.Rand) {
+	out := []string{DDL()}
+	rng := rand.New(rand.NewSource(13))
+	var rows []string
+	for d := 0; d < days; d++ {
+		rows = append(rows, fmt.Sprintf("(%d, %d, %d, %d)", d+1, d%28+1, (d/28)%12+1, 1997))
+	}
+	out = batchInsert(out, "time", rows)
+	rows = rows[:0]
+	for i := 1; i <= products; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, 'brand%d', 'cat%d')", i, i%25, i%10))
+	}
+	out = batchInsert(out, "product", rows)
+	rows = rows[:0]
+	for s := 1; s <= 4; s++ {
+		rows = append(rows, fmt.Sprintf("(%d, '%d main st', 'city%d', 'dk', 'mgr%d')", s, s, s, s))
+	}
+	return batchInsert(out, "store", rows), rng
+}
+
+// retailSales emits scale fact rows; product keys come from z when
+// non-nil (the skewed load), uniform otherwise.
+func retailSales(scale, days, products int, rng *rand.Rand, z *rand.Zipf) []string {
+	var rows []string
+	for i := 1; i <= scale; i++ {
+		pid := int64(rng.Intn(products)) + 1
+		if z != nil {
+			pid = int64(z.Uint64()) + 1
+		}
+		rows = append(rows, fmt.Sprintf("(%d, %d, %d, %d, %g)",
+			i, rng.Intn(days)+1, pid, rng.Intn(4)+1, price(rng)))
+	}
+	return batchInsert(nil, "sale", rows)
+}
+
+// tinyGroups groups by a key whose cardinality tracks the fact count:
+// every group holds a row or two, so maintenance cost is dominated by
+// group lookup fan-out rather than per-group arithmetic.
+func tinyGroups() *Scenario {
+	skus := func(scale int) int { return maxInt(10, scale/2) }
+	return &Scenario{
+		Name:        "tiny-groups",
+		Description: "one or two rows per group — group-lookup fan-out at high key cardinality",
+		ViewName:    "sku_totals",
+		View: `CREATE MATERIALIZED VIEW sku_totals AS
+SELECT sku.code, SUM(item.price) AS total, COUNT(*) AS cnt
+FROM item, sku
+WHERE item.skuid = sku.id
+GROUP BY sku.code;`,
+		Setup: func(scale int) []string {
+			out := []string{`CREATE TABLE sku (id INTEGER PRIMARY KEY, code VARCHAR);
+CREATE TABLE item (id INTEGER PRIMARY KEY, skuid INTEGER REFERENCES sku, price FLOAT MUTABLE);`}
+			rng := rand.New(rand.NewSource(17))
+			var rows []string
+			for i := 1; i <= skus(scale); i++ {
+				rows = append(rows, fmt.Sprintf("(%d, 'sku%08d')", i, i))
+			}
+			out = batchInsert(out, "sku", rows)
+			rows = rows[:0]
+			for i := 1; i <= scale; i++ {
+				rows = append(rows, fmt.Sprintf("(%d, %d, %g)", i, rng.Intn(skus(scale))+1, price(rng)))
+			}
+			return batchInsert(out, "item", rows)
+		},
+		NewStream: func(scale int, seed int64) *Stream {
+			rng := rand.New(rand.NewSource(seed))
+			nextItem := int64(scale)
+			nextSKU := int64(skus(scale))
+			s := &Stream{}
+			s.next = func() Op {
+				r := rng.Intn(100)
+				switch {
+				case r < 10: // grow the key space: a brand-new group per insert
+					nextSKU++
+					nextItem++
+					s.push(Op{SQL: fmt.Sprintf("INSERT INTO item VALUES (%d, %d, %g);", nextItem, nextSKU, price(rng))})
+					return Op{SQL: fmt.Sprintf("INSERT INTO sku VALUES (%d, 'sku%08d');", nextSKU, nextSKU)}
+				case r < 90:
+					nextItem++
+					return Op{SQL: fmt.Sprintf("INSERT INTO item VALUES (%d, %d, %g);",
+						nextItem, rng.Int63n(nextSKU)+1, price(rng))}
+				default:
+					return Op{Query: true}
+				}
+			}
+			return s
+		},
+	}
+}
+
+// wideGroups is the opposite regime: four groups absorb everything, so
+// each group's auxiliary state is wide and contended.
+func wideGroups() *Scenario {
+	const cats = 4
+	return &Scenario{
+		Name:        "wide-groups",
+		Description: "four wide groups absorb every delta — per-group contention, zero fan-out",
+		ViewName:    "cat_totals",
+		View: `CREATE MATERIALIZED VIEW cat_totals AS
+SELECT cat.name, SUM(item.price) AS total, COUNT(*) AS cnt
+FROM item, cat
+WHERE item.catid = cat.id
+GROUP BY cat.name;`,
+		Setup: func(scale int) []string {
+			out := []string{`CREATE TABLE cat (id INTEGER PRIMARY KEY, name VARCHAR);
+CREATE TABLE item (id INTEGER PRIMARY KEY, catid INTEGER REFERENCES cat, price FLOAT MUTABLE);`}
+			rng := rand.New(rand.NewSource(19))
+			var rows []string
+			for i := 1; i <= cats; i++ {
+				rows = append(rows, fmt.Sprintf("(%d, 'cat%d')", i, i))
+			}
+			out = batchInsert(out, "cat", rows)
+			rows = rows[:0]
+			for i := 1; i <= scale; i++ {
+				rows = append(rows, fmt.Sprintf("(%d, %d, %g)", i, rng.Intn(cats)+1, price(rng)))
+			}
+			return batchInsert(out, "item", rows)
+		},
+		NewStream: func(scale int, seed int64) *Stream {
+			rng := rand.New(rand.NewSource(seed))
+			live := newLiveSet(int64(scale))
+			nextID := int64(scale)
+			s := &Stream{}
+			s.next = func() Op {
+				r := rng.Intn(100)
+				switch {
+				case r < 40:
+					nextID++
+					live.add(nextID)
+					return Op{SQL: fmt.Sprintf("INSERT INTO item VALUES (%d, %d, %g);", nextID, rng.Intn(cats)+1, price(rng))}
+				case r < 70:
+					if id, ok := live.pick(rng); ok {
+						return Op{SQL: fmt.Sprintf("UPDATE item SET price = %g WHERE id = %d;", price(rng), id)}
+					}
+					fallthrough
+				case r < 85:
+					if id, ok := live.remove(rng); ok {
+						return Op{SQL: fmt.Sprintf("DELETE FROM item WHERE id = %d;", id)}
+					}
+					return Op{Query: true}
+				default:
+					return Op{Query: true}
+				}
+			}
+			return s
+		},
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
